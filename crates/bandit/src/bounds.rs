@@ -1,0 +1,134 @@
+//! Closed-form evaluation of the paper's regret upper bounds.
+//!
+//! Theorem 1 bounds the β-regret of the β-approximation learning policy:
+//!
+//! ```text
+//! sup R_β(n) ≤ (1/β)·N·K
+//!            + ( √(e·K) + 16/(e·β)·(1+N)·N³ ) · n^{2/3}
+//!            + (1/β)·( 1 + 4·√(K·N²)/(e·β²) ) · N²·K · n^{5/6}
+//! ```
+//!
+//! Theorem 5 is the practical variant with airtime fraction θ and
+//! β = θ·α. These evaluators regenerate the bound curves plotted against
+//! measured regret in the `regret_bounds` bench binary.
+
+use std::f64::consts::E;
+
+/// Theorem 1 right-hand side.
+///
+/// * `n` — horizon (rounds)
+/// * `n_users` — `N`
+/// * `k` — arm count `K = N·M`
+/// * `beta` — oracle approximation factor (≥ 1)
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive or `beta < 1`.
+pub fn theorem1(n: u64, n_users: usize, k: usize, beta: f64) -> f64 {
+    assert!(n > 0 && n_users > 0 && k > 0, "positive sizes required");
+    assert!(beta >= 1.0, "beta must be at least 1");
+    let n = n as f64;
+    let nn = n_users as f64;
+    let k = k as f64;
+    let term0 = nn * k / beta;
+    let term1 = ((E * k).sqrt() + 16.0 / (E * beta) * (1.0 + nn) * nn.powi(3)) * n.powf(2.0 / 3.0);
+    let term2 = (1.0 / beta)
+        * (1.0 + 4.0 * (k * nn * nn).sqrt() / (E * beta * beta))
+        * nn.powi(2)
+        * k
+        * n.powf(5.0 / 6.0);
+    term0 + term1 + term2
+}
+
+/// Theorem 5 right-hand side: the practical regret bound
+/// `sup θ·R_{θα}(n)` with airtime fraction `theta` and approximation
+/// factor `alpha` of the strategy-decision algorithm.
+///
+/// # Panics
+///
+/// Panics if sizes are non-positive, `alpha < 1`, or `theta ∉ (0, 1]`.
+pub fn theorem5(n: u64, n_users: usize, k: usize, alpha: f64, theta: f64) -> f64 {
+    assert!(n > 0 && n_users > 0 && k > 0, "positive sizes required");
+    assert!(alpha >= 1.0, "alpha must be at least 1");
+    assert!(theta > 0.0 && theta <= 1.0, "theta in (0, 1]");
+    let n = n as f64;
+    let nn = n_users as f64;
+    let k = k as f64;
+    let beta = theta * alpha;
+    let term0 = nn * k / alpha;
+    let term1 =
+        (theta * (E * k).sqrt() + 16.0 / (E * alpha) * (1.0 + nn) * nn.powi(3)) * n.powf(2.0 / 3.0);
+    let term2 = (1.0 / alpha)
+        * (1.0 + 4.0 * (k * nn * nn).sqrt() / (E * beta * beta))
+        * nn.powi(2)
+        * k
+        * n.powf(5.0 / 6.0);
+    term0 + term1 + term2
+}
+
+/// The growth-bound identity of Theorem 2: in the extended graph `H` the
+/// robust PTAS achieves ratio `ρ` with `ρ^r ≤ M·(2r+1)²`; this returns the
+/// implied `ρ` for a given radius `r` and channel count `m`, i.e.
+/// `(M·(2r+1)²)^{1/r}`.
+///
+/// # Panics
+///
+/// Panics if `r == 0` or `m == 0`.
+pub fn theorem2_rho(m: usize, r: usize) -> f64 {
+    assert!(r > 0, "radius must be positive");
+    assert!(m > 0, "channel count must be positive");
+    let base = m as f64 * ((2 * r + 1) as f64).powi(2);
+    base.powf(1.0 / r as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_is_sublinear_in_n() {
+        // Bound/n must shrink as n grows — the zero-regret property.
+        let per_round = |n: u64| theorem1(n, 10, 30, 2.0) / n as f64;
+        assert!(per_round(1_000_000) < per_round(10_000));
+        assert!(per_round(100_000_000) < per_round(1_000_000));
+    }
+
+    #[test]
+    fn theorem1_monotone_in_sizes() {
+        assert!(theorem1(1000, 20, 60, 2.0) > theorem1(1000, 10, 30, 2.0));
+        assert!(theorem1(1000, 10, 30, 1.0) > theorem1(1000, 10, 30, 4.0));
+    }
+
+    #[test]
+    fn theorem5_reduces_toward_theorem1_at_theta_one() {
+        // At θ = 1 the practical bound with α = β matches Theorem 1's
+        // structure (identical leading terms).
+        let t5 = theorem5(1000, 10, 30, 2.0, 1.0);
+        let t1 = theorem1(1000, 10, 30, 2.0);
+        assert!((t5 - t1).abs() / t1 < 1e-9);
+    }
+
+    #[test]
+    fn theorem5_grows_as_theta_shrinks() {
+        // Less airtime ⇒ worse effective bound (β = θα shrinks).
+        let tight = theorem5(1000, 10, 30, 2.0, 1.0);
+        let loose = theorem5(1000, 10, 30, 2.0, 0.25);
+        assert!(loose > tight);
+    }
+
+    #[test]
+    fn theorem2_rho_matches_hand_computation() {
+        // M=3, r=2: (3·25)^(1/2) = √75.
+        assert!((theorem2_rho(3, 2) - 75f64.sqrt()).abs() < 1e-12);
+        // More channels ⇒ larger rho at fixed r.
+        assert!(theorem2_rho(10, 2) > theorem2_rho(3, 2));
+        // Larger r ⇒ smaller rho (better ratio achievable).
+        assert!(theorem2_rho(3, 4) < theorem2_rho(3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn theorem1_rejects_beta_below_one() {
+        let _ = theorem1(10, 1, 1, 0.9);
+    }
+}

@@ -1,0 +1,40 @@
+//! Combinatorial multi-armed bandit policies and regret accounting.
+//!
+//! The paper formulates multi-hop channel access as a *linearly
+//! combinatorial* MAB: each virtual vertex of the extended conflict graph
+//! `H` is an arm (`K = N·M` arms), a round plays an independent set of
+//! arms, and the played set's reward is the sum of the member arms'
+//! observations (semi-bandit feedback: every played arm's value is
+//! observed, Eqs. (5)–(6)).
+//!
+//! Provided policies, all sharing the [`IndexPolicy`] interface (they emit
+//! per-arm index weights, which a MWIS oracle turns into a strategy):
+//!
+//! * [`policies::CsUcb`] — the paper's learning policy (Algorithm 1,
+//!   Eq. (3), from Zhou & Li arXiv:1307.5438): regret `O(n^{5/6})` with **no**
+//!   `1/Δ_min` dependence, valid under any `1/β`-approximate oracle
+//!   (Theorem 1).
+//! * [`policies::Llr`] — the LLR baseline the paper compares against
+//!   (Gai–Krishnamachari–Jain 2012).
+//! * [`policies::EpsilonGreedy`], [`policies::Random`],
+//!   [`policies::Oracle`] — standard controls.
+//! * [`joint::JointUcb1`] — the naive formulation the paper argues
+//!   against: one UCB1 arm per feasible strategy, `O(M^N)` arms.
+//!
+//! [`regret::RegretTracker`] implements the paper's regret (Eq. (1)),
+//! β-regret, and practical (θ-scaled) regret of Section IV-E;
+//! [`bounds`] evaluates the Theorem 1 and Theorem 5 upper bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod joint;
+pub mod policies;
+pub mod regret;
+pub mod stats;
+pub mod thompson;
+
+pub use policies::IndexPolicy;
+pub use regret::RegretTracker;
+pub use stats::ArmStats;

@@ -1,0 +1,486 @@
+//! Index policies: per-arm weights consumed by a MWIS oracle.
+
+use crate::stats::ArmStats;
+use rand::RngCore;
+use std::fmt::Debug;
+
+/// A learning policy that maps current arm statistics to per-arm *index
+/// weights*. The strategy played in a round is whatever the (approximate)
+/// MWIS oracle returns on those weights — the separation the paper exploits
+/// to get `O(MN)` learning state plus a pluggable `1/β`-approximate solver
+/// (Theorem 1).
+///
+/// `t` is the 1-based round number. Policies may use the RNG (ε-greedy,
+/// random) and internal mutable state.
+pub trait IndexPolicy: Debug {
+    /// Index weight per arm for round `t`.
+    fn indices(&mut self, t: u64, stats: &ArmStats, rng: &mut dyn RngCore) -> Vec<f64>;
+
+    /// Short name used in experiment outputs.
+    fn name(&self) -> &'static str;
+
+    /// Per-observation hook: called once for every `(arm, value)` the
+    /// semi-bandit feedback reveals, *in addition to* the shared
+    /// [`ArmStats`] update. Stationary policies ignore it (default no-op);
+    /// non-stationary policies (e.g. [`DiscountedCsUcb`]) maintain their
+    /// own decayed statistics here.
+    fn observe(&mut self, _arm: usize, _value: f64) {}
+}
+
+/// The paper's learning policy (Algorithm 1 / Eq. (3)):
+///
+/// ```text
+/// w_k(t+1) = µ̃_k(t) + sqrt( max( ln( t^{2/3} / (K·m_k) ), 0 ) / m_k )
+/// ```
+///
+/// Arms never played get `exploration_bonus`, which should exceed any
+/// reachable index so unexplored arms are pulled into early strategies
+/// (the paper starts all weights at 0 and seeds the first rounds randomly;
+/// a deterministic large bonus achieves the same coverage without the
+/// extra protocol phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsUcb {
+    /// Index granted to arms with `m_k = 0`.
+    pub exploration_bonus: f64,
+}
+
+impl CsUcb {
+    /// Policy with the given bonus for unplayed arms.
+    ///
+    /// A sound choice is `2·max-rate` (in the observation scale): strictly
+    /// above any mean-plus-confidence index an explored arm can reach once
+    /// the log term has decayed.
+    pub fn new(exploration_bonus: f64) -> Self {
+        CsUcb { exploration_bonus }
+    }
+}
+
+impl IndexPolicy for CsUcb {
+    fn indices(&mut self, t: u64, stats: &ArmStats, _rng: &mut dyn RngCore) -> Vec<f64> {
+        let k = stats.k() as f64;
+        (0..stats.k())
+            .map(|arm| {
+                let m = stats.count(arm);
+                if m == 0 {
+                    self.exploration_bonus
+                } else {
+                    let m = m as f64;
+                    let inner = (2.0 / 3.0) * (t as f64).ln() - (k * m).ln();
+                    stats.mean(arm) + (inner.max(0.0) / m).sqrt()
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "cs-ucb"
+    }
+}
+
+/// The LLR policy of Gai–Krishnamachari–Jain (the paper's baseline,
+/// reference 11):
+///
+/// ```text
+/// w_k(t) = µ̃_k + sqrt( (L+1)·ln t / m_k )
+/// ```
+///
+/// where `L` is the maximum strategy cardinality (at most `N` here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Llr {
+    /// Maximum number of arms a strategy can play at once.
+    pub l: usize,
+    /// Index granted to arms with `m_k = 0`.
+    pub exploration_bonus: f64,
+}
+
+impl Llr {
+    /// LLR with strategy-size bound `l`.
+    pub fn new(l: usize, exploration_bonus: f64) -> Self {
+        Llr {
+            l,
+            exploration_bonus,
+        }
+    }
+}
+
+impl IndexPolicy for Llr {
+    fn indices(&mut self, t: u64, stats: &ArmStats, _rng: &mut dyn RngCore) -> Vec<f64> {
+        (0..stats.k())
+            .map(|arm| {
+                let m = stats.count(arm);
+                if m == 0 {
+                    self.exploration_bonus
+                } else {
+                    let bonus = ((self.l as f64 + 1.0) * (t as f64).ln() / m as f64).sqrt();
+                    stats.mean(arm) + bonus
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "llr"
+    }
+}
+
+/// ε-greedy: with probability `epsilon` the round's indices are uniform
+/// random (pure exploration), otherwise the plain observed means
+/// (pure exploitation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpsilonGreedy {
+    /// Exploration probability per round.
+    pub epsilon: f64,
+    /// Index granted to arms with `m_k = 0` during exploitation rounds.
+    pub exploration_bonus: f64,
+}
+
+impl EpsilonGreedy {
+    /// ε-greedy policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn new(epsilon: f64, exploration_bonus: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon in [0,1]");
+        EpsilonGreedy {
+            epsilon,
+            exploration_bonus,
+        }
+    }
+}
+
+impl IndexPolicy for EpsilonGreedy {
+    fn indices(&mut self, _t: u64, stats: &ArmStats, rng: &mut dyn RngCore) -> Vec<f64> {
+        let explore = rand::Rng::gen::<f64>(rng) < self.epsilon;
+        (0..stats.k())
+            .map(|arm| {
+                if explore {
+                    rand::Rng::gen::<f64>(rng)
+                } else if stats.count(arm) == 0 {
+                    self.exploration_bonus
+                } else {
+                    stats.mean(arm)
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "epsilon-greedy"
+    }
+}
+
+/// Uniform-random indices each round — the no-learning control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Random;
+
+impl IndexPolicy for Random {
+    fn indices(&mut self, _t: u64, stats: &ArmStats, rng: &mut dyn RngCore) -> Vec<f64> {
+        (0..stats.k())
+            .map(|_| rand::Rng::gen::<f64>(rng))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Genie policy: indices are the true means, so the oracle solves the
+/// paper's Eq. (2) directly. Defines the regret baseline `R_1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Oracle {
+    /// True per-arm means `µ_k`.
+    pub means: Vec<f64>,
+}
+
+impl Oracle {
+    /// Genie with the given true means.
+    pub fn new(means: Vec<f64>) -> Self {
+        Oracle { means }
+    }
+}
+
+impl IndexPolicy for Oracle {
+    fn indices(&mut self, _t: u64, stats: &ArmStats, _rng: &mut dyn RngCore) -> Vec<f64> {
+        assert_eq!(self.means.len(), stats.k(), "mean vector length");
+        self.means.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+/// Discounted CS-UCB for non-stationary (e.g. adversarial or drifting)
+/// channels — the paper's Section VII future-work direction.
+///
+/// Maintains exponentially discounted per-arm statistics (the D-UCB
+/// construction): at each strategy decision all accumulated weight decays
+/// by `gamma`, so observations older than `~1/(1−γ)` decisions fade out
+/// and the policy re-explores channels whose quality may have changed.
+/// The index keeps the CS-UCB shape with the discounted effective counts:
+///
+/// ```text
+/// w_k = X̄_γ(k) + sqrt( max( ln(n_γ^{2/3} / (K·N_γ(k)) ), 0 ) / N_γ(k) )
+/// ```
+///
+/// With `gamma = 1` this degenerates to plain [`CsUcb`] statistics
+/// (modulo using its own counters instead of the shared ones).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscountedCsUcb {
+    /// Discount factor `γ ∈ (0, 1]` applied once per decision.
+    pub gamma: f64,
+    /// Index granted to arms with no effective observations.
+    pub exploration_bonus: f64,
+    weighted_sum: Vec<f64>,
+    weight: Vec<f64>,
+    total_weight: f64,
+}
+
+impl DiscountedCsUcb {
+    /// Discounted CS-UCB over `k` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma ∉ (0, 1]`.
+    pub fn new(k: usize, gamma: f64, exploration_bonus: f64) -> Self {
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma in (0, 1]");
+        DiscountedCsUcb {
+            gamma,
+            exploration_bonus,
+            weighted_sum: vec![0.0; k],
+            weight: vec![0.0; k],
+            total_weight: 0.0,
+        }
+    }
+
+    /// Effective (discounted) play count of `arm`.
+    pub fn effective_count(&self, arm: usize) -> f64 {
+        self.weight[arm]
+    }
+
+    /// Discounted mean of `arm` (0 with no effective observations).
+    pub fn discounted_mean(&self, arm: usize) -> f64 {
+        if self.weight[arm] <= 0.0 {
+            0.0
+        } else {
+            self.weighted_sum[arm] / self.weight[arm]
+        }
+    }
+}
+
+impl IndexPolicy for DiscountedCsUcb {
+    fn indices(&mut self, _t: u64, stats: &ArmStats, _rng: &mut dyn RngCore) -> Vec<f64> {
+        assert_eq!(stats.k(), self.weight.len(), "arm count mismatch");
+        // One decay step per decision.
+        for x in &mut self.weighted_sum {
+            *x *= self.gamma;
+        }
+        for x in &mut self.weight {
+            *x *= self.gamma;
+        }
+        self.total_weight *= self.gamma;
+        let k = self.weight.len() as f64;
+        let n_eff = self.total_weight.max(1.0);
+        (0..self.weight.len())
+            .map(|arm| {
+                let m = self.weight[arm];
+                if m < 1e-9 {
+                    self.exploration_bonus
+                } else {
+                    let inner = (2.0 / 3.0) * n_eff.ln() - (k * m).ln();
+                    self.discounted_mean(arm) + (inner.max(0.0) / m).sqrt()
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "discounted-cs-ucb"
+    }
+
+    fn observe(&mut self, arm: usize, value: f64) {
+        self.weighted_sum[arm] += value;
+        self.weight[arm] += 1.0;
+        self.total_weight += 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    fn stats_with(counts_means: &[(u64, f64)]) -> ArmStats {
+        let mut s = ArmStats::new(counts_means.len());
+        for (arm, &(m, mu)) in counts_means.iter().enumerate() {
+            for _ in 0..m {
+                s.update(arm, mu); // constant observations give mean = mu
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn cs_ucb_unplayed_gets_bonus() {
+        let mut p = CsUcb::new(99.0);
+        let s = ArmStats::new(2);
+        let idx = p.indices(1, &s, &mut rng());
+        assert_eq!(idx, vec![99.0, 99.0]);
+    }
+
+    #[test]
+    fn cs_ucb_clamps_negative_log() {
+        // With K·m large and t small, ln(t^{2/3}/(K·m)) < 0 → index = mean.
+        let mut p = CsUcb::new(99.0);
+        let s = stats_with(&[(100, 0.5), (100, 0.7)]);
+        let idx = p.indices(2, &s, &mut rng());
+        assert!((idx[0] - 0.5).abs() < 1e-12, "idx {}", idx[0]);
+        assert!((idx[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cs_ucb_bonus_positive_for_large_t() {
+        // With t huge and m small, the confidence term is active.
+        let mut p = CsUcb::new(99.0);
+        let s = stats_with(&[(1, 0.5)]);
+        let idx = p.indices(1_000_000, &s, &mut rng());
+        let expect = 0.5
+            + (((2.0 / 3.0) * (1_000_000f64).ln() - (1.0f64).ln()).max(0.0) / 1.0).sqrt();
+        assert!((idx[0] - expect).abs() < 1e-12);
+        assert!(idx[0] > 0.5);
+    }
+
+    #[test]
+    fn cs_ucb_confidence_shrinks_with_plays() {
+        let mut p = CsUcb::new(99.0);
+        let few = stats_with(&[(2, 0.5)]);
+        let many = stats_with(&[(50, 0.5)]);
+        let t = 10_000;
+        let idx_few = p.indices(t, &few, &mut rng())[0];
+        let idx_many = p.indices(t, &many, &mut rng())[0];
+        assert!(idx_few > idx_many);
+    }
+
+    #[test]
+    fn llr_formula() {
+        let mut p = Llr::new(4, 99.0);
+        let s = stats_with(&[(9, 0.3)]);
+        let t = 100;
+        let idx = p.indices(t, &s, &mut rng())[0];
+        let expect = 0.3 + ((5.0 * (100f64).ln()) / 9.0).sqrt();
+        assert!((idx - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn llr_bonus_larger_than_cs_ucb_late() {
+        // LLR's (L+1)·ln t bonus dominates CS-UCB's clamped (2/3)ln t − ln(K·m)
+        // for equal stats — the over-exploration the paper criticizes.
+        let s = stats_with(&[(10, 0.5), (10, 0.5)]);
+        let t = 1000;
+        let llr = Llr::new(5, 9.0).indices(t, &s, &mut rng())[0];
+        let cs = CsUcb::new(9.0).indices(t, &s, &mut rng())[0];
+        assert!(llr > cs, "llr {llr} vs cs {cs}");
+    }
+
+    #[test]
+    fn epsilon_zero_is_pure_exploitation() {
+        let mut p = EpsilonGreedy::new(0.0, 42.0);
+        let s = stats_with(&[(3, 0.9), (0, 0.0)]);
+        let idx = p.indices(5, &s, &mut rng());
+        assert!((idx[0] - 0.9).abs() < 1e-12);
+        assert_eq!(idx[1], 42.0);
+    }
+
+    #[test]
+    fn epsilon_one_is_pure_exploration() {
+        let mut p = EpsilonGreedy::new(1.0, 42.0);
+        let s = stats_with(&[(3, 0.9)]);
+        let idx = p.indices(5, &s, &mut rng());
+        assert!(idx[0] != 0.9); // random draw, not the mean
+        assert!((0.0..=1.0).contains(&idx[0]));
+    }
+
+    #[test]
+    fn oracle_returns_true_means() {
+        let mut p = Oracle::new(vec![0.1, 0.2]);
+        let s = ArmStats::new(2);
+        assert_eq!(p.indices(1, &s, &mut rng()), vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn random_indices_in_unit_range() {
+        let mut p = Random;
+        let s = ArmStats::new(8);
+        let idx = p.indices(1, &s, &mut rng());
+        assert!(idx.iter().all(|x| (0.0..1.0).contains(x)));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CsUcb::new(1.0).name(), "cs-ucb");
+        assert_eq!(Llr::new(1, 1.0).name(), "llr");
+        assert_eq!(EpsilonGreedy::new(0.1, 1.0).name(), "epsilon-greedy");
+        assert_eq!(Random.name(), "random");
+        assert_eq!(Oracle::new(vec![]).name(), "oracle");
+        assert_eq!(DiscountedCsUcb::new(1, 0.9, 1.0).name(), "discounted-cs-ucb");
+    }
+
+    #[test]
+    fn observe_default_is_noop_for_stationary_policies() {
+        let mut p = CsUcb::new(2.0);
+        p.observe(0, 0.9); // must not panic or change behavior
+        let s = ArmStats::new(1);
+        assert_eq!(p.indices(1, &s, &mut rng()), vec![2.0]);
+    }
+
+    #[test]
+    fn discounted_mean_tracks_recent_observations() {
+        let mut p = DiscountedCsUcb::new(1, 0.5, 2.0);
+        let s = ArmStats::new(1);
+        // Old value 0.2, then decay via two decisions, then fresh 0.8s.
+        p.observe(0, 0.2);
+        let _ = p.indices(1, &s, &mut rng());
+        let _ = p.indices(2, &s, &mut rng());
+        p.observe(0, 0.8);
+        p.observe(0, 0.8);
+        // Discounted mean is dominated by the fresh 0.8 observations.
+        assert!(p.discounted_mean(0) > 0.7, "mean {}", p.discounted_mean(0));
+    }
+
+    #[test]
+    fn discounted_effective_count_decays() {
+        let mut p = DiscountedCsUcb::new(2, 0.9, 2.0);
+        let s = ArmStats::new(2);
+        p.observe(0, 0.5);
+        assert!((p.effective_count(0) - 1.0).abs() < 1e-12);
+        let _ = p.indices(1, &s, &mut rng());
+        assert!((p.effective_count(0) - 0.9).abs() < 1e-12);
+        // Unobserved arm keeps the exploration bonus.
+        let idx = p.indices(2, &s, &mut rng());
+        assert_eq!(idx[1], 2.0);
+    }
+
+    #[test]
+    fn gamma_one_never_forgets() {
+        let mut p = DiscountedCsUcb::new(1, 1.0, 2.0);
+        let s = ArmStats::new(1);
+        for _ in 0..10 {
+            p.observe(0, 0.4);
+            let _ = p.indices(1, &s, &mut rng());
+        }
+        assert!((p.effective_count(0) - 10.0).abs() < 1e-9);
+        assert!((p.discounted_mean(0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn discounted_rejects_bad_gamma() {
+        let _ = DiscountedCsUcb::new(1, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the bandit substrate.
+
+use mhca_bandit::{
+    bounds,
+    joint::maximal_independent_sets,
+    policies::{CsUcb, EpsilonGreedy, IndexPolicy, Llr, Oracle},
+    ArmStats, RegretTracker,
+};
+use mhca_graph::Graph;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn running_mean_is_exact(values in proptest::collection::vec(0.0f64..10.0, 1..50)) {
+        let mut stats = ArmStats::new(1);
+        for &v in &values {
+            stats.update(0, v);
+        }
+        let expect = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((stats.mean(0) - expect).abs() < 1e-9);
+        prop_assert_eq!(stats.count(0), values.len() as u64);
+    }
+
+    #[test]
+    fn indices_are_finite_and_at_least_the_mean(
+        k in 1usize..20,
+        t in 1u64..100_000,
+        plays in 1u64..100,
+    ) {
+        let mut stats = ArmStats::new(k);
+        for arm in 0..k {
+            for _ in 0..plays {
+                stats.update(arm, (arm as f64) / k as f64);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        for policy in [
+            &mut CsUcb::new(2.0) as &mut dyn IndexPolicy,
+            &mut Llr::new(k, 2.0),
+        ] {
+            let idx = policy.indices(t, &stats, &mut rng);
+            prop_assert_eq!(idx.len(), k);
+            for (arm, &x) in idx.iter().enumerate() {
+                prop_assert!(x.is_finite());
+                prop_assert!(x >= stats.mean(arm) - 1e-12, "optimism violated");
+            }
+        }
+    }
+
+    #[test]
+    fn cs_ucb_index_decreases_with_more_plays(t in 100u64..1_000_000) {
+        let mut few = ArmStats::new(1);
+        let mut many = ArmStats::new(1);
+        for _ in 0..3 {
+            few.update(0, 0.5);
+        }
+        for _ in 0..300 {
+            many.update(0, 0.5);
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = CsUcb::new(2.0);
+        let a = p.indices(t, &few, &mut rng)[0];
+        let b = p.indices(t, &many, &mut rng)[0];
+        prop_assert!(a >= b - 1e-12);
+    }
+
+    #[test]
+    fn oracle_and_epsilon_zero_agree_on_played_arms(means in proptest::collection::vec(0.01f64..1.0, 1..10)) {
+        let k = means.len();
+        let mut stats = ArmStats::new(k);
+        for (arm, &mu) in means.iter().enumerate() {
+            stats.update(arm, mu); // mean equals mu after one constant play
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let oracle_idx = Oracle::new(means.clone()).indices(5, &stats, &mut rng);
+        let greedy_idx = EpsilonGreedy::new(0.0, 9.9).indices(5, &stats, &mut rng);
+        for arm in 0..k {
+            prop_assert!((oracle_idx[arm] - greedy_idx[arm]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn regret_identities(optimal in 1.0f64..100.0, rewards in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut tr = RegretTracker::new(optimal, 2.0, 0.5);
+        for &r in &rewards {
+            tr.record(r.min(optimal), r);
+        }
+        let n = rewards.len() as f64;
+        // Cumulative regret identity.
+        let sum_expected: f64 = rewards.iter().map(|&r| r.min(optimal)).sum();
+        prop_assert!((tr.regret() - (n * optimal - sum_expected)).abs() < 1e-6);
+        // β-regret is regret shifted by n·R1(1 − 1/β).
+        let shift = n * optimal * (1.0 - 1.0 / 2.0);
+        prop_assert!((tr.regret() - tr.beta_regret() - shift).abs() < 1e-6);
+        // Practical regret uses observed × θ.
+        let avg_obs = rewards.iter().sum::<f64>() / n;
+        prop_assert!((tr.practical_regret() - (optimal - 0.5 * avg_obs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn theorem1_bound_is_positive_and_sublinear(n_users in 1usize..30, m in 1usize..10, beta in 1.0f64..10.0) {
+        let k = n_users * m;
+        let b1 = bounds::theorem1(1_000, n_users, k, beta);
+        let b2 = bounds::theorem1(1_000_000, n_users, k, beta);
+        prop_assert!(b1 > 0.0 && b2 > 0.0);
+        prop_assert!(b2 / 1_000_000.0 < b1 / 1_000.0, "per-round bound must shrink");
+    }
+
+    #[test]
+    fn mis_enumeration_matches_brute_force_count(n in 1usize..8, edge_mask in any::<u32>()) {
+        let mut g = Graph::new(n);
+        let mut bit = 0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if edge_mask >> (bit % 32) & 1 == 1 {
+                    g.add_edge(u, v);
+                }
+                bit += 1;
+            }
+        }
+        let listed = maximal_independent_sets(&g);
+        // Brute force: a set is a maximal IS iff independent and no vertex
+        // can be added.
+        let mut count = 0;
+        for mask in 0u32..(1 << n) {
+            let set: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            if !g.is_independent(&set) {
+                continue;
+            }
+            let maximal = (0..n).all(|v| {
+                set.contains(&v) || set.iter().any(|&u| g.has_edge(u, v))
+            });
+            if maximal {
+                count += 1;
+            }
+        }
+        prop_assert_eq!(listed.len(), count);
+    }
+}

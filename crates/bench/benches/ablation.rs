@@ -1,0 +1,81 @@
+//! Criterion bench: ablations of the design choices DESIGN.md calls out.
+//!
+//! * mini-round budget D (1, 2, 4, 8) — decision cost vs the Fig. 6
+//!   convergence observation;
+//! * local solver (exact enumeration vs greedy vs auto) — the paper's
+//!   "more efficient constant approximation" remark;
+//! * radius r (1 vs 2) — the ρ^r ≤ M·(2r+1)² trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhca_core::{DistributedPtas, DistributedPtasConfig, LocalSolver, Network};
+use std::hint::black_box;
+
+fn bench_miniround_budget(c: &mut Criterion) {
+    let net = Network::random(80, 5, 5.0, 0.1, 400);
+    let weights = net.channels().means();
+    let mut group = c.benchmark_group("ablation_minirounds");
+    group.sample_size(10);
+    for &d in &[1usize, 2, 4, 8] {
+        let cfg = DistributedPtasConfig::default()
+            .with_r(2)
+            .with_max_minirounds(Some(d));
+        group.bench_function(BenchmarkId::from_parameter(d), |b| {
+            let mut ptas = DistributedPtas::new(net.h(), cfg);
+            b.iter(|| black_box(ptas.decide(&weights)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_solver(c: &mut Criterion) {
+    let net = Network::random(80, 5, 5.0, 0.1, 401);
+    let weights = net.channels().means();
+    let mut group = c.benchmark_group("ablation_local_solver");
+    group.sample_size(10);
+    let solvers = [
+        ("exact", LocalSolver::Exact),
+        ("greedy", LocalSolver::Greedy),
+        (
+            "auto14",
+            LocalSolver::Auto {
+                max_exact_groups: 14,
+            },
+        ),
+    ];
+    for (name, solver) in solvers {
+        let cfg = DistributedPtasConfig::default()
+            .with_r(2)
+            .with_max_minirounds(Some(4))
+            .with_local_solver(solver);
+        group.bench_function(name, |b| {
+            let mut ptas = DistributedPtas::new(net.h(), cfg);
+            b.iter(|| black_box(ptas.decide(&weights)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_radius(c: &mut Criterion) {
+    let net = Network::random(80, 5, 5.0, 0.1, 402);
+    let weights = net.channels().means();
+    let mut group = c.benchmark_group("ablation_radius");
+    group.sample_size(10);
+    for &r in &[1usize, 2, 3] {
+        let cfg = DistributedPtasConfig::default()
+            .with_r(r)
+            .with_max_minirounds(Some(4));
+        group.bench_function(BenchmarkId::from_parameter(r), |b| {
+            let mut ptas = DistributedPtas::new(net.h(), cfg);
+            b.iter(|| black_box(ptas.decide(&weights)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_miniround_budget,
+    bench_local_solver,
+    bench_radius
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: strategy-decision time.
+//!
+//! The paper's complexity pitch: the distributed decision costs
+//! `O(D·m·ρ^r)` per round — independent of N per vertex — while the naive
+//! joint-strategy formulation pays time linear in its `O(M^N)` arm count.
+//! This bench measures (a) `DistributedPtas::decide` across N and r,
+//! (b) joint-UCB1 arm enumeration + selection blowup with N on a matching
+//! (where the strategy count is exactly 2^(N/2)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhca_bandit::joint::JointUcb1;
+use mhca_core::{DistributedPtas, DistributedPtasConfig, Network};
+use mhca_graph::Graph;
+use std::hint::black_box;
+
+fn bench_distributed_decide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_distributed");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let net = Network::random(n, 5, 5.0, 0.1, 300 + n as u64);
+        let weights = net.channels().means();
+        for &r in &[1usize, 2] {
+            let cfg = DistributedPtasConfig::default()
+                .with_r(r)
+                .with_max_minirounds(Some(4));
+            group.bench_function(BenchmarkId::new(format!("r{r}"), n), |b| {
+                let mut ptas = DistributedPtas::new(net.h(), cfg);
+                b.iter(|| black_box(ptas.decide(&weights)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_joint_blowup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_joint_ucb1");
+    // Perfect matchings: k edges ⇒ exactly 2^k maximal strategies, an
+    // honest stand-in for the O(M^N) arm count of the naive formulation.
+    for &k in &[8usize, 12, 16] {
+        let mut g = Graph::new(2 * k);
+        for i in 0..k {
+            g.add_edge(2 * i, 2 * i + 1);
+        }
+        group.bench_function(BenchmarkId::new("enumerate_and_select", 2 * k), |b| {
+            b.iter(|| {
+                let mut ucb = JointUcb1::new(&g, 2.0 * k as f64);
+                let idx = ucb.select();
+                ucb.update(idx, 1.0);
+                black_box(ucb.n_strategies())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_decide, bench_joint_blowup);
+criterion_main!(benches);

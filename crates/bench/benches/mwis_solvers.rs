@@ -1,0 +1,88 @@
+//! Criterion bench: MWIS solver runtimes on unit-disk instances.
+//!
+//! Compares the exact branch-and-bound (the ground-truth/LocalLeader
+//! solver), the greedy baselines, and the centralized robust PTAS across
+//! instance sizes. The exact solver is only run at sizes where it is the
+//! intended tool (ground truth for Fig. 7-scale instances).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhca_graph::{unit_disk, ExtendedConflictGraph};
+use mhca_mwis::{exact, greedy, robust_ptas};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+struct Instance {
+    h: ExtendedConflictGraph,
+    weights: Vec<f64>,
+    groups: Vec<usize>,
+    allowed: Vec<usize>,
+}
+
+fn instance(n: usize, m: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, _) = unit_disk::random_with_average_degree(n, 4.0, &mut rng);
+    let h = ExtendedConflictGraph::new(&g, m);
+    let weights: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / m).collect();
+    let allowed: Vec<usize> = (0..h.n_vertices()).collect();
+    Instance {
+        h,
+        weights,
+        groups,
+        allowed,
+    }
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwis_exact");
+    for &(n, m) in &[(10usize, 3usize), (15, 3), (20, 3)] {
+        let inst = instance(n, m, 100 + n as u64);
+        group.bench_with_input(BenchmarkId::new("grouped_bb", format!("{n}x{m}")), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(exact::solve_grouped(
+                    inst.h.graph(),
+                    &inst.weights,
+                    &inst.allowed,
+                    &inst.groups,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_and_ptas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwis_approx");
+    for &(n, m) in &[(50usize, 5usize), (100, 5), (200, 5)] {
+        let inst = instance(n, m, 200 + n as u64);
+        group.bench_with_input(
+            BenchmarkId::new("greedy_max_weight", format!("{n}x{m}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(greedy::max_weight(inst.h.graph(), &inst.weights))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_weight_degree", format!("{n}x{m}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(greedy::weight_degree(inst.h.graph(), &inst.weights))),
+        );
+        let cfg = robust_ptas::Config::with_epsilon_and_max_r(0.5, 2);
+        group.bench_with_input(
+            BenchmarkId::new("robust_ptas_r2", format!("{n}x{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(robust_ptas::solve_grouped(
+                        inst.h.graph(),
+                        &inst.weights,
+                        &cfg,
+                        &inst.groups,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_greedy_and_ptas);
+criterion_main!(benches);

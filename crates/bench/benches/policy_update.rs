@@ -1,0 +1,67 @@
+//! Criterion bench: per-round learning cost.
+//!
+//! The paper's storage/computation claim: the vertex-level formulation
+//! costs `O(MN)` per round (index computation + estimate updates) instead
+//! of `O(M^N)`. This bench measures index computation for CS-UCB and LLR
+//! across arm counts, and the Eq. (5)–(6) batch update.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mhca_bandit::{
+    policies::{CsUcb, IndexPolicy, Llr},
+    ArmStats,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn prepared_stats(k: usize, seed: u64) -> ArmStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = ArmStats::new(k);
+    for arm in 0..k {
+        for _ in 0..(1 + arm % 7) {
+            stats.update(arm, rng.gen_range(0.0..1.0));
+        }
+    }
+    stats
+}
+
+fn bench_indices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_indices");
+    for &k in &[100usize, 1000, 10_000] {
+        let stats = prepared_stats(k, k as u64);
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("cs_ucb", k), &stats, |b, stats| {
+            let mut p = CsUcb::new(2.0);
+            b.iter(|| black_box(p.indices(1000, stats, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("llr", k), &stats, |b, stats| {
+            let mut p = Llr::new(100, 2.0);
+            b.iter(|| black_box(p.indices(1000, stats, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_updates");
+    for &selected in &[10usize, 100, 1000] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let observations: Vec<(usize, f64)> = (0..selected)
+            .map(|i| (i, rng.gen_range(0.0..1.0)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("eq5_eq6_batch", selected),
+            &observations,
+            |b, obs| {
+                b.iter(|| {
+                    let mut stats = ArmStats::new(1000.max(selected));
+                    stats.update_batch(obs);
+                    black_box(stats.total_plays())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indices, bench_updates);
+criterion_main!(benches);

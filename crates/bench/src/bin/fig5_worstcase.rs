@@ -1,0 +1,22 @@
+//! Regenerates the Fig. 5 observation: on a linear network with strictly
+//! decreasing weights, Algorithm 3 run to completion needs Θ(N)
+//! mini-rounds — the worst case motivating the constant cap D.
+//!
+//! Run with: `cargo run --release -p mhca-bench --bin fig5_worstcase`
+
+use mhca_bench::csv_row;
+use mhca_core::experiments::fig5_worstcase;
+
+fn main() {
+    let ns = [10, 20, 40, 80, 160, 320];
+    csv_row(&["n", "minirounds_to_completion", "minirounds_over_n"]);
+    for p in fig5_worstcase(&ns, 1) {
+        csv_row(&[
+            format!("{}", p.n),
+            format!("{}", p.minirounds_used),
+            format!("{:.3}", p.minirounds_used as f64 / p.n as f64),
+        ]);
+    }
+    println!();
+    println!("# the ratio minirounds/n should be roughly constant (linear growth)");
+}

@@ -1,0 +1,47 @@
+//! Empirical check of Theorem 3: the distributed Algorithm 3 achieves the
+//! same approximation quality as the centralized robust PTAS.
+//!
+//! On seeded random instances small enough for exact branch-and-bound
+//! ground truth, prints optimal / centralized-PTAS / distributed /
+//! distributed-capped weights and their ratios.
+//!
+//! Run with: `cargo run --release -p mhca-bench --bin theorem3`
+
+use mhca_bench::csv_row;
+use mhca_core::experiments::theorem3;
+
+fn main() {
+    let pts = theorem3(15, 3, 3.5, 0..10);
+    csv_row(&[
+        "seed",
+        "optimal",
+        "centralized_ptas",
+        "distributed",
+        "distributed_d4",
+        "central_ratio",
+        "dist_ratio",
+    ]);
+    let mut sum_c = 0.0;
+    let mut sum_d = 0.0;
+    for p in &pts {
+        csv_row(&[
+            format!("{}", p.seed),
+            format!("{:.0}", p.optimal),
+            format!("{:.0}", p.centralized),
+            format!("{:.0}", p.distributed),
+            format!("{:.0}", p.distributed_capped),
+            format!("{:.3}", p.centralized / p.optimal),
+            format!("{:.3}", p.distributed / p.optimal),
+        ]);
+        sum_c += p.centralized / p.optimal;
+        sum_d += p.distributed / p.optimal;
+    }
+    println!();
+    println!(
+        "# mean ratio to optimal: centralized {:.3}, distributed {:.3}",
+        sum_c / pts.len() as f64,
+        sum_d / pts.len() as f64
+    );
+    println!("# Theorem 3: the two ratios should be comparable (and far better");
+    println!("# than the worst-case rho, cf. the regret_bounds binary).");
+}

@@ -1,0 +1,58 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! as CSV on stdout (series the paper plots) plus a short commentary on
+//! the expected shape. Pass `--full` to run at the paper's full scale
+//! where the default is reduced for quick turnaround.
+
+/// Prints one CSV row from anything displayable.
+pub fn csv_row<T: std::fmt::Display>(cells: &[T]) {
+    let row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+    println!("{}", row.join(","));
+}
+
+/// `true` when the binary was invoked with `--full` (paper-scale run).
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Evenly spaced sample indices covering `0..len` (always including the
+/// last index), for decimating long per-slot series into readable CSV.
+pub fn sample_indices(len: usize, max_points: usize) -> Vec<usize> {
+    if len == 0 || max_points == 0 {
+        return Vec::new();
+    }
+    if len <= max_points {
+        return (0..len).collect();
+    }
+    let stride = len as f64 / max_points as f64;
+    let mut idx: Vec<usize> = (0..max_points)
+        .map(|i| (((i as f64 + 0.5) * stride) as usize).min(len - 1))
+        .collect();
+    if idx.last() != Some(&(len - 1)) {
+        idx.push(len - 1);
+    }
+    idx.dedup();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_indices_cover_and_bound() {
+        let idx = sample_indices(1000, 20);
+        assert!(idx.len() <= 21);
+        assert_eq!(*idx.last().unwrap(), 999);
+        for w in idx.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn sample_indices_short_input() {
+        assert_eq!(sample_indices(3, 10), vec![0, 1, 2]);
+        assert!(sample_indices(0, 10).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! The [`ChannelProcess`] trait and its stochastic implementations.
+
+use crate::dists;
+use rand::RngCore;
+use std::fmt::Debug;
+
+/// A channel-quality process: the data rate `ξ(t)` observed when a vertex
+/// transmits at slot `t`.
+///
+/// Implementations must be **stateless**: the sample may depend on the slot
+/// index `t` (adversarial processes do) and on the provided RNG, but not on
+/// interior mutability. This makes realizations reproducible and lets the
+/// [`crate::ChannelMatrix`] derive the per-`(vertex, t)` randomness from a
+/// counter-based PRF.
+pub trait ChannelProcess: Debug + Send + Sync {
+    /// Draws the rate observed at slot `t`.
+    ///
+    /// For i.i.d. processes the result ignores `t`; for adversarial ones it
+    /// is a deterministic (or randomized) function of `t`.
+    fn sample(&self, t: u64, rng: &mut dyn RngCore) -> f64;
+
+    /// The process mean `µ` — for adversarial processes, the long-run
+    /// average rate.
+    fn mean(&self) -> f64;
+
+    /// Clones into a boxed trait object (object-safe `Clone` substitute).
+    fn clone_box(&self) -> Box<dyn ChannelProcess>;
+}
+
+impl Clone for Box<dyn ChannelProcess> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Degenerate process: always exactly `rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    /// The constant rate returned by every sample.
+    pub rate: f64,
+}
+
+impl Constant {
+    /// Creates a constant-rate process.
+    pub fn new(rate: f64) -> Self {
+        Constant { rate }
+    }
+}
+
+impl ChannelProcess for Constant {
+    fn sample(&self, _t: u64, _rng: &mut dyn RngCore) -> f64 {
+        self.rate
+    }
+    fn mean(&self) -> f64 {
+        self.rate
+    }
+    fn clone_box(&self) -> Box<dyn ChannelProcess> {
+        Box::new(*self)
+    }
+}
+
+/// Bernoulli process: rate `peak` with probability `p`, else `0`.
+///
+/// This is the classical good/bad channel model of the single-user MAB
+/// literature the paper cites (its refs 21 and 22).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    /// Success probability.
+    pub p: f64,
+    /// Rate delivered on success.
+    pub peak: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]` or `peak < 0`.
+    pub fn new(p: f64, peak: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        assert!(peak >= 0.0, "peak must be non-negative");
+        Bernoulli { p, peak }
+    }
+}
+
+impl ChannelProcess for Bernoulli {
+    fn sample(&self, _t: u64, rng: &mut dyn RngCore) -> f64 {
+        let u = rand::Rng::gen::<f64>(rng);
+        if u < self.p {
+            self.peak
+        } else {
+            0.0
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.p * self.peak
+    }
+    fn clone_box(&self) -> Box<dyn ChannelProcess> {
+        Box::new(*self)
+    }
+}
+
+/// Gaussian process truncated (by clamping) to `[lo, hi]`.
+///
+/// The paper's simulations use i.i.d. Gaussian rates; clamping keeps rates
+/// physical (non-negative, bounded) while leaving the mean essentially
+/// unchanged for moderate σ because the default bounds are symmetric about
+/// the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedGaussian {
+    /// Mean of the underlying Gaussian.
+    pub mu: f64,
+    /// Standard deviation of the underlying Gaussian.
+    pub sigma: f64,
+    /// Lower clamp bound.
+    pub lo: f64,
+    /// Upper clamp bound.
+    pub hi: f64,
+}
+
+impl TruncatedGaussian {
+    /// Gaussian with symmetric clamp `[0, 2µ]`, preserving the mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu < 0` or `sigma < 0`.
+    pub fn symmetric(mu: f64, sigma: f64) -> Self {
+        assert!(mu >= 0.0, "mean must be non-negative");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        TruncatedGaussian {
+            mu,
+            sigma,
+            lo: 0.0,
+            hi: 2.0 * mu,
+        }
+    }
+
+    /// Gaussian with explicit clamp bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `sigma < 0`.
+    pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid clamp bounds");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        TruncatedGaussian { mu, sigma, lo, hi }
+    }
+}
+
+impl ChannelProcess for TruncatedGaussian {
+    fn sample(&self, _t: u64, rng: &mut dyn RngCore) -> f64 {
+        dists::normal(self.mu, self.sigma, rng).clamp(self.lo, self.hi)
+    }
+    fn mean(&self) -> f64 {
+        // Symmetric clamping about µ keeps the mean; the tiny asymmetric
+        // case (µ outside [lo,hi] midpoint) is ignored by design — tests
+        // verify the error is negligible for the σ used in experiments.
+        self.mu.clamp(self.lo, self.hi)
+    }
+    fn clone_box(&self) -> Box<dyn ChannelProcess> {
+        Box::new(*self)
+    }
+}
+
+/// Uniform process on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    /// Lower bound (inclusive).
+    pub lo: f64,
+    /// Upper bound (exclusive).
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform process on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid bounds");
+        Uniform { lo, hi }
+    }
+}
+
+impl ChannelProcess for Uniform {
+    fn sample(&self, _t: u64, rng: &mut dyn RngCore) -> f64 {
+        let u = rand::Rng::gen::<f64>(rng);
+        self.lo + u * (self.hi - self.lo)
+    }
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+    fn clone_box(&self) -> Box<dyn ChannelProcess> {
+        Box::new(*self)
+    }
+}
+
+/// Beta(α, β) process scaled by `scale` — a bounded, skewed rate model on
+/// `[0, scale]`, handy for heterogeneous channel-quality scenarios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    /// Alpha shape parameter.
+    pub alpha: f64,
+    /// Beta shape parameter.
+    pub beta: f64,
+    /// Output scale: samples lie in `[0, scale]`.
+    pub scale: f64,
+}
+
+impl Beta {
+    /// Creates a scaled Beta process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are non-positive or `scale < 0`.
+    pub fn new(alpha: f64, beta: f64, scale: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "shapes must be positive");
+        assert!(scale >= 0.0, "scale must be non-negative");
+        Beta { alpha, beta, scale }
+    }
+}
+
+impl ChannelProcess for Beta {
+    fn sample(&self, _t: u64, rng: &mut dyn RngCore) -> f64 {
+        dists::beta(self.alpha, self.beta, rng) * self.scale
+    }
+    fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta) * self.scale
+    }
+    fn clone_box(&self) -> Box<dyn ChannelProcess> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn empirical_mean(p: &dyn ChannelProcess, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|t| p.sample(t as u64, &mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let p = Constant::new(3.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in 0..10 {
+            assert_eq!(p.sample(t, &mut rng), 3.5);
+        }
+        assert_eq!(p.mean(), 3.5);
+    }
+
+    #[test]
+    fn bernoulli_mean_matches() {
+        let p = Bernoulli::new(0.3, 10.0);
+        assert_eq!(p.mean(), 3.0);
+        let m = empirical_mean(&p, 100_000, 1);
+        assert!((m - 3.0).abs() < 0.1, "empirical {m}");
+    }
+
+    #[test]
+    fn truncated_gaussian_mean_preserved_for_moderate_sigma() {
+        let p = TruncatedGaussian::symmetric(600.0, 60.0);
+        let m = empirical_mean(&p, 100_000, 2);
+        assert!((m - 600.0).abs() < 2.0, "empirical {m}");
+        assert_eq!(p.mean(), 600.0);
+    }
+
+    #[test]
+    fn truncated_gaussian_respects_bounds() {
+        let p = TruncatedGaussian::new(1.0, 5.0, 0.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in 0..10_000 {
+            let x = p.sample(t, &mut rng);
+            assert!((0.0..=2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let p = Uniform::new(2.0, 6.0);
+        assert_eq!(p.mean(), 4.0);
+        let m = empirical_mean(&p, 100_000, 4);
+        assert!((m - 4.0).abs() < 0.05, "empirical {m}");
+    }
+
+    #[test]
+    fn beta_mean_scaled() {
+        let p = Beta::new(2.0, 2.0, 100.0);
+        assert_eq!(p.mean(), 50.0);
+        let m = empirical_mean(&p, 100_000, 5);
+        assert!((m - 50.0).abs() < 1.0, "empirical {m}");
+    }
+
+    #[test]
+    fn boxed_clone_preserves_behavior() {
+        let p: Box<dyn ChannelProcess> = Box::new(Bernoulli::new(0.5, 2.0));
+        let q = p.clone();
+        assert_eq!(q.mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bernoulli_rejects_bad_p() {
+        let _ = Bernoulli::new(1.5, 1.0);
+    }
+}

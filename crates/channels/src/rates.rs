@@ -1,0 +1,48 @@
+//! The paper's channel rate classes.
+//!
+//! Section V: "We set 8 types of channels with data rates (units kbps) 150,
+//! 225, 300, 450, 600, 900, 1200, and 1350 respectively", citing the
+//! 802.11a-style rate set of its reference 12.
+
+/// The 8 rate classes of the paper's simulations, in kbps.
+pub const PAPER_RATE_CLASSES: [f64; 8] = [150.0, 225.0, 300.0, 450.0, 600.0, 900.0, 1200.0, 1350.0];
+
+/// Maximum rate class — the natural normalization constant mapping rates to
+/// the `[0, 1]` reward range the MAB analysis assumes.
+pub const MAX_RATE: f64 = 1350.0;
+
+/// Normalizes a rate in kbps to the `[0, 1]` reward range.
+pub fn to_unit(rate_kbps: f64) -> f64 {
+    rate_kbps / MAX_RATE
+}
+
+/// Converts a `[0, 1]` reward back to kbps.
+pub fn from_unit(reward: f64) -> f64 {
+    reward * MAX_RATE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_sorted_and_positive() {
+        for w in PAPER_RATE_CLASSES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(PAPER_RATE_CLASSES.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn max_rate_is_last_class() {
+        assert_eq!(MAX_RATE, *PAPER_RATE_CLASSES.last().unwrap());
+    }
+
+    #[test]
+    fn unit_roundtrip() {
+        for &r in &PAPER_RATE_CLASSES {
+            assert!((from_unit(to_unit(r)) - r).abs() < 1e-9);
+            assert!((0.0..=1.0).contains(&to_unit(r)));
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! Algorithm 3 — the distributed robust PTAS for strategy decision.
+//!
+//! Each virtual vertex of the extended conflict graph `H` runs a local
+//! state machine with four statuses (Section IV-C):
+//!
+//! * **Candidate** — still unresolved; may yet transmit.
+//! * **LocalLeader** — a Candidate whose weight is maximal among the
+//!   Candidates of its `(2r+1)`-hop neighborhood. Leaders compute a local
+//!   MWIS by enumeration over the Candidates of their `r`-hop neighborhood
+//!   and broadcast the resulting determinations within `(3r+1)` hops.
+//! * **Winner** — selected into the strategy; will access its channel.
+//! * **Loser** — excluded for this round.
+//!
+//! Communication is exclusively hop-limited flooding on the simulated
+//! control channel ([`mhca_sim::FloodEngine`]), so every complexity claim
+//! of Section IV-C can be measured from the engine counters.
+//!
+//! # Fidelity notes (see DESIGN.md, Substitutions)
+//!
+//! * Ties in leader election are broken by vertex id (the paper seeds the
+//!   first round with ids for exactly this reason); the order on
+//!   `(weight, id)` is total, which is what guarantees two leaders of the
+//!   same mini-round are `≥ 2r+2` hops apart.
+//! * When a leader computes its local MWIS it excludes Candidates adjacent
+//!   to *known* Winners (and marks them Losers). The `(3r+1)`-hop
+//!   determination broadcast guarantees a leader has heard of every Winner
+//!   adjacent to its `r`-hop ball, so the exclusion is always complete —
+//!   this is the distributed counterpart of the centralized algorithm's
+//!   "remove the independent set *and all adjacent vertices*" step, and it
+//!   is what makes the union of winners across mini-rounds independent.
+//! * As a defense under message loss (failure injection), a vertex refuses
+//!   a `Winner` determination when it already knows an adjacent Winner.
+//!   With lossless delivery this rule never fires.
+
+use mhca_graph::ExtendedConflictGraph;
+use mhca_mwis::{exact, greedy};
+use mhca_sim::{Counters, Flood, FloodEngine};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Per-vertex protocol status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Unresolved; eligible for leadership and selection.
+    Candidate,
+    /// Selected into the round's strategy.
+    Winner,
+    /// Excluded from the round's strategy.
+    Loser,
+}
+
+/// How a LocalLeader solves its local MWIS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalSolver {
+    /// Exact branch-and-bound enumeration (the paper's Algorithm 3 line 8).
+    Exact,
+    /// Max-weight greedy (the paper's "more efficient constant
+    /// approximation algorithm" remark).
+    Greedy,
+    /// Greedy followed by (1,2)-swap local search — better quality than
+    /// plain greedy at a small polynomial cost.
+    LocalSearch {
+        /// Maximum improvement sweeps per local MWIS.
+        max_passes: usize,
+    },
+    /// Exact when the candidate set spans at most `max_exact_groups`
+    /// master nodes, greedy beyond — keeps worst-case local work bounded
+    /// on dense neighborhoods.
+    Auto {
+        /// Master-node count threshold for switching to greedy.
+        max_exact_groups: usize,
+    },
+}
+
+impl Default for LocalSolver {
+    fn default() -> Self {
+        LocalSolver::Auto {
+            max_exact_groups: 14,
+        }
+    }
+}
+
+/// Configuration of the distributed strategy decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributedPtasConfig {
+    /// Local MWIS radius `r` (the paper's simulations use `r = 2`).
+    pub r: usize,
+    /// Mini-round budget `D`; `None` runs to completion (`O(N)` worst
+    /// case, Fig. 5). The paper's Theorem 4 argues a small constant
+    /// suffices on random networks (Fig. 6 converges by mini-round 4).
+    pub max_minirounds: Option<usize>,
+    /// Local MWIS solver choice.
+    pub local_solver: LocalSolver,
+    /// Per-relay message loss probability (failure injection; 0 = lossless).
+    pub loss_prob: f64,
+    /// RNG seed for the loss process.
+    pub loss_seed: u64,
+}
+
+impl Default for DistributedPtasConfig {
+    fn default() -> Self {
+        DistributedPtasConfig {
+            r: 2,
+            max_minirounds: Some(4),
+            local_solver: LocalSolver::default(),
+            loss_prob: 0.0,
+            loss_seed: 0,
+        }
+    }
+}
+
+impl DistributedPtasConfig {
+    /// Builder-style radius override.
+    pub fn with_r(mut self, r: usize) -> Self {
+        self.r = r;
+        self
+    }
+
+    /// Builder-style mini-round budget override (`None` = to completion).
+    pub fn with_max_minirounds(mut self, d: Option<usize>) -> Self {
+        self.max_minirounds = d;
+        self
+    }
+
+    /// Builder-style solver override.
+    pub fn with_local_solver(mut self, s: LocalSolver) -> Self {
+        self.local_solver = s;
+        self
+    }
+
+    /// Builder-style loss injection.
+    pub fn with_loss(mut self, prob: f64, seed: u64) -> Self {
+        self.loss_prob = prob;
+        self.loss_seed = seed;
+        self
+    }
+}
+
+/// Result of one distributed strategy decision (one round's `t_s` part).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionOutcome {
+    /// Vertices selected to transmit, sorted ascending. Independent in `H`
+    /// under lossless delivery.
+    pub winners: Vec<usize>,
+    /// Cumulative winner weight after each mini-round — the Fig. 6 series.
+    pub per_miniround_weight: Vec<f64>,
+    /// Leaders elected in each mini-round.
+    pub leaders_per_miniround: Vec<usize>,
+    /// Mini-rounds actually executed.
+    pub minirounds_used: usize,
+    /// `true` when no Candidate remained at termination.
+    pub all_marked: bool,
+    /// Number of adjacent Winner pairs in the output (0 unless message
+    /// loss corrupted the run) — instrumentation, not protocol state.
+    pub conflicts: usize,
+    /// Communication counters for the decision.
+    pub counters: Counters,
+}
+
+/// Protocol messages carried by the control-channel floods.
+#[derive(Debug, Clone)]
+enum Msg {
+    /// `LocalLeader` declaration (Algorithm 3 line 4).
+    LeaderDeclare,
+    /// Status determinations from a leader (Algorithm 3 lines 9–10):
+    /// `(vertex, is_winner)` for every Candidate of the leader's `r`-ball.
+    Determination(Arc<Vec<(usize, bool)>>),
+}
+
+/// Local knowledge of one vertex: the ids and statuses of its
+/// `(2r+1)`-hop neighborhood (weights of the same set are readable from
+/// the round's weight vector — the WB phase of Algorithm 2 synchronizes
+/// them; the protocol never reads weights outside this ball).
+#[derive(Debug, Clone)]
+struct LocalView {
+    /// Sorted `(2r+1)`-ball, including the vertex itself.
+    ball: Vec<usize>,
+    /// Statuses parallel to `ball`.
+    status: Vec<Status>,
+}
+
+impl LocalView {
+    fn get(&self, u: usize) -> Option<Status> {
+        self.ball
+            .binary_search(&u)
+            .ok()
+            .map(|i| self.status[i])
+    }
+
+    fn set(&mut self, u: usize, s: Status) {
+        if let Ok(i) = self.ball.binary_search(&u) {
+            self.status[i] = s;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.status.fill(Status::Candidate);
+    }
+}
+
+/// The distributed strategy-decision engine (Algorithm 3), reusable across
+/// rounds: neighborhood tables are precomputed once per network.
+#[derive(Debug)]
+pub struct DistributedPtas<'h> {
+    h: &'h ExtendedConflictGraph,
+    config: DistributedPtasConfig,
+    views: Vec<LocalView>,
+    balls_r: Vec<Vec<usize>>,
+    node_groups: Vec<usize>,
+}
+
+impl<'h> DistributedPtas<'h> {
+    /// Precomputes the `r`- and `(2r+1)`-hop neighborhood tables of `H`.
+    pub fn new(h: &'h ExtendedConflictGraph, config: DistributedPtasConfig) -> Self {
+        let n = h.n_vertices();
+        let g = h.graph();
+        let views = (0..n)
+            .map(|v| {
+                let ball = g.r_hop_neighborhood(v, 2 * config.r + 1);
+                let status = vec![Status::Candidate; ball.len()];
+                LocalView { ball, status }
+            })
+            .collect();
+        let balls_r = (0..n).map(|v| g.r_hop_neighborhood(v, config.r)).collect();
+        let node_groups = (0..n).map(|v| v / h.n_channels()).collect();
+        DistributedPtas {
+            h,
+            config,
+            views,
+            balls_r,
+            node_groups,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DistributedPtasConfig {
+        &self.config
+    }
+
+    /// Runs one strategy decision with the given per-vertex index weights
+    /// (the learning policy's output for this round).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != H.n_vertices()` or any weight is not
+    /// finite.
+    pub fn decide(&mut self, weights: &[f64]) -> DecisionOutcome {
+        let n = self.h.n_vertices();
+        assert_eq!(weights.len(), n, "weight vector length");
+        assert!(
+            weights.iter().all(|w| w.is_finite()),
+            "weights must be finite"
+        );
+        let graph = self.h.graph();
+        let r = self.config.r;
+        let mut engine = if self.config.loss_prob > 0.0 {
+            FloodEngine::with_loss(graph, self.config.loss_prob, self.config.loss_seed)
+        } else {
+            FloodEngine::new(graph)
+        };
+
+        for view in &mut self.views {
+            view.reset();
+        }
+        let mut own: Vec<Status> = vec![Status::Candidate; n];
+        let mut per_miniround_weight = Vec::new();
+        let mut leaders_per_miniround = Vec::new();
+        let mut all_marked = false;
+        let cap = self.config.max_minirounds.unwrap_or(n.max(1));
+
+        for _tau in 0..cap {
+            // ---- 1. LocalLeader selection (Algorithm 3 lines 2–6).
+            // A Candidate leads iff no other Candidate in its (2r+1)-ball
+            // has a larger (weight, id) pair — the strict total order that
+            // keeps same-mini-round leaders ≥ 2r+2 hops apart.
+            let leaders: Vec<usize> = (0..n)
+                .filter(|&v| own[v] == Status::Candidate)
+                .filter(|&v| {
+                    let view = &self.views[v];
+                    view.ball.iter().zip(&view.status).all(|(&u, &st)| {
+                        u == v
+                            || st != Status::Candidate
+                            || (weights[u], u) < (weights[v], v)
+                    })
+                })
+                .collect();
+            if leaders.is_empty() {
+                all_marked = (0..n).all(|v| own[v] != Status::Candidate);
+                break;
+            }
+            leaders_per_miniround.push(leaders.len());
+
+            // ---- 2. Leader declaration floods (line 4; (2r+1) hops).
+            let declare: Vec<Flood<Msg>> = leaders
+                .iter()
+                .map(|&v| Flood {
+                    origin: v,
+                    ttl: 2 * r + 1,
+                    payload: Msg::LeaderDeclare,
+                })
+                .collect();
+            let _ = engine.deliver(&declare);
+
+            // ---- 3. Local MWIS per leader (lines 8–9).
+            let mut determination_floods: Vec<Flood<Msg>> = Vec::with_capacity(leaders.len());
+            for &leader in &leaders {
+                let view = &self.views[leader];
+                // Candidates of the r-ball, per the leader's knowledge.
+                let cand: Vec<usize> = self.balls_r[leader]
+                    .iter()
+                    .copied()
+                    .filter(|&u| view.get(u) == Some(Status::Candidate))
+                    .collect();
+                // Derived exclusion: candidates adjacent to a known Winner
+                // can never join the output; they are Losers.
+                let selectable: Vec<usize> = cand
+                    .iter()
+                    .copied()
+                    .filter(|&u| {
+                        graph
+                            .neighbors(u)
+                            .iter()
+                            .all(|&x| view.get(x) != Some(Status::Winner))
+                    })
+                    .collect();
+                let mwis = self.solve_local(weights, &selectable);
+                let winner_set: std::collections::HashSet<usize> =
+                    mwis.vertices.iter().copied().collect();
+                let assignments: Vec<(usize, bool)> = cand
+                    .iter()
+                    .map(|&u| (u, winner_set.contains(&u)))
+                    .collect();
+                determination_floods.push(Flood {
+                    origin: leader,
+                    ttl: 3 * r + 1,
+                    payload: Msg::Determination(Arc::new(assignments)),
+                });
+            }
+
+            // ---- 4. Determination floods (line 10; (3r+1) hops) and
+            //         local processing (lines 11–15).
+            let inboxes = engine.deliver(&determination_floods);
+            // Leaders apply their own determinations directly (they do not
+            // receive their own flood).
+            for flood in &determination_floods {
+                if let Msg::Determination(list) = &flood.payload {
+                    Self::apply_determinations(flood.origin, list, &mut own, &mut self.views);
+                }
+            }
+            for (v, inbox) in inboxes.iter().enumerate() {
+                for received in inbox {
+                    if let Msg::Determination(list) = &received.payload {
+                        Self::apply_one_inbox(graph, v, list, &mut own, &mut self.views[v]);
+                    }
+                }
+            }
+
+            // ---- 5. Bookkeeping for the Fig. 6 series.
+            let cum: f64 = (0..n)
+                .filter(|&v| own[v] == Status::Winner)
+                .map(|v| weights[v])
+                .sum();
+            per_miniround_weight.push(cum);
+            if (0..n).all(|v| own[v] != Status::Candidate) {
+                all_marked = true;
+                break;
+            }
+        }
+
+        let winners: Vec<usize> = (0..n).filter(|&v| own[v] == Status::Winner).collect();
+        let conflicts = winners
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                winners[i + 1..]
+                    .iter()
+                    .filter(|&&w| graph.has_edge(u, w))
+                    .count()
+            })
+            .sum();
+        let minirounds_used = leaders_per_miniround.len();
+        DecisionOutcome {
+            winners,
+            per_miniround_weight,
+            leaders_per_miniround,
+            minirounds_used,
+            all_marked,
+            conflicts,
+            counters: engine.counters().clone(),
+        }
+    }
+
+    /// Applies a leader's own determination list at the leader itself.
+    fn apply_determinations(
+        leader: usize,
+        list: &[(usize, bool)],
+        own: &mut [Status],
+        views: &mut [LocalView],
+    ) {
+        for &(u, is_winner) in list {
+            let status = if is_winner {
+                Status::Winner
+            } else {
+                Status::Loser
+            };
+            if u == leader {
+                own[leader] = status;
+            }
+            views[leader].set(u, status);
+        }
+    }
+
+    /// Processes one received determination list at vertex `v`.
+    fn apply_one_inbox(
+        graph: &mhca_graph::Graph,
+        v: usize,
+        list: &[(usize, bool)],
+        own: &mut [Status],
+        view: &mut LocalView,
+    ) {
+        for &(u, is_winner) in list {
+            let status = if is_winner {
+                Status::Winner
+            } else {
+                Status::Loser
+            };
+            if u == v {
+                // Loss defense: refuse Winner when a known neighbor
+                // already won (never fires under lossless delivery).
+                if is_winner
+                    && graph
+                        .neighbors(v)
+                        .iter()
+                        .any(|&x| view.get(x) == Some(Status::Winner))
+                {
+                    own[v] = Status::Loser;
+                    view.set(v, Status::Loser);
+                    continue;
+                }
+                own[v] = status;
+            }
+            view.set(u, status);
+        }
+    }
+
+    /// Local MWIS over the selectable candidates (grouped by master node).
+    fn solve_local(&self, weights: &[f64], selectable: &[usize]) -> mhca_mwis::WeightedSet {
+        let graph = self.h.graph();
+        match self.config.local_solver {
+            LocalSolver::Exact => {
+                exact::solve_grouped(graph, weights, selectable, &self.node_groups)
+            }
+            LocalSolver::Greedy => greedy::max_weight_subset(graph, weights, selectable),
+            LocalSolver::LocalSearch { max_passes } => {
+                mhca_mwis::local_search::solve_subset(graph, weights, selectable, max_passes)
+            }
+            LocalSolver::Auto { max_exact_groups } => {
+                let mut masters: Vec<usize> =
+                    selectable.iter().map(|&v| self.node_groups[v]).collect();
+                masters.sort_unstable();
+                masters.dedup();
+                if masters.len() <= max_exact_groups {
+                    exact::solve_grouped(graph, weights, selectable, &self.node_groups)
+                } else {
+                    greedy::max_weight_subset(graph, weights, selectable)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhca_graph::topology;
+
+    fn decide(
+        g: &mhca_graph::Graph,
+        m: usize,
+        weights: &[f64],
+        config: DistributedPtasConfig,
+    ) -> DecisionOutcome {
+        let h = ExtendedConflictGraph::new(g, m);
+        let mut ptas = DistributedPtas::new(&h, config);
+        ptas.decide(weights)
+    }
+
+    fn run_to_completion(r: usize) -> DistributedPtasConfig {
+        DistributedPtasConfig::default()
+            .with_r(r)
+            .with_max_minirounds(None)
+    }
+
+    #[test]
+    fn winners_are_independent_and_all_marked() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let (g, _) = mhca_graph::unit_disk::random_with_average_degree(30, 4.0, &mut rng);
+            let m = 3;
+            let h = ExtendedConflictGraph::new(&g, m);
+            let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
+            let out = ptas.decide(&w);
+            assert!(out.all_marked, "protocol must terminate fully");
+            assert_eq!(out.conflicts, 0);
+            assert!(h.graph().is_independent(&out.winners));
+        }
+    }
+
+    #[test]
+    fn single_vertex_wins_alone() {
+        let g = topology::independent(1);
+        let out = decide(&g, 1, &[0.7], run_to_completion(1));
+        assert_eq!(out.winners, vec![0]);
+        assert_eq!(out.minirounds_used, 1);
+        assert!(out.all_marked);
+    }
+
+    #[test]
+    fn two_conflicting_nodes_one_channel() {
+        // G: 0—1, M=1 ⇒ H is a single edge. Heavier vertex wins.
+        let g = topology::line(2);
+        let out = decide(&g, 1, &[0.3, 0.9], run_to_completion(2));
+        assert_eq!(out.winners, vec![1]);
+    }
+
+    #[test]
+    fn equal_weights_still_resolve_exactly_one_winner() {
+        // Leader election ties break by id; the local MWIS then picks one
+        // of the two equal-weight vertices. Either is optimal — the
+        // invariant is that exactly one wins and the protocol terminates.
+        let g = topology::line(2);
+        let out = decide(&g, 1, &[0.5, 0.5], run_to_completion(2));
+        assert_eq!(out.winners.len(), 1);
+        assert!(out.all_marked);
+        assert_eq!(out.conflicts, 0);
+    }
+
+    #[test]
+    fn matches_good_quality_on_random_instances() {
+        // Full-run distributed output should be within a modest factor of
+        // the exact optimum on small instances.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let (g, _) = mhca_graph::unit_disk::random_with_average_degree(12, 3.0, &mut rng);
+            let m = 2;
+            let h = ExtendedConflictGraph::new(&g, m);
+            let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / m).collect();
+            let allowed: Vec<usize> = (0..h.n_vertices()).collect();
+            let opt = exact::solve_grouped(h.graph(), &w, &allowed, &groups);
+            let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
+            let out = ptas.decide(&w);
+            let achieved: f64 = out.winners.iter().map(|&v| w[v]).sum();
+            assert!(
+                achieved >= 0.5 * opt.weight,
+                "distributed {achieved} vs opt {}",
+                opt.weight
+            );
+        }
+    }
+
+    #[test]
+    fn linear_network_needs_many_minirounds() {
+        // Fig. 5: decreasing weights along a line force Θ(N) mini-rounds.
+        let n = 30;
+        let g = topology::line(n);
+        let w: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 / n as f64).collect();
+        let out = decide(&g, 1, &w, run_to_completion(1));
+        assert!(out.all_marked);
+        assert!(
+            out.minirounds_used >= n / 4,
+            "expected Θ(N) mini-rounds, got {}",
+            out.minirounds_used
+        );
+    }
+
+    #[test]
+    fn random_network_converges_fast() {
+        // Theorem 4 / Fig. 6: random networks converge in few mini-rounds.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(50, 5.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 5);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
+        let out = ptas.decide(&w);
+        assert!(out.all_marked);
+        assert!(
+            out.minirounds_used <= 10,
+            "expected fast convergence, got {}",
+            out.minirounds_used
+        );
+    }
+
+    #[test]
+    fn capped_minirounds_still_independent() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 4);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let mut ptas = DistributedPtas::new(
+            &h,
+            DistributedPtasConfig::default()
+                .with_r(2)
+                .with_max_minirounds(Some(2)),
+        );
+        let out = ptas.decide(&w);
+        assert!(out.minirounds_used <= 2);
+        assert_eq!(out.conflicts, 0);
+        assert!(h.graph().is_independent(&out.winners));
+    }
+
+    #[test]
+    fn per_miniround_weight_is_nondecreasing() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
+        let out = ptas.decide(&w);
+        for pair in out.per_miniround_weight.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-12);
+        }
+        let final_weight: f64 = out.winners.iter().map(|&v| w[v]).sum();
+        let last = *out.per_miniround_weight.last().unwrap();
+        assert!((final_weight - last).abs() < 1e-9);
+    }
+
+    #[test]
+    fn at_most_one_channel_per_node() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(25, 4.0, &mut rng);
+        let m = 4;
+        let h = ExtendedConflictGraph::new(&g, m);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
+        let out = ptas.decide(&w);
+        let mut masters: Vec<usize> = out.winners.iter().map(|&v| v / m).collect();
+        let before = masters.len();
+        masters.dedup();
+        assert_eq!(before, masters.len(), "a node won two channels");
+    }
+
+    #[test]
+    fn decisions_depend_only_on_local_information() {
+        // Two disconnected components: changing weights in one must not
+        // change the winners of the other.
+        let mut g = mhca_graph::Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        let h = ExtendedConflictGraph::new(&g, 2);
+        let mut w: Vec<f64> = (0..12).map(|i| 0.1 + i as f64 * 0.05).collect();
+        let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
+        let out1 = ptas.decide(&w);
+        // Scramble the second component's weights (nodes 3..6 ⇒ vertices 6..12).
+        for x in w.iter_mut().skip(6) {
+            *x *= 0.37;
+        }
+        let out2 = ptas.decide(&w);
+        let comp_a = |ws: &[usize]| ws.iter().copied().filter(|&v| v < 6).collect::<Vec<_>>();
+        assert_eq!(comp_a(&out1.winners), comp_a(&out2.winners));
+    }
+
+    #[test]
+    fn greedy_local_solver_is_safe() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let mut ptas = DistributedPtas::new(
+            &h,
+            run_to_completion(2).with_local_solver(LocalSolver::Greedy),
+        );
+        let out = ptas.decide(&w);
+        assert!(out.all_marked);
+        assert!(h.graph().is_independent(&out.winners));
+    }
+
+    #[test]
+    fn local_search_solver_matches_or_beats_greedy() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(88);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let run = |solver| {
+            let mut ptas =
+                DistributedPtas::new(&h, run_to_completion(2).with_local_solver(solver));
+            let out = ptas.decide(&w);
+            assert!(h.graph().is_independent(&out.winners));
+            out.winners.iter().map(|&v| w[v]).sum::<f64>()
+        };
+        let greedy_w = run(LocalSolver::Greedy);
+        let ls_w = run(LocalSolver::LocalSearch { max_passes: 10 });
+        assert!(
+            ls_w >= 0.95 * greedy_w,
+            "local search {ls_w} much worse than greedy {greedy_w}"
+        );
+    }
+
+    #[test]
+    fn lossy_delivery_terminates_and_reports_conflicts() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(30, 4.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 2);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let mut ptas = DistributedPtas::new(
+            &h,
+            DistributedPtasConfig::default()
+                .with_r(1)
+                .with_max_minirounds(Some(20))
+                .with_loss(0.2, 42),
+        );
+        let out = ptas.decide(&w);
+        // Liveness degrades gracefully; the conflict counter quantifies
+        // any safety damage instead of hiding it.
+        assert!(out.minirounds_used <= 20);
+        assert!(out.conflicts < out.winners.len().max(1));
+    }
+
+    #[test]
+    fn counters_accumulate_communication() {
+        let g = topology::line(5);
+        let out = decide(&g, 2, &[0.5; 10], run_to_completion(1));
+        assert!(out.counters.transmissions > 0);
+        assert!(out.counters.timeslots > 0);
+    }
+}

@@ -1,0 +1,589 @@
+//! Parameterized harnesses regenerating every figure of the paper's
+//! evaluation (Section V), plus the complexity claims of Section IV-C.
+//!
+//! Each function returns a serde-serializable struct; the `mhca-bench`
+//! binaries print them as CSV in the same rows/series the paper plots.
+//! Default parameters mirror the paper; `*_quick` constructors provide
+//! scaled-down variants for tests and CI.
+
+use crate::{
+    distributed::{DistributedPtas, DistributedPtasConfig},
+    network::Network,
+    runner::{run_policy, Algorithm2Config, RunResult},
+    time::TimeModel,
+};
+use mhca_bandit::policies::{CsUcb, Llr};
+use mhca_graph::{topology, ExtendedConflictGraph};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — convergence of Algorithm 3 over mini-rounds.
+// ---------------------------------------------------------------------------
+
+/// Configuration of the Fig. 6 experiment: summed weight of all output
+/// independent sets as mini-rounds advance, for several `N×M` networks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Config {
+    /// `(N, M)` pairs; the paper uses `{50,100,200} × {5,10}`.
+    pub sizes: Vec<(usize, usize)>,
+    /// Average conflict degree of the random networks (unspecified in the
+    /// paper; see DESIGN.md).
+    pub avg_degree: f64,
+    /// Local MWIS radius (the paper uses `r = 2`).
+    pub r: usize,
+    /// Mini-rounds to plot (paper x-axis: 1..10).
+    pub minirounds: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Fig6Config {
+    fn default() -> Self {
+        Fig6Config {
+            sizes: vec![(50, 5), (100, 5), (200, 5), (50, 10), (100, 10), (200, 10)],
+            // The paper leaves the density unspecified; d = 3.5 reproduces
+            // its "converged after the 4th mini-round" observation
+            // (≥ 97% of final weight by mini-round 4 for every size).
+            avg_degree: 3.5,
+            r: 2,
+            minirounds: 10,
+            seed: 61,
+        }
+    }
+}
+
+impl Fig6Config {
+    /// Scaled-down variant for tests.
+    pub fn quick() -> Self {
+        Fig6Config {
+            sizes: vec![(30, 3), (50, 5)],
+            avg_degree: 5.0,
+            r: 1,
+            minirounds: 8,
+            seed: 61,
+        }
+    }
+}
+
+/// One line of Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Series {
+    /// Users `N`.
+    pub n: usize,
+    /// Channels `M`.
+    pub m: usize,
+    /// Cumulative winner weight (kbps) after mini-round `i+1`; padded with
+    /// the final value once the protocol terminates.
+    pub weight_by_miniround: Vec<f64>,
+    /// Mini-round after which every vertex was marked.
+    pub converged_at: usize,
+}
+
+/// Runs the Fig. 6 experiment: one strategy decision per network size with
+/// the *true means* as weights, recording the cumulative output weight per
+/// mini-round.
+pub fn fig6(cfg: &Fig6Config) -> Vec<Fig6Series> {
+    cfg.sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &(n, m))| {
+            let net = Network::random(n, m, cfg.avg_degree, 0.1, cfg.seed + i as u64);
+            let weights = net.channels().means();
+            let dcfg = DistributedPtasConfig::default()
+                .with_r(cfg.r)
+                .with_max_minirounds(Some(cfg.minirounds));
+            let mut ptas = DistributedPtas::new(net.h(), dcfg);
+            let out = ptas.decide(&weights);
+            let mut series = out.per_miniround_weight.clone();
+            let last = series.last().copied().unwrap_or(0.0);
+            series.resize(cfg.minirounds, last);
+            Fig6Series {
+                n,
+                m,
+                weight_by_miniround: series,
+                converged_at: out.minirounds_used,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — practical regret and β-regret vs LLR on a 15×3 network.
+// ---------------------------------------------------------------------------
+
+/// Configuration of the Fig. 7 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Config {
+    /// Users (paper: 15).
+    pub n: usize,
+    /// Channels (paper: 3).
+    pub m: usize,
+    /// Average conflict degree of the connected random network.
+    pub avg_degree: f64,
+    /// Horizon in slots (paper: 1000).
+    pub horizon: u64,
+    /// Local MWIS radius (paper: 2).
+    pub r: usize,
+    /// Mini-round budget per decision.
+    pub minirounds: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Fig7Config {
+            n: 15,
+            m: 3,
+            avg_degree: 4.0,
+            horizon: 1000,
+            r: 2,
+            minirounds: 4,
+            seed: 71,
+        }
+    }
+}
+
+impl Fig7Config {
+    /// Scaled-down variant for tests.
+    pub fn quick() -> Self {
+        Fig7Config {
+            n: 8,
+            m: 2,
+            avg_degree: 3.0,
+            horizon: 120,
+            r: 1,
+            minirounds: 4,
+            seed: 71,
+        }
+    }
+}
+
+/// Per-policy regret series of Fig. 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Output {
+    /// The exact optimum `R_1` in kbps (paper's instance: 7282.90).
+    pub optimal_kbps: f64,
+    /// β actually used for the β-regret target (`θ·α`).
+    pub beta: f64,
+    /// Run of the paper's policy (Algorithm 2 with CS-UCB).
+    pub algorithm2: RunResult,
+    /// Run of the LLR baseline (same oracle, same channels).
+    pub llr: RunResult,
+}
+
+/// Runs the Fig. 7 experiment: exact optimum by branch-and-bound, then a
+/// paired comparison (identical channel realizations) of CS-UCB vs LLR.
+pub fn fig7(cfg: &Fig7Config) -> Fig7Output {
+    let net = Network::random_connected(cfg.n, cfg.m, cfg.avg_degree, 0.1, cfg.seed);
+    let optimal = net.optimal().weight;
+    let dcfg = DistributedPtasConfig::default()
+        .with_r(cfg.r)
+        .with_max_minirounds(Some(cfg.minirounds));
+    let base = Algorithm2Config::default()
+        .with_horizon(cfg.horizon)
+        .with_decision(dcfg)
+        .with_seed(cfg.seed)
+        .with_optimal_kbps(optimal);
+
+    let mut cs = CsUcb::new(2.0);
+    let algorithm2 = run_policy(&net, &base, &mut cs);
+    let mut llr_policy = Llr::new(cfg.n, 2.0);
+    let llr = run_policy(&net, &base, &mut llr_policy);
+    let beta = algorithm2.beta;
+    Fig7Output {
+        optimal_kbps: optimal,
+        beta,
+        algorithm2,
+        llr,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — throughput under periodic (stale-weight) updates.
+// ---------------------------------------------------------------------------
+
+/// Configuration of the Fig. 8 experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Config {
+    /// Users (paper: 100).
+    pub n: usize,
+    /// Channels (paper: 10).
+    pub m: usize,
+    /// Average conflict degree.
+    pub avg_degree: f64,
+    /// Update periods `y` (paper: 1, 5, 10, 20).
+    pub update_periods: Vec<usize>,
+    /// Weight updates per run (paper: 1000 ⇒ horizons `y·1000`).
+    pub updates_per_run: u64,
+    /// Local MWIS radius.
+    pub r: usize,
+    /// Mini-round budget per decision.
+    pub minirounds: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Fig8Config {
+            n: 100,
+            m: 10,
+            // Same density calibration as Fig. 6: at d ≈ 3.5 the D = 4
+            // mini-round budget resolves ≥ 97% of the weight, matching the
+            // paper's converged-by-4 observation. Denser networks starve
+            // the budget and distort the Fig. 8 comparison.
+            avg_degree: 3.5,
+            update_periods: vec![1, 5, 10, 20],
+            updates_per_run: 1000,
+            r: 2,
+            minirounds: 4,
+            seed: 81,
+        }
+    }
+}
+
+impl Fig8Config {
+    /// Scaled-down variant for tests and default bench runs.
+    pub fn quick() -> Self {
+        Fig8Config {
+            n: 30,
+            m: 4,
+            avg_degree: 4.0,
+            update_periods: vec![1, 5],
+            updates_per_run: 60,
+            r: 1,
+            minirounds: 4,
+            seed: 81,
+        }
+    }
+}
+
+/// One subplot of Fig. 8 (one update period `y`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Run {
+    /// Update period `y`.
+    pub y: usize,
+    /// Horizon in slots (`y · updates_per_run`).
+    pub horizon: u64,
+    /// Algorithm 2 (CS-UCB) run: estimated vs actual series inside.
+    pub algorithm2: RunResult,
+    /// LLR run on the same network and channel realizations.
+    pub llr: RunResult,
+}
+
+/// Runs the Fig. 8 experiment: for each `y`, a paired CS-UCB vs LLR run
+/// with `updates_per_run` strategy decisions.
+pub fn fig8(cfg: &Fig8Config) -> Vec<Fig8Run> {
+    let net = Network::random(cfg.n, cfg.m, cfg.avg_degree, 0.1, cfg.seed);
+    let dcfg = DistributedPtasConfig::default()
+        .with_r(cfg.r)
+        .with_max_minirounds(Some(cfg.minirounds));
+    cfg.update_periods
+        .iter()
+        .map(|&y| {
+            let horizon = cfg.updates_per_run * y as u64;
+            let base = Algorithm2Config::default()
+                .with_horizon(horizon)
+                .with_update_period(y)
+                .with_decision(dcfg)
+                .with_seed(cfg.seed);
+            let mut cs = CsUcb::new(2.0);
+            let algorithm2 = run_policy(&net, &base, &mut cs);
+            let mut llr_policy = Llr::new(cfg.n, 2.0);
+            let llr = run_policy(&net, &base, &mut llr_policy);
+            Fig8Run {
+                y,
+                horizon,
+                algorithm2,
+                llr,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — linear-network worst case for the strategy decision.
+// ---------------------------------------------------------------------------
+
+/// One point of the worst-case demonstration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorstCasePoint {
+    /// Line length `N`.
+    pub n: usize,
+    /// Mini-rounds Algorithm 3 needed to mark every vertex.
+    pub minirounds_used: usize,
+}
+
+/// Reproduces the Fig. 5 observation: on a line with strictly decreasing
+/// weights and `M = 1`, only one new LocalLeader can emerge per
+/// mini-round region, so full resolution needs `Θ(N)` mini-rounds.
+pub fn fig5_worstcase(ns: &[usize], r: usize) -> Vec<WorstCasePoint> {
+    ns.iter()
+        .map(|&n| {
+            let g = topology::line(n);
+            let h = ExtendedConflictGraph::new(&g, 1);
+            let weights: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 / (n + 1) as f64).collect();
+            let dcfg = DistributedPtasConfig::default()
+                .with_r(r)
+                .with_max_minirounds(None);
+            let mut ptas = DistributedPtas::new(&h, dcfg);
+            let out = ptas.decide(&weights);
+            debug_assert!(out.all_marked);
+            WorstCasePoint {
+                n,
+                minirounds_used: out.minirounds_used,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Section IV-C — measured communication/space complexity.
+// ---------------------------------------------------------------------------
+
+/// One measured complexity point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityPoint {
+    /// Users `N`.
+    pub n: usize,
+    /// Channels `M`.
+    pub m: usize,
+    /// Radius `r`.
+    pub r: usize,
+    /// Mini-rounds executed.
+    pub minirounds: usize,
+    /// Mean relay broadcasts per vertex for the decision.
+    pub mean_tx_per_vertex: f64,
+    /// Max relay broadcasts charged to one vertex.
+    pub max_tx_per_vertex: u64,
+    /// Pipelined mini-timeslots for the decision.
+    pub timeslots: u64,
+    /// Mean `(2r+1)`-ball size — the per-vertex storage `O(m)` claim.
+    pub mean_ball_size: f64,
+}
+
+/// Measures the per-vertex communication of one strategy decision across
+/// network sizes and radii — the empirical check of the paper's
+/// `O(r² + D)` messages / `O(m)` space claims.
+pub fn complexity(
+    ns: &[usize],
+    m: usize,
+    rs: &[usize],
+    avg_degree: f64,
+    minirounds: usize,
+    seed: u64,
+) -> Vec<ComplexityPoint> {
+    let mut out = Vec::new();
+    for (i, &n) in ns.iter().enumerate() {
+        let net = Network::random(n, m, avg_degree, 0.1, seed + i as u64);
+        for &r in rs {
+            let dcfg = DistributedPtasConfig::default()
+                .with_r(r)
+                .with_max_minirounds(Some(minirounds));
+            let mut ptas = DistributedPtas::new(net.h(), dcfg);
+            let weights = net.channels().means();
+            let outcome = ptas.decide(&weights);
+            let hg = net.h().graph();
+            let ball_sizes: f64 = (0..hg.n())
+                .map(|v| hg.r_hop_neighborhood(v, 2 * r + 1).len() as f64)
+                .sum::<f64>()
+                / hg.n() as f64;
+            out.push(ComplexityPoint {
+                n,
+                m,
+                r,
+                minirounds: outcome.minirounds_used,
+                mean_tx_per_vertex: outcome.counters.mean_per_vertex_tx(),
+                max_tx_per_vertex: outcome.counters.max_per_vertex_tx(),
+                timeslots: outcome.counters.timeslots,
+                mean_ball_size: ball_sizes,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3 — distributed vs centralized approximation quality.
+// ---------------------------------------------------------------------------
+
+/// One instance of the Theorem 3 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Theorem3Point {
+    /// Seed of the instance.
+    pub seed: u64,
+    /// Exact optimum (branch-and-bound).
+    pub optimal: f64,
+    /// Centralized robust PTAS weight (ε = 0.5, unbounded radius).
+    pub centralized: f64,
+    /// Distributed Algorithm 3 weight, run to completion, exact local
+    /// solving.
+    pub distributed: f64,
+    /// Distributed weight under the constant budget `D = 4`.
+    pub distributed_capped: f64,
+}
+
+/// Empirically validates Theorem 3 ("Algorithm 3 achieves the same
+/// approximation ratio ρ as the centralized robust PTAS"): on seeded
+/// random instances small enough for exact ground truth, compares the
+/// exact optimum, the centralized robust PTAS, and the distributed
+/// protocol (uncapped and capped).
+pub fn theorem3(n: usize, m: usize, avg_degree: f64, seeds: std::ops::Range<u64>) -> Vec<Theorem3Point> {
+    use mhca_mwis::{exact, robust_ptas};
+    seeds
+        .map(|seed| {
+            let net = Network::random(n, m, avg_degree, 0.1, seed);
+            let w = net.channels().means();
+            let allowed: Vec<usize> = (0..net.n_vertices()).collect();
+            let optimal =
+                exact::solve_grouped(net.h().graph(), &w, &allowed, net.node_groups()).weight;
+            let centralized = robust_ptas::solve_grouped(
+                net.h().graph(),
+                &w,
+                &robust_ptas::Config::with_epsilon(0.5),
+                net.node_groups(),
+            )
+            .weight;
+            let weight_of = |d: Option<usize>| {
+                let cfg = DistributedPtasConfig::default()
+                    .with_r(2)
+                    .with_max_minirounds(d)
+                    .with_local_solver(crate::distributed::LocalSolver::Exact);
+                let mut ptas = DistributedPtas::new(net.h(), cfg);
+                let out = ptas.decide(&w);
+                out.winners.iter().map(|&v| w[v]).sum::<f64>()
+            };
+            Theorem3Point {
+                seed,
+                optimal,
+                centralized,
+                distributed: weight_of(None),
+                distributed_capped: weight_of(Some(4)),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table II — the time model as data.
+// ---------------------------------------------------------------------------
+
+/// Table II rendered as data, with the derived quantities Section V uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// The timing parameters.
+    pub time: TimeModel,
+    /// Derived mini-round length `t_m`.
+    pub miniround_ms: f64,
+    /// Derived decision budget in mini-rounds.
+    pub minirounds_per_decision: usize,
+    /// Derived airtime fraction θ.
+    pub theta: f64,
+}
+
+/// Produces Table II plus derived values.
+pub fn table2() -> Table2 {
+    let time = TimeModel::default();
+    Table2 {
+        miniround_ms: time.miniround_ms(),
+        minirounds_per_decision: time.minirounds_per_decision(),
+        theta: time.theta(),
+        time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_quick_series_shape() {
+        let cfg = Fig6Config::quick();
+        let series = fig6(&cfg);
+        assert_eq!(series.len(), cfg.sizes.len());
+        for s in &series {
+            assert_eq!(s.weight_by_miniround.len(), cfg.minirounds);
+            // Cumulative weight never decreases.
+            for w in s.weight_by_miniround.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9);
+            }
+            assert!(*s.weight_by_miniround.last().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig7_quick_shows_negative_beta_regret() {
+        let out = fig7(&Fig7Config::quick());
+        assert!(out.optimal_kbps > 0.0);
+        // β-regret converges negative (Fig. 7(b)): the achieved effective
+        // throughput beats the 1/β target.
+        let last = *out.algorithm2.practical_beta_regret.last().unwrap();
+        assert!(last < 0.0, "beta regret should go negative, got {last}");
+        // Practical regret decreases over the run (learning).
+        let pr = &out.algorithm2.practical_regret;
+        assert!(pr.last().unwrap() < &pr[2]);
+    }
+
+    #[test]
+    fn fig8_quick_stale_updates_improve_throughput() {
+        let runs = fig8(&Fig8Config::quick());
+        assert_eq!(runs.len(), 2);
+        let y1 = &runs[0];
+        let y5 = &runs[1];
+        assert_eq!(y1.y, 1);
+        assert_eq!(y5.y, 5);
+        let final_y1 = *y1.algorithm2.avg_actual_throughput.last().unwrap();
+        let final_y5 = *y5.algorithm2.avg_actual_throughput.last().unwrap();
+        assert!(
+            final_y5 > final_y1,
+            "y=5 effective {final_y5} should beat y=1 {final_y1}"
+        );
+    }
+
+    #[test]
+    fn fig5_worstcase_grows_linearly() {
+        let points = fig5_worstcase(&[10, 20, 40], 1);
+        assert!(points[1].minirounds_used > points[0].minirounds_used);
+        assert!(points[2].minirounds_used > points[1].minirounds_used);
+        // Roughly linear: doubling N should not leave mini-rounds flat.
+        assert!(points[2].minirounds_used as f64 >= 1.5 * points[1].minirounds_used as f64);
+    }
+
+    #[test]
+    fn complexity_is_size_independent_per_vertex() {
+        let pts = complexity(&[20, 60], 3, &[1], 4.0, 4, 5);
+        assert_eq!(pts.len(), 2);
+        // The per-vertex message count must not scale with N (the paper's
+        // O(r²+D) claim) — allow a generous factor for randomness.
+        let small = pts[0].mean_tx_per_vertex.max(1e-9);
+        let large = pts[1].mean_tx_per_vertex;
+        assert!(
+            large < 3.0 * small,
+            "per-vertex tx grew with N: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn theorem3_ratios_are_sane() {
+        let pts = theorem3(12, 2, 3.0, 0..4);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.optimal >= p.centralized - 1e-9);
+            assert!(p.optimal >= p.distributed - 1e-9);
+            assert!(p.distributed_capped <= p.distributed + 1e-9);
+            // Both approximations stay within a factor 2 of optimal on
+            // these easy geometric instances.
+            assert!(p.centralized * 2.0 >= p.optimal);
+            assert!(p.distributed * 2.0 >= p.optimal);
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let t = table2();
+        assert_eq!(t.theta, 0.5);
+        assert_eq!(t.miniround_ms, 250.0);
+        assert_eq!(t.minirounds_per_decision, 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! The simulated multi-hop cognitive-radio network: `G`, `H`, and channels.
+
+use mhca_channels::ChannelMatrix;
+use mhca_graph::{unit_disk, ExtendedConflictGraph, Graph, Layout, Strategy};
+use mhca_mwis::{exact, WeightedSet};
+
+/// A complete network instance: conflict graph `G` on `N` users, extended
+/// conflict graph `H`, and the `N×M` channel matrix with unknown (to the
+/// learner) means.
+///
+/// # Example
+///
+/// ```
+/// use mhca_core::Network;
+///
+/// let net = Network::random(10, 4, 3.0, 0.1, 1);
+/// assert_eq!(net.n_nodes(), 10);
+/// assert_eq!(net.n_channels(), 4);
+/// assert_eq!(net.h().n_vertices(), 40);
+/// let opt = net.optimal();
+/// assert!(opt.weight > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    g: Graph,
+    h: ExtendedConflictGraph,
+    channels: ChannelMatrix,
+    layout: Option<Layout>,
+    node_groups: Vec<usize>,
+}
+
+impl Network {
+    /// Builds a network from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel matrix dimensions do not match `g` and `m`.
+    pub fn from_parts(g: Graph, channels: ChannelMatrix, layout: Option<Layout>) -> Self {
+        assert_eq!(channels.n_nodes(), g.n(), "channel matrix nodes");
+        let m = channels.n_channels();
+        let h = ExtendedConflictGraph::new(&g, m);
+        let node_groups = (0..h.n_vertices()).map(|v| v / m).collect();
+        Network {
+            g,
+            h,
+            channels,
+            layout,
+            node_groups,
+        }
+    }
+
+    /// Random unit-disk network with `n` users, `m` channels, target
+    /// average degree `avg_degree`, truncated-Gaussian channels with
+    /// `sigma = sigma_frac · mean` drawn from the paper's rate classes.
+    /// Everything is determined by `seed`.
+    pub fn random(n: usize, m: usize, avg_degree: f64, sigma_frac: f64, seed: u64) -> Self {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, layout) = unit_disk::random_with_average_degree(n, avg_degree, &mut rng);
+        let channels = ChannelMatrix::gaussian_from_rate_classes(n, m, sigma_frac, seed);
+        Network::from_parts(g, channels, Some(layout))
+    }
+
+    /// Like [`Network::random`] but retries until the conflict graph is
+    /// connected (the Fig. 7 workload: "a randomly generated connected
+    /// network").
+    ///
+    /// # Panics
+    ///
+    /// Panics if no connected instance is found in 1000 tries.
+    pub fn random_connected(n: usize, m: usize, avg_degree: f64, sigma_frac: f64, seed: u64) -> Self {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, layout) =
+            unit_disk::random_connected_with_average_degree(n, avg_degree, 1000, &mut rng)
+                .expect("no connected instance found in 1000 tries");
+        let channels = ChannelMatrix::gaussian_from_rate_classes(n, m, sigma_frac, seed);
+        Network::from_parts(g, channels, Some(layout))
+    }
+
+    /// Number of users `N`.
+    pub fn n_nodes(&self) -> usize {
+        self.g.n()
+    }
+
+    /// Number of channels `M`.
+    pub fn n_channels(&self) -> usize {
+        self.channels.n_channels()
+    }
+
+    /// Number of arms `K = N·M`.
+    pub fn n_vertices(&self) -> usize {
+        self.h.n_vertices()
+    }
+
+    /// The original conflict graph `G`.
+    pub fn g(&self) -> &Graph {
+        &self.g
+    }
+
+    /// The extended conflict graph `H`.
+    pub fn h(&self) -> &ExtendedConflictGraph {
+        &self.h
+    }
+
+    /// The channel matrix.
+    pub fn channels(&self) -> &ChannelMatrix {
+        &self.channels
+    }
+
+    /// Node placement, when the network was geometrically generated.
+    pub fn layout(&self) -> Option<&Layout> {
+        self.layout.as_ref()
+    }
+
+    /// Master-node labels for the grouped MWIS solvers
+    /// (`group_of[vertex] = vertex / M`).
+    pub fn node_groups(&self) -> &[usize] {
+        &self.node_groups
+    }
+
+    /// The static optimum: exact MWIS of `H` under the true means —
+    /// `R_1` of Eq. (2), computed by branch-and-bound (the paper's
+    /// brute-force optimum for the Fig. 7 instance).
+    ///
+    /// Worst-case exponential; intended for instances up to roughly
+    /// 20 users × a few channels.
+    pub fn optimal(&self) -> WeightedSet {
+        let means = self.channels.means();
+        let allowed: Vec<usize> = (0..self.h.n_vertices()).collect();
+        exact::solve_grouped(self.h.graph(), &means, &allowed, &self.node_groups)
+    }
+
+    /// Converts a vertex set of `H` into a [`Strategy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is not independent in `H`.
+    pub fn strategy_from_is(&self, is_: &[usize]) -> Strategy {
+        self.h.strategy_from_is(is_)
+    }
+
+    /// Expected (true-mean) throughput of a vertex set, in kbps.
+    pub fn expected_throughput(&self, is_: &[usize]) -> f64 {
+        is_.iter().map(|&v| self.channels.mean(v)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhca_channels::process::Constant;
+    use mhca_channels::ChannelProcess;
+    use mhca_graph::topology;
+
+    fn constant_net(g: Graph, m: usize, rates: &[f64]) -> Network {
+        let procs: Vec<Box<dyn ChannelProcess>> = rates
+            .iter()
+            .map(|&r| Box::new(Constant::new(r)) as Box<dyn ChannelProcess>)
+            .collect();
+        let channels = ChannelMatrix::from_processes(g.n(), m, procs, 0);
+        Network::from_parts(g, channels, None)
+    }
+
+    #[test]
+    fn random_network_is_reproducible() {
+        let a = Network::random(12, 3, 3.0, 0.1, 5);
+        let b = Network::random(12, 3, 3.0, 0.1, 5);
+        assert_eq!(a.g(), b.g());
+        assert_eq!(a.channels().means(), b.channels().means());
+    }
+
+    #[test]
+    fn connected_network_is_connected() {
+        let net = Network::random_connected(15, 3, 4.0, 0.1, 2);
+        assert!(net.g().is_connected());
+    }
+
+    #[test]
+    fn optimal_on_two_conflicting_nodes() {
+        // G: 0—1 with 2 channels. Rates: node0 = [5, 1], node1 = [4, 3].
+        // Best: node0→c0 (5), node1→c1 (3) = 8.
+        let net = constant_net(topology::line(2), 2, &[5.0, 1.0, 4.0, 3.0]);
+        let opt = net.optimal();
+        assert_eq!(opt.weight, 8.0);
+        let s = net.strategy_from_is(&opt.vertices);
+        assert_eq!(s.assigned_count(), 2);
+    }
+
+    #[test]
+    fn optimal_respects_conflicts() {
+        // Single channel, two conflicting nodes: only one can transmit.
+        let net = constant_net(topology::line(2), 1, &[5.0, 4.0]);
+        let opt = net.optimal();
+        assert_eq!(opt.weight, 5.0);
+        assert_eq!(opt.vertices, vec![0]);
+    }
+
+    #[test]
+    fn node_groups_label_masters() {
+        let net = constant_net(topology::line(3), 2, &[1.0; 6]);
+        assert_eq!(net.node_groups(), &[0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn expected_throughput_sums_means() {
+        let net = constant_net(topology::independent(2), 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(net.expected_throughput(&[1, 2]), 5.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Algorithm 2 — the main round loop of the channel-access scheme.
+//!
+//! Each round: the previous round's transmitters broadcast their updated
+//! estimates within `(2r+1)` hops (WB phase), every vertex recomputes the
+//! learning indices (Eq. (3) — only `(µ̃_k, m_k)` need to travel; the index
+//! is a public formula of them and `t`), the distributed robust PTAS picks
+//! a strategy (Algorithm 3), the winners transmit and observe realized
+//! rates, and the estimates update via Eqs. (5)–(6).
+//!
+//! The runner also implements the **periodic update** variant of
+//! Section V-C: strategy decision only every `y` slots, with the
+//! first slot of a period paying the decision airtime (`t_d` of `t_a`) and
+//! the remaining `y−1` slots transmitting the full round.
+
+use crate::{
+    distributed::{DistributedPtas, DistributedPtasConfig},
+    network::Network,
+    time::TimeModel,
+};
+use mhca_bandit::{bounds, policies::IndexPolicy, ArmStats, RegretTracker};
+use mhca_channels::rates;
+use mhca_sim::{Flood, FloodEngine};
+use rand::{rngs::StdRng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate communication cost across a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CommTotals {
+    /// Total relay broadcasts (WB + LD + LB phases).
+    pub transmissions: u64,
+    /// Total message copies delivered.
+    pub delivered: u64,
+    /// Total pipelined mini-timeslots.
+    pub timeslots: u64,
+    /// Strategy decisions executed.
+    pub decisions: u64,
+}
+
+/// Configuration of an Algorithm 2 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Algorithm2Config {
+    /// Horizon in time slots (`n`).
+    pub horizon: u64,
+    /// Update period `y` (Section V-C); `1` = decide every slot.
+    pub update_period: usize,
+    /// Strategy-decision (Algorithm 3) parameters.
+    pub decision: DistributedPtasConfig,
+    /// Round timing (Table II).
+    pub time: TimeModel,
+    /// RNG seed for policy randomness.
+    pub seed: u64,
+    /// Observation normalization: rewards are divided by this before
+    /// entering the policy (`None` = the paper's maximum rate class,
+    /// 1350 kbps).
+    pub reward_scale: Option<f64>,
+    /// Known optimum `R_1` in kbps; enables the regret series
+    /// (exponential to compute, so caller-supplied).
+    pub optimal_kbps: Option<f64>,
+    /// Approximation factor `α` for the β-regret target `R_1/(θ·α)`;
+    /// `None` = the Theorem 2 value `(M·(2r+1)²)^{1/r}`.
+    pub alpha: Option<f64>,
+}
+
+impl Default for Algorithm2Config {
+    fn default() -> Self {
+        Algorithm2Config {
+            horizon: 1000,
+            update_period: 1,
+            decision: DistributedPtasConfig::default(),
+            time: TimeModel::default(),
+            seed: 0,
+            reward_scale: None,
+            optimal_kbps: None,
+            alpha: None,
+        }
+    }
+}
+
+impl Algorithm2Config {
+    /// Builder-style horizon override.
+    pub fn with_horizon(mut self, n: u64) -> Self {
+        self.horizon = n;
+        self
+    }
+
+    /// Builder-style update-period override.
+    pub fn with_update_period(mut self, y: usize) -> Self {
+        assert!(y > 0, "update period must be positive");
+        self.update_period = y;
+        self
+    }
+
+    /// Builder-style decision-config override.
+    pub fn with_decision(mut self, d: DistributedPtasConfig) -> Self {
+        self.decision = d;
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style optimum (enables regret series).
+    pub fn with_optimal_kbps(mut self, r1: f64) -> Self {
+        self.optimal_kbps = Some(r1);
+        self
+    }
+}
+
+/// Output of one Algorithm 2 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Policy name.
+    pub policy: String,
+    /// Slots simulated.
+    pub slots: u64,
+    /// Slot index at the end of each period (x-axis of the series below).
+    pub period_end_slots: Vec<u64>,
+    /// Running average of *actual effective* throughput `R̃_P(z)` in kbps
+    /// (Section V-C) — the solid lines of Fig. 8.
+    pub avg_actual_throughput: Vec<f64>,
+    /// Running average of *estimated effective* throughput `W̃_P(z)` in
+    /// kbps — the estimated lines of Fig. 8.
+    pub avg_estimated_throughput: Vec<f64>,
+    /// Per-slot practical regret `R_1 − θ·(avg observed)` (Fig. 7(a));
+    /// empty unless `optimal_kbps` was supplied and `update_period == 1`.
+    pub practical_regret: Vec<f64>,
+    /// Per-slot practical β-regret `R_1/(θα) − θ·(avg observed)`
+    /// (Fig. 7(b)); empty unless `optimal_kbps` was supplied and
+    /// `update_period == 1`.
+    pub practical_beta_regret: Vec<f64>,
+    /// Winners of the final strategy decision.
+    pub final_strategy_vertices: Vec<usize>,
+    /// Mean raw observed throughput per slot (kbps).
+    pub average_observed_kbps: f64,
+    /// Mean *effective* (airtime-scaled) throughput per slot (kbps).
+    pub average_effective_kbps: f64,
+    /// Mean expected (true-mean) throughput of the played strategies (kbps).
+    pub average_expected_kbps: f64,
+    /// The β-regret target factor actually used (`β = θ·α`, clamped ≥ 1).
+    pub beta: f64,
+    /// Communication totals across the run.
+    pub comm: CommTotals,
+    /// The seed the run used (for reproducibility records).
+    pub seed: u64,
+}
+
+/// Runs Algorithm 2 with the given learning policy on a network.
+///
+/// # Panics
+///
+/// Panics if `cfg.horizon == 0` or `cfg.update_period == 0`.
+pub fn run_policy(
+    net: &Network,
+    cfg: &Algorithm2Config,
+    policy: &mut dyn IndexPolicy,
+) -> RunResult {
+    assert!(cfg.horizon > 0, "horizon must be positive");
+    assert!(cfg.update_period > 0, "update period must be positive");
+    let k = net.n_vertices();
+    let scale = cfg.reward_scale.unwrap_or(rates::MAX_RATE);
+    assert!(scale > 0.0, "reward scale must be positive");
+    let theta = cfg.time.theta();
+    let alpha = cfg
+        .alpha
+        .unwrap_or_else(|| bounds::theorem2_rho(net.n_channels(), cfg.decision.r.max(1)));
+    let beta = (theta * alpha).max(1.0);
+
+    let mut stats = ArmStats::new(k);
+    let mut ptas = DistributedPtas::new(net.h(), cfg.decision);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let means = net.channels().means();
+    let mut tracker = cfg
+        .optimal_kbps
+        .map(|r1| RegretTracker::new(r1, beta, theta));
+    let mut comm = CommTotals::default();
+
+    let y = cfg.update_period as u64;
+    let mut period_end_slots = Vec::new();
+    let mut avg_actual = Vec::new();
+    let mut avg_estimated = Vec::new();
+    let mut practical_regret = Vec::new();
+    let mut practical_beta_regret = Vec::new();
+    let mut sum_rp = 0.0;
+    let mut sum_wp = 0.0;
+    let mut n_periods = 0u64;
+    let mut observed_total = 0.0;
+    let mut expected_total = 0.0;
+    let mut effective_total = 0.0;
+    let mut prev_winners: Vec<usize> = Vec::new();
+    let mut final_winners: Vec<usize> = Vec::new();
+
+    let mut t = 0u64;
+    while t < cfg.horizon {
+        // ---- WB phase: previous transmitters broadcast updated stats.
+        if !prev_winners.is_empty() {
+            let mut engine = FloodEngine::new(net.h().graph());
+            let floods: Vec<Flood<()>> = prev_winners
+                .iter()
+                .map(|&v| Flood {
+                    origin: v,
+                    ttl: 2 * cfg.decision.r + 1,
+                    payload: (),
+                })
+                .collect();
+            let _ = engine.deliver(&floods);
+            let c = engine.counters();
+            comm.transmissions += c.transmissions;
+            comm.delivered += c.delivered;
+            comm.timeslots += c.timeslots;
+        }
+
+        // ---- Strategy decision with the policy's current indices.
+        let indices = policy.indices(t + 1, &stats, &mut rng);
+        let outcome = ptas.decide(&indices);
+        comm.transmissions += outcome.counters.transmissions;
+        comm.delivered += outcome.counters.delivered;
+        comm.timeslots += outcome.counters.timeslots;
+        comm.decisions += 1;
+        let winners = outcome.winners;
+        let estimated_kbps: f64 = winners.iter().map(|&v| indices[v]).sum::<f64>() * scale;
+
+        // ---- Data transmission for the whole period (y slots).
+        let period_len = y.min(cfg.horizon - t);
+        let mut period_obs = Vec::with_capacity(period_len as usize);
+        for s in t..t + period_len {
+            let obs = net.channels().observe(s, &winners);
+            let raw: f64 = obs.iter().map(|&(_, x)| x).sum();
+            period_obs.push(raw);
+            observed_total += raw;
+            let expected: f64 = winners.iter().map(|&v| means[v]).sum();
+            expected_total += expected;
+            for &(v, x) in &obs {
+                stats.update(v, x / scale);
+                policy.observe(v, x / scale);
+            }
+            if let Some(tr) = tracker.as_mut() {
+                tr.record(expected, raw);
+                if cfg.update_period == 1 {
+                    practical_regret.push(tr.practical_regret());
+                    practical_beta_regret.push(tr.practical_beta_regret());
+                }
+            }
+        }
+
+        // ---- Period bookkeeping (Section V-C identities).
+        let rp = cfg.time.period_effective_throughput(&period_obs);
+        let wp = cfg
+            .time
+            .period_effective_estimate(estimated_kbps, period_len as usize);
+        effective_total += rp * period_len as f64;
+        n_periods += 1;
+        sum_rp += rp;
+        sum_wp += wp;
+        period_end_slots.push(t + period_len);
+        avg_actual.push(sum_rp / n_periods as f64);
+        avg_estimated.push(sum_wp / n_periods as f64);
+
+        final_winners = winners.clone();
+        prev_winners = winners;
+        t += period_len;
+    }
+
+    RunResult {
+        policy: policy.name().to_string(),
+        slots: cfg.horizon,
+        period_end_slots,
+        avg_actual_throughput: avg_actual,
+        avg_estimated_throughput: avg_estimated,
+        practical_regret,
+        practical_beta_regret,
+        final_strategy_vertices: final_winners,
+        average_observed_kbps: observed_total / cfg.horizon as f64,
+        average_effective_kbps: effective_total / cfg.horizon as f64,
+        average_expected_kbps: expected_total / cfg.horizon as f64,
+        beta,
+        comm,
+        seed: cfg.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhca_bandit::policies::{CsUcb, Llr, Oracle, Random};
+
+    fn small_net() -> Network {
+        Network::random(6, 3, 2.5, 0.1, 11)
+    }
+
+    #[test]
+    fn run_produces_consistent_lengths() {
+        let net = small_net();
+        let cfg = Algorithm2Config::default().with_horizon(40);
+        let res = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        assert_eq!(res.slots, 40);
+        assert_eq!(res.period_end_slots.len(), 40); // y = 1
+        assert_eq!(res.avg_actual_throughput.len(), 40);
+        assert_eq!(res.avg_estimated_throughput.len(), 40);
+        assert!(res.comm.decisions == 40);
+    }
+
+    #[test]
+    fn periodic_updates_decide_less_often() {
+        let net = small_net();
+        let cfg = Algorithm2Config::default()
+            .with_horizon(40)
+            .with_update_period(10);
+        let res = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        assert_eq!(res.comm.decisions, 4);
+        assert_eq!(res.period_end_slots, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn oracle_achieves_near_optimal_expected_throughput() {
+        let net = small_net();
+        let opt = net.optimal();
+        let cfg = Algorithm2Config::default().with_horizon(30);
+        let mut oracle = Oracle::new(net.channels().means());
+        let res = run_policy(&net, &cfg, &mut oracle);
+        // The distributed PTAS may lose a little vs the exact optimum, but
+        // with true means it should be close on this tiny instance.
+        assert!(
+            res.average_expected_kbps >= 0.8 * opt.weight,
+            "oracle expected {} vs optimal {}",
+            res.average_expected_kbps,
+            opt.weight
+        );
+    }
+
+    #[test]
+    fn learning_beats_random() {
+        let net = small_net();
+        let cfg = Algorithm2Config::default().with_horizon(300);
+        let learned = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        let random = run_policy(&net, &cfg, &mut Random);
+        assert!(
+            learned.average_expected_kbps > random.average_expected_kbps,
+            "cs-ucb {} vs random {}",
+            learned.average_expected_kbps,
+            random.average_expected_kbps
+        );
+    }
+
+    #[test]
+    fn regret_series_only_with_optimum() {
+        let net = small_net();
+        let cfg = Algorithm2Config::default().with_horizon(20);
+        let res = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        assert!(res.practical_regret.is_empty());
+
+        let opt = net.optimal().weight;
+        let cfg = cfg.with_optimal_kbps(opt);
+        let res = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        assert_eq!(res.practical_regret.len(), 20);
+        // Practical regret is bounded below by R1·(1 − θ·max/opt); just
+        // check it is finite and decreasing-ish over the run.
+        assert!(res.practical_regret.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        let net = small_net();
+        let cfg = Algorithm2Config::default().with_horizon(25).with_seed(3);
+        let a = run_policy(&net, &cfg, &mut Llr::new(net.n_nodes(), 2.0));
+        let b = run_policy(&net, &cfg, &mut Llr::new(net.n_nodes(), 2.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn longer_periods_raise_effective_throughput_late() {
+        // With stale weights the fraction of airtime spent deciding drops:
+        // y=10 must beat y=1 in effective throughput for the same policy
+        // once learning has mostly settled.
+        let net = small_net();
+        let base = Algorithm2Config::default().with_horizon(400);
+        let frequent = run_policy(&net, &base.clone(), &mut CsUcb::new(2.0));
+        let stale = run_policy(
+            &net,
+            &base.with_update_period(10),
+            &mut CsUcb::new(2.0),
+        );
+        assert!(
+            stale.average_effective_kbps > frequent.average_effective_kbps,
+            "stale {} vs frequent {}",
+            stale.average_effective_kbps,
+            frequent.average_effective_kbps
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        let net = small_net();
+        let cfg = Algorithm2Config::default().with_horizon(0);
+        let _ = run_policy(&net, &cfg, &mut Random);
+    }
+}

@@ -1,0 +1,168 @@
+//! Multi-seed sweeps: aggregate experiment outputs across random
+//! instances.
+//!
+//! The paper reports single-instance simulations; this module adds the
+//! missing statistical layer — run any per-seed measurement across a seed
+//! range and report mean ± standard deviation, so claims like "Algorithm 2
+//! outperforms LLR" can be checked for robustness rather than luck.
+
+use crate::{
+    network::Network,
+    runner::{run_policy, Algorithm2Config},
+    stats,
+};
+use mhca_bandit::policies::IndexPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Mean ± population standard deviation of a measurement across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Number of seeds aggregated.
+    pub runs: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Aggregate {
+    /// Aggregates a slice of per-seed observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn from_samples(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "need at least one sample");
+        Aggregate {
+            runs: xs.len(),
+            mean: stats::mean(xs),
+            std_dev: stats::std_dev(xs),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Runs `measure` once per seed in `seeds` and aggregates the results.
+pub fn sweep<F: FnMut(u64) -> f64>(seeds: impl IntoIterator<Item = u64>, mut measure: F) -> Aggregate {
+    let xs: Vec<f64> = seeds.into_iter().map(&mut measure).collect();
+    Aggregate::from_samples(&xs)
+}
+
+/// Head-to-head comparison of two policies across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyComparison {
+    /// Name of policy A.
+    pub policy_a: String,
+    /// Name of policy B.
+    pub policy_b: String,
+    /// Aggregate expected throughput of policy A (kbps).
+    pub a: Aggregate,
+    /// Aggregate expected throughput of policy B (kbps).
+    pub b: Aggregate,
+    /// Fraction of seeds where A strictly beat B.
+    pub a_win_rate: f64,
+}
+
+/// Compares two policy constructors across seeded random networks: each
+/// seed builds one network (`n` users, `m` channels, degree `d`) and runs
+/// both policies on identical channel realizations (paired comparison).
+///
+/// The measured quantity is average expected throughput over the horizon.
+#[allow(clippy::too_many_arguments)]
+pub fn compare_policies<A, B>(
+    n: usize,
+    m: usize,
+    d: f64,
+    horizon: u64,
+    seeds: std::ops::Range<u64>,
+    cfg: &Algorithm2Config,
+    mut make_a: A,
+    mut make_b: B,
+) -> PolicyComparison
+where
+    A: FnMut(&Network) -> Box<dyn IndexPolicy>,
+    B: FnMut(&Network) -> Box<dyn IndexPolicy>,
+{
+    let mut xs_a = Vec::new();
+    let mut xs_b = Vec::new();
+    let mut wins = 0usize;
+    let mut name_a = String::new();
+    let mut name_b = String::new();
+    let total = (seeds.end.saturating_sub(seeds.start)) as usize;
+    for seed in seeds {
+        let net = Network::random(n, m, d, 0.1, seed);
+        let run_cfg = cfg.clone().with_horizon(horizon).with_seed(seed);
+        let mut pa = make_a(&net);
+        let mut pb = make_b(&net);
+        name_a = pa.name().to_string();
+        name_b = pb.name().to_string();
+        let ra = run_policy(&net, &run_cfg, pa.as_mut());
+        let rb = run_policy(&net, &run_cfg, pb.as_mut());
+        if ra.average_expected_kbps > rb.average_expected_kbps {
+            wins += 1;
+        }
+        xs_a.push(ra.average_expected_kbps);
+        xs_b.push(rb.average_expected_kbps);
+    }
+    PolicyComparison {
+        policy_a: name_a,
+        policy_b: name_b,
+        a: Aggregate::from_samples(&xs_a),
+        b: Aggregate::from_samples(&xs_b),
+        a_win_rate: wins as f64 / total.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhca_bandit::policies::{CsUcb, Random};
+
+    #[test]
+    fn aggregate_statistics() {
+        let a = Aggregate::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.runs, 3);
+        assert_eq!(a.mean, 2.0);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 3.0);
+        assert!((a.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_applies_measure_per_seed() {
+        let agg = sweep(0..5, |seed| seed as f64);
+        assert_eq!(agg.runs, 5);
+        assert_eq!(agg.mean, 2.0);
+        assert_eq!(agg.max, 4.0);
+    }
+
+    #[test]
+    fn cs_ucb_beats_random_across_seeds() {
+        let cfg = Algorithm2Config::default();
+        let cmp = compare_policies(
+            8,
+            2,
+            2.5,
+            150,
+            0..4,
+            &cfg,
+            |_net| Box::new(CsUcb::new(2.0)),
+            |_net| Box::new(Random),
+        );
+        assert_eq!(cmp.policy_a, "cs-ucb");
+        assert_eq!(cmp.policy_b, "random");
+        assert!(cmp.a.mean > cmp.b.mean);
+        assert!(cmp.a_win_rate >= 0.75, "win rate {}", cmp.a_win_rate);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_aggregate_rejected() {
+        let _ = Aggregate::from_samples(&[]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Deterministic conflict-graph topologies.
+//!
+//! These serve as regression workloads: [`line()`](fn@line) is the Fig. 5 worst case
+//! where, with strictly decreasing weights along the line, the distributed
+//! strategy decision needs `Θ(N)` mini-rounds; the others cover standard
+//! shapes used in tests and ablation benches.
+
+use crate::graph::Graph;
+
+/// Path (linear network) on `n` vertices: `0 — 1 — … — n−1`.
+///
+/// This is the worst-case topology of Fig. 5 in the paper.
+pub fn line(n: usize) -> Graph {
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Cycle on `n` vertices (`n ≥ 3` gives a proper ring; smaller `n`
+/// degenerates to a line).
+pub fn ring(n: usize) -> Graph {
+    let mut g = line(n);
+    if n >= 3 {
+        g.add_edge(n - 1, 0);
+    }
+    g
+}
+
+/// `rows × cols` grid graph with 4-neighbor connectivity.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols);
+            }
+        }
+    }
+    g
+}
+
+/// Star on `n` vertices: vertex `0` is the hub.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete graph `K_n` — models a single-hop network where every pair of
+/// users conflicts (the setting of prior single-hop MAB work the paper
+/// generalizes).
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Edgeless graph — no conflicts at all; every node can always transmit.
+pub fn independent(n: usize) -> Graph {
+    Graph::new(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_has_n_minus_one_edges() {
+        assert_eq!(line(5).edge_count(), 4);
+        assert_eq!(line(1).edge_count(), 0);
+        assert_eq!(line(0).n(), 0);
+    }
+
+    #[test]
+    fn line_diameter_is_n_minus_one() {
+        let g = line(6);
+        assert_eq!(g.hop_distance(0, 5), Some(5));
+    }
+
+    #[test]
+    fn ring_closes_the_loop() {
+        let g = ring(5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.hop_distance(0, 4), Some(1));
+        // n = 2 degenerates to a single edge, not a multi-edge.
+        assert_eq!(ring(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 6);
+        for v in 1..7 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+        // The only independent sets are singletons.
+        assert!(!g.is_independent(&[0, 1]));
+    }
+
+    #[test]
+    fn independent_graph_has_no_conflicts() {
+        let g = independent(4);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_independent(&[0, 1, 2, 3]));
+    }
+}

@@ -1,0 +1,177 @@
+//! Random geometric (unit-disk) conflict graphs.
+//!
+//! The paper models conflicts with unit disks: each node is a disk centered
+//! on itself and two nodes conflict when their disks intersect, i.e. when
+//! their Euclidean distance is at most twice the disk radius (Section II and
+//! Section IV-B use `‖u,v‖ ≤ 2` for unit radius). Section IV-D analyses
+//! *random networks* where node locations are uniformly distributed and the
+//! network has an average degree `d`; [`random_with_average_degree`] builds
+//! exactly that workload.
+
+use crate::{geometry::Point, graph::Graph};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Geometric layout backing a unit-disk graph: node positions plus the
+/// conflict radius (edge iff `distance ≤ radius`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Layout {
+    /// Node positions, indexed by node id.
+    pub points: Vec<Point>,
+    /// Conflict radius: `{u,v}` is an edge iff `‖u−v‖ ≤ radius`.
+    pub radius: f64,
+    /// Side length of the square deployment area.
+    pub side: f64,
+}
+
+impl Layout {
+    /// Builds the unit-disk graph induced by this layout.
+    pub fn to_graph(&self) -> Graph {
+        let n = self.points.len();
+        let r2 = self.radius * self.radius;
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if self.points[u].distance_squared(&self.points[v]) <= r2 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+}
+
+/// Samples `n` points uniformly in a `side × side` square and connects
+/// pairs within `radius`.
+///
+/// Returns the conflict graph and its layout.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `side <= 0`, or `radius <= 0`.
+pub fn random_unit_disk<R: Rng>(n: usize, side: f64, radius: f64, rng: &mut R) -> (Graph, Layout) {
+    assert!(n > 0, "need at least one node");
+    assert!(side > 0.0, "side must be positive");
+    assert!(radius > 0.0, "radius must be positive");
+    let points: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .collect();
+    let layout = Layout {
+        points,
+        radius,
+        side,
+    };
+    (layout.to_graph(), layout)
+}
+
+/// Samples a random unit-disk network targeting an average degree `d`.
+///
+/// For `n` points uniform in a square of side `L` with conflict radius `ρ`,
+/// the expected degree (ignoring boundary effects) is `(n−1)·π·ρ²/L²`;
+/// we solve for `L` and sample. The realized average degree fluctuates
+/// around the target, which matches the paper's "random networks with an
+/// average degree `d`" setting.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `target_degree <= 0` or `target_degree >= n as f64`.
+pub fn random_with_average_degree<R: Rng>(
+    n: usize,
+    target_degree: f64,
+    rng: &mut R,
+) -> (Graph, Layout) {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(
+        target_degree > 0.0 && target_degree < n as f64,
+        "target degree must be in (0, n)"
+    );
+    let radius = 1.0;
+    let side = ((n as f64 - 1.0) * std::f64::consts::PI * radius * radius / target_degree).sqrt();
+    random_unit_disk(n, side, radius, rng)
+}
+
+/// Repeatedly samples random unit-disk networks with target average degree
+/// until a *connected* one is found (the Fig. 7 experiment uses "a randomly
+/// generated connected network").
+///
+/// Returns `None` if `max_tries` samples were all disconnected.
+pub fn random_connected_with_average_degree<R: Rng>(
+    n: usize,
+    target_degree: f64,
+    max_tries: usize,
+    rng: &mut R,
+) -> Option<(Graph, Layout)> {
+    for _ in 0..max_tries {
+        let (g, layout) = random_with_average_degree(n, target_degree, rng);
+        if g.is_connected() {
+            return Some((g, layout));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn graph_edges_respect_radius() {
+        let layout = Layout {
+            points: vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(3.0, 0.0),
+            ],
+            radius: 1.5,
+            side: 4.0,
+        };
+        let g = layout.to_graph();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2)); // distance 2 > 1.5
+    }
+
+    #[test]
+    fn random_unit_disk_is_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let (g1, l1) = random_unit_disk(30, 5.0, 1.0, &mut rng1);
+        let (g2, l2) = random_unit_disk(30, 5.0, 1.0, &mut rng2);
+        assert_eq!(g1, g2);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn average_degree_close_to_target() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut total = 0.0;
+        let reps = 20;
+        for _ in 0..reps {
+            let (g, _) = random_with_average_degree(200, 6.0, &mut rng);
+            total += g.average_degree();
+        }
+        let mean = total / reps as f64;
+        // Boundary effects bias the realized degree slightly below target.
+        assert!(
+            (mean - 6.0).abs() < 1.5,
+            "mean realized degree {mean} too far from target 6"
+        );
+    }
+
+    #[test]
+    fn connected_generator_returns_connected_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, _) = random_connected_with_average_degree(15, 4.0, 200, &mut rng)
+            .expect("should find a connected instance");
+        assert!(g.is_connected());
+        assert_eq!(g.n(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "target degree")]
+    fn rejects_absurd_degree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = random_with_average_degree(10, 20.0, &mut rng);
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal fixed-capacity bitset used by the branch-and-bound solver.
+
+/// A fixed-capacity bitset over `0..capacity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    pub(crate) fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Kept for protocol-side users and tests; the hot solver path does not
+    /// need it.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every bit present in `other` (`self &= !other`).
+    pub(crate) fn subtract(&mut self, other: &BitSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Iterator over set bits, ascending.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut b = BitSet::new(130);
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(64) && b.contains(129));
+        assert!(!b.contains(1));
+        b.remove(64);
+        assert!(!b.contains(64));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut b = BitSet::new(200);
+        for i in [5usize, 150, 63, 64, 199] {
+            b.insert(i);
+        }
+        let v: Vec<_> = b.iter().collect();
+        assert_eq!(v, vec![5, 63, 64, 150, 199]);
+    }
+
+    #[test]
+    fn subtract_clears_common_bits() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(70);
+        a.subtract(&b);
+        assert!(a.contains(1));
+        assert!(!a.contains(70));
+    }
+
+    #[test]
+    fn empty_detection() {
+        let mut b = BitSet::new(10);
+        assert!(b.is_empty());
+        b.insert(3);
+        assert!(!b.is_empty());
+        b.remove(3);
+        assert!(b.is_empty());
+    }
+}

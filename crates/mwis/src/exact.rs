@@ -1,0 +1,336 @@
+//! Exact MWIS by branch-and-bound over vertex groups.
+//!
+//! The solver branches over *groups* of vertices, where each group is
+//! promised by the caller to be a clique (so at most one member can be
+//! selected). This matches the structure of the extended conflict graph
+//! `H`: grouping virtual vertices by master node turns the search into
+//! "pick at most one channel per node", which is what the LocalLeader
+//! enumeration of Algorithm 3 computes and what the paper's brute-force
+//! optimum (Fig. 7, the 15-user × 3-channel instance) needs.
+//!
+//! For a generic graph, [`solve`] puts every vertex in its own group.
+//!
+//! Complexity is exponential in the worst case (MWIS is NP-hard); the
+//! bound `current + Σ_remaining-groups max-available-weight` prunes
+//! aggressively on the geometric instances the paper simulates.
+
+use crate::{bitset::BitSet, set::WeightedSet};
+use mhca_graph::Graph;
+
+/// Exact MWIS over the whole graph, each vertex its own group.
+///
+/// Only vertices with strictly positive weight are ever selected (adding a
+/// zero-weight vertex never increases the objective).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != graph.n()`.
+pub fn solve(graph: &Graph, weights: &[f64]) -> WeightedSet {
+    let allowed: Vec<usize> = (0..graph.n()).collect();
+    solve_subset(graph, weights, &allowed)
+}
+
+/// Exact MWIS restricted to the `allowed` vertex set, each vertex its own
+/// group.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != graph.n()` or `allowed` has out-of-range or
+/// duplicate entries.
+pub fn solve_subset(graph: &Graph, weights: &[f64], allowed: &[usize]) -> WeightedSet {
+    let identity: Vec<usize> = (0..graph.n()).collect();
+    solve_grouped(graph, weights, allowed, &identity)
+}
+
+/// Exact MWIS restricted to `allowed`, with clique groups.
+///
+/// `group_of[v]` labels each vertex with a group id; all allowed vertices
+/// sharing a label **must form a clique** (the solver selects at most one
+/// per group and does not re-check pairwise adjacency within a group).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != graph.n()`, `group_of.len() != graph.n()`,
+/// or `allowed` has out-of-range/duplicate entries. In debug builds, also
+/// panics if a group is not a clique.
+pub fn solve_grouped(
+    graph: &Graph,
+    weights: &[f64],
+    allowed: &[usize],
+    group_of: &[usize],
+) -> WeightedSet {
+    assert_eq!(weights.len(), graph.n(), "weight vector length");
+    assert_eq!(group_of.len(), graph.n(), "group vector length");
+    // Local indexing of allowed vertices with positive weight.
+    let mut seen = vec![false; graph.n()];
+    let mut local_to_global = Vec::new();
+    for &v in allowed {
+        assert!(v < graph.n(), "vertex out of range");
+        assert!(!seen[v], "duplicate vertex in allowed set");
+        seen[v] = true;
+        if weights[v] > 0.0 {
+            local_to_global.push(v);
+        }
+    }
+    let h = local_to_global.len();
+    if h == 0 {
+        return WeightedSet::empty();
+    }
+    let mut global_to_local = vec![usize::MAX; graph.n()];
+    for (i, &v) in local_to_global.iter().enumerate() {
+        global_to_local[v] = i;
+    }
+
+    // Local adjacency bitsets.
+    let mut adj: Vec<BitSet> = (0..h).map(|_| BitSet::new(h)).collect();
+    for (i, &v) in local_to_global.iter().enumerate() {
+        for &u in graph.neighbors(v) {
+            let j = global_to_local[u];
+            if j != usize::MAX {
+                adj[i].insert(j);
+            }
+        }
+    }
+
+    // Groups of local indices, members sorted by weight descending, groups
+    // sorted by their maximum weight descending (good incumbents early).
+    let mut by_group: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, &v) in local_to_global.iter().enumerate() {
+        by_group.entry(group_of[v]).or_default().push(i);
+    }
+    let w: Vec<f64> = local_to_global.iter().map(|&v| weights[v]).collect();
+    let mut groups: Vec<Vec<usize>> = by_group.into_values().collect();
+    for g in &mut groups {
+        g.sort_by(|&a, &b| w[b].partial_cmp(&w[a]).expect("finite weights"));
+    }
+    groups.sort_by(|a, b| w[b[0]].partial_cmp(&w[a[0]]).expect("finite weights"));
+
+    #[cfg(debug_assertions)]
+    for g in &groups {
+        for (x, &a) in g.iter().enumerate() {
+            for &b in &g[x + 1..] {
+                debug_assert!(
+                    adj[a].contains(b),
+                    "group members must form a clique: {} vs {}",
+                    local_to_global[a],
+                    local_to_global[b]
+                );
+            }
+        }
+    }
+
+    let mut searcher = Searcher {
+        adj: &adj,
+        w: &w,
+        groups: &groups,
+        best_weight: 0.0,
+        best: Vec::new(),
+        current: Vec::new(),
+    };
+    let mut avail = BitSet::new(h);
+    for i in 0..h {
+        avail.insert(i);
+    }
+    searcher.branch(0, &avail, 0.0);
+
+    WeightedSet::from_vertices(
+        searcher.best.iter().map(|&i| local_to_global[i]).collect(),
+        weights,
+    )
+}
+
+struct Searcher<'a> {
+    adj: &'a [BitSet],
+    w: &'a [f64],
+    groups: &'a [Vec<usize>],
+    best_weight: f64,
+    best: Vec<usize>,
+    current: Vec<usize>,
+}
+
+impl Searcher<'_> {
+    fn branch(&mut self, gi: usize, avail: &BitSet, current_weight: f64) {
+        if gi == self.groups.len() {
+            if current_weight > self.best_weight {
+                self.best_weight = current_weight;
+                self.best = self.current.clone();
+            }
+            return;
+        }
+        // Upper bound: current + best available member of every remaining
+        // group (inter-group conflicts ignored — admissible).
+        let mut bound = current_weight;
+        for g in &self.groups[gi..] {
+            // Members are weight-sorted descending: first available is best.
+            if let Some(&m) = g.iter().find(|&&m| avail.contains(m)) {
+                bound += self.w[m];
+            }
+        }
+        if bound <= self.best_weight {
+            return;
+        }
+        // Branch: select each available member (descending weight)…
+        for &m in &self.groups[gi] {
+            if !avail.contains(m) {
+                continue;
+            }
+            let mut next = avail.clone();
+            next.subtract(&self.adj[m]);
+            next.remove(m);
+            self.current.push(m);
+            self.branch(gi + 1, &next, current_weight + self.w[m]);
+            self.current.pop();
+        }
+        // …or skip the group entirely.
+        self.branch(gi + 1, avail, current_weight);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhca_graph::{topology, ExtendedConflictGraph};
+
+    /// Reference DP for MWIS on a path graph.
+    fn path_dp(weights: &[f64]) -> f64 {
+        let mut take = 0.0f64;
+        let mut skip = 0.0f64;
+        for &w in weights {
+            let new_take = skip + w.max(0.0);
+            let new_skip = take.max(skip);
+            take = new_take;
+            skip = new_skip;
+        }
+        take.max(skip)
+    }
+
+    /// Brute force by subset enumeration (n ≤ 20).
+    fn brute_force(graph: &Graph, weights: &[f64]) -> f64 {
+        let n = graph.n();
+        assert!(n <= 20);
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let set: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            if graph.is_independent(&set) {
+                let w: f64 = set.iter().map(|&v| weights[v]).sum();
+                best = best.max(w);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn path_matches_dp() {
+        let w = [4.0, 5.0, 3.0, 7.0, 2.0, 9.0];
+        let g = topology::line(w.len());
+        let s = solve(&g, &w);
+        assert_eq!(s.weight, path_dp(&w));
+        assert!(g.is_independent(&s.vertices));
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Graph::new(1);
+        let s = solve(&g, &[3.0]);
+        assert_eq!(s.vertices, vec![0]);
+        assert_eq!(s.weight, 3.0);
+    }
+
+    #[test]
+    fn zero_weights_are_never_selected() {
+        let g = topology::independent(3);
+        let s = solve(&g, &[0.0, 1.0, 0.0]);
+        assert_eq!(s.vertices, vec![1]);
+    }
+
+    #[test]
+    fn complete_graph_takes_heaviest() {
+        let g = topology::complete(5);
+        let s = solve(&g, &[1.0, 9.0, 3.0, 4.0, 2.0]);
+        assert_eq!(s.vertices, vec![1]);
+        assert_eq!(s.weight, 9.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..40 {
+            let n = rng.gen_range(1..=12);
+            let p = rng.gen_range(0.1..0.7);
+            let mut g = Graph::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen::<f64>() < p {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let s = solve(&g, &w);
+            let bf = brute_force(&g, &w);
+            assert!(
+                (s.weight - bf).abs() < 1e-9,
+                "trial {trial}: bb {} vs brute {bf}",
+                s.weight
+            );
+            assert!(g.is_independent(&s.vertices));
+        }
+    }
+
+    #[test]
+    fn grouped_matches_ungrouped_on_h() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = topology::ring(5);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / 3).collect();
+        let allowed: Vec<usize> = (0..h.n_vertices()).collect();
+        let grouped = solve_grouped(h.graph(), &w, &allowed, &groups);
+        let plain = solve(h.graph(), &w);
+        assert!((grouped.weight - plain.weight).abs() < 1e-9);
+        assert!(h.graph().is_independent(&grouped.vertices));
+    }
+
+    #[test]
+    fn subset_restriction_is_respected() {
+        let g = topology::line(5);
+        let w = [10.0, 1.0, 10.0, 1.0, 10.0];
+        let s = solve_subset(&g, &w, &[1, 2, 3]);
+        assert_eq!(s.vertices, vec![2]);
+        assert_eq!(s.weight, 10.0);
+    }
+
+    #[test]
+    fn empty_allowed_set_gives_empty_result() {
+        let g = topology::line(3);
+        let s = solve_subset(&g, &[1.0, 1.0, 1.0], &[]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_allowed_vertices_panic() {
+        let g = topology::line(3);
+        let _ = solve_subset(&g, &[1.0; 3], &[0, 0]);
+    }
+
+    #[test]
+    fn fifteen_by_three_ground_truth_is_tractable() {
+        // The Fig. 7 scale: 15 users × 3 channels. Must solve quickly.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(15);
+        let (g, _) = mhca_graph::unit_disk::random_connected_with_average_degree(
+            15, 4.0, 100, &mut rng,
+        )
+        .unwrap();
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / 3).collect();
+        let allowed: Vec<usize> = (0..h.n_vertices()).collect();
+        let s = solve_grouped(h.graph(), &w, &allowed, &groups);
+        assert!(h.graph().is_independent(&s.vertices));
+        assert!(s.weight > 0.0);
+    }
+}

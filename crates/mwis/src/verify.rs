@@ -1,0 +1,74 @@
+//! Verification helpers for solver outputs.
+
+use mhca_graph::Graph;
+
+/// Total weight of a vertex set.
+///
+/// # Panics
+///
+/// Panics if a vertex is out of range of `weights`.
+pub fn weight_of(weights: &[f64], set: &[usize]) -> f64 {
+    set.iter().map(|&v| weights[v]).sum()
+}
+
+/// `achieved / optimal`, defined as 1 when both are zero.
+///
+/// # Panics
+///
+/// Panics if `optimal < achieved` beyond floating-point noise is *not*
+/// checked here — callers comparing an approximation against an exact
+/// optimum may legitimately pass `achieved > optimal` when "optimal" is
+/// itself approximate.
+pub fn ratio(achieved: f64, optimal: f64) -> f64 {
+    if optimal == 0.0 {
+        if achieved == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        achieved / optimal
+    }
+}
+
+/// Asserts a set is independent, returning it for chaining.
+///
+/// # Panics
+///
+/// Panics if the set is not independent in `graph`.
+pub fn assert_independent<'a>(graph: &Graph, set: &'a [usize]) -> &'a [usize] {
+    assert!(graph.is_independent(set), "set is not independent");
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhca_graph::topology;
+
+    #[test]
+    fn weight_of_sums() {
+        assert_eq!(weight_of(&[1.0, 2.0, 3.0], &[0, 2]), 4.0);
+        assert_eq!(weight_of(&[1.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(1.0, 2.0), 0.5);
+        assert_eq!(ratio(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn assert_independent_passes_through() {
+        let g = topology::line(3);
+        assert_eq!(assert_independent(&g, &[0, 2]), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not independent")]
+    fn assert_independent_panics_on_conflict() {
+        let g = topology::line(3);
+        let _ = assert_independent(&g, &[0, 1]);
+    }
+}

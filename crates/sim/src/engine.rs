@@ -1,0 +1,305 @@
+//! TTL-limited flood delivery.
+
+use crate::counters::Counters;
+use mhca_graph::Graph;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A hop-limited local broadcast: `payload` floods from `origin` to every
+/// vertex within `ttl` hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flood<P> {
+    /// Originating vertex.
+    pub origin: usize,
+    /// Maximum hop count the flood travels.
+    pub ttl: usize,
+    /// Message content.
+    pub payload: P,
+}
+
+/// A message copy received by some vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Received<P> {
+    /// The flood's originating vertex.
+    pub origin: usize,
+    /// Hop distance the copy travelled.
+    pub distance: usize,
+    /// Message content.
+    pub payload: P,
+}
+
+/// Synchronous flood-delivery engine over a fixed graph.
+///
+/// Delivery is deterministic unless a loss model is installed with
+/// [`FloodEngine::with_loss`]; loss draws come from a seeded RNG so even
+/// failure-injection runs are reproducible.
+#[derive(Debug)]
+pub struct FloodEngine<'g> {
+    graph: &'g Graph,
+    counters: Counters,
+    loss_prob: f64,
+    rng: StdRng,
+}
+
+impl<'g> FloodEngine<'g> {
+    /// Engine with perfect (lossless) delivery.
+    pub fn new(graph: &'g Graph) -> Self {
+        FloodEngine {
+            graph,
+            counters: Counters::new(graph.n()),
+            loss_prob: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Engine that drops each relay broadcast independently with
+    /// probability `loss_prob`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss_prob ∉ [0, 1)`.
+    pub fn with_loss(graph: &'g Graph, loss_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&loss_prob),
+            "loss probability must be in [0, 1)"
+        );
+        FloodEngine {
+            graph,
+            counters: Counters::new(graph.n()),
+            loss_prob,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Accumulated communication counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Resets the counters (e.g. between protocol phases).
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    /// Delivers a batch of concurrent floods.
+    ///
+    /// Returns one inbox per vertex. A vertex does **not** receive its own
+    /// flood. Within one batch all floods propagate concurrently, so the
+    /// pipelined time charge is the maximum TTL in the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flood origin is out of range.
+    pub fn deliver<P: Clone>(&mut self, floods: &[Flood<P>]) -> Vec<Vec<Received<P>>> {
+        let n = self.graph.n();
+        let mut inboxes: Vec<Vec<Received<P>>> = vec![Vec::new(); n];
+        let mut max_ttl = 0;
+        for flood in floods {
+            assert!(flood.origin < n, "flood origin out of range");
+            max_ttl = max_ttl.max(flood.ttl);
+            self.flood_one(flood, &mut inboxes);
+        }
+        self.counters.timeslots += max_ttl as u64;
+        inboxes
+    }
+
+    /// BFS wave for a single flood, with per-relay loss.
+    fn flood_one<P: Clone>(&mut self, flood: &Flood<P>, inboxes: &mut [Vec<Received<P>>]) {
+        let n = self.graph.n();
+        let mut dist = vec![usize::MAX; n];
+        dist[flood.origin] = 0;
+        // Queue holds vertices that hold a copy and may relay.
+        let mut queue = VecDeque::from([flood.origin]);
+        while let Some(u) = queue.pop_front() {
+            if dist[u] == flood.ttl {
+                continue; // TTL exhausted: hold but don't relay.
+            }
+            // One wireless broadcast by u (possibly lost as a whole).
+            self.counters.transmissions += 1;
+            self.counters.per_vertex_tx[u] += 1;
+            if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
+                continue;
+            }
+            for &w in self.graph.neighbors(u) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    inboxes[w].push(Received {
+                        origin: flood.origin,
+                        distance: dist[w],
+                        payload: flood.payload.clone(),
+                    });
+                    self.counters.delivered += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhca_graph::topology;
+
+    #[test]
+    fn flood_reaches_exactly_the_ttl_ball() {
+        let g = topology::line(7);
+        let mut e = FloodEngine::new(&g);
+        let inboxes = e.deliver(&[Flood {
+            origin: 3,
+            ttl: 2,
+            payload: (),
+        }]);
+        for (v, inbox) in inboxes.iter().enumerate() {
+            let d = g.hop_distance(3, v).unwrap();
+            if v != 3 && d <= 2 {
+                assert_eq!(inbox.len(), 1, "vertex {v} should receive");
+                assert_eq!(inbox[0].distance, d);
+            } else {
+                assert!(inbox.is_empty(), "vertex {v} should not receive");
+            }
+        }
+    }
+
+    #[test]
+    fn origin_does_not_receive_its_own_flood() {
+        let g = topology::ring(4);
+        let mut e = FloodEngine::new(&g);
+        let inboxes = e.deliver(&[Flood {
+            origin: 0,
+            ttl: 3,
+            payload: 42u32,
+        }]);
+        assert!(inboxes[0].is_empty());
+    }
+
+    #[test]
+    fn ttl_zero_reaches_nobody_and_costs_nothing() {
+        let g = topology::line(3);
+        let mut e = FloodEngine::new(&g);
+        let inboxes = e.deliver(&[Flood {
+            origin: 1,
+            ttl: 0,
+            payload: (),
+        }]);
+        assert!(inboxes.iter().all(Vec::is_empty));
+        assert_eq!(e.counters().transmissions, 0);
+        assert_eq!(e.counters().timeslots, 0);
+    }
+
+    #[test]
+    fn transmissions_count_relays_within_ttl() {
+        // Line 0-1-2-3-4, flood from 0 with ttl 2: relayers are 0 and 1.
+        let g = topology::line(5);
+        let mut e = FloodEngine::new(&g);
+        e.deliver(&[Flood {
+            origin: 0,
+            ttl: 2,
+            payload: (),
+        }]);
+        assert_eq!(e.counters().transmissions, 2);
+        assert_eq!(e.counters().per_vertex_tx[0], 1);
+        assert_eq!(e.counters().per_vertex_tx[1], 1);
+        assert_eq!(e.counters().delivered, 2); // vertices 1 and 2
+    }
+
+    #[test]
+    fn batch_timeslots_use_max_ttl() {
+        let g = topology::line(6);
+        let mut e = FloodEngine::new(&g);
+        e.deliver(&[
+            Flood {
+                origin: 0,
+                ttl: 1,
+                payload: (),
+            },
+            Flood {
+                origin: 5,
+                ttl: 4,
+                payload: (),
+            },
+        ]);
+        assert_eq!(e.counters().timeslots, 4);
+        e.deliver(&[Flood {
+            origin: 0,
+            ttl: 2,
+            payload: (),
+        }]);
+        assert_eq!(e.counters().timeslots, 6);
+    }
+
+    #[test]
+    fn concurrent_floods_have_independent_inboxes() {
+        let g = topology::line(5);
+        let mut e = FloodEngine::new(&g);
+        let inboxes = e.deliver(&[
+            Flood {
+                origin: 0,
+                ttl: 4,
+                payload: "a",
+            },
+            Flood {
+                origin: 4,
+                ttl: 4,
+                payload: "b",
+            },
+        ]);
+        assert_eq!(inboxes[2].len(), 2);
+        let mut payloads: Vec<&str> = inboxes[2].iter().map(|r| r.payload).collect();
+        payloads.sort_unstable();
+        assert_eq!(payloads, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn total_loss_blocks_beyond_first_hop_never_the_math() {
+        // loss = 0.999…: with a seeded RNG, eventually every relay drops;
+        // here we use a high but valid probability and just assert safety
+        // properties (no panic, inbox subset of the lossless run).
+        let g = topology::line(6);
+        let mut lossless = FloodEngine::new(&g);
+        let full = lossless.deliver(&[Flood {
+            origin: 0,
+            ttl: 5,
+            payload: (),
+        }]);
+        let mut lossy = FloodEngine::with_loss(&g, 0.9, 7);
+        let some = lossy.deliver(&[Flood {
+            origin: 0,
+            ttl: 5,
+            payload: (),
+        }]);
+        for v in 0..6 {
+            assert!(some[v].len() <= full[v].len());
+        }
+    }
+
+    #[test]
+    fn lossy_delivery_is_reproducible_per_seed() {
+        let g = topology::grid(4, 4);
+        let run = |seed| {
+            let mut e = FloodEngine::with_loss(&g, 0.3, seed);
+            let boxes = e.deliver(&[Flood {
+                origin: 0,
+                ttl: 6,
+                payload: (),
+            }]);
+            boxes
+                .iter()
+                .map(|b| b.len())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_origin_panics() {
+        let g = topology::line(2);
+        let mut e = FloodEngine::new(&g);
+        let _ = e.deliver(&[Flood {
+            origin: 9,
+            ttl: 1,
+            payload: (),
+        }]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the flooding engine.
+
+use mhca_graph::Graph;
+use mhca_sim::{Flood, FloodEngine};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |edges| {
+            let mut g = Graph::new(n);
+            for (u, v) in edges {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn flood_reach_equals_bfs_ball(g in arb_graph(20), ttl in 0usize..6) {
+        let origin = 0;
+        let mut e = FloodEngine::new(&g);
+        let inboxes = e.deliver(&[Flood { origin, ttl, payload: () }]);
+        let dist = g.bfs_distances(origin);
+        for v in 0..g.n() {
+            let should_receive = v != origin && dist[v].is_some_and(|d| d <= ttl);
+            prop_assert_eq!(!inboxes[v].is_empty(), should_receive, "v={}", v);
+            if let Some(r) = inboxes[v].first() {
+                prop_assert_eq!(Some(r.distance), dist[v]);
+                prop_assert_eq!(r.origin, origin);
+            }
+        }
+    }
+
+    #[test]
+    fn transmissions_equal_relaying_vertices(g in arb_graph(16), ttl in 1usize..5) {
+        // Relays = vertices at distance < ttl from the origin (they hold a
+        // copy and forward it); the origin always relays.
+        let origin = 0;
+        let mut e = FloodEngine::new(&g);
+        let _ = e.deliver(&[Flood { origin, ttl, payload: () }]);
+        let dist = g.bfs_distances(origin);
+        let expected: u64 = (0..g.n())
+            .filter(|&v| dist[v].is_some_and(|d| d < ttl))
+            .count() as u64;
+        prop_assert_eq!(e.counters().transmissions, expected);
+    }
+
+    #[test]
+    fn delivered_counts_match_inbox_sizes(g in arb_graph(16), k in 1usize..4) {
+        let floods: Vec<Flood<u32>> = (0..k.min(g.n()))
+            .map(|i| Flood { origin: i, ttl: 2, payload: i as u32 })
+            .collect();
+        let mut e = FloodEngine::new(&g);
+        let inboxes = e.deliver(&floods);
+        let total: u64 = inboxes.iter().map(|b| b.len() as u64).sum();
+        prop_assert_eq!(e.counters().delivered, total);
+    }
+
+    #[test]
+    fn loss_only_shrinks_reach(g in arb_graph(16), p in 0.0f64..0.9, seed in any::<u64>()) {
+        let mut lossless = FloodEngine::new(&g);
+        let full = lossless.deliver(&[Flood { origin: 0, ttl: 4, payload: () }]);
+        let mut lossy = FloodEngine::with_loss(&g, p, seed);
+        let some = lossy.deliver(&[Flood { origin: 0, ttl: 4, payload: () }]);
+        for v in 0..g.n() {
+            prop_assert!(some[v].len() <= full[v].len());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # mhca — almost optimal channel access in multi-hop networks
+//!
+//! A full Rust reproduction of *"Almost Optimal Channel Access in Multi-Hop
+//! Networks With Unknown Channel Variables"* (Zhou, Li, Li, Liu, Li, Yin —
+//! ICDCS 2014 / arXiv:1308.4751): distributed learning of channel qualities
+//! in a multi-hop cognitive-radio network, formulated as a combinatorial
+//! multi-armed bandit whose oracle is a distributed robust PTAS for maximum
+//! weighted independent set on the extended conflict graph.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`graph`] | `mhca-graph` | unit-disk conflict graphs `G`, extended conflict graph `H`, strategies |
+//! | [`channels`] | `mhca-channels` | stochastic/adversarial channel processes, the paper's rate classes |
+//! | [`mwis`] | `mhca-mwis` | exact / greedy / robust-PTAS MWIS solvers |
+//! | [`sim`] | `mhca-sim` | hop-limited flooding engine with complexity counters |
+//! | [`bandit`] | `mhca-bandit` | CS-UCB, LLR, joint-UCB1, regret accounting, bound evaluators |
+//! | [`core`] | `mhca-core` | Algorithm 2/3, Table II time model, figure harnesses |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mhca::core::{Network, runner::{run_policy, Algorithm2Config}};
+//! use mhca::bandit::policies::CsUcb;
+//!
+//! // 10 users, 3 channels, average conflict degree 3, seeded.
+//! let net = Network::random(10, 3, 3.0, 0.1, 42);
+//! let cfg = Algorithm2Config::default().with_horizon(100);
+//! let run = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+//! println!("average effective throughput: {:.1} kbps", run.average_effective_kbps);
+//! # assert!(run.average_effective_kbps > 0.0);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate every figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mhca_bandit as bandit;
+pub use mhca_channels as channels;
+pub use mhca_core as core;
+pub use mhca_graph as graph;
+pub use mhca_mwis as mwis;
+pub use mhca_sim as sim;

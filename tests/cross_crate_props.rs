@@ -1,0 +1,118 @@
+//! Cross-crate property-based tests: invariants that span the graph,
+//! MWIS, and core crates.
+
+use mhca::core::{DistributedPtas, DistributedPtasConfig};
+use mhca::graph::{ExtendedConflictGraph, Graph};
+use mhca::mwis::{exact, greedy, robust_ptas};
+use proptest::prelude::*;
+
+/// Strategy for a random graph on up to `max_n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
+        edges.prop_map(move |es| {
+            let mut g = Graph::new(n);
+            for (u, v) in es {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            g
+        })
+    })
+}
+
+fn arb_weights(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_beats_every_other_solver((g, w) in arb_graph(12).prop_flat_map(|g| {
+        let n = g.n();
+        (Just(g), arb_weights(n))
+    })) {
+        let opt = exact::solve(&g, &w);
+        prop_assert!(g.is_independent(&opt.vertices));
+        for s in [
+            greedy::max_weight(&g, &w),
+            greedy::weight_degree(&g, &w),
+            robust_ptas::solve(&g, &w, &robust_ptas::Config::with_epsilon(0.5)),
+        ] {
+            prop_assert!(g.is_independent(&s.vertices));
+            prop_assert!(s.weight <= opt.weight + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ptas_respects_its_ratio((g, w) in arb_graph(10).prop_flat_map(|g| {
+        let n = g.n();
+        (Just(g), arb_weights(n))
+    })) {
+        let opt = exact::solve(&g, &w);
+        for eps in [0.25f64, 1.0] {
+            let s = robust_ptas::solve(&g, &w, &robust_ptas::Config::with_epsilon(eps));
+            prop_assert!(s.weight * (1.0 + eps) >= opt.weight - 1e-9,
+                "eps {} ptas {} opt {}", eps, s.weight, opt.weight);
+        }
+    }
+
+    #[test]
+    fn extended_graph_strategies_roundtrip((g, m) in (arb_graph(8), 1usize..4)) {
+        let h = ExtendedConflictGraph::new(&g, m);
+        // The empty strategy is always feasible.
+        let empty = mhca::graph::Strategy::new(g.n());
+        prop_assert!(h.is_feasible(&empty));
+        // Any exact MWIS of H maps to a feasible strategy and back.
+        let w: Vec<f64> = (0..h.n_vertices()).map(|v| (v % 7 + 1) as f64).collect();
+        let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / m).collect();
+        let allowed: Vec<usize> = (0..h.n_vertices()).collect();
+        let opt = exact::solve_grouped(h.graph(), &w, &allowed, &groups);
+        let s = h.strategy_from_is(&opt.vertices);
+        prop_assert!(h.is_feasible(&s));
+        let back = h.is_from_strategy(&s);
+        prop_assert_eq!(back, opt.vertices);
+    }
+
+    #[test]
+    fn distributed_decision_always_independent((g, m, seed) in (arb_graph(12), 1usize..4, 0u64..1000)) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let h = ExtendedConflictGraph::new(&g, m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut ptas = DistributedPtas::new(
+            &h,
+            DistributedPtasConfig::default().with_r(1).with_max_minirounds(None),
+        );
+        let out = ptas.decide(&w);
+        prop_assert!(out.all_marked);
+        prop_assert_eq!(out.conflicts, 0);
+        prop_assert!(h.graph().is_independent(&out.winners));
+        // At most one channel per master node.
+        let mut masters: Vec<usize> = out.winners.iter().map(|&v| v / m).collect();
+        let len = masters.len();
+        masters.dedup();
+        prop_assert_eq!(len, masters.len());
+    }
+
+    #[test]
+    fn distributed_weight_dominates_half_of_greedy((g, seed) in (arb_graph(10), 0u64..100)) {
+        // Sanity floor: the distributed protocol with exact local solving
+        // should never fall below half of the global greedy solution.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let h = ExtendedConflictGraph::new(&g, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let mut ptas = DistributedPtas::new(
+            &h,
+            DistributedPtasConfig::default().with_r(2).with_max_minirounds(None),
+        );
+        let out = ptas.decide(&w);
+        let dist: f64 = out.winners.iter().map(|&v| w[v]).sum();
+        let gr = greedy::max_weight(h.graph(), &w);
+        prop_assert!(dist >= 0.5 * gr.weight - 1e-9,
+            "distributed {} vs greedy {}", dist, gr.weight);
+    }
+}

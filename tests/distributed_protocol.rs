@@ -1,0 +1,182 @@
+//! Integration tests of the distributed strategy decision (Algorithm 3)
+//! against the centralized solvers it approximates.
+
+use mhca::bandit::bounds;
+use mhca::core::{DistributedPtas, DistributedPtasConfig, LocalSolver, Network};
+use mhca::graph::ExtendedConflictGraph;
+use mhca::mwis::{exact, robust_ptas};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn weights_for(h: &ExtendedConflictGraph, rng: &mut StdRng) -> Vec<f64> {
+    (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect()
+}
+
+#[test]
+fn distributed_output_is_independent_across_many_seeds() {
+    for seed in 0..20 {
+        let net = Network::random(25, 3, 4.0, 0.1, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = weights_for(net.h(), &mut rng);
+        let mut ptas = DistributedPtas::new(
+            net.h(),
+            DistributedPtasConfig::default()
+                .with_r(2)
+                .with_max_minirounds(None),
+        );
+        let out = ptas.decide(&w);
+        assert!(out.all_marked, "seed {seed} did not terminate");
+        assert_eq!(out.conflicts, 0, "seed {seed} produced conflicts");
+        assert!(
+            net.h().graph().is_independent(&out.winners),
+            "seed {seed} winners not independent"
+        );
+    }
+}
+
+#[test]
+fn distributed_tracks_centralized_robust_ptas_quality() {
+    // Run to completion with exact local solving; compare against the
+    // centralized robust PTAS and the exact optimum on small instances.
+    let mut total_dist = 0.0;
+    let mut total_central = 0.0;
+    let mut total_opt = 0.0;
+    for seed in 0..8 {
+        let net = Network::random(14, 2, 3.0, 0.1, 100 + seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = weights_for(net.h(), &mut rng);
+        let allowed: Vec<usize> = (0..net.n_vertices()).collect();
+        let opt = exact::solve_grouped(net.h().graph(), &w, &allowed, net.node_groups());
+        let central = robust_ptas::solve_grouped(
+            net.h().graph(),
+            &w,
+            &robust_ptas::Config::with_epsilon(0.5),
+            net.node_groups(),
+        );
+        let mut ptas = DistributedPtas::new(
+            net.h(),
+            DistributedPtasConfig::default()
+                .with_r(2)
+                .with_max_minirounds(None)
+                .with_local_solver(LocalSolver::Exact),
+        );
+        let out = ptas.decide(&w);
+        let dist: f64 = out.winners.iter().map(|&v| w[v]).sum();
+        total_dist += dist;
+        total_central += central.weight;
+        total_opt += opt.weight;
+    }
+    // Aggregate quality: distributed should be within 25% of the
+    // centralized PTAS and within ρ of optimal on average.
+    assert!(
+        total_dist >= 0.75 * total_central,
+        "distributed {total_dist} vs centralized {total_central}"
+    );
+    assert!(
+        total_dist >= 0.6 * total_opt,
+        "distributed {total_dist} vs optimum {total_opt}"
+    );
+}
+
+#[test]
+fn theorem2_bound_holds_empirically() {
+    // The distributed decision's approximation ratio should be far better
+    // than the worst-case ρ with ρ^r = M(2r+1)² (Theorem 2).
+    let r = 2;
+    for seed in 0..5 {
+        let net = Network::random(12, 3, 3.0, 0.1, 200 + seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = weights_for(net.h(), &mut rng);
+        let allowed: Vec<usize> = (0..net.n_vertices()).collect();
+        let opt = exact::solve_grouped(net.h().graph(), &w, &allowed, net.node_groups());
+        let mut ptas = DistributedPtas::new(
+            net.h(),
+            DistributedPtasConfig::default()
+                .with_r(r)
+                .with_max_minirounds(None),
+        );
+        let out = ptas.decide(&w);
+        let dist: f64 = out.winners.iter().map(|&v| w[v]).sum();
+        let rho = bounds::theorem2_rho(net.n_channels(), r);
+        assert!(
+            dist * rho >= opt.weight,
+            "seed {seed}: ratio worse than Theorem 2 bound"
+        );
+    }
+}
+
+#[test]
+fn capping_minirounds_loses_little_weight_on_random_networks() {
+    // Theorem 4 / Fig. 6: a constant D captures almost all the weight.
+    let net = Network::random(80, 5, 3.5, 0.1, 301);
+    let w = net.channels().means();
+    let full = {
+        let mut p = DistributedPtas::new(
+            net.h(),
+            DistributedPtasConfig::default()
+                .with_r(2)
+                .with_max_minirounds(None),
+        );
+        let out = p.decide(&w);
+        out.winners.iter().map(|&v| w[v]).sum::<f64>()
+    };
+    let capped = {
+        let mut p = DistributedPtas::new(
+            net.h(),
+            DistributedPtasConfig::default()
+                .with_r(2)
+                .with_max_minirounds(Some(4)),
+        );
+        let out = p.decide(&w);
+        out.winners.iter().map(|&v| w[v]).sum::<f64>()
+    };
+    assert!(
+        capped >= 0.9 * full,
+        "D=4 kept only {capped} of {full} weight"
+    );
+}
+
+#[test]
+fn message_loss_degrades_gracefully() {
+    // With 10% relay loss the protocol still terminates within its budget
+    // and produces mostly-independent output; the conflict counter makes
+    // any safety damage visible.
+    let net = Network::random(30, 3, 4.0, 0.1, 400);
+    let mut rng = StdRng::seed_from_u64(400);
+    let w = weights_for(net.h(), &mut rng);
+    for loss_seed in 0..5 {
+        let mut ptas = DistributedPtas::new(
+            net.h(),
+            DistributedPtasConfig::default()
+                .with_r(1)
+                .with_max_minirounds(Some(30))
+                .with_loss(0.1, loss_seed),
+        );
+        let out = ptas.decide(&w);
+        assert!(!out.winners.is_empty(), "lossy run produced no winners");
+        // The loss-defense rule keeps conflicts rare.
+        assert!(
+            out.conflicts <= 2,
+            "loss seed {loss_seed}: too many conflicts ({})",
+            out.conflicts
+        );
+    }
+}
+
+#[test]
+fn lossless_runs_never_conflict_even_with_greedy_solver() {
+    for seed in 0..10 {
+        let net = Network::random(40, 4, 5.0, 0.1, 500 + seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = weights_for(net.h(), &mut rng);
+        let mut ptas = DistributedPtas::new(
+            net.h(),
+            DistributedPtasConfig::default()
+                .with_r(2)
+                .with_max_minirounds(Some(4))
+                .with_local_solver(LocalSolver::Greedy),
+        );
+        let out = ptas.decide(&w);
+        assert_eq!(out.conflicts, 0);
+        assert!(net.h().graph().is_independent(&out.winners));
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration tests: the full Algorithm 2 pipeline
+//! (network → learning policy → distributed decision → transmission →
+//! estimate update) across crates.
+
+use mhca::bandit::policies::{CsUcb, EpsilonGreedy, Llr, Oracle, Random};
+use mhca::core::{
+    runner::{run_policy, Algorithm2Config},
+    DistributedPtasConfig, Network,
+};
+
+fn small_net(seed: u64) -> Network {
+    Network::random_connected(10, 3, 3.0, 0.1, seed)
+}
+
+#[test]
+fn cs_ucb_approaches_the_exact_optimum() {
+    let net = small_net(1);
+    let opt = net.optimal().weight;
+    let cfg = Algorithm2Config::default().with_horizon(1500);
+    let run = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    // After 1500 slots the expected throughput of the played strategies
+    // should be within 30% of the exact optimum (the policy still
+    // explores; zero-regret is asymptotic).
+    assert!(
+        run.average_expected_kbps > 0.7 * opt,
+        "expected {} vs optimum {opt}",
+        run.average_expected_kbps
+    );
+}
+
+#[test]
+fn oracle_with_decision_overhead_halves_throughput() {
+    // With Table II timing, effective throughput is θ = 1/2 of observed
+    // when deciding every slot — Section V's "actual throughput gained at
+    // each round is 0.5 Rx(t)".
+    let net = small_net(2);
+    let cfg = Algorithm2Config::default().with_horizon(200);
+    let mut oracle = Oracle::new(net.channels().means());
+    let run = run_policy(&net, &cfg, &mut oracle);
+    let ratio = run.average_effective_kbps / run.average_observed_kbps;
+    assert!(
+        (ratio - 0.5).abs() < 1e-9,
+        "effective/observed ratio {ratio} should equal theta = 0.5"
+    );
+}
+
+#[test]
+fn policies_rank_as_expected_on_average() {
+    // Oracle ≥ CS-UCB > Random in expected throughput over a long run.
+    let net = small_net(3);
+    let cfg = Algorithm2Config::default().with_horizon(800);
+    let mut oracle = Oracle::new(net.channels().means());
+    let o = run_policy(&net, &cfg, &mut oracle);
+    let c = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    let r = run_policy(&net, &cfg, &mut Random);
+    assert!(
+        o.average_expected_kbps >= c.average_expected_kbps - 1e-9,
+        "oracle {} vs cs-ucb {}",
+        o.average_expected_kbps,
+        c.average_expected_kbps
+    );
+    assert!(
+        c.average_expected_kbps > r.average_expected_kbps,
+        "cs-ucb {} vs random {}",
+        c.average_expected_kbps,
+        r.average_expected_kbps
+    );
+}
+
+#[test]
+fn paired_comparison_is_fair_and_deterministic() {
+    // Two runs of the same policy on the same network are identical;
+    // different policies see identical channel realizations (counter-based
+    // sampling), so the comparison is paired.
+    let net = small_net(4);
+    let cfg = Algorithm2Config::default().with_horizon(100).with_seed(9);
+    let a = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    let b = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn epsilon_greedy_learns_something() {
+    let net = small_net(5);
+    let cfg = Algorithm2Config::default().with_horizon(600);
+    let e = run_policy(&net, &cfg, &mut EpsilonGreedy::new(0.1, 2.0));
+    let r = run_policy(&net, &cfg, &mut Random);
+    assert!(e.average_expected_kbps > r.average_expected_kbps);
+}
+
+#[test]
+fn regret_decreases_over_the_run() {
+    let net = small_net(6);
+    let opt = net.optimal().weight;
+    let cfg = Algorithm2Config::default()
+        .with_horizon(1000)
+        .with_optimal_kbps(opt);
+    let run = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    let pr = &run.practical_regret;
+    let early = pr[49];
+    let late = *pr.last().unwrap();
+    assert!(
+        late < early,
+        "practical regret should fall: early {early}, late {late}"
+    );
+    // And the floor: even a perfect policy pays (1-θ)·R1.
+    let theta = 0.5;
+    assert!(late > opt * (1.0 - theta) - 0.2 * opt, "regret {late} below plausible floor");
+}
+
+#[test]
+fn llr_and_cs_ucb_both_beat_the_beta_target() {
+    let net = small_net(7);
+    let opt = net.optimal().weight;
+    let cfg = Algorithm2Config::default()
+        .with_horizon(600)
+        .with_optimal_kbps(opt);
+    let c = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    let l = run_policy(&net, &cfg, &mut Llr::new(net.n_nodes(), 2.0));
+    assert!(*c.practical_beta_regret.last().unwrap() < 0.0);
+    assert!(*l.practical_beta_regret.last().unwrap() < 0.0);
+}
+
+#[test]
+fn deciding_with_larger_r_does_not_break_anything() {
+    let net = small_net(8);
+    for r in [1usize, 2, 3] {
+        let cfg = Algorithm2Config::default()
+            .with_horizon(50)
+            .with_decision(
+                DistributedPtasConfig::default()
+                    .with_r(r)
+                    .with_max_minirounds(Some(4)),
+            );
+        let run = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        assert!(run.average_observed_kbps > 0.0, "r={r} produced nothing");
+    }
+}
+
+#[test]
+fn final_strategy_is_feasible() {
+    let net = small_net(9);
+    let cfg = Algorithm2Config::default().with_horizon(200);
+    let run = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    // Conversion panics if the winner set is not independent in H.
+    let strategy = net.strategy_from_is(&run.final_strategy_vertices);
+    assert!(net.h().is_feasible(&strategy));
+    assert!(strategy.assigned_count() > 0);
+}

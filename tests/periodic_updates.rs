@@ -1,0 +1,109 @@
+//! Integration tests of the Section V-C periodic (stale-weight) update
+//! machinery: the airtime fractions, the estimated-vs-actual gap, and the
+//! bookkeeping identities.
+
+use mhca::bandit::policies::{CsUcb, Llr, Oracle};
+use mhca::core::{
+    runner::{run_policy, Algorithm2Config},
+    Network, TimeModel,
+};
+
+#[test]
+fn oracle_effective_fractions_match_the_paper() {
+    // With a constant strategy (oracle indices never change) the effective
+    // throughput is exactly 1/2, 9/10, 19/20, 39/40 of the observed
+    // throughput for y = 1, 5, 10, 20 (Section V-C).
+    let net = Network::random(8, 3, 3.0, 0.0, 10); // sigma 0: deterministic rates
+    let mut oracle = Oracle::new(net.channels().means());
+    for (y, frac) in [(1usize, 0.5), (5, 0.9), (10, 0.95), (20, 0.975)] {
+        let cfg = Algorithm2Config::default()
+            .with_horizon(40 * y as u64)
+            .with_update_period(y);
+        let run = run_policy(&net, &cfg, &mut oracle);
+        let ratio = run.average_effective_kbps / run.average_observed_kbps;
+        assert!(
+            (ratio - frac).abs() < 1e-9,
+            "y={y}: effective fraction {ratio} != {frac}"
+        );
+    }
+}
+
+#[test]
+fn stale_weights_barely_hurt_estimation_accuracy() {
+    // Fig. 8's message: infrequent updates have negligible impact on the
+    // estimate quality but improve effective throughput. Compare the
+    // CS-UCB estimate gap at y=1 vs y=10.
+    let net = Network::random(20, 4, 3.5, 0.1, 11);
+    let run_y = |y: usize| {
+        let cfg = Algorithm2Config::default()
+            .with_horizon(200 * y as u64)
+            .with_update_period(y);
+        run_policy(&net, &cfg, &mut CsUcb::new(2.0))
+    };
+    let r1 = run_y(1);
+    let r10 = run_y(10);
+    assert!(
+        r10.average_effective_kbps > r1.average_effective_kbps,
+        "y=10 should raise effective throughput"
+    );
+    let gap = |r: &mhca::core::RunResult| {
+        (r.avg_estimated_throughput.last().unwrap() - r.avg_actual_throughput.last().unwrap())
+            .abs()
+            / r.avg_actual_throughput.last().unwrap()
+    };
+    // Estimation stays reasonable despite 10× staler weights.
+    assert!(
+        gap(&r10) < gap(&r1) + 0.2,
+        "staleness destroyed estimation: y1 gap {}, y10 gap {}",
+        gap(&r1),
+        gap(&r10)
+    );
+}
+
+#[test]
+fn cs_ucb_estimates_tighter_than_llr() {
+    // The Fig. 8 separation: Algorithm 2's estimated throughput tracks its
+    // actual throughput closely, LLR's overshoots.
+    let net = Network::random(20, 4, 3.5, 0.1, 12);
+    let cfg = Algorithm2Config::default()
+        .with_horizon(500)
+        .with_update_period(5);
+    let cs = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    let llr = run_policy(&net, &cfg, &mut Llr::new(net.n_nodes(), 2.0));
+    let cs_gap =
+        cs.avg_estimated_throughput.last().unwrap() - cs.avg_actual_throughput.last().unwrap();
+    let llr_gap =
+        llr.avg_estimated_throughput.last().unwrap() - llr.avg_actual_throughput.last().unwrap();
+    assert!(
+        cs_gap.abs() < llr_gap.abs(),
+        "cs gap {cs_gap} should be tighter than llr gap {llr_gap}"
+    );
+}
+
+#[test]
+fn period_series_lengths_match_period_count() {
+    let net = Network::random(8, 2, 2.5, 0.1, 13);
+    let cfg = Algorithm2Config::default()
+        .with_horizon(95) // not a multiple of y: last period is short
+        .with_update_period(10);
+    let run = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+    assert_eq!(run.period_end_slots.len(), 10);
+    assert_eq!(*run.period_end_slots.last().unwrap(), 95);
+    assert_eq!(run.comm.decisions, 10);
+}
+
+#[test]
+fn custom_time_model_changes_theta() {
+    let net = Network::random(8, 2, 2.5, 0.0, 14);
+    let mut cfg = Algorithm2Config::default().with_horizon(50);
+    cfg.time = TimeModel {
+        round_ms: 1000.0,
+        broadcast_ms: 50.0,
+        compute_ms: 25.0,
+        data_ms: 800.0,
+    };
+    let mut oracle = Oracle::new(net.channels().means());
+    let run = run_policy(&net, &cfg, &mut oracle);
+    let ratio = run.average_effective_kbps / run.average_observed_kbps;
+    assert!((ratio - 0.8).abs() < 1e-9, "theta should be 0.8, got {ratio}");
+}
