@@ -204,10 +204,8 @@ mod tests {
     fn mis_count_grows_exponentially_on_matchings() {
         // A perfect matching of k edges has 2^k maximal ISs.
         for k in 1..=6 {
-            let mut g = Graph::new(2 * k);
-            for i in 0..k {
-                g.add_edge(2 * i, 2 * i + 1);
-            }
+            let edges: Vec<_> = (0..k).map(|i| (2 * i, 2 * i + 1)).collect();
+            let g = Graph::from_edges(2 * k, &edges);
             assert_eq!(maximal_independent_sets(&g).len(), 1 << k);
         }
     }
@@ -218,7 +216,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..10 {
             let n = rng.gen_range(1..=10);
-            let mut g = Graph::new(n);
+            let mut g = Graph::builder(n);
             for u in 0..n {
                 for v in (u + 1)..n {
                     if rng.gen::<f64>() < 0.4 {
@@ -226,6 +224,7 @@ mod tests {
                     }
                 }
             }
+            let g = g.build();
             for set in maximal_independent_sets(&g) {
                 assert!(g.is_independent(&set));
                 // Maximality: every vertex outside conflicts with the set.
@@ -248,7 +247,11 @@ mod tests {
         let mut ucb = JointUcb1::new(&g, 2.0);
         for _ in 0..200 {
             let idx = ucb.select();
-            let reward = if ucb.strategy(idx) == [0, 2] { 2.0 } else { 1.0 };
+            let reward = if ucb.strategy(idx) == [0, 2] {
+                2.0
+            } else {
+                1.0
+            };
             ucb.update(idx, reward);
         }
         let best = (0..ucb.n_strategies())

@@ -13,8 +13,20 @@ use std::fmt::Debug;
 /// `t` is the 1-based round number. Policies may use the RNG (ε-greedy,
 /// random) and internal mutable state.
 pub trait IndexPolicy: Debug {
-    /// Index weight per arm for round `t`.
-    fn indices(&mut self, t: u64, stats: &ArmStats, rng: &mut dyn RngCore) -> Vec<f64>;
+    /// Writes the index weight per arm for round `t` into `out`, which is
+    /// cleared first. This is the hot-path entry point: implementations
+    /// must not allocate beyond `out`'s own (amortized) growth, so a
+    /// caller reusing one buffer across rounds pays zero steady-state
+    /// allocation for index computation.
+    fn indices_into(&mut self, t: u64, stats: &ArmStats, rng: &mut dyn RngCore, out: &mut Vec<f64>);
+
+    /// Index weight per arm for round `t`, allocating a fresh vector
+    /// (convenience over [`IndexPolicy::indices_into`]).
+    fn indices(&mut self, t: u64, stats: &ArmStats, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = Vec::with_capacity(stats.k());
+        self.indices_into(t, stats, rng, &mut out);
+        out
+    }
 
     /// Short name used in experiment outputs.
     fn name(&self) -> &'static str;
@@ -56,20 +68,25 @@ impl CsUcb {
 }
 
 impl IndexPolicy for CsUcb {
-    fn indices(&mut self, t: u64, stats: &ArmStats, _rng: &mut dyn RngCore) -> Vec<f64> {
+    fn indices_into(
+        &mut self,
+        t: u64,
+        stats: &ArmStats,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         let k = stats.k() as f64;
-        (0..stats.k())
-            .map(|arm| {
-                let m = stats.count(arm);
-                if m == 0 {
-                    self.exploration_bonus
-                } else {
-                    let m = m as f64;
-                    let inner = (2.0 / 3.0) * (t as f64).ln() - (k * m).ln();
-                    stats.mean(arm) + (inner.max(0.0) / m).sqrt()
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend((0..stats.k()).map(|arm| {
+            let m = stats.count(arm);
+            if m == 0 {
+                self.exploration_bonus
+            } else {
+                let m = m as f64;
+                let inner = (2.0 / 3.0) * (t as f64).ln() - (k * m).ln();
+                stats.mean(arm) + (inner.max(0.0) / m).sqrt()
+            }
+        }));
     }
 
     fn name(&self) -> &'static str {
@@ -104,18 +121,23 @@ impl Llr {
 }
 
 impl IndexPolicy for Llr {
-    fn indices(&mut self, t: u64, stats: &ArmStats, _rng: &mut dyn RngCore) -> Vec<f64> {
-        (0..stats.k())
-            .map(|arm| {
-                let m = stats.count(arm);
-                if m == 0 {
-                    self.exploration_bonus
-                } else {
-                    let bonus = ((self.l as f64 + 1.0) * (t as f64).ln() / m as f64).sqrt();
-                    stats.mean(arm) + bonus
-                }
-            })
-            .collect()
+    fn indices_into(
+        &mut self,
+        t: u64,
+        stats: &ArmStats,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend((0..stats.k()).map(|arm| {
+            let m = stats.count(arm);
+            if m == 0 {
+                self.exploration_bonus
+            } else {
+                let bonus = ((self.l as f64 + 1.0) * (t as f64).ln() / m as f64).sqrt();
+                stats.mean(arm) + bonus
+            }
+        }));
     }
 
     fn name(&self) -> &'static str {
@@ -150,19 +172,24 @@ impl EpsilonGreedy {
 }
 
 impl IndexPolicy for EpsilonGreedy {
-    fn indices(&mut self, _t: u64, stats: &ArmStats, rng: &mut dyn RngCore) -> Vec<f64> {
+    fn indices_into(
+        &mut self,
+        _t: u64,
+        stats: &ArmStats,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         let explore = rand::Rng::gen::<f64>(rng) < self.epsilon;
-        (0..stats.k())
-            .map(|arm| {
-                if explore {
-                    rand::Rng::gen::<f64>(rng)
-                } else if stats.count(arm) == 0 {
-                    self.exploration_bonus
-                } else {
-                    stats.mean(arm)
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend((0..stats.k()).map(|arm| {
+            if explore {
+                rand::Rng::gen::<f64>(rng)
+            } else if stats.count(arm) == 0 {
+                self.exploration_bonus
+            } else {
+                stats.mean(arm)
+            }
+        }));
     }
 
     fn name(&self) -> &'static str {
@@ -175,10 +202,15 @@ impl IndexPolicy for EpsilonGreedy {
 pub struct Random;
 
 impl IndexPolicy for Random {
-    fn indices(&mut self, _t: u64, stats: &ArmStats, rng: &mut dyn RngCore) -> Vec<f64> {
-        (0..stats.k())
-            .map(|_| rand::Rng::gen::<f64>(rng))
-            .collect()
+    fn indices_into(
+        &mut self,
+        _t: u64,
+        stats: &ArmStats,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend((0..stats.k()).map(|_| rand::Rng::gen::<f64>(rng)));
     }
 
     fn name(&self) -> &'static str {
@@ -202,9 +234,16 @@ impl Oracle {
 }
 
 impl IndexPolicy for Oracle {
-    fn indices(&mut self, _t: u64, stats: &ArmStats, _rng: &mut dyn RngCore) -> Vec<f64> {
+    fn indices_into(
+        &mut self,
+        _t: u64,
+        stats: &ArmStats,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(self.means.len(), stats.k(), "mean vector length");
-        self.means.clone()
+        out.clear();
+        out.extend_from_slice(&self.means);
     }
 
     fn name(&self) -> &'static str {
@@ -271,7 +310,13 @@ impl DiscountedCsUcb {
 }
 
 impl IndexPolicy for DiscountedCsUcb {
-    fn indices(&mut self, _t: u64, stats: &ArmStats, _rng: &mut dyn RngCore) -> Vec<f64> {
+    fn indices_into(
+        &mut self,
+        _t: u64,
+        stats: &ArmStats,
+        _rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(stats.k(), self.weight.len(), "arm count mismatch");
         // One decay step per decision.
         for x in &mut self.weighted_sum {
@@ -283,17 +328,16 @@ impl IndexPolicy for DiscountedCsUcb {
         self.total_weight *= self.gamma;
         let k = self.weight.len() as f64;
         let n_eff = self.total_weight.max(1.0);
-        (0..self.weight.len())
-            .map(|arm| {
-                let m = self.weight[arm];
-                if m < 1e-9 {
-                    self.exploration_bonus
-                } else {
-                    let inner = (2.0 / 3.0) * n_eff.ln() - (k * m).ln();
-                    self.discounted_mean(arm) + (inner.max(0.0) / m).sqrt()
-                }
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.weight.len()).map(|arm| {
+            let m = self.weight[arm];
+            if m < 1e-9 {
+                self.exploration_bonus
+            } else {
+                let inner = (2.0 / 3.0) * n_eff.ln() - (k * m).ln();
+                self.discounted_mean(arm) + (inner.max(0.0) / m).sqrt()
+            }
+        }));
     }
 
     fn name(&self) -> &'static str {
@@ -350,8 +394,8 @@ mod tests {
         let mut p = CsUcb::new(99.0);
         let s = stats_with(&[(1, 0.5)]);
         let idx = p.indices(1_000_000, &s, &mut rng());
-        let expect = 0.5
-            + (((2.0 / 3.0) * (1_000_000f64).ln() - (1.0f64).ln()).max(0.0) / 1.0).sqrt();
+        let expect =
+            0.5 + (((2.0 / 3.0) * (1_000_000f64).ln() - (1.0f64).ln()).max(0.0) / 1.0).sqrt();
         assert!((idx[0] - expect).abs() < 1e-12);
         assert!(idx[0] > 0.5);
     }
@@ -428,7 +472,10 @@ mod tests {
         assert_eq!(EpsilonGreedy::new(0.1, 1.0).name(), "epsilon-greedy");
         assert_eq!(Random.name(), "random");
         assert_eq!(Oracle::new(vec![]).name(), "oracle");
-        assert_eq!(DiscountedCsUcb::new(1, 0.9, 1.0).name(), "discounted-cs-ucb");
+        assert_eq!(
+            DiscountedCsUcb::new(1, 0.9, 1.0).name(),
+            "discounted-cs-ucb"
+        );
     }
 
     #[test]

@@ -43,18 +43,23 @@ impl GaussianThompson {
 }
 
 impl IndexPolicy for GaussianThompson {
-    fn indices(&mut self, _t: u64, stats: &ArmStats, rng: &mut dyn RngCore) -> Vec<f64> {
-        (0..stats.k())
-            .map(|arm| {
-                let m = stats.count(arm);
-                if m == 0 {
-                    self.exploration_bonus
-                } else {
-                    let std = self.sigma / ((m + 1) as f64).sqrt();
-                    stats.mean(arm) + std * Self::standard_normal(rng)
-                }
-            })
-            .collect()
+    fn indices_into(
+        &mut self,
+        _t: u64,
+        stats: &ArmStats,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend((0..stats.k()).map(|arm| {
+            let m = stats.count(arm);
+            if m == 0 {
+                self.exploration_bonus
+            } else {
+                let std = self.sigma / ((m + 1) as f64).sqrt();
+                stats.mean(arm) + std * Self::standard_normal(rng)
+            }
+        }));
     }
 
     fn name(&self) -> &'static str {

@@ -111,7 +111,7 @@ proptest! {
 
     #[test]
     fn mis_enumeration_matches_brute_force_count(n in 1usize..8, edge_mask in any::<u32>()) {
-        let mut g = Graph::new(n);
+        let mut g = Graph::builder(n);
         let mut bit = 0;
         for u in 0..n {
             for v in (u + 1)..n {
@@ -121,6 +121,7 @@ proptest! {
                 bit += 1;
             }
         }
+        let g = g.build();
         let listed = maximal_independent_sets(&g);
         // Brute force: a set is a maximal IS iff independent and no vertex
         // can be added.

@@ -5,13 +5,53 @@
 //! joint-strategy formulation pays time linear in its `O(M^N)` arm count.
 //! This bench measures (a) `DistributedPtas::decide` across N and r,
 //! (b) joint-UCB1 arm enumeration + selection blowup with N on a matching
-//! (where the strategy count is exactly 2^(N/2)).
+//! (where the strategy count is exactly 2^(N/2)), and (c) the WB phase of
+//! one Algorithm 2 round — the per-round `(2r+1)`-hop weight broadcast
+//! from the previous round's winners — on the 100-node, 3-channel network
+//! the `BENCH_PR1.json` regression numbers are pinned to.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mhca_bandit::joint::JointUcb1;
 use mhca_core::{DistributedPtas, DistributedPtasConfig, Network};
 use mhca_graph::Graph;
+use mhca_sim::{Flood, FloodEngine};
 use std::hint::black_box;
+
+fn bench_wb_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wb_flood");
+    let net = Network::random(100, 3, 5.0, 0.1, 77);
+    let r = DistributedPtasConfig::default().r;
+    let means = net.channels().means();
+    let mut ptas = DistributedPtas::new(net.h(), DistributedPtasConfig::default());
+    let winners = ptas.decide(&means).winners;
+    let floods: Vec<Flood<()>> = winners
+        .iter()
+        .map(|&v| Flood {
+            origin: v,
+            ttl: 2 * r + 1,
+            payload: (),
+        })
+        .collect();
+    group.bench_function(BenchmarkId::new("round_broadcast", "100x3"), |b| {
+        // Full delivery into reusable inboxes (the general-purpose path).
+        let mut engine = FloodEngine::new(net.h().graph());
+        let mut inboxes = Vec::new();
+        b.iter(|| {
+            engine.deliver_into(&floods, &mut inboxes);
+            black_box(inboxes.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("counters_only", "100x3"), |b| {
+        // Accounting-only broadcast — the WB phase exactly as `run_policy`
+        // performs it per round.
+        let mut engine = FloodEngine::new(net.h().graph());
+        b.iter(|| {
+            engine.broadcast_only(&floods);
+            black_box(engine.counters().transmissions)
+        })
+    });
+    group.finish();
+}
 
 fn bench_distributed_decide(c: &mut Criterion) {
     let mut group = c.benchmark_group("decision_distributed");
@@ -37,10 +77,8 @@ fn bench_joint_blowup(c: &mut Criterion) {
     // Perfect matchings: k edges ⇒ exactly 2^k maximal strategies, an
     // honest stand-in for the O(M^N) arm count of the naive formulation.
     for &k in &[8usize, 12, 16] {
-        let mut g = Graph::new(2 * k);
-        for i in 0..k {
-            g.add_edge(2 * i, 2 * i + 1);
-        }
+        let edges: Vec<_> = (0..k).map(|i| (2 * i, 2 * i + 1)).collect();
+        let g = Graph::from_edges(2 * k, &edges);
         group.bench_function(BenchmarkId::new("enumerate_and_select", 2 * k), |b| {
             b.iter(|| {
                 let mut ucb = JointUcb1::new(&g, 2.0 * k as f64);
@@ -53,5 +91,10 @@ fn bench_joint_blowup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distributed_decide, bench_joint_blowup);
+criterion_group!(
+    benches,
+    bench_distributed_decide,
+    bench_joint_blowup,
+    bench_wb_flood
+);
 criterion_main!(benches);

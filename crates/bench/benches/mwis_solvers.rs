@@ -22,7 +22,9 @@ fn instance(n: usize, m: usize, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
     let (g, _) = unit_disk::random_with_average_degree(n, 4.0, &mut rng);
     let h = ExtendedConflictGraph::new(&g, m);
-    let weights: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+    let weights: Vec<f64> = (0..h.n_vertices())
+        .map(|_| rng.gen_range(0.1..1.0))
+        .collect();
     let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / m).collect();
     let allowed: Vec<usize> = (0..h.n_vertices()).collect();
     Instance {
@@ -37,16 +39,20 @@ fn bench_exact(c: &mut Criterion) {
     let mut group = c.benchmark_group("mwis_exact");
     for &(n, m) in &[(10usize, 3usize), (15, 3), (20, 3)] {
         let inst = instance(n, m, 100 + n as u64);
-        group.bench_with_input(BenchmarkId::new("grouped_bb", format!("{n}x{m}")), &inst, |b, inst| {
-            b.iter(|| {
-                black_box(exact::solve_grouped(
-                    inst.h.graph(),
-                    &inst.weights,
-                    &inst.allowed,
-                    &inst.groups,
-                ))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("grouped_bb", format!("{n}x{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(exact::solve_grouped(
+                        inst.h.graph(),
+                        &inst.weights,
+                        &inst.allowed,
+                        &inst.groups,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -10,8 +10,25 @@ use mhca_bandit::{
     policies::{CsUcb, IndexPolicy, Llr},
     ArmStats,
 };
+use mhca_core::{
+    runner::{run_policy, Algorithm2Config},
+    Network,
+};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
+
+fn bench_round_loop(c: &mut Criterion) {
+    // End-to-end Algorithm 2 rounds (WB phase + decision + updates) on the
+    // 100-node, 3-channel regression network of BENCH_PR1.json.
+    let mut group = c.benchmark_group("algorithm2_rounds");
+    group.sample_size(10);
+    let net = Network::random(100, 3, 5.0, 0.1, 77);
+    let cfg = Algorithm2Config::default().with_horizon(64);
+    group.bench_function(BenchmarkId::new("run_policy_cs_ucb", "100x3x64"), |b| {
+        b.iter(|| black_box(run_policy(&net, &cfg, &mut CsUcb::new(2.0))))
+    });
+    group.finish();
+}
 
 fn prepared_stats(k: usize, seed: u64) -> ArmStats {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -63,5 +80,5 @@ fn bench_updates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_indices, bench_updates);
+criterion_group!(benches, bench_indices, bench_updates, bench_round_loop);
 criterion_main!(benches);

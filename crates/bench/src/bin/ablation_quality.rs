@@ -60,7 +60,12 @@ fn main() {
         ("exact", LocalSolver::Exact),
         ("greedy", LocalSolver::Greedy),
         ("local_search", LocalSolver::LocalSearch { max_passes: 10 }),
-        ("auto14", LocalSolver::Auto { max_exact_groups: 14 }),
+        (
+            "auto14",
+            LocalSolver::Auto {
+                max_exact_groups: 14,
+            },
+        ),
     ] {
         let w = decision_weight(
             &net,

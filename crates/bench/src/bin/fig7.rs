@@ -18,7 +18,10 @@ fn main() {
         cfg.n, cfg.m, cfg.horizon
     );
     let out = fig7(&cfg);
-    println!("# optimal R1 (kbps): {:.2} (paper instance: 7282.90)", out.optimal_kbps);
+    println!(
+        "# optimal R1 (kbps): {:.2} (paper instance: 7282.90)",
+        out.optimal_kbps
+    );
     println!("# beta = theta*alpha: {:.4}", out.beta);
     csv_row(&[
         "slot",

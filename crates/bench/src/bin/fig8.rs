@@ -55,7 +55,13 @@ fn main() {
         println!();
     }
     println!("# summary: final actual throughput per y (should grow with y)");
-    csv_row(&["y", "alg2_actual", "llr_actual", "alg2_estimate_gap", "llr_estimate_gap"]);
+    csv_row(&[
+        "y",
+        "alg2_actual",
+        "llr_actual",
+        "alg2_estimate_gap",
+        "llr_estimate_gap",
+    ]);
     for run in &runs {
         let a_act = run.algorithm2.avg_actual_throughput.last().unwrap();
         let a_est = run.algorithm2.avg_estimated_throughput.last().unwrap();

@@ -17,8 +17,16 @@ fn main() {
     let alpha = bounds::theorem2_rho(cfg.m, cfg.r);
     let theta = 0.5;
 
-    println!("# Theorem 1 / Theorem 5 bounds vs horizon (N={}, K={k})", cfg.n);
-    csv_row(&["n", "theorem1_bound", "theorem1_per_round", "theorem5_bound"]);
+    println!(
+        "# Theorem 1 / Theorem 5 bounds vs horizon (N={}, K={k})",
+        cfg.n
+    );
+    csv_row(&[
+        "n",
+        "theorem1_bound",
+        "theorem1_per_round",
+        "theorem5_bound",
+    ]);
     for n in [100u64, 1_000, 10_000, 100_000, 1_000_000] {
         let t1 = bounds::theorem1(n, cfg.n, k, theta * alpha);
         let t5 = bounds::theorem5(n, cfg.n, k, alpha, theta);
@@ -39,6 +47,8 @@ fn main() {
     let measured = out.algorithm2.practical_regret.last().unwrap();
     let bound_per_round = bounds::theorem5(n, cfg.n, k, alpha, theta) / n as f64;
     println!("# measured per-round practical regret at n={n}: {measured:.1} kbps");
-    println!("# Theorem 5 per-round bound at n={n}: {bound_per_round:.3e} (normalized units x scale)");
+    println!(
+        "# Theorem 5 per-round bound at n={n}: {bound_per_round:.3e} (normalized units x scale)"
+    );
     println!("# measured << bound, as expected for a worst-case bound");
 }

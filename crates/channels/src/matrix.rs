@@ -80,7 +80,8 @@ impl ChannelMatrix {
         let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xC0FF_EE00));
         let processes: Vec<Box<dyn ChannelProcess>> = (0..n * m)
             .map(|_| {
-                let mu = rates::PAPER_RATE_CLASSES[rng.gen_range(0..rates::PAPER_RATE_CLASSES.len())];
+                let mu =
+                    rates::PAPER_RATE_CLASSES[rng.gen_range(0..rates::PAPER_RATE_CLASSES.len())];
                 Box::new(TruncatedGaussian::symmetric(mu, sigma_frac * mu))
                     as Box<dyn ChannelProcess>
             })
@@ -137,7 +138,9 @@ impl ChannelMatrix {
     /// Panics if `vertex` is out of range.
     pub fn value(&self, t: u64, vertex: usize) -> f64 {
         let stream = splitmix64(
-            self.seed ^ splitmix64((vertex as u64) << 32 | 0xA5A5) ^ splitmix64(t.wrapping_mul(0x9E37)),
+            self.seed
+                ^ splitmix64((vertex as u64) << 32 | 0xA5A5)
+                ^ splitmix64(t.wrapping_mul(0x9E37)),
         );
         let mut rng = StdRng::seed_from_u64(stream);
         self.processes[vertex].sample(t, &mut rng)
@@ -146,7 +149,16 @@ impl ChannelMatrix {
     /// Observes all vertices of a selected set at slot `t`, returning
     /// `(vertex, rate)` pairs.
     pub fn observe(&self, t: u64, vertices: &[usize]) -> Vec<(usize, f64)> {
-        vertices.iter().map(|&v| (v, self.value(t, v))).collect()
+        let mut out = Vec::with_capacity(vertices.len());
+        self.observe_into(t, vertices, &mut out);
+        out
+    }
+
+    /// As [`ChannelMatrix::observe`], writing into a caller-owned buffer
+    /// (cleared first) — the per-slot hot path of the Algorithm 2 runner.
+    pub fn observe_into(&self, t: u64, vertices: &[usize], out: &mut Vec<(usize, f64)>) {
+        out.clear();
+        out.extend(vertices.iter().map(|&v| (v, self.value(t, v))));
     }
 
     /// Seed this matrix was built with (recorded in experiment outputs).
@@ -212,10 +224,7 @@ mod tests {
         let mu = m.mean(0);
         let n = 20_000;
         let avg: f64 = (0..n).map(|t| m.value(t as u64, 0)).sum::<f64>() / n as f64;
-        assert!(
-            (avg - mu).abs() < 0.02 * mu,
-            "empirical {avg} vs mean {mu}"
-        );
+        assert!((avg - mu).abs() < 0.02 * mu, "empirical {avg} vs mean {mu}");
     }
 
     #[test]
@@ -233,10 +242,8 @@ mod tests {
 
     #[test]
     fn max_mean_over_constants() {
-        let procs: Vec<Box<dyn ChannelProcess>> = vec![
-            Box::new(Constant::new(1.0)),
-            Box::new(Constant::new(9.0)),
-        ];
+        let procs: Vec<Box<dyn ChannelProcess>> =
+            vec![Box::new(Constant::new(1.0)), Box::new(Constant::new(9.0))];
         let m = ChannelMatrix::from_processes(1, 2, procs, 0);
         assert_eq!(m.max_mean(), 9.0);
     }

@@ -34,9 +34,8 @@
 
 use mhca_graph::ExtendedConflictGraph;
 use mhca_mwis::{exact, greedy};
-use mhca_sim::{Counters, Flood, FloodEngine};
+use mhca_sim::{Counters, Flood, FloodEngine, Received};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 
 /// Per-vertex protocol status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,6 +128,10 @@ impl DistributedPtasConfig {
     }
 
     /// Builder-style loss injection.
+    ///
+    /// The seed initializes one loss stream per [`DistributedPtas`]; see
+    /// [`DistributedPtas::decide`] for the cross-decision determinism
+    /// semantics.
     pub fn with_loss(mut self, prob: f64, seed: u64) -> Self {
         self.loss_prob = prob;
         self.loss_seed = seed;
@@ -137,7 +140,7 @@ impl DistributedPtasConfig {
 }
 
 /// Result of one distributed strategy decision (one round's `t_s` part).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DecisionOutcome {
     /// Vertices selected to transmit, sorted ascending. Independent in `H`
     /// under lossless delivery.
@@ -158,13 +161,21 @@ pub struct DecisionOutcome {
 }
 
 /// Protocol messages carried by the control-channel floods.
-#[derive(Debug, Clone)]
+///
+/// Payloads are `Copy`: the determination *content* — the `(vertex,
+/// is_winner)` list a leader computed — lives in the round's pooled
+/// determination lists ([`DistributedPtas::det_lists`]), and the flood
+/// carries the leader's slot index into that pool. Receivers only ever
+/// dereference the slot of the flood they actually received, so locality
+/// is preserved exactly as if the list travelled in the payload, while the
+/// per-leader `Arc<Vec<…>>` allocation of the old representation is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Msg {
     /// `LocalLeader` declaration (Algorithm 3 line 4).
     LeaderDeclare,
     /// Status determinations from a leader (Algorithm 3 lines 9–10):
-    /// `(vertex, is_winner)` for every Candidate of the leader's `r`-ball.
-    Determination(Arc<Vec<(usize, bool)>>),
+    /// the payload indexes the mini-round's determination-list pool.
+    Determination(u32),
 }
 
 /// Local knowledge of one vertex: the ids and statuses of its
@@ -181,10 +192,7 @@ struct LocalView {
 
 impl LocalView {
     fn get(&self, u: usize) -> Option<Status> {
-        self.ball
-            .binary_search(&u)
-            .ok()
-            .map(|i| self.status[i])
+        self.ball.binary_search(&u).ok().map(|i| self.status[i])
     }
 
     fn set(&mut self, u: usize, s: Status) {
@@ -199,14 +207,46 @@ impl LocalView {
 }
 
 /// The distributed strategy-decision engine (Algorithm 3), reusable across
-/// rounds: neighborhood tables are precomputed once per network.
+/// rounds: neighborhood tables are precomputed once per network and **all
+/// per-decision scratch is pooled**, so steady-state calls through
+/// [`DistributedPtas::decide_into`] perform no heap allocation (beyond the
+/// amortized growth of the pools in the first few rounds).
 #[derive(Debug)]
 pub struct DistributedPtas<'h> {
     h: &'h ExtendedConflictGraph,
     config: DistributedPtasConfig,
+    /// Long-lived flood engine over `H` (ball tables prewarmed for the
+    /// protocol's two TTLs). Under message loss the engine's RNG stream
+    /// advances across decisions — runs are reproducible per
+    /// `(loss_seed, decision sequence)`, not per individual decision.
+    engine: FloodEngine<'h>,
     views: Vec<LocalView>,
     balls_r: Vec<Vec<usize>>,
     node_groups: Vec<usize>,
+    // ---- pooled per-decision scratch ----
+    own: Vec<Status>,
+    leaders: Vec<usize>,
+    declare_floods: Vec<Flood<Msg>>,
+    det_floods: Vec<Flood<Msg>>,
+    inboxes: Vec<Vec<Received<Msg>>>,
+    /// Determination lists per leader slot of the current mini-round; the
+    /// `Msg::Determination` payload indexes into this pool.
+    det_lists: Vec<Vec<(usize, bool)>>,
+    cand: Vec<usize>,
+    selectable: Vec<usize>,
+    solver: SolverScratch,
+}
+
+/// Pooled scratch for the LocalLeader MWIS, grouped so the solver can be
+/// borrowed as one unit disjointly from the rest of the protocol state.
+#[derive(Debug, Default)]
+struct SolverScratch {
+    /// Reusable branch-and-bound workspace.
+    mwis_ws: exact::Workspace,
+    greedy: greedy::Scratch,
+    masters: Vec<usize>,
+    /// Winners of the current leader's local MWIS, sorted ascending.
+    local_mwis: Vec<usize>,
 }
 
 impl<'h> DistributedPtas<'h> {
@@ -223,12 +263,29 @@ impl<'h> DistributedPtas<'h> {
             .collect();
         let balls_r = (0..n).map(|v| g.r_hop_neighborhood(v, config.r)).collect();
         let node_groups = (0..n).map(|v| v / h.n_channels()).collect();
+        let mut engine = if config.loss_prob > 0.0 {
+            FloodEngine::with_loss(g, config.loss_prob, config.loss_seed)
+        } else {
+            FloodEngine::new(g)
+        };
+        engine.prewarm(2 * config.r + 1);
+        engine.prewarm(3 * config.r + 1);
         DistributedPtas {
             h,
             config,
+            engine,
             views,
             balls_r,
             node_groups,
+            own: Vec::new(),
+            leaders: Vec::new(),
+            declare_floods: Vec::new(),
+            det_floods: Vec::new(),
+            inboxes: Vec::new(),
+            det_lists: Vec::new(),
+            cand: Vec::new(),
+            selectable: Vec::new(),
+            solver: SolverScratch::default(),
         }
     }
 
@@ -238,13 +295,45 @@ impl<'h> DistributedPtas<'h> {
     }
 
     /// Runs one strategy decision with the given per-vertex index weights
-    /// (the learning policy's output for this round).
+    /// (the learning policy's output for this round), allocating a fresh
+    /// outcome. Hot loops should prefer [`DistributedPtas::decide_into`].
+    ///
+    /// # Determinism under message loss
+    ///
+    /// Lossless decisions are pure functions of the weights. With
+    /// `loss_prob > 0`, the persistent engine's loss RNG advances across
+    /// decisions: runs are reproducible per `(loss_seed, sequence of
+    /// decisions)`, but two decisions with identical weights within one
+    /// run see *different* loss realizations (construct a fresh
+    /// `DistributedPtas` to replay a stream from its seed).
     ///
     /// # Panics
     ///
     /// Panics if `weights.len() != H.n_vertices()` or any weight is not
     /// finite.
     pub fn decide(&mut self, weights: &[f64]) -> DecisionOutcome {
+        let mut out = DecisionOutcome::default();
+        self.decide_into(weights, &mut out);
+        out
+    }
+
+    /// The flood engine this decision protocol communicates through —
+    /// exposed so same-graph engines (e.g. the Algorithm 2 runner's WB
+    /// engine) can adopt its prewarmed neighborhood tables instead of
+    /// rebuilding them ([`FloodEngine::adopt_tables`]).
+    pub fn flood_engine(&self) -> &FloodEngine<'h> {
+        &self.engine
+    }
+
+    /// As [`DistributedPtas::decide`], writing into a caller-owned outcome
+    /// whose vectors are cleared and refilled in place — together with the
+    /// internal scratch pools this makes steady-state decisions
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// As [`DistributedPtas::decide`].
+    pub fn decide_into(&mut self, weights: &[f64], out: &mut DecisionOutcome) {
         let n = self.h.n_vertices();
         assert_eq!(weights.len(), n, "weight vector length");
         assert!(
@@ -253,19 +342,17 @@ impl<'h> DistributedPtas<'h> {
         );
         let graph = self.h.graph();
         let r = self.config.r;
-        let mut engine = if self.config.loss_prob > 0.0 {
-            FloodEngine::with_loss(graph, self.config.loss_prob, self.config.loss_seed)
-        } else {
-            FloodEngine::new(graph)
-        };
+        self.engine.reset_counters();
 
         for view in &mut self.views {
             view.reset();
         }
-        let mut own: Vec<Status> = vec![Status::Candidate; n];
-        let mut per_miniround_weight = Vec::new();
-        let mut leaders_per_miniround = Vec::new();
-        let mut all_marked = false;
+        self.own.clear();
+        self.own.resize(n, Status::Candidate);
+        out.winners.clear();
+        out.per_miniround_weight.clear();
+        out.leaders_per_miniround.clear();
+        out.all_marked = false;
         let cap = self.config.max_minirounds.unwrap_or(n.max(1));
 
         for _tau in 0..cap {
@@ -273,121 +360,143 @@ impl<'h> DistributedPtas<'h> {
             // A Candidate leads iff no other Candidate in its (2r+1)-ball
             // has a larger (weight, id) pair — the strict total order that
             // keeps same-mini-round leaders ≥ 2r+2 hops apart.
-            let leaders: Vec<usize> = (0..n)
-                .filter(|&v| own[v] == Status::Candidate)
-                .filter(|&v| {
-                    let view = &self.views[v];
-                    view.ball.iter().zip(&view.status).all(|(&u, &st)| {
-                        u == v
-                            || st != Status::Candidate
-                            || (weights[u], u) < (weights[v], v)
-                    })
-                })
-                .collect();
-            if leaders.is_empty() {
-                all_marked = (0..n).all(|v| own[v] != Status::Candidate);
+            self.leaders.clear();
+            for v in 0..n {
+                if self.own[v] != Status::Candidate {
+                    continue;
+                }
+                let view = &self.views[v];
+                let leads = view.ball.iter().zip(&view.status).all(|(&u, &st)| {
+                    u == v || st != Status::Candidate || (weights[u], u) < (weights[v], v)
+                });
+                if leads {
+                    self.leaders.push(v);
+                }
+            }
+            if self.leaders.is_empty() {
+                out.all_marked = (0..n).all(|v| self.own[v] != Status::Candidate);
                 break;
             }
-            leaders_per_miniround.push(leaders.len());
+            out.leaders_per_miniround.push(self.leaders.len());
 
             // ---- 2. Leader declaration floods (line 4; (2r+1) hops).
-            let declare: Vec<Flood<Msg>> = leaders
-                .iter()
-                .map(|&v| Flood {
+            self.declare_floods.clear();
+            self.declare_floods
+                .extend(self.leaders.iter().map(|&v| Flood {
                     origin: v,
                     ttl: 2 * r + 1,
                     payload: Msg::LeaderDeclare,
-                })
-                .collect();
-            let _ = engine.deliver(&declare);
+                }));
+            // Declarations only need to have been broadcast (leadership is
+            // evaluated from the shared weight/status knowledge); charge
+            // the communication without materializing inboxes.
+            self.engine.broadcast_only(&self.declare_floods);
 
             // ---- 3. Local MWIS per leader (lines 8–9).
-            let mut determination_floods: Vec<Flood<Msg>> = Vec::with_capacity(leaders.len());
-            for &leader in &leaders {
+            if self.det_lists.len() < self.leaders.len() {
+                self.det_lists.resize_with(self.leaders.len(), Vec::new);
+            }
+            self.det_floods.clear();
+            for slot in 0..self.leaders.len() {
+                let leader = self.leaders[slot];
                 let view = &self.views[leader];
                 // Candidates of the r-ball, per the leader's knowledge.
-                let cand: Vec<usize> = self.balls_r[leader]
-                    .iter()
-                    .copied()
-                    .filter(|&u| view.get(u) == Some(Status::Candidate))
-                    .collect();
+                self.cand.clear();
+                self.cand.extend(
+                    self.balls_r[leader]
+                        .iter()
+                        .copied()
+                        .filter(|&u| view.get(u) == Some(Status::Candidate)),
+                );
                 // Derived exclusion: candidates adjacent to a known Winner
                 // can never join the output; they are Losers.
-                let selectable: Vec<usize> = cand
-                    .iter()
-                    .copied()
-                    .filter(|&u| {
+                self.selectable.clear();
+                self.selectable
+                    .extend(self.cand.iter().copied().filter(|&u| {
                         graph
                             .neighbors(u)
                             .iter()
                             .all(|&x| view.get(x) != Some(Status::Winner))
-                    })
-                    .collect();
-                let mwis = self.solve_local(weights, &selectable);
-                let winner_set: std::collections::HashSet<usize> =
-                    mwis.vertices.iter().copied().collect();
-                let assignments: Vec<(usize, bool)> = cand
-                    .iter()
-                    .map(|&u| (u, winner_set.contains(&u)))
-                    .collect();
-                determination_floods.push(Flood {
+                    }));
+                Self::solve_local(
+                    graph,
+                    &self.config,
+                    &self.node_groups,
+                    &mut self.solver,
+                    weights,
+                    &self.selectable,
+                );
+                let list = &mut self.det_lists[slot];
+                list.clear();
+                list.extend(
+                    self.cand
+                        .iter()
+                        .map(|&u| (u, self.solver.local_mwis.binary_search(&u).is_ok())),
+                );
+                self.det_floods.push(Flood {
                     origin: leader,
                     ttl: 3 * r + 1,
-                    payload: Msg::Determination(Arc::new(assignments)),
+                    payload: Msg::Determination(slot as u32),
                 });
             }
 
             // ---- 4. Determination floods (line 10; (3r+1) hops) and
             //         local processing (lines 11–15).
-            let inboxes = engine.deliver(&determination_floods);
+            self.engine
+                .deliver_into(&self.det_floods, &mut self.inboxes);
             // Leaders apply their own determinations directly (they do not
             // receive their own flood).
-            for flood in &determination_floods {
-                if let Msg::Determination(list) = &flood.payload {
-                    Self::apply_determinations(flood.origin, list, &mut own, &mut self.views);
+            for flood in &self.det_floods {
+                if let Msg::Determination(slot) = flood.payload {
+                    Self::apply_determinations(
+                        flood.origin,
+                        &self.det_lists[slot as usize],
+                        &mut self.own,
+                        &mut self.views,
+                    );
                 }
             }
-            for (v, inbox) in inboxes.iter().enumerate() {
+            for (v, inbox) in self.inboxes.iter().enumerate() {
                 for received in inbox {
-                    if let Msg::Determination(list) = &received.payload {
-                        Self::apply_one_inbox(graph, v, list, &mut own, &mut self.views[v]);
+                    if let Msg::Determination(slot) = received.payload {
+                        Self::apply_one_inbox(
+                            graph,
+                            v,
+                            &self.det_lists[slot as usize],
+                            &mut self.own,
+                            &mut self.views[v],
+                        );
                     }
                 }
             }
 
             // ---- 5. Bookkeeping for the Fig. 6 series.
             let cum: f64 = (0..n)
-                .filter(|&v| own[v] == Status::Winner)
+                .filter(|&v| self.own[v] == Status::Winner)
                 .map(|v| weights[v])
                 .sum();
-            per_miniround_weight.push(cum);
-            if (0..n).all(|v| own[v] != Status::Candidate) {
-                all_marked = true;
+            out.per_miniround_weight.push(cum);
+            if (0..n).all(|v| self.own[v] != Status::Candidate) {
+                out.all_marked = true;
                 break;
             }
         }
 
-        let winners: Vec<usize> = (0..n).filter(|&v| own[v] == Status::Winner).collect();
-        let conflicts = winners
+        out.winners
+            .extend((0..n).filter(|&v| self.own[v] == Status::Winner));
+        out.conflicts = out
+            .winners
             .iter()
             .enumerate()
             .map(|(i, &u)| {
-                winners[i + 1..]
+                out.winners[i + 1..]
                     .iter()
                     .filter(|&&w| graph.has_edge(u, w))
                     .count()
             })
             .sum();
-        let minirounds_used = leaders_per_miniround.len();
-        DecisionOutcome {
-            winners,
-            per_miniround_weight,
-            leaders_per_miniround,
-            minirounds_used,
-            all_marked,
-            conflicts,
-            counters: engine.counters().clone(),
-        }
+        out.minirounds_used = out.leaders_per_miniround.len();
+        out.counters.clone_from(self.engine.counters());
     }
 
     /// Applies a leader's own determination list at the leader itself.
@@ -443,26 +552,64 @@ impl<'h> DistributedPtas<'h> {
         }
     }
 
-    /// Local MWIS over the selectable candidates (grouped by master node).
-    fn solve_local(&self, weights: &[f64], selectable: &[usize]) -> mhca_mwis::WeightedSet {
-        let graph = self.h.graph();
-        match self.config.local_solver {
+    /// Local MWIS over the selectable candidates (grouped by master node),
+    /// written sorted-ascending into `scratch.local_mwis`.
+    ///
+    /// The exact and greedy paths run entirely on the pooled scratch
+    /// (allocation-free when warm); the local-search fallback allocates
+    /// its result set — it is the cold, quality-ablation configuration.
+    fn solve_local(
+        graph: &mhca_graph::Graph,
+        config: &DistributedPtasConfig,
+        node_groups: &[usize],
+        scratch: &mut SolverScratch,
+        weights: &[f64],
+        selectable: &[usize],
+    ) {
+        let out = &mut scratch.local_mwis;
+        match config.local_solver {
             LocalSolver::Exact => {
-                exact::solve_grouped(graph, weights, selectable, &self.node_groups)
+                scratch
+                    .mwis_ws
+                    .solve_grouped_into(graph, weights, selectable, node_groups, out);
             }
-            LocalSolver::Greedy => greedy::max_weight_subset(graph, weights, selectable),
+            LocalSolver::Greedy => {
+                greedy::max_weight_subset_into(
+                    graph,
+                    weights,
+                    selectable,
+                    &mut scratch.greedy,
+                    out,
+                );
+            }
             LocalSolver::LocalSearch { max_passes } => {
-                mhca_mwis::local_search::solve_subset(graph, weights, selectable, max_passes)
+                let s =
+                    mhca_mwis::local_search::solve_subset(graph, weights, selectable, max_passes);
+                out.clear();
+                out.extend_from_slice(&s.vertices);
             }
             LocalSolver::Auto { max_exact_groups } => {
-                let mut masters: Vec<usize> =
-                    selectable.iter().map(|&v| self.node_groups[v]).collect();
+                let masters = &mut scratch.masters;
+                masters.clear();
+                masters.extend(selectable.iter().map(|&v| node_groups[v]));
                 masters.sort_unstable();
                 masters.dedup();
                 if masters.len() <= max_exact_groups {
-                    exact::solve_grouped(graph, weights, selectable, &self.node_groups)
+                    scratch.mwis_ws.solve_grouped_into(
+                        graph,
+                        weights,
+                        selectable,
+                        node_groups,
+                        out,
+                    );
                 } else {
-                    greedy::max_weight_subset(graph, weights, selectable)
+                    greedy::max_weight_subset_into(
+                        graph,
+                        weights,
+                        selectable,
+                        &mut scratch.greedy,
+                        out,
+                    );
                 }
             }
         }
@@ -499,7 +646,9 @@ mod tests {
             let (g, _) = mhca_graph::unit_disk::random_with_average_degree(30, 4.0, &mut rng);
             let m = 3;
             let h = ExtendedConflictGraph::new(&g, m);
-            let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let w: Vec<f64> = (0..h.n_vertices())
+                .map(|_| rng.gen_range(0.1..1.0))
+                .collect();
             let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
             let out = ptas.decide(&w);
             assert!(out.all_marked, "protocol must terminate fully");
@@ -547,7 +696,9 @@ mod tests {
             let (g, _) = mhca_graph::unit_disk::random_with_average_degree(12, 3.0, &mut rng);
             let m = 2;
             let h = ExtendedConflictGraph::new(&g, m);
-            let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let w: Vec<f64> = (0..h.n_vertices())
+                .map(|_| rng.gen_range(0.1..1.0))
+                .collect();
             let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / m).collect();
             let allowed: Vec<usize> = (0..h.n_vertices()).collect();
             let opt = exact::solve_grouped(h.graph(), &w, &allowed, &groups);
@@ -584,7 +735,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let (g, _) = mhca_graph::unit_disk::random_with_average_degree(50, 5.0, &mut rng);
         let h = ExtendedConflictGraph::new(&g, 5);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
         let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
         let out = ptas.decide(&w);
         assert!(out.all_marked);
@@ -601,7 +754,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
         let h = ExtendedConflictGraph::new(&g, 4);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
         let mut ptas = DistributedPtas::new(
             &h,
             DistributedPtasConfig::default()
@@ -620,7 +775,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
         let h = ExtendedConflictGraph::new(&g, 3);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
         let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
         let out = ptas.decide(&w);
         for pair in out.per_miniround_weight.windows(2) {
@@ -638,7 +795,9 @@ mod tests {
         let (g, _) = mhca_graph::unit_disk::random_with_average_degree(25, 4.0, &mut rng);
         let m = 4;
         let h = ExtendedConflictGraph::new(&g, m);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
         let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
         let out = ptas.decide(&w);
         let mut masters: Vec<usize> = out.winners.iter().map(|&v| v / m).collect();
@@ -651,11 +810,7 @@ mod tests {
     fn decisions_depend_only_on_local_information() {
         // Two disconnected components: changing weights in one must not
         // change the winners of the other.
-        let mut g = mhca_graph::Graph::new(6);
-        g.add_edge(0, 1);
-        g.add_edge(1, 2);
-        g.add_edge(3, 4);
-        g.add_edge(4, 5);
+        let g = mhca_graph::Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
         let h = ExtendedConflictGraph::new(&g, 2);
         let mut w: Vec<f64> = (0..12).map(|i| 0.1 + i as f64 * 0.05).collect();
         let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
@@ -675,7 +830,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
         let h = ExtendedConflictGraph::new(&g, 3);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
         let mut ptas = DistributedPtas::new(
             &h,
             run_to_completion(2).with_local_solver(LocalSolver::Greedy),
@@ -691,10 +848,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(88);
         let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
         let h = ExtendedConflictGraph::new(&g, 3);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
         let run = |solver| {
-            let mut ptas =
-                DistributedPtas::new(&h, run_to_completion(2).with_local_solver(solver));
+            let mut ptas = DistributedPtas::new(&h, run_to_completion(2).with_local_solver(solver));
             let out = ptas.decide(&w);
             assert!(h.graph().is_independent(&out.winners));
             out.winners.iter().map(|&v| w[v]).sum::<f64>()
@@ -713,7 +871,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let (g, _) = mhca_graph::unit_disk::random_with_average_degree(30, 4.0, &mut rng);
         let h = ExtendedConflictGraph::new(&g, 2);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
         let mut ptas = DistributedPtas::new(
             &h,
             DistributedPtasConfig::default()

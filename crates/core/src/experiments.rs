@@ -429,7 +429,12 @@ pub struct Theorem3Point {
 /// random instances small enough for exact ground truth, compares the
 /// exact optimum, the centralized robust PTAS, and the distributed
 /// protocol (uncapped and capped).
-pub fn theorem3(n: usize, m: usize, avg_degree: f64, seeds: std::ops::Range<u64>) -> Vec<Theorem3Point> {
+pub fn theorem3(
+    n: usize,
+    m: usize,
+    avg_degree: f64,
+    seeds: std::ops::Range<u64>,
+) -> Vec<Theorem3Point> {
     use mhca_mwis::{exact, robust_ptas};
     seeds
         .map(|seed| {

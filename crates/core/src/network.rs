@@ -68,7 +68,13 @@ impl Network {
     /// # Panics
     ///
     /// Panics if no connected instance is found in 1000 tries.
-    pub fn random_connected(n: usize, m: usize, avg_degree: f64, sigma_frac: f64, seed: u64) -> Self {
+    pub fn random_connected(
+        n: usize,
+        m: usize,
+        avg_degree: f64,
+        sigma_frac: f64,
+        seed: u64,
+    ) -> Self {
         use rand::{rngs::StdRng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let (g, layout) =

@@ -13,7 +13,7 @@
 //! the remaining `y−1` slots transmitting the full round.
 
 use crate::{
-    distributed::{DistributedPtas, DistributedPtasConfig},
+    distributed::{DecisionOutcome, DistributedPtas, DistributedPtasConfig},
     network::Network,
     time::TimeModel,
 };
@@ -133,6 +133,12 @@ pub struct RunResult {
     pub practical_beta_regret: Vec<f64>,
     /// Winners of the final strategy decision.
     pub final_strategy_vertices: Vec<usize>,
+    /// Relay broadcasts charged to each vertex across the whole run (WB
+    /// phase plus strategy-decision floods) — the measurable counterpart
+    /// of the paper's per-vertex `O(r² + D)` communication claim. Earlier
+    /// revisions rebuilt the WB flood engine every round and threw this
+    /// away, keeping only scalar totals.
+    pub per_vertex_tx: Vec<u64>,
     /// Mean raw observed throughput per slot (kbps).
     pub average_observed_kbps: f64,
     /// Mean *effective* (airtime-scaled) throughput per slot (kbps).
@@ -176,57 +182,81 @@ pub fn run_policy(
         .optimal_kbps
         .map(|r1| RegretTracker::new(r1, beta, theta));
     let mut comm = CommTotals::default();
+    let mut per_vertex_tx = vec![0u64; k];
 
     let y = cfg.update_period as u64;
-    let mut period_end_slots = Vec::new();
-    let mut avg_actual = Vec::new();
-    let mut avg_estimated = Vec::new();
-    let mut practical_regret = Vec::new();
-    let mut practical_beta_regret = Vec::new();
+    // Series lengths are known up front: one entry per period (and per
+    // slot for the regret series) — reserve once so the steady-state loop
+    // never reallocates them.
+    let n_periods_total = cfg.horizon.div_ceil(y) as usize;
+    let mut period_end_slots = Vec::with_capacity(n_periods_total);
+    let mut avg_actual = Vec::with_capacity(n_periods_total);
+    let mut avg_estimated = Vec::with_capacity(n_periods_total);
+    let regret_len = if tracker.is_some() && cfg.update_period == 1 {
+        cfg.horizon as usize
+    } else {
+        0
+    };
+    let mut practical_regret = Vec::with_capacity(regret_len);
+    let mut practical_beta_regret = Vec::with_capacity(regret_len);
     let mut sum_rp = 0.0;
     let mut sum_wp = 0.0;
     let mut n_periods = 0u64;
     let mut observed_total = 0.0;
     let mut expected_total = 0.0;
     let mut effective_total = 0.0;
+
+    // ---- Long-lived engine and per-round scratch, hoisted out of the
+    // loop: the steady-state round performs no heap allocation on the
+    // lossless path (see `tests/alloc_free.rs`).
+    let wb_ttl = 2 * cfg.decision.r + 1;
+    let mut wb_engine = FloodEngine::new(net.h().graph());
+    // The decision engine already prewarmed the (2r+1)-hop table on this
+    // graph; adopt it instead of building a second copy. The prewarm is a
+    // no-op then, and a real build only when the ptas runs lossy.
+    wb_engine.adopt_tables(ptas.flood_engine());
+    wb_engine.prewarm(wb_ttl);
+    let mut wb_floods: Vec<Flood<()>> = Vec::new();
+    let mut indices: Vec<f64> = Vec::with_capacity(k);
+    let mut outcome = DecisionOutcome::default();
+    let mut obs: Vec<(usize, f64)> = Vec::new();
+    let mut period_obs: Vec<f64> = Vec::with_capacity(y.min(cfg.horizon) as usize);
     let mut prev_winners: Vec<usize> = Vec::new();
-    let mut final_winners: Vec<usize> = Vec::new();
 
     let mut t = 0u64;
     while t < cfg.horizon {
         // ---- WB phase: previous transmitters broadcast updated stats.
+        // The simulation models the learning state directly (the policy's
+        // ArmStats are global), so only the broadcast's cost is needed —
+        // counters advance without materializing inboxes.
         if !prev_winners.is_empty() {
-            let mut engine = FloodEngine::new(net.h().graph());
-            let floods: Vec<Flood<()>> = prev_winners
-                .iter()
-                .map(|&v| Flood {
-                    origin: v,
-                    ttl: 2 * cfg.decision.r + 1,
-                    payload: (),
-                })
-                .collect();
-            let _ = engine.deliver(&floods);
-            let c = engine.counters();
-            comm.transmissions += c.transmissions;
-            comm.delivered += c.delivered;
-            comm.timeslots += c.timeslots;
+            wb_floods.clear();
+            wb_floods.extend(prev_winners.iter().map(|&v| Flood {
+                origin: v,
+                ttl: wb_ttl,
+                payload: (),
+            }));
+            wb_engine.broadcast_only(&wb_floods);
         }
 
         // ---- Strategy decision with the policy's current indices.
-        let indices = policy.indices(t + 1, &stats, &mut rng);
-        let outcome = ptas.decide(&indices);
+        policy.indices_into(t + 1, &stats, &mut rng, &mut indices);
+        ptas.decide_into(&indices, &mut outcome);
         comm.transmissions += outcome.counters.transmissions;
         comm.delivered += outcome.counters.delivered;
         comm.timeslots += outcome.counters.timeslots;
         comm.decisions += 1;
-        let winners = outcome.winners;
+        for (v, &c) in outcome.counters.per_vertex_tx.iter().enumerate() {
+            per_vertex_tx[v] += c;
+        }
+        let winners = &outcome.winners;
         let estimated_kbps: f64 = winners.iter().map(|&v| indices[v]).sum::<f64>() * scale;
 
         // ---- Data transmission for the whole period (y slots).
         let period_len = y.min(cfg.horizon - t);
-        let mut period_obs = Vec::with_capacity(period_len as usize);
+        period_obs.clear();
         for s in t..t + period_len {
-            let obs = net.channels().observe(s, &winners);
+            net.channels().observe_into(s, winners, &mut obs);
             let raw: f64 = obs.iter().map(|&(_, x)| x).sum();
             period_obs.push(raw);
             observed_total += raw;
@@ -258,9 +288,17 @@ pub fn run_policy(
         avg_actual.push(sum_rp / n_periods as f64);
         avg_estimated.push(sum_wp / n_periods as f64);
 
-        final_winners = winners.clone();
-        prev_winners = winners;
+        prev_winners.clone_from(winners);
         t += period_len;
+    }
+
+    // Fold the WB engine's whole-run totals into the communication record.
+    let wb = wb_engine.counters();
+    comm.transmissions += wb.transmissions;
+    comm.delivered += wb.delivered;
+    comm.timeslots += wb.timeslots;
+    for (v, &c) in wb.per_vertex_tx.iter().enumerate() {
+        per_vertex_tx[v] += c;
     }
 
     RunResult {
@@ -271,7 +309,8 @@ pub fn run_policy(
         avg_estimated_throughput: avg_estimated,
         practical_regret,
         practical_beta_regret,
-        final_strategy_vertices: final_winners,
+        final_strategy_vertices: prev_winners,
+        per_vertex_tx,
         average_observed_kbps: observed_total / cfg.horizon as f64,
         average_effective_kbps: effective_total / cfg.horizon as f64,
         average_expected_kbps: expected_total / cfg.horizon as f64,
@@ -377,17 +416,28 @@ mod tests {
         let net = small_net();
         let base = Algorithm2Config::default().with_horizon(400);
         let frequent = run_policy(&net, &base.clone(), &mut CsUcb::new(2.0));
-        let stale = run_policy(
-            &net,
-            &base.with_update_period(10),
-            &mut CsUcb::new(2.0),
-        );
+        let stale = run_policy(&net, &base.with_update_period(10), &mut CsUcb::new(2.0));
         assert!(
             stale.average_effective_kbps > frequent.average_effective_kbps,
             "stale {} vs frequent {}",
             stale.average_effective_kbps,
             frequent.average_effective_kbps
         );
+    }
+
+    #[test]
+    fn per_vertex_tx_survives_the_whole_run() {
+        // Regression: the WB-phase engine used to be rebuilt every round,
+        // so per-vertex transmission counts were discarded each slot and
+        // only scalar totals survived.
+        let net = small_net();
+        let cfg = Algorithm2Config::default().with_horizon(50);
+        let res = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        assert_eq!(res.per_vertex_tx.len(), net.n_vertices());
+        let sum: u64 = res.per_vertex_tx.iter().sum();
+        // Every relay broadcast is charged to exactly one vertex.
+        assert_eq!(sum, res.comm.transmissions);
+        assert!(sum > 0, "a 50-slot run must transmit");
     }
 
     #[test]

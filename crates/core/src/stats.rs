@@ -58,10 +58,7 @@ mod tests {
     #[test]
     fn downsample_short_series_is_identity() {
         let xs = [1.0, 2.0, 3.0];
-        assert_eq!(
-            downsample(&xs, 10),
-            vec![(0, 1.0), (1, 2.0), (2, 3.0)]
-        );
+        assert_eq!(downsample(&xs, 10), vec![(0, 1.0), (1, 2.0), (2, 3.0)]);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::{
     stats,
 };
 use mhca_bandit::policies::IndexPolicy;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Mean ± population standard deviation of a measurement across seeds.
@@ -47,8 +48,31 @@ impl Aggregate {
     }
 }
 
-/// Runs `measure` once per seed in `seeds` and aggregates the results.
-pub fn sweep<F: FnMut(u64) -> f64>(seeds: impl IntoIterator<Item = u64>, mut measure: F) -> Aggregate {
+/// Runs `measure` once per seed in `seeds` — **in parallel**, one rayon
+/// task per seed — and aggregates the results.
+///
+/// `measure` must be a pure function of the seed (`Fn + Sync`): every
+/// workload in this repository derives its network, channel realizations,
+/// and policy randomness from the seed alone, so per-seed runs are
+/// embarrassingly parallel and the aggregate is identical to a serial
+/// sweep (results are collected in seed order).
+///
+/// For stateful measurements, see [`sweep_serial`].
+pub fn sweep<F: Fn(u64) -> f64 + Sync>(
+    seeds: impl IntoIterator<Item = u64>,
+    measure: F,
+) -> Aggregate {
+    let seeds: Vec<u64> = seeds.into_iter().collect();
+    let xs: Vec<f64> = seeds.into_par_iter().map(measure).collect();
+    Aggregate::from_samples(&xs)
+}
+
+/// Serial variant of [`sweep`] for measurements that mutate shared state
+/// between seeds (`FnMut`).
+pub fn sweep_serial<F: FnMut(u64) -> f64>(
+    seeds: impl IntoIterator<Item = u64>,
+    mut measure: F,
+) -> Aggregate {
     let xs: Vec<f64> = seeds.into_iter().map(&mut measure).collect();
     Aggregate::from_samples(&xs)
 }
@@ -71,6 +95,8 @@ pub struct PolicyComparison {
 /// Compares two policy constructors across seeded random networks: each
 /// seed builds one network (`n` users, `m` channels, degree `d`) and runs
 /// both policies on identical channel realizations (paired comparison).
+/// Seeds run in parallel (each seed's pair of runs shares a rayon task so
+/// the pairing — and hence the win rate — is exact).
 ///
 /// The measured quantity is average expected throughput over the horizon.
 #[allow(clippy::too_many_arguments)]
@@ -81,34 +107,40 @@ pub fn compare_policies<A, B>(
     horizon: u64,
     seeds: std::ops::Range<u64>,
     cfg: &Algorithm2Config,
-    mut make_a: A,
-    mut make_b: B,
+    make_a: A,
+    make_b: B,
 ) -> PolicyComparison
 where
-    A: FnMut(&Network) -> Box<dyn IndexPolicy>,
-    B: FnMut(&Network) -> Box<dyn IndexPolicy>,
+    A: Fn(&Network) -> Box<dyn IndexPolicy> + Sync,
+    B: Fn(&Network) -> Box<dyn IndexPolicy> + Sync,
 {
-    let mut xs_a = Vec::new();
-    let mut xs_b = Vec::new();
-    let mut wins = 0usize;
-    let mut name_a = String::new();
-    let mut name_b = String::new();
     let total = (seeds.end.saturating_sub(seeds.start)) as usize;
-    for seed in seeds {
-        let net = Network::random(n, m, d, 0.1, seed);
-        let run_cfg = cfg.clone().with_horizon(horizon).with_seed(seed);
-        let mut pa = make_a(&net);
-        let mut pb = make_b(&net);
-        name_a = pa.name().to_string();
-        name_b = pb.name().to_string();
-        let ra = run_policy(&net, &run_cfg, pa.as_mut());
-        let rb = run_policy(&net, &run_cfg, pb.as_mut());
-        if ra.average_expected_kbps > rb.average_expected_kbps {
-            wins += 1;
-        }
-        xs_a.push(ra.average_expected_kbps);
-        xs_b.push(rb.average_expected_kbps);
-    }
+    let per_seed: Vec<(f64, f64, String, String)> = seeds
+        .into_par_iter()
+        .map(|seed| {
+            let net = Network::random(n, m, d, 0.1, seed);
+            let run_cfg = cfg.clone().with_horizon(horizon).with_seed(seed);
+            let mut pa = make_a(&net);
+            let mut pb = make_b(&net);
+            let name_a = pa.name().to_string();
+            let name_b = pb.name().to_string();
+            let ra = run_policy(&net, &run_cfg, pa.as_mut());
+            let rb = run_policy(&net, &run_cfg, pb.as_mut());
+            (
+                ra.average_expected_kbps,
+                rb.average_expected_kbps,
+                name_a,
+                name_b,
+            )
+        })
+        .collect();
+    let xs_a: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+    let xs_b: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+    let wins = per_seed.iter().filter(|r| r.0 > r.1).count();
+    let (name_a, name_b) = per_seed
+        .last()
+        .map(|r| (r.2.clone(), r.3.clone()))
+        .unwrap_or_default();
     PolicyComparison {
         policy_a: name_a,
         policy_b: name_b,

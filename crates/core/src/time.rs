@@ -93,8 +93,7 @@ impl TimeModel {
     /// Panics if `y == 0`.
     pub fn period_effective_estimate(&self, estimated: f64, y: usize) -> f64 {
         assert!(y > 0, "period must contain at least one slot");
-        ((y as f64 - 1.0) * self.round_ms + self.data_ms) * estimated
-            / (y as f64 * self.round_ms)
+        ((y as f64 - 1.0) * self.round_ms + self.data_ms) * estimated / (y as f64 * self.round_ms)
     }
 }
 

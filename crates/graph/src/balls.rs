@@ -1,0 +1,170 @@
+//! Precomputed `r`-hop neighborhood tables.
+//!
+//! The conflict graph is static across a whole simulation horizon, so any
+//! TTL-bounded flood on it reaches a fixed set of vertices at fixed hop
+//! distances. [`BallTable`] precomputes, for one radius, every vertex's
+//! ball `J_{G,r}(v) \ {v}` together with the hop distance of each member —
+//! turning the per-round BFS of the flood engine into a contiguous table
+//! scan. Entries are stored CSR-style (one flat array plus offsets), in
+//! BFS order (non-decreasing distance), which is exactly the delivery
+//! order of a synchronous flood wave.
+
+use crate::graph::Graph;
+
+/// One ball member: `(vertex, hop distance from the origin)`.
+///
+/// Distances are at least 1 (the origin itself is not stored) and at most
+/// the table's radius.
+pub type BallEntry = (u32, u32);
+
+/// All `r`-hop balls of a graph for one fixed radius.
+///
+/// # Example
+///
+/// ```
+/// use mhca_graph::{topology, BallTable};
+///
+/// let g = topology::line(5); // 0 — 1 — 2 — 3 — 4
+/// let t = BallTable::build(&g, 2);
+/// let ball: Vec<_> = t.ball(0).to_vec();
+/// assert_eq!(ball, vec![(1, 1), (2, 2)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BallTable {
+    radius: usize,
+    /// `offsets[v]..offsets[v + 1]` delimits `v`'s entries.
+    offsets: Vec<usize>,
+    /// Ball members in BFS (non-decreasing distance) order, origins
+    /// excluded.
+    entries: Vec<BallEntry>,
+}
+
+impl BallTable {
+    /// Precomputes every vertex's `radius`-hop ball of `graph`.
+    ///
+    /// Cost: one BFS per vertex, sharing scratch buffers — `O(n·(n + m))`
+    /// time, `Σ_v |J_r(v)| − n` entries of storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` vertices.
+    pub fn build(graph: &Graph, radius: usize) -> Self {
+        let n = graph.n();
+        assert!(u32::try_from(n).is_ok(), "graph too large for BallTable");
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut entries = Vec::new();
+        // Epoch-stamped visit marks shared across origins: a vertex is
+        // "visited in this BFS" iff stamp[v] == current epoch.
+        let mut stamp = vec![0u32; n];
+        let mut dist = vec![0u32; n];
+        let mut queue = std::collections::VecDeque::new();
+        for origin in 0..n {
+            let epoch = origin as u32 + 1;
+            stamp[origin] = epoch;
+            dist[origin] = 0;
+            queue.push_back(origin);
+            while let Some(u) = queue.pop_front() {
+                if dist[u] as usize == radius {
+                    continue;
+                }
+                for &w in graph.neighbors(u) {
+                    if stamp[w] != epoch {
+                        stamp[w] = epoch;
+                        dist[w] = dist[u] + 1;
+                        entries.push((w as u32, dist[w]));
+                        queue.push_back(w);
+                    }
+                }
+            }
+            offsets.push(entries.len());
+        }
+        BallTable {
+            radius,
+            offsets,
+            entries,
+        }
+    }
+
+    /// The radius this table was built for.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Number of vertices covered.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `v`'s ball members (origin excluded) in BFS order: non-decreasing
+    /// distance, each member exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn ball(&self, v: usize) -> &[BallEntry] {
+        &self.entries[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Number of entries across all balls (storage diagnostic).
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{graph::Graph, topology};
+
+    #[test]
+    fn matches_fresh_bfs_on_grid() {
+        let g = topology::grid(4, 5);
+        for r in 0..5 {
+            let t = BallTable::build(&g, r);
+            for v in 0..g.n() {
+                let dist = g.bfs_distances(v);
+                let mut expect: Vec<(u32, u32)> = dist
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(u, d)| {
+                        d.filter(|&d| d >= 1 && d <= r)
+                            .map(|d| (u as u32, d as u32))
+                    })
+                    .collect();
+                let mut got = t.ball(v).to_vec();
+                expect.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, expect, "v={v} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn entries_are_in_bfs_order() {
+        let g = topology::grid(3, 6);
+        let t = BallTable::build(&g, 4);
+        for v in 0..g.n() {
+            let ds: Vec<u32> = t.ball(v).iter().map(|&(_, d)| d).collect();
+            assert!(ds.windows(2).all(|w| w[0] <= w[1]), "v={v}: {ds:?}");
+        }
+    }
+
+    #[test]
+    fn radius_zero_means_empty_balls() {
+        let g = topology::complete(4);
+        let t = BallTable::build(&g, 0);
+        for v in 0..4 {
+            assert!(t.ball(v).is_empty());
+        }
+        assert_eq!(t.total_entries(), 0);
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let t = BallTable::build(&g, 10);
+        assert_eq!(t.ball(0), &[(1, 1)]);
+        assert_eq!(t.ball(4), &[]);
+    }
+}

@@ -131,7 +131,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..20 {
             let n = rng.gen_range(1..40);
-            let mut g = Graph::new(n);
+            let mut g = Graph::builder(n);
             for u in 0..n {
                 for v in (u + 1)..n {
                     if rng.gen::<f64>() < 0.2 {
@@ -139,6 +139,7 @@ mod tests {
                     }
                 }
             }
+            let g = g.build();
             let c = welsh_powell(&g);
             assert!(is_proper(&g, &c));
             assert!(c.colors_used <= g.max_degree() + 1);

@@ -53,7 +53,10 @@ impl ExtendedConflictGraph {
     pub fn new(g: &Graph, m: usize) -> Self {
         assert!(m > 0, "need at least one channel");
         let n = g.n();
-        let mut h = Graph::new(n * m);
+        let mut h = crate::GraphBuilder::with_edge_capacity(
+            n * m,
+            n * m * (m - 1) / 2 + g.edge_count() * m,
+        );
         for node in 0..n {
             // Clique among this node's slave vertices.
             for a in 0..m {
@@ -71,7 +74,7 @@ impl ExtendedConflictGraph {
             }
         }
         ExtendedConflictGraph {
-            graph: h,
+            graph: h.build(),
             n_nodes: n,
             n_channels: m,
         }
@@ -152,9 +155,7 @@ impl ExtendedConflictGraph {
     /// (sorted ascending). The result is independent iff the strategy is
     /// feasible.
     pub fn is_from_strategy(&self, s: &Strategy) -> Vec<usize> {
-        s.assignments()
-            .map(|(n, c)| self.vertex(n, c).0)
-            .collect()
+        s.assignments().map(|(n, c)| self.vertex(n, c).0).collect()
     }
 
     /// `true` when the strategy is feasible, i.e. its vertex set is
@@ -215,7 +216,7 @@ mod tests {
         let v2c0 = h.vertex(NodeId(2), ChannelId(0)).0;
         assert!(h.graph().has_edge(v0c0, v1c0));
         assert!(!h.graph().has_edge(v0c0, v2c0)); // 0 and 2 not adjacent in G
-        // Different channels never conflict across nodes.
+                                                  // Different channels never conflict across nodes.
         let v1c1 = h.vertex(NodeId(1), ChannelId(1)).0;
         assert!(!h.graph().has_edge(v0c0, v1c1));
     }

@@ -1,14 +1,29 @@
 //! Compact undirected graph with the neighborhood queries of Table I.
+//!
+//! The graph is stored in **CSR (compressed sparse row)** form: one flat
+//! `targets` array holding every adjacency list back to back, and an
+//! `offsets` array with one entry per vertex delimiting its slice. This
+//! makes neighbor iteration a single contiguous scan (the hot operation of
+//! the flood engine and every BFS in the workspace) and costs two `Vec`s
+//! total instead of one `Vec` per vertex.
+//!
+//! CSR is immutable by construction; the mutation phase lives in
+//! [`GraphBuilder`], which buffers raw edges and sorts/dedups once in
+//! [`GraphBuilder::build`] — O(E log E) overall instead of the O(deg)
+//! sorted-insert per edge the old `Vec<Vec<usize>>` representation paid.
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// An undirected simple graph over vertices `0..n`.
+/// An undirected simple graph over vertices `0..n`, stored as CSR.
 ///
-/// Adjacency lists are kept sorted, so [`Graph::has_edge`] is a binary
-/// search and neighbor iteration is cache-friendly. The structure is used
-/// both for the original conflict graph `G` and the extended conflict
+/// Adjacency slices are sorted, so [`Graph::has_edge`] is a binary search
+/// and neighbor iteration is one cache-friendly scan. The structure is
+/// used both for the original conflict graph `G` and the extended conflict
 /// graph `H` of the paper.
+///
+/// Construction goes through [`GraphBuilder`] (or the [`Graph::from_edges`]
+/// shorthand); a built graph never changes.
 ///
 /// # Example
 ///
@@ -23,17 +38,120 @@ use std::collections::VecDeque;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Graph {
-    adj: Vec<Vec<usize>>,
+    /// `offsets[v]..offsets[v + 1]` delimits `v`'s slice of `targets`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists.
+    targets: Vec<usize>,
+    /// Number of vertices (`offsets.len() - 1` when non-empty; kept
+    /// explicit so the `Default` empty graph needs no special case).
+    n: usize,
     edge_count: usize,
+}
+
+/// Incremental edge buffer that [`Graph`]s are built from.
+///
+/// `add_edge` is O(1) amortized (it pushes onto a raw edge list);
+/// [`GraphBuilder::build`] sorts and dedups once. Self-loops and duplicate
+/// edges are tolerated and dropped at build time, matching the old
+/// `Graph::add_edge` semantics.
+///
+/// # Example
+///
+/// ```
+/// use mhca_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, dropped at build
+/// b.add_edge(2, 2); // self-loop, dropped at build
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Directed half-edges `(u, v)`; both directions are materialized here
+    /// so the build pass is a single counting sort over sources.
+    half_edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices with no edges yet.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            half_edges: Vec::new(),
+        }
+    }
+
+    /// Like [`GraphBuilder::new`], pre-sizing the edge buffer.
+    pub fn with_edge_capacity(n: usize, edges: usize) -> Self {
+        GraphBuilder {
+            n,
+            half_edges: Vec::with_capacity(2 * edges),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Records the undirected edge `{u, v}`. Duplicates and self-loops are
+    /// dropped at [`GraphBuilder::build`] time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n` or `v >= n`.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        if u == v {
+            return;
+        }
+        self.half_edges.push((u, v));
+        self.half_edges.push((v, u));
+    }
+
+    /// Finalizes into an immutable CSR [`Graph`].
+    pub fn build(mut self) -> Graph {
+        let n = self.n;
+        // Sort half-edges by (source, target); dedup kills duplicate edges
+        // in both directions at once.
+        self.half_edges.sort_unstable();
+        self.half_edges.dedup();
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &self.half_edges {
+            offsets[u + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets: Vec<usize> = self.half_edges.iter().map(|&(_, v)| v).collect();
+        let edge_count = targets.len() / 2;
+        Graph {
+            offsets,
+            targets,
+            n,
+            edge_count,
+        }
+    }
 }
 
 impl Graph {
     /// Creates an edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Self {
         Graph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            n,
             edge_count: 0,
         }
+    }
+
+    /// A [`GraphBuilder`] for a graph on `n` vertices.
+    pub fn builder(n: usize) -> GraphBuilder {
+        GraphBuilder::new(n)
     }
 
     /// Builds a graph on `n` vertices from an edge list.
@@ -44,16 +162,16 @@ impl Graph {
     ///
     /// Panics if an endpoint is `>= n`.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
-        let mut g = Graph::new(n);
+        let mut b = GraphBuilder::with_edge_capacity(n, edges.len());
         for &(u, v) in edges {
-            g.add_edge(u, v);
+            b.add_edge(u, v);
         }
-        g
+        b.build()
     }
 
     /// Number of vertices.
     pub fn n(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// Number of (undirected) edges.
@@ -63,25 +181,7 @@ impl Graph {
 
     /// `true` if the graph has no vertices.
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
-    }
-
-    /// Inserts the undirected edge `{u, v}`. Idempotent; self-loops ignored.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u >= n` or `v >= n`.
-    pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.n() && v < self.n(), "edge endpoint out of range");
-        if u == v {
-            return;
-        }
-        if let Err(pos) = self.adj[u].binary_search(&v) {
-            self.adj[u].insert(pos, v);
-            let pos_v = self.adj[v].binary_search(&u).unwrap_err();
-            self.adj[v].insert(pos_v, u);
-            self.edge_count += 1;
-        }
+        self.n == 0
     }
 
     /// Sorted neighbor list of `v`.
@@ -90,12 +190,12 @@ impl Graph {
     ///
     /// Panics if `v >= n`.
     pub fn neighbors(&self, v: usize) -> &[usize] {
-        &self.adj[v]
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
     }
 
     /// Degree of `v`.
     pub fn degree(&self, v: usize) -> usize {
-        self.adj[v].len()
+        self.offsets[v + 1] - self.offsets[v]
     }
 
     /// Mean vertex degree (`0` for the empty graph).
@@ -103,28 +203,28 @@ impl Graph {
         if self.is_empty() {
             0.0
         } else {
-            2.0 * self.edge_count as f64 / self.n() as f64
+            2.0 * self.edge_count as f64 / self.n as f64
         }
     }
 
     /// Maximum vertex degree (`0` for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// `true` if `{u, v}` is an edge.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        u < self.n() && v < self.n() && self.adj[u].binary_search(&v).is_ok()
+        u < self.n && v < self.n && self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// BFS hop distances from `src`; `None` for unreachable vertices.
     pub fn bfs_distances(&self, src: usize) -> Vec<Option<usize>> {
-        let mut dist = vec![None; self.n()];
+        let mut dist = vec![None; self.n];
         dist[src] = Some(0);
         let mut queue = VecDeque::from([src]);
         while let Some(u) = queue.pop_front() {
             let du = dist[u].expect("queued vertex has distance");
-            for &w in &self.adj[u] {
+            for &w in self.neighbors(u) {
                 if dist[w].is_none() {
                     dist[w] = Some(du + 1);
                     queue.push_back(w);
@@ -141,11 +241,11 @@ impl Graph {
             return Some(0);
         }
         // Early-exit BFS.
-        let mut dist = vec![usize::MAX; self.n()];
+        let mut dist = vec![usize::MAX; self.n];
         dist[u] = 0;
         let mut queue = VecDeque::from([u]);
         while let Some(x) = queue.pop_front() {
-            for &w in &self.adj[x] {
+            for &w in self.neighbors(x) {
                 if dist[w] == usize::MAX {
                     dist[w] = dist[x] + 1;
                     if w == v {
@@ -161,7 +261,7 @@ impl Graph {
     /// The `r`-hop neighborhood `J_{G,r}(v) = {u : d_G(u,v) ≤ r}`,
     /// sorted ascending and always containing `v` itself.
     pub fn r_hop_neighborhood(&self, v: usize, r: usize) -> Vec<usize> {
-        let mut dist = vec![usize::MAX; self.n()];
+        let mut dist = vec![usize::MAX; self.n];
         dist[v] = 0;
         let mut queue = VecDeque::from([v]);
         let mut out = vec![v];
@@ -169,7 +269,7 @@ impl Graph {
             if dist[u] == r {
                 continue;
             }
-            for &w in &self.adj[u] {
+            for &w in self.neighbors(u) {
                 if dist[w] == usize::MAX {
                     dist[w] = dist[u] + 1;
                     out.push(w);
@@ -205,30 +305,30 @@ impl Graph {
     ///
     /// Panics if `verts` contains duplicates or out-of-range vertices.
     pub fn induced_subgraph(&self, verts: &[usize]) -> (Graph, Vec<usize>) {
-        let mut global_to_local = vec![usize::MAX; self.n()];
+        let mut global_to_local = vec![usize::MAX; self.n];
         for (i, &v) in verts.iter().enumerate() {
-            assert!(v < self.n(), "vertex out of range");
+            assert!(v < self.n, "vertex out of range");
             assert!(global_to_local[v] == usize::MAX, "duplicate vertex");
             global_to_local[v] = i;
         }
-        let mut sub = Graph::new(verts.len());
+        let mut sub = GraphBuilder::new(verts.len());
         for (i, &v) in verts.iter().enumerate() {
-            for &w in &self.adj[v] {
+            for &w in self.neighbors(v) {
                 let j = global_to_local[w];
                 if j != usize::MAX && j > i {
                     sub.add_edge(i, j);
                 }
             }
         }
-        (sub, verts.to_vec())
+        (sub.build(), verts.to_vec())
     }
 
     /// Connected components, each sorted ascending; components ordered by
     /// their smallest vertex.
     pub fn connected_components(&self) -> Vec<Vec<usize>> {
-        let mut seen = vec![false; self.n()];
+        let mut seen = vec![false; self.n];
         let mut comps = Vec::new();
-        for s in 0..self.n() {
+        for s in 0..self.n {
             if seen[s] {
                 continue;
             }
@@ -237,7 +337,7 @@ impl Graph {
             seen[s] = true;
             while let Some(u) = queue.pop_front() {
                 comp.push(u);
-                for &w in &self.adj[u] {
+                for &w in self.neighbors(u) {
                     if !seen[w] {
                         seen[w] = true;
                         queue.push_back(w);
@@ -258,10 +358,12 @@ impl Graph {
 
     /// Iterator over all edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adj
-            .iter()
-            .enumerate()
-            .flat_map(|(u, ns)| ns.iter().filter(move |&&v| v > u).map(move |&v| (u, v)))
+        (0..self.n).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| v > u)
+                .map(move |&v| (u, v))
+        })
     }
 }
 
@@ -283,11 +385,12 @@ mod tests {
     }
 
     #[test]
-    fn add_edge_is_idempotent() {
-        let mut g = Graph::new(3);
-        g.add_edge(0, 1);
-        g.add_edge(1, 0);
-        g.add_edge(0, 1);
+    fn builder_dedups_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.neighbors(0), &[1]);
         assert_eq!(g.neighbors(1), &[0]);
@@ -295,22 +398,42 @@ mod tests {
 
     #[test]
     fn self_loops_are_ignored() {
-        let mut g = Graph::new(2);
-        g.add_edge(1, 1);
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+        let g = b.build();
         assert_eq!(g.edge_count(), 0);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn add_edge_out_of_range_panics() {
-        let mut g = Graph::new(2);
-        g.add_edge(0, 2);
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
     }
 
     #[test]
     fn neighbors_are_sorted() {
         let g = Graph::from_edges(5, &[(2, 4), (2, 0), (2, 3), (2, 1)]);
         assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn default_graph_is_empty() {
+        let g = Graph::default();
+        assert!(g.is_empty());
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn csr_layout_is_contiguous() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]);
+        // Degrees: 3, 1, 2, 2 → 8 half-edges in one flat array.
+        let total: usize = (0..4).map(|v| g.neighbors(v).len()).sum();
+        assert_eq!(total, 8);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
     }
 
     #[test]

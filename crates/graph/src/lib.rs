@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod balls;
 pub mod coloring;
 pub mod extended;
 pub mod geometry;
@@ -48,9 +49,10 @@ pub mod unit_disk;
 
 mod ids;
 
+pub use balls::BallTable;
 pub use extended::ExtendedConflictGraph;
 pub use geometry::Point;
-pub use graph::Graph;
+pub use graph::{Graph, GraphBuilder};
 pub use ids::{ChannelId, NodeId, VertexId};
 pub use strategy::Strategy;
 pub use unit_disk::Layout;

@@ -27,7 +27,11 @@ pub struct GraphMetrics {
 /// this is `O(V·E)` — fine for the simulation scales of this workspace.
 pub fn metrics(graph: &Graph) -> GraphMetrics {
     let comps = graph.connected_components();
-    let largest = comps.iter().max_by_key(|c| c.len()).cloned().unwrap_or_default();
+    let largest = comps
+        .iter()
+        .max_by_key(|c| c.len())
+        .cloned()
+        .unwrap_or_default();
     let mut diameter = 0;
     for &v in &largest {
         let dist = graph.bfs_distances(v);

@@ -5,7 +5,7 @@
 //! strategy decision needs `Θ(N)` mini-rounds; the others cover standard
 //! shapes used in tests and ablation benches.
 
-use crate::graph::Graph;
+use crate::graph::{Graph, GraphBuilder};
 
 /// Path (linear network) on `n` vertices: `0 — 1 — … — n−1`.
 ///
@@ -18,17 +18,17 @@ pub fn line(n: usize) -> Graph {
 /// Cycle on `n` vertices (`n ≥ 3` gives a proper ring; smaller `n`
 /// degenerates to a line).
 pub fn ring(n: usize) -> Graph {
-    let mut g = line(n);
+    let mut edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
     if n >= 3 {
-        g.add_edge(n - 1, 0);
+        edges.push((n - 1, 0));
     }
-    g
+    Graph::from_edges(n, &edges)
 }
 
 /// `rows × cols` grid graph with 4-neighbor connectivity.
 pub fn grid(rows: usize, cols: usize) -> Graph {
     let n = rows * cols;
-    let mut g = Graph::new(n);
+    let mut g = GraphBuilder::new(n);
     for r in 0..rows {
         for c in 0..cols {
             let v = r * cols + c;
@@ -40,7 +40,7 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
             }
         }
     }
-    g
+    g.build()
 }
 
 /// Star on `n` vertices: vertex `0` is the hub.
@@ -53,13 +53,13 @@ pub fn star(n: usize) -> Graph {
 /// users conflicts (the setting of prior single-hop MAB work the paper
 /// generalizes).
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::new(n);
+    let mut g = GraphBuilder::with_edge_capacity(n, n * n.saturating_sub(1) / 2);
     for u in 0..n {
         for v in (u + 1)..n {
             g.add_edge(u, v);
         }
     }
-    g
+    g.build()
 }
 
 /// Edgeless graph — no conflicts at all; every node can always transmit.

@@ -29,7 +29,7 @@ impl Layout {
     pub fn to_graph(&self) -> Graph {
         let n = self.points.len();
         let r2 = self.radius * self.radius;
-        let mut g = Graph::new(n);
+        let mut g = crate::GraphBuilder::new(n);
         for u in 0..n {
             for v in (u + 1)..n {
                 if self.points[u].distance_squared(&self.points[v]) <= r2 {
@@ -37,7 +37,7 @@ impl Layout {
                 }
             }
         }
-        g
+        g.build()
     }
 }
 

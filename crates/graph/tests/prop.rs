@@ -1,24 +1,174 @@
 //! Property-based tests for the graph substrate.
 
-use mhca_graph::{ExtendedConflictGraph, Graph, NodeId, Strategy as ChannelStrategy};
+use mhca_graph::{BallTable, ExtendedConflictGraph, Graph, NodeId, Strategy as ChannelStrategy};
 use proptest::prelude::*;
 
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    arb_edge_list(max_n).prop_map(|(n, edges)| {
+        let mut g = Graph::builder(n);
+        for &(u, v) in &edges {
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        g.build()
+    })
+}
+
+/// Raw `(n, edge list)` pairs, so the same input can drive both the CSR
+/// graph and the naive reference model.
+fn arb_edge_list(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
     (1..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |edges| {
-            let mut g = Graph::new(n);
-            for (u, v) in edges {
-                if u != v {
-                    g.add_edge(u, v);
+        proptest::collection::vec((0..n, 0..n), 0..n * 3).prop_map(move |edges| (n, edges))
+    })
+}
+
+/// Reference model: a dense adjacency matrix with O(1) edge updates —
+/// trivially correct, structurally unlike CSR.
+struct MatrixGraph {
+    n: usize,
+    adj: Vec<Vec<bool>>,
+}
+
+impl MatrixGraph {
+    fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj = vec![vec![false; n]; n];
+        for &(u, v) in edges {
+            if u != v {
+                adj[u][v] = true;
+                adj[v][u] = true;
+            }
+        }
+        MatrixGraph { n, adj }
+    }
+
+    fn edge_count(&self) -> usize {
+        (0..self.n)
+            .map(|u| (u + 1..self.n).filter(|&v| self.adj[u][v]).count())
+            .sum()
+    }
+
+    fn neighbors(&self, v: usize) -> Vec<usize> {
+        (0..self.n).filter(|&u| self.adj[v][u]).collect()
+    }
+
+    /// Plain BFS distances straight off the matrix.
+    fn bfs(&self, src: usize) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.n];
+        dist[src] = Some(0);
+        let mut frontier = vec![src];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let du = dist[u].unwrap();
+                for (w, &edge) in self.adj[u].iter().enumerate() {
+                    if edge && dist[w].is_none() {
+                        dist[w] = Some(du + 1);
+                        next.push(w);
+                    }
                 }
             }
-            g
-        })
-    })
+            frontier = next;
+        }
+        dist
+    }
+
+    fn components(&self) -> Vec<Vec<usize>> {
+        let mut seen = vec![false; self.n];
+        let mut comps = Vec::new();
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            let mut comp: Vec<usize> = self
+                .bfs(s)
+                .iter()
+                .enumerate()
+                .filter_map(|(v, d)| d.map(|_| v))
+                .filter(|&v| !seen[v])
+                .collect();
+            for &v in &comp {
+                seen[v] = true;
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_agrees_with_adjacency_matrix_model((n, edges) in arb_edge_list(16)) {
+        let mut b = Graph::builder(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        let m = MatrixGraph::new(n, &edges);
+        prop_assert_eq!(g.n(), m.n);
+        prop_assert_eq!(g.edge_count(), m.edge_count());
+        for v in 0..n {
+            prop_assert_eq!(g.neighbors(v), m.neighbors(v).as_slice(), "neighbors of {}", v);
+            prop_assert_eq!(g.degree(v), m.neighbors(v).len());
+        }
+        for u in 0..n {
+            for v in 0..n {
+                prop_assert_eq!(g.has_edge(u, v), m.adj[u][v], "edge {}-{}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_distances_match_matrix_bfs((n, edges) in arb_edge_list(14)) {
+        let g = Graph::from_edges(n, &edges.iter().copied().filter(|&(u, v)| u != v).collect::<Vec<_>>());
+        let m = MatrixGraph::new(n, &edges);
+        for src in 0..n {
+            let expect = m.bfs(src);
+            prop_assert_eq!(g.bfs_distances(src), expect.clone());
+            for (v, d) in expect.iter().enumerate() {
+                prop_assert_eq!(g.hop_distance(src, v), *d);
+            }
+            // r-hop neighborhoods follow from the distances.
+            for r in 0..4 {
+                let ball = g.r_hop_neighborhood(src, r);
+                let expect_ball: Vec<usize> = (0..n)
+                    .filter(|&v| expect[v].is_some_and(|d| d <= r))
+                    .collect();
+                prop_assert_eq!(ball, expect_ball, "src={} r={}", src, r);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_components_match_matrix_model((n, edges) in arb_edge_list(16)) {
+        let g = Graph::from_edges(n, &edges.iter().copied().filter(|&(u, v)| u != v).collect::<Vec<_>>());
+        let m = MatrixGraph::new(n, &edges);
+        prop_assert_eq!(g.connected_components(), m.components());
+    }
+
+    #[test]
+    fn ball_table_matches_fresh_bfs(g in arb_graph(16), r in 0usize..5) {
+        let table = BallTable::build(&g, r);
+        for v in 0..g.n() {
+            let dist = g.bfs_distances(v);
+            let mut expect: Vec<(u32, u32)> = dist
+                .iter()
+                .enumerate()
+                .filter_map(|(u, d)| {
+                    d.filter(|&d| d >= 1 && d <= r).map(|d| (u as u32, d as u32))
+                })
+                .collect();
+            expect.sort_unstable();
+            let mut got = table.ball(v).to_vec();
+            // Entries arrive in BFS (distance) order; check that first.
+            prop_assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "v={}", v);
+            got.sort_unstable();
+            prop_assert_eq!(got, expect, "v={} r={}", v, r);
+        }
+    }
 
     #[test]
     fn r_hop_neighborhood_matches_bfs_distances(g in arb_graph(20), r in 0usize..5) {

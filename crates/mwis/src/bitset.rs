@@ -15,6 +15,36 @@ impl BitSet {
         }
     }
 
+    /// Re-initializes to an all-zero set of the given capacity, reusing
+    /// the word storage when it suffices (no allocation on shrink or
+    /// same-size reuse).
+    pub(crate) fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+        self.capacity = capacity;
+    }
+
+    /// Copies `other`'s contents into `self`, reusing the word storage
+    /// (unlike the derived `clone_from`, which always reallocates).
+    pub(crate) fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.capacity = other.capacity;
+    }
+
+    /// Sets every bit in `0..capacity`.
+    pub(crate) fn fill(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        let tail = self.capacity % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
     pub(crate) fn insert(&mut self, i: usize) {
         debug_assert!(i < self.capacity);
         self.words[i / 64] |= 1u64 << (i % 64);
@@ -98,6 +128,20 @@ mod tests {
         a.subtract(&b);
         assert!(a.contains(1));
         assert!(!a.contains(70));
+    }
+
+    #[test]
+    fn reset_and_fill_reuse_storage() {
+        let mut b = BitSet::new(130);
+        b.insert(5);
+        b.reset(70);
+        assert!(b.is_empty());
+        b.fill();
+        assert_eq!(b.iter().count(), 70);
+        assert!(b.contains(69));
+        b.reset(130);
+        assert!(b.is_empty());
+        assert!(!b.contains(69));
     }
 
     #[test]

@@ -59,110 +59,245 @@ pub fn solve_grouped(
     allowed: &[usize],
     group_of: &[usize],
 ) -> WeightedSet {
-    assert_eq!(weights.len(), graph.n(), "weight vector length");
-    assert_eq!(group_of.len(), graph.n(), "group vector length");
-    // Local indexing of allowed vertices with positive weight.
-    let mut seen = vec![false; graph.n()];
-    let mut local_to_global = Vec::new();
-    for &v in allowed {
-        assert!(v < graph.n(), "vertex out of range");
-        assert!(!seen[v], "duplicate vertex in allowed set");
-        seen[v] = true;
-        if weights[v] > 0.0 {
-            local_to_global.push(v);
-        }
-    }
-    let h = local_to_global.len();
-    if h == 0 {
-        return WeightedSet::empty();
-    }
-    let mut global_to_local = vec![usize::MAX; graph.n()];
-    for (i, &v) in local_to_global.iter().enumerate() {
-        global_to_local[v] = i;
-    }
-
-    // Local adjacency bitsets.
-    let mut adj: Vec<BitSet> = (0..h).map(|_| BitSet::new(h)).collect();
-    for (i, &v) in local_to_global.iter().enumerate() {
-        for &u in graph.neighbors(v) {
-            let j = global_to_local[u];
-            if j != usize::MAX {
-                adj[i].insert(j);
-            }
-        }
-    }
-
-    // Groups of local indices, members sorted by weight descending, groups
-    // sorted by their maximum weight descending (good incumbents early).
-    let mut by_group: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
-    for (i, &v) in local_to_global.iter().enumerate() {
-        by_group.entry(group_of[v]).or_default().push(i);
-    }
-    let w: Vec<f64> = local_to_global.iter().map(|&v| weights[v]).collect();
-    let mut groups: Vec<Vec<usize>> = by_group.into_values().collect();
-    for g in &mut groups {
-        g.sort_by(|&a, &b| w[b].partial_cmp(&w[a]).expect("finite weights"));
-    }
-    groups.sort_by(|a, b| w[b[0]].partial_cmp(&w[a[0]]).expect("finite weights"));
-
-    #[cfg(debug_assertions)]
-    for g in &groups {
-        for (x, &a) in g.iter().enumerate() {
-            for &b in &g[x + 1..] {
-                debug_assert!(
-                    adj[a].contains(b),
-                    "group members must form a clique: {} vs {}",
-                    local_to_global[a],
-                    local_to_global[b]
-                );
-            }
-        }
-    }
-
-    let mut searcher = Searcher {
-        adj: &adj,
-        w: &w,
-        groups: &groups,
-        best_weight: 0.0,
-        best: Vec::new(),
-        current: Vec::new(),
-    };
-    let mut avail = BitSet::new(h);
-    for i in 0..h {
-        avail.insert(i);
-    }
-    searcher.branch(0, &avail, 0.0);
-
-    WeightedSet::from_vertices(
-        searcher.best.iter().map(|&i| local_to_global[i]).collect(),
-        weights,
-    )
+    Workspace::new().solve_grouped(graph, weights, allowed, group_of)
 }
 
-struct Searcher<'a> {
-    adj: &'a [BitSet],
-    w: &'a [f64],
-    groups: &'a [Vec<usize>],
-    best_weight: f64,
+/// Reusable scratch for the grouped branch-and-bound.
+///
+/// The LocalLeader path of Algorithm 3 calls the exact solver once per
+/// leader per mini-round per slot; with a fresh workspace each call that
+/// is a dozen allocations (local index maps, adjacency bitsets, the
+/// per-depth availability sets) on the hottest loop of the simulator. A
+/// `Workspace` owns all of that scratch and reuses it across calls — after
+/// warm-up, [`Workspace::solve_grouped_into`] performs no heap allocation.
+///
+/// The free functions [`solve`], [`solve_subset`], and [`solve_grouped`]
+/// remain as one-shot conveniences over a throwaway workspace.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Graph size the `seen`/`global_to_local` buffers are sized for.
+    n: usize,
+    seen: Vec<bool>,
+    global_to_local: Vec<usize>,
+    local_to_global: Vec<usize>,
+    /// Local weights, parallel to `local_to_global`.
+    w: Vec<f64>,
+    /// Local adjacency bitsets (pooled; only the first `h` are live).
+    adj: Vec<BitSet>,
+    /// Local indices concatenated per group; `group_starts` delimits.
+    group_members: Vec<usize>,
+    group_starts: Vec<usize>,
+    /// Scratch for grouping: `(group id, local index)` pairs and run
+    /// bounds `(start, len)`.
+    keyed: Vec<(usize, usize)>,
+    runs: Vec<(usize, usize)>,
+    /// Availability set per search depth.
+    avail_stack: Vec<BitSet>,
     best: Vec<usize>,
     current: Vec<usize>,
 }
 
-impl Searcher<'_> {
-    fn branch(&mut self, gi: usize, avail: &BitSet, current_weight: f64) {
-        if gi == self.groups.len() {
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// [`solve_grouped`] against this workspace's reusable buffers,
+    /// returning an allocated [`WeightedSet`].
+    pub fn solve_grouped(
+        &mut self,
+        graph: &Graph,
+        weights: &[f64],
+        allowed: &[usize],
+        group_of: &[usize],
+    ) -> WeightedSet {
+        let mut vertices = Vec::new();
+        self.solve_grouped_into(graph, weights, allowed, group_of, &mut vertices);
+        WeightedSet::from_vertices(vertices, weights)
+    }
+
+    /// Core solver: writes the optimum (sorted ascending) into `out` and
+    /// returns its weight. `out` is cleared first; beyond `out`'s own
+    /// growth, no allocation happens once the workspace is warm.
+    ///
+    /// # Panics
+    ///
+    /// As [`solve_grouped`].
+    pub fn solve_grouped_into(
+        &mut self,
+        graph: &Graph,
+        weights: &[f64],
+        allowed: &[usize],
+        group_of: &[usize],
+        out: &mut Vec<usize>,
+    ) -> f64 {
+        assert_eq!(weights.len(), graph.n(), "weight vector length");
+        assert_eq!(group_of.len(), graph.n(), "group vector length");
+        out.clear();
+
+        // Local indexing of allowed vertices with positive weight.
+        if self.n != graph.n() {
+            self.n = graph.n();
+            self.seen.clear();
+            self.seen.resize(self.n, false);
+            self.global_to_local.clear();
+            self.global_to_local.resize(self.n, usize::MAX);
+        } else {
+            self.seen.fill(false);
+            self.global_to_local.fill(usize::MAX);
+        }
+        self.local_to_global.clear();
+        self.w.clear();
+        for &v in allowed {
+            assert!(v < graph.n(), "vertex out of range");
+            assert!(!self.seen[v], "duplicate vertex in allowed set");
+            self.seen[v] = true;
+            if weights[v] > 0.0 {
+                self.local_to_global.push(v);
+                self.w.push(weights[v]);
+            }
+        }
+        let h = self.local_to_global.len();
+        if h == 0 {
+            return 0.0;
+        }
+        for (i, &v) in self.local_to_global.iter().enumerate() {
+            self.global_to_local[v] = i;
+        }
+
+        // Local adjacency bitsets from the pool.
+        if self.adj.len() < h {
+            self.adj.resize_with(h, || BitSet::new(0));
+        }
+        for (i, &v) in self.local_to_global.iter().enumerate() {
+            let row = &mut self.adj[i];
+            row.reset(h);
+            for &u in graph.neighbors(v) {
+                let j = self.global_to_local[u];
+                if j != usize::MAX {
+                    row.insert(j);
+                }
+            }
+        }
+
+        // Group local indices: sort (group, index) pairs so each group is
+        // a contiguous run with members in weight-descending order, then
+        // order the runs by their best member's weight descending (good
+        // incumbents early). All on reused scratch — no maps.
+        let w = &self.w;
+        self.keyed.clear();
+        self.keyed
+            .extend((0..h).map(|i| (group_of[self.local_to_global[i]], i)));
+        self.keyed.sort_unstable_by(|&(ga, a), &(gb, b)| {
+            ga.cmp(&gb)
+                .then_with(|| w[b].partial_cmp(&w[a]).expect("finite weights"))
+        });
+        self.runs.clear();
+        let mut start = 0;
+        for i in 1..=h {
+            if i == h || self.keyed[i].0 != self.keyed[start].0 {
+                self.runs.push((start, i - start));
+                start = i;
+            }
+        }
+        self.runs.sort_unstable_by(|&(sa, _), &(sb, _)| {
+            let (a, b) = (self.keyed[sa].1, self.keyed[sb].1);
+            w[b].partial_cmp(&w[a]).expect("finite weights")
+        });
+        self.group_members.clear();
+        self.group_starts.clear();
+        self.group_starts.push(0);
+        for &(start, len) in &self.runs {
+            self.group_members
+                .extend(self.keyed[start..start + len].iter().map(|&(_, i)| i));
+            self.group_starts.push(self.group_members.len());
+        }
+        let n_groups = self.group_starts.len() - 1;
+
+        #[cfg(debug_assertions)]
+        for g in 0..n_groups {
+            let members = &self.group_members[self.group_starts[g]..self.group_starts[g + 1]];
+            for (x, &a) in members.iter().enumerate() {
+                for &b in &members[x + 1..] {
+                    debug_assert!(
+                        self.adj[a].contains(b),
+                        "group members must form a clique: {} vs {}",
+                        self.local_to_global[a],
+                        self.local_to_global[b]
+                    );
+                }
+            }
+        }
+
+        // Per-depth availability sets (depth d enters group d). Only the
+        // root needs initializing: every deeper slot is fully overwritten
+        // by `copy_from` before the search reads it.
+        if self.avail_stack.len() < n_groups + 1 {
+            self.avail_stack
+                .resize_with(n_groups + 1, || BitSet::new(0));
+        }
+        self.avail_stack[0].reset(h);
+        self.avail_stack[0].fill();
+
+        self.best.clear();
+        self.current.clear();
+        let mut search = Search {
+            adj: &self.adj[..h],
+            w: &self.w,
+            group_members: &self.group_members,
+            group_starts: &self.group_starts,
+            stack: &mut self.avail_stack[..n_groups + 1],
+            best: &mut self.best,
+            current: &mut self.current,
+            best_weight: 0.0,
+        };
+        search.branch(0, 0.0);
+
+        out.extend(self.best.iter().map(|&i| self.local_to_global[i]));
+        out.sort_unstable();
+        out.iter().map(|&v| weights[v]).sum()
+    }
+}
+
+/// Borrowed view of the workspace during one branch-and-bound run.
+struct Search<'a> {
+    adj: &'a [BitSet],
+    w: &'a [f64],
+    group_members: &'a [usize],
+    group_starts: &'a [usize],
+    /// `stack[d]` is the availability set when entering group `d`.
+    stack: &'a mut [BitSet],
+    best: &'a mut Vec<usize>,
+    current: &'a mut Vec<usize>,
+    best_weight: f64,
+}
+
+impl<'a> Search<'a> {
+    fn members(&self, g: usize) -> &'a [usize] {
+        &self.group_members[self.group_starts[g]..self.group_starts[g + 1]]
+    }
+
+    fn branch(&mut self, gi: usize, current_weight: f64) {
+        let n_groups = self.group_starts.len() - 1;
+        if gi == n_groups {
             if current_weight > self.best_weight {
                 self.best_weight = current_weight;
-                self.best = self.current.clone();
+                self.best.clear();
+                self.best.extend_from_slice(self.current);
             }
             return;
         }
         // Upper bound: current + best available member of every remaining
-        // group (inter-group conflicts ignored — admissible).
+        // group (inter-group conflicts ignored — admissible). Members are
+        // weight-sorted descending: first available is best.
         let mut bound = current_weight;
-        for g in &self.groups[gi..] {
-            // Members are weight-sorted descending: first available is best.
-            if let Some(&m) = g.iter().find(|&&m| avail.contains(m)) {
+        for g in gi..n_groups {
+            if let Some(&m) = self
+                .members(g)
+                .iter()
+                .find(|&&m| self.stack[gi].contains(m))
+            {
                 bound += self.w[m];
             }
         }
@@ -170,19 +305,27 @@ impl Searcher<'_> {
             return;
         }
         // Branch: select each available member (descending weight)…
-        for &m in &self.groups[gi] {
-            if !avail.contains(m) {
+        for &m in self.members(gi) {
+            if !self.stack[gi].contains(m) {
                 continue;
             }
-            let mut next = avail.clone();
-            next.subtract(&self.adj[m]);
-            next.remove(m);
+            {
+                let (head, tail) = self.stack.split_at_mut(gi + 1);
+                let next = &mut tail[0];
+                next.copy_from(&head[gi]);
+                next.subtract(&self.adj[m]);
+                next.remove(m);
+            }
             self.current.push(m);
-            self.branch(gi + 1, &next, current_weight + self.w[m]);
+            self.branch(gi + 1, current_weight + self.w[m]);
             self.current.pop();
         }
         // …or skip the group entirely.
-        self.branch(gi + 1, avail, current_weight);
+        {
+            let (head, tail) = self.stack.split_at_mut(gi + 1);
+            tail[0].copy_from(&head[gi]);
+        }
+        self.branch(gi + 1, current_weight);
     }
 }
 
@@ -258,7 +401,7 @@ mod tests {
         for trial in 0..40 {
             let n = rng.gen_range(1..=12);
             let p = rng.gen_range(0.1..0.7);
-            let mut g = Graph::new(n);
+            let mut g = Graph::builder(n);
             for u in 0..n {
                 for v in (u + 1)..n {
                     if rng.gen::<f64>() < p {
@@ -266,6 +409,7 @@ mod tests {
                     }
                 }
             }
+            let g = g.build();
             let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
             let s = solve(&g, &w);
             let bf = brute_force(&g, &w);
@@ -284,7 +428,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let g = topology::ring(5);
         let h = ExtendedConflictGraph::new(&g, 3);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / 3).collect();
         let allowed: Vec<usize> = (0..h.n_vertices()).collect();
         let grouped = solve_grouped(h.graph(), &w, &allowed, &groups);
@@ -317,16 +463,46 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_one_shot_across_instances() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        for trial in 0..30 {
+            // Vary the size so the workspace is exercised across resizes.
+            let n = rng.gen_range(1..=11);
+            let p = rng.gen_range(0.1..0.7);
+            let mut g = Graph::builder(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen::<f64>() < p {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            let g = g.build();
+            let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let allowed: Vec<usize> = (0..n).collect();
+            let singleton: Vec<usize> = (0..n).collect();
+            let fresh = solve_grouped(&g, &w, &allowed, &singleton);
+            let weight = ws.solve_grouped_into(&g, &w, &allowed, &singleton, &mut out);
+            assert_eq!(out, fresh.vertices, "trial {trial}");
+            assert!((weight - fresh.weight).abs() < 1e-9, "trial {trial}");
+        }
+    }
+
+    #[test]
     fn fifteen_by_three_ground_truth_is_tractable() {
         // The Fig. 7 scale: 15 users × 3 channels. Must solve quickly.
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(15);
-        let (g, _) = mhca_graph::unit_disk::random_connected_with_average_degree(
-            15, 4.0, 100, &mut rng,
-        )
-        .unwrap();
+        let (g, _) =
+            mhca_graph::unit_disk::random_connected_with_average_degree(15, 4.0, 100, &mut rng)
+                .unwrap();
         let h = ExtendedConflictGraph::new(&g, 3);
-        let w: Vec<f64> = (0..h.n_vertices()).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         let groups: Vec<usize> = (0..h.n_vertices()).map(|v| v / 3).collect();
         let allowed: Vec<usize> = (0..h.n_vertices()).collect();
         let s = solve_grouped(h.graph(), &w, &allowed, &groups);

@@ -25,30 +25,66 @@ pub fn max_weight(graph: &Graph, weights: &[f64]) -> WeightedSet {
 ///
 /// Panics if `weights.len() != graph.n()` or `allowed` is out of range.
 pub fn max_weight_subset(graph: &Graph, weights: &[f64], allowed: &[usize]) -> WeightedSet {
+    let mut scratch = Scratch::default();
+    let mut out = Vec::new();
+    max_weight_subset_into(graph, weights, allowed, &mut scratch, &mut out);
+    WeightedSet::from_vertices(out, weights)
+}
+
+/// Reusable buffers for [`max_weight_subset_into`].
+#[derive(Debug, Default)]
+pub struct Scratch {
+    alive: Vec<bool>,
+    order: Vec<usize>,
+}
+
+/// As [`max_weight_subset`], writing the chosen set (sorted ascending)
+/// into `out` and returning its weight. With a warm `scratch`, the call
+/// performs no heap allocation — this is the hot fallback of the
+/// distributed decision's `Auto` local solver.
+///
+/// # Panics
+///
+/// As [`max_weight_subset`].
+pub fn max_weight_subset_into(
+    graph: &Graph,
+    weights: &[f64],
+    allowed: &[usize],
+    scratch: &mut Scratch,
+    out: &mut Vec<usize>,
+) -> f64 {
     assert_eq!(weights.len(), graph.n(), "weight vector length");
-    let mut alive = vec![false; graph.n()];
+    scratch.alive.clear();
+    scratch.alive.resize(graph.n(), false);
+    let alive = &mut scratch.alive;
     for &v in allowed {
         assert!(v < graph.n(), "vertex out of range");
         alive[v] = weights[v] > 0.0;
     }
-    let mut order: Vec<usize> = allowed.iter().copied().filter(|&v| alive[v]).collect();
-    order.sort_by(|&a, &b| {
+    scratch.order.clear();
+    scratch
+        .order
+        .extend(allowed.iter().copied().filter(|&v| alive[v]));
+    // The id tie-break makes the order total, so the unstable sort is
+    // deterministic (and allocation-free, unlike the stable sort).
+    scratch.order.sort_unstable_by(|&a, &b| {
         weights[b]
             .partial_cmp(&weights[a])
             .expect("finite weights")
             .then(a.cmp(&b))
     });
-    let mut chosen = Vec::new();
-    for v in order {
+    out.clear();
+    for &v in &scratch.order {
         if alive[v] {
-            chosen.push(v);
+            out.push(v);
             alive[v] = false;
             for &u in graph.neighbors(v) {
                 alive[u] = false;
             }
         }
     }
-    WeightedSet::from_vertices(chosen, weights)
+    out.sort_unstable();
+    out.iter().map(|&v| weights[v]).sum()
 }
 
 /// GWMIN greedy: repeatedly select the vertex maximizing
@@ -144,9 +180,7 @@ mod tests {
             let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
             let w: Vec<f64> = (0..40).map(|_| rng.gen_range(0.1..1.0)).collect();
             let s = weight_degree(&g, &w);
-            let floor: f64 = (0..40)
-                .map(|v| w[v] / (g.degree(v) + 1) as f64)
-                .sum();
+            let floor: f64 = (0..40).map(|v| w[v] / (g.degree(v) + 1) as f64).sum();
             assert!(
                 s.weight >= floor - 1e-9,
                 "GWMIN bound violated: {} < {floor}",

@@ -159,7 +159,7 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn random_graph(n: usize, p: f64, rng: &mut StdRng) -> Graph {
-        let mut g = Graph::new(n);
+        let mut g = Graph::builder(n);
         for u in 0..n {
             for v in (u + 1)..n {
                 if rng.gen::<f64>() < p {
@@ -167,7 +167,7 @@ mod tests {
                 }
             }
         }
-        g
+        g.build()
     }
 
     #[test]
@@ -232,7 +232,12 @@ mod tests {
         let w: Vec<f64> = (0..18).map(|_| rng.gen_range(0.1..1.0)).collect();
         let opt = exact::solve(&g, &w);
         let s = solve(&g, &w, &Config::with_epsilon_and_max_r(0.5, 2));
-        assert!(s.weight >= 0.6 * opt.weight, "{} vs {}", s.weight, opt.weight);
+        assert!(
+            s.weight >= 0.6 * opt.weight,
+            "{} vs {}",
+            s.weight,
+            opt.weight
+        );
     }
 
     #[test]

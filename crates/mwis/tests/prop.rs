@@ -10,13 +10,13 @@ fn arb_weighted_graph(max_n: usize) -> impl Strategy<Value = (Graph, Vec<f64>)> 
         let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2);
         let weights = proptest::collection::vec(0.0f64..5.0, n..=n);
         (edges, weights).prop_map(move |(es, w)| {
-            let mut g = Graph::new(n);
+            let mut g = Graph::builder(n);
             for (u, v) in es {
                 if u != v {
                     g.add_edge(u, v);
                 }
             }
-            (g, w)
+            (g.build(), w)
         })
     })
 }

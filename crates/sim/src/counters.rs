@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///   [`crate::FloodEngine::deliver`] advances time by the largest TTL in
 ///   the batch (floods in one batch propagate concurrently, as in the
 ///   paper's pipelined weight broadcast).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Counters {
     /// Total relay broadcasts.
     pub transmissions: u64,
@@ -23,6 +23,28 @@ pub struct Counters {
     pub timeslots: u64,
     /// Per-vertex relay broadcast counts.
     pub per_vertex_tx: Vec<u64>,
+}
+
+/// Hand-written so `clone_from` reuses the per-vertex storage — the round
+/// loop snapshots counters into a caller-owned outcome every slot, and the
+/// derived `clone_from` would reallocate the vector each time.
+impl Clone for Counters {
+    fn clone(&self) -> Self {
+        Counters {
+            transmissions: self.transmissions,
+            delivered: self.delivered,
+            timeslots: self.timeslots,
+            per_vertex_tx: self.per_vertex_tx.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.transmissions = source.transmissions;
+        self.delivered = source.delivered;
+        self.timeslots = source.timeslots;
+        self.per_vertex_tx.clear();
+        self.per_vertex_tx.extend_from_slice(&source.per_vertex_tx);
+    }
 }
 
 impl Counters {
@@ -50,10 +72,13 @@ impl Counters {
         }
     }
 
-    /// Resets all counts to zero, keeping the vertex count.
+    /// Resets all counts to zero, keeping the vertex count and reusing
+    /// the per-vertex storage (no allocation).
     pub fn reset(&mut self) {
-        let n = self.per_vertex_tx.len();
-        *self = Counters::new(n);
+        self.transmissions = 0;
+        self.delivered = 0;
+        self.timeslots = 0;
+        self.per_vertex_tx.fill(0);
     }
 }
 

@@ -1,9 +1,18 @@
 //! TTL-limited flood delivery.
+//!
+//! The engine is **long-lived and allocation-free in steady state**: it is
+//! built once per graph, keeps epoch-stamped BFS scratch for the lossy
+//! path, and precomputes [`BallTable`] r-hop neighborhood tables for the
+//! lossless path (the conflict graph is static across a whole horizon, so
+//! a TTL-bounded lossless flood is a table scan, not a BFS). Callers on
+//! the hot path use [`FloodEngine::deliver_into`] with reusable inboxes;
+//! [`FloodEngine::deliver`] remains as an allocating convenience.
 
 use crate::counters::Counters;
-use mhca_graph::Graph;
+use mhca_graph::{BallTable, Graph};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A hop-limited local broadcast: `payload` floods from `origin` to every
 /// vertex within `ttl` hops.
@@ -33,23 +42,38 @@ pub struct Received<P> {
 /// Delivery is deterministic unless a loss model is installed with
 /// [`FloodEngine::with_loss`]; loss draws come from a seeded RNG so even
 /// failure-injection runs are reproducible.
+///
+/// # Reuse
+///
+/// Build the engine **once** per graph and keep it across rounds: lossless
+/// deliveries are served from cached per-TTL neighborhood tables (built
+/// lazily on first use, or eagerly via [`FloodEngine::prewarm`]), and the
+/// lossy path reuses epoch-stamped BFS scratch. After warm-up, neither
+/// path allocates.
 #[derive(Debug)]
 pub struct FloodEngine<'g> {
     graph: &'g Graph,
     counters: Counters,
     loss_prob: f64,
     rng: StdRng,
+    /// Lossless fast path: `tables[r]` holds the radius-`r` ball table.
+    /// Indexed by *effective* TTL (clamped to `n`, where every ball has
+    /// saturated), so the vector stays small for any caller TTL. Shared
+    /// (`Arc`) so same-graph engines can adopt each other's tables
+    /// instead of rebuilding them ([`FloodEngine::adopt_tables`]).
+    tables: Vec<Option<Arc<BallTable>>>,
+    /// Lossy-path BFS scratch: `stamp[v] == epoch` marks `v` visited in
+    /// the current flood.
+    stamp: Vec<u32>,
+    epoch: u32,
+    dist: Vec<u32>,
+    queue: VecDeque<usize>,
 }
 
 impl<'g> FloodEngine<'g> {
     /// Engine with perfect (lossless) delivery.
     pub fn new(graph: &'g Graph) -> Self {
-        FloodEngine {
-            graph,
-            counters: Counters::new(graph.n()),
-            loss_prob: 0.0,
-            rng: StdRng::seed_from_u64(0),
-        }
+        Self::with_loss_internal(graph, 0.0, 0)
     }
 
     /// Engine that drops each relay broadcast independently with
@@ -63,12 +87,27 @@ impl<'g> FloodEngine<'g> {
             (0.0..1.0).contains(&loss_prob),
             "loss probability must be in [0, 1)"
         );
+        Self::with_loss_internal(graph, loss_prob, seed)
+    }
+
+    fn with_loss_internal(graph: &'g Graph, loss_prob: f64, seed: u64) -> Self {
+        let n = graph.n();
         FloodEngine {
             graph,
-            counters: Counters::new(graph.n()),
+            counters: Counters::new(n),
             loss_prob,
             rng: StdRng::seed_from_u64(seed),
+            tables: Vec::new(),
+            stamp: vec![0; n],
+            epoch: 0,
+            dist: vec![0; n],
+            queue: VecDeque::new(),
         }
+    }
+
+    /// The graph this engine delivers over.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
     }
 
     /// Accumulated communication counters.
@@ -76,42 +115,245 @@ impl<'g> FloodEngine<'g> {
         &self.counters
     }
 
-    /// Resets the counters (e.g. between protocol phases).
+    /// Resets the counters (e.g. between protocol phases) without
+    /// releasing their storage.
     pub fn reset_counters(&mut self) {
         self.counters.reset();
     }
 
-    /// Delivers a batch of concurrent floods.
+    /// Eagerly builds the lossless neighborhood table for `ttl`, so the
+    /// first `deliver` call is as fast as the rest. No-op for lossy
+    /// engines (they always BFS) and for already-built tables.
+    pub fn prewarm(&mut self, ttl: usize) {
+        if self.loss_prob == 0.0 && ttl > 0 {
+            let eff = ttl.min(self.graph.n());
+            Self::table_for(&mut self.tables, self.graph, eff);
+        }
+    }
+
+    /// Delivers a batch of concurrent floods, allocating fresh inboxes.
     ///
     /// Returns one inbox per vertex. A vertex does **not** receive its own
     /// flood. Within one batch all floods propagate concurrently, so the
     /// pipelined time charge is the maximum TTL in the batch.
     ///
+    /// Hot paths should prefer [`FloodEngine::deliver_into`].
+    ///
     /// # Panics
     ///
     /// Panics if a flood origin is out of range.
     pub fn deliver<P: Clone>(&mut self, floods: &[Flood<P>]) -> Vec<Vec<Received<P>>> {
+        let mut inboxes = Vec::new();
+        self.deliver_into(floods, &mut inboxes);
+        inboxes
+    }
+
+    /// Delivers a batch of concurrent floods into caller-owned inboxes.
+    ///
+    /// `inboxes` is resized to one entry per vertex and each inbox is
+    /// cleared (capacity retained) before delivery — after warm-up the
+    /// call performs no heap allocation on the lossless path.
+    ///
+    /// Semantics match [`FloodEngine::deliver`]: no self-delivery, and the
+    /// batch advances `timeslots` by its maximum TTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flood origin is out of range.
+    pub fn deliver_into<P: Clone>(
+        &mut self,
+        floods: &[Flood<P>],
+        inboxes: &mut Vec<Vec<Received<P>>>,
+    ) {
         let n = self.graph.n();
-        let mut inboxes: Vec<Vec<Received<P>>> = vec![Vec::new(); n];
+        if inboxes.len() != n {
+            inboxes.resize_with(n, Vec::new);
+        }
+        for inbox in inboxes.iter_mut() {
+            inbox.clear();
+        }
         let mut max_ttl = 0;
         for flood in floods {
             assert!(flood.origin < n, "flood origin out of range");
             max_ttl = max_ttl.max(flood.ttl);
-            self.flood_one(flood, &mut inboxes);
+            if self.loss_prob > 0.0 {
+                self.flood_bfs(flood, inboxes);
+            } else {
+                self.flood_table(flood, inboxes);
+            }
         }
         self.counters.timeslots += max_ttl as u64;
-        inboxes
     }
 
-    /// BFS wave for a single flood, with per-relay loss.
-    fn flood_one<P: Clone>(&mut self, flood: &Flood<P>, inboxes: &mut [Vec<Received<P>>]) {
+    /// Delivers a batch of concurrent floods **for accounting only**: the
+    /// counters advance exactly as in [`FloodEngine::deliver_into`], but
+    /// no inboxes are materialized. Use when the protocol phase only
+    /// needs the broadcast to have *happened* (weight broadcasts, leader
+    /// declarations) — skipping the per-reception pushes removes the
+    /// dominant remaining per-round work of those phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flood origin is out of range.
+    pub fn broadcast_only<P>(&mut self, floods: &[Flood<P>]) {
         let n = self.graph.n();
-        let mut dist = vec![usize::MAX; n];
-        dist[flood.origin] = 0;
-        // Queue holds vertices that hold a copy and may relay.
-        let mut queue = VecDeque::from([flood.origin]);
-        while let Some(u) = queue.pop_front() {
-            if dist[u] == flood.ttl {
+        let mut max_ttl = 0;
+        for flood in floods {
+            assert!(flood.origin < n, "flood origin out of range");
+            max_ttl = max_ttl.max(flood.ttl);
+            if self.loss_prob > 0.0 {
+                self.flood_bfs_counts(flood.origin, flood.ttl);
+            } else {
+                self.flood_table_counts(flood.origin, flood.ttl);
+            }
+        }
+        self.counters.timeslots += max_ttl as u64;
+    }
+
+    /// Counters-only lossless delivery: one table scan, no receptions.
+    fn flood_table_counts(&mut self, origin: usize, ttl: usize) {
+        if ttl == 0 {
+            return;
+        }
+        let eff = ttl.min(self.graph.n());
+        let table = Self::table_for(&mut self.tables, self.graph, eff);
+        let ball = table.ball(origin);
+        self.counters.transmissions += 1;
+        self.counters.per_vertex_tx[origin] += 1;
+        self.counters.delivered += ball.len() as u64;
+        // Entries are distance-sorted: members before the TTL boundary
+        // relay exactly once each.
+        let relays = ball.partition_point(|&(_, d)| (d as usize) < ttl);
+        self.counters.transmissions += relays as u64;
+        for &(v, _) in &ball[..relays] {
+            self.counters.per_vertex_tx[v as usize] += 1;
+        }
+    }
+
+    /// Counters-only lossy delivery: the BFS wave of `flood_bfs` minus
+    /// the reception pushes (loss draws consume the same RNG stream).
+    fn flood_bfs_counts(&mut self, origin: usize, ttl: usize) {
+        let graph = self.graph;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.stamp[origin] = epoch;
+        self.dist[origin] = 0;
+        self.queue.clear();
+        self.queue.push_back(origin);
+        while let Some(u) = self.queue.pop_front() {
+            if self.dist[u] as usize == ttl {
+                continue;
+            }
+            self.counters.transmissions += 1;
+            self.counters.per_vertex_tx[u] += 1;
+            if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
+                continue;
+            }
+            for &w in graph.neighbors(u) {
+                if self.stamp[w] != epoch {
+                    self.stamp[w] = epoch;
+                    self.dist[w] = self.dist[u] + 1;
+                    self.counters.delivered += 1;
+                    self.queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    /// Returns the cached ball table for `radius`, building it on first
+    /// use. An associated function over the `tables` field so callers can
+    /// keep disjoint borrows of `counters`.
+    fn table_for<'t>(
+        tables: &'t mut Vec<Option<Arc<BallTable>>>,
+        graph: &Graph,
+        radius: usize,
+    ) -> &'t BallTable {
+        if tables.len() <= radius {
+            tables.resize_with(radius + 1, || None);
+        }
+        tables[radius].get_or_insert_with(|| Arc::new(BallTable::build(graph, radius)))
+    }
+
+    /// Adopts another engine's cached ball tables (cheap `Arc` clones),
+    /// so two engines over the same graph build each radius only once —
+    /// e.g. the Algorithm 2 runner's WB engine and the strategy
+    /// decision's engine both flood within `2r+1` hops.
+    ///
+    /// Tables this engine already holds are kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engines deliver over different graphs.
+    pub fn adopt_tables(&mut self, other: &FloodEngine<'_>) {
+        assert!(
+            std::ptr::eq(self.graph, other.graph),
+            "engines must share a graph to share tables"
+        );
+        if self.tables.len() < other.tables.len() {
+            self.tables.resize_with(other.tables.len(), || None);
+        }
+        for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
+            if mine.is_none() {
+                if let Some(t) = theirs {
+                    *mine = Some(Arc::clone(t));
+                }
+            }
+        }
+    }
+
+    /// Lossless delivery of one flood from the precomputed ball table.
+    ///
+    /// In a lossless synchronous flood every vertex holding a copy at
+    /// distance `< ttl` relays exactly once (the origin included) and
+    /// every ball member receives exactly one copy at its BFS distance, so
+    /// the table scan reproduces the BFS wave — receptions in distance
+    /// order — without traversing edges.
+    fn flood_table<P: Clone>(&mut self, flood: &Flood<P>, inboxes: &mut [Vec<Received<P>>]) {
+        if flood.ttl == 0 {
+            return; // hold without relaying: no cost, no receptions
+        }
+        let eff = flood.ttl.min(self.graph.n());
+        let table = Self::table_for(&mut self.tables, self.graph, eff);
+        // The origin always performs the first broadcast.
+        self.counters.transmissions += 1;
+        self.counters.per_vertex_tx[flood.origin] += 1;
+        for &(v, d) in table.ball(flood.origin) {
+            let v = v as usize;
+            let d = d as usize;
+            inboxes[v].push(Received {
+                origin: flood.origin,
+                distance: d,
+                payload: flood.payload.clone(),
+            });
+            self.counters.delivered += 1;
+            if d < flood.ttl {
+                // Holds a copy with TTL budget left: relays once.
+                self.counters.transmissions += 1;
+                self.counters.per_vertex_tx[v] += 1;
+            }
+        }
+    }
+
+    /// BFS wave for a single flood with per-relay loss, on epoch-stamped
+    /// scratch (no allocation after the first call).
+    fn flood_bfs<P: Clone>(&mut self, flood: &Flood<P>, inboxes: &mut [Vec<Received<P>>]) {
+        let graph = self.graph;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.stamp[flood.origin] = epoch;
+        self.dist[flood.origin] = 0;
+        self.queue.clear();
+        self.queue.push_back(flood.origin);
+        while let Some(u) = self.queue.pop_front() {
+            if self.dist[u] as usize == flood.ttl {
                 continue; // TTL exhausted: hold but don't relay.
             }
             // One wireless broadcast by u (possibly lost as a whole).
@@ -120,16 +362,17 @@ impl<'g> FloodEngine<'g> {
             if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
                 continue;
             }
-            for &w in self.graph.neighbors(u) {
-                if dist[w] == usize::MAX {
-                    dist[w] = dist[u] + 1;
+            for &w in graph.neighbors(u) {
+                if self.stamp[w] != epoch {
+                    self.stamp[w] = epoch;
+                    self.dist[w] = self.dist[u] + 1;
                     inboxes[w].push(Received {
                         origin: flood.origin,
-                        distance: dist[w],
+                        distance: self.dist[w] as usize,
                         payload: flood.payload.clone(),
                     });
                     self.counters.delivered += 1;
-                    queue.push_back(w);
+                    self.queue.push_back(w);
                 }
             }
         }
@@ -204,6 +447,72 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_only_matches_deliver_counters() {
+        let g = topology::grid(4, 5);
+        let floods = [
+            Flood {
+                origin: 0,
+                ttl: 3,
+                payload: (),
+            },
+            Flood {
+                origin: 19,
+                ttl: 2,
+                payload: (),
+            },
+            Flood {
+                origin: 7,
+                ttl: 0,
+                payload: (),
+            },
+        ];
+        let mut full = FloodEngine::new(&g);
+        let _ = full.deliver(&floods);
+        let mut counting = FloodEngine::new(&g);
+        counting.broadcast_only(&floods);
+        assert_eq!(full.counters(), counting.counters());
+
+        // Lossy path: identical seeds consume identical RNG streams, so
+        // the counters agree too.
+        let mut full = FloodEngine::with_loss(&g, 0.3, 11);
+        let _ = full.deliver(&floods);
+        let mut counting = FloodEngine::with_loss(&g, 0.3, 11);
+        counting.broadcast_only(&floods);
+        assert_eq!(full.counters(), counting.counters());
+    }
+
+    #[test]
+    fn adopted_tables_are_shared_and_equivalent() {
+        let g = topology::grid(4, 4);
+        let mut a = FloodEngine::new(&g);
+        a.prewarm(3);
+        let mut b = FloodEngine::new(&g);
+        b.adopt_tables(&a);
+        assert!(
+            b.tables[3]
+                .as_ref()
+                .is_some_and(|t| std::sync::Arc::ptr_eq(t, a.tables[3].as_ref().unwrap())),
+            "adopted table must be the same allocation"
+        );
+        let floods = [Flood {
+            origin: 5,
+            ttl: 3,
+            payload: (),
+        }];
+        assert_eq!(a.deliver(&floods), b.deliver(&floods));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a graph")]
+    fn adopting_across_graphs_panics() {
+        let g1 = topology::line(4);
+        let g2 = topology::line(4);
+        let a = FloodEngine::new(&g1);
+        let mut b = FloodEngine::new(&g2);
+        b.adopt_tables(&a);
+    }
+
+    #[test]
     fn batch_timeslots_use_max_ttl() {
         let g = topology::line(6);
         let mut e = FloodEngine::new(&g);
@@ -251,6 +560,72 @@ mod tests {
     }
 
     #[test]
+    fn deliver_into_reuses_and_matches_deliver() {
+        let g = topology::grid(4, 4);
+        let floods = [
+            Flood {
+                origin: 0,
+                ttl: 3,
+                payload: 1u32,
+            },
+            Flood {
+                origin: 15,
+                ttl: 2,
+                payload: 2u32,
+            },
+        ];
+        let mut fresh = FloodEngine::new(&g);
+        let expect = fresh.deliver(&floods);
+        let mut reused = FloodEngine::new(&g);
+        let mut inboxes = Vec::new();
+        for _ in 0..3 {
+            reused.deliver_into(&floods, &mut inboxes);
+            assert_eq!(inboxes, expect);
+        }
+        // Counters accumulate linearly across identical deliveries.
+        assert_eq!(
+            reused.counters().transmissions,
+            3 * fresh.counters().transmissions
+        );
+        assert_eq!(reused.counters().delivered, 3 * fresh.counters().delivered);
+    }
+
+    #[test]
+    fn huge_ttl_is_clamped_not_allocated() {
+        let g = topology::line(4);
+        let mut e = FloodEngine::new(&g);
+        let inboxes = e.deliver(&[Flood {
+            origin: 0,
+            ttl: usize::MAX,
+            payload: (),
+        }]);
+        assert!(inboxes[1..].iter().all(|b| b.len() == 1));
+        // Only the saturated table exists (radius ≤ n).
+        assert!(e.tables.len() <= g.n() + 1);
+    }
+
+    #[test]
+    fn lossy_path_matches_lossless_when_no_drop_fires() {
+        // loss_prob tiny enough that no draw fires in this run: the BFS
+        // path must agree with the table path exactly.
+        let g = topology::grid(3, 5);
+        let floods = [Flood {
+            origin: 7,
+            ttl: 3,
+            payload: (),
+        }];
+        let mut lossless = FloodEngine::new(&g);
+        let a = lossless.deliver(&floods);
+        let mut nearly = FloodEngine::with_loss(&g, 1e-12, 5);
+        let b = nearly.deliver(&floods);
+        assert_eq!(a, b);
+        assert_eq!(
+            lossless.counters().transmissions,
+            nearly.counters().transmissions
+        );
+    }
+
+    #[test]
     fn total_loss_blocks_beyond_first_hop_never_the_math() {
         // loss = 0.999…: with a seeded RNG, eventually every relay drops;
         // here we use a high but valid probability and just assert safety
@@ -283,10 +658,7 @@ mod tests {
                 ttl: 6,
                 payload: (),
             }]);
-            boxes
-                .iter()
-                .map(|b| b.len())
-                .collect::<Vec<_>>()
+            boxes.iter().map(|b| b.len()).collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
     }

@@ -7,13 +7,13 @@ use proptest::prelude::*;
 fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (1..=max_n).prop_flat_map(|n| {
         proptest::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |edges| {
-            let mut g = Graph::new(n);
+            let mut g = Graph::builder(n);
             for (u, v) in edges {
                 if u != v {
                     g.add_edge(u, v);
                 }
             }
-            g
+            g.build()
         })
     })
 }

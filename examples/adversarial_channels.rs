@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example adversarial_channels`
 
 use mhca::bandit::policies::{CsUcb, DiscountedCsUcb, IndexPolicy};
-use mhca::channels::{adversarial::Switching, process::TruncatedGaussian, ChannelMatrix, ChannelProcess};
+use mhca::channels::{
+    adversarial::Switching, process::TruncatedGaussian, ChannelMatrix, ChannelProcess,
+};
 use mhca::core::{
     runner::{run_policy, Algorithm2Config},
     Network,
@@ -41,9 +43,7 @@ fn main() {
     let horizon = 4000;
     let cfg = Algorithm2Config::default().with_horizon(horizon);
 
-    println!(
-        "adversarial workload: {n} users x {m} channels, {horizon} slots,"
-    );
+    println!("adversarial workload: {n} users x {m} channels, {horizon} slots,");
     println!("even channels switch 1200 <-> 150 kbps every 400 slots\n");
 
     let k = net.n_vertices();

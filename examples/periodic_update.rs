@@ -32,7 +32,11 @@ fn main() {
         cfg.n,
         cfg.m,
         cfg.updates_per_run,
-        if full { " (paper scale)" } else { " (reduced; use --full for 100x10)" }
+        if full {
+            " (paper scale)"
+        } else {
+            " (reduced; use --full for 100x10)"
+        }
     );
     println!();
     println!(

@@ -13,7 +13,10 @@ fn main() {
         cfg.n, cfg.m, cfg.horizon
     );
     let out = fig7(&cfg);
-    println!("exact optimum R1 = {:.2} kbps (paper instance: 7282.90)", out.optimal_kbps);
+    println!(
+        "exact optimum R1 = {:.2} kbps (paper instance: 7282.90)",
+        out.optimal_kbps
+    );
     println!("beta = theta*alpha = {:.3}", out.beta);
     println!();
     println!(

@@ -2,7 +2,9 @@
 //! the full Algorithm 2 loop against oblivious non-stationary channels.
 
 use mhca::bandit::policies::{CsUcb, DiscountedCsUcb};
-use mhca::channels::{adversarial::Switching, process::TruncatedGaussian, ChannelMatrix, ChannelProcess};
+use mhca::channels::{
+    adversarial::Switching, process::TruncatedGaussian, ChannelMatrix, ChannelProcess,
+};
 use mhca::core::{
     runner::{run_policy, Algorithm2Config},
     Network,
@@ -24,7 +26,11 @@ fn switching_network(n: usize, m: usize, dwell: u64, seed: u64) -> Network {
             }
         })
         .collect();
-    Network::from_parts(g, ChannelMatrix::from_processes(n, m, processes, seed), Some(layout))
+    Network::from_parts(
+        g,
+        ChannelMatrix::from_processes(n, m, processes, seed),
+        Some(layout),
+    )
 }
 
 #[test]

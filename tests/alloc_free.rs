@@ -1,0 +1,158 @@
+//! Allocation accounting for the steady-state round loop.
+//!
+//! The PR-1 tentpole claims the lossless hot path — flood delivery and the
+//! distributed strategy decision — performs **no heap allocation after
+//! warm-up**. These tests pin that down with a counting global allocator:
+//! warm the component up, then assert that further identical operations
+//! allocate nothing.
+//!
+//! The counting allocator wraps `System`; its `unsafe` is confined to this
+//! test binary (every library crate is `#![forbid(unsafe_code)]`).
+//! Measurements take the minimum over several attempts so a stray
+//! harness-thread allocation cannot produce a false positive, and the
+//! measured tests serialize on a mutex so they never overlap.
+
+use mhca::bandit::policies::{CsUcb, IndexPolicy};
+use mhca::core::{DistributedPtas, DistributedPtasConfig, Network};
+use mhca::sim::{Flood, FloodEngine, Received};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Serializes the measured sections across test threads.
+static MEASURE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Allocation count of `f`, minimized over `attempts` runs (the minimum
+/// filters out one-off interference from harness threads).
+fn min_allocs(attempts: usize, mut f: impl FnMut()) -> u64 {
+    let _guard = MEASURE_LOCK.lock().unwrap();
+    let mut best = u64::MAX;
+    for _ in 0..attempts {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        f();
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        best = best.min(after - before);
+    }
+    best
+}
+
+#[test]
+fn lossless_flood_delivery_is_allocation_free_after_warmup() {
+    let net = Network::random(60, 3, 4.0, 0.1, 5);
+    let graph = net.h().graph();
+    let r = DistributedPtasConfig::default().r;
+    let floods: Vec<Flood<()>> = (0..net.n_vertices())
+        .step_by(7)
+        .map(|v| Flood {
+            origin: v,
+            ttl: 2 * r + 1,
+            payload: (),
+        })
+        .collect();
+    let mut engine = FloodEngine::new(graph);
+    let mut inboxes: Vec<Vec<Received<()>>> = Vec::new();
+    // Warm-up: builds the ball table and sizes every inbox.
+    engine.deliver_into(&floods, &mut inboxes);
+
+    let allocs = min_allocs(3, || {
+        for _ in 0..20 {
+            engine.deliver_into(&floods, &mut inboxes);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state deliver_into must not allocate (counted {allocs})"
+    );
+}
+
+#[test]
+fn strategy_decision_is_allocation_free_after_warmup() {
+    let net = Network::random(40, 3, 4.0, 0.1, 9);
+    let weights = net.channels().means();
+    let mut ptas = DistributedPtas::new(net.h(), DistributedPtasConfig::default());
+    let mut outcome = Default::default();
+    // Warm-up: grows the determination pools, MWIS workspace, and outcome
+    // vectors to their steady-state sizes.
+    for _ in 0..3 {
+        ptas.decide_into(&weights, &mut outcome);
+    }
+
+    let allocs = min_allocs(3, || {
+        for _ in 0..10 {
+            ptas.decide_into(&weights, &mut outcome);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state decide_into must not allocate (counted {allocs})"
+    );
+}
+
+#[test]
+fn policy_indices_into_is_allocation_free() {
+    use mhca::bandit::ArmStats;
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut stats = ArmStats::new(300);
+    for arm in 0..300 {
+        stats.update(arm, 0.5);
+    }
+    let mut policy = CsUcb::new(2.0);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut out = Vec::new();
+    policy.indices_into(1, &stats, &mut rng, &mut out);
+
+    let allocs = min_allocs(3, || {
+        for t in 2..50 {
+            policy.indices_into(t, &stats, &mut rng, &mut out);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state indices_into must not allocate (counted {allocs})"
+    );
+}
+
+#[test]
+fn run_policy_allocation_grows_sublinearly_with_horizon() {
+    // End-to-end guard: the whole-run allocation count must be dominated
+    // by setup, not by the per-slot loop. With the loop allocation-free,
+    // doubling the horizon adds (almost) nothing; before PR 1 each slot
+    // cost a fresh engine + inboxes + index/observation vectors.
+    let net = Network::random(30, 3, 4.0, 0.1, 3);
+    let count_run = |horizon: u64| {
+        min_allocs(2, || {
+            let cfg = mhca::core::runner::Algorithm2Config::default().with_horizon(horizon);
+            let _ = mhca::core::runner::run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        })
+    };
+    let short = count_run(40);
+    let long = count_run(160);
+    // 4× the slots must cost well under 2× the allocations.
+    assert!(
+        long < short * 2,
+        "per-slot allocations leak: horizon 40 → {short} allocs, horizon 160 → {long}"
+    );
+}

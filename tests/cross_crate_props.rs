@@ -11,13 +11,13 @@ fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
     (1..=max_n).prop_flat_map(|n| {
         let edges = proptest::collection::vec((0..n, 0..n), 0..(n * 2));
         edges.prop_map(move |es| {
-            let mut g = Graph::new(n);
+            let mut g = Graph::builder(n);
             for (u, v) in es {
                 if u != v {
                     g.add_edge(u, v);
                 }
             }
-            g
+            g.build()
         })
     })
 }

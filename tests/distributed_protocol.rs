@@ -8,7 +8,9 @@ use mhca::mwis::{exact, robust_ptas};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn weights_for(h: &ExtendedConflictGraph, rng: &mut StdRng) -> Vec<f64> {
-    (0..h.n_vertices()).map(|_| rng.gen_range(0.1..1.0)).collect()
+    (0..h.n_vertices())
+        .map(|_| rng.gen_range(0.1..1.0))
+        .collect()
 }
 
 #[test]

@@ -105,7 +105,10 @@ fn regret_decreases_over_the_run() {
     );
     // And the floor: even a perfect policy pays (1-θ)·R1.
     let theta = 0.5;
-    assert!(late > opt * (1.0 - theta) - 0.2 * opt, "regret {late} below plausible floor");
+    assert!(
+        late > opt * (1.0 - theta) - 0.2 * opt,
+        "regret {late} below plausible floor"
+    );
 }
 
 #[test]
@@ -125,13 +128,11 @@ fn llr_and_cs_ucb_both_beat_the_beta_target() {
 fn deciding_with_larger_r_does_not_break_anything() {
     let net = small_net(8);
     for r in [1usize, 2, 3] {
-        let cfg = Algorithm2Config::default()
-            .with_horizon(50)
-            .with_decision(
-                DistributedPtasConfig::default()
-                    .with_r(r)
-                    .with_max_minirounds(Some(4)),
-            );
+        let cfg = Algorithm2Config::default().with_horizon(50).with_decision(
+            DistributedPtasConfig::default()
+                .with_r(r)
+                .with_max_minirounds(Some(4)),
+        );
         let run = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
         assert!(run.average_observed_kbps > 0.0, "r={r} produced nothing");
     }

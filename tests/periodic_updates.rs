@@ -47,8 +47,7 @@ fn stale_weights_barely_hurt_estimation_accuracy() {
         "y=10 should raise effective throughput"
     );
     let gap = |r: &mhca::core::RunResult| {
-        (r.avg_estimated_throughput.last().unwrap() - r.avg_actual_throughput.last().unwrap())
-            .abs()
+        (r.avg_estimated_throughput.last().unwrap() - r.avg_actual_throughput.last().unwrap()).abs()
             / r.avg_actual_throughput.last().unwrap()
     };
     // Estimation stays reasonable despite 10× staler weights.
@@ -105,5 +104,8 @@ fn custom_time_model_changes_theta() {
     let mut oracle = Oracle::new(net.channels().means());
     let run = run_policy(&net, &cfg, &mut oracle);
     let ratio = run.average_effective_kbps / run.average_observed_kbps;
-    assert!((ratio - 0.8).abs() < 1e-9, "theta should be 0.8, got {ratio}");
+    assert!(
+        (ratio - 0.8).abs() < 1e-9,
+        "theta should be 0.8, got {ratio}"
+    );
 }

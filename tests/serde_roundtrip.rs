@@ -53,7 +53,9 @@ fn time_model_and_decision_config_equality() {
 #[test]
 fn ids_order_and_hash_consistently() {
     use std::collections::HashSet;
-    let set: HashSet<VertexId> = [VertexId(1), VertexId(2), VertexId(1)].into_iter().collect();
+    let set: HashSet<VertexId> = [VertexId(1), VertexId(2), VertexId(1)]
+        .into_iter()
+        .collect();
     assert_eq!(set.len(), 2);
     assert!(NodeId(0) < NodeId(1));
     assert!(ChannelId(2) > ChannelId(0));

@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the API subset this workspace's benches use — benchmark
+//! groups, [`BenchmarkId`], `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — on a simple
+//! wall-clock harness:
+//!
+//! * each benchmark is warmed up, then timed over `sample_size` samples of
+//!   adaptively-chosen iteration batches;
+//! * the **median** ns/iter is printed to stdout;
+//! * one JSON line per benchmark is appended to
+//!   `target/criterion-stub/results.jsonl` (path overridable with
+//!   `CRITERION_STUB_OUT`), which is what `BENCHMARKS.md` scripts consume.
+//!
+//! No statistical outlier analysis, plots, or saved baselines — diff the
+//! JSON lines between runs instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a bare parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark identifier (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted for API compatibility;
+    /// the stub only recognizes `--quick`).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            self.sample_size = 10;
+            self.measurement_time = Duration::from_millis(200);
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, routine: F) {
+        let id = id.into_id();
+        self.run(&id, routine);
+    }
+
+    /// Benchmarks `routine` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) {
+        self.run(&id.id, |b| routine(b, input));
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut routine: F) {
+        // Calibrate: find an iteration count that takes roughly one
+        // sample's worth of wall clock.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b); // warm-up + first calibration point
+        let per_sample = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let single = b.elapsed.as_nanos().max(1);
+        let iters = (per_sample / single).clamp(1, 1_000_000) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            routine(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        let max = samples_ns[samples_ns.len() - 1];
+
+        let full = format!("{}/{}", self.name, id);
+        println!("bench {full:<55} median {median:>14.1} ns/iter  (min {min:.1}, max {max:.1}, {iters} iters x {} samples)", self.sample_size);
+        append_json(&full, median, min, max, iters, self.sample_size);
+    }
+}
+
+/// Appends one JSON line with this benchmark's result.
+fn append_json(id: &str, median: f64, min: f64, max: f64, iters: u64, samples: usize) {
+    let path = std::env::var("CRITERION_STUB_OUT")
+        .unwrap_or_else(|_| "target/criterion-stub/results.jsonl".to_string());
+    let path = std::path::PathBuf::from(path);
+    if let Some(dir) = path.parent() {
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            f,
+            "{{\"id\":\"{id}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"iters\":{iters},\"samples\":{samples}}}"
+        );
+    }
+}
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub_self_test");
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0u64..100).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_times() {
+        std::env::set_var("CRITERION_STUB_OUT", "target/criterion-stub/test.jsonl");
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            ..Criterion::default()
+        };
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! The workspace builds in an environment without a crates.io mirror, so
+//! this crate re-implements exactly the API subset the workspace uses:
+//!
+//! * [`RngCore`] — object-safe generator core (`next_u32`/`next_u64`/
+//!   `fill_bytes`), usable as `&mut dyn RngCore`.
+//! * [`Rng`] — blanket extension trait with `gen`, `gen_range`, `gen_bool`.
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`].
+//!
+//! `StdRng` is xoshiro256** seeded through SplitMix64 — deterministic,
+//! fast, and statistically strong enough for the workspace's
+//! moment-matching distribution tests. It is **not** the upstream
+//! ChaCha-based `StdRng`, so seed-for-seed streams differ from real
+//! `rand`; nothing in this repository depends on upstream streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Object-safe core of a random-number generator.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that can be sampled uniformly from an [`RngCore`]
+/// (the stand-in for `Standard: Distribution<T>`).
+pub trait SampleValue: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleValue for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleValue for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleValue for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl SampleValue for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl SampleValue for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleValue for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start + (rng.next_u64() % width) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as u128).wrapping_sub(lo as u128) as u64;
+                if width == u64::MAX {
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo + (rng.next_u64() % (width + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * f64::sample(rng)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` (uniform bits; `[0, 1)` for floats).
+    fn gen<T: SampleValue>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** generator, seeded via SplitMix64.
+    ///
+    /// Deterministic per seed; not the upstream ChaCha `StdRng` (see the
+    /// crate docs).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_integer_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&x));
+            let y = rng.gen_range(1..=10);
+            assert!((1..=10).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dynr: &mut dyn RngCore = &mut rng;
+        let x = Rng::gen::<f64>(dynr);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! Provides the data-parallel subset the workspace uses — `into_par_iter`
+//! / `par_iter` over ranges, `Vec`, and slices, with `map`, `collect`,
+//! `sum`, and `for_each` — executed on `std::thread::scope`: items are
+//! split into one contiguous chunk per available core, each chunk is
+//! processed on its own scoped thread, and results are concatenated in
+//! input order. There is no work-stealing; for the coarse-grained
+//! per-seed simulation sweeps this workspace parallelizes, even splitting
+//! is within noise of a real scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The traits a user needs in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads (`RAYON_NUM_THREADS` override, else cores).
+fn num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `items` through `f` on scoped threads, preserving input order.
+fn parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: &F) -> Vec<O> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = num_threads().min(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into contiguous chunks, one per worker.
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+
+    let mut out: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A lazily-described parallel computation over `Item`s.
+pub trait ParallelIterator: Sized {
+    /// Element type this stage yields.
+    type Item: Send;
+
+    /// Executes the pipeline, yielding all items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Collects the results (only `Vec<Item>` is supported).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter_vec(self.run())
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Runs `f` on every item in parallel, discarding results.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let _ = self.map(f).run();
+    }
+}
+
+/// Collection types a parallel pipeline can collect into.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection from the ordered result vector.
+    fn from_par_iter_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Source stage holding materialized items.
+pub struct IterParallel<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterParallel<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Stage applying a function in parallel.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: ParallelIterator, O: Send, F: Fn(B::Item) -> O + Sync> ParallelIterator for Map<B, F> {
+    type Item = O;
+    fn run(self) -> Vec<O> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+/// Types convertible into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Source stage type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IterParallel<T>;
+    fn into_par_iter(self) -> IterParallel<T> {
+        IterParallel { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = IterParallel<$t>;
+            fn into_par_iter(self) -> IterParallel<$t> {
+                IterParallel { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(usize, u64, u32, i64, i32);
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Source stage type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IterParallel<&'a T>;
+    fn par_iter(&'a self) -> IterParallel<&'a T> {
+        IterParallel {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IterParallel<&'a T>;
+    fn par_iter(&'a self) -> IterParallel<&'a T> {
+        IterParallel {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_vec_refs() {
+        let v = vec![1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn for_each_touches_everything() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits = AtomicU64::new(0);
+        (0u64..100).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! This workspace persists experiment outputs as CSV (see `mhca-bench`)
+//! and never drives a serde data format, so the `Serialize`/`Deserialize`
+//! traits here are *markers*: deriving them records the intent ("this type
+//! is part of the persisted surface") and keeps every `#[derive(Serialize,
+//! Deserialize)]` in the tree compiling without a crates.io mirror. If a
+//! real format backend is ever added, swap this stub for upstream serde —
+//! all call sites are already written against the upstream trait names.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose value can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be reconstructed from serialized data.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,57 @@
+//! Derive macros for the offline `serde` stand-in (see `vendor/README.md`).
+//!
+//! The stub traits are markers, so the derives only need the item's name:
+//! the input token stream is scanned for the `struct`/`enum`/`union`
+//! keyword and the following identifier. `syn`/`quote` are unavailable
+//! offline; plain `proc_macro` token scanning covers every type in this
+//! workspace (all serde-derived types are non-generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name a `derive` input defines.
+///
+/// Scans top-level tokens for `struct` / `enum` / `union` followed by the
+/// type name. Panics (a compile error at the derive site) on generic
+/// types, which this stub does not support — nothing in the workspace
+/// derives serde on a generic type.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "the offline serde_derive stub does not support generic type `{name}`"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde derive input contains no struct/enum/union");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
