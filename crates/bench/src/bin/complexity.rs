@@ -5,40 +5,21 @@
 //! * per-vertex storage is `O(m)` (the (2r+1)-ball size), independent of N;
 //! * decision time is dominated by local MWIS work, not network size.
 //!
+//! Thin wrapper over `mhca_core::experiments::run_complexity` +
+//! `mhca_bench::report`; the `complexity` registry scenario of
+//! `mhca-campaign run` executes the same experiment multi-seed.
+//!
 //! Run with: `cargo run --release -p mhca-bench --bin complexity`
 
-use mhca_bench::csv_row;
-use mhca_core::experiments::complexity;
+use mhca_bench::report;
+use mhca_core::experiments::{run_complexity, ComplexityConfig};
 
 fn main() {
-    let ns = [25, 50, 100, 200];
-    let rs = [1, 2];
-    eprintln!("measuring decision communication for N in {ns:?}, r in {rs:?} ...");
-    let pts = complexity(&ns, 5, &rs, 5.0, 4, 91);
-    csv_row(&[
-        "n",
-        "m_channels",
-        "r",
-        "minirounds",
-        "mean_tx_per_vertex",
-        "max_tx_per_vertex",
-        "timeslots",
-        "mean_ball_size",
-    ]);
-    for p in &pts {
-        csv_row(&[
-            format!("{}", p.n),
-            format!("{}", p.m),
-            format!("{}", p.r),
-            format!("{}", p.minirounds),
-            format!("{:.2}", p.mean_tx_per_vertex),
-            format!("{}", p.max_tx_per_vertex),
-            format!("{}", p.timeslots),
-            format!("{:.1}", p.mean_ball_size),
-        ]);
-    }
-    println!();
-    println!("# expected: mean_tx_per_vertex roughly flat in N at fixed r");
-    println!("# (the paper's O(r^2 + D) per-vertex message bound), and");
-    println!("# mean_ball_size flat in N (the O(m) space bound).");
+    let cfg = ComplexityConfig::default();
+    eprintln!(
+        "measuring decision communication for N in {:?}, r in {:?} ...",
+        cfg.ns, cfg.rs
+    );
+    let pts = run_complexity(&cfg);
+    report::render_complexity(&pts, &mut std::io::stdout().lock()).expect("stdout write");
 }

@@ -2,21 +2,16 @@
 //! decreasing weights, Algorithm 3 run to completion needs Θ(N)
 //! mini-rounds — the worst case motivating the constant cap D.
 //!
+//! Thin wrapper over `mhca_core::experiments::run_fig5` +
+//! `mhca_bench::report`; the `fig5` registry scenario of `mhca-campaign
+//! run` executes the same experiment.
+//!
 //! Run with: `cargo run --release -p mhca-bench --bin fig5_worstcase`
 
-use mhca_bench::csv_row;
-use mhca_core::experiments::fig5_worstcase;
+use mhca_bench::report;
+use mhca_core::experiments::{run_fig5, Fig5Config};
 
 fn main() {
-    let ns = [10, 20, 40, 80, 160, 320];
-    csv_row(&["n", "minirounds_to_completion", "minirounds_over_n"]);
-    for p in fig5_worstcase(&ns, 1) {
-        csv_row(&[
-            format!("{}", p.n),
-            format!("{}", p.minirounds_used),
-            format!("{:.3}", p.minirounds_used as f64 / p.n as f64),
-        ]);
-    }
-    println!();
-    println!("# the ratio minirounds/n should be roughly constant (linear growth)");
+    let points = run_fig5(&Fig5Config::default());
+    report::render_fig5(&points, &mut std::io::stdout().lock()).expect("stdout write");
 }

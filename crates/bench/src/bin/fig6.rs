@@ -5,34 +5,23 @@
 //! handful of mini-rounds regardless of network size — the Theorem 4
 //! claim that a constant D suffices on random networks.
 //!
+//! Thin wrapper: the config comes from `mhca_core::experiments`, the
+//! rendering from `mhca_bench::report`. The `fig6` registry scenario of
+//! `mhca-campaign run` executes the same experiment multi-seed.
+//!
 //! Run with: `cargo run --release -p mhca-bench --bin fig6`
 
-use mhca_bench::csv_row;
+use mhca_bench::report;
 use mhca_core::experiments::{fig6, Fig6Config};
 
 fn main() {
     let cfg = Fig6Config::default();
     eprintln!(
-        "running fig6: sizes {:?}, avg degree {}, r={} ...",
-        cfg.sizes, cfg.avg_degree, cfg.r
+        "running fig6: sizes {:?}, topology {}, r={} ...",
+        cfg.sizes,
+        cfg.topology.label(),
+        cfg.r
     );
     let series = fig6(&cfg);
-
-    let mut header = vec!["miniround".to_string()];
-    header.extend(series.iter().map(|s| format!("{}x{}", s.n, s.m)));
-    csv_row(&header);
-    for i in 0..cfg.minirounds {
-        let mut row = vec![format!("{}", i + 1)];
-        row.extend(
-            series
-                .iter()
-                .map(|s| format!("{:.1}", s.weight_by_miniround[i])),
-        );
-        csv_row(&row);
-    }
-    println!();
-    println!("# convergence mini-round per size (paper: ~4)");
-    for s in &series {
-        println!("# {}x{}: converged_at={}", s.n, s.m, s.converged_at);
-    }
+    report::render_fig6(&cfg, &series, &mut std::io::stdout().lock()).expect("stdout write");
 }

@@ -6,9 +6,13 @@
 //! Expected shape (paper): both regrets decrease over time; Algorithm 2
 //! stays below LLR; the β-regret converges to a *negative* value.
 //!
+//! Thin wrapper over `mhca_core::experiments::fig7` +
+//! `mhca_bench::report`; the `fig7` registry scenario of `mhca-campaign
+//! run` executes the same experiment multi-seed.
+//!
 //! Run with: `cargo run --release -p mhca-bench --bin fig7`
 
-use mhca_bench::{csv_row, sample_indices};
+use mhca_bench::report;
 use mhca_core::experiments::{fig7, Fig7Config};
 
 fn main() {
@@ -18,37 +22,5 @@ fn main() {
         cfg.n, cfg.m, cfg.horizon
     );
     let out = fig7(&cfg);
-    println!(
-        "# optimal R1 (kbps): {:.2} (paper instance: 7282.90)",
-        out.optimal_kbps
-    );
-    println!("# beta = theta*alpha: {:.4}", out.beta);
-    csv_row(&[
-        "slot",
-        "alg2_practical_regret",
-        "llr_practical_regret",
-        "alg2_beta_regret",
-        "llr_beta_regret",
-    ]);
-    let n = out.algorithm2.practical_regret.len();
-    for i in sample_indices(n, 50) {
-        csv_row(&[
-            format!("{}", i + 1),
-            format!("{:.2}", out.algorithm2.practical_regret[i]),
-            format!("{:.2}", out.llr.practical_regret[i]),
-            format!("{:.2}", out.algorithm2.practical_beta_regret[i]),
-            format!("{:.2}", out.llr.practical_beta_regret[i]),
-        ]);
-    }
-    println!();
-    println!(
-        "# final: alg2 regret {:.1} vs llr {:.1} (alg2 should be lower)",
-        out.algorithm2.practical_regret.last().unwrap(),
-        out.llr.practical_regret.last().unwrap()
-    );
-    println!(
-        "# final: alg2 beta-regret {:.1}, llr {:.1} (both should be negative)",
-        out.algorithm2.practical_beta_regret.last().unwrap(),
-        out.llr.practical_beta_regret.last().unwrap()
-    );
+    report::render_fig7(&out, &mut std::io::stdout().lock()).expect("stdout write");
 }

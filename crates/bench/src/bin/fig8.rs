@@ -5,13 +5,17 @@
 //! grows (1/2, 9/10, 19/20, 39/40 of ideal); Algorithm 2's estimated and
 //! actual lines nearly coincide while LLR's estimate overshoots badly.
 //!
-//! Default runs a reduced network for quick turnaround; pass `--full` for
-//! the paper-scale 100 users × 10 channels with 1000 updates per run.
+//! Thin wrapper over `mhca_core::experiments::fig8` +
+//! `mhca_bench::report`; the `fig8` registry scenario of `mhca-campaign
+//! run` executes the same experiment multi-seed. Default runs a reduced
+//! network for quick turnaround; pass `--full` for the paper-scale
+//! 100 users × 10 channels with 1000 updates per run.
 //!
 //! Run with: `cargo run --release -p mhca-bench --bin fig8 [--full]`
 
-use mhca_bench::{csv_row, full_scale, sample_indices};
+use mhca_bench::{full_scale, report};
 use mhca_core::experiments::{fig8, Fig8Config};
+use mhca_graph::TopologySpec;
 
 fn main() {
     let cfg = if full_scale() {
@@ -20,12 +24,11 @@ fn main() {
         Fig8Config {
             n: 40,
             m: 5,
-            avg_degree: 5.0,
+            topology: TopologySpec::UnitDisk { avg_degree: 5.0 },
             update_periods: vec![1, 5, 10, 20],
             updates_per_run: 250,
             r: 2,
-            minirounds: 4,
-            seed: 81,
+            ..Fig8Config::default()
         }
     };
     eprintln!(
@@ -33,46 +36,5 @@ fn main() {
         cfg.n, cfg.m, cfg.update_periods, cfg.updates_per_run
     );
     let runs = fig8(&cfg);
-    for run in &runs {
-        println!("# subplot y={} (horizon {} slots)", run.y, run.horizon);
-        csv_row(&[
-            "slot",
-            "alg2_estimated",
-            "alg2_actual",
-            "llr_estimated",
-            "llr_actual",
-        ]);
-        let n = run.algorithm2.avg_actual_throughput.len();
-        for i in sample_indices(n, 25) {
-            csv_row(&[
-                format!("{}", run.algorithm2.period_end_slots[i]),
-                format!("{:.1}", run.algorithm2.avg_estimated_throughput[i]),
-                format!("{:.1}", run.algorithm2.avg_actual_throughput[i]),
-                format!("{:.1}", run.llr.avg_estimated_throughput[i]),
-                format!("{:.1}", run.llr.avg_actual_throughput[i]),
-            ]);
-        }
-        println!();
-    }
-    println!("# summary: final actual throughput per y (should grow with y)");
-    csv_row(&[
-        "y",
-        "alg2_actual",
-        "llr_actual",
-        "alg2_estimate_gap",
-        "llr_estimate_gap",
-    ]);
-    for run in &runs {
-        let a_act = run.algorithm2.avg_actual_throughput.last().unwrap();
-        let a_est = run.algorithm2.avg_estimated_throughput.last().unwrap();
-        let l_act = run.llr.avg_actual_throughput.last().unwrap();
-        let l_est = run.llr.avg_estimated_throughput.last().unwrap();
-        csv_row(&[
-            format!("{}", run.y),
-            format!("{a_act:.1}"),
-            format!("{l_act:.1}"),
-            format!("{:.1}", a_est - a_act),
-            format!("{:.1}", l_est - l_act),
-        ]);
-    }
+    report::render_fig8(&runs, &mut std::io::stdout().lock()).expect("stdout write");
 }

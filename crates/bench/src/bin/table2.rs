@@ -1,24 +1,18 @@
 //! Regenerates Table II: the simulation time parameters and the derived
 //! quantities Section V uses (mini-round length, decision budget, θ).
 //!
+//! Thin wrapper over `mhca_core::experiments::table2` +
+//! `mhca_bench::report`; the `table2` registry scenario of
+//! `mhca-campaign run` produces the same artifact.
+//!
 //! Run with: `cargo run -p mhca-bench --bin table2`
 
+use mhca_bench::report;
 use mhca_core::experiments::table2;
 
 fn main() {
     let t = table2();
-    println!("# Table II: parameter values for simulation");
-    println!("parameter,value_ms,paper_value_ms");
-    println!("round t_a,{},2000", t.time.round_ms);
-    println!("local broadcast t_b,{},100", t.time.broadcast_ms);
-    println!("local computation t_l,{},50", t.time.compute_ms);
-    println!("data transmission t_d,{},1000", t.time.data_ms);
-    println!();
-    println!("# derived (Section V: t_m = 2 t_b + t_l, t_s = 4 t_m, theta = t_d/t_a)");
-    println!("derived,value");
-    println!("miniround t_m (ms),{}", t.miniround_ms);
-    println!("minirounds per decision,{}", t.minirounds_per_decision);
-    println!("theta,{}", t.theta);
+    report::render_table2(&t, &mut std::io::stdout().lock()).expect("stdout write");
     assert_eq!(t.miniround_ms, 250.0, "Table II derivation drifted");
     assert_eq!(t.theta, 0.5, "Table II derivation drifted");
 }

@@ -5,43 +5,16 @@
 //! ground truth, prints optimal / centralized-PTAS / distributed /
 //! distributed-capped weights and their ratios.
 //!
+//! Thin wrapper over `mhca_core::experiments::run_theorem3` +
+//! `mhca_bench::report`; the `theorem3` registry scenario of
+//! `mhca-campaign run` executes the same experiment.
+//!
 //! Run with: `cargo run --release -p mhca-bench --bin theorem3`
 
-use mhca_bench::csv_row;
-use mhca_core::experiments::theorem3;
+use mhca_bench::report;
+use mhca_core::experiments::{run_theorem3, Theorem3Config};
 
 fn main() {
-    let pts = theorem3(15, 3, 3.5, 0..10);
-    csv_row(&[
-        "seed",
-        "optimal",
-        "centralized_ptas",
-        "distributed",
-        "distributed_d4",
-        "central_ratio",
-        "dist_ratio",
-    ]);
-    let mut sum_c = 0.0;
-    let mut sum_d = 0.0;
-    for p in &pts {
-        csv_row(&[
-            format!("{}", p.seed),
-            format!("{:.0}", p.optimal),
-            format!("{:.0}", p.centralized),
-            format!("{:.0}", p.distributed),
-            format!("{:.0}", p.distributed_capped),
-            format!("{:.3}", p.centralized / p.optimal),
-            format!("{:.3}", p.distributed / p.optimal),
-        ]);
-        sum_c += p.centralized / p.optimal;
-        sum_d += p.distributed / p.optimal;
-    }
-    println!();
-    println!(
-        "# mean ratio to optimal: centralized {:.3}, distributed {:.3}",
-        sum_c / pts.len() as f64,
-        sum_d / pts.len() as f64
-    );
-    println!("# Theorem 3: the two ratios should be comparable (and far better");
-    println!("# than the worst-case rho, cf. the regret_bounds binary).");
+    let pts = run_theorem3(&Theorem3Config::default());
+    report::render_theorem3(&pts, &mut std::io::stdout().lock()).expect("stdout write");
 }

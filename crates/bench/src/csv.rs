@@ -1,0 +1,112 @@
+//! Shared CSV formatting and escaping.
+//!
+//! Every figure binary and the campaign emitter used to carry its own
+//! ad-hoc `println!("{},{}", …)` row formatting; this module is the single
+//! implementation. Escaping follows RFC 4180: cells containing a comma,
+//! double quote, CR, or LF are wrapped in double quotes with interior
+//! quotes doubled — everything else passes through unchanged, so the
+//! numeric output of the figure binaries is byte-identical to the
+//! historical format.
+
+use std::borrow::Cow;
+use std::fmt::Display;
+use std::io::{self, Write};
+
+/// Escapes one CSV cell per RFC 4180 (quote iff it contains `,`, `"`,
+/// CR, or LF; double interior quotes).
+pub fn escape(cell: &str) -> Cow<'_, str> {
+    if !cell.contains([',', '"', '\n', '\r']) {
+        return Cow::Borrowed(cell);
+    }
+    let mut out = String::with_capacity(cell.len() + 2);
+    out.push('"');
+    for ch in cell.chars() {
+        if ch == '"' {
+            out.push('"');
+        }
+        out.push(ch);
+    }
+    out.push('"');
+    Cow::Owned(out)
+}
+
+/// Formats one row: escaped cells joined with commas, no trailing newline.
+pub fn format_row<T: Display>(cells: &[T]) -> String {
+    let mut out = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&escape(&cell.to_string()));
+    }
+    out
+}
+
+/// Writes one newline-terminated row.
+pub fn write_row<T: Display>(w: &mut dyn Write, cells: &[T]) -> io::Result<()> {
+    writeln!(w, "{}", format_row(cells))
+}
+
+/// Row-oriented CSV writer over any [`Write`] sink — stdout for the
+/// figure binaries, artifact files for the campaign runner.
+#[derive(Debug)]
+pub struct CsvWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wraps a sink.
+    pub fn new(inner: W) -> Self {
+        CsvWriter { inner }
+    }
+
+    /// Writes one escaped, newline-terminated row.
+    pub fn row<T: Display>(&mut self, cells: &[T]) -> io::Result<()> {
+        write_row(&mut self.inner, cells)
+    }
+
+    /// Writes a `# `-prefixed commentary line (the figure binaries
+    /// annotate their CSV with expected shapes).
+    pub fn comment(&mut self, text: &str) -> io::Result<()> {
+        writeln!(self.inner, "# {text}")
+    }
+
+    /// Writes an empty line (section separator).
+    pub fn blank(&mut self) -> io::Result<()> {
+        writeln!(self.inner)
+    }
+
+    /// Unwraps the sink.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_cells_pass_through() {
+        assert_eq!(escape("abc"), "abc");
+        assert_eq!(format_row(&[1, 2, 3]), "1,2,3");
+    }
+
+    #[test]
+    fn special_cells_are_quoted() {
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+        assert_eq!(format_row(&["plain", "with,comma"]), "plain,\"with,comma\"");
+    }
+
+    #[test]
+    fn writer_produces_rows_comments_and_blanks() {
+        let mut w = CsvWriter::new(Vec::new());
+        w.row(&["a", "b,c"]).unwrap();
+        w.comment("note").unwrap();
+        w.blank().unwrap();
+        let text = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(text, "a,\"b,c\"\n# note\n\n");
+    }
+}

@@ -4,11 +4,19 @@
 //! as CSV on stdout (series the paper plots) plus a short commentary on
 //! the expected shape. Pass `--full` to run at the paper's full scale
 //! where the default is reduced for quick turnaround.
+//!
+//! The presentation layer is shared: [`csv`] holds the one CSV
+//! formatting/escaping implementation and [`report`] the per-figure
+//! renderers, both reused by the `mhca-campaign` orchestration layer for
+//! its artifact files.
 
-/// Prints one CSV row from anything displayable.
+pub mod csv;
+pub mod report;
+
+/// Prints one CSV row from anything displayable (escaped via
+/// [`csv::format_row`]).
 pub fn csv_row<T: std::fmt::Display>(cells: &[T]) {
-    let row: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
-    println!("{}", row.join(","));
+    println!("{}", csv::format_row(cells));
 }
 
 /// `true` when the binary was invoked with `--full` (paper-scale run).

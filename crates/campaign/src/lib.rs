@@ -1,0 +1,43 @@
+//! `mhca-campaign` — campaign orchestration for the reproduction.
+//!
+//! The paper's evaluation (Section V) is reproduced by per-figure
+//! binaries in `mhca-bench`, each a single instance of a single
+//! experiment. This crate is the scale layer above them:
+//!
+//! * [`spec`] — declarative [`ScenarioSpec`]s: experiment kind (wrapping
+//!   the spec-driven configs of `mhca_core::experiments`), topology and
+//!   channel families, policy, loss injection, and a seed range, all
+//!   serializable to canonical JSON.
+//! * [`registry`] — the scenario catalog: every figure/table of the paper
+//!   plus cross-product scenarios along the channel-model, topology, and
+//!   policy axes.
+//! * [`runner`] — the [`CampaignRunner`](runner::run): expands specs into
+//!   a job matrix, executes pending jobs in parallel with
+//!   order-preserving aggregation, and writes per-seed figure CSVs,
+//!   per-scenario summaries, and a campaign-wide CSV/JSON record.
+//! * [`manifest`] — the durable job ledger enabling
+//!   resume-after-interrupt: completed jobs are skipped and their
+//!   recorded metrics reused.
+//! * [`json`] — a hand-rolled JSON emitter and parser (the vendored
+//!   `serde` is marker-only; see `vendor/README.md`).
+//!
+//! One command replaces ten hand-invoked binaries:
+//!
+//! ```text
+//! mhca-campaign run --quick            # CI smoke: 2 scenarios × 3 seeds
+//! mhca-campaign run                    # the full catalog, multi-seed
+//! mhca-campaign run --scenarios fig6,fig7 --seeds 10
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod manifest;
+pub mod registry;
+pub mod runner;
+pub mod spec;
+
+pub use manifest::{JobRecord, JobStatus, Manifest};
+pub use runner::{CampaignConfig, CampaignOutcome, ScenarioSummary};
+pub use spec::{expand_jobs, spec_hash, ExperimentKind, Job, ScenarioSpec, SeedRange};

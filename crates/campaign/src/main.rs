@@ -1,0 +1,173 @@
+//! `mhca-campaign` — one CLI for multi-seed experiment campaigns.
+//!
+//! ```text
+//! mhca-campaign list                     # catalog of scenarios
+//! mhca-campaign show <scenario>          # canonical spec JSON
+//! mhca-campaign run [options]            # run / resume a campaign
+//!
+//! run options:
+//!   --quick            the CI smoke catalog (2 scenarios × 3 seeds)
+//!   --out DIR          output directory (default target/campaigns/<name>)
+//!   --name NAME        campaign name (default: paper, or quick)
+//!   --scenarios a,b,c  subset of the catalog, by name
+//!   --seeds K          override every scenario's seed count
+//!   --serial           disable the per-seed parallelism
+//!   --force            discard a manifest from a different spec
+//! ```
+//!
+//! A campaign writes `manifest.json`, per-seed figure CSVs, per-scenario
+//! `summary.csv`, and campaign-wide `campaign.csv` / `campaign.json`
+//! into the output directory. Re-running with the same spec and output
+//! directory resumes: jobs recorded done in the manifest are skipped.
+
+use mhca_campaign::{registry, runner, CampaignConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("show") => match args.get(1) {
+            Some(name) => show(name),
+            None => usage("show needs a scenario name"),
+        },
+        Some("run") => run(&args[1..]),
+        Some(other) => usage(&format!("unknown command '{other}'")),
+        None => usage("missing command"),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("mhca-campaign: {problem}");
+    eprintln!();
+    eprintln!("usage: mhca-campaign <list | show <scenario> | run [options]>");
+    eprintln!(
+        "run options: --quick --out DIR --name NAME --scenarios a,b,c --seeds K --serial --force"
+    );
+    ExitCode::FAILURE
+}
+
+fn list() {
+    println!("full catalog (mhca-campaign run):");
+    for s in registry::registry() {
+        println!("  {:<18} seeds {:>2}  {}", s.name, s.seeds.count, s.title);
+    }
+    println!();
+    println!("quick catalog (mhca-campaign run --quick):");
+    for s in registry::quick_registry() {
+        println!("  {:<18} seeds {:>2}  {}", s.name, s.seeds.count, s.title);
+    }
+}
+
+fn show(name: &str) -> ExitCode {
+    match registry::find(name) {
+        Some(s) => {
+            println!("{}", s.to_json().to_string_pretty());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("mhca-campaign: no scenario named '{name}' (see mhca-campaign list)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut serial = false;
+    let mut force = false;
+    let mut out: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut scenario_filter: Option<Vec<String>> = None;
+    let mut seed_count: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--serial" => serial = true,
+            "--force" => force = true,
+            "--out" => match it.next() {
+                Some(dir) => out = Some(dir.clone()),
+                None => return usage("--out needs a directory"),
+            },
+            "--name" => match it.next() {
+                Some(n) => name = Some(n.clone()),
+                None => return usage("--name needs a value"),
+            },
+            "--scenarios" => match it.next() {
+                Some(csv) => scenario_filter = Some(csv.split(',').map(str::to_string).collect()),
+                None => return usage("--scenarios needs a comma-separated list"),
+            },
+            "--seeds" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(k) if k > 0 => seed_count = Some(k),
+                _ => return usage("--seeds needs a positive integer"),
+            },
+            other => return usage(&format!("unknown run option '{other}'")),
+        }
+    }
+
+    let mut scenarios = if quick {
+        registry::quick_registry()
+    } else {
+        registry::registry()
+    };
+    if let Some(filter) = &scenario_filter {
+        let known: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+        for want in filter {
+            if !known.contains(want) {
+                // Allow pulling any catalog entry by name, even under
+                // --quick (and vice versa).
+                match registry::find(want) {
+                    Some(s) => scenarios.push(s),
+                    None => return usage(&format!("unknown scenario '{want}'")),
+                }
+            }
+        }
+        scenarios.retain(|s| filter.contains(&s.name));
+        // Keep the order the user asked for.
+        scenarios.sort_by_key(|s| filter.iter().position(|w| w == &s.name));
+    }
+    if let Some(k) = seed_count {
+        for s in &mut scenarios {
+            s.seeds.count = k;
+        }
+    }
+    if scenarios.is_empty() {
+        return usage("no scenarios selected");
+    }
+
+    let name = name.unwrap_or_else(|| if quick { "quick" } else { "paper" }.to_string());
+    let out_dir = out.unwrap_or_else(|| format!("target/campaigns/{name}"));
+    let cfg = CampaignConfig {
+        parallel: !serial,
+        force,
+        ..CampaignConfig::new(name, out_dir, scenarios)
+    };
+
+    match runner::run(&cfg) {
+        Ok(outcome) => {
+            let (done, pending) = outcome.manifest.progress();
+            println!(
+                "executed {} job(s), skipped {} (manifest: {done} done, {pending} pending)",
+                outcome.executed, outcome.skipped
+            );
+            for summary in &outcome.summaries {
+                if let Some((metric, agg)) = summary.aggregates.first() {
+                    println!(
+                        "  {:<18} {} = {:.2} ± {:.2} over {} seed(s)",
+                        summary.name, metric, agg.mean, agg.std_dev, agg.runs
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mhca-campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The scenario registry: every figure/table experiment of the paper's
+//! evaluation plus cross-product scenarios along the axes the paper never
+//! sweeps (channel families, topology families, loss injection, policy
+//! zoo) — the scenario-diversity layer the related large-deviations and
+//! sensing-cost studies evaluate over.
+//!
+//! `registry()` is the full paper-scale catalog; `quick_registry()` is
+//! the scaled-down CI smoke set (2 scenarios × 3 seeds).
+
+use crate::spec::{ExperimentKind, ScenarioSpec, SeedRange};
+use mhca_channels::ChannelModelSpec;
+use mhca_core::experiments::{
+    ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig, PolicySpec,
+    Theorem3Config,
+};
+use mhca_graph::TopologySpec;
+use mhca_sim::LossSpec;
+
+/// The full scenario catalog, in presentation order: first the paper's
+/// own evaluation (Figs. 5–8, Table 2, Section IV-C, Theorem 3), then the
+/// cross-product scenarios.
+pub fn registry() -> Vec<ScenarioSpec> {
+    let mut out = vec![
+        ScenarioSpec::new(
+            "fig5",
+            "Fig. 5: linear worst case needs Θ(N) mini-rounds",
+            ExperimentKind::Fig5(Fig5Config::default()),
+            SeedRange::new(0, 1),
+        ),
+        ScenarioSpec::new(
+            "fig6",
+            "Fig. 6: Algorithm 3 convergence over mini-rounds",
+            ExperimentKind::Fig6(Fig6Config::default()),
+            SeedRange::new(61, 5),
+        ),
+        ScenarioSpec::new(
+            "fig7",
+            "Fig. 7: practical (β-)regret, Algorithm 2 vs LLR",
+            ExperimentKind::Fig7(Fig7Config::default()),
+            SeedRange::new(71, 5),
+        ),
+        ScenarioSpec::new(
+            "fig8",
+            "Fig. 8: throughput under periodic stale-weight updates",
+            ExperimentKind::Fig8(Fig8Config::default()),
+            SeedRange::new(81, 3),
+        ),
+        ScenarioSpec::new(
+            "table2",
+            "Table II: time model and derived quantities",
+            ExperimentKind::Table2,
+            SeedRange::new(0, 1),
+        ),
+        ScenarioSpec::new(
+            "complexity",
+            "Section IV-C: measured per-vertex communication/space",
+            ExperimentKind::Complexity(ComplexityConfig::default()),
+            SeedRange::new(91, 5),
+        ),
+        ScenarioSpec::new(
+            "theorem3",
+            "Theorem 3: distributed vs centralized PTAS quality",
+            ExperimentKind::Theorem3(Theorem3Config::default()),
+            SeedRange::new(0, 3),
+        ),
+    ];
+
+    // ---- Cross-product scenarios: loss injection on the paper figures.
+    out.push(ScenarioSpec::new(
+        "fig7-lossy",
+        "Fig. 7 under 10% control-channel loss (failure injection)",
+        ExperimentKind::Fig7(Fig7Config {
+            loss: LossSpec::lossy(0.1, 7),
+            ..Fig7Config::default()
+        }),
+        SeedRange::new(71, 5),
+    ));
+    out.push(ScenarioSpec::new(
+        "fig6-lossy",
+        "Fig. 6 convergence under 10% control-channel loss",
+        ExperimentKind::Fig6(Fig6Config {
+            loss: LossSpec::lossy(0.1, 6),
+            ..Fig6Config::default()
+        }),
+        SeedRange::new(61, 5),
+    ));
+
+    // ---- Channel-model axis: same planning problem, different dynamics.
+    for (suffix, channel) in [
+        (
+            "adv-sinusoidal",
+            ChannelModelSpec::AdversarialSinusoidal {
+                amp_frac: 0.3,
+                period: 50,
+            },
+        ),
+        (
+            "adv-switching",
+            ChannelModelSpec::AdversarialSwitching {
+                swing_frac: 0.5,
+                dwell: 25,
+            },
+        ),
+        (
+            "bernoulli",
+            ChannelModelSpec::BernoulliRateClasses { p: 0.5 },
+        ),
+    ] {
+        out.push(ScenarioSpec::new(
+            format!("duel-{suffix}"),
+            format!("CS-UCB vs LLR head-to-head on {suffix} channels"),
+            ExperimentKind::PolicyDuel {
+                base: PolicyRunConfig {
+                    channel,
+                    horizon: 800,
+                    ..PolicyRunConfig::default()
+                },
+                challenger: PolicySpec::Llr { l: 2.0 },
+            },
+            SeedRange::new(0, 5),
+        ));
+    }
+
+    // ---- Topology axis: the decision protocol off the unit-disk family.
+    for (suffix, topology, n, m) in [
+        ("line", TopologySpec::Line, 40, 3),
+        ("grid", TopologySpec::Grid, 49, 4),
+        ("complete", TopologySpec::Complete, 12, 4),
+    ] {
+        out.push(ScenarioSpec::new(
+            format!("topology-{suffix}"),
+            format!("CS-UCB on a {suffix} conflict graph"),
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                n,
+                m,
+                topology,
+                horizon: 500,
+                ..PolicyRunConfig::default()
+            }),
+            SeedRange::new(0, 5),
+        ));
+    }
+
+    // ---- Policy axis: the zoo beyond the paper's CS-UCB/LLR pair.
+    for policy in [
+        PolicySpec::Thompson { sigma: 0.1 },
+        PolicySpec::EpsilonGreedy { eps: 0.05 },
+        PolicySpec::Oracle,
+    ] {
+        out.push(ScenarioSpec::new(
+            format!("policy-{}", policy.label()),
+            format!("{} on the Fig. 7-style workload", policy.label()),
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                policy,
+                horizon: 800,
+                ..PolicyRunConfig::default()
+            }),
+            SeedRange::new(0, 5),
+        ));
+    }
+
+    out
+}
+
+/// The CI smoke catalog: 2 scaled-down scenarios × 3 seeds, small enough
+/// for a debug-build test run.
+pub fn quick_registry() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::new(
+            "fig6-quick",
+            "Fig. 6 convergence (scaled down)",
+            ExperimentKind::Fig6(Fig6Config::quick()),
+            SeedRange::new(61, 3),
+        ),
+        ScenarioSpec::new(
+            "fig7-quick",
+            "Fig. 7 regret vs LLR (scaled down)",
+            ExperimentKind::Fig7(Fig7Config::quick()),
+            SeedRange::new(71, 3),
+        ),
+    ]
+}
+
+/// Looks a scenario up by name in both catalogs (full first).
+pub fn find(name: &str) -> Option<ScenarioSpec> {
+    registry()
+        .into_iter()
+        .chain(quick_registry())
+        .find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_the_paper_evaluation() {
+        let names: Vec<String> = registry().into_iter().map(|s| s.name).collect();
+        for required in [
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table2",
+            "complexity",
+            "theorem3",
+        ] {
+            assert!(names.contains(&required.to_string()), "missing {required}");
+        }
+        assert!(names.len() >= 15, "expected a rich catalog, got {names:?}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = registry()
+            .into_iter()
+            .chain(quick_registry())
+            .map(|s| s.name)
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn quick_registry_is_the_ci_smoke_shape() {
+        let quick = quick_registry();
+        assert_eq!(quick.len(), 2);
+        assert!(quick.iter().all(|s| s.seeds.count == 3));
+    }
+
+    #[test]
+    fn find_resolves_both_catalogs() {
+        assert!(find("fig8").is_some());
+        assert!(find("fig6-quick").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn multi_seed_scenarios_cover_fig6_fig7_fig8() {
+        for name in ["fig6", "fig7", "fig8"] {
+            let s = find(name).unwrap();
+            assert!(s.seeds.count > 1, "{name} must aggregate across seeds");
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The campaign runner: expands scenario specs into a job matrix,
+//! executes pending jobs (parallel across seeds through the same rayon
+//! substrate as `mhca_core::sweep`, order-preserving), streams per-seed
+//! figure CSV artifacts, aggregates metrics across seeds, and keeps the
+//! durable manifest current so an interrupted campaign resumes without
+//! re-executing completed jobs.
+//!
+//! Layout of a campaign output directory:
+//!
+//! ```text
+//! <out_dir>/
+//!   manifest.json             durable job ledger (resume state)
+//!   campaign.csv              long-format per-job metrics (scenario,seed,metric,value)
+//!   campaign.json             everything: spec, per-job metrics, aggregates
+//!   <scenario>/seed<k>.csv    per-seed figure artifact (mhca_bench::report)
+//!   <scenario>/summary.csv    per-metric aggregate across seeds
+//! ```
+
+use crate::json::Json;
+use crate::manifest::{JobStatus, Manifest};
+use crate::spec::{expand_jobs, spec_hash, ScenarioSpec};
+use mhca_bench::csv::CsvWriter;
+use mhca_core::sweep::Aggregate;
+use rayon::prelude::*;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Campaign execution parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Campaign name (recorded in the manifest; part of the spec hash).
+    pub name: String,
+    /// Output directory (created if absent).
+    pub out_dir: PathBuf,
+    /// Ordered scenario list.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Run each scenario's seeds in parallel (`false` forces serial
+    /// execution; aggregates are identical either way).
+    pub parallel: bool,
+    /// Start fresh when an existing manifest was written for a different
+    /// spec (default: refuse, so a typo cannot silently discard results).
+    pub force: bool,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl CampaignConfig {
+    /// Config with the defaults: parallel, not forced, not quiet.
+    pub fn new(
+        name: impl Into<String>,
+        out_dir: impl Into<PathBuf>,
+        scenarios: Vec<ScenarioSpec>,
+    ) -> Self {
+        CampaignConfig {
+            name: name.into(),
+            out_dir: out_dir.into(),
+            scenarios,
+            parallel: true,
+            force: false,
+            quiet: false,
+        }
+    }
+}
+
+/// One executed job: `(seed, rendered artifact bytes, headline metrics)`.
+type JobResult = (u64, Vec<u8>, Vec<(String, f64)>);
+
+/// Aggregates of one scenario's metrics across its seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub name: String,
+    /// Per-metric aggregate, in first-seed emission order.
+    pub aggregates: Vec<(String, Aggregate)>,
+}
+
+/// What a campaign run did.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Jobs executed in this invocation.
+    pub executed: usize,
+    /// Jobs skipped because the manifest already recorded them done.
+    pub skipped: usize,
+    /// The final manifest (also on disk).
+    pub manifest: Manifest,
+    /// Cross-seed aggregates per scenario.
+    pub summaries: Vec<ScenarioSummary>,
+}
+
+/// Runs (or resumes) a campaign. See the module docs for the output
+/// layout and `Manifest` for the resume rules.
+///
+/// # Errors
+///
+/// I/O errors from the output directory, plus `InvalidInput` when an
+/// existing manifest belongs to a different spec and `force` is off.
+pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
+    fs::create_dir_all(&cfg.out_dir)?;
+    let jobs = expand_jobs(&cfg.scenarios);
+    let hash = spec_hash(&cfg.name, &cfg.scenarios);
+
+    let mut manifest = match Manifest::load(&cfg.out_dir)? {
+        Some(existing) if existing.spec_hash == hash => {
+            let (done, pending) = existing.progress();
+            progress(
+                cfg,
+                &format!(
+                    "resuming campaign '{}': {done} jobs done, {pending} pending",
+                    cfg.name
+                ),
+            );
+            existing
+        }
+        Some(existing) if !cfg.force => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "manifest in {} belongs to campaign '{}' (spec hash {}), \
+                     not '{}' (spec hash {hash}); pass force to overwrite",
+                    cfg.out_dir.display(),
+                    existing.campaign,
+                    existing.spec_hash,
+                    cfg.name
+                ),
+            ));
+        }
+        _ => Manifest::new(&cfg.name, &cfg.scenarios, &jobs),
+    };
+
+    // Defensive backfill: the spec hash guarantees a matching manifest
+    // was created from this exact job matrix, but manifests are plain
+    // JSON a human may hand-edit or truncate — missing records become
+    // pending rather than panicking in the commit loop below.
+    for job in &jobs {
+        if manifest.record(&job.scenario, job.seed).is_none() {
+            manifest.jobs.push(crate::manifest::JobRecord::pending(job));
+        }
+    }
+    manifest.save(&cfg.out_dir)?;
+
+    let mut executed = 0;
+    let mut skipped = 0;
+    for scenario in &cfg.scenarios {
+        let pending: Vec<u64> = scenario
+            .seeds
+            .iter()
+            .filter(|&seed| !manifest.is_complete(&cfg.out_dir, &scenario.name, seed))
+            .collect();
+        skipped += scenario.seeds.count as usize - pending.len();
+        if pending.is_empty() {
+            progress(cfg, &format!("{}: all seeds already done", scenario.name));
+            continue;
+        }
+        progress(
+            cfg,
+            &format!(
+                "{}: running {} of {} seeds{}",
+                scenario.name,
+                pending.len(),
+                scenario.seeds.count,
+                if cfg.parallel { " (parallel)" } else { "" }
+            ),
+        );
+
+        // Render per-seed artifacts into memory buffers — in parallel
+        // when asked (results are collected in seed order either way, so
+        // parallel and serial campaigns aggregate identically).
+        let kind = &scenario.kind;
+        let run_one = |seed: u64| -> io::Result<JobResult> {
+            let mut buffer = Vec::new();
+            let metrics = kind.run(seed, &mut buffer)?;
+            Ok((seed, buffer, metrics))
+        };
+        let results: Vec<io::Result<JobResult>> = if cfg.parallel {
+            pending.clone().into_par_iter().map(run_one).collect()
+        } else {
+            pending.iter().map(|&s| run_one(s)).collect()
+        };
+
+        // Commit: write artifacts, update records, checkpoint the
+        // manifest (durable after every scenario batch).
+        let scenario_dir = cfg.out_dir.join(&scenario.name);
+        fs::create_dir_all(&scenario_dir)?;
+        for result in results {
+            let (seed, buffer, metrics) = result?;
+            let rel = format!("{}/seed{}.csv", scenario.name, seed);
+            fs::write(cfg.out_dir.join(&rel), &buffer)?;
+            let record = manifest
+                .record_mut(&scenario.name, seed)
+                .expect("record exists for every job");
+            record.status = JobStatus::Done;
+            record.artifact = rel;
+            record.metrics = metrics;
+            executed += 1;
+        }
+        manifest.save(&cfg.out_dir)?;
+    }
+
+    // ---- Aggregation and campaign-level artifacts.
+    let summaries = summarize(&manifest, &cfg.scenarios);
+    write_campaign_csv(&cfg.out_dir, &manifest)?;
+    for summary in &summaries {
+        write_summary_csv(&cfg.out_dir, summary)?;
+    }
+    write_campaign_json(&cfg.out_dir, &manifest, &summaries)?;
+    manifest.save(&cfg.out_dir)?;
+    progress(
+        cfg,
+        &format!(
+            "campaign '{}' complete: {executed} executed, {skipped} skipped, artifacts in {}",
+            cfg.name,
+            cfg.out_dir.display()
+        ),
+    );
+
+    Ok(CampaignOutcome {
+        executed,
+        skipped,
+        manifest,
+        summaries,
+    })
+}
+
+fn progress(cfg: &CampaignConfig, message: &str) {
+    if !cfg.quiet {
+        eprintln!("[mhca-campaign] {message}");
+    }
+}
+
+/// Cross-seed aggregation from the manifest's per-job metrics (done jobs
+/// only), preserving each scenario's metric emission order.
+pub fn summarize(manifest: &Manifest, scenarios: &[ScenarioSpec]) -> Vec<ScenarioSummary> {
+    scenarios
+        .iter()
+        .map(|scenario| {
+            let mut order: Vec<String> = Vec::new();
+            let mut samples: Vec<(String, Vec<f64>)> = Vec::new();
+            for seed in scenario.seeds.iter() {
+                let Some(record) = manifest.record(&scenario.name, seed) else {
+                    continue;
+                };
+                if record.status != JobStatus::Done {
+                    continue;
+                }
+                for (metric, value) in &record.metrics {
+                    match samples.iter_mut().find(|(name, _)| name == metric) {
+                        Some((_, xs)) => xs.push(*value),
+                        None => {
+                            order.push(metric.clone());
+                            samples.push((metric.clone(), vec![*value]));
+                        }
+                    }
+                }
+            }
+            let aggregates = order
+                .iter()
+                .map(|metric| {
+                    let xs = &samples
+                        .iter()
+                        .find(|(name, _)| name == metric)
+                        .expect("ordered metric has samples")
+                        .1;
+                    (metric.clone(), Aggregate::from_samples(xs))
+                })
+                .collect();
+            ScenarioSummary {
+                name: scenario.name.clone(),
+                aggregates,
+            }
+        })
+        .collect()
+}
+
+/// `campaign.csv`: every done job's metrics in long format.
+fn write_campaign_csv(out_dir: &Path, manifest: &Manifest) -> io::Result<()> {
+    let file = fs::File::create(out_dir.join("campaign.csv"))?;
+    let mut w = CsvWriter::new(io::BufWriter::new(file));
+    w.row(&["scenario", "seed", "metric", "value"])?;
+    for record in &manifest.jobs {
+        if record.status != JobStatus::Done {
+            continue;
+        }
+        for (metric, value) in &record.metrics {
+            w.row(&[
+                record.scenario.clone(),
+                record.seed.to_string(),
+                metric.clone(),
+                format!("{value}"),
+            ])?;
+        }
+    }
+    Ok(())
+}
+
+/// `<scenario>/summary.csv`: mean ± std-dev per metric across seeds.
+fn write_summary_csv(out_dir: &Path, summary: &ScenarioSummary) -> io::Result<()> {
+    let dir = out_dir.join(&summary.name);
+    fs::create_dir_all(&dir)?;
+    let file = fs::File::create(dir.join("summary.csv"))?;
+    let mut w = CsvWriter::new(io::BufWriter::new(file));
+    w.row(&["metric", "runs", "mean", "std_dev", "min", "max"])?;
+    for (metric, agg) in &summary.aggregates {
+        w.row(&[
+            metric.clone(),
+            agg.runs.to_string(),
+            format!("{}", agg.mean),
+            format!("{}", agg.std_dev),
+            format!("{}", agg.min),
+            format!("{}", agg.max),
+        ])?;
+    }
+    Ok(())
+}
+
+/// `campaign.json`: spec, per-job metrics, and aggregates in one document
+/// (emitted by the hand-rolled `json` module — vendored serde is
+/// marker-only).
+fn write_campaign_json(
+    out_dir: &Path,
+    manifest: &Manifest,
+    summaries: &[ScenarioSummary],
+) -> io::Result<()> {
+    let jobs = Json::Arr(
+        manifest
+            .jobs
+            .iter()
+            .map(|record| record.to_json())
+            .collect(),
+    );
+    let aggregates = Json::Arr(
+        summaries
+            .iter()
+            .map(|summary| {
+                Json::obj(vec![
+                    ("scenario", Json::str(&summary.name)),
+                    (
+                        "metrics",
+                        Json::Obj(
+                            summary
+                                .aggregates
+                                .iter()
+                                .map(|(metric, agg)| {
+                                    (
+                                        metric.clone(),
+                                        Json::obj(vec![
+                                            ("runs", Json::Num(agg.runs as f64)),
+                                            ("mean", Json::Num(agg.mean)),
+                                            ("std_dev", Json::Num(agg.std_dev)),
+                                            ("min", Json::Num(agg.min)),
+                                            ("max", Json::Num(agg.max)),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Json::obj(vec![
+        ("campaign", Json::str(&manifest.campaign)),
+        ("spec_hash", Json::str(&manifest.spec_hash)),
+        ("spec", manifest.spec.clone()),
+        ("jobs", jobs),
+        ("aggregates", aggregates),
+    ]);
+    fs::write(out_dir.join("campaign.json"), doc.to_string_pretty())
+}

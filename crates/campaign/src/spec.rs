@@ -1,0 +1,689 @@
+//! Declarative scenario specs: what to run, on what, how many times.
+//!
+//! A [`ScenarioSpec`] names an experiment kind (wrapping the spec-driven
+//! configs of `mhca_core::experiments`) plus a seed range; a campaign is
+//! an ordered list of scenarios. Specs expand deterministically into a
+//! per-seed [`Job`] matrix, serialize to canonical JSON (the manifest's
+//! human-readable record, and the input of the spec hash that guards
+//! resume), and know how to execute one job and summarize it as flat
+//! `(metric, value)` pairs for cross-seed aggregation.
+
+use crate::json::Json;
+use mhca_bench::report;
+use mhca_channels::ChannelModelSpec;
+use mhca_core::experiments::{
+    self, ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig,
+    PolicySpec, Theorem3Config,
+};
+use mhca_graph::TopologySpec;
+use mhca_sim::LossSpec;
+use std::io::{self, Write};
+
+/// A contiguous seed range `start..start + count`.
+///
+/// Seeds must stay below `2^53`: job seeds are persisted in the
+/// manifest as JSON numbers, which are exact only up to that bound
+/// (larger seeds would save fine but fail to load on resume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedRange {
+    /// First seed.
+    pub start: u64,
+    /// Number of seeds.
+    pub count: u64,
+}
+
+impl SeedRange {
+    /// Largest exclusive seed bound (`2^53`, the JSON-exact integer
+    /// range).
+    pub const MAX_SEED: u64 = 1 << 53;
+
+    /// `start..start + count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + count` exceeds [`SeedRange::MAX_SEED`] (such
+    /// seeds would not survive a manifest round-trip).
+    pub fn new(start: u64, count: u64) -> Self {
+        assert!(
+            start
+                .checked_add(count)
+                .is_some_and(|end| end <= Self::MAX_SEED),
+            "seed range end must stay within 2^53 (JSON-exact integers)"
+        );
+        SeedRange { start, count }
+    }
+
+    /// Iterates the seeds.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        self.start..self.start + self.count
+    }
+}
+
+/// The experiment a scenario runs, with its full parameterization. Each
+/// variant wraps the corresponding spec-driven config from
+/// `mhca_core::experiments`; the scenario's per-job seed overrides the
+/// config's own seed field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentKind {
+    /// Fig. 5 linear worst case (deterministic — seeds only replicate).
+    Fig5(Fig5Config),
+    /// Fig. 6 convergence over mini-rounds.
+    Fig6(Fig6Config),
+    /// Fig. 7 regret vs LLR (includes an exact-optimum computation).
+    Fig7(Fig7Config),
+    /// Fig. 8 periodic stale-weight updates.
+    Fig8(Fig8Config),
+    /// Table II time model (deterministic).
+    Table2,
+    /// Section IV-C communication/space complexity measurement.
+    Complexity(ComplexityConfig),
+    /// Theorem 3 distributed-vs-centralized quality comparison.
+    Theorem3(Theorem3Config),
+    /// Generic declarative Algorithm 2 run (the cross-product axis).
+    PolicyRun(PolicyRunConfig),
+    /// Paired head-to-head: `base.policy` vs `challenger` on the same
+    /// network and identical channel realizations (the Fig. 7 comparison
+    /// generalized — the counter-based channel matrix makes any two runs
+    /// with the same seed a paired experiment).
+    PolicyDuel {
+        /// The baseline run (its `policy` is contestant A).
+        base: PolicyRunConfig,
+        /// Contestant B, run on the identical instance.
+        challenger: PolicySpec,
+    },
+}
+
+impl ExperimentKind {
+    /// Short kind tag used in spec JSON and artifact names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ExperimentKind::Fig5(_) => "fig5",
+            ExperimentKind::Fig6(_) => "fig6",
+            ExperimentKind::Fig7(_) => "fig7",
+            ExperimentKind::Fig8(_) => "fig8",
+            ExperimentKind::Table2 => "table2",
+            ExperimentKind::Complexity(_) => "complexity",
+            ExperimentKind::Theorem3(_) => "theorem3",
+            ExperimentKind::PolicyRun(_) => "policy-run",
+            ExperimentKind::PolicyDuel { .. } => "policy-duel",
+        }
+    }
+
+    /// Runs the experiment for one seed, writes the per-seed figure CSV
+    /// into `artifact`, and returns the flat headline metrics used for
+    /// cross-seed aggregation.
+    pub fn run(&self, seed: u64, artifact: &mut dyn Write) -> io::Result<Vec<(String, f64)>> {
+        let mut metrics = Vec::new();
+        match self {
+            ExperimentKind::Fig5(cfg) => {
+                let points = experiments::run_fig5(cfg);
+                report::render_fig5(&points, artifact)?;
+                for p in &points {
+                    metrics.push((format!("minirounds_n{}", p.n), p.minirounds_used as f64));
+                }
+            }
+            ExperimentKind::Fig6(cfg) => {
+                let cfg = Fig6Config {
+                    seed,
+                    ..cfg.clone()
+                };
+                let series = experiments::fig6(&cfg);
+                report::render_fig6(&cfg, &series, artifact)?;
+                for s in &series {
+                    let label = format!("{}x{}", s.n, s.m);
+                    metrics.push((
+                        format!("final_weight_{label}"),
+                        *s.weight_by_miniround.last().unwrap_or(&0.0),
+                    ));
+                    metrics.push((format!("converged_at_{label}"), s.converged_at as f64));
+                }
+            }
+            ExperimentKind::Fig7(cfg) => {
+                let cfg = Fig7Config {
+                    seed,
+                    ..cfg.clone()
+                };
+                let out = experiments::fig7(&cfg);
+                report::render_fig7(&out, artifact)?;
+                metrics.push(("optimal_kbps".into(), out.optimal_kbps));
+                metrics.push(("beta".into(), out.beta));
+                metrics.push((
+                    "alg2_final_regret".into(),
+                    *out.algorithm2.practical_regret.last().unwrap_or(&0.0),
+                ));
+                metrics.push((
+                    "llr_final_regret".into(),
+                    *out.llr.practical_regret.last().unwrap_or(&0.0),
+                ));
+                metrics.push((
+                    "alg2_final_beta_regret".into(),
+                    *out.algorithm2.practical_beta_regret.last().unwrap_or(&0.0),
+                ));
+                metrics.push((
+                    "alg2_avg_expected_kbps".into(),
+                    out.algorithm2.average_expected_kbps,
+                ));
+                metrics.push((
+                    "llr_avg_expected_kbps".into(),
+                    out.llr.average_expected_kbps,
+                ));
+            }
+            ExperimentKind::Fig8(cfg) => {
+                let cfg = Fig8Config {
+                    seed,
+                    ..cfg.clone()
+                };
+                let runs = experiments::fig8(&cfg);
+                report::render_fig8(&runs, artifact)?;
+                for run in &runs {
+                    let a_act = run.algorithm2.avg_actual_throughput.last().unwrap_or(&0.0);
+                    let a_est = run
+                        .algorithm2
+                        .avg_estimated_throughput
+                        .last()
+                        .unwrap_or(&0.0);
+                    let l_act = run.llr.avg_actual_throughput.last().unwrap_or(&0.0);
+                    metrics.push((format!("alg2_actual_y{}", run.y), *a_act));
+                    metrics.push((format!("llr_actual_y{}", run.y), *l_act));
+                    metrics.push((format!("alg2_estimate_gap_y{}", run.y), a_est - a_act));
+                }
+            }
+            ExperimentKind::Table2 => {
+                let t = experiments::table2();
+                report::render_table2(&t, artifact)?;
+                metrics.push(("theta".into(), t.theta));
+                metrics.push(("miniround_ms".into(), t.miniround_ms));
+                metrics.push((
+                    "minirounds_per_decision".into(),
+                    t.minirounds_per_decision as f64,
+                ));
+            }
+            ExperimentKind::Complexity(cfg) => {
+                let cfg = ComplexityConfig {
+                    seed,
+                    ..cfg.clone()
+                };
+                let points = experiments::run_complexity(&cfg);
+                report::render_complexity(&points, artifact)?;
+                for p in &points {
+                    metrics.push((format!("mean_tx_n{}_r{}", p.n, p.r), p.mean_tx_per_vertex));
+                    metrics.push((format!("mean_ball_n{}_r{}", p.n, p.r), p.mean_ball_size));
+                }
+            }
+            ExperimentKind::Theorem3(cfg) => {
+                let cfg = Theorem3Config {
+                    seed,
+                    ..cfg.clone()
+                };
+                let points = experiments::run_theorem3(&cfg);
+                report::render_theorem3(&points, artifact)?;
+                let n = points.len().max(1) as f64;
+                let mean = |f: fn(&experiments::Theorem3Point) -> f64| {
+                    points.iter().map(f).sum::<f64>() / n
+                };
+                metrics.push((
+                    "central_ratio_mean".into(),
+                    mean(|p| p.centralized / p.optimal),
+                ));
+                metrics.push((
+                    "dist_ratio_mean".into(),
+                    mean(|p| p.distributed / p.optimal),
+                ));
+                metrics.push((
+                    "capped_ratio_mean".into(),
+                    mean(|p| p.distributed_capped / p.optimal),
+                ));
+            }
+            ExperimentKind::PolicyRun(cfg) => {
+                let cfg = PolicyRunConfig { seed, ..*cfg };
+                let run = experiments::run_policy_spec(&cfg);
+                report::render_policy_run(&cfg, &run, artifact)?;
+                metrics.push(("avg_expected_kbps".into(), run.average_expected_kbps));
+                metrics.push(("avg_effective_kbps".into(), run.average_effective_kbps));
+                metrics.push(("avg_observed_kbps".into(), run.average_observed_kbps));
+                metrics.push(("transmissions".into(), run.comm.transmissions as f64));
+                metrics.push(("decisions".into(), run.comm.decisions as f64));
+            }
+            ExperimentKind::PolicyDuel { base, challenger } => {
+                let cfg_a = PolicyRunConfig { seed, ..*base };
+                let cfg_b = PolicyRunConfig {
+                    policy: *challenger,
+                    ..cfg_a
+                };
+                // Same seed ⇒ same network and channel realizations: a
+                // paired comparison, as in the paper's Fig. 7/8.
+                let run_a = experiments::run_policy_spec(&cfg_a);
+                let run_b = experiments::run_policy_spec(&cfg_b);
+                report::render_policy_run(&cfg_a, &run_a, artifact)?;
+                report::render_policy_run(&cfg_b, &run_b, artifact)?;
+                let (a, b) = (base.policy.label(), challenger.label());
+                metrics.push((
+                    format!("{a}_avg_expected_kbps"),
+                    run_a.average_expected_kbps,
+                ));
+                metrics.push((
+                    format!("{b}_avg_expected_kbps"),
+                    run_b.average_expected_kbps,
+                ));
+                metrics.push((
+                    "advantage_kbps".into(),
+                    run_a.average_expected_kbps - run_b.average_expected_kbps,
+                ));
+                metrics.push((
+                    "a_wins".into(),
+                    f64::from(u8::from(
+                        run_a.average_expected_kbps > run_b.average_expected_kbps,
+                    )),
+                ));
+            }
+        }
+        Ok(metrics)
+    }
+
+    /// Canonical JSON rendering of the kind and its full parameterization
+    /// (the manifest's `spec` record; hashed for resume validation).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("kind", Json::str(self.tag()))];
+        match self {
+            ExperimentKind::Fig5(cfg) => {
+                pairs.push(("ns", usizes(&cfg.ns)));
+                pairs.push(("r", Json::Num(cfg.r as f64)));
+            }
+            ExperimentKind::Fig6(cfg) => {
+                pairs.push((
+                    "sizes",
+                    Json::Arr(
+                        cfg.sizes
+                            .iter()
+                            .map(|&(n, m)| {
+                                Json::Arr(vec![Json::Num(n as f64), Json::Num(m as f64)])
+                            })
+                            .collect(),
+                    ),
+                ));
+                pairs.push(("topology", topology_json(&cfg.topology)));
+                pairs.push(("channel", channel_json(&cfg.channel)));
+                pairs.push(("loss", loss_json(&cfg.loss)));
+                pairs.push(("r", Json::Num(cfg.r as f64)));
+                pairs.push(("minirounds", Json::Num(cfg.minirounds as f64)));
+            }
+            ExperimentKind::Fig7(cfg) => {
+                pairs.push(("n", Json::Num(cfg.n as f64)));
+                pairs.push(("m", Json::Num(cfg.m as f64)));
+                pairs.push(("topology", topology_json(&cfg.topology)));
+                pairs.push(("channel", channel_json(&cfg.channel)));
+                pairs.push(("loss", loss_json(&cfg.loss)));
+                pairs.push(("horizon", Json::Num(cfg.horizon as f64)));
+                pairs.push(("r", Json::Num(cfg.r as f64)));
+                pairs.push(("minirounds", Json::Num(cfg.minirounds as f64)));
+            }
+            ExperimentKind::Fig8(cfg) => {
+                pairs.push(("n", Json::Num(cfg.n as f64)));
+                pairs.push(("m", Json::Num(cfg.m as f64)));
+                pairs.push(("topology", topology_json(&cfg.topology)));
+                pairs.push(("channel", channel_json(&cfg.channel)));
+                pairs.push(("loss", loss_json(&cfg.loss)));
+                pairs.push(("update_periods", usizes(&cfg.update_periods)));
+                pairs.push(("updates_per_run", Json::Num(cfg.updates_per_run as f64)));
+                pairs.push(("r", Json::Num(cfg.r as f64)));
+                pairs.push(("minirounds", Json::Num(cfg.minirounds as f64)));
+            }
+            ExperimentKind::Table2 => {}
+            ExperimentKind::Complexity(cfg) => {
+                pairs.push(("ns", usizes(&cfg.ns)));
+                pairs.push(("m", Json::Num(cfg.m as f64)));
+                pairs.push(("rs", usizes(&cfg.rs)));
+                pairs.push(("topology", topology_json(&cfg.topology)));
+                pairs.push(("channel", channel_json(&cfg.channel)));
+                pairs.push(("minirounds", Json::Num(cfg.minirounds as f64)));
+            }
+            ExperimentKind::Theorem3(cfg) => {
+                pairs.push(("n", Json::Num(cfg.n as f64)));
+                pairs.push(("m", Json::Num(cfg.m as f64)));
+                pairs.push(("topology", topology_json(&cfg.topology)));
+                pairs.push(("channel", channel_json(&cfg.channel)));
+                pairs.push(("instances", Json::Num(cfg.instances as f64)));
+            }
+            ExperimentKind::PolicyRun(cfg) => {
+                push_policy_run_fields(&mut pairs, cfg);
+            }
+            ExperimentKind::PolicyDuel { base, challenger } => {
+                push_policy_run_fields(&mut pairs, base);
+                pairs.push(("challenger", policy_json(challenger)));
+            }
+        }
+        Json::obj(pairs)
+    }
+}
+
+fn usizes(xs: &[usize]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Num(x as f64)).collect())
+}
+
+fn push_policy_run_fields(pairs: &mut Vec<(&str, Json)>, cfg: &PolicyRunConfig) {
+    pairs.push(("n", Json::Num(cfg.n as f64)));
+    pairs.push(("m", Json::Num(cfg.m as f64)));
+    pairs.push(("topology", topology_json(&cfg.topology)));
+    pairs.push(("channel", channel_json(&cfg.channel)));
+    pairs.push(("policy", policy_json(&cfg.policy)));
+    pairs.push(("loss", loss_json(&cfg.loss)));
+    pairs.push(("horizon", Json::Num(cfg.horizon as f64)));
+    pairs.push(("update_period", Json::Num(cfg.update_period as f64)));
+    pairs.push(("r", Json::Num(cfg.r as f64)));
+    pairs.push(("minirounds", Json::Num(cfg.minirounds as f64)));
+}
+
+/// Full policy serialization — name *and* parameters, so the spec hash
+/// catches parameter-only edits (a resume guard, like the topology and
+/// channel renderings).
+fn policy_json(p: &PolicySpec) -> Json {
+    let mut pairs = vec![("name", Json::str(p.label()))];
+    match *p {
+        PolicySpec::CsUcb { l } | PolicySpec::Llr { l } => pairs.push(("l", Json::Num(l))),
+        PolicySpec::Thompson { sigma } => pairs.push(("sigma", Json::Num(sigma))),
+        PolicySpec::DiscountedCsUcb { gamma } => pairs.push(("gamma", Json::Num(gamma))),
+        PolicySpec::EpsilonGreedy { eps } => pairs.push(("eps", Json::Num(eps))),
+        PolicySpec::Random | PolicySpec::Oracle => {}
+    }
+    Json::obj(pairs)
+}
+
+fn topology_json(t: &TopologySpec) -> Json {
+    let mut pairs = vec![("family", Json::str(t.label()))];
+    if let TopologySpec::UnitDisk { avg_degree } | TopologySpec::UnitDiskConnected { avg_degree } =
+        t
+    {
+        pairs.push(("avg_degree", Json::Num(*avg_degree)));
+    }
+    Json::obj(pairs)
+}
+
+fn channel_json(c: &ChannelModelSpec) -> Json {
+    let mut pairs = vec![("family", Json::str(c.label()))];
+    match *c {
+        ChannelModelSpec::GaussianRateClasses { sigma_frac } => {
+            pairs.push(("sigma_frac", Json::Num(sigma_frac)));
+        }
+        ChannelModelSpec::ConstantRateClasses => {}
+        ChannelModelSpec::BernoulliRateClasses { p } => pairs.push(("p", Json::Num(p))),
+        ChannelModelSpec::UniformRateClasses { spread_frac } => {
+            pairs.push(("spread_frac", Json::Num(spread_frac)));
+        }
+        ChannelModelSpec::AdversarialSinusoidal { amp_frac, period } => {
+            pairs.push(("amp_frac", Json::Num(amp_frac)));
+            pairs.push(("period", Json::Num(period as f64)));
+        }
+        ChannelModelSpec::AdversarialSwitching { swing_frac, dwell } => {
+            pairs.push(("swing_frac", Json::Num(swing_frac)));
+            pairs.push(("dwell", Json::Num(dwell as f64)));
+        }
+        ChannelModelSpec::AdversarialRamp { horizon } => {
+            pairs.push(("horizon", Json::Num(horizon as f64)));
+        }
+    }
+    Json::obj(pairs)
+}
+
+fn loss_json(l: &LossSpec) -> Json {
+    Json::obj(vec![
+        ("prob", Json::Num(l.prob)),
+        ("seed", Json::Num(l.seed as f64)),
+    ])
+}
+
+/// One named scenario of a campaign: an experiment kind and a seed range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Unique scenario name (also the artifact directory name).
+    pub name: String,
+    /// One-line description shown by `mhca-campaign list`.
+    pub title: String,
+    /// What to run.
+    pub kind: ExperimentKind,
+    /// Seeds to run it over.
+    pub seeds: SeedRange,
+}
+
+impl ScenarioSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        kind: ExperimentKind,
+        seeds: SeedRange,
+    ) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            title: title.into(),
+            kind,
+            seeds,
+        }
+    }
+
+    /// Expands this scenario into its per-seed jobs, in seed order.
+    pub fn jobs(&self) -> Vec<Job> {
+        self.seeds
+            .iter()
+            .map(|seed| Job {
+                scenario: self.name.clone(),
+                seed,
+            })
+            .collect()
+    }
+
+    /// Canonical JSON rendering (recorded in the manifest; hashed for
+    /// resume validation).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(&self.name)),
+            ("title", Json::str(&self.title)),
+            ("spec", self.kind.to_json()),
+            (
+                "seeds",
+                Json::obj(vec![
+                    ("start", Json::Num(self.seeds.start as f64)),
+                    ("count", Json::Num(self.seeds.count as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// One unit of campaign work: a scenario at one seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// The scenario name.
+    pub scenario: String,
+    /// The seed this job runs.
+    pub seed: u64,
+}
+
+impl Job {
+    /// Stable job identifier: `<scenario>/seed<seed>`.
+    pub fn id(&self) -> String {
+        format!("{}/seed{}", self.scenario, self.seed)
+    }
+}
+
+/// Expands a campaign (ordered scenario list) into its full job matrix —
+/// scenario-major, seed-minor, deterministic.
+pub fn expand_jobs(scenarios: &[ScenarioSpec]) -> Vec<Job> {
+    scenarios.iter().flat_map(ScenarioSpec::jobs).collect()
+}
+
+/// Canonical JSON of a whole campaign spec.
+pub fn campaign_json(name: &str, scenarios: &[ScenarioSpec]) -> Json {
+    Json::obj(vec![
+        ("campaign", Json::str(name)),
+        (
+            "scenarios",
+            Json::Arr(scenarios.iter().map(ScenarioSpec::to_json).collect()),
+        ),
+    ])
+}
+
+/// FNV-1a 64-bit hash of the canonical campaign spec JSON — the cheap,
+/// dependency-free fingerprint that guards manifest resume (a manifest
+/// written for one spec must not silently resume a different one).
+pub fn spec_hash(name: &str, scenarios: &[ScenarioSpec]) -> String {
+    let text = campaign_json(name, scenarios).to_string_compact();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_scenarios() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::new(
+                "fig6-quick",
+                "quick fig6",
+                ExperimentKind::Fig6(Fig6Config::quick()),
+                SeedRange::new(61, 3),
+            ),
+            ScenarioSpec::new(
+                "table2",
+                "table II",
+                ExperimentKind::Table2,
+                SeedRange::new(0, 1),
+            ),
+        ]
+    }
+
+    #[test]
+    fn jobs_expand_scenario_major_seed_minor() {
+        let jobs = expand_jobs(&two_scenarios());
+        let ids: Vec<String> = jobs.iter().map(Job::id).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "fig6-quick/seed61",
+                "fig6-quick/seed62",
+                "fig6-quick/seed63",
+                "table2/seed0"
+            ]
+        );
+    }
+
+    #[test]
+    fn spec_hash_is_stable_and_sensitive() {
+        let scenarios = two_scenarios();
+        let h1 = spec_hash("smoke", &scenarios);
+        let h2 = spec_hash("smoke", &scenarios);
+        assert_eq!(h1, h2);
+        assert_eq!(h1.len(), 16);
+        // Renaming the campaign or changing a seed count changes the hash.
+        assert_ne!(h1, spec_hash("other", &scenarios));
+        let mut more_seeds = two_scenarios();
+        more_seeds[0].seeds.count += 1;
+        assert_ne!(h1, spec_hash("smoke", &more_seeds));
+    }
+
+    #[test]
+    fn spec_json_is_parseable_and_tagged() {
+        let scenarios = two_scenarios();
+        let text = campaign_json("smoke", &scenarios).to_string_pretty();
+        let parsed = crate::json::parse(&text).unwrap();
+        let list = parsed.get("scenarios").and_then(Json::as_arr).unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(
+            list[0]
+                .get("spec")
+                .and_then(|s| s.get("kind"))
+                .and_then(Json::as_str),
+            Some("fig6")
+        );
+    }
+
+    #[test]
+    fn spec_hash_sees_policy_parameters() {
+        // Parameter-only policy edits must invalidate resume: same label,
+        // different exploration weight ⇒ different hash.
+        let duel = |l: f64| {
+            vec![ScenarioSpec::new(
+                "duel",
+                "duel",
+                ExperimentKind::PolicyDuel {
+                    base: PolicyRunConfig::quick(),
+                    challenger: PolicySpec::Llr { l },
+                },
+                SeedRange::new(0, 2),
+            )]
+        };
+        assert_ne!(spec_hash("c", &duel(2.0)), spec_hash("c", &duel(4.0)));
+        let run = |eps: f64| {
+            vec![ScenarioSpec::new(
+                "eg",
+                "eg",
+                ExperimentKind::PolicyRun(PolicyRunConfig {
+                    policy: PolicySpec::EpsilonGreedy { eps },
+                    ..PolicyRunConfig::quick()
+                }),
+                SeedRange::new(0, 2),
+            )]
+        };
+        assert_ne!(spec_hash("c", &run(0.05)), spec_hash("c", &run(0.3)));
+    }
+
+    #[test]
+    fn run_produces_metrics_and_artifact() {
+        let kind = ExperimentKind::Table2;
+        let mut artifact = Vec::new();
+        let metrics = kind.run(0, &mut artifact).unwrap();
+        assert!(metrics.iter().any(|(k, v)| k == "theta" && *v == 0.5));
+        assert!(!artifact.is_empty());
+    }
+
+    #[test]
+    fn policy_duel_runs_both_contestants_paired() {
+        let kind = ExperimentKind::PolicyDuel {
+            base: PolicyRunConfig {
+                horizon: 150,
+                ..PolicyRunConfig::quick()
+            },
+            challenger: PolicySpec::Random,
+        };
+        let mut artifact = Vec::new();
+        let metrics = kind.run(3, &mut artifact).unwrap();
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"))
+                .1
+        };
+        let a = get("cs-ucb_avg_expected_kbps");
+        let b = get("random_avg_expected_kbps");
+        assert!((get("advantage_kbps") - (a - b)).abs() < 1e-9);
+        assert!(a > b, "cs-ucb must beat random: {a} vs {b}");
+        assert_eq!(get("a_wins"), 1.0);
+        // Both contestants' series land in the artifact.
+        let text = String::from_utf8(artifact).unwrap();
+        assert!(text.contains("policy=cs-ucb"));
+        assert!(text.contains("policy=random"));
+    }
+
+    #[test]
+    #[should_panic(expected = "2^53")]
+    fn oversized_seed_ranges_are_rejected() {
+        let _ = SeedRange::new(u64::MAX - 1, 1);
+    }
+
+    #[test]
+    fn job_seed_overrides_config_seed() {
+        let cfg = PolicyRunConfig::quick();
+        let kind = ExperimentKind::PolicyRun(cfg);
+        let mut sink = Vec::new();
+        let a = kind.run(5, &mut sink).unwrap();
+        let b = kind.run(5, &mut sink).unwrap();
+        let c = kind.run(6, &mut sink).unwrap();
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a, c, "different seeds must differ");
+    }
+}

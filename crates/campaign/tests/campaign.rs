@@ -1,0 +1,278 @@
+//! End-to-end tests of the campaign orchestration layer: spec expansion,
+//! artifact/manifest layout, resume-after-interrupt semantics, and
+//! parallel-vs-serial aggregate equality.
+
+use mhca_campaign::json::{self, Json};
+use mhca_campaign::manifest::{JobStatus, Manifest};
+use mhca_campaign::registry;
+use mhca_campaign::runner::{self, CampaignConfig};
+use mhca_campaign::spec::{expand_jobs, ExperimentKind, ScenarioSpec, SeedRange};
+use mhca_core::experiments::{Fig6Config, Fig7Config, Fig8Config};
+use std::fs;
+use std::path::PathBuf;
+
+/// Fresh temp directory per test (process-unique + tag-unique).
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mhca-campaign-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small but real campaign: the paper's Fig. 6 / Fig. 7 / Fig. 8 and
+/// Table 2 from scaled-down registry-style specs, multi-seed where the
+/// experiment is randomized.
+fn paper_campaign() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec::new(
+            "fig6",
+            "Fig. 6 (scaled)",
+            ExperimentKind::Fig6(Fig6Config::quick()),
+            SeedRange::new(61, 2),
+        ),
+        ScenarioSpec::new(
+            "fig7",
+            "Fig. 7 (scaled)",
+            ExperimentKind::Fig7(Fig7Config::quick()),
+            SeedRange::new(71, 2),
+        ),
+        ScenarioSpec::new(
+            "fig8",
+            "Fig. 8 (scaled)",
+            ExperimentKind::Fig8(Fig8Config::quick()),
+            SeedRange::new(81, 2),
+        ),
+        ScenarioSpec::new(
+            "table2",
+            "Table II",
+            ExperimentKind::Table2,
+            SeedRange::new(0, 1),
+        ),
+    ]
+}
+
+fn quiet(cfg: CampaignConfig) -> CampaignConfig {
+    CampaignConfig { quiet: true, ..cfg }
+}
+
+#[test]
+fn campaign_reproduces_paper_figures_with_aggregates_and_artifacts() {
+    let dir = tmp_dir("paper");
+    let scenarios = paper_campaign();
+    let cfg = quiet(CampaignConfig::new("paper-test", &dir, scenarios.clone()));
+    let outcome = runner::run(&cfg).unwrap();
+
+    assert_eq!(outcome.executed, 7); // 2 + 2 + 2 + 1 jobs
+    assert_eq!(outcome.skipped, 0);
+
+    // Per-seed figure artifacts exist and carry the figure CSV headers.
+    let fig6_csv = fs::read_to_string(dir.join("fig6/seed61.csv")).unwrap();
+    assert!(fig6_csv.starts_with("miniround,"));
+    let fig7_csv = fs::read_to_string(dir.join("fig7/seed71.csv")).unwrap();
+    assert!(fig7_csv.contains("slot,alg2_practical_regret"));
+    let fig8_csv = fs::read_to_string(dir.join("fig8/seed81.csv")).unwrap();
+    assert!(fig8_csv.contains("alg2_estimated"));
+    let table2_csv = fs::read_to_string(dir.join("table2/seed0.csv")).unwrap();
+    assert!(table2_csv.contains("theta,0.5"));
+
+    // Multi-seed aggregates: fig7's optimum aggregates over 2 seeds.
+    let fig7 = outcome.summaries.iter().find(|s| s.name == "fig7").unwrap();
+    let (_, optimal) = fig7
+        .aggregates
+        .iter()
+        .find(|(m, _)| m == "optimal_kbps")
+        .unwrap();
+    assert_eq!(optimal.runs, 2);
+    assert!(optimal.mean > 0.0);
+
+    // Per-scenario summary CSV and campaign-level artifacts.
+    let summary = fs::read_to_string(dir.join("fig7/summary.csv")).unwrap();
+    assert!(summary.starts_with("metric,runs,mean,std_dev,min,max\n"));
+    assert!(summary.contains("optimal_kbps,2,"));
+    let campaign_csv = fs::read_to_string(dir.join("campaign.csv")).unwrap();
+    assert!(campaign_csv.starts_with("scenario,seed,metric,value\n"));
+    assert!(campaign_csv.contains("fig8,81,alg2_actual_y1,"));
+
+    // campaign.json parses with the hand-rolled parser and holds the spec
+    // plus per-scenario aggregates.
+    let doc = json::parse(&fs::read_to_string(dir.join("campaign.json")).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("campaign").and_then(Json::as_str),
+        Some("paper-test")
+    );
+    let aggs = doc.get("aggregates").and_then(Json::as_arr).unwrap();
+    assert_eq!(aggs.len(), 4);
+    let spec_scenarios = doc
+        .get("spec")
+        .and_then(|s| s.get("scenarios"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert_eq!(spec_scenarios.len(), 4);
+
+    // The manifest records every job done.
+    let manifest = Manifest::load(&dir).unwrap().unwrap();
+    assert_eq!(manifest.progress(), (7, 0));
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rerun_skips_everything_and_preserves_results() {
+    let dir = tmp_dir("rerun");
+    let scenarios = registry::quick_registry();
+    let cfg = quiet(CampaignConfig::new("quick", &dir, scenarios));
+    let first = runner::run(&cfg).unwrap();
+    assert_eq!(first.executed, 6);
+
+    let again = runner::run(&cfg).unwrap();
+    assert_eq!(
+        again.executed, 0,
+        "a completed campaign must re-execute nothing"
+    );
+    assert_eq!(again.skipped, 6);
+    assert_eq!(first.summaries, again.summaries);
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn killed_campaign_resumes_without_reexecuting_completed_jobs() {
+    let dir = tmp_dir("resume");
+    let scenarios = registry::quick_registry();
+    let cfg = quiet(CampaignConfig::new("quick", &dir, scenarios.clone()));
+
+    // Simulate a killed campaign: a manifest where one job finished (with
+    // a sentinel metric value no real run could produce) and the rest
+    // never ran. The sentinel proves resume *reuses* recorded results
+    // instead of recomputing them.
+    let jobs = expand_jobs(&scenarios);
+    let mut manifest = Manifest::new("quick", &scenarios, &jobs);
+    {
+        let record = manifest.record_mut("fig6-quick", 61).unwrap();
+        record.status = JobStatus::Done;
+        record.artifact = "fig6-quick/seed61.csv".into();
+        record.metrics = vec![("final_weight_30x3".into(), 123456789.0)];
+    }
+    fs::create_dir_all(dir.join("fig6-quick")).unwrap();
+    fs::write(dir.join("fig6-quick/seed61.csv"), "sentinel artifact\n").unwrap();
+    manifest.save(&dir).unwrap();
+
+    let outcome = runner::run(&cfg).unwrap();
+    assert_eq!(outcome.executed, 5, "only the five unfinished jobs run");
+    assert_eq!(outcome.skipped, 1);
+
+    // The sentinel survived: the done job was not re-executed.
+    let loaded = Manifest::load(&dir).unwrap().unwrap();
+    let record = loaded.record("fig6-quick", 61).unwrap();
+    assert_eq!(record.metrics[0].1, 123456789.0);
+    assert_eq!(
+        fs::read_to_string(dir.join("fig6-quick/seed61.csv")).unwrap(),
+        "sentinel artifact\n"
+    );
+    // And the sentinel flows into the aggregates (it was reused as data).
+    let fig6 = outcome
+        .summaries
+        .iter()
+        .find(|s| s.name == "fig6-quick")
+        .unwrap();
+    let (_, agg) = fig6
+        .aggregates
+        .iter()
+        .find(|(m, _)| m == "final_weight_30x3")
+        .unwrap();
+    assert_eq!(agg.max, 123456789.0);
+
+    // A deleted artifact demotes a done job back to pending.
+    fs::remove_file(dir.join("fig6-quick/seed61.csv")).unwrap();
+    let healed = runner::run(&cfg).unwrap();
+    assert_eq!(healed.executed, 1);
+    let loaded = Manifest::load(&dir).unwrap().unwrap();
+    assert_ne!(
+        loaded.record("fig6-quick", 61).unwrap().metrics[0].1,
+        123456789.0,
+        "regenerated job must carry real metrics"
+    );
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parallel_and_serial_campaigns_aggregate_identically() {
+    let dir_par = tmp_dir("par");
+    let dir_ser = tmp_dir("ser");
+    let scenarios = registry::quick_registry();
+    let par = runner::run(&quiet(CampaignConfig::new(
+        "quick",
+        &dir_par,
+        scenarios.clone(),
+    )))
+    .unwrap();
+    let ser = runner::run(&quiet(CampaignConfig {
+        parallel: false,
+        ..CampaignConfig::new("quick", &dir_ser, scenarios)
+    }))
+    .unwrap();
+
+    assert_eq!(par.summaries, ser.summaries);
+    // Byte-identical artifacts, job records, and campaign CSV.
+    let par_manifest = Manifest::load(&dir_par).unwrap().unwrap();
+    let ser_manifest = Manifest::load(&dir_ser).unwrap().unwrap();
+    assert_eq!(par_manifest.jobs, ser_manifest.jobs);
+    assert_eq!(
+        fs::read_to_string(dir_par.join("campaign.csv")).unwrap(),
+        fs::read_to_string(dir_ser.join("campaign.csv")).unwrap()
+    );
+    assert_eq!(
+        fs::read_to_string(dir_par.join("fig7-quick/seed71.csv")).unwrap(),
+        fs::read_to_string(dir_ser.join("fig7-quick/seed71.csv")).unwrap()
+    );
+
+    fs::remove_dir_all(&dir_par).unwrap();
+    fs::remove_dir_all(&dir_ser).unwrap();
+}
+
+#[test]
+fn mismatched_spec_is_refused_unless_forced() {
+    let dir = tmp_dir("mismatch");
+    let quick_specs = registry::quick_registry();
+    runner::run(&quiet(CampaignConfig::new(
+        "quick",
+        &dir,
+        quick_specs.clone(),
+    )))
+    .unwrap();
+
+    // Same directory, different spec: refused.
+    let mut changed = quick_specs.clone();
+    changed[0].seeds.count = 2;
+    let err = runner::run(&quiet(CampaignConfig::new("quick", &dir, changed.clone())))
+        .expect_err("spec mismatch must be refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    // With force: starts fresh and succeeds.
+    let outcome = runner::run(&quiet(CampaignConfig {
+        force: true,
+        ..CampaignConfig::new("quick", &dir, changed)
+    }))
+    .unwrap();
+    assert_eq!(outcome.executed, 5); // 2 + 3 seeds
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn job_matrix_expansion_is_deterministic_and_complete() {
+    let scenarios = registry::registry();
+    let jobs = expand_jobs(&scenarios);
+    let total: u64 = scenarios.iter().map(|s| s.seeds.count).sum();
+    assert_eq!(jobs.len(), total as usize);
+    assert_eq!(jobs, expand_jobs(&scenarios));
+    // Scenario-major order: all of one scenario's seeds before the next.
+    let mut seen = Vec::new();
+    for job in &jobs {
+        if seen.last() != Some(&job.scenario) {
+            assert!(!seen.contains(&job.scenario), "interleaved scenario order");
+            seen.push(job.scenario.clone());
+        }
+    }
+    assert_eq!(seen.len(), scenarios.len());
+}

@@ -43,6 +43,8 @@ pub mod dists;
 pub mod matrix;
 pub mod process;
 pub mod rates;
+pub mod spec;
 
 pub use matrix::ChannelMatrix;
 pub use process::ChannelProcess;
+pub use spec::ChannelModelSpec;

@@ -77,13 +77,32 @@ impl ChannelMatrix {
     /// Panics if `n·m == 0` or `sigma_frac < 0`.
     pub fn gaussian_from_rate_classes(n: usize, m: usize, sigma_frac: f64, seed: u64) -> Self {
         assert!(sigma_frac >= 0.0, "negative sigma fraction");
+        ChannelMatrix::from_rate_class_draws(n, m, seed, |mu, _vertex| {
+            Box::new(TruncatedGaussian::symmetric(mu, sigma_frac * mu))
+        })
+    }
+
+    /// Generic rate-class workload: draws one mean per vertex uniformly
+    /// from the paper's 8 rate classes (same seed stream as
+    /// [`ChannelMatrix::gaussian_from_rate_classes`], so swapping the
+    /// process family keeps the mean matrix identical) and builds each
+    /// vertex's process with `make(mean, vertex)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n·m == 0`.
+    pub fn from_rate_class_draws(
+        n: usize,
+        m: usize,
+        seed: u64,
+        mut make: impl FnMut(f64, usize) -> Box<dyn ChannelProcess>,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0xC0FF_EE00));
         let processes: Vec<Box<dyn ChannelProcess>> = (0..n * m)
-            .map(|_| {
+            .map(|vertex| {
                 let mu =
                     rates::PAPER_RATE_CLASSES[rng.gen_range(0..rates::PAPER_RATE_CLASSES.len())];
-                Box::new(TruncatedGaussian::symmetric(mu, sigma_frac * mu))
-                    as Box<dyn ChannelProcess>
+                make(mu, vertex)
             })
             .collect();
         ChannelMatrix::from_processes(n, m, processes, seed)

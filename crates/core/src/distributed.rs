@@ -34,7 +34,7 @@
 
 use mhca_graph::ExtendedConflictGraph;
 use mhca_mwis::{exact, greedy};
-use mhca_sim::{Counters, Flood, FloodEngine, Received};
+use mhca_sim::{Counters, Flood, FloodEngine, LossSpec, Received};
 use serde::{Deserialize, Serialize};
 
 /// Per-vertex protocol status.
@@ -136,6 +136,20 @@ impl DistributedPtasConfig {
         self.loss_prob = prob;
         self.loss_seed = seed;
         self
+    }
+
+    /// Builder-style loss injection from a declarative [`LossSpec`]
+    /// (the spec-driven campaign path).
+    pub fn with_loss_spec(self, loss: LossSpec) -> Self {
+        self.with_loss(loss.prob, loss.seed)
+    }
+
+    /// The loss knobs as a [`LossSpec`].
+    pub fn loss_spec(&self) -> LossSpec {
+        LossSpec {
+            prob: self.loss_prob,
+            seed: self.loss_seed,
+        }
     }
 }
 
@@ -441,9 +455,11 @@ impl<'h> DistributedPtas<'h> {
             }
 
             // ---- 4. Determination floods (line 10; (3r+1) hops) and
-            //         local processing (lines 11–15).
+            //         local processing (lines 11–15). `Msg` is `Copy`, so
+            //         the copy path skips the per-reception clone on the
+            //         lossy BFS route.
             self.engine
-                .deliver_into(&self.det_floods, &mut self.inboxes);
+                .deliver_copy_into(&self.det_floods, &mut self.inboxes);
             // Leaders apply their own determinations directly (they do not
             // receive their own flood).
             for flood in &self.det_floods {

@@ -12,9 +12,90 @@ use crate::{
     runner::{run_policy, Algorithm2Config, RunResult},
     time::TimeModel,
 };
-use mhca_bandit::policies::{CsUcb, Llr};
-use mhca_graph::{topology, ExtendedConflictGraph};
+use mhca_bandit::{
+    policies::{CsUcb, DiscountedCsUcb, EpsilonGreedy, IndexPolicy, Llr, Oracle, Random},
+    thompson::GaussianThompson,
+};
+use mhca_channels::ChannelModelSpec;
+use mhca_graph::{topology, ExtendedConflictGraph, TopologySpec};
+use mhca_sim::LossSpec;
 use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Policy specs — declarative learning-policy construction.
+// ---------------------------------------------------------------------------
+
+/// Declarative learning-policy choice for spec-driven experiments: a
+/// `(spec, network)` pair fully determines the policy instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// The paper's CS-UCB index (Algorithm 2) with exploration weight `l`.
+    CsUcb {
+        /// Exploration weight `l` of Eq. (3).
+        l: f64,
+    },
+    /// The LLR baseline the paper compares against.
+    Llr {
+        /// Exploration weight.
+        l: f64,
+    },
+    /// Gaussian Thompson sampling.
+    Thompson {
+        /// Observation-noise standard deviation (unit-reward scale).
+        sigma: f64,
+    },
+    /// Discount-weighted CS-UCB for drifting channels.
+    DiscountedCsUcb {
+        /// Per-slot discount factor `γ ∈ (0, 1]`.
+        gamma: f64,
+    },
+    /// ε-greedy over the empirical means.
+    EpsilonGreedy {
+        /// Exploration probability.
+        eps: f64,
+    },
+    /// Uniformly random indices (the no-learning floor).
+    Random,
+    /// True-mean oracle (the no-regret ceiling).
+    Oracle,
+}
+
+impl PolicySpec {
+    /// Instantiates the policy for a network.
+    pub fn build(&self, net: &Network) -> Box<dyn IndexPolicy> {
+        match *self {
+            PolicySpec::CsUcb { l } => Box::new(CsUcb::new(l)),
+            PolicySpec::Llr { l } => Box::new(Llr::new(net.n_nodes(), l)),
+            PolicySpec::Thompson { sigma } => Box::new(GaussianThompson::new(sigma, 2.0)),
+            PolicySpec::DiscountedCsUcb { gamma } => {
+                Box::new(DiscountedCsUcb::new(net.n_vertices(), gamma, 2.0))
+            }
+            PolicySpec::EpsilonGreedy { eps } => Box::new(EpsilonGreedy::new(eps, 2.0)),
+            PolicySpec::Random => Box::new(Random),
+            PolicySpec::Oracle => Box::new(Oracle::new(net.channels().means())),
+        }
+    }
+
+    /// Short kebab-case name for artifact paths and CSV cells.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicySpec::CsUcb { .. } => "cs-ucb",
+            PolicySpec::Llr { .. } => "llr",
+            PolicySpec::Thompson { .. } => "thompson",
+            PolicySpec::DiscountedCsUcb { .. } => "discounted-cs-ucb",
+            PolicySpec::EpsilonGreedy { .. } => "epsilon-greedy",
+            PolicySpec::Random => "random",
+            PolicySpec::Oracle => "oracle",
+        }
+    }
+}
+
+impl Default for PolicySpec {
+    /// The paper's policy: CS-UCB with `l = 2`.
+    fn default() -> Self {
+        PolicySpec::CsUcb { l: 2.0 }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Fig. 6 — convergence of Algorithm 3 over mini-rounds.
@@ -26,9 +107,14 @@ use serde::{Deserialize, Serialize};
 pub struct Fig6Config {
     /// `(N, M)` pairs; the paper uses `{50,100,200} × {5,10}`.
     pub sizes: Vec<(usize, usize)>,
-    /// Average conflict degree of the random networks (unspecified in the
-    /// paper; see DESIGN.md).
-    pub avg_degree: f64,
+    /// Topology family. The paper's density is unspecified; the default
+    /// unit-disk degree `d = 3.5` reproduces its "converged after the 4th
+    /// mini-round" observation (see DESIGN.md).
+    pub topology: TopologySpec,
+    /// Channel-model family (only the means matter here).
+    pub channel: ChannelModelSpec,
+    /// Control-channel loss injection (lossless by default).
+    pub loss: LossSpec,
     /// Local MWIS radius (the paper uses `r = 2`).
     pub r: usize,
     /// Mini-rounds to plot (paper x-axis: 1..10).
@@ -41,10 +127,9 @@ impl Default for Fig6Config {
     fn default() -> Self {
         Fig6Config {
             sizes: vec![(50, 5), (100, 5), (200, 5), (50, 10), (100, 10), (200, 10)],
-            // The paper leaves the density unspecified; d = 3.5 reproduces
-            // its "converged after the 4th mini-round" observation
-            // (≥ 97% of final weight by mini-round 4 for every size).
-            avg_degree: 3.5,
+            topology: TopologySpec::UnitDisk { avg_degree: 3.5 },
+            channel: ChannelModelSpec::default(),
+            loss: LossSpec::lossless(),
             r: 2,
             minirounds: 10,
             seed: 61,
@@ -57,10 +142,10 @@ impl Fig6Config {
     pub fn quick() -> Self {
         Fig6Config {
             sizes: vec![(30, 3), (50, 5)],
-            avg_degree: 5.0,
+            topology: TopologySpec::UnitDisk { avg_degree: 5.0 },
             r: 1,
             minirounds: 8,
-            seed: 61,
+            ..Fig6Config::default()
         }
     }
 }
@@ -87,11 +172,12 @@ pub fn fig6(cfg: &Fig6Config) -> Vec<Fig6Series> {
         .iter()
         .enumerate()
         .map(|(i, &(n, m))| {
-            let net = Network::random(n, m, cfg.avg_degree, 0.1, cfg.seed + i as u64);
+            let net = Network::from_spec(n, m, &cfg.topology, &cfg.channel, cfg.seed + i as u64);
             let weights = net.channels().means();
             let dcfg = DistributedPtasConfig::default()
                 .with_r(cfg.r)
-                .with_max_minirounds(Some(cfg.minirounds));
+                .with_max_minirounds(Some(cfg.minirounds))
+                .with_loss_spec(cfg.loss);
             let mut ptas = DistributedPtas::new(net.h(), dcfg);
             let out = ptas.decide(&weights);
             let mut series = out.per_miniround_weight.clone();
@@ -118,8 +204,12 @@ pub struct Fig7Config {
     pub n: usize,
     /// Channels (paper: 3).
     pub m: usize,
-    /// Average conflict degree of the connected random network.
-    pub avg_degree: f64,
+    /// Topology family (paper: a connected random network).
+    pub topology: TopologySpec,
+    /// Channel-model family (paper: truncated Gaussians, `σ = 0.1µ`).
+    pub channel: ChannelModelSpec,
+    /// Control-channel loss injection (lossless by default).
+    pub loss: LossSpec,
     /// Horizon in slots (paper: 1000).
     pub horizon: u64,
     /// Local MWIS radius (paper: 2).
@@ -135,7 +225,9 @@ impl Default for Fig7Config {
         Fig7Config {
             n: 15,
             m: 3,
-            avg_degree: 4.0,
+            topology: TopologySpec::UnitDiskConnected { avg_degree: 4.0 },
+            channel: ChannelModelSpec::default(),
+            loss: LossSpec::lossless(),
             horizon: 1000,
             r: 2,
             minirounds: 4,
@@ -150,11 +242,10 @@ impl Fig7Config {
         Fig7Config {
             n: 8,
             m: 2,
-            avg_degree: 3.0,
+            topology: TopologySpec::UnitDiskConnected { avg_degree: 3.0 },
             horizon: 120,
             r: 1,
-            minirounds: 4,
-            seed: 71,
+            ..Fig7Config::default()
         }
     }
 }
@@ -175,11 +266,12 @@ pub struct Fig7Output {
 /// Runs the Fig. 7 experiment: exact optimum by branch-and-bound, then a
 /// paired comparison (identical channel realizations) of CS-UCB vs LLR.
 pub fn fig7(cfg: &Fig7Config) -> Fig7Output {
-    let net = Network::random_connected(cfg.n, cfg.m, cfg.avg_degree, 0.1, cfg.seed);
+    let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, cfg.seed);
     let optimal = net.optimal().weight;
     let dcfg = DistributedPtasConfig::default()
         .with_r(cfg.r)
-        .with_max_minirounds(Some(cfg.minirounds));
+        .with_max_minirounds(Some(cfg.minirounds))
+        .with_loss_spec(cfg.loss);
     let base = Algorithm2Config::default()
         .with_horizon(cfg.horizon)
         .with_decision(dcfg)
@@ -210,8 +302,15 @@ pub struct Fig8Config {
     pub n: usize,
     /// Channels (paper: 10).
     pub m: usize,
-    /// Average conflict degree.
-    pub avg_degree: f64,
+    /// Topology family. Same density calibration as Fig. 6: at unit-disk
+    /// degree `d ≈ 3.5` the `D = 4` mini-round budget resolves ≥ 97% of
+    /// the weight, matching the paper's converged-by-4 observation;
+    /// denser networks starve the budget and distort the comparison.
+    pub topology: TopologySpec,
+    /// Channel-model family.
+    pub channel: ChannelModelSpec,
+    /// Control-channel loss injection (lossless by default).
+    pub loss: LossSpec,
     /// Update periods `y` (paper: 1, 5, 10, 20).
     pub update_periods: Vec<usize>,
     /// Weight updates per run (paper: 1000 ⇒ horizons `y·1000`).
@@ -229,11 +328,9 @@ impl Default for Fig8Config {
         Fig8Config {
             n: 100,
             m: 10,
-            // Same density calibration as Fig. 6: at d ≈ 3.5 the D = 4
-            // mini-round budget resolves ≥ 97% of the weight, matching the
-            // paper's converged-by-4 observation. Denser networks starve
-            // the budget and distort the Fig. 8 comparison.
-            avg_degree: 3.5,
+            topology: TopologySpec::UnitDisk { avg_degree: 3.5 },
+            channel: ChannelModelSpec::default(),
+            loss: LossSpec::lossless(),
             update_periods: vec![1, 5, 10, 20],
             updates_per_run: 1000,
             r: 2,
@@ -249,12 +346,11 @@ impl Fig8Config {
         Fig8Config {
             n: 30,
             m: 4,
-            avg_degree: 4.0,
+            topology: TopologySpec::UnitDisk { avg_degree: 4.0 },
             update_periods: vec![1, 5],
             updates_per_run: 60,
             r: 1,
-            minirounds: 4,
-            seed: 81,
+            ..Fig8Config::default()
         }
     }
 }
@@ -275,10 +371,11 @@ pub struct Fig8Run {
 /// Runs the Fig. 8 experiment: for each `y`, a paired CS-UCB vs LLR run
 /// with `updates_per_run` strategy decisions.
 pub fn fig8(cfg: &Fig8Config) -> Vec<Fig8Run> {
-    let net = Network::random(cfg.n, cfg.m, cfg.avg_degree, 0.1, cfg.seed);
+    let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, cfg.seed);
     let dcfg = DistributedPtasConfig::default()
         .with_r(cfg.r)
-        .with_max_minirounds(Some(cfg.minirounds));
+        .with_max_minirounds(Some(cfg.minirounds))
+        .with_loss_spec(cfg.loss);
     cfg.update_periods
         .iter()
         .map(|&y| {
@@ -315,6 +412,36 @@ pub struct WorstCasePoint {
     pub minirounds_used: usize,
 }
 
+/// Configuration of the Fig. 5 worst-case experiment. The workload is
+/// deterministic (a line with strictly decreasing weights), so there is no
+/// seed or channel model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig5Config {
+    /// Line lengths `N` to measure.
+    pub ns: Vec<usize>,
+    /// Local MWIS radius.
+    pub r: usize,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Fig5Config {
+            ns: vec![10, 20, 40, 80, 160, 320],
+            r: 1,
+        }
+    }
+}
+
+impl Fig5Config {
+    /// Scaled-down variant for tests.
+    pub fn quick() -> Self {
+        Fig5Config {
+            ns: vec![10, 20, 40],
+            r: 1,
+        }
+    }
+}
+
 /// Reproduces the Fig. 5 observation: on a line with strictly decreasing
 /// weights and `M = 1`, only one new LocalLeader can emerge per
 /// mini-round region, so full resolution needs `Θ(N)` mini-rounds.
@@ -336,6 +463,11 @@ pub fn fig5_worstcase(ns: &[usize], r: usize) -> Vec<WorstCasePoint> {
             }
         })
         .collect()
+}
+
+/// Spec-driven entry point for Fig. 5.
+pub fn run_fig5(cfg: &Fig5Config) -> Vec<WorstCasePoint> {
+    fig5_worstcase(&cfg.ns, cfg.r)
 }
 
 // ---------------------------------------------------------------------------
@@ -363,6 +495,53 @@ pub struct ComplexityPoint {
     pub mean_ball_size: f64,
 }
 
+/// Configuration of the Section IV-C complexity measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityConfig {
+    /// Network sizes `N`.
+    pub ns: Vec<usize>,
+    /// Channels `M`.
+    pub m: usize,
+    /// Radii to measure.
+    pub rs: Vec<usize>,
+    /// Topology family.
+    pub topology: TopologySpec,
+    /// Channel-model family (only the means matter here).
+    pub channel: ChannelModelSpec,
+    /// Mini-round budget per decision.
+    pub minirounds: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for ComplexityConfig {
+    fn default() -> Self {
+        ComplexityConfig {
+            ns: vec![25, 50, 100, 200],
+            m: 5,
+            rs: vec![1, 2],
+            topology: TopologySpec::UnitDisk { avg_degree: 5.0 },
+            channel: ChannelModelSpec::default(),
+            minirounds: 4,
+            seed: 91,
+        }
+    }
+}
+
+impl ComplexityConfig {
+    /// Scaled-down variant for tests.
+    pub fn quick() -> Self {
+        ComplexityConfig {
+            ns: vec![20, 60],
+            m: 3,
+            rs: vec![1],
+            topology: TopologySpec::UnitDisk { avg_degree: 4.0 },
+            seed: 5,
+            ..ComplexityConfig::default()
+        }
+    }
+}
+
 /// Measures the per-vertex communication of one strategy decision across
 /// network sizes and radii — the empirical check of the paper's
 /// `O(r² + D)` messages / `O(m)` space claims.
@@ -374,9 +553,23 @@ pub fn complexity(
     minirounds: usize,
     seed: u64,
 ) -> Vec<ComplexityPoint> {
+    run_complexity(&ComplexityConfig {
+        ns: ns.to_vec(),
+        m,
+        rs: rs.to_vec(),
+        topology: TopologySpec::UnitDisk { avg_degree },
+        channel: ChannelModelSpec::GaussianRateClasses { sigma_frac: 0.1 },
+        minirounds,
+        seed,
+    })
+}
+
+/// Spec-driven entry point for the complexity measurement.
+pub fn run_complexity(cfg: &ComplexityConfig) -> Vec<ComplexityPoint> {
+    let (ns, m, rs, minirounds, seed) = (&cfg.ns, cfg.m, &cfg.rs, cfg.minirounds, cfg.seed);
     let mut out = Vec::new();
     for (i, &n) in ns.iter().enumerate() {
-        let net = Network::random(n, m, avg_degree, 0.1, seed + i as u64);
+        let net = Network::from_spec(n, m, &cfg.topology, &cfg.channel, seed + i as u64);
         for &r in rs {
             let dcfg = DistributedPtasConfig::default()
                 .with_r(r)
@@ -424,6 +617,49 @@ pub struct Theorem3Point {
     pub distributed_capped: f64,
 }
 
+/// Configuration of the Theorem 3 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Theorem3Config {
+    /// Users `N` (small enough for exact branch-and-bound).
+    pub n: usize,
+    /// Channels `M`.
+    pub m: usize,
+    /// Topology family.
+    pub topology: TopologySpec,
+    /// Channel-model family (only the means matter here).
+    pub channel: ChannelModelSpec,
+    /// First instance seed.
+    pub seed: u64,
+    /// Number of instances (`seed..seed + instances`).
+    pub instances: u64,
+}
+
+impl Default for Theorem3Config {
+    fn default() -> Self {
+        Theorem3Config {
+            n: 15,
+            m: 3,
+            topology: TopologySpec::UnitDisk { avg_degree: 3.5 },
+            channel: ChannelModelSpec::default(),
+            seed: 0,
+            instances: 10,
+        }
+    }
+}
+
+impl Theorem3Config {
+    /// Scaled-down variant for tests.
+    pub fn quick() -> Self {
+        Theorem3Config {
+            n: 12,
+            m: 2,
+            topology: TopologySpec::UnitDisk { avg_degree: 3.0 },
+            instances: 4,
+            ..Theorem3Config::default()
+        }
+    }
+}
+
 /// Empirically validates Theorem 3 ("Algorithm 3 achieves the same
 /// approximation ratio ρ as the centralized robust PTAS"): on seeded
 /// random instances small enough for exact ground truth, compares the
@@ -435,10 +671,22 @@ pub fn theorem3(
     avg_degree: f64,
     seeds: std::ops::Range<u64>,
 ) -> Vec<Theorem3Point> {
+    run_theorem3(&Theorem3Config {
+        n,
+        m,
+        topology: TopologySpec::UnitDisk { avg_degree },
+        channel: ChannelModelSpec::GaussianRateClasses { sigma_frac: 0.1 },
+        seed: seeds.start,
+        instances: seeds.end.saturating_sub(seeds.start),
+    })
+}
+
+/// Spec-driven entry point for the Theorem 3 comparison.
+pub fn run_theorem3(cfg: &Theorem3Config) -> Vec<Theorem3Point> {
     use mhca_mwis::{exact, robust_ptas};
-    seeds
+    (cfg.seed..cfg.seed + cfg.instances)
         .map(|seed| {
-            let net = Network::random(n, m, avg_degree, 0.1, seed);
+            let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, seed);
             let w = net.channels().means();
             let allowed: Vec<usize> = (0..net.n_vertices()).collect();
             let optimal =
@@ -496,6 +744,87 @@ pub fn table2() -> Table2 {
         theta: time.theta(),
         time,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Generic spec-driven policy run — the campaign cross-product workload.
+// ---------------------------------------------------------------------------
+
+/// A fully declarative Algorithm 2 run: topology × channel model × policy
+/// × `(N, M)` × horizon × update period × loss, all from one seed. This is
+/// the cross-product axis experiment campaigns sweep; the per-figure
+/// configs above are fixed points of it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyRunConfig {
+    /// Users `N`.
+    pub n: usize,
+    /// Channels `M`.
+    pub m: usize,
+    /// Topology family.
+    pub topology: TopologySpec,
+    /// Channel-model family.
+    pub channel: ChannelModelSpec,
+    /// Learning policy.
+    pub policy: PolicySpec,
+    /// Control-channel loss injection.
+    pub loss: LossSpec,
+    /// Horizon in slots.
+    pub horizon: u64,
+    /// Update period `y` (1 = decide every slot).
+    pub update_period: usize,
+    /// Local MWIS radius.
+    pub r: usize,
+    /// Mini-round budget per decision.
+    pub minirounds: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PolicyRunConfig {
+    fn default() -> Self {
+        PolicyRunConfig {
+            n: 15,
+            m: 3,
+            topology: TopologySpec::UnitDisk { avg_degree: 3.5 },
+            channel: ChannelModelSpec::default(),
+            policy: PolicySpec::default(),
+            loss: LossSpec::lossless(),
+            horizon: 500,
+            update_period: 1,
+            r: 2,
+            minirounds: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl PolicyRunConfig {
+    /// Scaled-down variant for tests.
+    pub fn quick() -> Self {
+        PolicyRunConfig {
+            n: 8,
+            m: 2,
+            horizon: 100,
+            r: 1,
+            ..PolicyRunConfig::default()
+        }
+    }
+}
+
+/// Runs one declarative Algorithm 2 configuration end to end.
+pub fn run_policy_spec(cfg: &PolicyRunConfig) -> RunResult {
+    let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, cfg.seed);
+    let dcfg = DistributedPtasConfig::default()
+        .with_r(cfg.r)
+        .with_max_minirounds(Some(cfg.minirounds))
+        .with_loss_spec(cfg.loss);
+    let acfg = Algorithm2Config::default()
+        .with_horizon(cfg.horizon)
+        .with_update_period(cfg.update_period)
+        .with_decision(dcfg)
+        .with_seed(cfg.seed);
+    let mut policy = cfg.policy.build(&net);
+    run_policy(&net, &acfg, policy.as_mut())
 }
 
 #[cfg(test)]
@@ -582,6 +911,69 @@ mod tests {
             assert!(p.centralized * 2.0 >= p.optimal);
             assert!(p.distributed * 2.0 >= p.optimal);
         }
+    }
+
+    #[test]
+    fn policy_run_spec_is_reproducible_and_learns() {
+        let cfg = PolicyRunConfig::quick();
+        let a = run_policy_spec(&cfg);
+        let b = run_policy_spec(&cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.policy, "cs-ucb");
+        assert_eq!(a.slots, cfg.horizon);
+        let random = run_policy_spec(&PolicyRunConfig {
+            policy: PolicySpec::Random,
+            horizon: 300,
+            ..PolicyRunConfig::quick()
+        });
+        let learned = run_policy_spec(&PolicyRunConfig {
+            horizon: 300,
+            ..PolicyRunConfig::quick()
+        });
+        assert!(learned.average_expected_kbps > random.average_expected_kbps);
+    }
+
+    #[test]
+    fn policy_specs_build_the_named_policies() {
+        let net = Network::random(6, 2, 2.5, 0.1, 3);
+        for (spec, name) in [
+            (PolicySpec::CsUcb { l: 2.0 }, "cs-ucb"),
+            (PolicySpec::Llr { l: 2.0 }, "llr"),
+            (PolicySpec::Random, "random"),
+            (PolicySpec::Oracle, "oracle"),
+        ] {
+            assert_eq!(spec.build(&net).name(), name);
+            assert_eq!(spec.label(), name);
+        }
+    }
+
+    #[test]
+    fn lossy_fig6_still_produces_series() {
+        let cfg = Fig6Config {
+            loss: LossSpec::lossy(0.15, 7),
+            ..Fig6Config::quick()
+        };
+        let series = fig6(&cfg);
+        assert_eq!(series.len(), cfg.sizes.len());
+        for s in &series {
+            assert!(*s.weight_by_miniround.last().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn spec_driven_quick_configs_agree_with_legacy_wrappers() {
+        assert_eq!(
+            complexity(&[20, 60], 3, &[1], 4.0, 4, 5),
+            run_complexity(&ComplexityConfig::quick())
+        );
+        assert_eq!(
+            theorem3(12, 2, 3.0, 0..4),
+            run_theorem3(&Theorem3Config::quick())
+        );
+        assert_eq!(
+            fig5_worstcase(&[10, 20, 40], 1),
+            run_fig5(&Fig5Config::quick())
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod sweep;
 pub mod time;
 
 pub use distributed::{DecisionOutcome, DistributedPtas, DistributedPtasConfig, LocalSolver};
+pub use experiments::{PolicyRunConfig, PolicySpec};
 pub use network::Network;
 pub use runner::{Algorithm2Config, RunResult};
 pub use time::TimeModel;

@@ -1,7 +1,7 @@
 //! The simulated multi-hop cognitive-radio network: `G`, `H`, and channels.
 
-use mhca_channels::ChannelMatrix;
-use mhca_graph::{unit_disk, ExtendedConflictGraph, Graph, Layout, Strategy};
+use mhca_channels::{ChannelMatrix, ChannelModelSpec};
+use mhca_graph::{unit_disk, ExtendedConflictGraph, Graph, Layout, Strategy, TopologySpec};
 use mhca_mwis::{exact, WeightedSet};
 
 /// A complete network instance: conflict graph `G` on `N` users, extended
@@ -82,6 +82,29 @@ impl Network {
                 .expect("no connected instance found in 1000 tries");
         let channels = ChannelMatrix::gaussian_from_rate_classes(n, m, sigma_frac, seed);
         Network::from_parts(g, channels, Some(layout))
+    }
+
+    /// Spec-driven construction: builds the conflict graph from a
+    /// [`TopologySpec`] and the channel matrix from a [`ChannelModelSpec`],
+    /// both derived from the same seed. With the default specs
+    /// (`UnitDisk` + `GaussianRateClasses`) this reproduces
+    /// [`Network::random`] bit-for-bit, so registry scenarios and the
+    /// historical harnesses agree on every instance.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the spec constructors' panics (see
+    /// [`TopologySpec::build`] and [`ChannelModelSpec::build`]).
+    pub fn from_spec(
+        n: usize,
+        m: usize,
+        topology: &TopologySpec,
+        channel: &ChannelModelSpec,
+        seed: u64,
+    ) -> Self {
+        let (g, layout) = topology.build(n, seed);
+        let channels = channel.build(n, m, seed);
+        Network::from_parts(g, channels, layout)
     }
 
     /// Number of users `N`.
@@ -174,6 +197,47 @@ mod tests {
         let b = Network::random(12, 3, 3.0, 0.1, 5);
         assert_eq!(a.g(), b.g());
         assert_eq!(a.channels().means(), b.channels().means());
+    }
+
+    #[test]
+    fn from_spec_defaults_match_random() {
+        let legacy = Network::random(12, 3, 3.0, 0.1, 5);
+        let spec = Network::from_spec(
+            12,
+            3,
+            &TopologySpec::UnitDisk { avg_degree: 3.0 },
+            &ChannelModelSpec::GaussianRateClasses { sigma_frac: 0.1 },
+            5,
+        );
+        assert_eq!(legacy.g(), spec.g());
+        assert_eq!(legacy.channels().means(), spec.channels().means());
+        for v in 0..legacy.n_vertices() {
+            assert_eq!(legacy.channels().value(9, v), spec.channels().value(9, v));
+        }
+
+        let legacy = Network::random_connected(15, 3, 4.0, 0.1, 2);
+        let spec = Network::from_spec(
+            15,
+            3,
+            &TopologySpec::UnitDiskConnected { avg_degree: 4.0 },
+            &ChannelModelSpec::GaussianRateClasses { sigma_frac: 0.1 },
+            2,
+        );
+        assert_eq!(legacy.g(), spec.g());
+        assert_eq!(legacy.channels().means(), spec.channels().means());
+    }
+
+    #[test]
+    fn from_spec_deterministic_topologies() {
+        let net = Network::from_spec(
+            6,
+            2,
+            &TopologySpec::Line,
+            &ChannelModelSpec::ConstantRateClasses,
+            0,
+        );
+        assert_eq!(net.g(), &topology::line(6));
+        assert!(net.layout().is_none());
     }
 
     #[test]

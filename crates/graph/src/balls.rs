@@ -49,6 +49,23 @@ impl BallTable {
     ///
     /// Panics if the graph has more than `u32::MAX` vertices.
     pub fn build(graph: &Graph, radius: usize) -> Self {
+        Self::build_capped(graph, radius, usize::MAX)
+            .expect("uncapped BallTable build cannot overflow")
+    }
+
+    /// As [`BallTable::build`], but gives up — returning `None` — as soon
+    /// as the table would exceed `max_entries` total entries.
+    ///
+    /// On dense graphs with large TTLs the saturated table is
+    /// `O(n²)` entries; callers with a memory budget (the flood engine's
+    /// large-N path) probe with a cap and fall back to per-flood BFS when
+    /// the build bails out. The partial work is discarded, so a failed
+    /// probe costs at most `O(max_entries)` time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` vertices.
+    pub fn build_capped(graph: &Graph, radius: usize, max_entries: usize) -> Option<Self> {
         let n = graph.n();
         assert!(u32::try_from(n).is_ok(), "graph too large for BallTable");
         let mut offsets = Vec::with_capacity(n + 1);
@@ -70,6 +87,9 @@ impl BallTable {
                 }
                 for &w in graph.neighbors(u) {
                     if stamp[w] != epoch {
+                        if entries.len() == max_entries {
+                            return None;
+                        }
                         stamp[w] = epoch;
                         dist[w] = dist[u] + 1;
                         entries.push((w as u32, dist[w]));
@@ -79,11 +99,11 @@ impl BallTable {
             }
             offsets.push(entries.len());
         }
-        BallTable {
+        Some(BallTable {
             radius,
             offsets,
             entries,
-        }
+        })
     }
 
     /// The radius this table was built for.
@@ -158,6 +178,18 @@ mod tests {
             assert!(t.ball(v).is_empty());
         }
         assert_eq!(t.total_entries(), 0);
+    }
+
+    #[test]
+    fn capped_build_bails_out_or_matches() {
+        let g = topology::grid(4, 5);
+        let full = BallTable::build(&g, 3);
+        // A cap at the exact size succeeds and matches the uncapped build.
+        let fits = BallTable::build_capped(&g, 3, full.total_entries()).unwrap();
+        assert_eq!(fits, full);
+        // One entry less must bail out.
+        assert!(BallTable::build_capped(&g, 3, full.total_entries() - 1).is_none());
+        assert!(BallTable::build_capped(&g, 3, 0).is_none());
     }
 
     #[test]

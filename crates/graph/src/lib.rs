@@ -55,4 +55,5 @@ pub use geometry::Point;
 pub use graph::{Graph, GraphBuilder};
 pub use ids::{ChannelId, NodeId, VertexId};
 pub use strategy::Strategy;
+pub use topology::TopologySpec;
 pub use unit_disk::Layout;

@@ -11,8 +11,59 @@
 use crate::counters::Counters;
 use mhca_graph::{BallTable, Graph};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Declarative loss-model knob for spec-driven experiment construction:
+/// `prob = 0` is lossless delivery, `prob > 0` drops each relay broadcast
+/// independently with that probability, drawn from a stream seeded by
+/// `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LossSpec {
+    /// Per-relay drop probability in `[0, 1)`.
+    pub prob: f64,
+    /// Seed of the loss stream (ignored when `prob == 0`).
+    pub seed: u64,
+}
+
+impl LossSpec {
+    /// Perfect delivery.
+    pub fn lossless() -> Self {
+        LossSpec::default()
+    }
+
+    /// Failure injection: drop each relay with probability `prob`.
+    pub fn lossy(prob: f64, seed: u64) -> Self {
+        LossSpec { prob, seed }
+    }
+
+    /// `true` when no loss is injected.
+    pub fn is_lossless(&self) -> bool {
+        self.prob == 0.0
+    }
+}
+
+/// Default cap on the **total** entries cached across an engine's ball
+/// tables (each entry is 8 bytes — the default bounds table memory at
+/// 32 MiB per engine). Small and mid-size networks never come close;
+/// dense large-N graphs hit the cap and transparently fall back to
+/// per-flood BFS on the epoch-stamped scratch.
+pub const DEFAULT_TABLE_ENTRY_CAP: usize = 1 << 22;
+
+/// Cache slot for one radius' ball table.
+#[derive(Debug, Default, Clone)]
+enum TableSlot {
+    /// Never attempted.
+    #[default]
+    Unbuilt,
+    /// Built and cached.
+    Built(Arc<BallTable>),
+    /// Attempted, but the entry cap was exceeded — floods at this radius
+    /// permanently use the BFS fallback (the graph is static, so retrying
+    /// would fail identically).
+    Capped,
+}
 
 /// A hop-limited local broadcast: `payload` floods from `origin` to every
 /// vertex within `ttl` hops.
@@ -61,7 +112,12 @@ pub struct FloodEngine<'g> {
     /// saturated), so the vector stays small for any caller TTL. Shared
     /// (`Arc`) so same-graph engines can adopt each other's tables
     /// instead of rebuilding them ([`FloodEngine::adopt_tables`]).
-    tables: Vec<Option<Arc<BallTable>>>,
+    /// Building respects `table_entry_cap`; radii whose table would blow
+    /// the cap are marked [`TableSlot::Capped`] and served by BFS.
+    tables: Vec<TableSlot>,
+    /// Cap on total cached entries across all radii
+    /// ([`DEFAULT_TABLE_ENTRY_CAP`] unless overridden).
+    table_entry_cap: usize,
     /// Lossy-path BFS scratch: `stamp[v] == epoch` marks `v` visited in
     /// the current flood.
     stamp: Vec<u32>,
@@ -90,6 +146,20 @@ impl<'g> FloodEngine<'g> {
         Self::with_loss_internal(graph, loss_prob, seed)
     }
 
+    /// Engine built from a declarative [`LossSpec`] (the spec-driven
+    /// construction path of experiment campaigns).
+    ///
+    /// # Panics
+    ///
+    /// As [`FloodEngine::with_loss`] when the spec is lossy.
+    pub fn from_spec(graph: &'g Graph, loss: &LossSpec) -> Self {
+        if loss.is_lossless() {
+            Self::new(graph)
+        } else {
+            Self::with_loss(graph, loss.prob, loss.seed)
+        }
+    }
+
     fn with_loss_internal(graph: &'g Graph, loss_prob: f64, seed: u64) -> Self {
         let n = graph.n();
         FloodEngine {
@@ -98,11 +168,32 @@ impl<'g> FloodEngine<'g> {
             loss_prob,
             rng: StdRng::seed_from_u64(seed),
             tables: Vec::new(),
+            table_entry_cap: DEFAULT_TABLE_ENTRY_CAP,
             stamp: vec![0; n],
             epoch: 0,
             dist: vec![0; n],
             queue: VecDeque::new(),
         }
+    }
+
+    /// Overrides the cap on total cached ball-table entries (large-N
+    /// memory control). Lowering the cap below what is already cached
+    /// keeps existing tables but stops further builds; radii already
+    /// marked capped stay capped.
+    pub fn set_table_entry_cap(&mut self, cap: usize) {
+        self.table_entry_cap = cap;
+    }
+
+    /// Total entries currently cached across all ball tables (each entry
+    /// is 8 bytes) — the memory diagnostic the cap bounds.
+    pub fn cached_table_entries(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|slot| match slot {
+                TableSlot::Built(t) => t.total_entries(),
+                _ => 0,
+            })
+            .sum()
     }
 
     /// The graph this engine delivers over.
@@ -123,11 +214,12 @@ impl<'g> FloodEngine<'g> {
 
     /// Eagerly builds the lossless neighborhood table for `ttl`, so the
     /// first `deliver` call is as fast as the rest. No-op for lossy
-    /// engines (they always BFS) and for already-built tables.
+    /// engines (they always BFS), for already-built tables, and for radii
+    /// over the entry cap (which stay on the BFS fallback).
     pub fn prewarm(&mut self, ttl: usize) {
         if self.loss_prob == 0.0 && ttl > 0 {
             let eff = ttl.min(self.graph.n());
-            Self::table_for(&mut self.tables, self.graph, eff);
+            Self::table_for(&mut self.tables, self.table_entry_cap, self.graph, eff);
         }
     }
 
@@ -165,6 +257,35 @@ impl<'g> FloodEngine<'g> {
         floods: &[Flood<P>],
         inboxes: &mut Vec<Vec<Received<P>>>,
     ) {
+        self.deliver_with(floods, inboxes, &|p: &P| p.clone());
+    }
+
+    /// As [`FloodEngine::deliver_into`] for `Copy` payloads: receptions
+    /// copy the payload by value instead of going through `Clone::clone`.
+    /// This is the hot path for protocol messages (which are word-sized)
+    /// on the lossy BFS route, where the generic path used to pay one
+    /// clone call per reception.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flood origin is out of range.
+    pub fn deliver_copy_into<P: Copy>(
+        &mut self,
+        floods: &[Flood<P>],
+        inboxes: &mut Vec<Vec<Received<P>>>,
+    ) {
+        self.deliver_with(floods, inboxes, &|p: &P| *p);
+    }
+
+    /// Shared delivery loop; `dup` materializes one payload per reception
+    /// (`Clone::clone` for the generic path, a plain copy for `Copy`
+    /// payloads).
+    fn deliver_with<P>(
+        &mut self,
+        floods: &[Flood<P>],
+        inboxes: &mut Vec<Vec<Received<P>>>,
+        dup: &impl Fn(&P) -> P,
+    ) {
         let n = self.graph.n();
         if inboxes.len() != n {
             inboxes.resize_with(n, Vec::new);
@@ -177,9 +298,9 @@ impl<'g> FloodEngine<'g> {
             assert!(flood.origin < n, "flood origin out of range");
             max_ttl = max_ttl.max(flood.ttl);
             if self.loss_prob > 0.0 {
-                self.flood_bfs(flood, inboxes);
+                self.flood_bfs(flood, inboxes, dup);
             } else {
-                self.flood_table(flood, inboxes);
+                self.flood_table(flood, inboxes, dup);
             }
         }
         self.counters.timeslots += max_ttl as u64;
@@ -210,13 +331,18 @@ impl<'g> FloodEngine<'g> {
         self.counters.timeslots += max_ttl as u64;
     }
 
-    /// Counters-only lossless delivery: one table scan, no receptions.
+    /// Counters-only lossless delivery: one table scan, no receptions;
+    /// BFS fallback when the radius is over the table cap.
     fn flood_table_counts(&mut self, origin: usize, ttl: usize) {
         if ttl == 0 {
             return;
         }
         let eff = ttl.min(self.graph.n());
-        let table = Self::table_for(&mut self.tables, self.graph, eff);
+        let Some(table) = Self::table_for(&mut self.tables, self.table_entry_cap, self.graph, eff)
+        else {
+            self.flood_bfs_counts(origin, ttl);
+            return;
+        };
         let ball = table.ball(origin);
         self.counters.transmissions += 1;
         self.counters.per_vertex_tx[origin] += 1;
@@ -265,17 +391,37 @@ impl<'g> FloodEngine<'g> {
     }
 
     /// Returns the cached ball table for `radius`, building it on first
-    /// use. An associated function over the `tables` field so callers can
-    /// keep disjoint borrows of `counters`.
+    /// use — or `None` when the build would push the engine's cached
+    /// entries past `cap` (the slot is then marked capped permanently and
+    /// the caller uses the BFS fallback). An associated function over the
+    /// `tables` field so callers can keep disjoint borrows of `counters`.
     fn table_for<'t>(
-        tables: &'t mut Vec<Option<Arc<BallTable>>>,
+        tables: &'t mut Vec<TableSlot>,
+        cap: usize,
         graph: &Graph,
         radius: usize,
-    ) -> &'t BallTable {
+    ) -> Option<&'t BallTable> {
         if tables.len() <= radius {
-            tables.resize_with(radius + 1, || None);
+            tables.resize_with(radius + 1, TableSlot::default);
         }
-        tables[radius].get_or_insert_with(|| Arc::new(BallTable::build(graph, radius)))
+        if matches!(tables[radius], TableSlot::Unbuilt) {
+            let used: usize = tables
+                .iter()
+                .map(|slot| match slot {
+                    TableSlot::Built(t) => t.total_entries(),
+                    _ => 0,
+                })
+                .sum();
+            let budget = cap.saturating_sub(used);
+            tables[radius] = match BallTable::build_capped(graph, radius, budget) {
+                Some(t) => TableSlot::Built(Arc::new(t)),
+                None => TableSlot::Capped,
+            };
+        }
+        match &tables[radius] {
+            TableSlot::Built(t) => Some(t),
+            _ => None,
+        }
     }
 
     /// Adopts another engine's cached ball tables (cheap `Arc` clones),
@@ -294,30 +440,46 @@ impl<'g> FloodEngine<'g> {
             "engines must share a graph to share tables"
         );
         if self.tables.len() < other.tables.len() {
-            self.tables.resize_with(other.tables.len(), || None);
+            self.tables
+                .resize_with(other.tables.len(), TableSlot::default);
         }
         for (mine, theirs) in self.tables.iter_mut().zip(&other.tables) {
-            if mine.is_none() {
-                if let Some(t) = theirs {
-                    *mine = Some(Arc::clone(t));
+            // Adopting shares the allocation (`Arc`), so it never adds
+            // memory — the entry cap only constrains fresh builds. Capped
+            // marks are not adopted: the caps may differ.
+            if matches!(mine, TableSlot::Unbuilt) {
+                if let TableSlot::Built(t) = theirs {
+                    *mine = TableSlot::Built(Arc::clone(t));
                 }
             }
         }
     }
 
-    /// Lossless delivery of one flood from the precomputed ball table.
+    /// Lossless delivery of one flood from the precomputed ball table,
+    /// with BFS fallback for radii over the entry cap.
     ///
     /// In a lossless synchronous flood every vertex holding a copy at
     /// distance `< ttl` relays exactly once (the origin included) and
     /// every ball member receives exactly one copy at its BFS distance, so
     /// the table scan reproduces the BFS wave — receptions in distance
     /// order — without traversing edges.
-    fn flood_table<P: Clone>(&mut self, flood: &Flood<P>, inboxes: &mut [Vec<Received<P>>]) {
+    fn flood_table<P>(
+        &mut self,
+        flood: &Flood<P>,
+        inboxes: &mut [Vec<Received<P>>],
+        dup: &impl Fn(&P) -> P,
+    ) {
         if flood.ttl == 0 {
             return; // hold without relaying: no cost, no receptions
         }
         let eff = flood.ttl.min(self.graph.n());
-        let table = Self::table_for(&mut self.tables, self.graph, eff);
+        let Some(table) = Self::table_for(&mut self.tables, self.table_entry_cap, self.graph, eff)
+        else {
+            // Over-cap radius: the lossless BFS wave visits the same
+            // vertices in the same order and never consumes the loss RNG.
+            self.flood_bfs(flood, inboxes, dup);
+            return;
+        };
         // The origin always performs the first broadcast.
         self.counters.transmissions += 1;
         self.counters.per_vertex_tx[flood.origin] += 1;
@@ -327,7 +489,7 @@ impl<'g> FloodEngine<'g> {
             inboxes[v].push(Received {
                 origin: flood.origin,
                 distance: d,
-                payload: flood.payload.clone(),
+                payload: dup(&flood.payload),
             });
             self.counters.delivered += 1;
             if d < flood.ttl {
@@ -339,8 +501,14 @@ impl<'g> FloodEngine<'g> {
     }
 
     /// BFS wave for a single flood with per-relay loss, on epoch-stamped
-    /// scratch (no allocation after the first call).
-    fn flood_bfs<P: Clone>(&mut self, flood: &Flood<P>, inboxes: &mut [Vec<Received<P>>]) {
+    /// scratch (no allocation after the first call). Also the lossless
+    /// fallback for radii whose ball table is over the entry cap.
+    fn flood_bfs<P>(
+        &mut self,
+        flood: &Flood<P>,
+        inboxes: &mut [Vec<Received<P>>],
+        dup: &impl Fn(&P) -> P,
+    ) {
         let graph = self.graph;
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
@@ -369,7 +537,7 @@ impl<'g> FloodEngine<'g> {
                     inboxes[w].push(Received {
                         origin: flood.origin,
                         distance: self.dist[w] as usize,
-                        payload: flood.payload.clone(),
+                        payload: dup(&flood.payload),
                     });
                     self.counters.delivered += 1;
                     self.queue.push_back(w);
@@ -488,10 +656,12 @@ mod tests {
         a.prewarm(3);
         let mut b = FloodEngine::new(&g);
         b.adopt_tables(&a);
+        let arc_of = |e: &FloodEngine, r: usize| match &e.tables[r] {
+            TableSlot::Built(t) => Arc::clone(t),
+            other => panic!("expected built table at radius {r}, got {other:?}"),
+        };
         assert!(
-            b.tables[3]
-                .as_ref()
-                .is_some_and(|t| std::sync::Arc::ptr_eq(t, a.tables[3].as_ref().unwrap())),
+            Arc::ptr_eq(&arc_of(&a, 3), &arc_of(&b, 3)),
             "adopted table must be the same allocation"
         );
         let floods = [Flood {
@@ -661,6 +831,116 @@ mod tests {
             boxes.iter().map(|b| b.len()).collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn capped_engine_falls_back_to_bfs_and_matches() {
+        let g = topology::grid(4, 5);
+        let floods = [
+            Flood {
+                origin: 3,
+                ttl: 3,
+                payload: 7u32,
+            },
+            Flood {
+                origin: 17,
+                ttl: 2,
+                payload: 9u32,
+            },
+        ];
+        let mut tabled = FloodEngine::new(&g);
+        let expect = tabled.deliver(&floods);
+        assert!(tabled.cached_table_entries() > 0);
+
+        let mut capped = FloodEngine::new(&g);
+        capped.set_table_entry_cap(0);
+        let got = capped.deliver(&floods);
+        assert_eq!(got, expect, "BFS fallback must reproduce the table path");
+        assert_eq!(capped.counters(), tabled.counters());
+        assert_eq!(capped.cached_table_entries(), 0);
+        // broadcast_only agrees too.
+        let mut counting = FloodEngine::new(&g);
+        counting.set_table_entry_cap(0);
+        counting.broadcast_only(&floods);
+        assert_eq!(counting.counters(), tabled.counters());
+    }
+
+    #[test]
+    fn cap_budget_is_shared_across_radii() {
+        let g = topology::grid(5, 5);
+        let mut e = FloodEngine::new(&g);
+        // Let radius 1 fit, then shrink the budget so radius 4 cannot.
+        e.prewarm(1);
+        let used = e.cached_table_entries();
+        assert!(used > 0);
+        e.set_table_entry_cap(used + 1);
+        let floods = [Flood {
+            origin: 12,
+            ttl: 4,
+            payload: (),
+        }];
+        let mut reference = FloodEngine::new(&g);
+        let expect = reference.deliver(&floods);
+        assert_eq!(e.deliver(&floods), expect);
+        // Radius 4 was refused; only the radius-1 table is cached.
+        assert_eq!(e.cached_table_entries(), used);
+        assert!(matches!(e.tables[4], TableSlot::Capped));
+        // Capped radii stay capped even after repeated use.
+        let _ = e.deliver(&floods);
+        assert!(matches!(e.tables[4], TableSlot::Capped));
+    }
+
+    #[test]
+    fn deliver_copy_into_matches_clone_path() {
+        let g = topology::grid(4, 4);
+        let floods = [
+            Flood {
+                origin: 0,
+                ttl: 3,
+                payload: 1u32,
+            },
+            Flood {
+                origin: 15,
+                ttl: 2,
+                payload: 2u32,
+            },
+        ];
+        let mut a = FloodEngine::new(&g);
+        let mut b = FloodEngine::new(&g);
+        let mut cloned = Vec::new();
+        let mut copied = Vec::new();
+        a.deliver_into(&floods, &mut cloned);
+        b.deliver_copy_into(&floods, &mut copied);
+        assert_eq!(cloned, copied);
+        assert_eq!(a.counters(), b.counters());
+
+        // Lossy path: identical seeds consume identical RNG streams.
+        let mut a = FloodEngine::with_loss(&g, 0.3, 17);
+        let mut b = FloodEngine::with_loss(&g, 0.3, 17);
+        a.deliver_into(&floods, &mut cloned);
+        b.deliver_copy_into(&floods, &mut copied);
+        assert_eq!(cloned, copied);
+        assert_eq!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn loss_spec_construction() {
+        let g = topology::line(5);
+        let floods = [Flood {
+            origin: 0,
+            ttl: 4,
+            payload: (),
+        }];
+        assert!(LossSpec::lossless().is_lossless());
+        assert!(!LossSpec::lossy(0.3, 9).is_lossless());
+
+        let mut from_spec = FloodEngine::from_spec(&g, &LossSpec::lossless());
+        let mut direct = FloodEngine::new(&g);
+        assert_eq!(from_spec.deliver(&floods), direct.deliver(&floods));
+
+        let mut from_spec = FloodEngine::from_spec(&g, &LossSpec::lossy(0.4, 9));
+        let mut direct = FloodEngine::with_loss(&g, 0.4, 9);
+        assert_eq!(from_spec.deliver(&floods), direct.deliver(&floods));
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub mod counters;
 pub mod engine;
 
 pub use counters::Counters;
-pub use engine::{Flood, FloodEngine, Received};
+pub use engine::{Flood, FloodEngine, LossSpec, Received, DEFAULT_TABLE_ENTRY_CAP};

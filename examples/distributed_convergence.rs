@@ -7,18 +7,20 @@
 //! Run with: `cargo run --release --example distributed_convergence`
 
 use mhca::core::experiments::{fig6, Fig6Config};
+use mhca::graph::TopologySpec;
 
 fn main() {
     let cfg = Fig6Config {
         sizes: vec![(50, 5), (100, 5), (50, 10), (100, 10)],
-        avg_degree: 6.0,
+        topology: TopologySpec::UnitDisk { avg_degree: 6.0 },
         r: 2,
         minirounds: 10,
-        seed: 61,
+        ..Fig6Config::default()
     };
     println!(
-        "Algorithm 3 convergence (r = {}, average degree = {}):",
-        cfg.r, cfg.avg_degree
+        "Algorithm 3 convergence (r = {}, topology = {}):",
+        cfg.r,
+        cfg.topology.label()
     );
     println!();
     let series = fig6(&cfg);

@@ -10,6 +10,7 @@
 //! (Pass `--full` as an argument for the paper-scale 100x10 network.)
 
 use mhca::core::experiments::{fig8, Fig8Config};
+use mhca::graph::TopologySpec;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -19,12 +20,10 @@ fn main() {
         Fig8Config {
             n: 40,
             m: 5,
-            avg_degree: 5.0,
+            topology: TopologySpec::UnitDisk { avg_degree: 5.0 },
             update_periods: vec![1, 5, 10, 20],
             updates_per_run: 200,
-            r: 2,
-            minirounds: 4,
-            seed: 81,
+            ..Fig8Config::default()
         }
     };
     println!(
