@@ -5,14 +5,17 @@
 //! * per-vertex storage is `O(m)` (the (2r+1)-ball size), independent of N;
 //! * decision time is dominated by local MWIS work, not network size.
 //!
-//! Thin wrapper over `mhca_core::experiments::run_complexity` +
-//! `mhca_bench::report`; the `complexity` registry scenario of
-//! `mhca-campaign run` executes the same experiment multi-seed.
+//! Thin wrapper over the unified experiment engine
+//! (`mhca_core::experiment`) + `mhca_bench::report`; the `complexity`
+//! registry scenario of `mhca-campaign run` executes the same experiment
+//! multi-seed.
 //!
 //! Run with: `cargo run --release -p mhca-bench --bin complexity`
 
 use mhca_bench::report;
-use mhca_core::experiments::{run_complexity, ComplexityConfig};
+use mhca_core::experiment::{run_experiment, ComplexityExperiment};
+use mhca_core::experiments::ComplexityConfig;
+use mhca_core::ObserverSet;
 
 fn main() {
     let cfg = ComplexityConfig::default();
@@ -20,6 +23,7 @@ fn main() {
         "measuring decision communication for N in {:?}, r in {:?} ...",
         cfg.ns, cfg.rs
     );
-    let pts = run_complexity(&cfg);
-    report::render_complexity(&pts, &mut std::io::stdout().lock()).expect("stdout write");
+    let seed = cfg.seed;
+    let out = run_experiment(&ComplexityExperiment(cfg), seed, ObserverSet::new());
+    report::render_experiment(&out.data, &mut std::io::stdout().lock()).expect("stdout write");
 }

@@ -2,16 +2,22 @@
 //! decreasing weights, Algorithm 3 run to completion needs Θ(N)
 //! mini-rounds — the worst case motivating the constant cap D.
 //!
-//! Thin wrapper over `mhca_core::experiments::run_fig5` +
-//! `mhca_bench::report`; the `fig5` registry scenario of `mhca-campaign
-//! run` executes the same experiment.
+//! Thin wrapper over the unified experiment engine
+//! (`mhca_core::experiment`) + `mhca_bench::report`; the `fig5` registry
+//! scenario of `mhca-campaign run` executes the same experiment.
 //!
 //! Run with: `cargo run --release -p mhca-bench --bin fig5_worstcase`
 
 use mhca_bench::report;
-use mhca_core::experiments::{run_fig5, Fig5Config};
+use mhca_core::experiment::{run_experiment, Fig5Experiment};
+use mhca_core::experiments::Fig5Config;
+use mhca_core::ObserverSet;
 
 fn main() {
-    let points = run_fig5(&Fig5Config::default());
-    report::render_fig5(&points, &mut std::io::stdout().lock()).expect("stdout write");
+    let out = run_experiment(
+        &Fig5Experiment(Fig5Config::default()),
+        0,
+        ObserverSet::new(),
+    );
+    report::render_experiment(&out.data, &mut std::io::stdout().lock()).expect("stdout write");
 }

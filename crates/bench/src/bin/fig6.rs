@@ -5,14 +5,17 @@
 //! handful of mini-rounds regardless of network size — the Theorem 4
 //! claim that a constant D suffices on random networks.
 //!
-//! Thin wrapper: the config comes from `mhca_core::experiments`, the
-//! rendering from `mhca_bench::report`. The `fig6` registry scenario of
-//! `mhca-campaign run` executes the same experiment multi-seed.
+//! Thin wrapper over the unified experiment engine
+//! (`mhca_core::experiment`) + `mhca_bench::report`; the `fig6` registry
+//! scenario of `mhca-campaign run` executes the same experiment
+//! multi-seed.
 //!
 //! Run with: `cargo run --release -p mhca-bench --bin fig6`
 
 use mhca_bench::report;
-use mhca_core::experiments::{fig6, Fig6Config};
+use mhca_core::experiment::{run_experiment, Fig6Experiment};
+use mhca_core::experiments::Fig6Config;
+use mhca_core::ObserverSet;
 
 fn main() {
     let cfg = Fig6Config::default();
@@ -22,6 +25,7 @@ fn main() {
         cfg.topology.label(),
         cfg.r
     );
-    let series = fig6(&cfg);
-    report::render_fig6(&cfg, &series, &mut std::io::stdout().lock()).expect("stdout write");
+    let seed = cfg.seed;
+    let out = run_experiment(&Fig6Experiment(cfg), seed, ObserverSet::new());
+    report::render_experiment(&out.data, &mut std::io::stdout().lock()).expect("stdout write");
 }

@@ -6,14 +6,17 @@
 //! Expected shape (paper): both regrets decrease over time; Algorithm 2
 //! stays below LLR; the β-regret converges to a *negative* value.
 //!
-//! Thin wrapper over `mhca_core::experiments::fig7` +
-//! `mhca_bench::report`; the `fig7` registry scenario of `mhca-campaign
-//! run` executes the same experiment multi-seed.
+//! Thin wrapper over the unified experiment engine
+//! (`mhca_core::experiment`) + `mhca_bench::report`; the `fig7` registry
+//! scenario of `mhca-campaign run` executes the same experiment
+//! multi-seed.
 //!
 //! Run with: `cargo run --release -p mhca-bench --bin fig7`
 
 use mhca_bench::report;
-use mhca_core::experiments::{fig7, Fig7Config};
+use mhca_core::experiment::{run_experiment, Fig7Experiment};
+use mhca_core::experiments::Fig7Config;
+use mhca_core::ObserverSet;
 
 fn main() {
     let cfg = Fig7Config::default();
@@ -21,6 +24,7 @@ fn main() {
         "running fig7: {}x{} network, horizon {} ...",
         cfg.n, cfg.m, cfg.horizon
     );
-    let out = fig7(&cfg);
-    report::render_fig7(&out, &mut std::io::stdout().lock()).expect("stdout write");
+    let seed = cfg.seed;
+    let out = run_experiment(&Fig7Experiment(cfg), seed, ObserverSet::new());
+    report::render_experiment(&out.data, &mut std::io::stdout().lock()).expect("stdout write");
 }

@@ -5,16 +5,19 @@
 //! grows (1/2, 9/10, 19/20, 39/40 of ideal); Algorithm 2's estimated and
 //! actual lines nearly coincide while LLR's estimate overshoots badly.
 //!
-//! Thin wrapper over `mhca_core::experiments::fig8` +
-//! `mhca_bench::report`; the `fig8` registry scenario of `mhca-campaign
-//! run` executes the same experiment multi-seed. Default runs a reduced
-//! network for quick turnaround; pass `--full` for the paper-scale
-//! 100 users × 10 channels with 1000 updates per run.
+//! Thin wrapper over the unified experiment engine
+//! (`mhca_core::experiment`) + `mhca_bench::report`; the `fig8` registry
+//! scenario of `mhca-campaign run` executes the same experiment
+//! multi-seed. Default runs a reduced network for quick turnaround; pass
+//! `--full` for the paper-scale 100 users × 10 channels with 1000 updates
+//! per run.
 //!
 //! Run with: `cargo run --release -p mhca-bench --bin fig8 [--full]`
 
 use mhca_bench::{full_scale, report};
-use mhca_core::experiments::{fig8, Fig8Config};
+use mhca_core::experiment::{run_experiment, Fig8Experiment};
+use mhca_core::experiments::Fig8Config;
+use mhca_core::ObserverSet;
 use mhca_graph::TopologySpec;
 
 fn main() {
@@ -35,6 +38,7 @@ fn main() {
         "running fig8: {}x{} network, y in {:?}, {} updates per run ...",
         cfg.n, cfg.m, cfg.update_periods, cfg.updates_per_run
     );
-    let runs = fig8(&cfg);
-    report::render_fig8(&runs, &mut std::io::stdout().lock()).expect("stdout write");
+    let seed = cfg.seed;
+    let out = run_experiment(&Fig8Experiment(cfg), seed, ObserverSet::new());
+    report::render_experiment(&out.data, &mut std::io::stdout().lock()).expect("stdout write");
 }

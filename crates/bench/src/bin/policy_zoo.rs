@@ -14,7 +14,7 @@ use mhca_bandit::{
 use mhca_bench::csv_row;
 use mhca_core::{
     runner::{run_policy, Algorithm2Config},
-    sweep::Aggregate,
+    sweep::{run_bounded, Aggregate},
     Network,
 };
 
@@ -37,21 +37,30 @@ fn main() {
         ]
     };
 
-    // One result matrix: policy × seed.
+    // One result matrix: policy × seed. Seeds run on the bounded worker
+    // pool (pure functions of the seed; results come back in seed order,
+    // so output is byte-identical at any worker count).
     let probe_net = Network::random(n, m, d, 0.1, 0);
     let names: Vec<String> = make_policies(&probe_net)
         .iter()
         .map(|p| p.name().to_string())
         .collect();
-    let mut results: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
-    for seed in seeds.clone() {
+    let workers = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let per_seed: Vec<Vec<f64>> = run_bounded(seeds.clone().collect(), workers, |_, seed| {
         let net = Network::random(n, m, d, 0.1, seed);
         let cfg = Algorithm2Config::default()
             .with_horizon(horizon)
             .with_seed(seed);
-        for (i, mut policy) in make_policies(&net).into_iter().enumerate() {
-            let run = run_policy(&net, &cfg, policy.as_mut());
-            results[i].push(run.average_expected_kbps);
+        make_policies(&net)
+            .into_iter()
+            .map(|mut policy| run_policy(&net, &cfg, policy.as_mut()).average_expected_kbps)
+            .collect()
+    });
+    // Transpose seed-major results into the policy-major matrix.
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    for seed_row in &per_seed {
+        for (i, &kbps) in seed_row.iter().enumerate() {
+            results[i].push(kbps);
         }
     }
 

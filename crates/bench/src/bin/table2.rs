@@ -1,18 +1,27 @@
 //! Regenerates Table II: the simulation time parameters and the derived
 //! quantities Section V uses (mini-round length, decision budget, θ).
 //!
-//! Thin wrapper over `mhca_core::experiments::table2` +
-//! `mhca_bench::report`; the `table2` registry scenario of
-//! `mhca-campaign run` produces the same artifact.
+//! Thin wrapper over the unified experiment engine
+//! (`mhca_core::experiment`) + `mhca_bench::report`; the `table2`
+//! registry scenario of `mhca-campaign run` produces the same artifact.
 //!
 //! Run with: `cargo run -p mhca-bench --bin table2`
 
 use mhca_bench::report;
-use mhca_core::experiments::table2;
+use mhca_core::experiment::{run_experiment, Table2Experiment};
+use mhca_core::ObserverSet;
 
 fn main() {
-    let t = table2();
-    report::render_table2(&t, &mut std::io::stdout().lock()).expect("stdout write");
-    assert_eq!(t.miniround_ms, 250.0, "Table II derivation drifted");
-    assert_eq!(t.theta, 0.5, "Table II derivation drifted");
+    let out = run_experiment(&Table2Experiment, 0, ObserverSet::new());
+    report::render_experiment(&out.data, &mut std::io::stdout().lock()).expect("stdout write");
+    assert_eq!(
+        out.metrics.get("miniround_ms"),
+        Some(250.0),
+        "Table II derivation drifted"
+    );
+    assert_eq!(
+        out.metrics.get("theta"),
+        Some(0.5),
+        "Table II derivation drifted"
+    );
 }

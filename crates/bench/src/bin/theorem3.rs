@@ -5,16 +5,20 @@
 //! ground truth, prints optimal / centralized-PTAS / distributed /
 //! distributed-capped weights and their ratios.
 //!
-//! Thin wrapper over `mhca_core::experiments::run_theorem3` +
-//! `mhca_bench::report`; the `theorem3` registry scenario of
-//! `mhca-campaign run` executes the same experiment.
+//! Thin wrapper over the unified experiment engine
+//! (`mhca_core::experiment`) + `mhca_bench::report`; the `theorem3`
+//! registry scenario of `mhca-campaign run` executes the same experiment.
 //!
 //! Run with: `cargo run --release -p mhca-bench --bin theorem3`
 
 use mhca_bench::report;
-use mhca_core::experiments::{run_theorem3, Theorem3Config};
+use mhca_core::experiment::{run_experiment, Theorem3Experiment};
+use mhca_core::experiments::Theorem3Config;
+use mhca_core::ObserverSet;
 
 fn main() {
-    let pts = run_theorem3(&Theorem3Config::default());
-    report::render_theorem3(&pts, &mut std::io::stdout().lock()).expect("stdout write");
+    let cfg = Theorem3Config::default();
+    let seed = cfg.seed;
+    let out = run_experiment(&Theorem3Experiment(cfg), seed, ObserverSet::new());
+    report::render_experiment(&out.data, &mut std::io::stdout().lock()).expect("stdout write");
 }

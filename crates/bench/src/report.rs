@@ -9,11 +9,31 @@
 
 use crate::{csv::CsvWriter, sample_indices};
 use mhca_core::experiments::{
-    ComplexityPoint, Fig6Config, Fig6Series, Fig7Output, Fig8Run, PolicyRunConfig, Table2,
-    Theorem3Point, WorstCasePoint,
+    ComplexityPoint, Fig6Series, Fig7Output, Fig8Run, PolicyRunConfig, Table2, Theorem3Point,
+    WorstCasePoint,
 };
-use mhca_core::RunResult;
+use mhca_core::{ExperimentData, RunResult};
 use std::io::{self, Write};
+
+/// Renders the typed payload of any unified-engine experiment run — the
+/// single presentation entry point shared by the figure binaries and the
+/// campaign artifact writer.
+pub fn render_experiment(data: &ExperimentData, out: &mut dyn Write) -> io::Result<()> {
+    match data {
+        ExperimentData::Fig5(points) => render_fig5(points, out),
+        ExperimentData::Fig6 { minirounds, series } => render_fig6(*minirounds, series, out),
+        ExperimentData::Fig7(output) => render_fig7(output, out),
+        ExperimentData::Fig8(runs) => render_fig8(runs, out),
+        ExperimentData::Table2(t) => render_table2(t, out),
+        ExperimentData::Complexity(points) => render_complexity(points, out),
+        ExperimentData::Theorem3(points) => render_theorem3(points, out),
+        ExperimentData::PolicyRun { cfg, run } => render_policy_run(cfg, run, out),
+        ExperimentData::PolicyDuel { a, b } => {
+            render_policy_run(&a.0, &a.1, out)?;
+            render_policy_run(&b.0, &b.1, out)
+        }
+    }
+}
 
 /// Fig. 5: mini-rounds to completion on the linear worst case.
 pub fn render_fig5(points: &[WorstCasePoint], out: &mut dyn Write) -> io::Result<()> {
@@ -31,12 +51,16 @@ pub fn render_fig5(points: &[WorstCasePoint], out: &mut dyn Write) -> io::Result
 }
 
 /// Fig. 6: cumulative output weight per mini-round, one column per size.
-pub fn render_fig6(cfg: &Fig6Config, series: &[Fig6Series], out: &mut dyn Write) -> io::Result<()> {
+pub fn render_fig6(
+    minirounds: usize,
+    series: &[Fig6Series],
+    out: &mut dyn Write,
+) -> io::Result<()> {
     let mut w = CsvWriter::new(out);
     let mut header = vec!["miniround".to_string()];
     header.extend(series.iter().map(|s| format!("{}x{}", s.n, s.m)));
     w.row(&header)?;
-    for i in 0..cfg.minirounds {
+    for i in 0..minirounds {
         let mut row = vec![format!("{}", i + 1)];
         row.extend(
             series
@@ -287,13 +311,15 @@ pub fn render_policy_run(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mhca_core::experiments::{self, Fig5Config};
+    use mhca_core::experiment::{run_experiment, Fig5Experiment, Table2Experiment};
+    use mhca_core::experiments::Fig5Config;
+    use mhca_core::ObserverSet;
 
     #[test]
     fn fig5_render_matches_legacy_shape() {
-        let points = experiments::run_fig5(&Fig5Config::quick());
+        let out = run_experiment(&Fig5Experiment(Fig5Config::quick()), 0, ObserverSet::new());
         let mut buf = Vec::new();
-        render_fig5(&points, &mut buf).unwrap();
+        render_experiment(&out.data, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("n,minirounds_to_completion,minirounds_over_n\n"));
         assert!(text.contains("\n10,"));
@@ -302,9 +328,9 @@ mod tests {
 
     #[test]
     fn table2_render_contains_derivations() {
-        let t = experiments::table2();
+        let out = run_experiment(&Table2Experiment, 0, ObserverSet::new());
         let mut buf = Vec::new();
-        render_table2(&t, &mut buf).unwrap();
+        render_experiment(&out.data, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("round t_a,2000,2000"));
         assert!(text.contains("theta,0.5"));

@@ -1,0 +1,1105 @@
+//! User-authored scenario JSON ingestion — the inverse of
+//! [`ScenarioSpec::to_json`].
+//!
+//! `mhca-campaign show <scenario>` emits canonical spec JSON; this module
+//! parses the same shape back into [`ScenarioSpec`]s, so arbitrary
+//! user-defined campaigns run through `mhca-campaign run --scenario-file`
+//! **without recompiling the registry** (the ROADMAP spec-ingestion
+//! item). Three document shapes are accepted:
+//!
+//! * a single scenario object (what `show` prints),
+//! * an array of scenario objects,
+//! * a campaign document `{"campaign": <name>, "scenarios": [...]}`.
+//!
+//! Decoding is strict where it protects the user: unknown fields are
+//! rejected (catching typos like `horizion`), every error carries the
+//! JSON field path it arose at, and values that would panic deep in the
+//! simulator (zero horizons, out-of-range probabilities, oversized seed
+//! ranges) are refused up front with the same field-path diagnostics.
+//! Omitted optional fields fall back to the corresponding config's
+//! `Default`, so hand-authored files only need the fields they change —
+//! while a round trip of `show` output (which carries every field)
+//! re-emits byte-identical JSON.
+
+use crate::json::{self, Json};
+use crate::spec::{ExperimentKind, ScenarioSpec, SeedRange};
+use mhca_channels::ChannelModelSpec;
+use mhca_core::experiment::ObserverKind;
+use mhca_core::experiments::{
+    ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig, PolicySpec,
+    Theorem3Config,
+};
+use mhca_graph::TopologySpec;
+use mhca_sim::LossSpec;
+
+/// A spec-ingestion failure: the JSON field path plus what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted field path (e.g. `scenarios[2].spec.topology.family`).
+    pub path: String,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn fail<T>(path: &str, message: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError {
+        path: path.to_string(),
+        message: message.into(),
+    })
+}
+
+/// Parses a scenario document (see the module docs for accepted shapes)
+/// into its scenarios, rejecting duplicate names. The campaign-document
+/// shape may also carry a campaign name; see [`campaign_from_str`].
+pub fn scenarios_from_str(text: &str) -> Result<Vec<ScenarioSpec>, SpecError> {
+    campaign_from_str(text).map(|(_, scenarios)| scenarios)
+}
+
+/// As [`scenarios_from_str`], additionally returning the `"campaign"`
+/// name when the document is the campaign shape and carries one (the CLI
+/// uses it as the default campaign name for `run --scenario-file`).
+pub fn campaign_from_str(text: &str) -> Result<(Option<String>, Vec<ScenarioSpec>), SpecError> {
+    let doc = json::parse(text).map_err(|e| SpecError {
+        path: "<document>".to_string(),
+        message: e.to_string(),
+    })?;
+    let mut campaign = None;
+    let scenarios = match &doc {
+        Json::Arr(items) => items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| scenario_from_json(v, &format!("[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?,
+        Json::Obj(_) if doc.get("scenarios").is_some() => {
+            check_fields(&doc, "<document>", &["campaign", "scenarios"])?;
+            campaign = opt_str(&doc, "<document>", "campaign")?;
+            if campaign.as_deref() == Some("") {
+                return fail("campaign", "must not be empty");
+            }
+            let Some(items) = doc.get("scenarios").and_then(Json::as_arr) else {
+                return fail("scenarios", "must be an array of scenario objects");
+            };
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| scenario_from_json(v, &format!("scenarios[{i}]")))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        Json::Obj(_) => vec![scenario_from_json(&doc, "scenario")?],
+        _ => return fail("<document>", "expected a scenario object or array"),
+    };
+    if scenarios.is_empty() {
+        return fail("<document>", "no scenarios in document");
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        if scenarios[..i].iter().any(|other| other.name == s.name) {
+            return fail(
+                &format!("scenarios[{i}].name"),
+                format!("duplicate scenario name '{}'", s.name),
+            );
+        }
+    }
+    Ok((campaign, scenarios))
+}
+
+/// Parses one scenario object.
+pub fn scenario_from_json(v: &Json, path: &str) -> Result<ScenarioSpec, SpecError> {
+    if !matches!(v, Json::Obj(_)) {
+        return fail(path, "expected a scenario object");
+    }
+    check_fields(v, path, &["name", "title", "spec", "seeds", "observers"])?;
+    let name = req_str(v, path, "name")?;
+    if name.is_empty() {
+        return fail(&format!("{path}.name"), "must not be empty");
+    }
+    // The name becomes the artifact directory under --out; a separator
+    // or dot-dot component would let a spec file write outside it.
+    if name == "." || name == ".." {
+        return fail(
+            &format!("{path}.name"),
+            "must not be a relative path component",
+        );
+    }
+    if name
+        .chars()
+        .any(|c| c == '/' || c == '\\' || (c as u32) < 0x20)
+    {
+        return fail(
+            &format!("{path}.name"),
+            "must not contain path separators or control characters \
+             (it names the artifact directory)",
+        );
+    }
+    let title = opt_str(v, path, "title")?.unwrap_or_else(|| name.clone());
+    let seeds = match v.get("seeds") {
+        None => SeedRange::new(0, 1),
+        Some(s) => seeds_from_json(s, &format!("{path}.seeds"))?,
+    };
+    let observers = match v.get("observers") {
+        None => Vec::new(),
+        Some(o) => observers_from_json(o, &format!("{path}.observers"))?,
+    };
+    let spec = v.get("spec").ok_or_else(|| SpecError {
+        path: path.to_string(),
+        message: "missing required field 'spec'".to_string(),
+    })?;
+    let kind = kind_from_json(spec, &format!("{path}.spec"))?;
+    Ok(ScenarioSpec {
+        name,
+        title,
+        kind,
+        seeds,
+        observers,
+    })
+}
+
+fn seeds_from_json(v: &Json, path: &str) -> Result<SeedRange, SpecError> {
+    if !matches!(v, Json::Obj(_)) {
+        return fail(path, "expected an object {start, count}");
+    }
+    check_fields(v, path, &["start", "count"])?;
+    let start = opt_u64(v, path, "start")?.unwrap_or(0);
+    let count = opt_u64(v, path, "count")?.unwrap_or(1);
+    if count == 0 {
+        return fail(&format!("{path}.count"), "must be at least 1");
+    }
+    if start
+        .checked_add(count)
+        .is_none_or(|end| end > SeedRange::MAX_SEED)
+    {
+        return fail(
+            path,
+            "start + count must stay within 2^53 (JSON-exact integers)",
+        );
+    }
+    Ok(SeedRange::new(start, count))
+}
+
+fn observers_from_json(v: &Json, path: &str) -> Result<Vec<ObserverKind>, SpecError> {
+    let Some(items) = v.as_arr() else {
+        return fail(path, "expected an array of observer labels");
+    };
+    let observers: Vec<ObserverKind> = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let path = format!("{path}[{i}]");
+            let Some(label) = item.as_str() else {
+                return fail(&path, "expected an observer label string");
+            };
+            ObserverKind::parse(label).ok_or_else(|| SpecError {
+                path,
+                message: format!(
+                    "unknown observer '{label}' (expected one of {})",
+                    join_labels(ObserverKind::ALL.iter().map(|k| k.label()))
+                ),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    // Duplicates would register the same observer twice: every metric
+    // row emitted twice, aggregate run counts silently doubled.
+    for (i, kind) in observers.iter().enumerate() {
+        if observers[..i].contains(kind) {
+            return fail(
+                &format!("{path}[{i}]"),
+                format!("duplicate observer '{}'", kind.label()),
+            );
+        }
+    }
+    Ok(observers)
+}
+
+/// Parses one experiment spec object (the `"spec"` value of a scenario).
+pub fn kind_from_json(v: &Json, path: &str) -> Result<ExperimentKind, SpecError> {
+    if !matches!(v, Json::Obj(_)) {
+        return fail(path, "expected an experiment spec object");
+    }
+    const KINDS: [&str; 9] = [
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "table2",
+        "complexity",
+        "theorem3",
+        "policy-run",
+        "policy-duel",
+    ];
+    let kind = req_str(v, path, "kind")?;
+    match kind.as_str() {
+        "fig5" => {
+            check_fields(v, path, &["kind", "ns", "r"])?;
+            let d = Fig5Config::default();
+            Ok(ExperimentKind::Fig5(Fig5Config {
+                ns: positive_usizes(v, path, "ns")?.unwrap_or(d.ns),
+                r: opt_usize(v, path, "r")?.unwrap_or(d.r),
+            }))
+        }
+        "fig6" => {
+            check_fields(
+                v,
+                path,
+                &[
+                    "kind",
+                    "sizes",
+                    "topology",
+                    "channel",
+                    "loss",
+                    "r",
+                    "minirounds",
+                ],
+            )?;
+            let d = Fig6Config::default();
+            Ok(ExperimentKind::Fig6(Fig6Config {
+                sizes: match v.get("sizes") {
+                    None => d.sizes,
+                    Some(s) => sizes_from_json(s, &format!("{path}.sizes"))?,
+                },
+                topology: opt_topology(v, path)?.unwrap_or(d.topology),
+                channel: opt_channel(v, path)?.unwrap_or(d.channel),
+                loss: opt_loss(v, path)?.unwrap_or(d.loss),
+                r: opt_usize(v, path, "r")?.unwrap_or(d.r),
+                minirounds: opt_usize(v, path, "minirounds")?.unwrap_or(d.minirounds),
+                seed: d.seed,
+            }))
+        }
+        "fig7" => {
+            check_fields(
+                v,
+                path,
+                &[
+                    "kind",
+                    "n",
+                    "m",
+                    "topology",
+                    "channel",
+                    "loss",
+                    "horizon",
+                    "r",
+                    "minirounds",
+                ],
+            )?;
+            let d = Fig7Config::default();
+            Ok(ExperimentKind::Fig7(Fig7Config {
+                n: positive_usize(v, path, "n")?.unwrap_or(d.n),
+                m: positive_usize(v, path, "m")?.unwrap_or(d.m),
+                topology: opt_topology(v, path)?.unwrap_or(d.topology),
+                channel: opt_channel(v, path)?.unwrap_or(d.channel),
+                loss: opt_loss(v, path)?.unwrap_or(d.loss),
+                horizon: positive_u64(v, path, "horizon")?.unwrap_or(d.horizon),
+                r: opt_usize(v, path, "r")?.unwrap_or(d.r),
+                minirounds: opt_usize(v, path, "minirounds")?.unwrap_or(d.minirounds),
+                seed: d.seed,
+            }))
+        }
+        "fig8" => {
+            check_fields(
+                v,
+                path,
+                &[
+                    "kind",
+                    "n",
+                    "m",
+                    "topology",
+                    "channel",
+                    "loss",
+                    "update_periods",
+                    "updates_per_run",
+                    "r",
+                    "minirounds",
+                ],
+            )?;
+            let d = Fig8Config::default();
+            let update_periods =
+                positive_usizes(v, path, "update_periods")?.unwrap_or(d.update_periods);
+            Ok(ExperimentKind::Fig8(Fig8Config {
+                n: positive_usize(v, path, "n")?.unwrap_or(d.n),
+                m: positive_usize(v, path, "m")?.unwrap_or(d.m),
+                topology: opt_topology(v, path)?.unwrap_or(d.topology),
+                channel: opt_channel(v, path)?.unwrap_or(d.channel),
+                loss: opt_loss(v, path)?.unwrap_or(d.loss),
+                update_periods,
+                updates_per_run: positive_u64(v, path, "updates_per_run")?
+                    .unwrap_or(d.updates_per_run),
+                r: opt_usize(v, path, "r")?.unwrap_or(d.r),
+                minirounds: opt_usize(v, path, "minirounds")?.unwrap_or(d.minirounds),
+                seed: d.seed,
+            }))
+        }
+        "table2" => {
+            check_fields(v, path, &["kind"])?;
+            Ok(ExperimentKind::Table2)
+        }
+        "complexity" => {
+            check_fields(
+                v,
+                path,
+                &["kind", "ns", "m", "rs", "topology", "channel", "minirounds"],
+            )?;
+            let d = ComplexityConfig::default();
+            Ok(ExperimentKind::Complexity(ComplexityConfig {
+                ns: positive_usizes(v, path, "ns")?.unwrap_or(d.ns),
+                m: positive_usize(v, path, "m")?.unwrap_or(d.m),
+                rs: positive_usizes(v, path, "rs")?.unwrap_or(d.rs),
+                topology: opt_topology(v, path)?.unwrap_or(d.topology),
+                channel: opt_channel(v, path)?.unwrap_or(d.channel),
+                minirounds: opt_usize(v, path, "minirounds")?.unwrap_or(d.minirounds),
+                seed: d.seed,
+            }))
+        }
+        "theorem3" => {
+            check_fields(
+                v,
+                path,
+                &["kind", "n", "m", "topology", "channel", "instances"],
+            )?;
+            let d = Theorem3Config::default();
+            Ok(ExperimentKind::Theorem3(Theorem3Config {
+                n: positive_usize(v, path, "n")?.unwrap_or(d.n),
+                m: positive_usize(v, path, "m")?.unwrap_or(d.m),
+                topology: opt_topology(v, path)?.unwrap_or(d.topology),
+                channel: opt_channel(v, path)?.unwrap_or(d.channel),
+                seed: d.seed,
+                instances: positive_u64(v, path, "instances")?.unwrap_or(d.instances),
+            }))
+        }
+        "policy-run" => {
+            check_fields(v, path, &POLICY_RUN_FIELDS)?;
+            Ok(ExperimentKind::PolicyRun(policy_run_from_json(v, path)?))
+        }
+        "policy-duel" => {
+            let mut allowed: Vec<&str> = POLICY_RUN_FIELDS.to_vec();
+            allowed.push("challenger");
+            check_fields(v, path, &allowed)?;
+            let challenger = match v.get("challenger") {
+                Some(c) => policy_from_json(c, &format!("{path}.challenger"))?,
+                None => return fail(path, "missing required field 'challenger'"),
+            };
+            Ok(ExperimentKind::PolicyDuel {
+                base: policy_run_from_json(v, path)?,
+                challenger,
+            })
+        }
+        other => {
+            let mut message = format!(
+                "unknown experiment kind '{other}' (expected one of {})",
+                join_labels(KINDS.iter().copied())
+            );
+            if let Some(near) = nearest(other, KINDS.iter().copied()) {
+                message.push_str(&format!("; did you mean '{near}'?"));
+            }
+            fail(&format!("{path}.kind"), message)
+        }
+    }
+}
+
+const POLICY_RUN_FIELDS: [&str; 11] = [
+    "kind",
+    "n",
+    "m",
+    "topology",
+    "channel",
+    "policy",
+    "loss",
+    "horizon",
+    "update_period",
+    "r",
+    "minirounds",
+];
+
+fn policy_run_from_json(v: &Json, path: &str) -> Result<PolicyRunConfig, SpecError> {
+    let d = PolicyRunConfig::default();
+    let update_period = positive_usize(v, path, "update_period")?.unwrap_or(d.update_period);
+    Ok(PolicyRunConfig {
+        n: positive_usize(v, path, "n")?.unwrap_or(d.n),
+        m: positive_usize(v, path, "m")?.unwrap_or(d.m),
+        topology: opt_topology(v, path)?.unwrap_or(d.topology),
+        channel: opt_channel(v, path)?.unwrap_or(d.channel),
+        policy: match v.get("policy") {
+            Some(p) => policy_from_json(p, &format!("{path}.policy"))?,
+            None => d.policy,
+        },
+        loss: opt_loss(v, path)?.unwrap_or(d.loss),
+        horizon: positive_u64(v, path, "horizon")?.unwrap_or(d.horizon),
+        update_period,
+        r: opt_usize(v, path, "r")?.unwrap_or(d.r),
+        minirounds: opt_usize(v, path, "minirounds")?.unwrap_or(d.minirounds),
+        seed: d.seed,
+    })
+}
+
+fn policy_from_json(v: &Json, path: &str) -> Result<PolicySpec, SpecError> {
+    if !matches!(v, Json::Obj(_)) {
+        return fail(path, "expected a policy object {name, ...}");
+    }
+    const NAMES: [&str; 7] = [
+        "cs-ucb",
+        "llr",
+        "thompson",
+        "discounted-cs-ucb",
+        "epsilon-greedy",
+        "random",
+        "oracle",
+    ];
+    let name = req_str(v, path, "name")?;
+    match name.as_str() {
+        "cs-ucb" => {
+            check_fields(v, path, &["name", "l"])?;
+            Ok(PolicySpec::CsUcb {
+                l: opt_f64(v, path, "l")?.unwrap_or(2.0),
+            })
+        }
+        "llr" => {
+            check_fields(v, path, &["name", "l"])?;
+            Ok(PolicySpec::Llr {
+                l: opt_f64(v, path, "l")?.unwrap_or(2.0),
+            })
+        }
+        "thompson" => {
+            check_fields(v, path, &["name", "sigma"])?;
+            let sigma = opt_f64(v, path, "sigma")?.unwrap_or(0.1);
+            if !(sigma > 0.0 && sigma.is_finite()) {
+                return fail(&format!("{path}.sigma"), "must be positive");
+            }
+            Ok(PolicySpec::Thompson { sigma })
+        }
+        "discounted-cs-ucb" => {
+            check_fields(v, path, &["name", "gamma"])?;
+            let gamma = opt_f64(v, path, "gamma")?.unwrap_or(0.99);
+            if !(gamma > 0.0 && gamma <= 1.0) {
+                return fail(&format!("{path}.gamma"), "must be in (0, 1]");
+            }
+            Ok(PolicySpec::DiscountedCsUcb { gamma })
+        }
+        "epsilon-greedy" => {
+            check_fields(v, path, &["name", "eps"])?;
+            let eps = opt_f64(v, path, "eps")?.unwrap_or(0.05);
+            if !(0.0..=1.0).contains(&eps) {
+                return fail(&format!("{path}.eps"), "must be in [0, 1]");
+            }
+            Ok(PolicySpec::EpsilonGreedy { eps })
+        }
+        "random" => {
+            check_fields(v, path, &["name"])?;
+            Ok(PolicySpec::Random)
+        }
+        "oracle" => {
+            check_fields(v, path, &["name"])?;
+            Ok(PolicySpec::Oracle)
+        }
+        other => fail(
+            &format!("{path}.name"),
+            format!(
+                "unknown policy '{other}' (expected one of {})",
+                join_labels(NAMES.iter().copied())
+            ),
+        ),
+    }
+}
+
+fn opt_topology(v: &Json, path: &str) -> Result<Option<TopologySpec>, SpecError> {
+    match v.get("topology") {
+        None => Ok(None),
+        Some(t) => topology_from_json(t, &format!("{path}.topology")).map(Some),
+    }
+}
+
+fn topology_from_json(v: &Json, path: &str) -> Result<TopologySpec, SpecError> {
+    if !matches!(v, Json::Obj(_)) {
+        return fail(path, "expected a topology object {family, ...}");
+    }
+    const FAMILIES: [&str; 8] = [
+        "unit-disk",
+        "unit-disk-connected",
+        "line",
+        "ring",
+        "grid",
+        "star",
+        "complete",
+        "independent",
+    ];
+    let family = req_str(v, path, "family")?;
+    let avg_degree = |v: &Json| -> Result<f64, SpecError> {
+        check_fields(v, path, &["family", "avg_degree"])?;
+        let d = opt_f64(v, path, "avg_degree")?.unwrap_or(3.5);
+        if d <= 0.0 {
+            return fail(&format!("{path}.avg_degree"), "must be positive");
+        }
+        Ok(d)
+    };
+    match family.as_str() {
+        "unit-disk" => Ok(TopologySpec::UnitDisk {
+            avg_degree: avg_degree(v)?,
+        }),
+        "unit-disk-connected" => Ok(TopologySpec::UnitDiskConnected {
+            avg_degree: avg_degree(v)?,
+        }),
+        flat @ ("line" | "ring" | "grid" | "star" | "complete" | "independent") => {
+            check_fields(v, path, &["family"])?;
+            Ok(match flat {
+                "line" => TopologySpec::Line,
+                "ring" => TopologySpec::Ring,
+                "grid" => TopologySpec::Grid,
+                "star" => TopologySpec::Star,
+                "complete" => TopologySpec::Complete,
+                _ => TopologySpec::Independent,
+            })
+        }
+        other => fail(
+            &format!("{path}.family"),
+            format!(
+                "unknown topology family '{other}' (expected one of {})",
+                join_labels(FAMILIES.iter().copied())
+            ),
+        ),
+    }
+}
+
+fn opt_channel(v: &Json, path: &str) -> Result<Option<ChannelModelSpec>, SpecError> {
+    match v.get("channel") {
+        None => Ok(None),
+        Some(c) => channel_from_json(c, &format!("{path}.channel")).map(Some),
+    }
+}
+
+fn channel_from_json(v: &Json, path: &str) -> Result<ChannelModelSpec, SpecError> {
+    if !matches!(v, Json::Obj(_)) {
+        return fail(path, "expected a channel-model object {family, ...}");
+    }
+    const FAMILIES: [&str; 7] = [
+        "gaussian",
+        "constant",
+        "bernoulli",
+        "uniform",
+        "adv-sinusoidal",
+        "adv-switching",
+        "adv-ramp",
+    ];
+    let family = req_str(v, path, "family")?;
+    let frac = |key: &str, default: f64| -> Result<f64, SpecError> {
+        let x = opt_f64(v, path, key)?.unwrap_or(default);
+        if !(0.0..=1.0).contains(&x) {
+            return fail(&format!("{path}.{key}"), "must be in [0, 1]");
+        }
+        Ok(x)
+    };
+    match family.as_str() {
+        "gaussian" => {
+            check_fields(v, path, &["family", "sigma_frac"])?;
+            Ok(ChannelModelSpec::GaussianRateClasses {
+                sigma_frac: frac("sigma_frac", 0.1)?,
+            })
+        }
+        "constant" => {
+            check_fields(v, path, &["family"])?;
+            Ok(ChannelModelSpec::ConstantRateClasses)
+        }
+        "bernoulli" => {
+            check_fields(v, path, &["family", "p"])?;
+            let p = opt_f64(v, path, "p")?.unwrap_or(0.5);
+            if !(p > 0.0 && p <= 1.0) {
+                return fail(&format!("{path}.p"), "must be in (0, 1]");
+            }
+            Ok(ChannelModelSpec::BernoulliRateClasses { p })
+        }
+        "uniform" => {
+            check_fields(v, path, &["family", "spread_frac"])?;
+            Ok(ChannelModelSpec::UniformRateClasses {
+                spread_frac: frac("spread_frac", 0.5)?,
+            })
+        }
+        "adv-sinusoidal" => {
+            check_fields(v, path, &["family", "amp_frac", "period"])?;
+            Ok(ChannelModelSpec::AdversarialSinusoidal {
+                amp_frac: frac("amp_frac", 0.3)?,
+                period: positive_u64(v, path, "period")?.unwrap_or(50),
+            })
+        }
+        "adv-switching" => {
+            check_fields(v, path, &["family", "swing_frac", "dwell"])?;
+            Ok(ChannelModelSpec::AdversarialSwitching {
+                swing_frac: frac("swing_frac", 0.5)?,
+                dwell: positive_u64(v, path, "dwell")?.unwrap_or(25),
+            })
+        }
+        "adv-ramp" => {
+            check_fields(v, path, &["family", "horizon"])?;
+            Ok(ChannelModelSpec::AdversarialRamp {
+                horizon: positive_u64(v, path, "horizon")?.unwrap_or(1000),
+            })
+        }
+        other => fail(
+            &format!("{path}.family"),
+            format!(
+                "unknown channel family '{other}' (expected one of {})",
+                join_labels(FAMILIES.iter().copied())
+            ),
+        ),
+    }
+}
+
+fn opt_loss(v: &Json, path: &str) -> Result<Option<LossSpec>, SpecError> {
+    let Some(l) = v.get("loss") else {
+        return Ok(None);
+    };
+    let path = format!("{path}.loss");
+    if !matches!(l, Json::Obj(_)) {
+        return fail(&path, "expected a loss object {prob, seed}");
+    }
+    check_fields(l, &path, &["prob", "seed"])?;
+    let prob = opt_f64(l, &path, "prob")?.unwrap_or(0.0);
+    if !(0.0..1.0).contains(&prob) {
+        return fail(&format!("{path}.prob"), "must be in [0, 1)");
+    }
+    let seed = opt_u64(l, &path, "seed")?.unwrap_or(0);
+    Ok(Some(LossSpec { prob, seed }))
+}
+
+fn sizes_from_json(v: &Json, path: &str) -> Result<Vec<(usize, usize)>, SpecError> {
+    let Some(items) = v.as_arr() else {
+        return fail(path, "expected an array of [n, m] pairs");
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| {
+            let path = format!("{path}[{i}]");
+            let err = || SpecError {
+                path: path.clone(),
+                message: "expected a [n, m] pair of positive integers".to_string(),
+            };
+            let xs = pair.as_arr().ok_or_else(err)?;
+            if xs.len() != 2 {
+                return Err(err());
+            }
+            let n = xs[0].as_u64().filter(|&n| n > 0).ok_or_else(err)? as usize;
+            let m = xs[1].as_u64().filter(|&m| m > 0).ok_or_else(err)? as usize;
+            Ok((n, m))
+        })
+        .collect()
+}
+
+// ---- Scalar field helpers (all carry the field path on failure).
+
+fn check_fields(v: &Json, path: &str, allowed: &[&str]) -> Result<(), SpecError> {
+    let Json::Obj(pairs) = v else {
+        return Ok(());
+    };
+    for (i, (key, _)) in pairs.iter().enumerate() {
+        if !allowed.contains(&key.as_str()) {
+            let mut message = format!(
+                "unknown field '{key}' (expected one of {})",
+                join_labels(allowed.iter().copied())
+            );
+            if let Some(near) = nearest(key, allowed.iter().copied()) {
+                message.push_str(&format!("; did you mean '{near}'?"));
+            }
+            return fail(path, message);
+        }
+        // `Json::get` returns the first match, so a repeated key would
+        // silently shadow the later value — exactly the kind of edit
+        // mistake (add a line, forget to delete the old one) this
+        // module exists to catch.
+        if pairs[..i].iter().any(|(earlier, _)| earlier == key) {
+            return fail(path, format!("duplicate field '{key}'"));
+        }
+    }
+    Ok(())
+}
+
+fn req_str(v: &Json, path: &str, key: &str) -> Result<String, SpecError> {
+    match v.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => fail(&format!("{path}.{key}"), "must be a string"),
+        None => fail(path, format!("missing required field '{key}'")),
+    }
+}
+
+fn opt_str(v: &Json, path: &str, key: &str) -> Result<Option<String>, SpecError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => fail(&format!("{path}.{key}"), "must be a string"),
+    }
+}
+
+fn opt_f64(v: &Json, path: &str, key: &str) -> Result<Option<f64>, SpecError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(Json::Num(x)) => Ok(Some(*x)),
+        Some(_) => fail(&format!("{path}.{key}"), "must be a number"),
+    }
+}
+
+fn opt_u64(v: &Json, path: &str, key: &str) -> Result<Option<u64>, SpecError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(value) => match value.as_u64() {
+            Some(x) => Ok(Some(x)),
+            None => fail(
+                &format!("{path}.{key}"),
+                "must be a non-negative integer (within 2^53)",
+            ),
+        },
+    }
+}
+
+fn positive_u64(v: &Json, path: &str, key: &str) -> Result<Option<u64>, SpecError> {
+    match opt_u64(v, path, key)? {
+        Some(0) => fail(&format!("{path}.{key}"), "must be positive"),
+        other => Ok(other),
+    }
+}
+
+fn opt_usize(v: &Json, path: &str, key: &str) -> Result<Option<usize>, SpecError> {
+    Ok(opt_u64(v, path, key)?.map(|x| x as usize))
+}
+
+fn positive_usize(v: &Json, path: &str, key: &str) -> Result<Option<usize>, SpecError> {
+    Ok(positive_u64(v, path, key)?.map(|x| x as usize))
+}
+
+fn opt_usizes(v: &Json, path: &str, key: &str) -> Result<Option<Vec<usize>>, SpecError> {
+    let Some(value) = v.get(key) else {
+        return Ok(None);
+    };
+    let path = format!("{path}.{key}");
+    let Some(items) = value.as_arr() else {
+        return fail(&path, "must be an array of non-negative integers");
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_u64().map(|x| x as usize).ok_or_else(|| SpecError {
+                path: format!("{path}[{i}]"),
+                message: "must be a non-negative integer".to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()
+        .map(Some)
+}
+
+/// As [`opt_usizes`], additionally requiring every element positive
+/// (zero-sized networks panic in the channel-matrix constructors).
+fn positive_usizes(v: &Json, path: &str, key: &str) -> Result<Option<Vec<usize>>, SpecError> {
+    let Some(xs) = opt_usizes(v, path, key)? else {
+        return Ok(None);
+    };
+    if let Some(i) = xs.iter().position(|&x| x == 0) {
+        return fail(&format!("{path}.{key}[{i}]"), "must be positive");
+    }
+    Ok(Some(xs))
+}
+
+fn join_labels<'a>(labels: impl Iterator<Item = &'a str>) -> String {
+    labels.collect::<Vec<_>>().join(", ")
+}
+
+/// The closest candidate by edit distance (≤ 3 edits), for "did you
+/// mean" hints on unknown names.
+pub fn nearest<'a>(want: &str, candidates: impl Iterator<Item = &'a str>) -> Option<&'a str> {
+    candidates
+        .map(|c| (edit_distance(want, c), c))
+        .filter(|&(d, _)| d <= 3)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+/// Levenshtein distance (iterative two-row DP).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn every_registry_scenario_round_trips_byte_identically() {
+        for scenario in registry::registry()
+            .into_iter()
+            .chain(registry::quick_registry())
+        {
+            let text = scenario.to_json().to_string_pretty();
+            let parsed =
+                scenarios_from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            assert_eq!(parsed.len(), 1);
+            assert_eq!(parsed[0], scenario, "{} spec drifted", scenario.name);
+            assert_eq!(
+                parsed[0].to_json().to_string_pretty(),
+                text,
+                "{} re-emission not byte-identical",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_documents_and_arrays_parse() {
+        let scenarios = registry::quick_registry();
+        let doc = crate::spec::campaign_json("mine", &scenarios).to_string_pretty();
+        let (campaign, parsed) = campaign_from_str(&doc).unwrap();
+        assert_eq!(campaign.as_deref(), Some("mine"));
+        assert_eq!(parsed, scenarios);
+
+        let arr = Json::Arr(scenarios.iter().map(|s| s.to_json()).collect());
+        let (campaign, parsed) = campaign_from_str(&arr.to_string_pretty()).unwrap();
+        assert_eq!(campaign, None, "arrays carry no campaign name");
+        assert_eq!(parsed, scenarios);
+    }
+
+    #[test]
+    fn duplicate_json_keys_rejected() {
+        // Json::get is first-match: a repeated key would silently shadow
+        // the later value, so ingestion must refuse it.
+        let text = r#"{
+            "name": "x",
+            "spec": {"kind": "policy-run", "horizon": 800, "horizon": 5000}
+        }"#;
+        let err = scenarios_from_str(text).unwrap_err();
+        assert_eq!(err.path, "scenario.spec");
+        assert!(err.message.contains("duplicate field 'horizon'"), "{err}");
+    }
+
+    #[test]
+    fn minimal_hand_authored_scenario_gets_defaults() {
+        let text = r#"{
+            "name": "mine",
+            "spec": {"kind": "policy-run", "horizon": 50}
+        }"#;
+        let parsed = scenarios_from_str(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        let s = &parsed[0];
+        assert_eq!(s.title, "mine");
+        assert_eq!(s.seeds, SeedRange::new(0, 1));
+        assert!(s.observers.is_empty());
+        match &s.kind {
+            ExperimentKind::PolicyRun(cfg) => {
+                assert_eq!(cfg.horizon, 50);
+                assert_eq!(cfg.n, PolicyRunConfig::default().n);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_fields_carry_paths_and_hints() {
+        let text = r#"{
+            "name": "x",
+            "spec": {"kind": "policy-run", "horizion": 50}
+        }"#;
+        let err = scenarios_from_str(text).unwrap_err();
+        assert_eq!(err.path, "scenario.spec");
+        assert!(err.message.contains("unknown field 'horizion'"), "{err}");
+        assert!(err.message.contains("did you mean 'horizon'"), "{err}");
+
+        let nested = r#"{
+            "name": "x",
+            "spec": {"kind": "fig7", "topology": {"family": "unit-disk", "avg_deg": 3.0}}
+        }"#;
+        let err = scenarios_from_str(nested).unwrap_err();
+        assert_eq!(err.path, "scenario.spec.topology");
+        assert!(err.message.contains("avg_deg"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_family_policy_are_diagnosed() {
+        let bad_kind = r#"{"name": "x", "spec": {"kind": "fig9"}}"#;
+        let err = scenarios_from_str(bad_kind).unwrap_err();
+        assert_eq!(err.path, "scenario.spec.kind");
+        assert!(err.message.contains("did you mean 'fig"), "{err}");
+
+        let bad_family = r#"{
+            "name": "x",
+            "spec": {"kind": "fig7", "channel": {"family": "gaussain"}}
+        }"#;
+        let err = scenarios_from_str(bad_family).unwrap_err();
+        assert_eq!(err.path, "scenario.spec.channel.family");
+
+        let bad_policy = r#"{
+            "name": "x",
+            "spec": {"kind": "policy-run", "policy": {"name": "ucb9000"}}
+        }"#;
+        let err = scenarios_from_str(bad_policy).unwrap_err();
+        assert_eq!(err.path, "scenario.spec.policy.name");
+    }
+
+    #[test]
+    fn panicking_values_are_refused_up_front() {
+        for (snippet, path_bit) in [
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","horizon":0}}"#,
+                "horizon",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","update_period":0}}"#,
+                "update_period",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","loss":{"prob":1.5,"seed":0}}}"#,
+                "loss.prob",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","channel":{"family":"bernoulli","p":0}}}"#,
+                "channel.p",
+            ),
+            (
+                r#"{"name":"x","seeds":{"start":0,"count":0},"spec":{"kind":"table2"}}"#,
+                "count",
+            ),
+            (
+                r#"{"name":"x","seeds":{"start":9007199254740992,"count":1},"spec":{"kind":"table2"}}"#,
+                "seeds",
+            ),
+            (
+                r#"{"name":"x","observers":["decide-timer"],"spec":{"kind":"table2"}}"#,
+                "observers",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","policy":{"name":"thompson","sigma":0}}}"#,
+                "policy.sigma",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"complexity","ns":[25,0]}}"#,
+                "ns[1]",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"fig8","update_periods":[1,0]}}"#,
+                "update_periods[1]",
+            ),
+        ] {
+            let err = scenarios_from_str(snippet).unwrap_err();
+            assert!(
+                err.path.contains(path_bit),
+                "snippet {snippet} gave path {} ({})",
+                err.path,
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_observers_rejected() {
+        let text = r#"{
+            "name": "x",
+            "observers": ["comm-totals", "throughput", "comm-totals"],
+            "spec": {"kind": "policy-run"}
+        }"#;
+        let err = scenarios_from_str(text).unwrap_err();
+        assert_eq!(err.path, "scenario.observers[2]");
+        assert!(err.message.contains("duplicate observer"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let text = r#"[
+            {"name": "a", "spec": {"kind": "table2"}},
+            {"name": "a", "spec": {"kind": "table2"}}
+        ]"#;
+        let err = scenarios_from_str(text).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn string_escapes_survive_ingestion() {
+        // Titles are free-form (only names are path-constrained): quotes,
+        // backslashes, tabs, and non-ASCII must round-trip exactly.
+        let spec = ScenarioSpec::new(
+            "weird name with spaces é 中",
+            "title \"quoted\" with \\ and \t tab and 😀",
+            ExperimentKind::Table2,
+            SeedRange::new(0, 1),
+        );
+        let text = spec.to_json().to_string_pretty();
+        let parsed = scenarios_from_str(&text).unwrap();
+        assert_eq!(parsed[0], spec);
+        assert_eq!(parsed[0].to_json().to_string_pretty(), text);
+    }
+
+    #[test]
+    fn path_traversal_names_rejected() {
+        for bad in ["../../tmp/evil", "a/b", "a\\b", "..", ".", "ctrl\u{1}name"] {
+            // Emit through the JSON writer so escapes are JSON-valid.
+            let text = Json::obj(vec![
+                ("name", Json::str(bad)),
+                ("spec", Json::obj(vec![("kind", Json::str("table2"))])),
+            ])
+            .to_string_compact();
+            let err =
+                scenarios_from_str(&text).expect_err(&format!("accepted dangerous name {bad:?}"));
+            assert_eq!(err.path, "scenario.name", "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_and_trailing_garbage_rejected() {
+        for bad in [
+            r#"{"name":"x","spec":{"kind":"policy-run","horizon":NaN}}"#,
+            r#"{"name":"x","spec":{"kind":"policy-run","horizon":Infinity}}"#,
+            r#"{"name":"x","spec":{"kind":"policy-run","horizon":1e999}}"#,
+            r#"{"name":"x","spec":{"kind":"table2"}} trailing"#,
+            r#"{"name":"x","spec":{"kind":"table2"}}{}"#,
+        ] {
+            let err = scenarios_from_str(bad).unwrap_err();
+            assert_eq!(err.path, "<document>", "accepted {bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn edit_distance_and_nearest() {
+        assert_eq!(edit_distance("fig7", "fig7"), 0);
+        assert_eq!(edit_distance("fig9", "fig8"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(
+            nearest("fig6-quik", ["fig6-quick", "fig7-quick"].into_iter()),
+            Some("fig6-quick")
+        );
+        assert_eq!(nearest("zzzzzzz", ["fig6", "fig7"].into_iter()), None);
+    }
+
+    #[test]
+    fn ingested_scenario_actually_runs() {
+        let text = r#"{
+            "name": "user-authored",
+            "title": "tiny policy run",
+            "spec": {
+                "kind": "policy-run",
+                "n": 8, "m": 2,
+                "topology": {"family": "unit-disk", "avg_degree": 3.5},
+                "channel": {"family": "constant"},
+                "policy": {"name": "cs-ucb", "l": 2},
+                "horizon": 40, "update_period": 1, "r": 1, "minirounds": 4
+            },
+            "seeds": {"start": 3, "count": 1},
+            "observers": ["comm-totals"]
+        }"#;
+        let parsed = scenarios_from_str(text).unwrap();
+        let mut sink = Vec::new();
+        let metrics = parsed[0].run_job(3, &mut sink).unwrap();
+        assert!(metrics.iter().any(|(k, _)| k == "avg_expected_kbps"));
+        assert!(metrics.iter().any(|(k, _)| k == "comm-totals:decisions"));
+        assert!(!sink.is_empty());
+    }
+}

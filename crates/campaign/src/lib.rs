@@ -11,6 +11,10 @@
 //! * [`registry`] — the scenario catalog: every figure/table of the paper
 //!   plus cross-product scenarios along the channel-model, topology, and
 //!   policy axes.
+//! * [`ingest`] — user-authored scenario JSON ingestion (the inverse of
+//!   `show`): `mhca-campaign run --scenario-file <path>` runs arbitrary
+//!   user-defined campaigns with field-path diagnostics on malformed
+//!   input, no registry recompile required.
 //! * [`runner`] — the [`CampaignRunner`](runner::run): expands specs into
 //!   a job matrix, executes pending jobs in parallel with
 //!   order-preserving aggregation, and writes per-seed figure CSVs,
@@ -32,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ingest;
 pub mod json;
 pub mod manifest;
 pub mod registry;
 pub mod runner;
 pub mod spec;
 
+pub use ingest::{scenarios_from_str, SpecError};
 pub use manifest::{JobRecord, JobStatus, Manifest};
 pub use runner::{CampaignConfig, CampaignOutcome, ScenarioSummary};
 pub use spec::{expand_jobs, spec_hash, ExperimentKind, Job, ScenarioSpec, SeedRange};

@@ -3,16 +3,21 @@
 //! ```text
 //! mhca-campaign list                     # catalog of scenarios
 //! mhca-campaign show <scenario>          # canonical spec JSON
+//! mhca-campaign validate <file>          # check a user-authored spec file
 //! mhca-campaign run [options]            # run / resume a campaign
 //!
 //! run options:
-//!   --quick            the CI smoke catalog (2 scenarios × 3 seeds)
-//!   --out DIR          output directory (default target/campaigns/<name>)
-//!   --name NAME        campaign name (default: paper, or quick)
-//!   --scenarios a,b,c  subset of the catalog, by name
-//!   --seeds K          override every scenario's seed count
-//!   --serial           disable the per-seed parallelism
-//!   --force            discard a manifest from a different spec
+//!   --quick                the CI smoke catalog (2 scenarios × 3 seeds)
+//!   --out DIR              output directory (default target/campaigns/<name>)
+//!   --name NAME            campaign name (default: paper, quick, or custom)
+//!   --scenarios a,b,c      subset of the catalog, by name
+//!   --scenario-file FILE   add user-authored scenarios from a JSON file
+//!                          (repeatable; see `show` for the format)
+//!   --seeds K              override every scenario's seed count
+//!   --jobs N               bound worker threads across the whole job
+//!                          matrix (default: available cores)
+//!   --serial               force strictly in-order serial execution
+//!   --force                discard a manifest from a different spec
 //! ```
 //!
 //! A campaign writes `manifest.json`, per-seed figure CSVs, per-scenario
@@ -20,34 +25,79 @@
 //! into the output directory. Re-running with the same spec and output
 //! directory resumes: jobs recorded done in the manifest are skipped.
 
-use mhca_campaign::{registry, runner, CampaignConfig};
+use mhca_campaign::ingest::{self, nearest};
+use mhca_campaign::{registry, runner, CampaignConfig, ScenarioSpec};
+use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("list") => {
-            list();
-            ExitCode::SUCCESS
+/// A CLI failure: message, plus whether to print the usage block.
+struct CliError {
+    message: String,
+    show_usage: bool,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            show_usage: false,
         }
-        Some("show") => match args.get(1) {
-            Some(name) => show(name),
-            None => usage("show needs a scenario name"),
-        },
-        Some("run") => run(&args[1..]),
-        Some(other) => usage(&format!("unknown command '{other}'")),
-        None => usage("missing command"),
+    }
+
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            show_usage: true,
+        }
     }
 }
 
-fn usage(problem: &str) -> ExitCode {
-    eprintln!("mhca-campaign: {problem}");
-    eprintln!();
-    eprintln!("usage: mhca-campaign <list | show <scenario> | run [options]>");
-    eprintln!(
-        "run options: --quick --out DIR --name NAME --scenarios a,b,c --seeds K --serial --force"
-    );
-    ExitCode::FAILURE
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mhca-campaign: {}", e.message);
+            if e.show_usage {
+                eprintln!();
+                eprintln!(
+                    "usage: mhca-campaign <list | show <scenario> | validate <file> | run [options]>"
+                );
+                eprintln!(
+                    "run options: --quick --out DIR --name NAME --scenarios a,b,c \
+                     --scenario-file FILE --seeds K --jobs N --serial --force"
+                );
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            Ok(())
+        }
+        Some("show") => match args.get(1) {
+            Some(name) => show(name),
+            None => Err(CliError::usage("show needs a scenario name")),
+        },
+        Some("validate") => match args.get(1) {
+            Some(path) => validate(Path::new(path)),
+            None => Err(CliError::usage("validate needs a spec file path")),
+        },
+        Some("run") => run(&args[1..]),
+        Some(other) => {
+            let mut message = format!("unknown command '{other}'");
+            if let Some(near) = nearest(other, ["list", "show", "validate", "run"].into_iter()) {
+                message.push_str(&format!(" (did you mean '{near}'?)"));
+            }
+            Err(CliError::usage(message))
+        }
+        None => Err(CliError::usage("missing command")),
+    }
 }
 
 fn list() {
@@ -62,27 +112,89 @@ fn list() {
     }
 }
 
-fn show(name: &str) -> ExitCode {
+/// Unknown-scenario error with a nearest-name hint.
+fn unknown_scenario(name: &str) -> CliError {
+    let catalog: Vec<String> = registry::registry()
+        .into_iter()
+        .chain(registry::quick_registry())
+        .map(|s| s.name)
+        .collect();
+    let mut message = format!("no scenario named '{name}' (see mhca-campaign list)");
+    if let Some(near) = nearest(name, catalog.iter().map(String::as_str)) {
+        message.push_str(&format!("; did you mean '{near}'?"));
+    }
+    CliError::new(message)
+}
+
+fn show(name: &str) -> Result<(), CliError> {
     match registry::find(name) {
         Some(s) => {
-            println!("{}", s.to_json().to_string_pretty());
-            ExitCode::SUCCESS
+            print!("{}", s.to_json().to_string_pretty());
+            Ok(())
         }
-        None => {
-            eprintln!("mhca-campaign: no scenario named '{name}' (see mhca-campaign list)");
-            ExitCode::FAILURE
-        }
+        None => Err(unknown_scenario(name)),
     }
 }
 
-fn run(args: &[String]) -> ExitCode {
+/// Loads and parses a user-authored scenario file; returns the campaign
+/// name (when the file is a campaign document carrying one) and the
+/// scenarios.
+fn load_scenario_file(path: &Path) -> Result<(Option<String>, Vec<ScenarioSpec>), CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::new(format!("cannot read '{}': {e}", path.display())))?;
+    ingest::campaign_from_str(&text).map_err(|e| CliError::new(format!("{}: {e}", path.display())))
+}
+
+fn validate(path: &Path) -> Result<(), CliError> {
+    let (campaign, scenarios) = load_scenario_file(path)?;
+    match campaign {
+        Some(name) => println!("ok: campaign '{name}', {} scenario(s)", scenarios.len()),
+        None => println!("ok: {} scenario(s)", scenarios.len()),
+    }
+    for s in &scenarios {
+        let shape = s.kind.experiment().spec();
+        println!(
+            "  {:<18} kind {:<12} seeds {}..{}  observers {}",
+            s.name,
+            shape.kind,
+            s.seeds.start,
+            s.seeds.start + s.seeds.count,
+            if s.observers.is_empty() {
+                "none".to_string()
+            } else {
+                s.observers
+                    .iter()
+                    .map(|o| o.label())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        );
+        if shape.deterministic && s.seeds.count > 1 {
+            eprintln!(
+                "warning: {}: '{}' is deterministic — {} seeds only replicate the same job",
+                s.name, shape.kind, s.seeds.count
+            );
+        }
+        if !shape.streams_rounds && !s.observers.is_empty() {
+            eprintln!(
+                "warning: {}: '{}' drives no Algorithm 2 rounds — observers will report zeros",
+                s.name, shape.kind
+            );
+        }
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let mut quick = false;
     let mut serial = false;
     let mut force = false;
     let mut out: Option<String> = None;
     let mut name: Option<String> = None;
     let mut scenario_filter: Option<Vec<String>> = None;
+    let mut scenario_files: Vec<String> = Vec::new();
     let mut seed_count: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -92,25 +204,60 @@ fn run(args: &[String]) -> ExitCode {
             "--force" => force = true,
             "--out" => match it.next() {
                 Some(dir) => out = Some(dir.clone()),
-                None => return usage("--out needs a directory"),
+                None => return Err(CliError::usage("--out needs a directory")),
             },
             "--name" => match it.next() {
                 Some(n) => name = Some(n.clone()),
-                None => return usage("--name needs a value"),
+                None => return Err(CliError::usage("--name needs a value")),
             },
             "--scenarios" => match it.next() {
-                Some(csv) => scenario_filter = Some(csv.split(',').map(str::to_string).collect()),
-                None => return usage("--scenarios needs a comma-separated list"),
+                Some(csv) => {
+                    scenario_filter = Some(csv.split(',').map(str::to_string).collect());
+                }
+                None => {
+                    return Err(CliError::usage("--scenarios needs a comma-separated list"));
+                }
+            },
+            "--scenario-file" => match it.next() {
+                Some(path) => scenario_files.push(path.clone()),
+                None => return Err(CliError::usage("--scenario-file needs a path")),
             },
             "--seeds" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(k) if k > 0 => seed_count = Some(k),
-                _ => return usage("--seeds needs a positive integer"),
+                _ => return Err(CliError::usage("--seeds needs a positive integer")),
             },
-            other => return usage(&format!("unknown run option '{other}'")),
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => jobs = Some(n),
+                _ => return Err(CliError::usage("--jobs needs a positive integer")),
+            },
+            other => {
+                let mut message = format!("unknown run option '{other}'");
+                let known = [
+                    "--quick",
+                    "--serial",
+                    "--force",
+                    "--out",
+                    "--name",
+                    "--scenarios",
+                    "--scenario-file",
+                    "--seeds",
+                    "--jobs",
+                ];
+                if let Some(near) = nearest(other, known.into_iter()) {
+                    message.push_str(&format!(" (did you mean '{near}'?)"));
+                }
+                return Err(CliError::usage(message));
+            }
         }
     }
 
-    let mut scenarios = if quick {
+    // ---- Assemble the scenario list: catalog selection, then any
+    // user-authored files. Files alone (no --quick/--scenarios) run just
+    // the file scenarios.
+    let files_only = !scenario_files.is_empty() && !quick && scenario_filter.is_none();
+    let mut scenarios = if files_only {
+        Vec::new()
+    } else if quick {
         registry::quick_registry()
     } else {
         registry::registry()
@@ -123,7 +270,7 @@ fn run(args: &[String]) -> ExitCode {
                 // --quick (and vice versa).
                 match registry::find(want) {
                     Some(s) => scenarios.push(s),
-                    None => return usage(&format!("unknown scenario '{want}'")),
+                    None => return Err(unknown_scenario(want)),
                 }
             }
         }
@@ -131,43 +278,85 @@ fn run(args: &[String]) -> ExitCode {
         // Keep the order the user asked for.
         scenarios.sort_by_key(|s| filter.iter().position(|w| w == &s.name));
     }
+    let mut file_campaign_name: Option<String> = None;
+    for path in &scenario_files {
+        let (campaign, file_scenarios) = load_scenario_file(Path::new(path))?;
+        // A campaign document's own name is the default campaign name
+        // (first file wins); the --name flag still overrides it.
+        if file_campaign_name.is_none() {
+            file_campaign_name = campaign;
+        }
+        for scenario in file_scenarios {
+            if scenarios.iter().any(|s| s.name == scenario.name) {
+                return Err(CliError::new(format!(
+                    "{path}: scenario '{}' collides with an already-selected scenario",
+                    scenario.name
+                )));
+            }
+            scenarios.push(scenario);
+        }
+    }
     if let Some(k) = seed_count {
         for s in &mut scenarios {
             s.seeds.count = k;
         }
     }
     if scenarios.is_empty() {
-        return usage("no scenarios selected");
+        return Err(CliError::usage("no scenarios selected"));
     }
 
-    let name = name.unwrap_or_else(|| if quick { "quick" } else { "paper" }.to_string());
+    let name = name.or(file_campaign_name).unwrap_or_else(|| {
+        if quick {
+            "quick"
+        } else if files_only {
+            "custom"
+        } else {
+            "paper"
+        }
+        .to_string()
+    });
     let out_dir = out.unwrap_or_else(|| format!("target/campaigns/{name}"));
+    ensure_writable(Path::new(&out_dir))?;
     let cfg = CampaignConfig {
         parallel: !serial,
+        jobs,
         force,
         ..CampaignConfig::new(name, out_dir, scenarios)
     };
 
-    match runner::run(&cfg) {
-        Ok(outcome) => {
-            let (done, pending) = outcome.manifest.progress();
+    let outcome = runner::run(&cfg).map_err(|e| CliError::new(e.to_string()))?;
+    let (done, pending) = outcome.manifest.progress();
+    println!(
+        "executed {} job(s), skipped {} (manifest: {done} done, {pending} pending)",
+        outcome.executed, outcome.skipped
+    );
+    for summary in &outcome.summaries {
+        if let Some((metric, agg)) = summary.aggregates.first() {
             println!(
-                "executed {} job(s), skipped {} (manifest: {done} done, {pending} pending)",
-                outcome.executed, outcome.skipped
+                "  {:<18} {} = {:.2} ± {:.2} over {} seed(s)",
+                summary.name, metric, agg.mean, agg.std_dev, agg.runs
             );
-            for summary in &outcome.summaries {
-                if let Some((metric, agg)) = summary.aggregates.first() {
-                    println!(
-                        "  {:<18} {} = {:.2} ± {:.2} over {} seed(s)",
-                        summary.name, metric, agg.mean, agg.std_dev, agg.runs
-                    );
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("mhca-campaign: {e}");
-            ExitCode::FAILURE
         }
     }
+    Ok(())
+}
+
+/// Fails early — with a clear message instead of a mid-campaign I/O error
+/// — when the output directory cannot be created or written.
+fn ensure_writable(out_dir: &Path) -> Result<(), CliError> {
+    fs::create_dir_all(out_dir).map_err(|e| {
+        CliError::new(format!(
+            "cannot create output directory '{}': {e}",
+            out_dir.display()
+        ))
+    })?;
+    let probe = out_dir.join(".write-probe");
+    fs::write(&probe, b"")
+        .and_then(|()| fs::remove_file(&probe))
+        .map_err(|e| {
+            CliError::new(format!(
+                "output directory '{}' is not writable: {e}",
+                out_dir.display()
+            ))
+        })
 }

@@ -9,6 +9,7 @@
 
 use crate::spec::{ExperimentKind, ScenarioSpec, SeedRange};
 use mhca_channels::ChannelModelSpec;
+use mhca_core::experiment::ObserverKind;
 use mhca_core::experiments::{
     ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig, PolicySpec,
     Theorem3Config,
@@ -33,18 +34,23 @@ pub fn registry() -> Vec<ScenarioSpec> {
             ExperimentKind::Fig6(Fig6Config::default()),
             SeedRange::new(61, 5),
         ),
+        // Fig. 7/8 drive Algorithm 2 round loops, so they also stream the
+        // decide-phase wall-time and communication observers — metrics no
+        // RunResult field carries.
         ScenarioSpec::new(
             "fig7",
             "Fig. 7: practical (β-)regret, Algorithm 2 vs LLR",
             ExperimentKind::Fig7(Fig7Config::default()),
             SeedRange::new(71, 5),
-        ),
+        )
+        .with_observers(vec![ObserverKind::DecideTiming, ObserverKind::CommTotals]),
         ScenarioSpec::new(
             "fig8",
             "Fig. 8: throughput under periodic stale-weight updates",
             ExperimentKind::Fig8(Fig8Config::default()),
             SeedRange::new(81, 3),
-        ),
+        )
+        .with_observers(vec![ObserverKind::DecideTiming, ObserverKind::CommTotals]),
         ScenarioSpec::new(
             "table2",
             "Table II: time model and derived quantities",
@@ -106,19 +112,22 @@ pub fn registry() -> Vec<ScenarioSpec> {
             ChannelModelSpec::BernoulliRateClasses { p: 0.5 },
         ),
     ] {
-        out.push(ScenarioSpec::new(
-            format!("duel-{suffix}"),
-            format!("CS-UCB vs LLR head-to-head on {suffix} channels"),
-            ExperimentKind::PolicyDuel {
-                base: PolicyRunConfig {
-                    channel,
-                    horizon: 800,
-                    ..PolicyRunConfig::default()
+        out.push(
+            ScenarioSpec::new(
+                format!("duel-{suffix}"),
+                format!("CS-UCB vs LLR head-to-head on {suffix} channels"),
+                ExperimentKind::PolicyDuel {
+                    base: PolicyRunConfig {
+                        channel,
+                        horizon: 800,
+                        ..PolicyRunConfig::default()
+                    },
+                    challenger: PolicySpec::Llr { l: 2.0 },
                 },
-                challenger: PolicySpec::Llr { l: 2.0 },
-            },
-            SeedRange::new(0, 5),
-        ));
+                SeedRange::new(0, 5),
+            )
+            .with_observers(vec![ObserverKind::CommTotals]),
+        );
     }
 
     // ---- Topology axis: the decision protocol off the unit-disk family.
@@ -127,18 +136,21 @@ pub fn registry() -> Vec<ScenarioSpec> {
         ("grid", TopologySpec::Grid, 49, 4),
         ("complete", TopologySpec::Complete, 12, 4),
     ] {
-        out.push(ScenarioSpec::new(
-            format!("topology-{suffix}"),
-            format!("CS-UCB on a {suffix} conflict graph"),
-            ExperimentKind::PolicyRun(PolicyRunConfig {
-                n,
-                m,
-                topology,
-                horizon: 500,
-                ..PolicyRunConfig::default()
-            }),
-            SeedRange::new(0, 5),
-        ));
+        out.push(
+            ScenarioSpec::new(
+                format!("topology-{suffix}"),
+                format!("CS-UCB on a {suffix} conflict graph"),
+                ExperimentKind::PolicyRun(PolicyRunConfig {
+                    n,
+                    m,
+                    topology,
+                    horizon: 500,
+                    ..PolicyRunConfig::default()
+                }),
+                SeedRange::new(0, 5),
+            )
+            .with_observers(vec![ObserverKind::PerVertexTx]),
+        );
     }
 
     // ---- Policy axis: the zoo beyond the paper's CS-UCB/LLR pair.
@@ -147,16 +159,23 @@ pub fn registry() -> Vec<ScenarioSpec> {
         PolicySpec::EpsilonGreedy { eps: 0.05 },
         PolicySpec::Oracle,
     ] {
-        out.push(ScenarioSpec::new(
-            format!("policy-{}", policy.label()),
-            format!("{} on the Fig. 7-style workload", policy.label()),
-            ExperimentKind::PolicyRun(PolicyRunConfig {
-                policy,
-                horizon: 800,
-                ..PolicyRunConfig::default()
-            }),
-            SeedRange::new(0, 5),
-        ));
+        out.push(
+            ScenarioSpec::new(
+                format!("policy-{}", policy.label()),
+                format!("{} on the Fig. 7-style workload", policy.label()),
+                ExperimentKind::PolicyRun(PolicyRunConfig {
+                    policy,
+                    horizon: 800,
+                    ..PolicyRunConfig::default()
+                }),
+                SeedRange::new(0, 5),
+            )
+            .with_observers(vec![
+                ObserverKind::CommTotals,
+                ObserverKind::PerVertexTx,
+                ObserverKind::Throughput,
+            ]),
+        );
     }
 
     out
@@ -172,12 +191,16 @@ pub fn quick_registry() -> Vec<ScenarioSpec> {
             ExperimentKind::Fig6(Fig6Config::quick()),
             SeedRange::new(61, 3),
         ),
+        // A deterministic observer (comm totals, unlike wall-clock
+        // timing) so the CI smoke exercises the streaming pipeline while
+        // parallel and serial campaigns stay byte-identical.
         ScenarioSpec::new(
             "fig7-quick",
             "Fig. 7 regret vs LLR (scaled down)",
             ExperimentKind::Fig7(Fig7Config::quick()),
             SeedRange::new(71, 3),
-        ),
+        )
+        .with_observers(vec![ObserverKind::CommTotals]),
     ]
 }
 

@@ -1,9 +1,10 @@
 //! The campaign runner: expands scenario specs into a job matrix,
-//! executes pending jobs (parallel across seeds through the same rayon
-//! substrate as `mhca_core::sweep`, order-preserving), streams per-seed
-//! figure CSV artifacts, aggregates metrics across seeds, and keeps the
-//! durable manifest current so an interrupted campaign resumes without
-//! re-executing completed jobs.
+//! executes pending jobs on a bounded worker pool that spans the **whole
+//! matrix** (not just seeds within one scenario — a heterogeneous catalog
+//! keeps every worker busy), streams per-seed figure CSV artifacts,
+//! aggregates metrics across seeds, and keeps the durable manifest
+//! current so an interrupted campaign resumes without re-executing
+//! completed jobs.
 //!
 //! Layout of a campaign output directory:
 //!
@@ -20,8 +21,7 @@ use crate::json::Json;
 use crate::manifest::{JobStatus, Manifest};
 use crate::spec::{expand_jobs, spec_hash, ScenarioSpec};
 use mhca_bench::csv::CsvWriter;
-use mhca_core::sweep::Aggregate;
-use rayon::prelude::*;
+use mhca_core::sweep::{for_each_bounded, Aggregate};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -35,9 +35,15 @@ pub struct CampaignConfig {
     pub out_dir: PathBuf,
     /// Ordered scenario list.
     pub scenarios: Vec<ScenarioSpec>,
-    /// Run each scenario's seeds in parallel (`false` forces serial
-    /// execution; aggregates are identical either way).
+    /// Run pending jobs in parallel (`false` forces strictly in-order
+    /// serial execution). Artifacts and all deterministic metrics are
+    /// identical at any worker count; only wall-clock observer metrics
+    /// (e.g. `decide-timing:*`, attached to some registry scenarios)
+    /// vary between runs, parallel or not.
     pub parallel: bool,
+    /// Worker-thread bound across the whole job matrix (`None` = one per
+    /// available core). Ignored when `parallel` is off.
+    pub jobs: Option<usize>,
     /// Start fresh when an existing manifest was written for a different
     /// spec (default: refuse, so a typo cannot silently discard results).
     pub force: bool,
@@ -46,7 +52,8 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// Config with the defaults: parallel, not forced, not quiet.
+    /// Config with the defaults: parallel on all cores, not forced, not
+    /// quiet.
     pub fn new(
         name: impl Into<String>,
         out_dir: impl Into<PathBuf>,
@@ -57,10 +64,27 @@ impl CampaignConfig {
             out_dir: out_dir.into(),
             scenarios,
             parallel: true,
+            jobs: None,
             force: false,
             quiet: false,
         }
     }
+
+    /// The effective worker count: 1 when serial, else the `jobs` bound
+    /// (or every available core).
+    pub fn workers(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        self.jobs.unwrap_or_else(available_cores).max(1)
+    }
+}
+
+/// Available cores (1 if the query fails).
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// One executed job: `(seed, rendered artifact bytes, headline metrics)`.
@@ -139,62 +163,102 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
     }
     manifest.save(&cfg.out_dir)?;
 
-    let mut executed = 0;
+    // ---- Build the pending work list across the whole matrix, in
+    // matrix order (scenario-major, seed-minor).
+    let mut pending: Vec<(usize, u64)> = Vec::new();
+    let mut remaining_per_scenario = vec![0usize; cfg.scenarios.len()];
     let mut skipped = 0;
-    for scenario in &cfg.scenarios {
-        let pending: Vec<u64> = scenario
+    for (idx, scenario) in cfg.scenarios.iter().enumerate() {
+        let todo: Vec<u64> = scenario
             .seeds
             .iter()
             .filter(|&seed| !manifest.is_complete(&cfg.out_dir, &scenario.name, seed))
             .collect();
-        skipped += scenario.seeds.count as usize - pending.len();
-        if pending.is_empty() {
+        skipped += scenario.seeds.count as usize - todo.len();
+        if todo.is_empty() {
             progress(cfg, &format!("{}: all seeds already done", scenario.name));
             continue;
         }
+        fs::create_dir_all(cfg.out_dir.join(&scenario.name))?;
+        remaining_per_scenario[idx] = todo.len();
+        pending.extend(todo.into_iter().map(|seed| (idx, seed)));
+    }
+
+    let workers = cfg.workers().min(pending.len().max(1));
+    if !pending.is_empty() {
         progress(
             cfg,
             &format!(
-                "{}: running {} of {} seeds{}",
-                scenario.name,
+                "running {} pending job(s) across {} scenario(s) on {} worker(s)",
                 pending.len(),
-                scenario.seeds.count,
-                if cfg.parallel { " (parallel)" } else { "" }
+                remaining_per_scenario.iter().filter(|&&n| n > 0).count(),
+                workers
             ),
         );
+    }
 
-        // Render per-seed artifacts into memory buffers — in parallel
-        // when asked (results are collected in seed order either way, so
-        // parallel and serial campaigns aggregate identically).
-        let kind = &scenario.kind;
-        let run_one = |seed: u64| -> io::Result<JobResult> {
+    // ---- Execute on the bounded pool spanning all scenarios, committing
+    // each artifact + manifest record on this thread as results stream
+    // in. The manifest checkpoints whenever a scenario's last pending job
+    // lands, and at least every `CHECKPOINT_EVERY` commits — so a killed
+    // thousand-seed single-scenario campaign still resumes with at most a
+    // handful of jobs to redo.
+    const CHECKPOINT_EVERY: usize = 16;
+    let scenarios = &cfg.scenarios;
+    let mut executed = 0;
+    let mut commits_since_save = 0usize;
+    let mut first_error: Option<io::Error> = None;
+    for_each_bounded(
+        pending,
+        workers,
+        |_, (idx, seed)| -> ((usize, u64), io::Result<JobResult>) {
+            let scenario = &scenarios[idx];
             let mut buffer = Vec::new();
-            let metrics = kind.run(seed, &mut buffer)?;
-            Ok((seed, buffer, metrics))
-        };
-        let results: Vec<io::Result<JobResult>> = if cfg.parallel {
-            pending.clone().into_par_iter().map(run_one).collect()
-        } else {
-            pending.iter().map(|&s| run_one(s)).collect()
-        };
-
-        // Commit: write artifacts, update records, checkpoint the
-        // manifest (durable after every scenario batch).
-        let scenario_dir = cfg.out_dir.join(&scenario.name);
-        fs::create_dir_all(&scenario_dir)?;
-        for result in results {
-            let (seed, buffer, metrics) = result?;
-            let rel = format!("{}/seed{}.csv", scenario.name, seed);
-            fs::write(cfg.out_dir.join(&rel), &buffer)?;
-            let record = manifest
-                .record_mut(&scenario.name, seed)
-                .expect("record exists for every job");
-            record.status = JobStatus::Done;
-            record.artifact = rel;
-            record.metrics = metrics;
-            executed += 1;
-        }
-        manifest.save(&cfg.out_dir)?;
+            let result = scenario
+                .run_job(seed, &mut buffer)
+                .map(|metrics| (seed, buffer, metrics));
+            ((idx, seed), result)
+        },
+        |_, ((idx, seed), result)| {
+            let scenario = &scenarios[idx];
+            let commit = result.and_then(|(seed, buffer, metrics)| {
+                let rel = format!("{}/seed{}.csv", scenario.name, seed);
+                fs::write(cfg.out_dir.join(&rel), &buffer)?;
+                let record = manifest
+                    .record_mut(&scenario.name, seed)
+                    .expect("record exists for every job");
+                record.status = JobStatus::Done;
+                record.artifact = rel;
+                record.metrics = metrics;
+                executed += 1;
+                commits_since_save += 1;
+                remaining_per_scenario[idx] -= 1;
+                if remaining_per_scenario[idx] == 0 {
+                    progress(cfg, &format!("{}: all seeds done", scenario.name));
+                }
+                if remaining_per_scenario[idx] == 0 || commits_since_save >= CHECKPOINT_EVERY {
+                    manifest.save(&cfg.out_dir)?;
+                    commits_since_save = 0;
+                }
+                Ok(())
+            });
+            match commit {
+                Ok(()) => true,
+                Err(e) => {
+                    first_error = Some(io::Error::new(
+                        e.kind(),
+                        format!("job {}/seed{seed}: {e}", scenario.name),
+                    ));
+                    false // cancel remaining work
+                }
+            }
+        },
+    );
+    if let Some(e) = first_error {
+        // Checkpoint what completed before surfacing the failure, so a
+        // rerun resumes instead of recomputing.
+        let _ = manifest.save(&cfg.out_dir);
+        return Err(e);
     }
 
     // ---- Aggregation and campaign-level artifacts.

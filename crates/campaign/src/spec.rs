@@ -11,9 +11,14 @@
 use crate::json::Json;
 use mhca_bench::report;
 use mhca_channels::ChannelModelSpec;
+use mhca_core::experiment::{
+    run_experiment, ComplexityExperiment, Experiment, Fig5Experiment, Fig6Experiment,
+    Fig7Experiment, Fig8Experiment, ObserverKind, ObserverSet, PolicyDuelExperiment,
+    PolicyRunExperiment, Table2Experiment, Theorem3Experiment,
+};
 use mhca_core::experiments::{
-    self, ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig,
-    PolicySpec, Theorem3Config,
+    ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig, PolicySpec,
+    Theorem3Config,
 };
 use mhca_graph::TopologySpec;
 use mhca_sim::LossSpec;
@@ -109,175 +114,46 @@ impl ExperimentKind {
         }
     }
 
-    /// Runs the experiment for one seed, writes the per-seed figure CSV
-    /// into `artifact`, and returns the flat headline metrics used for
-    /// cross-seed aggregation.
-    pub fn run(&self, seed: u64, artifact: &mut dyn Write) -> io::Result<Vec<(String, f64)>> {
-        let mut metrics = Vec::new();
+    /// Builds the unified-engine [`Experiment`] this kind describes. All
+    /// eight paper workloads (plus the duel) run through this one
+    /// surface; the per-kind metric extraction lives with the experiment
+    /// implementations in `mhca_core::experiment`.
+    pub fn experiment(&self) -> Box<dyn Experiment> {
         match self {
-            ExperimentKind::Fig5(cfg) => {
-                let points = experiments::run_fig5(cfg);
-                report::render_fig5(&points, artifact)?;
-                for p in &points {
-                    metrics.push((format!("minirounds_n{}", p.n), p.minirounds_used as f64));
-                }
-            }
-            ExperimentKind::Fig6(cfg) => {
-                let cfg = Fig6Config {
-                    seed,
-                    ..cfg.clone()
-                };
-                let series = experiments::fig6(&cfg);
-                report::render_fig6(&cfg, &series, artifact)?;
-                for s in &series {
-                    let label = format!("{}x{}", s.n, s.m);
-                    metrics.push((
-                        format!("final_weight_{label}"),
-                        *s.weight_by_miniround.last().unwrap_or(&0.0),
-                    ));
-                    metrics.push((format!("converged_at_{label}"), s.converged_at as f64));
-                }
-            }
-            ExperimentKind::Fig7(cfg) => {
-                let cfg = Fig7Config {
-                    seed,
-                    ..cfg.clone()
-                };
-                let out = experiments::fig7(&cfg);
-                report::render_fig7(&out, artifact)?;
-                metrics.push(("optimal_kbps".into(), out.optimal_kbps));
-                metrics.push(("beta".into(), out.beta));
-                metrics.push((
-                    "alg2_final_regret".into(),
-                    *out.algorithm2.practical_regret.last().unwrap_or(&0.0),
-                ));
-                metrics.push((
-                    "llr_final_regret".into(),
-                    *out.llr.practical_regret.last().unwrap_or(&0.0),
-                ));
-                metrics.push((
-                    "alg2_final_beta_regret".into(),
-                    *out.algorithm2.practical_beta_regret.last().unwrap_or(&0.0),
-                ));
-                metrics.push((
-                    "alg2_avg_expected_kbps".into(),
-                    out.algorithm2.average_expected_kbps,
-                ));
-                metrics.push((
-                    "llr_avg_expected_kbps".into(),
-                    out.llr.average_expected_kbps,
-                ));
-            }
-            ExperimentKind::Fig8(cfg) => {
-                let cfg = Fig8Config {
-                    seed,
-                    ..cfg.clone()
-                };
-                let runs = experiments::fig8(&cfg);
-                report::render_fig8(&runs, artifact)?;
-                for run in &runs {
-                    let a_act = run.algorithm2.avg_actual_throughput.last().unwrap_or(&0.0);
-                    let a_est = run
-                        .algorithm2
-                        .avg_estimated_throughput
-                        .last()
-                        .unwrap_or(&0.0);
-                    let l_act = run.llr.avg_actual_throughput.last().unwrap_or(&0.0);
-                    metrics.push((format!("alg2_actual_y{}", run.y), *a_act));
-                    metrics.push((format!("llr_actual_y{}", run.y), *l_act));
-                    metrics.push((format!("alg2_estimate_gap_y{}", run.y), a_est - a_act));
-                }
-            }
-            ExperimentKind::Table2 => {
-                let t = experiments::table2();
-                report::render_table2(&t, artifact)?;
-                metrics.push(("theta".into(), t.theta));
-                metrics.push(("miniround_ms".into(), t.miniround_ms));
-                metrics.push((
-                    "minirounds_per_decision".into(),
-                    t.minirounds_per_decision as f64,
-                ));
-            }
-            ExperimentKind::Complexity(cfg) => {
-                let cfg = ComplexityConfig {
-                    seed,
-                    ..cfg.clone()
-                };
-                let points = experiments::run_complexity(&cfg);
-                report::render_complexity(&points, artifact)?;
-                for p in &points {
-                    metrics.push((format!("mean_tx_n{}_r{}", p.n, p.r), p.mean_tx_per_vertex));
-                    metrics.push((format!("mean_ball_n{}_r{}", p.n, p.r), p.mean_ball_size));
-                }
-            }
-            ExperimentKind::Theorem3(cfg) => {
-                let cfg = Theorem3Config {
-                    seed,
-                    ..cfg.clone()
-                };
-                let points = experiments::run_theorem3(&cfg);
-                report::render_theorem3(&points, artifact)?;
-                let n = points.len().max(1) as f64;
-                let mean = |f: fn(&experiments::Theorem3Point) -> f64| {
-                    points.iter().map(f).sum::<f64>() / n
-                };
-                metrics.push((
-                    "central_ratio_mean".into(),
-                    mean(|p| p.centralized / p.optimal),
-                ));
-                metrics.push((
-                    "dist_ratio_mean".into(),
-                    mean(|p| p.distributed / p.optimal),
-                ));
-                metrics.push((
-                    "capped_ratio_mean".into(),
-                    mean(|p| p.distributed_capped / p.optimal),
-                ));
-            }
-            ExperimentKind::PolicyRun(cfg) => {
-                let cfg = PolicyRunConfig { seed, ..*cfg };
-                let run = experiments::run_policy_spec(&cfg);
-                report::render_policy_run(&cfg, &run, artifact)?;
-                metrics.push(("avg_expected_kbps".into(), run.average_expected_kbps));
-                metrics.push(("avg_effective_kbps".into(), run.average_effective_kbps));
-                metrics.push(("avg_observed_kbps".into(), run.average_observed_kbps));
-                metrics.push(("transmissions".into(), run.comm.transmissions as f64));
-                metrics.push(("decisions".into(), run.comm.decisions as f64));
-            }
-            ExperimentKind::PolicyDuel { base, challenger } => {
-                let cfg_a = PolicyRunConfig { seed, ..*base };
-                let cfg_b = PolicyRunConfig {
-                    policy: *challenger,
-                    ..cfg_a
-                };
-                // Same seed ⇒ same network and channel realizations: a
-                // paired comparison, as in the paper's Fig. 7/8.
-                let run_a = experiments::run_policy_spec(&cfg_a);
-                let run_b = experiments::run_policy_spec(&cfg_b);
-                report::render_policy_run(&cfg_a, &run_a, artifact)?;
-                report::render_policy_run(&cfg_b, &run_b, artifact)?;
-                let (a, b) = (base.policy.label(), challenger.label());
-                metrics.push((
-                    format!("{a}_avg_expected_kbps"),
-                    run_a.average_expected_kbps,
-                ));
-                metrics.push((
-                    format!("{b}_avg_expected_kbps"),
-                    run_b.average_expected_kbps,
-                ));
-                metrics.push((
-                    "advantage_kbps".into(),
-                    run_a.average_expected_kbps - run_b.average_expected_kbps,
-                ));
-                metrics.push((
-                    "a_wins".into(),
-                    f64::from(u8::from(
-                        run_a.average_expected_kbps > run_b.average_expected_kbps,
-                    )),
-                ));
-            }
+            ExperimentKind::Fig5(cfg) => Box::new(Fig5Experiment(cfg.clone())),
+            ExperimentKind::Fig6(cfg) => Box::new(Fig6Experiment(cfg.clone())),
+            ExperimentKind::Fig7(cfg) => Box::new(Fig7Experiment(cfg.clone())),
+            ExperimentKind::Fig8(cfg) => Box::new(Fig8Experiment(cfg.clone())),
+            ExperimentKind::Table2 => Box::new(Table2Experiment),
+            ExperimentKind::Complexity(cfg) => Box::new(ComplexityExperiment(cfg.clone())),
+            ExperimentKind::Theorem3(cfg) => Box::new(Theorem3Experiment(cfg.clone())),
+            ExperimentKind::PolicyRun(cfg) => Box::new(PolicyRunExperiment(cfg.clone())),
+            ExperimentKind::PolicyDuel { base, challenger } => Box::new(PolicyDuelExperiment {
+                base: base.clone(),
+                challenger: *challenger,
+            }),
         }
-        Ok(metrics)
+    }
+
+    /// Runs the experiment for one seed with no observers attached. See
+    /// [`ExperimentKind::run_with_observers`].
+    pub fn run(&self, seed: u64, artifact: &mut dyn Write) -> io::Result<Vec<(String, f64)>> {
+        self.run_with_observers(seed, artifact, ObserverSet::new())
+    }
+
+    /// Runs the experiment for one seed through the unified engine,
+    /// writes the per-seed figure CSV into `artifact`, and returns the
+    /// flat headline metrics (experiment metrics first, then the
+    /// registered observers' metrics) used for cross-seed aggregation.
+    pub fn run_with_observers(
+        &self,
+        seed: u64,
+        artifact: &mut dyn Write,
+        observers: ObserverSet,
+    ) -> io::Result<Vec<(String, f64)>> {
+        let out = run_experiment(self.experiment().as_ref(), seed, observers);
+        report::render_experiment(&out.data, artifact)?;
+        Ok(out.metrics.into_rows())
     }
 
     /// Canonical JSON rendering of the kind and its full parameterization
@@ -431,7 +307,8 @@ fn loss_json(l: &LossSpec) -> Json {
     ])
 }
 
-/// One named scenario of a campaign: an experiment kind and a seed range.
+/// One named scenario of a campaign: an experiment kind, a seed range,
+/// and the streaming observers to attach to each job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Unique scenario name (also the artifact directory name).
@@ -442,10 +319,15 @@ pub struct ScenarioSpec {
     pub kind: ExperimentKind,
     /// Seeds to run it over.
     pub seeds: SeedRange,
+    /// Streaming metric sinks registered for every job of this scenario
+    /// (fresh instances per job). Only experiments that drive Algorithm 2
+    /// round loops feed them; on others they contribute zero-valued
+    /// metrics.
+    pub observers: Vec<ObserverKind>,
 }
 
 impl ScenarioSpec {
-    /// Convenience constructor.
+    /// Convenience constructor (no observers).
     pub fn new(
         name: impl Into<String>,
         title: impl Into<String>,
@@ -457,7 +339,21 @@ impl ScenarioSpec {
             title: title.into(),
             kind,
             seeds,
+            observers: Vec::new(),
         }
+    }
+
+    /// Builder-style observer attachment.
+    pub fn with_observers(mut self, observers: Vec<ObserverKind>) -> Self {
+        self.observers = observers;
+        self
+    }
+
+    /// Runs one job of this scenario: the experiment at `seed` with this
+    /// scenario's observers attached.
+    pub fn run_job(&self, seed: u64, artifact: &mut dyn Write) -> io::Result<Vec<(String, f64)>> {
+        self.kind
+            .run_with_observers(seed, artifact, ObserverSet::from_kinds(&self.observers))
     }
 
     /// Expands this scenario into its per-seed jobs, in seed order.
@@ -472,9 +368,9 @@ impl ScenarioSpec {
     }
 
     /// Canonical JSON rendering (recorded in the manifest; hashed for
-    /// resume validation).
+    /// resume validation; re-ingestible via `mhca_campaign::ingest`).
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("name", Json::str(&self.name)),
             ("title", Json::str(&self.title)),
             ("spec", self.kind.to_json()),
@@ -485,7 +381,19 @@ impl ScenarioSpec {
                     ("count", Json::Num(self.seeds.count as f64)),
                 ]),
             ),
-        ])
+        ];
+        if !self.observers.is_empty() {
+            pairs.push((
+                "observers",
+                Json::Arr(
+                    self.observers
+                        .iter()
+                        .map(|o| Json::str(o.label()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -673,6 +581,64 @@ mod tests {
     #[should_panic(expected = "2^53")]
     fn oversized_seed_ranges_are_rejected() {
         let _ = SeedRange::new(u64::MAX - 1, 1);
+    }
+
+    #[test]
+    fn kind_tags_match_engine_shapes() {
+        let kinds = [
+            ExperimentKind::Fig5(Fig5Config::quick()),
+            ExperimentKind::Fig6(Fig6Config::quick()),
+            ExperimentKind::Fig7(Fig7Config::quick()),
+            ExperimentKind::Fig8(Fig8Config::quick()),
+            ExperimentKind::Table2,
+            ExperimentKind::Complexity(ComplexityConfig::quick()),
+            ExperimentKind::Theorem3(Theorem3Config::quick()),
+            ExperimentKind::PolicyRun(PolicyRunConfig::quick()),
+            ExperimentKind::PolicyDuel {
+                base: PolicyRunConfig::quick(),
+                challenger: PolicySpec::Random,
+            },
+        ];
+        for kind in &kinds {
+            assert_eq!(kind.tag(), kind.experiment().spec().kind);
+        }
+    }
+
+    #[test]
+    fn scenario_observers_contribute_metrics_and_hash() {
+        let plain = ScenarioSpec::new(
+            "run",
+            "run",
+            ExperimentKind::PolicyRun(PolicyRunConfig::quick()),
+            SeedRange::new(0, 1),
+        );
+        let observed = plain
+            .clone()
+            .with_observers(vec![ObserverKind::CommTotals, ObserverKind::Throughput]);
+        // Observer choice is part of the canonical spec (and so the hash).
+        assert_ne!(
+            spec_hash("c", std::slice::from_ref(&plain)),
+            spec_hash("c", std::slice::from_ref(&observed))
+        );
+        let text = observed.to_json().to_string_pretty();
+        assert!(text.contains("\"observers\""));
+        assert!(text.contains("\"comm-totals\""));
+
+        // Observer metrics ride behind the experiment's own metrics.
+        let mut sink = Vec::new();
+        let metrics = observed.run_job(3, &mut sink).unwrap();
+        assert!(metrics.iter().any(|(k, _)| k == "avg_expected_kbps"));
+        let obs_avg = metrics
+            .iter()
+            .find(|(k, _)| k == "throughput:avg_observed_kbps")
+            .expect("observer metric present")
+            .1;
+        let run_avg = metrics
+            .iter()
+            .find(|(k, _)| k == "avg_observed_kbps")
+            .unwrap()
+            .1;
+        assert!((obs_avg - run_avg).abs() < 1e-9);
     }
 
     #[test]

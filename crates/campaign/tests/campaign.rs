@@ -232,6 +232,92 @@ fn parallel_and_serial_campaigns_aggregate_identically() {
 }
 
 #[test]
+fn bounded_jobs_campaign_matches_serial_byte_for_byte() {
+    // The --jobs worker bound spans the whole matrix; any bound must
+    // produce the same artifacts and records as strict serial execution.
+    let dir_bounded = tmp_dir("jobs2");
+    let dir_serial = tmp_dir("jobs-serial");
+    let scenarios = registry::quick_registry();
+    let bounded = runner::run(&quiet(CampaignConfig {
+        jobs: Some(2),
+        ..CampaignConfig::new("quick", &dir_bounded, scenarios.clone())
+    }))
+    .unwrap();
+    let serial = runner::run(&quiet(CampaignConfig {
+        parallel: false,
+        ..CampaignConfig::new("quick", &dir_serial, scenarios)
+    }))
+    .unwrap();
+
+    assert_eq!(bounded.summaries, serial.summaries);
+    let m_bounded = Manifest::load(&dir_bounded).unwrap().unwrap();
+    let m_serial = Manifest::load(&dir_serial).unwrap().unwrap();
+    assert_eq!(m_bounded.jobs, m_serial.jobs);
+    assert_eq!(
+        fs::read_to_string(dir_bounded.join("campaign.csv")).unwrap(),
+        fs::read_to_string(dir_serial.join("campaign.csv")).unwrap()
+    );
+
+    fs::remove_dir_all(&dir_bounded).unwrap();
+    fs::remove_dir_all(&dir_serial).unwrap();
+}
+
+#[test]
+fn scenario_observers_feed_campaign_aggregates() {
+    // fig7-quick carries the comm-totals observer: its streamed metrics
+    // must land in the manifest, campaign.csv, and the summary — produced
+    // by the RoundObserver pipeline, not a RunResult field.
+    let dir = tmp_dir("observers");
+    let scenarios = registry::quick_registry();
+    let outcome = runner::run(&quiet(CampaignConfig::new("quick", &dir, scenarios))).unwrap();
+
+    let fig7 = outcome
+        .summaries
+        .iter()
+        .find(|s| s.name == "fig7-quick")
+        .unwrap();
+    let (_, agg) = fig7
+        .aggregates
+        .iter()
+        .find(|(m, _)| m == "comm-totals:decide_transmissions")
+        .expect("observer metric aggregated across seeds");
+    assert_eq!(agg.runs, 3);
+    assert!(agg.mean > 0.0);
+    // Both Fig. 7 contestants run every slot: 2 runs × horizon decisions.
+    let horizon = mhca_core::experiments::Fig7Config::quick().horizon as f64;
+    let (_, decisions) = fig7
+        .aggregates
+        .iter()
+        .find(|(m, _)| m == "comm-totals:decisions")
+        .unwrap();
+    assert_eq!(decisions.mean, 2.0 * horizon);
+
+    let campaign_csv = fs::read_to_string(dir.join("campaign.csv")).unwrap();
+    assert!(campaign_csv.contains("comm-totals:decide_transmissions"));
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ingested_scenario_file_runs_like_a_registry_scenario() {
+    // The spec-ingestion path end to end at the library level: emit a
+    // registry scenario as JSON (what `show` prints), mutate nothing,
+    // re-ingest, and run it in a campaign.
+    let dir = tmp_dir("ingested");
+    let shown = registry::find("fig6-quick").unwrap();
+    let text = shown.to_json().to_string_pretty();
+    let parsed = mhca_campaign::ingest::scenarios_from_str(&text).unwrap();
+    assert_eq!(parsed, vec![shown]);
+
+    let outcome = runner::run(&quiet(CampaignConfig::new("custom", &dir, parsed))).unwrap();
+    assert_eq!(outcome.executed, 3);
+    assert!(dir.join("fig6-quick/seed61.csv").is_file());
+    assert!(dir.join("fig6-quick/summary.csv").is_file());
+
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn mismatched_spec_is_refused_unless_forced() {
     let dir = tmp_dir("mismatch");
     let quick_specs = registry::quick_registry();

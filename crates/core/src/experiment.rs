@@ -1,0 +1,1096 @@
+//! The unified experiment surface: one [`Experiment`] trait, one engine,
+//! one streaming metrics pipeline.
+//!
+//! Every evaluation workload of the reproduction — the paper's figures
+//! and tables as well as the campaign cross-product runs — implements
+//! [`Experiment`]: `spec()` describes the scenario's shape and `run()`
+//! executes it against an [`ExperimentCtx`] (the seed plus the registered
+//! [`RoundObserver`]s). The engine entry point [`run_experiment`] drives a
+//! run and folds the observers' [`MetricTable`]s into the output, so the
+//! campaign layer and the figure binaries share one execution path.
+//!
+//! Metrics come in two layers:
+//!
+//! * **Headline metrics** — each experiment emits its own flat
+//!   `(metric, value)` rows (the quantities its paper figure plots).
+//! * **Observer metrics** — [`RoundObserver`]s stream over every Algorithm
+//!   2 round via [`RoundRecord`] and contribute whatever they measured at
+//!   [`RoundObserver::finish`]. New metrics (decide-phase wall time,
+//!   communication totals, per-vertex transmission load, …) are new
+//!   observers, not new [`RunResult`] fields; the campaign attaches
+//!   exactly the sinks a scenario needs via [`ObserverKind`].
+//!
+//! The pre-existing free functions of [`crate::experiments`]
+//! (`fig6`, `run_fig5`, `run_policy_spec`, …) remain as thin deprecated
+//! shims over the implementations in this module.
+
+use crate::{
+    distributed::{DistributedPtas, DistributedPtasConfig},
+    experiments::{
+        ComplexityConfig, ComplexityPoint, Fig5Config, Fig6Config, Fig6Series, Fig7Config,
+        Fig7Output, Fig8Config, Fig8Run, PolicyRunConfig, PolicySpec, Table2, Theorem3Config,
+        Theorem3Point, WorstCasePoint,
+    },
+    network::Network,
+    runner::{run_policy_observed, Algorithm2Config, RunResult},
+    time::TimeModel,
+};
+use mhca_bandit::policies::{CsUcb, Llr};
+use mhca_graph::{topology, ExtendedConflictGraph};
+
+// ---------------------------------------------------------------------------
+// Metric tables.
+// ---------------------------------------------------------------------------
+
+/// An ordered list of flat `(metric, value)` rows — the cross-seed
+/// aggregation currency of the campaign layer. Order is emission order
+/// (deterministic), so aggregated CSV artifacts are stable across runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricTable {
+    rows: Vec<(String, f64)>,
+}
+
+impl MetricTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        MetricTable::default()
+    }
+
+    /// Appends one metric row.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.rows.push((name.into(), value));
+    }
+
+    /// First value recorded under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.rows.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The rows, in emission order.
+    pub fn rows(&self) -> &[(String, f64)] {
+        &self.rows
+    }
+
+    /// Consumes the table into its rows.
+    pub fn into_rows(self) -> Vec<(String, f64)> {
+        self.rows
+    }
+
+    /// Appends all of `other`'s rows.
+    pub fn extend(&mut self, other: MetricTable) {
+        self.rows.extend(other.rows);
+    }
+
+    /// `true` when no metrics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The streaming round-observer pipeline.
+// ---------------------------------------------------------------------------
+
+/// One Algorithm 2 decision period, streamed to observers as it happens.
+///
+/// The engine emits one record per strategy decision (one per slot when
+/// `update_period == 1`); borrowed slices point into the engine's scratch
+/// and are only valid for the duration of the call.
+#[derive(Debug)]
+pub struct RoundRecord<'a> {
+    /// First slot of this period (0-based).
+    pub slot: u64,
+    /// Slots the period spans (`update_period`, clipped at the horizon).
+    pub period_len: u64,
+    /// Strategy decisions executed so far, including this one (1-based).
+    pub decision: u64,
+    /// Winning vertices of this period's strategy decision.
+    pub winners: &'a [usize],
+    /// Per-slot expected (true-mean) throughput of the strategy (kbps).
+    pub expected_kbps: f64,
+    /// Total raw observed throughput across the period (kbps·slots).
+    pub observed_kbps: f64,
+    /// The policy's own estimate of the strategy value (kbps).
+    pub estimated_kbps: f64,
+    /// Wall-clock nanoseconds the strategy decision took (0 when no
+    /// observers are registered — the engine skips the clock then).
+    pub decide_ns: u64,
+    /// Relay broadcasts of this decision's floods.
+    pub decide_transmissions: u64,
+    /// Message copies delivered by this decision's floods.
+    pub decide_delivered: u64,
+    /// Pipelined mini-timeslots of this decision.
+    pub decide_timeslots: u64,
+    /// Per-vertex relay broadcasts of this decision (indexed by vertex).
+    pub per_vertex_tx: &'a [u64],
+}
+
+/// A streaming metrics sink over Algorithm 2 rounds.
+///
+/// Observers see every decision period of every [`run_policy_observed`]
+/// call made while they are registered (a paired experiment like Fig. 7
+/// streams both contestants' runs through the same observers), then emit
+/// whatever they measured as a [`MetricTable`].
+pub trait RoundObserver {
+    /// Called once per decision period.
+    fn on_round(&mut self, record: &RoundRecord<'_>);
+
+    /// Called once after the experiment completes; returns the metrics.
+    fn finish(&mut self) -> MetricTable;
+}
+
+/// The ordered set of observers registered for one experiment run.
+#[derive(Default)]
+pub struct ObserverSet {
+    observers: Vec<(&'static str, Box<dyn RoundObserver>)>,
+}
+
+impl ObserverSet {
+    /// An empty set (the engine then skips all streaming work).
+    pub fn new() -> Self {
+        ObserverSet::default()
+    }
+
+    /// Builds a set from declarative kinds.
+    pub fn from_kinds(kinds: &[ObserverKind]) -> Self {
+        let mut set = ObserverSet::new();
+        for kind in kinds {
+            set.register(kind.label(), kind.build());
+        }
+        set
+    }
+
+    /// Registers an observer under a label (prefixed onto its metrics, so
+    /// two observers cannot silently collide).
+    pub fn register(&mut self, label: &'static str, observer: Box<dyn RoundObserver>) {
+        self.observers.push((label, observer));
+    }
+
+    /// `true` when no observers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// Streams one record to every observer, in registration order.
+    pub fn emit(&mut self, record: &RoundRecord<'_>) {
+        for (_, observer) in &mut self.observers {
+            observer.on_round(record);
+        }
+    }
+
+    /// Finishes every observer and appends its metrics (names prefixed
+    /// with the observer label) to `table`.
+    pub fn finish_into(&mut self, table: &mut MetricTable) {
+        for (label, observer) in &mut self.observers {
+            for (name, value) in observer.finish().into_rows() {
+                table.push(format!("{label}:{name}"), value);
+            }
+        }
+        self.observers.clear();
+    }
+}
+
+/// Declarative observer choice — the serializable form campaign scenario
+/// specs carry, so a scenario states which metric sinks to attach without
+/// naming concrete types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverKind {
+    /// Wall-clock time spent in the decide phase ([`DecideTimingObserver`]).
+    DecideTiming,
+    /// Decision-flood communication totals ([`CommTotalsObserver`]).
+    CommTotals,
+    /// Per-vertex transmission load ([`PerVertexTxObserver`]).
+    PerVertexTx,
+    /// Observed-throughput averages ([`ThroughputObserver`]).
+    Throughput,
+}
+
+impl ObserverKind {
+    /// Every kind, in canonical order.
+    pub const ALL: [ObserverKind; 4] = [
+        ObserverKind::DecideTiming,
+        ObserverKind::CommTotals,
+        ObserverKind::PerVertexTx,
+        ObserverKind::Throughput,
+    ];
+
+    /// Kebab-case label used in scenario JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObserverKind::DecideTiming => "decide-timing",
+            ObserverKind::CommTotals => "comm-totals",
+            ObserverKind::PerVertexTx => "per-vertex-tx",
+            ObserverKind::Throughput => "throughput",
+        }
+    }
+
+    /// Inverse of [`ObserverKind::label`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    /// Builds a fresh observer instance.
+    pub fn build(self) -> Box<dyn RoundObserver> {
+        match self {
+            ObserverKind::DecideTiming => Box::new(DecideTimingObserver::default()),
+            ObserverKind::CommTotals => Box::new(CommTotalsObserver::default()),
+            ObserverKind::PerVertexTx => Box::new(PerVertexTxObserver::default()),
+            ObserverKind::Throughput => Box::new(ThroughputObserver::default()),
+        }
+    }
+}
+
+/// Measures decide-phase wall time: total and mean per decision. This is
+/// the canonical example of a metric no [`RunResult`] field carries — it
+/// exists only while the round loop runs, so it must be streamed.
+#[derive(Debug, Default)]
+pub struct DecideTimingObserver {
+    total_ns: u64,
+    decisions: u64,
+}
+
+impl RoundObserver for DecideTimingObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        self.total_ns += record.decide_ns;
+        self.decisions += 1;
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        t.push("decide_ms_total", self.total_ns as f64 / 1e6);
+        t.push(
+            "decide_us_mean",
+            self.total_ns as f64 / 1e3 / self.decisions.max(1) as f64,
+        );
+        t
+    }
+}
+
+/// Accumulates decision-flood communication totals across the run.
+#[derive(Debug, Default)]
+pub struct CommTotalsObserver {
+    transmissions: u64,
+    delivered: u64,
+    timeslots: u64,
+    decisions: u64,
+}
+
+impl RoundObserver for CommTotalsObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        self.transmissions += record.decide_transmissions;
+        self.delivered += record.decide_delivered;
+        self.timeslots += record.decide_timeslots;
+        self.decisions += 1;
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        t.push("decide_transmissions", self.transmissions as f64);
+        t.push("decide_delivered", self.delivered as f64);
+        t.push("decide_timeslots", self.timeslots as f64);
+        t.push("decisions", self.decisions as f64);
+        t
+    }
+}
+
+/// Accumulates per-vertex decision-flood transmissions; reports the mean
+/// and max load — the streaming counterpart of the Section IV-C
+/// per-vertex communication claim.
+#[derive(Debug, Default)]
+pub struct PerVertexTxObserver {
+    per_vertex: Vec<u64>,
+}
+
+impl RoundObserver for PerVertexTxObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        if self.per_vertex.len() < record.per_vertex_tx.len() {
+            self.per_vertex.resize(record.per_vertex_tx.len(), 0);
+        }
+        for (acc, &c) in self.per_vertex.iter_mut().zip(record.per_vertex_tx) {
+            *acc += c;
+        }
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        let n = self.per_vertex.len().max(1) as f64;
+        let total: u64 = self.per_vertex.iter().sum();
+        t.push("tx_per_vertex_mean", total as f64 / n);
+        t.push(
+            "tx_per_vertex_max",
+            self.per_vertex.iter().copied().max().unwrap_or(0) as f64,
+        );
+        t
+    }
+}
+
+/// Accumulates observed throughput; reports the per-slot average. Useful
+/// as a cross-check against [`RunResult::average_observed_kbps`] and as a
+/// sensing-cost numerator for limited-sensing variants.
+#[derive(Debug, Default)]
+pub struct ThroughputObserver {
+    observed_total: f64,
+    slots: u64,
+}
+
+impl RoundObserver for ThroughputObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        self.observed_total += record.observed_kbps;
+        self.slots += record.period_len;
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        t.push(
+            "avg_observed_kbps",
+            self.observed_total / self.slots.max(1) as f64,
+        );
+        t.push("slots", self.slots as f64);
+        t
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Experiment trait and its engine.
+// ---------------------------------------------------------------------------
+
+/// The static shape of an experiment — what a scheduler or validator can
+/// know without running it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioShape {
+    /// Short kind tag (also the campaign spec JSON tag).
+    pub kind: &'static str,
+    /// `true` when the workload is deterministic — seeds only replicate.
+    pub deterministic: bool,
+    /// `true` when the experiment drives Algorithm 2 round loops, i.e.
+    /// registered [`RoundObserver`]s will actually see records.
+    pub streams_rounds: bool,
+}
+
+/// Execution context handed to [`Experiment::run`]: the seed (overriding
+/// any seed field the experiment's config carries) and the registered
+/// observers, which experiments thread into [`run_policy_observed`].
+pub struct ExperimentCtx {
+    /// The seed for this run.
+    pub seed: u64,
+    /// Streaming metric sinks.
+    pub observers: ObserverSet,
+}
+
+/// The typed payload of one experiment run — what the presentation layer
+/// (`mhca_bench::report`) renders into the figure CSV.
+// One value exists per experiment run (seconds of simulation), so the
+// size spread between variants is irrelevant; boxing the large ones
+// would only complicate every pattern match.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentData {
+    /// Fig. 5 worst-case points.
+    Fig5(Vec<WorstCasePoint>),
+    /// Fig. 6 convergence series.
+    Fig6 {
+        /// Mini-rounds plotted (series are padded to this length).
+        minirounds: usize,
+        /// One series per `(N, M)` size.
+        series: Vec<Fig6Series>,
+    },
+    /// Fig. 7 regret comparison.
+    Fig7(Fig7Output),
+    /// Fig. 8 periodic-update runs.
+    Fig8(Vec<Fig8Run>),
+    /// Table II.
+    Table2(Table2),
+    /// Section IV-C complexity points.
+    Complexity(Vec<ComplexityPoint>),
+    /// Theorem 3 quality comparison.
+    Theorem3(Vec<Theorem3Point>),
+    /// One generic spec-driven Algorithm 2 run.
+    PolicyRun {
+        /// The configuration actually run (seed resolved).
+        cfg: PolicyRunConfig,
+        /// The run.
+        run: RunResult,
+    },
+    /// A paired policy duel on identical realizations.
+    PolicyDuel {
+        /// Contestant A: `(config, run)`.
+        a: (PolicyRunConfig, RunResult),
+        /// Contestant B: `(config, run)`.
+        b: (PolicyRunConfig, RunResult),
+    },
+}
+
+/// What one experiment run produced: the typed figure payload plus the
+/// flat headline metrics (observer metrics are appended by the engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutput {
+    /// Typed payload for rendering.
+    pub data: ExperimentData,
+    /// Flat metrics for cross-seed aggregation.
+    pub metrics: MetricTable,
+}
+
+/// One experiment: a declarative shape plus an execution against a
+/// context. Implementations are plain data (a config struct), so they are
+/// `Send + Sync` and can be constructed inside parallel campaign workers.
+pub trait Experiment: Send + Sync {
+    /// The static shape of this experiment.
+    fn spec(&self) -> ScenarioShape;
+
+    /// Runs the experiment for `ctx.seed`, streaming rounds to
+    /// `ctx.observers` where the workload drives Algorithm 2.
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput;
+}
+
+/// The engine: runs an experiment for one seed with the given observers
+/// and folds the observers' metrics into the output.
+pub fn run_experiment(exp: &dyn Experiment, seed: u64, observers: ObserverSet) -> ExperimentOutput {
+    let mut ctx = ExperimentCtx { seed, observers };
+    let mut out = exp.run(&mut ctx);
+    ctx.observers.finish_into(&mut out.metrics);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The eight experiment kinds (plus the campaign duel), unified.
+// ---------------------------------------------------------------------------
+
+/// Fig. 5: linear-network worst case for the strategy decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Experiment(pub Fig5Config);
+
+impl Experiment for Fig5Experiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "fig5",
+            deterministic: true,
+            streams_rounds: false,
+        }
+    }
+
+    fn run(&self, _ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let cfg = &self.0;
+        let points: Vec<WorstCasePoint> = cfg
+            .ns
+            .iter()
+            .map(|&n| {
+                let g = topology::line(n);
+                let h = ExtendedConflictGraph::new(&g, 1);
+                let weights: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 / (n + 1) as f64).collect();
+                let dcfg = DistributedPtasConfig::default()
+                    .with_r(cfg.r)
+                    .with_max_minirounds(None);
+                let mut ptas = DistributedPtas::new(&h, dcfg);
+                let out = ptas.decide(&weights);
+                debug_assert!(out.all_marked);
+                WorstCasePoint {
+                    n,
+                    minirounds_used: out.minirounds_used,
+                }
+            })
+            .collect();
+        let mut metrics = MetricTable::new();
+        for p in &points {
+            metrics.push(format!("minirounds_n{}", p.n), p.minirounds_used as f64);
+        }
+        ExperimentOutput {
+            data: ExperimentData::Fig5(points),
+            metrics,
+        }
+    }
+}
+
+/// Fig. 6: convergence of Algorithm 3 over mini-rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Experiment(pub Fig6Config);
+
+impl Experiment for Fig6Experiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "fig6",
+            deterministic: false,
+            streams_rounds: false,
+        }
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let cfg = &self.0;
+        let series: Vec<Fig6Series> = cfg
+            .sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, m))| {
+                let net =
+                    Network::from_spec(n, m, &cfg.topology, &cfg.channel, ctx.seed + i as u64);
+                let weights = net.channels().means();
+                let dcfg = DistributedPtasConfig::default()
+                    .with_r(cfg.r)
+                    .with_max_minirounds(Some(cfg.minirounds))
+                    .with_loss_spec(cfg.loss);
+                let mut ptas = DistributedPtas::new(net.h(), dcfg);
+                let out = ptas.decide(&weights);
+                let mut weight_by_miniround = out.per_miniround_weight.clone();
+                let last = weight_by_miniround.last().copied().unwrap_or(0.0);
+                weight_by_miniround.resize(cfg.minirounds, last);
+                Fig6Series {
+                    n,
+                    m,
+                    weight_by_miniround,
+                    converged_at: out.minirounds_used,
+                }
+            })
+            .collect();
+        let mut metrics = MetricTable::new();
+        for s in &series {
+            let label = format!("{}x{}", s.n, s.m);
+            metrics.push(
+                format!("final_weight_{label}"),
+                *s.weight_by_miniround.last().unwrap_or(&0.0),
+            );
+            metrics.push(format!("converged_at_{label}"), s.converged_at as f64);
+        }
+        ExperimentOutput {
+            data: ExperimentData::Fig6 {
+                minirounds: cfg.minirounds,
+                series,
+            },
+            metrics,
+        }
+    }
+}
+
+/// Fig. 7: practical regret and β-regret, Algorithm 2 vs LLR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Experiment(pub Fig7Config);
+
+impl Experiment for Fig7Experiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "fig7",
+            deterministic: false,
+            streams_rounds: true,
+        }
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let cfg = &self.0;
+        let seed = ctx.seed;
+        let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, seed);
+        let optimal = net.optimal().weight;
+        let dcfg = DistributedPtasConfig::default()
+            .with_r(cfg.r)
+            .with_max_minirounds(Some(cfg.minirounds))
+            .with_loss_spec(cfg.loss);
+        let base = Algorithm2Config::default()
+            .with_horizon(cfg.horizon)
+            .with_decision(dcfg)
+            .with_seed(seed)
+            .with_optimal_kbps(optimal);
+
+        let mut cs = CsUcb::new(2.0);
+        let algorithm2 = run_policy_observed(&net, &base, &mut cs, &mut ctx.observers);
+        let mut llr_policy = Llr::new(cfg.n, 2.0);
+        let llr = run_policy_observed(&net, &base, &mut llr_policy, &mut ctx.observers);
+        let beta = algorithm2.beta;
+        let out = Fig7Output {
+            optimal_kbps: optimal,
+            beta,
+            algorithm2,
+            llr,
+        };
+
+        let mut metrics = MetricTable::new();
+        metrics.push("optimal_kbps", out.optimal_kbps);
+        metrics.push("beta", out.beta);
+        metrics.push(
+            "alg2_final_regret",
+            *out.algorithm2.practical_regret.last().unwrap_or(&0.0),
+        );
+        metrics.push(
+            "llr_final_regret",
+            *out.llr.practical_regret.last().unwrap_or(&0.0),
+        );
+        metrics.push(
+            "alg2_final_beta_regret",
+            *out.algorithm2.practical_beta_regret.last().unwrap_or(&0.0),
+        );
+        metrics.push(
+            "alg2_avg_expected_kbps",
+            out.algorithm2.average_expected_kbps,
+        );
+        metrics.push("llr_avg_expected_kbps", out.llr.average_expected_kbps);
+        ExperimentOutput {
+            data: ExperimentData::Fig7(out),
+            metrics,
+        }
+    }
+}
+
+/// Fig. 8: throughput under periodic (stale-weight) updates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Experiment(pub Fig8Config);
+
+impl Experiment for Fig8Experiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "fig8",
+            deterministic: false,
+            streams_rounds: true,
+        }
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let cfg = &self.0;
+        let seed = ctx.seed;
+        let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, seed);
+        let dcfg = DistributedPtasConfig::default()
+            .with_r(cfg.r)
+            .with_max_minirounds(Some(cfg.minirounds))
+            .with_loss_spec(cfg.loss);
+        let runs: Vec<Fig8Run> = cfg
+            .update_periods
+            .iter()
+            .map(|&y| {
+                let horizon = cfg.updates_per_run * y as u64;
+                let base = Algorithm2Config::default()
+                    .with_horizon(horizon)
+                    .with_update_period(y)
+                    .with_decision(dcfg)
+                    .with_seed(seed);
+                let mut cs = CsUcb::new(2.0);
+                let algorithm2 = run_policy_observed(&net, &base, &mut cs, &mut ctx.observers);
+                let mut llr_policy = Llr::new(cfg.n, 2.0);
+                let llr = run_policy_observed(&net, &base, &mut llr_policy, &mut ctx.observers);
+                Fig8Run {
+                    y,
+                    horizon,
+                    algorithm2,
+                    llr,
+                }
+            })
+            .collect();
+        let mut metrics = MetricTable::new();
+        for run in &runs {
+            let a_act = run.algorithm2.avg_actual_throughput.last().unwrap_or(&0.0);
+            let a_est = run
+                .algorithm2
+                .avg_estimated_throughput
+                .last()
+                .unwrap_or(&0.0);
+            let l_act = run.llr.avg_actual_throughput.last().unwrap_or(&0.0);
+            metrics.push(format!("alg2_actual_y{}", run.y), *a_act);
+            metrics.push(format!("llr_actual_y{}", run.y), *l_act);
+            metrics.push(format!("alg2_estimate_gap_y{}", run.y), a_est - a_act);
+        }
+        ExperimentOutput {
+            data: ExperimentData::Fig8(runs),
+            metrics,
+        }
+    }
+}
+
+/// Table II: the time model as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Table2Experiment;
+
+impl Experiment for Table2Experiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "table2",
+            deterministic: true,
+            streams_rounds: false,
+        }
+    }
+
+    fn run(&self, _ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let time = TimeModel::default();
+        let t = Table2 {
+            miniround_ms: time.miniround_ms(),
+            minirounds_per_decision: time.minirounds_per_decision(),
+            theta: time.theta(),
+            time,
+        };
+        let mut metrics = MetricTable::new();
+        metrics.push("theta", t.theta);
+        metrics.push("miniround_ms", t.miniround_ms);
+        metrics.push("minirounds_per_decision", t.minirounds_per_decision as f64);
+        ExperimentOutput {
+            data: ExperimentData::Table2(t),
+            metrics,
+        }
+    }
+}
+
+/// Section IV-C: measured communication/space complexity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexityExperiment(pub ComplexityConfig);
+
+impl Experiment for ComplexityExperiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "complexity",
+            deterministic: false,
+            streams_rounds: false,
+        }
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let cfg = &self.0;
+        let mut points = Vec::new();
+        for (i, &n) in cfg.ns.iter().enumerate() {
+            let net =
+                Network::from_spec(n, cfg.m, &cfg.topology, &cfg.channel, ctx.seed + i as u64);
+            for &r in &cfg.rs {
+                let dcfg = DistributedPtasConfig::default()
+                    .with_r(r)
+                    .with_max_minirounds(Some(cfg.minirounds));
+                let mut ptas = DistributedPtas::new(net.h(), dcfg);
+                let weights = net.channels().means();
+                let outcome = ptas.decide(&weights);
+                let hg = net.h().graph();
+                let ball_sizes: f64 = (0..hg.n())
+                    .map(|v| hg.r_hop_neighborhood(v, 2 * r + 1).len() as f64)
+                    .sum::<f64>()
+                    / hg.n() as f64;
+                points.push(ComplexityPoint {
+                    n,
+                    m: cfg.m,
+                    r,
+                    minirounds: outcome.minirounds_used,
+                    mean_tx_per_vertex: outcome.counters.mean_per_vertex_tx(),
+                    max_tx_per_vertex: outcome.counters.max_per_vertex_tx(),
+                    timeslots: outcome.counters.timeslots,
+                    mean_ball_size: ball_sizes,
+                });
+            }
+        }
+        let mut metrics = MetricTable::new();
+        for p in &points {
+            metrics.push(format!("mean_tx_n{}_r{}", p.n, p.r), p.mean_tx_per_vertex);
+            metrics.push(format!("mean_ball_n{}_r{}", p.n, p.r), p.mean_ball_size);
+        }
+        ExperimentOutput {
+            data: ExperimentData::Complexity(points),
+            metrics,
+        }
+    }
+}
+
+/// Theorem 3: distributed vs centralized approximation quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Theorem3Experiment(pub Theorem3Config);
+
+impl Experiment for Theorem3Experiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "theorem3",
+            deterministic: false,
+            streams_rounds: false,
+        }
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        use mhca_mwis::{exact, robust_ptas};
+        let cfg = &self.0;
+        let points: Vec<Theorem3Point> = (ctx.seed..ctx.seed + cfg.instances)
+            .map(|seed| {
+                let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, seed);
+                let w = net.channels().means();
+                let allowed: Vec<usize> = (0..net.n_vertices()).collect();
+                let optimal =
+                    exact::solve_grouped(net.h().graph(), &w, &allowed, net.node_groups()).weight;
+                let centralized = robust_ptas::solve_grouped(
+                    net.h().graph(),
+                    &w,
+                    &robust_ptas::Config::with_epsilon(0.5),
+                    net.node_groups(),
+                )
+                .weight;
+                let weight_of = |d: Option<usize>| {
+                    let cfg = DistributedPtasConfig::default()
+                        .with_r(2)
+                        .with_max_minirounds(d)
+                        .with_local_solver(crate::distributed::LocalSolver::Exact);
+                    let mut ptas = DistributedPtas::new(net.h(), cfg);
+                    let out = ptas.decide(&w);
+                    out.winners.iter().map(|&v| w[v]).sum::<f64>()
+                };
+                Theorem3Point {
+                    seed,
+                    optimal,
+                    centralized,
+                    distributed: weight_of(None),
+                    distributed_capped: weight_of(Some(4)),
+                }
+            })
+            .collect();
+        let n = points.len().max(1) as f64;
+        let mean = |f: fn(&Theorem3Point) -> f64| points.iter().map(f).sum::<f64>() / n;
+        let mut metrics = MetricTable::new();
+        metrics.push("central_ratio_mean", mean(|p| p.centralized / p.optimal));
+        metrics.push("dist_ratio_mean", mean(|p| p.distributed / p.optimal));
+        metrics.push(
+            "capped_ratio_mean",
+            mean(|p| p.distributed_capped / p.optimal),
+        );
+        ExperimentOutput {
+            data: ExperimentData::Theorem3(points),
+            metrics,
+        }
+    }
+}
+
+/// One generic declarative Algorithm 2 run — the campaign cross-product
+/// workload; the per-figure experiments above are fixed points of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRunExperiment(pub PolicyRunConfig);
+
+impl PolicyRunExperiment {
+    /// Runs the config at one seed with observers — shared by the plain
+    /// run and the duel.
+    fn run_one(cfg: &PolicyRunConfig, seed: u64, observers: &mut ObserverSet) -> RunResult {
+        let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, seed);
+        let dcfg = DistributedPtasConfig::default()
+            .with_r(cfg.r)
+            .with_max_minirounds(Some(cfg.minirounds))
+            .with_loss_spec(cfg.loss);
+        let acfg = Algorithm2Config::default()
+            .with_horizon(cfg.horizon)
+            .with_update_period(cfg.update_period)
+            .with_decision(dcfg)
+            .with_seed(seed);
+        let mut policy = cfg.policy.build(&net);
+        run_policy_observed(&net, &acfg, policy.as_mut(), observers)
+    }
+}
+
+impl Experiment for PolicyRunExperiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "policy-run",
+            deterministic: false,
+            streams_rounds: true,
+        }
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let cfg = PolicyRunConfig {
+            seed: ctx.seed,
+            ..self.0
+        };
+        let run = Self::run_one(&cfg, ctx.seed, &mut ctx.observers);
+        let mut metrics = MetricTable::new();
+        metrics.push("avg_expected_kbps", run.average_expected_kbps);
+        metrics.push("avg_effective_kbps", run.average_effective_kbps);
+        metrics.push("avg_observed_kbps", run.average_observed_kbps);
+        metrics.push("transmissions", run.comm.transmissions as f64);
+        metrics.push("decisions", run.comm.decisions as f64);
+        ExperimentOutput {
+            data: ExperimentData::PolicyRun { cfg, run },
+            metrics,
+        }
+    }
+}
+
+/// Paired head-to-head: `base.policy` vs `challenger` on the same network
+/// and identical channel realizations (the Fig. 7 comparison generalized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyDuelExperiment {
+    /// The baseline run (its `policy` is contestant A).
+    pub base: PolicyRunConfig,
+    /// Contestant B, run on the identical instance.
+    pub challenger: PolicySpec,
+}
+
+impl Experiment for PolicyDuelExperiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "policy-duel",
+            deterministic: false,
+            streams_rounds: true,
+        }
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let cfg_a = PolicyRunConfig {
+            seed: ctx.seed,
+            ..self.base
+        };
+        let cfg_b = PolicyRunConfig {
+            policy: self.challenger,
+            ..cfg_a
+        };
+        // Same seed ⇒ same network and channel realizations: a paired
+        // comparison, as in the paper's Fig. 7/8.
+        let run_a = PolicyRunExperiment::run_one(&cfg_a, ctx.seed, &mut ctx.observers);
+        let run_b = PolicyRunExperiment::run_one(&cfg_b, ctx.seed, &mut ctx.observers);
+        // A same-policy duel (e.g. cs-ucb l=2 vs cs-ucb l=1 — labels
+        // ignore parameters) must not emit colliding metric names: the
+        // campaign summarizer pools by name, which would silently blend
+        // the two contestants into one aggregate.
+        let (a, b) = (self.base.policy.label(), self.challenger.label());
+        let (a, b) = if a == b {
+            (format!("{a}-base"), format!("{b}-challenger"))
+        } else {
+            (a.to_string(), b.to_string())
+        };
+        let mut metrics = MetricTable::new();
+        metrics.push(
+            format!("{a}_avg_expected_kbps"),
+            run_a.average_expected_kbps,
+        );
+        metrics.push(
+            format!("{b}_avg_expected_kbps"),
+            run_b.average_expected_kbps,
+        );
+        metrics.push(
+            "advantage_kbps",
+            run_a.average_expected_kbps - run_b.average_expected_kbps,
+        );
+        metrics.push(
+            "a_wins",
+            f64::from(u8::from(
+                run_a.average_expected_kbps > run_b.average_expected_kbps,
+            )),
+        );
+        ExperimentOutput {
+            data: ExperimentData::PolicyDuel {
+                a: (cfg_a, run_a),
+                b: (cfg_b, run_b),
+            },
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_table_preserves_order_and_lookups() {
+        let mut t = MetricTable::new();
+        assert!(t.is_empty());
+        t.push("b", 2.0);
+        t.push("a", 1.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("a"), Some(1.0));
+        assert_eq!(t.get("missing"), None);
+        assert_eq!(
+            t.rows().iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["b", "a"]
+        );
+    }
+
+    #[test]
+    fn observer_kinds_round_trip_labels() {
+        for kind in ObserverKind::ALL {
+            assert_eq!(ObserverKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(ObserverKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn engine_runs_table2_deterministically() {
+        let out = run_experiment(&Table2Experiment, 0, ObserverSet::new());
+        assert_eq!(out.metrics.get("theta"), Some(0.5));
+        assert!(matches!(out.data, ExperimentData::Table2(_)));
+        let shape = Table2Experiment.spec();
+        assert!(shape.deterministic);
+        assert!(!shape.streams_rounds);
+    }
+
+    #[test]
+    fn policy_run_streams_rounds_to_observers() {
+        let exp = PolicyRunExperiment(PolicyRunConfig::quick());
+        let observers = ObserverSet::from_kinds(&[
+            ObserverKind::CommTotals,
+            ObserverKind::Throughput,
+            ObserverKind::DecideTiming,
+        ]);
+        let out = run_experiment(&exp, 3, observers);
+        let ExperimentData::PolicyRun { run, .. } = &out.data else {
+            panic!("wrong data variant");
+        };
+        // One decision per slot at y = 1.
+        assert_eq!(
+            out.metrics.get("comm-totals:decisions"),
+            Some(run.comm.decisions as f64)
+        );
+        // The throughput observer recomputes the run's own average.
+        let avg = out.metrics.get("throughput:avg_observed_kbps").unwrap();
+        assert!((avg - run.average_observed_kbps).abs() < 1e-9);
+        assert_eq!(out.metrics.get("throughput:slots"), Some(run.slots as f64));
+        // Timing streamed something (non-negative, finite).
+        let ms = out.metrics.get("decide-timing:decide_ms_total").unwrap();
+        assert!(ms.is_finite() && ms >= 0.0);
+    }
+
+    #[test]
+    fn observer_metrics_are_deterministic_where_expected() {
+        let exp = PolicyRunExperiment(PolicyRunConfig::quick());
+        let kinds = [ObserverKind::CommTotals, ObserverKind::PerVertexTx];
+        let a = run_experiment(&exp, 5, ObserverSet::from_kinds(&kinds));
+        let b = run_experiment(&exp, 5, ObserverSet::from_kinds(&kinds));
+        assert_eq!(a.metrics, b.metrics);
+        assert!(a.metrics.get("per-vertex-tx:tx_per_vertex_max").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn duel_pairs_runs_on_identical_instances() {
+        let exp = PolicyDuelExperiment {
+            base: PolicyRunConfig {
+                horizon: 120,
+                ..PolicyRunConfig::quick()
+            },
+            challenger: PolicySpec::Random,
+        };
+        let out = run_experiment(&exp, 3, ObserverSet::new());
+        let a = out.metrics.get("cs-ucb_avg_expected_kbps").unwrap();
+        let b = out.metrics.get("random_avg_expected_kbps").unwrap();
+        assert!((out.metrics.get("advantage_kbps").unwrap() - (a - b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_policy_duel_disambiguates_metric_names() {
+        // cs-ucb vs cs-ucb (different l): labels collide, so the metric
+        // names must not — the campaign summarizer pools by name.
+        let exp = PolicyDuelExperiment {
+            base: PolicyRunConfig {
+                horizon: 60,
+                ..PolicyRunConfig::quick()
+            },
+            challenger: PolicySpec::CsUcb { l: 0.5 },
+        };
+        let out = run_experiment(&exp, 3, ObserverSet::new());
+        assert!(out.metrics.get("cs-ucb-base_avg_expected_kbps").is_some());
+        assert!(out
+            .metrics
+            .get("cs-ucb-challenger_avg_expected_kbps")
+            .is_some());
+        let names: Vec<&str> = out.metrics.rows().iter().map(|(n, _)| n.as_str()).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "colliding metric names");
+    }
+
+    #[test]
+    fn seed_overrides_config_seed() {
+        let cfg = PolicyRunConfig {
+            seed: 999,
+            ..PolicyRunConfig::quick()
+        };
+        let at_seed = |s| run_experiment(&PolicyRunExperiment(cfg.clone()), s, ObserverSet::new());
+        let a = at_seed(5);
+        let b = at_seed(5);
+        let c = at_seed(6);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a.metrics, c.metrics, "different seeds must differ");
+    }
+}

@@ -1,15 +1,22 @@
-//! Parameterized harnesses regenerating every figure of the paper's
-//! evaluation (Section V), plus the complexity claims of Section IV-C.
+//! Experiment configurations and output records for every figure of the
+//! paper's evaluation (Section V), plus the complexity claims of Section
+//! IV-C.
 //!
-//! Each function returns a serde-serializable struct; the `mhca-bench`
-//! binaries print them as CSV in the same rows/series the paper plots.
+//! The execution logic lives in [`crate::experiment`]: each config here
+//! has a corresponding [`Experiment`](crate::experiment::Experiment)
+//! implementation (`Fig6Experiment`, `PolicyRunExperiment`, …) driven by
+//! the unified engine [`run_experiment`](crate::experiment::run_experiment).
+//! The free functions below (`fig6`, `run_fig5`, `run_policy_spec`, …)
+//! are **deprecated shims** over those implementations, kept so existing
+//! binaries, examples, and tests compile unchanged.
+//!
 //! Default parameters mirror the paper; `*_quick` constructors provide
 //! scaled-down variants for tests and CI.
 
 use crate::{
-    distributed::{DistributedPtas, DistributedPtasConfig},
+    experiment::{run_experiment, ExperimentData, ObserverSet},
     network::Network,
-    runner::{run_policy, Algorithm2Config, RunResult},
+    runner::RunResult,
     time::TimeModel,
 };
 use mhca_bandit::{
@@ -17,7 +24,7 @@ use mhca_bandit::{
     thompson::GaussianThompson,
 };
 use mhca_channels::ChannelModelSpec;
-use mhca_graph::{topology, ExtendedConflictGraph, TopologySpec};
+use mhca_graph::TopologySpec;
 use mhca_sim::LossSpec;
 use serde::{Deserialize, Serialize};
 
@@ -167,30 +174,14 @@ pub struct Fig6Series {
 /// Runs the Fig. 6 experiment: one strategy decision per network size with
 /// the *true means* as weights, recording the cumulative output weight per
 /// mini-round.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&Fig6Experiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
 pub fn fig6(cfg: &Fig6Config) -> Vec<Fig6Series> {
-    cfg.sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &(n, m))| {
-            let net = Network::from_spec(n, m, &cfg.topology, &cfg.channel, cfg.seed + i as u64);
-            let weights = net.channels().means();
-            let dcfg = DistributedPtasConfig::default()
-                .with_r(cfg.r)
-                .with_max_minirounds(Some(cfg.minirounds))
-                .with_loss_spec(cfg.loss);
-            let mut ptas = DistributedPtas::new(net.h(), dcfg);
-            let out = ptas.decide(&weights);
-            let mut series = out.per_miniround_weight.clone();
-            let last = series.last().copied().unwrap_or(0.0);
-            series.resize(cfg.minirounds, last);
-            Fig6Series {
-                n,
-                m,
-                weight_by_miniround: series,
-                converged_at: out.minirounds_used,
-            }
-        })
-        .collect()
+    let exp = crate::experiment::Fig6Experiment(cfg.clone());
+    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
+        ExperimentData::Fig6 { series, .. } => series,
+        _ => unreachable!("Fig6Experiment yields Fig6 data"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -265,29 +256,13 @@ pub struct Fig7Output {
 
 /// Runs the Fig. 7 experiment: exact optimum by branch-and-bound, then a
 /// paired comparison (identical channel realizations) of CS-UCB vs LLR.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&Fig7Experiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
 pub fn fig7(cfg: &Fig7Config) -> Fig7Output {
-    let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, cfg.seed);
-    let optimal = net.optimal().weight;
-    let dcfg = DistributedPtasConfig::default()
-        .with_r(cfg.r)
-        .with_max_minirounds(Some(cfg.minirounds))
-        .with_loss_spec(cfg.loss);
-    let base = Algorithm2Config::default()
-        .with_horizon(cfg.horizon)
-        .with_decision(dcfg)
-        .with_seed(cfg.seed)
-        .with_optimal_kbps(optimal);
-
-    let mut cs = CsUcb::new(2.0);
-    let algorithm2 = run_policy(&net, &base, &mut cs);
-    let mut llr_policy = Llr::new(cfg.n, 2.0);
-    let llr = run_policy(&net, &base, &mut llr_policy);
-    let beta = algorithm2.beta;
-    Fig7Output {
-        optimal_kbps: optimal,
-        beta,
-        algorithm2,
-        llr,
+    let exp = crate::experiment::Fig7Experiment(cfg.clone());
+    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
+        ExperimentData::Fig7(out) => out,
+        _ => unreachable!("Fig7Experiment yields Fig7 data"),
     }
 }
 
@@ -370,33 +345,14 @@ pub struct Fig8Run {
 
 /// Runs the Fig. 8 experiment: for each `y`, a paired CS-UCB vs LLR run
 /// with `updates_per_run` strategy decisions.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&Fig8Experiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
 pub fn fig8(cfg: &Fig8Config) -> Vec<Fig8Run> {
-    let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, cfg.seed);
-    let dcfg = DistributedPtasConfig::default()
-        .with_r(cfg.r)
-        .with_max_minirounds(Some(cfg.minirounds))
-        .with_loss_spec(cfg.loss);
-    cfg.update_periods
-        .iter()
-        .map(|&y| {
-            let horizon = cfg.updates_per_run * y as u64;
-            let base = Algorithm2Config::default()
-                .with_horizon(horizon)
-                .with_update_period(y)
-                .with_decision(dcfg)
-                .with_seed(cfg.seed);
-            let mut cs = CsUcb::new(2.0);
-            let algorithm2 = run_policy(&net, &base, &mut cs);
-            let mut llr_policy = Llr::new(cfg.n, 2.0);
-            let llr = run_policy(&net, &base, &mut llr_policy);
-            Fig8Run {
-                y,
-                horizon,
-                algorithm2,
-                llr,
-            }
-        })
-        .collect()
+    let exp = crate::experiment::Fig8Experiment(cfg.clone());
+    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
+        ExperimentData::Fig8(runs) => runs,
+        _ => unreachable!("Fig8Experiment yields Fig8 data"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -445,29 +401,22 @@ impl Fig5Config {
 /// Reproduces the Fig. 5 observation: on a line with strictly decreasing
 /// weights and `M = 1`, only one new LocalLeader can emerge per
 /// mini-round region, so full resolution needs `Θ(N)` mini-rounds.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&Fig5Experiment(Fig5Config { ns, r }), 0, ObserverSet::new())")]
 pub fn fig5_worstcase(ns: &[usize], r: usize) -> Vec<WorstCasePoint> {
-    ns.iter()
-        .map(|&n| {
-            let g = topology::line(n);
-            let h = ExtendedConflictGraph::new(&g, 1);
-            let weights: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 / (n + 1) as f64).collect();
-            let dcfg = DistributedPtasConfig::default()
-                .with_r(r)
-                .with_max_minirounds(None);
-            let mut ptas = DistributedPtas::new(&h, dcfg);
-            let out = ptas.decide(&weights);
-            debug_assert!(out.all_marked);
-            WorstCasePoint {
-                n,
-                minirounds_used: out.minirounds_used,
-            }
-        })
-        .collect()
+    #[allow(deprecated)]
+    run_fig5(&Fig5Config { ns: ns.to_vec(), r })
 }
 
 /// Spec-driven entry point for Fig. 5.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&Fig5Experiment(cfg.clone()), 0, ObserverSet::new())")]
 pub fn run_fig5(cfg: &Fig5Config) -> Vec<WorstCasePoint> {
-    fig5_worstcase(&cfg.ns, cfg.r)
+    let exp = crate::experiment::Fig5Experiment(cfg.clone());
+    match run_experiment(&exp, 0, ObserverSet::new()).data {
+        ExperimentData::Fig5(points) => points,
+        _ => unreachable!("Fig5Experiment yields Fig5 data"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -545,6 +494,8 @@ impl ComplexityConfig {
 /// Measures the per-vertex communication of one strategy decision across
 /// network sizes and radii — the empirical check of the paper's
 /// `O(r² + D)` messages / `O(m)` space claims.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&ComplexityExperiment(cfg), cfg.seed, ObserverSet::new())")]
 pub fn complexity(
     ns: &[usize],
     m: usize,
@@ -553,6 +504,7 @@ pub fn complexity(
     minirounds: usize,
     seed: u64,
 ) -> Vec<ComplexityPoint> {
+    #[allow(deprecated)]
     run_complexity(&ComplexityConfig {
         ns: ns.to_vec(),
         m,
@@ -565,36 +517,14 @@ pub fn complexity(
 }
 
 /// Spec-driven entry point for the complexity measurement.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&ComplexityExperiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
 pub fn run_complexity(cfg: &ComplexityConfig) -> Vec<ComplexityPoint> {
-    let (ns, m, rs, minirounds, seed) = (&cfg.ns, cfg.m, &cfg.rs, cfg.minirounds, cfg.seed);
-    let mut out = Vec::new();
-    for (i, &n) in ns.iter().enumerate() {
-        let net = Network::from_spec(n, m, &cfg.topology, &cfg.channel, seed + i as u64);
-        for &r in rs {
-            let dcfg = DistributedPtasConfig::default()
-                .with_r(r)
-                .with_max_minirounds(Some(minirounds));
-            let mut ptas = DistributedPtas::new(net.h(), dcfg);
-            let weights = net.channels().means();
-            let outcome = ptas.decide(&weights);
-            let hg = net.h().graph();
-            let ball_sizes: f64 = (0..hg.n())
-                .map(|v| hg.r_hop_neighborhood(v, 2 * r + 1).len() as f64)
-                .sum::<f64>()
-                / hg.n() as f64;
-            out.push(ComplexityPoint {
-                n,
-                m,
-                r,
-                minirounds: outcome.minirounds_used,
-                mean_tx_per_vertex: outcome.counters.mean_per_vertex_tx(),
-                max_tx_per_vertex: outcome.counters.max_per_vertex_tx(),
-                timeslots: outcome.counters.timeslots,
-                mean_ball_size: ball_sizes,
-            });
-        }
+    let exp = crate::experiment::ComplexityExperiment(cfg.clone());
+    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
+        ExperimentData::Complexity(points) => points,
+        _ => unreachable!("ComplexityExperiment yields Complexity data"),
     }
-    out
 }
 
 // ---------------------------------------------------------------------------
@@ -665,12 +595,15 @@ impl Theorem3Config {
 /// random instances small enough for exact ground truth, compares the
 /// exact optimum, the centralized robust PTAS, and the distributed
 /// protocol (uncapped and capped).
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&Theorem3Experiment(cfg), cfg.seed, ObserverSet::new())")]
 pub fn theorem3(
     n: usize,
     m: usize,
     avg_degree: f64,
     seeds: std::ops::Range<u64>,
 ) -> Vec<Theorem3Point> {
+    #[allow(deprecated)]
     run_theorem3(&Theorem3Config {
         n,
         m,
@@ -682,40 +615,14 @@ pub fn theorem3(
 }
 
 /// Spec-driven entry point for the Theorem 3 comparison.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&Theorem3Experiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
 pub fn run_theorem3(cfg: &Theorem3Config) -> Vec<Theorem3Point> {
-    use mhca_mwis::{exact, robust_ptas};
-    (cfg.seed..cfg.seed + cfg.instances)
-        .map(|seed| {
-            let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, seed);
-            let w = net.channels().means();
-            let allowed: Vec<usize> = (0..net.n_vertices()).collect();
-            let optimal =
-                exact::solve_grouped(net.h().graph(), &w, &allowed, net.node_groups()).weight;
-            let centralized = robust_ptas::solve_grouped(
-                net.h().graph(),
-                &w,
-                &robust_ptas::Config::with_epsilon(0.5),
-                net.node_groups(),
-            )
-            .weight;
-            let weight_of = |d: Option<usize>| {
-                let cfg = DistributedPtasConfig::default()
-                    .with_r(2)
-                    .with_max_minirounds(d)
-                    .with_local_solver(crate::distributed::LocalSolver::Exact);
-                let mut ptas = DistributedPtas::new(net.h(), cfg);
-                let out = ptas.decide(&w);
-                out.winners.iter().map(|&v| w[v]).sum::<f64>()
-            };
-            Theorem3Point {
-                seed,
-                optimal,
-                centralized,
-                distributed: weight_of(None),
-                distributed_capped: weight_of(Some(4)),
-            }
-        })
-        .collect()
+    let exp = crate::experiment::Theorem3Experiment(cfg.clone());
+    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
+        ExperimentData::Theorem3(points) => points,
+        _ => unreachable!("Theorem3Experiment yields Theorem3 data"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -736,13 +643,12 @@ pub struct Table2 {
 }
 
 /// Produces Table II plus derived values.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&Table2Experiment, 0, ObserverSet::new())")]
 pub fn table2() -> Table2 {
-    let time = TimeModel::default();
-    Table2 {
-        miniround_ms: time.miniround_ms(),
-        minirounds_per_decision: time.minirounds_per_decision(),
-        theta: time.theta(),
-        time,
+    match run_experiment(&crate::experiment::Table2Experiment, 0, ObserverSet::new()).data {
+        ExperimentData::Table2(t) => t,
+        _ => unreachable!("Table2Experiment yields Table2 data"),
     }
 }
 
@@ -812,24 +718,56 @@ impl PolicyRunConfig {
 }
 
 /// Runs one declarative Algorithm 2 configuration end to end.
+#[deprecated(note = "use the unified engine: \
+                     run_experiment(&PolicyRunExperiment(*cfg), cfg.seed, ObserverSet::new())")]
 pub fn run_policy_spec(cfg: &PolicyRunConfig) -> RunResult {
-    let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, cfg.seed);
-    let dcfg = DistributedPtasConfig::default()
-        .with_r(cfg.r)
-        .with_max_minirounds(Some(cfg.minirounds))
-        .with_loss_spec(cfg.loss);
-    let acfg = Algorithm2Config::default()
-        .with_horizon(cfg.horizon)
-        .with_update_period(cfg.update_period)
-        .with_decision(dcfg)
-        .with_seed(cfg.seed);
-    let mut policy = cfg.policy.build(&net);
-    run_policy(&net, &acfg, policy.as_mut())
+    let exp = crate::experiment::PolicyRunExperiment(cfg.clone());
+    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
+        ExperimentData::PolicyRun { run, .. } => run,
+        _ => unreachable!("PolicyRunExperiment yields PolicyRun data"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // The shims under test are deprecated on purpose; these tests pin
+    // that they still behave (and match the engine — see
+    // `deprecated_shims_match_engine`).
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::experiment::{
+        run_experiment, Fig5Experiment, PolicyRunExperiment, Theorem3Experiment,
+    };
+
+    #[test]
+    fn deprecated_shims_match_engine() {
+        let cfg = Fig5Config::quick();
+        let via_shim = run_fig5(&cfg);
+        let via_engine = run_experiment(&Fig5Experiment(cfg), 0, ObserverSet::new());
+        assert_eq!(ExperimentData::Fig5(via_shim), via_engine.data);
+
+        let cfg = PolicyRunConfig::quick();
+        let via_shim = run_policy_spec(&cfg);
+        let via_engine = run_experiment(
+            &PolicyRunExperiment(cfg.clone()),
+            cfg.seed,
+            ObserverSet::new(),
+        );
+        match via_engine.data {
+            ExperimentData::PolicyRun { run, .. } => assert_eq!(via_shim, run),
+            _ => panic!("wrong data variant"),
+        }
+
+        let cfg = Theorem3Config::quick();
+        let via_shim = run_theorem3(&cfg);
+        let via_engine = run_experiment(
+            &Theorem3Experiment(cfg.clone()),
+            cfg.seed,
+            ObserverSet::new(),
+        );
+        assert_eq!(ExperimentData::Theorem3(via_shim), via_engine.data);
+    }
 
     #[test]
     fn fig6_quick_series_shape() {

@@ -14,10 +14,16 @@
 //!   periodic stale-weight variant of Section V-C.
 //! * [`time`] — the Table II time model and the airtime fraction
 //!   `θ = t_d/t_a`.
-//! * [`experiments`] — parameterized harnesses regenerating every figure of
-//!   the paper's evaluation (Fig. 5 worst case, Fig. 6 convergence,
-//!   Fig. 7 regret, Fig. 8 periodic updates, plus the complexity claims of
-//!   Section IV-C).
+//! * [`experiment`] — the **unified experiment surface**: one
+//!   [`Experiment`](experiment::Experiment) trait driven by one engine
+//!   ([`run_experiment`](experiment::run_experiment)), with a streaming
+//!   [`RoundObserver`](experiment::RoundObserver) pipeline that turns new
+//!   metrics into composable observers instead of new result fields.
+//! * [`experiments`] — the experiment configurations and output records
+//!   for every figure of the paper's evaluation (Fig. 5 worst case,
+//!   Fig. 6 convergence, Fig. 7 regret, Fig. 8 periodic updates, plus the
+//!   complexity claims of Section IV-C); its free functions are
+//!   deprecated shims over the [`experiment`] engine.
 //!
 //! # Quickstart
 //!
@@ -37,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod distributed;
+pub mod experiment;
 pub mod experiments;
 pub mod network;
 pub mod runner;
@@ -45,7 +52,11 @@ pub mod sweep;
 pub mod time;
 
 pub use distributed::{DecisionOutcome, DistributedPtas, DistributedPtasConfig, LocalSolver};
+pub use experiment::{
+    run_experiment, Experiment, ExperimentCtx, ExperimentData, ExperimentOutput, MetricTable,
+    ObserverKind, ObserverSet, RoundObserver, RoundRecord, ScenarioShape,
+};
 pub use experiments::{PolicyRunConfig, PolicySpec};
 pub use network::Network;
-pub use runner::{Algorithm2Config, RunResult};
+pub use runner::{run_policy_observed, Algorithm2Config, RunResult};
 pub use time::TimeModel;

@@ -14,6 +14,7 @@
 
 use crate::{
     distributed::{DecisionOutcome, DistributedPtas, DistributedPtasConfig},
+    experiment::{ObserverSet, RoundRecord},
     network::Network,
     time::TimeModel,
 };
@@ -22,6 +23,7 @@ use mhca_channels::rates;
 use mhca_sim::{Flood, FloodEngine};
 use rand::{rngs::StdRng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Aggregate communication cost across a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -155,6 +157,9 @@ pub struct RunResult {
 
 /// Runs Algorithm 2 with the given learning policy on a network.
 ///
+/// Equivalent to [`run_policy_observed`] with no observers registered —
+/// the steady-state loop is identical (no clocks, no record emission).
+///
 /// # Panics
 ///
 /// Panics if `cfg.horizon == 0` or `cfg.update_period == 0`.
@@ -162,6 +167,25 @@ pub fn run_policy(
     net: &Network,
     cfg: &Algorithm2Config,
     policy: &mut dyn IndexPolicy,
+) -> RunResult {
+    run_policy_observed(net, cfg, policy, &mut ObserverSet::new())
+}
+
+/// Runs Algorithm 2, streaming one [`RoundRecord`] per strategy decision
+/// to the registered observers (see [`crate::experiment`]).
+///
+/// With an empty [`ObserverSet`] this adds no work to the steady-state
+/// loop: the decide-phase clock and the record emission are skipped, so
+/// the lossless path stays allocation-free (`tests/alloc_free.rs`).
+///
+/// # Panics
+///
+/// Panics if `cfg.horizon == 0` or `cfg.update_period == 0`.
+pub fn run_policy_observed(
+    net: &Network,
+    cfg: &Algorithm2Config,
+    policy: &mut dyn IndexPolicy,
+    observers: &mut ObserverSet,
 ) -> RunResult {
     assert!(cfg.horizon > 0, "horizon must be positive");
     assert!(cfg.update_period > 0, "update period must be positive");
@@ -241,7 +265,9 @@ pub fn run_policy(
 
         // ---- Strategy decision with the policy's current indices.
         policy.indices_into(t + 1, &stats, &mut rng, &mut indices);
+        let decide_start = (!observers.is_empty()).then(Instant::now);
         ptas.decide_into(&indices, &mut outcome);
+        let decide_ns = decide_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
         comm.transmissions += outcome.counters.transmissions;
         comm.delivered += outcome.counters.delivered;
         comm.timeslots += outcome.counters.timeslots;
@@ -255,6 +281,7 @@ pub fn run_policy(
         // ---- Data transmission for the whole period (y slots).
         let period_len = y.min(cfg.horizon - t);
         period_obs.clear();
+        let mut period_expected = 0.0;
         for s in t..t + period_len {
             net.channels().observe_into(s, winners, &mut obs);
             let raw: f64 = obs.iter().map(|&(_, x)| x).sum();
@@ -262,6 +289,7 @@ pub fn run_policy(
             observed_total += raw;
             let expected: f64 = winners.iter().map(|&v| means[v]).sum();
             expected_total += expected;
+            period_expected = expected;
             for &(v, x) in &obs {
                 stats.update(v, x / scale);
                 policy.observe(v, x / scale);
@@ -287,6 +315,25 @@ pub fn run_policy(
         period_end_slots.push(t + period_len);
         avg_actual.push(sum_rp / n_periods as f64);
         avg_estimated.push(sum_wp / n_periods as f64);
+
+        // ---- Stream the period to registered observers (skipped — and
+        // allocation-free — when none are registered).
+        if !observers.is_empty() {
+            observers.emit(&RoundRecord {
+                slot: t,
+                period_len,
+                decision: comm.decisions,
+                winners,
+                expected_kbps: period_expected,
+                observed_kbps: period_obs.iter().sum(),
+                estimated_kbps,
+                decide_ns,
+                decide_transmissions: outcome.counters.transmissions,
+                decide_delivered: outcome.counters.delivered,
+                decide_timeslots: outcome.counters.timeslots,
+                per_vertex_tx: &outcome.counters.per_vertex_tx,
+            });
+        }
 
         prev_winners.clone_from(winners);
         t += period_len;

@@ -1,0 +1,129 @@
+//! Writing a custom experiment and a custom streaming observer against
+//! the unified engine (`mhca_core::experiment`).
+//!
+//! The experiment ("loss resilience") asks a question no paper figure
+//! covers: how much expected throughput does Algorithm 2 lose as the
+//! control channel gets lossier? It sweeps loss rates over the same
+//! seeded instance and emits one headline metric per rate.
+//!
+//! The observer ("strategy churn") measures something no `RunResult`
+//! field carries — the fraction of strategy decisions that changed the
+//! winner set — by streaming over every round via `RoundRecord`.
+//!
+//! Run with: `cargo run --release --example custom_experiment`
+
+use mhca::core::experiment::{
+    run_experiment, Experiment, ExperimentCtx, ExperimentData, ExperimentOutput, MetricTable,
+    ObserverSet, RoundObserver, RoundRecord, ScenarioShape,
+};
+use mhca::core::experiments::PolicyRunConfig;
+use mhca::core::runner::{run_policy_observed, Algorithm2Config};
+use mhca::core::{DistributedPtasConfig, Network};
+use mhca::sim::LossSpec;
+
+/// Counts how often the decided winner set changes between consecutive
+/// strategy decisions — high churn late in a run means the policy has not
+/// settled on a strategy.
+#[derive(Default)]
+struct StrategyChurnObserver {
+    last_winners: Vec<usize>,
+    decisions: u64,
+    changes: u64,
+}
+
+impl RoundObserver for StrategyChurnObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        if self.decisions > 0 && self.last_winners != record.winners {
+            self.changes += 1;
+        }
+        self.last_winners.clear();
+        self.last_winners.extend_from_slice(record.winners);
+        self.decisions += 1;
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        t.push(
+            "strategy_churn",
+            self.changes as f64 / self.decisions.max(1) as f64,
+        );
+        t
+    }
+}
+
+/// Expected throughput as a function of control-channel loss, on one
+/// seeded instance.
+struct LossResilienceExperiment {
+    base: PolicyRunConfig,
+    loss_probs: Vec<f64>,
+}
+
+impl Experiment for LossResilienceExperiment {
+    fn spec(&self) -> ScenarioShape {
+        ScenarioShape {
+            kind: "loss-resilience",
+            deterministic: false,
+            streams_rounds: true,
+        }
+    }
+
+    fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
+        let cfg = PolicyRunConfig {
+            seed: ctx.seed,
+            ..self.base
+        };
+        let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, ctx.seed);
+        let mut metrics = MetricTable::new();
+        let mut last = None;
+        for &prob in &self.loss_probs {
+            let dcfg = DistributedPtasConfig::default()
+                .with_r(cfg.r)
+                .with_max_minirounds(Some(cfg.minirounds))
+                .with_loss_spec(LossSpec::lossy(prob, ctx.seed));
+            let acfg = Algorithm2Config::default()
+                .with_horizon(cfg.horizon)
+                .with_decision(dcfg)
+                .with_seed(ctx.seed);
+            let mut policy = cfg.policy.build(&net);
+            let run = run_policy_observed(&net, &acfg, policy.as_mut(), &mut ctx.observers);
+            metrics.push(
+                format!("expected_kbps_loss{:02}", (prob * 100.0) as u32),
+                run.average_expected_kbps,
+            );
+            last = Some(run);
+        }
+        ExperimentOutput {
+            data: ExperimentData::PolicyRun {
+                cfg,
+                run: last.expect("at least one loss rate"),
+            },
+            metrics,
+        }
+    }
+}
+
+fn main() {
+    let exp = LossResilienceExperiment {
+        base: PolicyRunConfig {
+            n: 12,
+            m: 3,
+            horizon: 300,
+            r: 1,
+            ..PolicyRunConfig::default()
+        },
+        loss_probs: vec![0.0, 0.1, 0.25],
+    };
+
+    let mut observers = ObserverSet::new();
+    observers.register("churn", Box::<StrategyChurnObserver>::default());
+    let out = run_experiment(&exp, 42, observers);
+
+    println!("loss resilience of CS-UCB (12 users x 3 channels, 300 slots):");
+    for (name, value) in out.metrics.rows() {
+        println!("  {name:<28} {value:.2}");
+    }
+    println!();
+    println!("expected shape: throughput degrades gracefully as control-");
+    println!("channel loss rises, and churn stays well below 1.0 (the");
+    println!("policy settles on a strategy instead of thrashing).");
+}

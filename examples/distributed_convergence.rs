@@ -6,7 +6,9 @@
 //!
 //! Run with: `cargo run --release --example distributed_convergence`
 
-use mhca::core::experiments::{fig6, Fig6Config};
+use mhca::core::experiment::{run_experiment, ExperimentData, Fig6Experiment};
+use mhca::core::experiments::Fig6Config;
+use mhca::core::ObserverSet;
 use mhca::graph::TopologySpec;
 
 fn main() {
@@ -23,7 +25,11 @@ fn main() {
         cfg.topology.label()
     );
     println!();
-    let series = fig6(&cfg);
+    let seed = cfg.seed;
+    let out = run_experiment(&Fig6Experiment(cfg), seed, ObserverSet::new());
+    let ExperimentData::Fig6 { series, .. } = out.data else {
+        unreachable!("Fig6Experiment yields Fig6 data");
+    };
 
     // Header.
     print!("{:>10}", "mini-round");

@@ -6,13 +6,22 @@
 //!
 //! Run with: `cargo run --release --example linear_worstcase`
 
-use mhca::core::experiments::fig5_worstcase;
+use mhca::core::experiment::{run_experiment, ExperimentData, Fig5Experiment};
+use mhca::core::experiments::Fig5Config;
+use mhca::core::ObserverSet;
 
 fn main() {
-    let ns = [10, 20, 40, 80, 160];
+    let cfg = Fig5Config {
+        ns: vec![10, 20, 40, 80, 160],
+        r: 1,
+    };
+    let out = run_experiment(&Fig5Experiment(cfg), 0, ObserverSet::new());
+    let ExperimentData::Fig5(points) = out.data else {
+        unreachable!("Fig5Experiment yields Fig5 data");
+    };
     println!("Algorithm 3 on a line with decreasing weights (M = 1, r = 1):");
     println!("{:>6} {:>12}", "N", "mini-rounds");
-    for p in fig5_worstcase(&ns, 1) {
+    for p in points {
         println!("{:>6} {:>12}", p.n, p.minirounds_used);
     }
     println!();

@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example periodic_update`
 //! (Pass `--full` as an argument for the paper-scale 100x10 network.)
 
-use mhca::core::experiments::{fig8, Fig8Config};
+use mhca::core::experiment::{run_experiment, ExperimentData, Fig8Experiment};
+use mhca::core::experiments::Fig8Config;
+use mhca::core::ObserverSet;
 use mhca::graph::TopologySpec;
 
 fn main() {
@@ -42,7 +44,12 @@ fn main() {
         "{:>4} {:>9} {:>14} {:>14} {:>14} {:>14}",
         "y", "slots", "alg2 actual", "alg2 estimate", "llr actual", "llr estimate"
     );
-    for run in fig8(&cfg) {
+    let seed = cfg.seed;
+    let out = run_experiment(&Fig8Experiment(cfg), seed, ObserverSet::new());
+    let ExperimentData::Fig8(runs) = out.data else {
+        unreachable!("Fig8Experiment yields Fig8 data");
+    };
+    for run in runs {
         println!(
             "{:>4} {:>9} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
             run.y,

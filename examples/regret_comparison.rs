@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example regret_comparison`
 
-use mhca::core::experiments::{fig7, Fig7Config};
+use mhca::core::experiment::{run_experiment, ExperimentData, Fig7Experiment};
+use mhca::core::experiments::Fig7Config;
+use mhca::core::ObserverSet;
 
 fn main() {
     let cfg = Fig7Config::default(); // 15 users × 3 channels, 1000 slots
@@ -12,7 +14,11 @@ fn main() {
         "Fig. 7 workload: {} users x {} channels, horizon {} slots",
         cfg.n, cfg.m, cfg.horizon
     );
-    let out = fig7(&cfg);
+    let seed = cfg.seed;
+    let result = run_experiment(&Fig7Experiment(cfg), seed, ObserverSet::new());
+    let ExperimentData::Fig7(out) = result.data else {
+        unreachable!("Fig7Experiment yields Fig7 data");
+    };
     println!(
         "exact optimum R1 = {:.2} kbps (paper instance: 7282.90)",
         out.optimal_kbps
