@@ -56,7 +56,10 @@ fn bench_wb_flood(c: &mut Criterion) {
 fn bench_distributed_decide(c: &mut Criterion) {
     let mut group = c.benchmark_group("decision_distributed");
     group.sample_size(10);
-    for &n in &[50usize, 100, 200] {
+    // n = 400 is the PR-4 regression size (BENCH_PR4.json pins the
+    // incremental dirty-ball decide phase to ≥ 3× there); see the
+    // `decide_profile` binary for the incremental-vs-rescan breakdown.
+    for &n in &[50usize, 100, 200, 400] {
         let net = Network::random(n, 5, 5.0, 0.1, 300 + n as u64);
         let weights = net.channels().means();
         for &r in &[1usize, 2] {

@@ -1,0 +1,192 @@
+//! Profiles the decide phase: incremental dirty-ball leader election vs
+//! the full-rescan reference, across network sizes and radii, emitting
+//! per-phase counters and wall-clock medians as JSON (`BENCH_PR4.json`).
+//!
+//! Both paths run in one process on identical networks and weights, so
+//! the speedup column is a true paired comparison (same machine, same
+//! cache state, same inputs). Alongside wall time the profile records the
+//! per-phase work counters that explain it: leader-election ball scans
+//! (`*_scanned` — the term the dirty set shrinks), the `O(1)` pending
+//! verdicts and blocked-count decrements unique to the incremental path,
+//! and the flood-phase communication totals (identical across paths by
+//! construction — the differential test battery pins this).
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p mhca-bench --bin decide_profile              # full grid -> BENCH_PR4.json
+//! cargo run --release -p mhca-bench --bin decide_profile -- --quick   # small grid, CI smoke
+//! cargo run --release -p mhca-bench --bin decide_profile -- --out target/decide.json
+//! ```
+
+use mhca_core::{DecisionOutcome, DistributedPtas, DistributedPtasConfig, Network};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured grid point.
+struct ProfilePoint {
+    n: usize,
+    m: usize,
+    r: usize,
+    minirounds: usize,
+    rescan_ns: f64,
+    incremental_ns: f64,
+    rescan_scanned: u64,
+    incremental_scanned: u64,
+    fast_skips: u64,
+    dirty_decrements: u64,
+    decide_transmissions: u64,
+    decide_timeslots: u64,
+}
+
+/// Median wall-clock nanoseconds per call of `f`, over `samples` samples
+/// of `iters` calls each.
+fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut medians: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    medians.sort_by(|a, b| a.total_cmp(b));
+    medians[medians.len() / 2]
+}
+
+fn profile(n: usize, m: usize, r: usize, samples: usize, iters: usize) -> ProfilePoint {
+    let net = Network::random(n, m, 5.0, 0.1, 300 + n as u64);
+    let weights = net.channels().means();
+    let cfg = DistributedPtasConfig::default()
+        .with_r(r)
+        .with_max_minirounds(Some(4));
+    let mut out = DecisionOutcome::default();
+
+    let mut incremental = DistributedPtas::new(net.h(), cfg);
+    incremental.decide_into(&weights, &mut out); // warm pools + tables
+    let incremental_ns = median_ns(samples, iters, || {
+        incremental.decide_into(&weights, &mut out);
+    });
+    let inc_stats = incremental.scan_stats();
+    let minirounds = out.minirounds_used;
+    let decide_transmissions = out.counters.transmissions;
+    let decide_timeslots = out.counters.timeslots;
+
+    let mut rescan = DistributedPtas::new(net.h(), cfg);
+    rescan.decide_into_rescan(&weights, &mut out);
+    let rescan_ns = median_ns(samples, iters, || {
+        rescan.decide_into_rescan(&weights, &mut out);
+    });
+    let re_stats = rescan.scan_stats();
+    assert_eq!(
+        out.counters.transmissions, decide_transmissions,
+        "paths diverged — the parity battery should have caught this"
+    );
+
+    ProfilePoint {
+        n,
+        m,
+        r,
+        minirounds,
+        rescan_ns,
+        incremental_ns,
+        rescan_scanned: re_stats.candidates_scanned,
+        incremental_scanned: inc_stats.candidates_scanned,
+        fast_skips: inc_stats.fast_skips,
+        dirty_decrements: inc_stats.dirty_decrements,
+        decide_transmissions,
+        decide_timeslots,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        // A missing value must not silently fall back to clobbering the
+        // committed regression artifact.
+        Some(i) => args
+            .get(i + 1)
+            .expect("--out requires a path argument")
+            .clone(),
+        None => "BENCH_PR4.json".to_string(),
+    };
+
+    let (ns, samples, iters): (&[usize], usize, usize) = if quick {
+        (&[50, 100], 5, 3)
+    } else {
+        (&[100, 200, 400, 800], 9, 5)
+    };
+    let m = 5;
+
+    let mut points = Vec::new();
+    for &n in ns {
+        for r in [1usize, 2] {
+            eprintln!("profiling n={n} m={m} r={r} ...");
+            let p = profile(n, m, r, samples, iters);
+            eprintln!(
+                "  rescan {:>12.0} ns  incremental {:>12.0} ns  speedup {:.2}x  \
+                 scans {} -> {}",
+                p.rescan_ns,
+                p.incremental_ns,
+                p.rescan_ns / p.incremental_ns,
+                p.rescan_scanned,
+                p.incremental_scanned,
+            );
+            points.push(p);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"description\": \"PR 4 regression numbers: incremental dirty-ball leader \
+         election in the decide phase. Each grid point runs DistributedPtas::decide_into \
+         (incremental blocked-count election, counters-only floods) and \
+         DistributedPtas::decide_into_rescan (the full-rescan reference, bit-identical \
+         outcomes pinned by tests/decide_parity.rs) on the same network and weights; \
+         *_ns are median wall-clock per decision, speedup = rescan_ns / incremental_ns. \
+         Scanned counters are (2r+1)-ball candidate evaluations per decision (at most \
+         two per vertex on the incremental path, one per survivor per mini-round on the \
+         reference); fast_skips and dirty_decrements are the incremental path's O(1) \
+         bookkeeping.\",\n",
+    );
+    json.push_str(
+        "  \"workload\": \"Network::random(n, 5, 5.0, 0.1, 300 + n): unit-disk, 5 channels, \
+         average conflict degree 5, max_minirounds 4 (the decision_distributed bench \
+         family); release profile, single process, paired measurement.\",\n",
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"decision_distributed/r{}/{}\", \"n\": {}, \"m\": {}, \"r\": {}, \
+             \"minirounds\": {}, \"rescan_ns\": {:.1}, \"incremental_ns\": {:.1}, \
+             \"speedup\": {:.2}, \"rescan_scanned\": {}, \"incremental_scanned\": {}, \
+             \"fast_skips\": {}, \"dirty_decrements\": {}, \"decide_transmissions\": {}, \
+             \"decide_timeslots\": {}}}{}",
+            p.r,
+            p.n,
+            p.n,
+            p.m,
+            p.r,
+            p.minirounds,
+            p.rescan_ns,
+            p.incremental_ns,
+            p.rescan_ns / p.incremental_ns,
+            p.rescan_scanned,
+            p.incremental_scanned,
+            p.fast_skips,
+            p.dirty_decrements,
+            p.decide_transmissions,
+            p.decide_timeslots,
+            comma,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write profile JSON");
+    eprintln!("wrote {out_path}");
+}

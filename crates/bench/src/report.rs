@@ -217,6 +217,7 @@ pub fn render_complexity(points: &[ComplexityPoint], out: &mut dyn Write) -> io:
         "max_tx_per_vertex",
         "timeslots",
         "mean_ball_size",
+        "candidates_scanned",
     ])?;
     for p in points {
         w.row(&[
@@ -228,6 +229,7 @@ pub fn render_complexity(points: &[ComplexityPoint], out: &mut dyn Write) -> io:
             format!("{}", p.max_tx_per_vertex),
             format!("{}", p.timeslots),
             format!("{:.1}", p.mean_ball_size),
+            format!("{}", p.candidates_scanned),
         ])?;
     }
     w.blank()?;

@@ -294,8 +294,80 @@ fn scenario_observers_feed_campaign_aggregates() {
 
     let campaign_csv = fs::read_to_string(dir.join("campaign.csv")).unwrap();
     assert!(campaign_csv.contains("comm-totals:decide_transmissions"));
+    // The incremental decide phase streams its work counter too.
+    assert!(campaign_csv.contains("comm-totals:decide_candidates_scanned"));
+    let (_, scanned) = fig7
+        .aggregates
+        .iter()
+        .find(|(m, _)| m == "comm-totals:decide_candidates_scanned")
+        .expect("scanned-candidate metric aggregated across seeds");
+    assert!(scanned.mean > 0.0);
 
     fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn incremental_decide_scans_less_and_leaves_throughput_byte_identical() {
+    // The observer pipeline under the new decide path: the same scenario
+    // run with the incremental dirty-ball election and with the forced
+    // full-rescan reference must stream *identical* communication and
+    // throughput metrics — the protocols are bit-equal — while the
+    // scanned-candidate work counter is strictly smaller incrementally.
+    use mhca_bandit::policies::CsUcb;
+    use mhca_core::runner::run_policy_observed;
+    use mhca_core::{
+        Algorithm2Config, DistributedPtasConfig, MetricTable, Network, ObserverKind, ObserverSet,
+    };
+
+    let net = Network::random(30, 3, 4.0, 0.1, 17);
+    let run_with = |force_rescan: bool| {
+        let dcfg = DistributedPtasConfig::default().with_force_rescan(force_rescan);
+        let cfg = Algorithm2Config::default()
+            .with_horizon(60)
+            .with_decision(dcfg);
+        let mut observers = ObserverSet::from_kinds(&[
+            ObserverKind::CommTotals,
+            ObserverKind::Throughput,
+            ObserverKind::DecideTiming,
+        ]);
+        let run = run_policy_observed(&net, &cfg, &mut CsUcb::new(2.0), &mut observers);
+        let mut metrics = MetricTable::new();
+        observers.finish_into(&mut metrics);
+        (run, metrics)
+    };
+    let (run_inc, m_inc) = run_with(false);
+    let (run_ref, m_ref) = run_with(true);
+
+    // The runs themselves are byte-identical (same winners, same comm
+    // totals, same throughput series) — only the work differs.
+    assert_eq!(run_inc, run_ref);
+    for metric in [
+        "throughput:avg_observed_kbps",
+        "throughput:slots",
+        "comm-totals:decide_transmissions",
+        "comm-totals:decide_delivered",
+        "comm-totals:decide_timeslots",
+        "comm-totals:decisions",
+    ] {
+        assert_eq!(
+            m_inc.get(metric),
+            m_ref.get(metric),
+            "{metric} must be identical across decide paths"
+        );
+    }
+    let scanned_inc = m_inc.get("comm-totals:decide_candidates_scanned").unwrap();
+    let scanned_ref = m_ref.get("comm-totals:decide_candidates_scanned").unwrap();
+    assert!(
+        scanned_inc < scanned_ref,
+        "incremental path must scan strictly fewer candidates \
+         ({scanned_inc} vs {scanned_ref})"
+    );
+    // DecideTiming streamed something sane on both paths (wall time is
+    // machine-dependent, so only shape is asserted).
+    for m in [&m_inc, &m_ref] {
+        let ms = m.get("decide-timing:decide_ms_total").unwrap();
+        assert!(ms.is_finite() && ms >= 0.0);
+    }
 }
 
 #[test]

@@ -31,6 +31,55 @@
 //! * As a defense under message loss (failure injection), a vertex refuses
 //!   a `Winner` determination when it already knows an adjacent Winner.
 //!   With lossless delivery this rule never fires.
+//!
+//! # The incremental dirty-ball decide phase
+//!
+//! Leader election is the dominant cost of a mini-round when done naively:
+//! every undetermined Candidate rescans its whole `(2r+1)`-ball. The
+//! engine instead maintains an **incremental dirty set** on the lossless
+//! path ([`LocalMaxCache`]), justified by two invariants:
+//!
+//! 1. **Dirty-ball invariant.** A Candidate's local-max verdict is a
+//!    function of the statuses of the Candidates in its `(2r+1)`-ball and
+//!    of the (fixed) weights. Statuses only move away from `Candidate`,
+//!    so the verdict of a vertex none of whose ball members changed
+//!    status in mini-round `τ` is *provably unchanged* in `τ+1` and is
+//!    carried forward. Only vertices within `(2r+1)` hops of a status
+//!    change (a Winner or Loser determination) can flip to leader.
+//! 2. **Blocked-count witness.** For each vertex the cache stores how
+//!    many *undetermined higher-priority* members — `(weight, id)` above
+//!    its own, the strict total order of the election — its closed ball
+//!    still holds. The count is seeded by one full ball sweep in
+//!    mini-round 0 and thereafter maintained purely incrementally: each
+//!    determination of `u` walks `u`'s `(2r+1)`-ball (exactly the dirty
+//!    region it invalidates) and decrements the counts of the
+//!    lower-priority Candidates in it. A Candidate leads **iff** its
+//!    count is zero, so the vertices whose count just hit zero are
+//!    precisely the next mini-round's leaders — an `O(1)` verdict per
+//!    leader, no rescans ever. Every vertex is determined at most once,
+//!    so the whole election costs two ball sweeps per decision (seed +
+//!    decrements) *independent of how many mini-rounds run*, versus one
+//!    sweep of every surviving Candidate per mini-round for the naive
+//!    rescan.
+//!
+//! Both invariants need every status change to be *visible* wherever it
+//! matters, which lossless `(3r+1)`-hop determination floods guarantee
+//! (a determination of `u` by leader `L` reaches all of
+//! `ball(u, 2r+1) ⊆ ball(L, 3r+1)`): under lossless delivery every local
+//! view agrees with the global status array, so the incremental path
+//! reads global state directly and charges flood costs through the
+//! engine's counters-only delivery — bit-identical outcomes and counters
+//! at a fraction of the work. Under message loss views can diverge from
+//! global state (a vertex may learn of a determination its subject never
+//! received), so the engine **falls back to the full-rescan reference
+//! path** ([`DistributedPtas::decide_into_rescan`]) whenever
+//! `loss_prob > 0` (or when `force_rescan` is set) — the lossy semantics
+//! are bit-exact with the pre-incremental implementation, and the
+//! reference path doubles as the oracle of the differential test battery
+//! (`tests/decide_parity.rs`). The dirty expansion walks the per-vertex
+//! `(2r+1)`-ball tables precomputed at construction (the same tables the
+//! views are built from), so it needs no flood-engine ball table and is
+//! unaffected by the engine's large-N table entry cap.
 
 use mhca_graph::ExtendedConflictGraph;
 use mhca_mwis::{exact, greedy};
@@ -94,6 +143,10 @@ pub struct DistributedPtasConfig {
     pub loss_prob: f64,
     /// RNG seed for the loss process.
     pub loss_seed: u64,
+    /// Forces the full-rescan reference decide path even when delivery is
+    /// lossless (diagnostics / differential testing; the incremental
+    /// dirty-ball path is bit-identical, just faster).
+    pub force_rescan: bool,
 }
 
 impl Default for DistributedPtasConfig {
@@ -104,6 +157,7 @@ impl Default for DistributedPtasConfig {
             local_solver: LocalSolver::default(),
             loss_prob: 0.0,
             loss_seed: 0,
+            force_rescan: false,
         }
     }
 }
@@ -151,6 +205,12 @@ impl DistributedPtasConfig {
             seed: self.loss_seed,
         }
     }
+
+    /// Builder-style rescan override (diagnostics / differential tests).
+    pub fn with_force_rescan(mut self, force: bool) -> Self {
+        self.force_rescan = force;
+        self
+    }
 }
 
 /// Result of one distributed strategy decision (one round's `t_s` part).
@@ -163,6 +223,12 @@ pub struct DecisionOutcome {
     pub per_miniround_weight: Vec<f64>,
     /// Leaders elected in each mini-round.
     pub leaders_per_miniround: Vec<usize>,
+    /// Every mini-round's leader vertices, concatenated in mini-round
+    /// order (each segment ascending). Stored flat — CSR-style, with
+    /// [`DecisionOutcome::leaders_per_miniround`] as the segment lengths —
+    /// so outcome reuse across decisions stays allocation-free; slice per
+    /// mini-round via [`DecisionOutcome::leaders_of_miniround`].
+    pub leaders_flat: Vec<usize>,
     /// Mini-rounds actually executed.
     pub minirounds_used: usize,
     /// `true` when no Candidate remained at termination.
@@ -172,6 +238,41 @@ pub struct DecisionOutcome {
     pub conflicts: usize,
     /// Communication counters for the decision.
     pub counters: Counters,
+}
+
+impl DecisionOutcome {
+    /// The leaders elected in mini-round `tau` (0-based), ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau >= minirounds_used`.
+    pub fn leaders_of_miniround(&self, tau: usize) -> &[usize] {
+        let start: usize = self.leaders_per_miniround[..tau].iter().sum();
+        &self.leaders_flat[start..start + self.leaders_per_miniround[tau]]
+    }
+}
+
+/// Instrumentation counters of the last strategy decision's leader
+/// election — how much candidate-scanning work the decide phase actually
+/// performed ([`DistributedPtas::scan_stats`]). Streamed per round to the
+/// observer pipeline as `decide_scanned`; the incremental path's whole
+/// point is that `candidates_scanned` stays near one full sweep per
+/// decision instead of one per mini-round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DecideScanStats {
+    /// `(2r+1)`-ball candidate evaluations performed. The incremental
+    /// path charges one per vertex for the mini-round 0 election probe
+    /// (early-exiting, so usually a partial scan) plus one per round-0
+    /// survivor for the count-seeding sweep — at most two per vertex per
+    /// decision, however many mini-rounds run. The rescan reference pays
+    /// one full evaluation per surviving Candidate *per mini-round*.
+    pub candidates_scanned: u64,
+    /// `O(1)` leader verdicts served from the pending zero-blocked list
+    /// without any ball scan (always 0 on the full-rescan path).
+    pub fast_skips: u64,
+    /// Blocked-count decrements applied while expanding status changes
+    /// into their dirty balls (always 0 on the full-rescan path).
+    pub dirty_decrements: u64,
 }
 
 /// Protocol messages carried by the control-channel floods.
@@ -236,6 +337,13 @@ pub struct DistributedPtas<'h> {
     engine: FloodEngine<'h>,
     views: Vec<LocalView>,
     balls_r: Vec<Vec<usize>>,
+    /// Flat `u32` CSR copy of the `(2r+1)`-balls (`ball_offsets[v] ..
+    /// ball_offsets[v + 1]` into `ball_entries`), self included — the
+    /// incremental election's seed and decrement sweeps stream these
+    /// instead of the views' `usize` lists: the sweeps are memory-bound,
+    /// so the 4-byte entries halve their traffic.
+    ball_offsets: Vec<usize>,
+    ball_entries: Vec<u32>,
     node_groups: Vec<usize>,
     // ---- pooled per-decision scratch ----
     own: Vec<Status>,
@@ -249,6 +357,65 @@ pub struct DistributedPtas<'h> {
     cand: Vec<usize>,
     selectable: Vec<usize>,
     solver: SolverScratch,
+    cache: LocalMaxCache,
+    scan_stats: DecideScanStats,
+}
+
+/// Reusable state of the incremental dirty-ball leader election (see the
+/// module docs): per-vertex blocked counts plus the pending zero-count
+/// list. Only ever consulted on the lossless fast path; the lossy /
+/// forced-rescan path ignores it entirely.
+#[derive(Debug, Default)]
+struct LocalMaxCache {
+    /// Packed per-vertex election state, one word per vertex so the
+    /// memory-bound ball sweeps touch a single cache line per probe:
+    ///
+    /// * low 32 bits — the vertex's priority *rank*
+    ///   (`rank_u < rank_v ⟺ (weight_u, u) > (weight_v, v)`, the
+    ///   election's strict total order, materialized once per decision);
+    /// * high 32 bits — its *blocked count*: undetermined members of its
+    ///   closed `(2r+1)`-ball ranked above it ([`DETERMINED`] once the
+    ///   vertex itself is determined). A Candidate leads iff zero.
+    state: Vec<u64>,
+    /// Vertices whose blocked count hit zero during the current
+    /// mini-round's dirty expansion — the next mini-round's leaders
+    /// (those still Candidate by then). A count hits zero at most once,
+    /// so the list is duplicate-free by construction.
+    pending: Vec<usize>,
+    /// Vertices whose status changed in the current mini-round.
+    changed: Vec<usize>,
+    /// Vertices sorted by descending `(weight, id)` — sort scratch for
+    /// the rank build.
+    order: Vec<u32>,
+}
+
+/// High-half sentinel of [`LocalMaxCache::state`] marking a determined
+/// vertex. Real blocked counts are bounded by the ball size (< `n` ≤
+/// `u32::MAX`), so the sentinel is unreachable by decrements.
+const DETERMINED: u64 = (u32::MAX as u64) << 32;
+
+impl LocalMaxCache {
+    /// Prepares the cache for a fresh decision over `n` vertices: sizes
+    /// the state table (allocating only when `n` changes) and seeds it
+    /// with this decision's priority ranks (blocked counts zeroed; the
+    /// mini-round 0 sweep fills them).
+    fn begin(&mut self, n: usize, weights: &[f64]) {
+        if self.state.len() != n {
+            self.state = vec![0; n];
+        }
+        self.pending.clear();
+        self.changed.clear();
+        self.order.clear();
+        self.order.extend(0..n as u32);
+        self.order.sort_unstable_by(|&a, &b| {
+            (weights[b as usize], b)
+                .partial_cmp(&(weights[a as usize], a))
+                .expect("finite weights")
+        });
+        for (i, &v) in self.order.iter().enumerate() {
+            self.state[v as usize] = i as u64;
+        }
+    }
 }
 
 /// Pooled scratch for the LocalLeader MWIS, grouped so the solver can be
@@ -267,14 +434,23 @@ impl<'h> DistributedPtas<'h> {
     /// Precomputes the `r`- and `(2r+1)`-hop neighborhood tables of `H`.
     pub fn new(h: &'h ExtendedConflictGraph, config: DistributedPtasConfig) -> Self {
         let n = h.n_vertices();
+        assert!(u32::try_from(n).is_ok(), "graph too large for the decider");
         let g = h.graph();
-        let views = (0..n)
+        let views: Vec<LocalView> = (0..n)
             .map(|v| {
                 let ball = g.r_hop_neighborhood(v, 2 * config.r + 1);
                 let status = vec![Status::Candidate; ball.len()];
                 LocalView { ball, status }
             })
             .collect();
+        let mut ball_offsets = Vec::with_capacity(n + 1);
+        ball_offsets.push(0);
+        let total: usize = views.iter().map(|view| view.ball.len()).sum();
+        let mut ball_entries = Vec::with_capacity(total);
+        for view in &views {
+            ball_entries.extend(view.ball.iter().map(|&u| u as u32));
+            ball_offsets.push(ball_entries.len());
+        }
         let balls_r = (0..n).map(|v| g.r_hop_neighborhood(v, config.r)).collect();
         let node_groups = (0..n).map(|v| v / h.n_channels()).collect();
         let mut engine = if config.loss_prob > 0.0 {
@@ -290,6 +466,8 @@ impl<'h> DistributedPtas<'h> {
             engine,
             views,
             balls_r,
+            ball_offsets,
+            ball_entries,
             node_groups,
             own: Vec::new(),
             leaders: Vec::new(),
@@ -300,6 +478,8 @@ impl<'h> DistributedPtas<'h> {
             cand: Vec::new(),
             selectable: Vec::new(),
             solver: SolverScratch::default(),
+            cache: LocalMaxCache::default(),
+            scan_stats: DecideScanStats::default(),
         }
     }
 
@@ -339,24 +519,323 @@ impl<'h> DistributedPtas<'h> {
         &self.engine
     }
 
+    /// Leader-election work counters of the most recent decision —
+    /// streamed into the observer pipeline as `decide_scanned` and the
+    /// headline evidence that the incremental dirty-ball path does less
+    /// work than the full rescan it replaces.
+    pub fn scan_stats(&self) -> DecideScanStats {
+        self.scan_stats
+    }
+
     /// As [`DistributedPtas::decide`], writing into a caller-owned outcome
     /// whose vectors are cleared and refilled in place — together with the
     /// internal scratch pools this makes steady-state decisions
     /// allocation-free.
     ///
+    /// Dispatches to the incremental dirty-ball election (module docs) on
+    /// the lossless path; under message loss — where local views can
+    /// diverge from global state — or when
+    /// [`DistributedPtasConfig::force_rescan`] is set, it runs the
+    /// bit-exact full-rescan reference path
+    /// ([`DistributedPtas::decide_into_rescan`]).
+    ///
     /// # Panics
     ///
     /// As [`DistributedPtas::decide`].
     pub fn decide_into(&mut self, weights: &[f64], out: &mut DecisionOutcome) {
-        let n = self.h.n_vertices();
-        assert_eq!(weights.len(), n, "weight vector length");
+        self.check_weights(weights);
+        if self.config.loss_prob > 0.0 || self.config.force_rescan {
+            self.rescan_impl(weights, out);
+        } else {
+            self.incremental_impl(weights, out);
+        }
+    }
+
+    /// The full-rescan reference implementation of the decide phase: every
+    /// undetermined Candidate re-evaluates its whole `(2r+1)`-ball each
+    /// mini-round, statuses propagate through per-vertex local views, and
+    /// determination floods materialize real inboxes. This is the
+    /// pre-incremental algorithm, kept verbatim as (a) the mandatory path
+    /// under message loss and (b) the oracle of the differential test
+    /// battery (`tests/decide_parity.rs`), which pins the incremental path
+    /// to produce identical [`DecisionOutcome`]s.
+    #[doc(hidden)]
+    pub fn decide_into_rescan(&mut self, weights: &[f64], out: &mut DecisionOutcome) {
+        self.check_weights(weights);
+        self.rescan_impl(weights, out);
+    }
+
+    fn check_weights(&self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.h.n_vertices(), "weight vector length");
         assert!(
             weights.iter().all(|w| w.is_finite()),
             "weights must be finite"
         );
+    }
+
+    /// The incremental dirty-ball decide phase (lossless only; see the
+    /// module docs for the two invariants it rests on). Reads and writes
+    /// global status directly — under lossless delivery every local view
+    /// agrees with it — and charges flood costs through the engine's
+    /// counters-only delivery, so no inbox is ever materialized.
+    fn incremental_impl(&mut self, weights: &[f64], out: &mut DecisionOutcome) {
+        debug_assert_eq!(self.config.loss_prob, 0.0);
+        let Self {
+            h,
+            config,
+            engine,
+            balls_r,
+            ball_offsets,
+            ball_entries,
+            node_groups,
+            own,
+            leaders,
+            declare_floods,
+            det_floods,
+            det_lists,
+            cand,
+            selectable,
+            solver,
+            cache,
+            scan_stats,
+            ..
+        } = self;
+        let ball = |v: usize| &ball_entries[ball_offsets[v]..ball_offsets[v + 1]];
+        let n = h.n_vertices();
+        let graph = h.graph();
+        let r = config.r;
+        engine.reset_counters();
+        *scan_stats = DecideScanStats::default();
+
+        own.clear();
+        own.resize(n, Status::Candidate);
+        cache.begin(n, weights);
+        let mut remaining = n;
+        out.winners.clear();
+        out.per_miniround_weight.clear();
+        out.leaders_per_miniround.clear();
+        out.leaders_flat.clear();
+        out.all_marked = false;
+        let cap = config.max_minirounds.unwrap_or(n.max(1));
+
+        for tau in 0..cap {
+            // ---- 1. LocalLeader selection, incrementally: mini-round 0
+            // seeds every vertex's blocked count with one full ball sweep;
+            // afterwards the leaders are read off the pending zero-count
+            // list maintained by the dirty expansion — no ball is ever
+            // scanned again.
+            leaders.clear();
+            if tau == 0 {
+                // Mini-round 0 only needs the local-maximum verdict, not
+                // the counts yet: probe each ball with early exit at the
+                // first higher-priority member (typically a handful of
+                // entries). Counts are seeded after this round's
+                // determinations land, over the survivors only.
+                for v in 0..n {
+                    scan_stats.candidates_scanned += 1;
+                    let rv = cache.state[v] as u32;
+                    let leads = ball(v)
+                        .iter()
+                        .all(|&u| (cache.state[u as usize] as u32) >= rv);
+                    if leads {
+                        leaders.push(v);
+                    }
+                }
+            } else {
+                for idx in 0..cache.pending.len() {
+                    let v = cache.pending[idx];
+                    // A zero-count vertex leads unless it was itself
+                    // determined in the round that unblocked it.
+                    if own[v] == Status::Candidate {
+                        scan_stats.fast_skips += 1;
+                        leaders.push(v);
+                    }
+                }
+                cache.pending.clear();
+                // The reference path discovers leaders in ascending vertex
+                // order; match it so `leaders_flat` is bit-identical.
+                leaders.sort_unstable();
+            }
+            if leaders.is_empty() {
+                out.all_marked = remaining == 0;
+                break;
+            }
+            out.leaders_per_miniround.push(leaders.len());
+            out.leaders_flat.extend_from_slice(leaders);
+
+            // ---- 2. Leader declaration floods ((2r+1) hops, accounting
+            // only — same as the reference path).
+            declare_floods.clear();
+            declare_floods.extend(leaders.iter().map(|&v| Flood {
+                origin: v,
+                ttl: 2 * r + 1,
+                payload: Msg::LeaderDeclare,
+            }));
+            engine.broadcast_only(declare_floods);
+
+            // ---- 3. Local MWIS per leader, reading global status (equal
+            // to the leader's view under lossless delivery).
+            if det_lists.len() < leaders.len() {
+                det_lists.resize_with(leaders.len(), Vec::new);
+            }
+            det_floods.clear();
+            for slot in 0..leaders.len() {
+                let leader = leaders[slot];
+                cand.clear();
+                cand.extend(
+                    balls_r[leader]
+                        .iter()
+                        .copied()
+                        .filter(|&u| own[u] == Status::Candidate),
+                );
+                selectable.clear();
+                selectable.extend(
+                    cand.iter()
+                        .copied()
+                        .filter(|&u| graph.neighbors(u).iter().all(|&x| own[x] != Status::Winner)),
+                );
+                Self::solve_local(graph, config, node_groups, solver, weights, selectable);
+                let list = &mut det_lists[slot];
+                list.clear();
+                list.extend(
+                    cand.iter()
+                        .map(|&u| (u, solver.local_mwis.binary_search(&u).is_ok())),
+                );
+                det_floods.push(Flood {
+                    origin: leader,
+                    ttl: 3 * r + 1,
+                    payload: Msg::Determination(slot as u32),
+                });
+            }
+
+            // ---- 4. Determination floods, accounting only: lossless
+            // delivery is total within the TTL, so applying each leader's
+            // list once to the global status array is exactly what every
+            // receiver's view update would have computed. Same-mini-round
+            // lists are disjoint (leaders are ≥ 2r+2 apart, lists span
+            // r-balls), so application order is immaterial.
+            engine.broadcast_only(det_floods);
+            cache.changed.clear();
+            for list in det_lists.iter().take(leaders.len()) {
+                for &(u, is_winner) in list {
+                    debug_assert_eq!(own[u], Status::Candidate);
+                    own[u] = if is_winner {
+                        Status::Winner
+                    } else {
+                        Status::Loser
+                    };
+                    cache.state[u] |= DETERMINED;
+                    remaining -= 1;
+                    cache.changed.push(u);
+                }
+            }
+
+            // ---- 5. Bookkeeping (same summation order as the reference
+            // path, so the Fig. 6 series is bit-identical).
+            let cum: f64 = (0..n)
+                .filter(|&v| own[v] == Status::Winner)
+                .map(|v| weights[v])
+                .sum();
+            out.per_miniround_weight.push(cum);
+            if remaining == 0 {
+                out.all_marked = true;
+                break;
+            }
+
+            // ---- 6. Dirty expansion, feeding the *next* mini-round's
+            // election (skipped on the budget's last round — nothing
+            // would read it).
+            if tau + 1 == cap {
+                continue;
+            }
+            if tau == 0 {
+                // Seed the blocked counts over the survivors: count the
+                // still-undetermined higher-priority ball members. This
+                // folds mini-round 0's (largest) determination wave into
+                // the seeding sweep instead of replaying it as
+                // decrements, and skips the determined majority outright.
+                for (v, &status) in own.iter().enumerate() {
+                    if status != Status::Candidate {
+                        continue;
+                    }
+                    scan_stats.candidates_scanned += 1;
+                    let rv = cache.state[v] as u32;
+                    let mut blocked = 0u64;
+                    for &u in ball(v) {
+                        let s = cache.state[u as usize];
+                        blocked += u64::from((s as u32) < rv) & u64::from(s < DETERMINED);
+                    }
+                    cache.state[v] |= blocked << 32;
+                    if blocked == 0 {
+                        cache.pending.push(v);
+                    }
+                }
+            } else {
+                // Each determination of `u` can only change verdicts
+                // within `u`'s (2r+1)-ball — walk exactly that ball and
+                // retire `u` from the blocked counts of its
+                // lower-priority Candidates. Whoever drops to zero is a
+                // leader next mini-round; everyone else's verdict
+                // carries forward.
+                let mut decrements = 0u64;
+                for i in 0..cache.changed.len() {
+                    let u = cache.changed[i];
+                    let ru = cache.state[u] as u32;
+                    for &x in ball(u) {
+                        let x = x as usize;
+                        // One packed load: rank in the low half, blocked
+                        // count (or the DETERMINED sentinel) in the
+                        // high. The outcome of the rank test is
+                        // data-dependent and unpredictable, so the
+                        // decrement is applied branchlessly; only the
+                        // rare hit-zero push branches.
+                        let s = cache.state[x];
+                        let dec = u64::from((s as u32) > ru) & u64::from(s < DETERMINED);
+                        decrements += dec;
+                        let s = s - (dec << 32);
+                        cache.state[x] = s;
+                        if dec != 0 && s >> 32 == 0 {
+                            cache.pending.push(x);
+                        }
+                    }
+                }
+                scan_stats.dirty_decrements += decrements;
+            }
+        }
+
+        Self::finish_outcome(graph, own, engine, out);
+    }
+
+    /// Shared outcome epilogue: winners, conflict audit, counters.
+    fn finish_outcome(
+        graph: &mhca_graph::Graph,
+        own: &[Status],
+        engine: &FloodEngine<'_>,
+        out: &mut DecisionOutcome,
+    ) {
+        out.winners
+            .extend((0..own.len()).filter(|&v| own[v] == Status::Winner));
+        out.conflicts = out
+            .winners
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                out.winners[i + 1..]
+                    .iter()
+                    .filter(|&&w| graph.has_edge(u, w))
+                    .count()
+            })
+            .sum();
+        out.minirounds_used = out.leaders_per_miniround.len();
+        out.counters.clone_from(engine.counters());
+    }
+
+    fn rescan_impl(&mut self, weights: &[f64], out: &mut DecisionOutcome) {
+        let n = self.h.n_vertices();
         let graph = self.h.graph();
         let r = self.config.r;
         self.engine.reset_counters();
+        self.scan_stats = DecideScanStats::default();
 
         for view in &mut self.views {
             view.reset();
@@ -366,6 +845,7 @@ impl<'h> DistributedPtas<'h> {
         out.winners.clear();
         out.per_miniround_weight.clear();
         out.leaders_per_miniround.clear();
+        out.leaders_flat.clear();
         out.all_marked = false;
         let cap = self.config.max_minirounds.unwrap_or(n.max(1));
 
@@ -379,6 +859,7 @@ impl<'h> DistributedPtas<'h> {
                 if self.own[v] != Status::Candidate {
                     continue;
                 }
+                self.scan_stats.candidates_scanned += 1;
                 let view = &self.views[v];
                 let leads = view.ball.iter().zip(&view.status).all(|(&u, &st)| {
                     u == v || st != Status::Candidate || (weights[u], u) < (weights[v], v)
@@ -392,6 +873,7 @@ impl<'h> DistributedPtas<'h> {
                 break;
             }
             out.leaders_per_miniround.push(self.leaders.len());
+            out.leaders_flat.extend_from_slice(&self.leaders);
 
             // ---- 2. Leader declaration floods (line 4; (2r+1) hops).
             self.declare_floods.clear();
@@ -498,21 +980,7 @@ impl<'h> DistributedPtas<'h> {
             }
         }
 
-        out.winners
-            .extend((0..n).filter(|&v| self.own[v] == Status::Winner));
-        out.conflicts = out
-            .winners
-            .iter()
-            .enumerate()
-            .map(|(i, &u)| {
-                out.winners[i + 1..]
-                    .iter()
-                    .filter(|&&w| graph.has_edge(u, w))
-                    .count()
-            })
-            .sum();
-        out.minirounds_used = out.leaders_per_miniround.len();
-        out.counters.clone_from(self.engine.counters());
+        Self::finish_outcome(graph, &self.own, &self.engine, out);
     }
 
     /// Applies a leader's own determination list at the leader itself.
@@ -910,5 +1378,149 @@ mod tests {
         let out = decide(&g, 2, &[0.5; 10], run_to_completion(1));
         assert!(out.counters.transmissions > 0);
         assert!(out.counters.timeslots > 0);
+    }
+
+    #[test]
+    fn decide_incremental_matches_rescan_reference() {
+        // Differential smoke (the full grid lives in tests/decide_parity.rs):
+        // the incremental dirty-ball path and the full-rescan reference must
+        // produce identical outcomes — winners, series, leaders, counters —
+        // across repeated decisions on one engine pair.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..6 {
+            let (g, _) = mhca_graph::unit_disk::random_with_average_degree(35, 4.5, &mut rng);
+            let h = ExtendedConflictGraph::new(&g, 3);
+            for r in [1, 2] {
+                let cfg = run_to_completion(r);
+                let mut inc = DistributedPtas::new(&h, cfg);
+                let mut reference = DistributedPtas::new(&h, cfg);
+                let mut a = DecisionOutcome::default();
+                let mut b = DecisionOutcome::default();
+                for round in 0..3 {
+                    let w: Vec<f64> = (0..h.n_vertices())
+                        .map(|_| rng.gen_range(0.1..1.0))
+                        .collect();
+                    inc.decide_into(&w, &mut a);
+                    reference.decide_into_rescan(&w, &mut b);
+                    assert_eq!(a, b, "trial {trial} r {r} round {round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decide_force_rescan_config_routes_to_reference_path() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(30, 4.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
+        let mut forced = DistributedPtas::new(&h, run_to_completion(2).with_force_rescan(true));
+        let out = forced.decide(&w);
+        // The rescan path never writes dirty-set instrumentation.
+        assert_eq!(forced.scan_stats().fast_skips, 0);
+        assert_eq!(forced.scan_stats().dirty_decrements, 0);
+        let mut inc = DistributedPtas::new(&h, run_to_completion(2));
+        assert_eq!(inc.decide(&w), out);
+        if out.minirounds_used > 1 {
+            assert!(
+                inc.scan_stats().candidates_scanned < forced.scan_stats().candidates_scanned,
+                "incremental path must scan fewer candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn decide_scan_stats_near_one_sweep_on_incremental_path() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(41);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(60, 5.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 4);
+        let n = h.n_vertices() as u64;
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
+        let mut inc = DistributedPtas::new(&h, run_to_completion(2));
+        let out = inc.decide(&w);
+        assert!(out.all_marked);
+        let stats = inc.scan_stats();
+        // Mini-round 0 scans everyone once; later rounds only rescan
+        // candidates whose blocker fell — a vertex is rescanned at most
+        // once per mini-round, and in practice far less.
+        assert!(stats.candidates_scanned >= n);
+        assert!(
+            stats.candidates_scanned <= n * out.minirounds_used as u64,
+            "scanned {} with n {} over {} mini-rounds",
+            stats.candidates_scanned,
+            n,
+            out.minirounds_used
+        );
+        let mut reference = DistributedPtas::new(&h, run_to_completion(2));
+        reference.decide_into_rescan(&w, &mut DecisionOutcome::default());
+        assert!(stats.candidates_scanned < reference.scan_stats().candidates_scanned);
+    }
+
+    #[test]
+    fn decide_leaders_flat_segments_match_counts() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(51);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 5.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
+        let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
+        let out = ptas.decide(&w);
+        let total: usize = out.leaders_per_miniround.iter().sum();
+        assert_eq!(out.leaders_flat.len(), total);
+        for tau in 0..out.minirounds_used {
+            let seg = out.leaders_of_miniround(tau);
+            assert_eq!(seg.len(), out.leaders_per_miniround[tau]);
+            assert!(seg.windows(2).all(|p| p[0] < p[1]), "segment not ascending");
+        }
+    }
+
+    #[test]
+    fn decide_outcome_reuse_alternating_big_and_small_decisions() {
+        // Regression: reusing one DecisionOutcome across decisions of very
+        // different shapes (many mini-rounds → few, large H → small H) must
+        // behave exactly like a fresh outcome — every series is cleared, not
+        // truncated against stale capacity assumptions.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let big_g = topology::line(40);
+        let big_h = ExtendedConflictGraph::new(&big_g, 1);
+        let big_w: Vec<f64> = (0..40).map(|i| 1.0 - i as f64 / 41.0).collect();
+        let mut rng = StdRng::seed_from_u64(61);
+        let (small_g, _) = mhca_graph::unit_disk::random_with_average_degree(10, 3.0, &mut rng);
+        let small_h = ExtendedConflictGraph::new(&small_g, 2);
+        let small_w: Vec<f64> = (0..small_h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
+
+        let mut big = DistributedPtas::new(&big_h, run_to_completion(1));
+        let mut small = DistributedPtas::new(&small_h, run_to_completion(2));
+        let mut shared = DecisionOutcome::default();
+        for cycle in 0..2 {
+            big.decide_into(&big_w, &mut shared);
+            assert!(shared.minirounds_used >= 10, "line forces many mini-rounds");
+            assert_eq!(shared, big.decide(&big_w), "cycle {cycle}: big reuse");
+
+            small.decide_into(&small_w, &mut shared);
+            let fresh = small.decide(&small_w);
+            assert_eq!(shared, fresh, "cycle {cycle}: small-after-big reuse");
+            assert_eq!(
+                shared.per_miniround_weight.len(),
+                shared.minirounds_used,
+                "stale per-mini-round entries survived the shrink"
+            );
+            assert_eq!(
+                shared.counters.per_vertex_tx.len(),
+                small_h.n_vertices(),
+                "per-vertex counters kept the old network's size"
+            );
+        }
     }
 }

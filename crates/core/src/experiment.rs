@@ -126,6 +126,10 @@ pub struct RoundRecord<'a> {
     pub decide_delivered: u64,
     /// Pipelined mini-timeslots of this decision.
     pub decide_timeslots: u64,
+    /// Candidate `(2r+1)`-ball evaluations the decision's leader election
+    /// performed ([`crate::DecideScanStats::candidates_scanned`]) — the
+    /// work metric the incremental dirty-ball decide path shrinks.
+    pub decide_scanned: u64,
     /// Per-vertex relay broadcasts of this decision (indexed by vertex).
     pub per_vertex_tx: &'a [u64],
 }
@@ -271,12 +275,16 @@ impl RoundObserver for DecideTimingObserver {
     }
 }
 
-/// Accumulates decision-flood communication totals across the run.
+/// Accumulates decision-flood communication totals across the run, plus
+/// the leader election's scanned-candidate work counter — the metric the
+/// incremental dirty-ball decide path shrinks while every communication
+/// total stays identical.
 #[derive(Debug, Default)]
 pub struct CommTotalsObserver {
     transmissions: u64,
     delivered: u64,
     timeslots: u64,
+    scanned: u64,
     decisions: u64,
 }
 
@@ -285,6 +293,7 @@ impl RoundObserver for CommTotalsObserver {
         self.transmissions += record.decide_transmissions;
         self.delivered += record.decide_delivered;
         self.timeslots += record.decide_timeslots;
+        self.scanned += record.decide_scanned;
         self.decisions += 1;
     }
 
@@ -293,6 +302,7 @@ impl RoundObserver for CommTotalsObserver {
         t.push("decide_transmissions", self.transmissions as f64);
         t.push("decide_delivered", self.delivered as f64);
         t.push("decide_timeslots", self.timeslots as f64);
+        t.push("decide_candidates_scanned", self.scanned as f64);
         t.push("decisions", self.decisions as f64);
         t
     }
@@ -766,6 +776,7 @@ impl Experiment for ComplexityExperiment {
                     max_tx_per_vertex: outcome.counters.max_per_vertex_tx(),
                     timeslots: outcome.counters.timeslots,
                     mean_ball_size: ball_sizes,
+                    candidates_scanned: ptas.scan_stats().candidates_scanned,
                 });
             }
         }
@@ -773,6 +784,10 @@ impl Experiment for ComplexityExperiment {
         for p in &points {
             metrics.push(format!("mean_tx_n{}_r{}", p.n, p.r), p.mean_tx_per_vertex);
             metrics.push(format!("mean_ball_n{}_r{}", p.n, p.r), p.mean_ball_size);
+            metrics.push(
+                format!("scanned_n{}_r{}", p.n, p.r),
+                p.candidates_scanned as f64,
+            );
         }
         ExperimentOutput {
             data: ExperimentData::Complexity(points),

@@ -51,7 +51,9 @@ pub mod stats;
 pub mod sweep;
 pub mod time;
 
-pub use distributed::{DecisionOutcome, DistributedPtas, DistributedPtasConfig, LocalSolver};
+pub use distributed::{
+    DecideScanStats, DecisionOutcome, DistributedPtas, DistributedPtasConfig, LocalSolver,
+};
 pub use experiment::{
     run_experiment, Experiment, ExperimentCtx, ExperimentData, ExperimentOutput, MetricTable,
     ObserverKind, ObserverSet, RoundObserver, RoundRecord, ScenarioShape,

@@ -331,6 +331,7 @@ pub fn run_policy_observed(
                 decide_transmissions: outcome.counters.transmissions,
                 decide_delivered: outcome.counters.delivered,
                 decide_timeslots: outcome.counters.timeslots,
+                decide_scanned: ptas.scan_stats().candidates_scanned,
                 per_vertex_tx: &outcome.counters.per_vertex_tx,
             });
         }

@@ -112,6 +112,45 @@ fn strategy_decision_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn incremental_decide_into_is_allocation_free_with_varying_weights() {
+    // The incremental dirty-ball decide path reuses the blocker table,
+    // epoch-stamped dirty buffer, and changed list across decisions. Vary
+    // the weights each call so the dirty-set shape, leader counts, and
+    // per-mini-round series lengths all change between decisions — the
+    // exact situation where a clear()-vs-truncate mistake or an
+    // under-grown pool would allocate. The weight vectors are prepared up
+    // front and the warm-up runs the same cycle, so the measured section
+    // is pure steady state.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let net = Network::random(50, 3, 4.5, 0.1, 13);
+    let mut rng = StdRng::seed_from_u64(13);
+    let cycle: Vec<Vec<f64>> = (0..6)
+        .map(|_| {
+            (0..net.n_vertices())
+                .map(|_| rng.gen_range(0.05..1.0))
+                .collect()
+        })
+        .collect();
+    let cfg = DistributedPtasConfig::default().with_max_minirounds(None);
+    assert_eq!(cfg.loss_prob, 0.0, "must exercise the incremental path");
+    let mut ptas = DistributedPtas::new(net.h(), cfg);
+    let mut outcome = Default::default();
+    for w in cycle.iter().chain(cycle.iter()) {
+        ptas.decide_into(w, &mut outcome);
+    }
+
+    let allocs = min_allocs(3, || {
+        for w in &cycle {
+            ptas.decide_into(w, &mut outcome);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state incremental decide_into must not allocate (counted {allocs})"
+    );
+}
+
+#[test]
 fn policy_indices_into_is_allocation_free() {
     use mhca::bandit::ArmStats;
     use rand::{rngs::StdRng, SeedableRng};

@@ -1,0 +1,230 @@
+//! Differential oracle for the decide phase.
+//!
+//! The incremental dirty-ball leader election
+//! (`DistributedPtas::decide_into`) must produce **bit-identical**
+//! [`DecisionOutcome`]s — winners, per-mini-round weight series, leader
+//! lists, mini-round counts, conflict audit, and communication counters —
+//! to the full-rescan reference implementation
+//! (`DistributedPtas::decide_into_rescan`), across every topology family,
+//! radius, loss setting, and seed in the grid below (≥ 200 combinations).
+//!
+//! Each combination runs a *sequence* of decisions on one persistent
+//! engine pair, so cache reuse across decisions (stale blockers, dirty
+//! stamps, epoch wraparound seams) is exercised, not just the first call.
+//! Under message loss `decide_into` falls back to the reference path by
+//! design; those combinations pin the fallback to consume the loss RNG
+//! stream exactly as before, so lossy campaigns reproduce bit-for-bit.
+
+use mhca::core::{DecisionOutcome, DistributedPtas, DistributedPtasConfig, LocalSolver};
+use mhca::graph::{topology, ExtendedConflictGraph, Graph};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One decision sequence on a fresh incremental/reference engine pair;
+/// returns `(decisions compared, incremental scans, reference scans)`.
+fn assert_parity_sequence(
+    h: &ExtendedConflictGraph,
+    cfg: DistributedPtasConfig,
+    weight_seed: u64,
+    decisions: usize,
+    label: &str,
+) -> (usize, u64, u64) {
+    let mut incremental = DistributedPtas::new(h, cfg);
+    let mut reference = DistributedPtas::new(h, cfg);
+    let mut got = DecisionOutcome::default();
+    let mut expect = DecisionOutcome::default();
+    let mut rng = StdRng::seed_from_u64(weight_seed);
+    let (mut inc_total, mut ref_total) = (0u64, 0u64);
+    for step in 0..decisions {
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.05..1.0))
+            .collect();
+        incremental.decide_into(&w, &mut got);
+        reference.decide_into_rescan(&w, &mut expect);
+        assert_eq!(got, expect, "{label}, step {step}");
+        // The incremental path must never do more ball scans than the
+        // reference (a per-round tie is possible — every surviving
+        // candidate's blocker may fall — so the strictly-fewer claim is
+        // asserted on the grid aggregate by the callers).
+        let (inc, re) = (
+            incremental.scan_stats().candidates_scanned,
+            reference.scan_stats().candidates_scanned,
+        );
+        assert!(inc <= re, "{label}, step {step}: scanned {inc} > {re}");
+        inc_total += inc;
+        ref_total += re;
+    }
+    (decisions, inc_total, ref_total)
+}
+
+/// A topology family: name plus a builder parameterized by instance seed.
+type TopologyFamily = (&'static str, Box<dyn Fn(u64) -> Graph>);
+
+/// The topology grid.
+fn topologies() -> Vec<TopologyFamily> {
+    vec![
+        (
+            "unit-disk-sparse",
+            Box::new(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                mhca::graph::unit_disk::random_with_average_degree(28, 3.0, &mut rng).0
+            }),
+        ),
+        (
+            "unit-disk-dense",
+            Box::new(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                mhca::graph::unit_disk::random_with_average_degree(24, 6.0, &mut rng).0
+            }),
+        ),
+        (
+            "line",
+            Box::new(|seed| topology::line(16 + (seed % 9) as usize)),
+        ),
+        (
+            "ring",
+            Box::new(|seed| topology::ring(12 + (seed % 7) as usize)),
+        ),
+        (
+            "grid",
+            Box::new(|seed| topology::grid(3 + (seed % 3) as usize, 5)),
+        ),
+        (
+            "sparse-components",
+            Box::new(|seed| {
+                // Disconnected components with a few cross edges.
+                let n = 20;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut b = Graph::builder(n);
+                for _ in 0..n {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+                b.build()
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn decide_parity_grid_lossless_and_lossy() {
+    let mut combinations = 0usize;
+    let mut compared = 0usize;
+    let (mut inc_scans, mut ref_scans) = (0u64, 0u64);
+    for (name, build) in topologies() {
+        for instance in 0..5u64 {
+            let g = build(900 + instance);
+            for &m in &[1usize, 3] {
+                let h = ExtendedConflictGraph::new(&g, m);
+                for &r in &[1usize, 2] {
+                    for &(loss, loss_seed) in &[(0.0, 0), (0.15, 7 + instance)] {
+                        let cfg = DistributedPtasConfig::default()
+                            .with_r(r)
+                            .with_max_minirounds(None)
+                            .with_loss(loss, loss_seed);
+                        let label = format!("{name} m={m} r={r} loss={loss} instance={instance}");
+                        let (n_decisions, inc, re) =
+                            assert_parity_sequence(&h, cfg, 1000 * instance + r as u64, 2, &label);
+                        compared += n_decisions;
+                        if loss == 0.0 {
+                            inc_scans += inc;
+                            ref_scans += re;
+                        }
+                        combinations += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        combinations >= 200,
+        "grid shrank below the 200-combination floor: {combinations}"
+    );
+    assert!(compared >= 2 * combinations);
+    assert!(
+        inc_scans < ref_scans,
+        "incremental path saved no scans across the lossless grid \
+         ({inc_scans} vs {ref_scans})"
+    );
+}
+
+#[test]
+fn decide_parity_capped_minirounds_and_solvers() {
+    // Mini-round budgets interact with the dirty set (a capped run leaves
+    // candidates undetermined); solver variants change the determination
+    // lists the dirty expansion consumes.
+    let mut rng = StdRng::seed_from_u64(77);
+    for instance in 0..6u64 {
+        let (g, _) = mhca::graph::unit_disk::random_with_average_degree(30, 4.5, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        for &cap in &[Some(1), Some(2), Some(4), None] {
+            for solver in [
+                LocalSolver::Exact,
+                LocalSolver::Greedy,
+                LocalSolver::Auto {
+                    max_exact_groups: 6,
+                },
+            ] {
+                let cfg = DistributedPtasConfig::default()
+                    .with_r(2)
+                    .with_max_minirounds(cap)
+                    .with_local_solver(solver);
+                let label = format!("caps instance={instance} cap={cap:?} solver={solver:?}");
+                assert_parity_sequence(&h, cfg, 50 + instance, 2, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn decide_parity_worstcase_line_runs_to_completion() {
+    // The Θ(N)-mini-round worst case (Fig. 5): decreasing weights along a
+    // line maximize mini-round count and dirty-set churn.
+    let n = 48;
+    let g = topology::line(n);
+    let h = ExtendedConflictGraph::new(&g, 1);
+    let w: Vec<f64> = (0..n).map(|i| 1.0 - i as f64 / (n + 1) as f64).collect();
+    let cfg = DistributedPtasConfig::default()
+        .with_r(1)
+        .with_max_minirounds(None);
+    let mut incremental = DistributedPtas::new(&h, cfg);
+    let mut reference = DistributedPtas::new(&h, cfg);
+    let mut got = DecisionOutcome::default();
+    let mut expect = DecisionOutcome::default();
+    incremental.decide_into(&w, &mut got);
+    reference.decide_into_rescan(&w, &mut expect);
+    assert_eq!(got, expect);
+    assert!(got.minirounds_used >= n / 4);
+    // Many mini-rounds is exactly where the dirty set pays: the reference
+    // rescans surviving candidates every round.
+    assert!(
+        incremental.scan_stats().candidates_scanned * 2 < reference.scan_stats().candidates_scanned,
+        "incremental {} vs reference {}",
+        incremental.scan_stats().candidates_scanned,
+        reference.scan_stats().candidates_scanned
+    );
+}
+
+#[test]
+fn decide_parity_equal_weight_tie_storm() {
+    // All-equal weights force every verdict through the id tiebreak.
+    for &(rows, cols) in &[(4usize, 6usize), (3, 9)] {
+        let g = topology::grid(rows, cols);
+        let h = ExtendedConflictGraph::new(&g, 2);
+        let w = vec![0.5; h.n_vertices()];
+        for r in [1, 2] {
+            let cfg = DistributedPtasConfig::default()
+                .with_r(r)
+                .with_max_minirounds(None);
+            let mut incremental = DistributedPtas::new(&h, cfg);
+            let mut reference = DistributedPtas::new(&h, cfg);
+            let mut got = DecisionOutcome::default();
+            let mut expect = DecisionOutcome::default();
+            incremental.decide_into(&w, &mut got);
+            reference.decide_into_rescan(&w, &mut expect);
+            assert_eq!(got, expect, "ties {rows}x{cols} r={r}");
+        }
+    }
+}
