@@ -26,6 +26,7 @@
 //! [`bounds`] evaluates the Theorem 1 and Theorem 5 upper bounds.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod bounds;

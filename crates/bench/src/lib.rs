@@ -10,6 +10,8 @@
 //! renderers, both reused by the `mhca-campaign` orchestration layer for
 //! its artifact files.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod csv;
 pub mod report;
 

@@ -310,6 +310,27 @@ pub fn render_policy_run(
     ))
 }
 
+/// Streamed observer metrics as their own CSV section: a blank line, a
+/// commentary header, then one `observer_metric,value` row per metric in
+/// emission order. The campaign's per-seed artifact writer appends this
+/// after [`render_experiment`] whenever a scenario registered observers,
+/// so series-shaped observer output — e.g. the windowed-regret
+/// `wNN_end_slot` / `wNN_regret_per_slot` pairs — lands in the artifact
+/// CSV, not just in the flat campaign aggregates.
+pub fn render_observer_metrics<'a>(
+    rows: impl Iterator<Item = &'a (String, f64)>,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    let mut w = CsvWriter::new(out);
+    w.blank()?;
+    w.comment("streaming observer metrics (observer:metric, emission order)")?;
+    w.row(&["observer_metric", "value"])?;
+    for (name, value) in rows {
+        w.row(&[name.clone(), format!("{value}")])?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -185,29 +185,19 @@ fn seeds_from_json(v: &Json, path: &str) -> Result<SeedRange, SpecError> {
 
 fn observers_from_json(v: &Json, path: &str) -> Result<Vec<ObserverKind>, SpecError> {
     let Some(items) = v.as_arr() else {
-        return fail(path, "expected an array of observer labels");
+        return fail(path, "expected an array of observer labels or objects");
     };
     let observers: Vec<ObserverKind> = items
         .iter()
         .enumerate()
-        .map(|(i, item)| {
-            let path = format!("{path}[{i}]");
-            let Some(label) = item.as_str() else {
-                return fail(&path, "expected an observer label string");
-            };
-            ObserverKind::parse(label).ok_or_else(|| SpecError {
-                path,
-                message: format!(
-                    "unknown observer '{label}' (expected one of {})",
-                    join_labels(ObserverKind::ALL.iter().map(|k| k.label()))
-                ),
-            })
-        })
+        .map(|(i, item)| observer_from_json(item, &format!("{path}[{i}]")))
         .collect::<Result<Vec<_>, _>>()?;
-    // Duplicates would register the same observer twice: every metric
-    // row emitted twice, aggregate run counts silently doubled.
+    // Duplicate labels would register two observers with the same metric
+    // prefix: every row emitted twice (or, for parameterized kinds,
+    // colliding names with different meanings), and aggregate run counts
+    // silently doubled.
     for (i, kind) in observers.iter().enumerate() {
-        if observers[..i].contains(kind) {
+        if observers[..i].iter().any(|k| k.label() == kind.label()) {
             return fail(
                 &format!("{path}[{i}]"),
                 format!("duplicate observer '{}'", kind.label()),
@@ -215,6 +205,56 @@ fn observers_from_json(v: &Json, path: &str) -> Result<Vec<ObserverKind>, SpecEr
         }
     }
     Ok(observers)
+}
+
+/// Parses one observer entry: a bare label string (parameterized kinds
+/// come back at their defaults) or a `{"kind": ..., <knobs>}` object.
+fn observer_from_json(item: &Json, path: &str) -> Result<ObserverKind, SpecError> {
+    let unknown = |label: &str| SpecError {
+        path: path.to_string(),
+        message: format!(
+            "unknown observer '{label}' (expected one of {})",
+            join_labels(ObserverKind::ALL.iter().map(|k| k.label()))
+        ),
+    };
+    if let Some(label) = item.as_str() {
+        return ObserverKind::parse(label).ok_or_else(|| unknown(label));
+    }
+    if !matches!(item, Json::Obj(_)) {
+        return fail(path, "expected an observer label string or object");
+    }
+    let kind = req_str(item, path, "kind")?;
+    match ObserverKind::parse(&kind).ok_or_else(|| unknown(&kind))? {
+        ObserverKind::SensingCost {
+            probe_cost: default_probe,
+            report_cost: default_report,
+        } => {
+            check_fields(item, path, &["kind", "probe_cost", "report_cost"])?;
+            let cost = |key: &str, default: f64| -> Result<f64, SpecError> {
+                let x = opt_f64(item, path, key)?.unwrap_or(default);
+                if !(x >= 0.0 && x.is_finite()) {
+                    return fail(&format!("{path}.{key}"), "must be finite and non-negative");
+                }
+                Ok(x)
+            };
+            Ok(ObserverKind::SensingCost {
+                probe_cost: cost("probe_cost", default_probe)?,
+                report_cost: cost("report_cost", default_report)?,
+            })
+        }
+        ObserverKind::WindowedRegret {
+            window: default_window,
+        } => {
+            check_fields(item, path, &["kind", "window"])?;
+            Ok(ObserverKind::WindowedRegret {
+                window: positive_u64(item, path, "window")?.unwrap_or(default_window),
+            })
+        }
+        parameterless => {
+            check_fields(item, path, &["kind"])?;
+            Ok(parameterless)
+        }
+    }
 }
 
 /// Parses one experiment spec object (the `"spec"` value of a scenario).
@@ -574,7 +614,7 @@ fn channel_from_json(v: &Json, path: &str) -> Result<ChannelModelSpec, SpecError
     if !matches!(v, Json::Obj(_)) {
         return fail(path, "expected a channel-model object {family, ...}");
     }
-    const FAMILIES: [&str; 7] = [
+    const FAMILIES: [&str; 8] = [
         "gaussian",
         "constant",
         "bernoulli",
@@ -582,6 +622,7 @@ fn channel_from_json(v: &Json, path: &str) -> Result<ChannelModelSpec, SpecError
         "adv-sinusoidal",
         "adv-switching",
         "adv-ramp",
+        "drifting",
     ];
     let family = req_str(v, path, "family")?;
     let frac = |key: &str, default: f64| -> Result<f64, SpecError> {
@@ -634,6 +675,54 @@ fn channel_from_json(v: &Json, path: &str) -> Result<ChannelModelSpec, SpecError
             check_fields(v, path, &["family", "horizon"])?;
             Ok(ChannelModelSpec::AdversarialRamp {
                 horizon: positive_u64(v, path, "horizon")?.unwrap_or(1000),
+            })
+        }
+        "drifting" => {
+            check_fields(v, path, &["family", "shift_frac", "breakpoints", "ramp"])?;
+            let bp_path = format!("{path}.breakpoints");
+            let Some(items) = v.get("breakpoints").and_then(Json::as_arr) else {
+                return fail(
+                    &bp_path,
+                    "drifting needs a breakpoints array of positive slots",
+                );
+            };
+            let breakpoints: Vec<u64> = items
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    b.as_u64().filter(|&b| b > 0).ok_or_else(|| SpecError {
+                        path: format!("{bp_path}[{i}]"),
+                        message: "must be a positive integer slot".to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            if breakpoints.is_empty() {
+                return fail(&bp_path, "needs at least one breakpoint");
+            }
+            if let Some(i) = breakpoints.windows(2).position(|w| w[0] >= w[1]) {
+                return fail(
+                    &format!("{bp_path}[{}]", i + 1),
+                    "breakpoints must be strictly increasing",
+                );
+            }
+            let ramp = opt_u64(v, path, "ramp")?.unwrap_or(0);
+            // A ramp longer than a segment would jump discontinuously
+            // from mid-ramp at the next breakpoint — refuse it up front
+            // (the process constructor panics on the same condition).
+            if let Some(w) = breakpoints.windows(2).find(|w| ramp > w[1] - w[0]) {
+                return fail(
+                    &format!("{path}.ramp"),
+                    format!(
+                        "ramp ({ramp}) must not exceed the gap between consecutive \
+                         breakpoints (smallest violated gap: {} to {})",
+                        w[0], w[1]
+                    ),
+                );
+            }
+            Ok(ChannelModelSpec::Drifting {
+                shift_frac: frac("shift_frac", 0.5)?,
+                breakpoints,
+                ramp,
             })
         }
         other => fail(
@@ -1010,6 +1099,158 @@ mod tests {
         let err = scenarios_from_str(text).unwrap_err();
         assert_eq!(err.path, "scenario.observers[2]");
         assert!(err.message.contains("duplicate observer"), "{err}");
+
+        // Same-label duplicates through different shapes (string + object
+        // with different knobs) collide on the metric prefix too.
+        let text = r#"{
+            "name": "x",
+            "observers": ["windowed-regret", {"kind": "windowed-regret", "window": 50}],
+            "spec": {"kind": "policy-run"}
+        }"#;
+        let err = scenarios_from_str(text).unwrap_err();
+        assert_eq!(err.path, "scenario.observers[1]");
+        assert!(err.message.contains("duplicate observer"), "{err}");
+    }
+
+    #[test]
+    fn parameterized_observers_parse_both_shapes() {
+        // Bare labels come back at default parameters; objects override.
+        let text = r#"{
+            "name": "x",
+            "observers": [
+                "sensing-cost",
+                {"kind": "windowed-regret", "window": 125},
+                {"kind": "capture-stats"}
+            ],
+            "spec": {"kind": "policy-run"}
+        }"#;
+        let parsed = scenarios_from_str(text).unwrap();
+        assert_eq!(
+            parsed[0].observers,
+            vec![
+                ObserverKind::SensingCost {
+                    probe_cost: 1.0,
+                    report_cost: 0.1
+                },
+                ObserverKind::WindowedRegret { window: 125 },
+                ObserverKind::CaptureStats,
+            ]
+        );
+        // Canonical re-emission parses back to the same scenario.
+        let text = parsed[0].to_json().to_string_pretty();
+        assert_eq!(scenarios_from_str(&text).unwrap(), parsed);
+    }
+
+    #[test]
+    fn bad_observer_parameters_are_refused() {
+        for (snippet, path_bit) in [
+            (
+                r#"{"name":"x","observers":[{"kind":"windowed-regret","window":0}],"spec":{"kind":"policy-run"}}"#,
+                "window",
+            ),
+            (
+                r#"{"name":"x","observers":[{"kind":"sensing-cost","probe_cost":-1}],"spec":{"kind":"policy-run"}}"#,
+                "probe_cost",
+            ),
+            (
+                r#"{"name":"x","observers":[{"kind":"comm-totals","window":5}],"spec":{"kind":"policy-run"}}"#,
+                "observers[0]",
+            ),
+            (
+                r#"{"name":"x","observers":[{"kind":"windowed-regrets"}],"spec":{"kind":"policy-run"}}"#,
+                "observers[0]",
+            ),
+            (
+                r#"{"name":"x","observers":[{"window":5}],"spec":{"kind":"policy-run"}}"#,
+                "observers[0]",
+            ),
+        ] {
+            let err = scenarios_from_str(snippet).unwrap_err();
+            assert!(
+                err.path.contains(path_bit),
+                "snippet {snippet} gave path {} ({})",
+                err.path,
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn drifting_channel_round_trips_and_validates() {
+        let text = r#"{
+            "name": "drift",
+            "spec": {
+                "kind": "policy-run",
+                "channel": {
+                    "family": "drifting",
+                    "shift_frac": 0.4,
+                    "breakpoints": [250, 500, 750],
+                    "ramp": 20
+                },
+                "horizon": 1000
+            }
+        }"#;
+        let parsed = scenarios_from_str(text).unwrap();
+        let ExperimentKind::PolicyRun(cfg) = &parsed[0].kind else {
+            panic!("wrong kind");
+        };
+        assert_eq!(
+            cfg.channel,
+            mhca_channels::ChannelModelSpec::Drifting {
+                shift_frac: 0.4,
+                breakpoints: vec![250, 500, 750],
+                ramp: 20,
+            }
+        );
+        let emitted = parsed[0].to_json().to_string_pretty();
+        assert_eq!(scenarios_from_str(&emitted).unwrap(), parsed);
+        assert_eq!(
+            scenarios_from_str(&emitted).unwrap()[0]
+                .to_json()
+                .to_string_pretty(),
+            emitted,
+            "drifting re-emission not byte-identical"
+        );
+    }
+
+    #[test]
+    fn bad_drifting_parameters_are_refused() {
+        for (snippet, path_bit) in [
+            // Missing breakpoints: the family is meaningless without them.
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","channel":{"family":"drifting"}}}"#,
+                "breakpoints",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","channel":{"family":"drifting","breakpoints":[]}}}"#,
+                "breakpoints",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","channel":{"family":"drifting","breakpoints":[0]}}}"#,
+                "breakpoints[0]",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","channel":{"family":"drifting","breakpoints":[500,250]}}}"#,
+                "breakpoints[1]",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","channel":{"family":"drifting","breakpoints":[250],"shift_frac":1.5}}}"#,
+                "shift_frac",
+            ),
+            // A ramp longer than a segment would jump from mid-ramp.
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","channel":{"family":"drifting","breakpoints":[10,12],"ramp":5}}}"#,
+                "ramp",
+            ),
+        ] {
+            let err = scenarios_from_str(snippet).unwrap_err();
+            assert!(
+                err.path.contains(path_bit),
+                "snippet {snippet} gave path {} ({})",
+                err.path,
+                err.message
+            );
+        }
     }
 
     #[test]

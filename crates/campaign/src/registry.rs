@@ -178,6 +178,82 @@ pub fn registry() -> Vec<ScenarioSpec> {
         );
     }
 
+    // ---- Drifting-channel scenarios: piecewise-stationary mean shifts
+    // at declared breakpoints, measured with the windowed-regret observer
+    // (the per-window regret re-grows after every breakpoint — the
+    // stationarity assumption of the CS-UCB guarantees, bent on purpose).
+    let drift = ChannelModelSpec::Drifting {
+        shift_frac: 0.5,
+        breakpoints: vec![500, 1000],
+        ramp: 0,
+    };
+    for (suffix, policy) in [
+        ("regret", PolicySpec::CsUcb { l: 2.0 }),
+        ("thompson", PolicySpec::Thompson { sigma: 0.1 }),
+        ("oracle", PolicySpec::Oracle),
+    ] {
+        out.push(
+            ScenarioSpec::new(
+                format!("drift-{suffix}"),
+                format!(
+                    "{} under piecewise-stationary drift (breaks at 500, 1000)",
+                    policy.label()
+                ),
+                ExperimentKind::PolicyRun(PolicyRunConfig {
+                    channel: drift.clone(),
+                    policy,
+                    horizon: 1500,
+                    ..PolicyRunConfig::default()
+                }),
+                SeedRange::new(0, 5),
+            )
+            .with_observers(vec![
+                ObserverKind::WindowedRegret { window: 250 },
+                ObserverKind::CommTotals,
+            ]),
+        );
+    }
+
+    // ---- Adversarial-capture sweep: a full-swing square wave (rates hit
+    // zero in the low phase), tallied per channel by CaptureStats.
+    out.push(
+        ScenarioSpec::new(
+            "capture-adversarial",
+            "CS-UCB vs a full-swing on/off adversary, per-channel capture tallies",
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                channel: ChannelModelSpec::AdversarialSwitching {
+                    swing_frac: 1.0,
+                    dwell: 40,
+                },
+                horizon: 800,
+                ..PolicyRunConfig::default()
+            }),
+            SeedRange::new(0, 5),
+        )
+        .with_observers(vec![ObserverKind::CaptureStats, ObserverKind::Throughput]),
+    );
+
+    // ---- Sensing-cost sweep: the limited-sensing budget accounting on
+    // the paper's stochastic workload.
+    out.push(
+        ScenarioSpec::new(
+            "sensing-cost",
+            "CS-UCB sensing/probe budget under the Yun-style cost model",
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                horizon: 800,
+                ..PolicyRunConfig::default()
+            }),
+            SeedRange::new(0, 5),
+        )
+        .with_observers(vec![
+            ObserverKind::SensingCost {
+                probe_cost: 1.0,
+                report_cost: 0.1,
+            },
+            ObserverKind::Throughput,
+        ]),
+    );
+
     out
 }
 

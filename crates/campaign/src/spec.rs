@@ -142,18 +142,32 @@ impl ExperimentKind {
     }
 
     /// Runs the experiment for one seed through the unified engine,
-    /// writes the per-seed figure CSV into `artifact`, and returns the
-    /// flat headline metrics (experiment metrics first, then the
-    /// registered observers' metrics) used for cross-seed aggregation.
+    /// writes the per-seed figure CSV into `artifact` — followed by the
+    /// streamed observer metrics as their own CSV section when any
+    /// observers were registered — and returns the flat headline metrics
+    /// (experiment metrics first, then the registered observers' metrics)
+    /// used for cross-seed aggregation.
     pub fn run_with_observers(
         &self,
         seed: u64,
         artifact: &mut dyn Write,
         observers: ObserverSet,
     ) -> io::Result<Vec<(String, f64)>> {
+        let had_observers = !observers.is_empty();
         let out = run_experiment(self.experiment().as_ref(), seed, observers);
         report::render_experiment(&out.data, artifact)?;
-        Ok(out.metrics.into_rows())
+        let rows = out.metrics.into_rows();
+        if had_observers {
+            // Observer rows are the label-prefixed tail of the table
+            // (`label:metric` — experiment headline metrics never carry a
+            // colon). Rendering them into the per-seed artifact is what
+            // makes e.g. the windowed-regret series a standalone CSV.
+            report::render_observer_metrics(
+                rows.iter().filter(|(k, _)| k.contains(':')),
+                artifact,
+            )?;
+        }
+        Ok(rows)
     }
 
     /// Canonical JSON rendering of the kind and its full parameterization
@@ -296,8 +310,49 @@ fn channel_json(c: &ChannelModelSpec) -> Json {
         ChannelModelSpec::AdversarialRamp { horizon } => {
             pairs.push(("horizon", Json::Num(horizon as f64)));
         }
+        ChannelModelSpec::Drifting {
+            shift_frac,
+            ref breakpoints,
+            ramp,
+        } => {
+            pairs.push(("shift_frac", Json::Num(shift_frac)));
+            pairs.push((
+                "breakpoints",
+                Json::Arr(breakpoints.iter().map(|&b| Json::Num(b as f64)).collect()),
+            ));
+            pairs.push(("ramp", Json::Num(ramp as f64)));
+        }
     }
     Json::obj(pairs)
+}
+
+/// Canonical JSON of one observer choice: parameterless kinds emit their
+/// bare label (`"comm-totals"`), parameterized kinds an object carrying
+/// their knobs (`{"kind": "windowed-regret", "window": 250}`) — both
+/// shapes re-ingest through `mhca_campaign::ingest`.
+fn observer_json(o: &ObserverKind) -> Json {
+    match *o {
+        ObserverKind::SensingCost {
+            probe_cost,
+            report_cost,
+        } => Json::obj(vec![
+            ("kind", Json::str(o.label())),
+            ("probe_cost", Json::Num(probe_cost)),
+            ("report_cost", Json::Num(report_cost)),
+        ]),
+        ObserverKind::WindowedRegret { window } => Json::obj(vec![
+            ("kind", Json::str(o.label())),
+            ("window", Json::Num(window as f64)),
+        ]),
+        // Parameterless kinds, enumerated (no wildcard): a future
+        // parameterized variant must fail to compile here rather than
+        // silently emit a bare label and lose its knobs on re-ingestion.
+        ObserverKind::DecideTiming
+        | ObserverKind::CommTotals
+        | ObserverKind::PerVertexTx
+        | ObserverKind::Throughput
+        | ObserverKind::CaptureStats => Json::str(o.label()),
+    }
 }
 
 fn loss_json(l: &LossSpec) -> Json {
@@ -385,12 +440,7 @@ impl ScenarioSpec {
         if !self.observers.is_empty() {
             pairs.push((
                 "observers",
-                Json::Arr(
-                    self.observers
-                        .iter()
-                        .map(|o| Json::str(o.label()))
-                        .collect(),
-                ),
+                Json::Arr(self.observers.iter().map(observer_json).collect()),
             ));
         }
         Json::obj(pairs)

@@ -370,6 +370,118 @@ fn incremental_decide_scans_less_and_leaves_throughput_byte_identical() {
     }
 }
 
+/// A scaled-down drift scenario shaped like the registry's `drift-regret`
+/// plus a capture/sensing scenario — the observer-zoo workload.
+fn observer_zoo_campaign() -> Vec<ScenarioSpec> {
+    use mhca_channels::ChannelModelSpec;
+    use mhca_core::{ObserverKind, PolicyRunConfig};
+    vec![
+        ScenarioSpec::new(
+            "drift-mini",
+            "windowed regret under drift (scaled)",
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                channel: ChannelModelSpec::Drifting {
+                    shift_frac: 0.5,
+                    breakpoints: vec![100, 200],
+                    ramp: 0,
+                },
+                horizon: 300,
+                ..PolicyRunConfig::quick()
+            }),
+            SeedRange::new(0, 2),
+        )
+        .with_observers(vec![
+            ObserverKind::WindowedRegret { window: 50 },
+            ObserverKind::CommTotals,
+        ]),
+        ScenarioSpec::new(
+            "capture-mini",
+            "capture/sensing tallies (scaled)",
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                channel: ChannelModelSpec::AdversarialSwitching {
+                    swing_frac: 1.0,
+                    dwell: 20,
+                },
+                horizon: 120,
+                ..PolicyRunConfig::quick()
+            }),
+            SeedRange::new(0, 2),
+        )
+        .with_observers(vec![
+            ObserverKind::CaptureStats,
+            ObserverKind::SensingCost {
+                probe_cost: 1.0,
+                report_cost: 0.1,
+            },
+        ]),
+    ]
+}
+
+#[test]
+fn observer_zoo_metrics_are_identical_at_any_worker_count() {
+    // The new observers (windowed-regret incl. its oracle decisions,
+    // capture-stats, sensing-cost) are deterministic: serial, bounded,
+    // and all-cores campaigns must produce byte-identical artifacts.
+    let dirs: Vec<PathBuf> = ["zoo-serial", "zoo-jobs2", "zoo-par"]
+        .iter()
+        .map(|t| tmp_dir(t))
+        .collect();
+    let scenarios = observer_zoo_campaign();
+    let run_at = |dir: &PathBuf, parallel: bool, jobs: Option<usize>| {
+        runner::run(&quiet(CampaignConfig {
+            parallel,
+            jobs,
+            ..CampaignConfig::new("zoo", dir, scenarios.clone())
+        }))
+        .unwrap()
+    };
+    let serial = run_at(&dirs[0], false, None);
+    let bounded = run_at(&dirs[1], true, Some(2));
+    let par = run_at(&dirs[2], true, None);
+
+    assert_eq!(serial.summaries, bounded.summaries);
+    assert_eq!(serial.summaries, par.summaries);
+    for dir in &dirs[1..] {
+        for rel in [
+            "campaign.csv",
+            "drift-mini/seed0.csv",
+            "capture-mini/seed1.csv",
+        ] {
+            assert_eq!(
+                fs::read_to_string(dirs[0].join(rel)).unwrap(),
+                fs::read_to_string(dir.join(rel)).unwrap(),
+                "{rel} differs from serial"
+            );
+        }
+    }
+
+    // The per-seed artifact carries the windowed-regret series as a CSV
+    // section: one row per window, 6 windows at horizon 300 / window 50.
+    let drift_csv = fs::read_to_string(dirs[0].join("drift-mini/seed0.csv")).unwrap();
+    assert!(drift_csv.contains("observer_metric,value"));
+    for w in 1..=6 {
+        assert!(
+            drift_csv.contains(&format!("windowed-regret:w{w:02}_regret_per_slot,")),
+            "missing window {w} in artifact:\n{drift_csv}"
+        );
+    }
+    // And the capture/sensing metrics land in the campaign aggregates.
+    let campaign_csv = fs::read_to_string(dirs[0].join("campaign.csv")).unwrap();
+    for metric in [
+        "capture-stats:capture_rate",
+        "capture-stats:outages",
+        "sensing-cost:cost_total",
+        "sensing-cost:kbps_per_unit_cost",
+        "windowed-regret:windows",
+    ] {
+        assert!(campaign_csv.contains(metric), "missing {metric}");
+    }
+
+    for dir in &dirs {
+        fs::remove_dir_all(dir).unwrap();
+    }
+}
+
 #[test]
 fn ingested_scenario_file_runs_like_a_registry_scenario() {
     // The spec-ingestion path end to end at the library level: emit a

@@ -13,7 +13,9 @@
 //!   [`process::TruncatedGaussian`] (the paper's choice),
 //!   [`process::Uniform`], [`process::Beta`].
 //! * [`adversarial`] — non-stochastic processes (sinusoidal, switching,
-//!   ramp) for the paper's future-work extension (Section VII).
+//!   ramp, piecewise-stationary drift) for the paper's future-work
+//!   extension (Section VII); the drifting family backs the campaign's
+//!   windowed-regret scenarios.
 //! * [`ChannelMatrix`] — the `N×M` bank of processes with **counter-based
 //!   deterministic sampling**: the value observed on vertex `k` at slot `t`
 //!   is a pure function of `(seed, k, t)`, so two learning policies compared
@@ -36,6 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod adversarial;

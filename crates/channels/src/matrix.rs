@@ -143,6 +143,23 @@ impl ChannelMatrix {
         self.processes.iter().map(|p| p.mean()).collect()
     }
 
+    /// Instantaneous design mean of `vertex` at slot `t` — equals
+    /// [`ChannelMatrix::mean`] for i.i.d. processes, the scheduled level
+    /// for deterministic adversarial/drifting ones (see
+    /// [`ChannelProcess::mean_at`]).
+    pub fn mean_at(&self, t: u64, vertex: usize) -> f64 {
+        self.processes[vertex].mean_at(t)
+    }
+
+    /// All instantaneous means at slot `t`, written into a caller-owned
+    /// buffer (cleared first) — the weight vector of the drift oracle's
+    /// per-period MWIS problem, kept allocation-free on the runner's hot
+    /// path.
+    pub fn means_at_into(&self, t: u64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.processes.iter().map(|p| p.mean_at(t)));
+    }
+
     /// Largest mean in the matrix (useful as a normalization constant and
     /// as the exploration bonus for unplayed arms).
     pub fn max_mean(&self) -> f64 {

@@ -23,6 +23,17 @@ pub trait ChannelProcess: Debug + Send + Sync {
     /// average rate.
     fn mean(&self) -> f64;
 
+    /// The *instantaneous* design mean at slot `t`.
+    ///
+    /// For i.i.d. processes this equals [`ChannelProcess::mean`] (the
+    /// default); deterministic adversarial processes (sinusoidal,
+    /// switching, ramp, drifting) override it with the value the schedule
+    /// takes at `t`. The Algorithm 2 runner uses it to price the
+    /// windowed-regret oracle under non-stationary channels.
+    fn mean_at(&self, _t: u64) -> f64 {
+        self.mean()
+    }
+
     /// Clones into a boxed trait object (object-safe `Clone` substitute).
     fn clone_box(&self) -> Box<dyn ChannelProcess>;
 }

@@ -11,14 +11,37 @@
 //! realization dynamics.
 
 use crate::{
-    adversarial::{Ramp, Sinusoidal, Switching},
+    adversarial::{Drift, Ramp, Sinusoidal, Switching},
     matrix::ChannelMatrix,
     process::{Bernoulli, Constant, Uniform},
 };
 use serde::{Deserialize, Serialize};
 
 /// Declarative channel-model family.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// # Example
+///
+/// A `(spec, n, m, seed)` quadruple fully determines the matrix, and every
+/// family shares the Gaussian family's mean matrix at the same seed:
+///
+/// ```
+/// use mhca_channels::ChannelModelSpec;
+///
+/// let gaussian = ChannelModelSpec::default(); // the paper's σ = 0.1µ
+/// let drifting = ChannelModelSpec::Drifting {
+///     shift_frac: 0.5,
+///     breakpoints: vec![500, 1000],
+///     ramp: 0,
+/// };
+/// assert_eq!(
+///     gaussian.build(4, 3, 7).means(),
+///     drifting.build(4, 3, 7).means(),
+/// );
+/// // The drifting family's *instantaneous* mean flips at each breakpoint.
+/// let m = drifting.build(4, 3, 7);
+/// assert_ne!(m.mean_at(0, 0), m.mean_at(500, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ChannelModelSpec {
     /// The paper's Section V workload: truncated-Gaussian rates with
     /// `σ = sigma_frac · µ` around rate-class means.
@@ -63,6 +86,25 @@ pub enum ChannelModelSpec {
         /// Slots over which the rate decays to zero.
         horizon: u64,
     },
+    /// Piecewise-stationary drift: each vertex's rate runs at
+    /// `µ·(1 ± shift_frac)`, flipping at every declared breakpoint, with
+    /// vertex parity staggering the starting sign (even vertices start
+    /// high, odd low) so the *best strategy* changes at each breakpoint
+    /// while total capacity stays level. `ramp > 0` smooths each shift
+    /// linearly over that many slots (the smooth-drift variant); `0`
+    /// steps instantly (piecewise stationary). The workload of the
+    /// windowed-regret scenarios: stationary policies re-accumulate
+    /// regret after every breakpoint.
+    Drifting {
+        /// Shift amplitude as a fraction of the mean, in `[0, 1]`.
+        shift_frac: f64,
+        /// Slots at which levels flip (strictly increasing, non-zero).
+        breakpoints: Vec<u64>,
+        /// Slots over which each flip ramps linearly (`0` = step). Must
+        /// not exceed the gap between consecutive breakpoints — a ramp
+        /// has to finish before the next flip begins.
+        ramp: u64,
+    },
 }
 
 impl ChannelModelSpec {
@@ -75,6 +117,31 @@ impl ChannelModelSpec {
     /// (`p ∉ (0, 1]`, fractions outside `[0, 1]`, zero periods).
     pub fn build(&self, n: usize, m: usize, seed: u64) -> ChannelMatrix {
         match *self {
+            ChannelModelSpec::Drifting {
+                shift_frac,
+                ref breakpoints,
+                ramp,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(&shift_frac),
+                    "shift fraction must be in [0, 1]"
+                );
+                assert!(
+                    !breakpoints.is_empty(),
+                    "drifting family needs at least one breakpoint"
+                );
+                ChannelMatrix::from_rate_class_draws(n, m, seed, |mu, vertex| {
+                    // Even vertices start high, odd low: capacity stays
+                    // level while the best strategy flips per breakpoint.
+                    Box::new(Drift::new(
+                        mu,
+                        shift_frac * mu,
+                        breakpoints.clone(),
+                        ramp,
+                        vertex % 2 == 0,
+                    ))
+                })
+            }
             ChannelModelSpec::GaussianRateClasses { sigma_frac } => {
                 ChannelMatrix::gaussian_from_rate_classes(n, m, sigma_frac, seed)
             }
@@ -144,6 +211,7 @@ impl ChannelModelSpec {
             ChannelModelSpec::AdversarialSinusoidal { .. } => "adv-sinusoidal",
             ChannelModelSpec::AdversarialSwitching { .. } => "adv-switching",
             ChannelModelSpec::AdversarialRamp { .. } => "adv-ramp",
+            ChannelModelSpec::Drifting { .. } => "drifting",
         }
     }
 
@@ -154,6 +222,7 @@ impl ChannelModelSpec {
             ChannelModelSpec::AdversarialSinusoidal { .. }
                 | ChannelModelSpec::AdversarialSwitching { .. }
                 | ChannelModelSpec::AdversarialRamp { .. }
+                | ChannelModelSpec::Drifting { .. }
         )
     }
 }
@@ -170,26 +239,33 @@ mod tests {
     use super::*;
     use crate::rates;
 
-    const FAMILIES: [ChannelModelSpec; 7] = [
-        ChannelModelSpec::GaussianRateClasses { sigma_frac: 0.1 },
-        ChannelModelSpec::ConstantRateClasses,
-        ChannelModelSpec::BernoulliRateClasses { p: 0.5 },
-        ChannelModelSpec::UniformRateClasses { spread_frac: 0.2 },
-        ChannelModelSpec::AdversarialSinusoidal {
-            amp_frac: 0.3,
-            period: 50,
-        },
-        ChannelModelSpec::AdversarialSwitching {
-            swing_frac: 0.5,
-            dwell: 20,
-        },
-        ChannelModelSpec::AdversarialRamp { horizon: 1000 },
-    ];
+    fn families() -> [ChannelModelSpec; 8] {
+        [
+            ChannelModelSpec::GaussianRateClasses { sigma_frac: 0.1 },
+            ChannelModelSpec::ConstantRateClasses,
+            ChannelModelSpec::BernoulliRateClasses { p: 0.5 },
+            ChannelModelSpec::UniformRateClasses { spread_frac: 0.2 },
+            ChannelModelSpec::AdversarialSinusoidal {
+                amp_frac: 0.3,
+                period: 50,
+            },
+            ChannelModelSpec::AdversarialSwitching {
+                swing_frac: 0.5,
+                dwell: 20,
+            },
+            ChannelModelSpec::AdversarialRamp { horizon: 1000 },
+            ChannelModelSpec::Drifting {
+                shift_frac: 0.5,
+                breakpoints: vec![100, 200],
+                ramp: 0,
+            },
+        ]
+    }
 
     #[test]
     fn all_families_share_the_mean_matrix() {
         let reference = ChannelModelSpec::default().build(4, 3, 77).means();
-        for fam in FAMILIES {
+        for fam in families() {
             let means = fam.build(4, 3, 77).means();
             for (a, b) in means.iter().zip(&reference) {
                 // The ramp family's discretized long-run mean is off by
@@ -205,7 +281,7 @@ mod tests {
 
     #[test]
     fn means_come_from_rate_classes() {
-        for fam in FAMILIES {
+        for fam in families() {
             let m = fam.build(3, 2, 5);
             for v in 0..6 {
                 let mu = m.mean(v);
@@ -222,7 +298,7 @@ mod tests {
 
     #[test]
     fn builds_are_seed_deterministic() {
-        for fam in FAMILIES {
+        for fam in families() {
             let a = fam.build(3, 2, 9);
             let b = fam.build(3, 2, 9);
             assert_eq!(a.means(), b.means(), "{}", fam.label());

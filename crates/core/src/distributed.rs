@@ -37,7 +37,7 @@
 //! Leader election is the dominant cost of a mini-round when done naively:
 //! every undetermined Candidate rescans its whole `(2r+1)`-ball. The
 //! engine instead maintains an **incremental dirty set** on the lossless
-//! path ([`LocalMaxCache`]), justified by two invariants:
+//! path (`LocalMaxCache`), justified by two invariants:
 //!
 //! 1. **Dirty-ball invariant.** A Candidate's local-max verdict is a
 //!    function of the statuses of the Candidates in its `(2r+1)`-ball and

@@ -16,13 +16,17 @@
 //! * **Observer metrics** — [`RoundObserver`]s stream over every Algorithm
 //!   2 round via [`RoundRecord`] and contribute whatever they measured at
 //!   [`RoundObserver::finish`]. New metrics (decide-phase wall time,
-//!   communication totals, per-vertex transmission load, …) are new
-//!   observers, not new [`RunResult`] fields; the campaign attaches
-//!   exactly the sinks a scenario needs via [`ObserverKind`].
+//!   communication totals, per-vertex transmission load, sensing-cost
+//!   budgets, capture tallies, windowed regret, …) are new observers,
+//!   not new [`RunResult`] fields; the campaign attaches exactly the
+//!   sinks a scenario needs via [`ObserverKind`].
 //!
-//! The pre-existing free functions of [`crate::experiments`]
-//! (`fig6`, `run_fig5`, `run_policy_spec`, …) remain as thin deprecated
-//! shims over the implementations in this module.
+//! Seven observers ship built in (see [`ObserverKind::ALL`]); the
+//! "observer cookbook" section of the repository README tabulates what
+//! each one measures and costs. The experiment *configs* live in
+//! [`crate::experiments`]; the engine here is the only execution entry
+//! point (the pre-engine free functions `fig6`, `run_fig5`, … have been
+//! retired).
 
 use crate::{
     distributed::{DistributedPtas, DistributedPtasConfig},
@@ -132,6 +136,28 @@ pub struct RoundRecord<'a> {
     pub decide_scanned: u64,
     /// Per-vertex relay broadcasts of this decision (indexed by vertex).
     pub per_vertex_tx: &'a [u64],
+    /// Number of channels `M` — vertex `v` transmits on channel `v % M`.
+    pub n_channels: usize,
+    /// Per-channel transmission attempts over this period (one per winner
+    /// per slot), indexed by channel. **Empty** unless some registered
+    /// observer returns `true` from
+    /// [`RoundObserver::wants_channel_stats`] (the engine skips the
+    /// per-slot tally otherwise).
+    pub channel_attempts: &'a [u64],
+    /// Per-channel attempts that observed a strictly positive rate — the
+    /// "captures"; `attempts − captures` are outages (adversarial
+    /// zero-rate phases, Bernoulli off-states). Empty under the same
+    /// condition as [`RoundRecord::channel_attempts`].
+    pub channel_captures: &'a [u64],
+    /// Per-slot kbps of the exact offline optimum (branch-and-bound
+    /// MWIS, the same benchmark the paper's Fig. 7 regret uses) under
+    /// the channels' *instantaneous* means at this period's first slot —
+    /// the moving benchmark windowed regret is measured against under
+    /// drifting channels. Recomputed only when the instantaneous means
+    /// change, and `0.0` unless some registered observer returns `true`
+    /// from [`RoundObserver::wants_oracle`] (the engine skips the solve
+    /// entirely otherwise).
+    pub oracle_kbps: f64,
 }
 
 /// A streaming metrics sink over Algorithm 2 rounds.
@@ -140,12 +166,56 @@ pub struct RoundRecord<'a> {
 /// call made while they are registered (a paired experiment like Fig. 7
 /// streams both contestants' runs through the same observers), then emit
 /// whatever they measured as a [`MetricTable`].
+///
+/// # Example
+///
+/// A custom observer is a struct with per-run state:
+///
+/// ```
+/// use mhca_core::{MetricTable, RoundObserver, RoundRecord};
+///
+/// /// Counts decision periods in which no vertex won.
+/// #[derive(Default)]
+/// struct IdlePeriods(u64);
+///
+/// impl RoundObserver for IdlePeriods {
+///     fn on_round(&mut self, record: &RoundRecord<'_>) {
+///         self.0 += u64::from(record.winners.is_empty());
+///     }
+///     fn finish(&mut self) -> MetricTable {
+///         let mut t = MetricTable::new();
+///         t.push("idle_periods", self.0 as f64);
+///         t
+///     }
+/// }
+///
+/// let mut set = mhca_core::ObserverSet::new();
+/// set.register("idle", Box::new(IdlePeriods::default()));
+/// ```
 pub trait RoundObserver {
     /// Called once per decision period.
     fn on_round(&mut self, record: &RoundRecord<'_>);
 
     /// Called once after the experiment completes; returns the metrics.
     fn finish(&mut self) -> MetricTable;
+
+    /// `true` when this observer reads [`RoundRecord::oracle_kbps`]. The
+    /// runner prices the drift oracle — an exact offline MWIS solve on
+    /// the instantaneous means, cached between mean changes — only when
+    /// some registered observer asks for it. Like [`Network::optimal`],
+    /// the solve is exponential in the worst case: register such an
+    /// observer on Fig. 7-sized instances (≲ 20 users × a few channels).
+    fn wants_oracle(&self) -> bool {
+        false
+    }
+
+    /// `true` when this observer reads [`RoundRecord::channel_attempts`]
+    /// / [`RoundRecord::channel_captures`]. The runner tallies per-slot
+    /// per-channel capture outcomes only when some registered observer
+    /// asks for them; otherwise the slices arrive empty.
+    fn wants_channel_stats(&self) -> bool {
+        false
+    }
 }
 
 /// The ordered set of observers registered for one experiment run.
@@ -180,6 +250,18 @@ impl ObserverSet {
         self.observers.is_empty()
     }
 
+    /// `true` when some registered observer needs the drift oracle
+    /// ([`RoundObserver::wants_oracle`]).
+    pub fn wants_oracle(&self) -> bool {
+        self.observers.iter().any(|(_, o)| o.wants_oracle())
+    }
+
+    /// `true` when some registered observer needs per-channel capture
+    /// tallies ([`RoundObserver::wants_channel_stats`]).
+    pub fn wants_channel_stats(&self) -> bool {
+        self.observers.iter().any(|(_, o)| o.wants_channel_stats())
+    }
+
     /// Streams one record to every observer, in registration order.
     pub fn emit(&mut self, record: &RoundRecord<'_>) {
         for (_, observer) in &mut self.observers {
@@ -202,7 +284,22 @@ impl ObserverSet {
 /// Declarative observer choice — the serializable form campaign scenario
 /// specs carry, so a scenario states which metric sinks to attach without
 /// naming concrete types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// # Example
+///
+/// ```
+/// use mhca_core::ObserverKind;
+///
+/// // Parameterless kinds round-trip through their labels...
+/// assert_eq!(ObserverKind::parse("comm-totals"), Some(ObserverKind::CommTotals));
+/// // ...and parameterized kinds parse to their defaults; scenario JSON
+/// // overrides the knobs (see the campaign crate's ingest module).
+/// assert_eq!(
+///     ObserverKind::parse("windowed-regret"),
+///     Some(ObserverKind::WindowedRegret { window: 250 }),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ObserverKind {
     /// Wall-clock time spent in the decide phase ([`DecideTimingObserver`]).
     DecideTiming,
@@ -212,28 +309,62 @@ pub enum ObserverKind {
     PerVertexTx,
     /// Observed-throughput averages ([`ThroughputObserver`]).
     Throughput,
+    /// Per-vertex cumulative sensing/probe charges under a configurable
+    /// cost model ([`SensingCostObserver`]) — the limited-sensing budget
+    /// accounting of Yun et al.'s CSMA line of work.
+    SensingCost {
+        /// Cost of one winner sensing its channel for one slot.
+        probe_cost: f64,
+        /// Cost of one control-plane relay broadcast.
+        report_cost: f64,
+    },
+    /// Per-channel capture/collision/idle tallies
+    /// ([`CaptureStatsObserver`]) — the repeated-games view of slotted
+    /// access under adversarial channel families (Neely).
+    CaptureStats,
+    /// Sliding-window regret against the per-window exact offline
+    /// optimum on instantaneous means ([`WindowedRegretObserver`]) — the
+    /// drifting-channel metric: regret re-grows after every mean shift.
+    WindowedRegret {
+        /// Window length in slots.
+        window: u64,
+    },
 }
 
 impl ObserverKind {
-    /// Every kind, in canonical order.
-    pub const ALL: [ObserverKind; 4] = [
+    /// Every kind, in canonical order (parameterized kinds at their
+    /// defaults).
+    pub const ALL: [ObserverKind; 7] = [
         ObserverKind::DecideTiming,
         ObserverKind::CommTotals,
         ObserverKind::PerVertexTx,
         ObserverKind::Throughput,
+        ObserverKind::SensingCost {
+            probe_cost: 1.0,
+            report_cost: 0.1,
+        },
+        ObserverKind::CaptureStats,
+        ObserverKind::WindowedRegret { window: 250 },
     ];
 
-    /// Kebab-case label used in scenario JSON.
+    /// Kebab-case label used in scenario JSON. Parameterized kinds share
+    /// one label across parameter values (the label prefixes the kind's
+    /// metric names, so two observers with the same label cannot be
+    /// registered together).
     pub fn label(self) -> &'static str {
         match self {
             ObserverKind::DecideTiming => "decide-timing",
             ObserverKind::CommTotals => "comm-totals",
             ObserverKind::PerVertexTx => "per-vertex-tx",
             ObserverKind::Throughput => "throughput",
+            ObserverKind::SensingCost { .. } => "sensing-cost",
+            ObserverKind::CaptureStats => "capture-stats",
+            ObserverKind::WindowedRegret { .. } => "windowed-regret",
         }
     }
 
-    /// Inverse of [`ObserverKind::label`].
+    /// Inverse of [`ObserverKind::label`]; parameterized kinds come back
+    /// at their default parameters.
     pub fn parse(s: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|k| k.label() == s)
     }
@@ -245,6 +376,14 @@ impl ObserverKind {
             ObserverKind::CommTotals => Box::new(CommTotalsObserver::default()),
             ObserverKind::PerVertexTx => Box::new(PerVertexTxObserver::default()),
             ObserverKind::Throughput => Box::new(ThroughputObserver::default()),
+            ObserverKind::SensingCost {
+                probe_cost,
+                report_cost,
+            } => Box::new(SensingCostObserver::new(probe_cost, report_cost)),
+            ObserverKind::CaptureStats => Box::new(CaptureStatsObserver::default()),
+            ObserverKind::WindowedRegret { window } => {
+                Box::new(WindowedRegretObserver::new(window))
+            }
         }
     }
 }
@@ -365,6 +504,262 @@ impl RoundObserver for ThroughputObserver {
     }
 }
 
+/// Charges every sensing action to the vertex that performed it, under a
+/// configurable cost model: `probe_cost` per winner-slot (a transmitter
+/// senses its channel every slot it holds it — the sensing budget of Yun
+/// et al.'s limited-sensing CSMA) plus `report_cost` per control-plane
+/// relay broadcast (the decision floods' per-vertex transmissions).
+/// Reports totals, the per-vertex load distribution, and the delivered
+/// kbps bought per unit of sensing cost.
+///
+/// Steady-state allocation-free: the per-vertex ledger is sized once, on
+/// the first record.
+#[derive(Debug)]
+pub struct SensingCostObserver {
+    probe_cost: f64,
+    report_cost: f64,
+    per_vertex: Vec<f64>,
+    probe_total: f64,
+    report_total: f64,
+    observed_total: f64,
+}
+
+impl SensingCostObserver {
+    /// Creates the observer with the given cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cost is negative or non-finite.
+    pub fn new(probe_cost: f64, report_cost: f64) -> Self {
+        assert!(
+            probe_cost >= 0.0 && probe_cost.is_finite(),
+            "probe cost must be finite and non-negative"
+        );
+        assert!(
+            report_cost >= 0.0 && report_cost.is_finite(),
+            "report cost must be finite and non-negative"
+        );
+        SensingCostObserver {
+            probe_cost,
+            report_cost,
+            per_vertex: Vec::new(),
+            probe_total: 0.0,
+            report_total: 0.0,
+            observed_total: 0.0,
+        }
+    }
+}
+
+impl RoundObserver for SensingCostObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        if self.per_vertex.len() < record.per_vertex_tx.len() {
+            self.per_vertex.resize(record.per_vertex_tx.len(), 0.0);
+        }
+        let probe = self.probe_cost * record.period_len as f64;
+        for &v in record.winners {
+            self.per_vertex[v] += probe;
+            self.probe_total += probe;
+        }
+        for (acc, &tx) in self.per_vertex.iter_mut().zip(record.per_vertex_tx) {
+            let cost = self.report_cost * tx as f64;
+            *acc += cost;
+            self.report_total += cost;
+        }
+        self.observed_total += record.observed_kbps;
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        let total = self.probe_total + self.report_total;
+        t.push("cost_total", total);
+        t.push("probe_cost_total", self.probe_total);
+        t.push("report_cost_total", self.report_total);
+        let n = self.per_vertex.len().max(1) as f64;
+        t.push("cost_per_vertex_mean", total / n);
+        t.push(
+            "cost_per_vertex_max",
+            self.per_vertex.iter().copied().fold(0.0, f64::max),
+        );
+        // Sensing efficiency: delivered kbps·slots bought per unit cost.
+        t.push(
+            "kbps_per_unit_cost",
+            if total > 0.0 {
+                self.observed_total / total
+            } else {
+                0.0
+            },
+        );
+        t
+    }
+}
+
+/// Tallies per-channel transmission outcomes — captures (positive
+/// observed rate), outages (zero rate: an adversarial off-phase or a
+/// Bernoulli bad state), and idle periods (no winner on the channel) —
+/// the repeated-games accounting of slotted access under adversarial
+/// channels (Neely). Protocol strategies are independent sets, so
+/// same-channel attempts in one slot are spatial reuse, not collisions;
+/// outages are the adversary's captures.
+///
+/// Steady-state allocation-free: the per-channel tallies are sized once,
+/// on the first record.
+#[derive(Debug, Default)]
+pub struct CaptureStatsObserver {
+    attempts: Vec<u64>,
+    captures: Vec<u64>,
+    idle_periods: Vec<u64>,
+    periods: u64,
+}
+
+impl RoundObserver for CaptureStatsObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        let m = record.n_channels;
+        if self.attempts.len() < m {
+            self.attempts.resize(m, 0);
+            self.captures.resize(m, 0);
+            self.idle_periods.resize(m, 0);
+        }
+        for c in 0..m {
+            self.attempts[c] += record.channel_attempts[c];
+            self.captures[c] += record.channel_captures[c];
+            self.idle_periods[c] += u64::from(record.channel_attempts[c] == 0);
+        }
+        self.periods += 1;
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        let attempts: u64 = self.attempts.iter().sum();
+        let captures: u64 = self.captures.iter().sum();
+        t.push("attempts", attempts as f64);
+        t.push("captures", captures as f64);
+        t.push("outages", (attempts - captures) as f64);
+        t.push("capture_rate", captures as f64 / (attempts.max(1)) as f64);
+        let periods = self.periods.max(1) as f64;
+        for c in 0..self.attempts.len() {
+            t.push(format!("ch{c}_attempts"), self.attempts[c] as f64);
+            t.push(
+                format!("ch{c}_capture_rate"),
+                self.captures[c] as f64 / self.attempts[c].max(1) as f64,
+            );
+            t.push(
+                format!("ch{c}_idle_frac"),
+                self.idle_periods[c] as f64 / periods,
+            );
+        }
+        t
+    }
+
+    fn wants_channel_stats(&self) -> bool {
+        true
+    }
+}
+
+/// Sliding-window regret against the per-window offline optimum: within
+/// each window of `window` slots, the shortfall of observed throughput
+/// below the exact offline optimum under the channels' *instantaneous*
+/// true means ([`RoundRecord::oracle_kbps`] — the same branch-and-bound
+/// benchmark as the paper's Fig. 7 regret, made time-varying). Under
+/// stationary channels the per-window regret decays as the policy
+/// converges; under drifting channels it **re-grows in the window after
+/// every breakpoint**, which is exactly what this observer exists to
+/// show. Windows close at the first decision-period boundary at or past
+/// the window length, and never straddle a run boundary: on multi-run
+/// experiments (Fig. 7/8, duels) each run's open window is flushed when
+/// the next run starts, so the `wNN` sequence is the runs' window
+/// series concatenated in execution order.
+///
+/// Emits one `wNN_end_slot` / `wNN_regret_per_slot` row pair per window
+/// plus whole-run summary rows. Per-round work is allocation-free; the
+/// per-window ledger grows amortized (one push per closed window).
+#[derive(Debug)]
+pub struct WindowedRegretObserver {
+    window: u64,
+    slots_in_window: u64,
+    oracle_acc: f64,
+    observed_acc: f64,
+    end_slot: u64,
+    windows: Vec<(u64, f64)>,
+}
+
+impl WindowedRegretObserver {
+    /// Creates the observer with the given window length in slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        WindowedRegretObserver {
+            window,
+            slots_in_window: 0,
+            oracle_acc: 0.0,
+            observed_acc: 0.0,
+            end_slot: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    fn close_window(&mut self) {
+        let regret_per_slot =
+            (self.oracle_acc - self.observed_acc) / self.slots_in_window.max(1) as f64;
+        self.windows.push((self.end_slot, regret_per_slot));
+        self.slots_in_window = 0;
+        self.oracle_acc = 0.0;
+        self.observed_acc = 0.0;
+    }
+}
+
+impl RoundObserver for WindowedRegretObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        // Multi-run experiments (Fig. 7/8, duels) stream every
+        // contestant's run through the same observers. Windows are
+        // slot-indexed series, so a window must never straddle a run
+        // boundary — blending two policies' slots into one window (and
+        // emitting backwards-jumping end_slot rows) would make the
+        // series incoherent. A record with `decision == 1` marks a new
+        // run: flush whatever window the previous run left open.
+        if record.decision == 1 && self.slots_in_window > 0 {
+            self.close_window();
+        }
+        self.oracle_acc += record.oracle_kbps * record.period_len as f64;
+        self.observed_acc += record.observed_kbps;
+        self.slots_in_window += record.period_len;
+        self.end_slot = record.slot + record.period_len;
+        if self.slots_in_window >= self.window {
+            self.close_window();
+        }
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        if self.slots_in_window > 0 {
+            self.close_window();
+        }
+        let mut t = MetricTable::new();
+        t.push("window_slots", self.window as f64);
+        t.push("windows", self.windows.len() as f64);
+        for (i, &(end, regret)) in self.windows.iter().enumerate() {
+            t.push(format!("w{:02}_end_slot", i + 1), end as f64);
+            t.push(format!("w{:02}_regret_per_slot", i + 1), regret);
+        }
+        let max = self
+            .windows
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::MIN, f64::max);
+        if let Some(&(_, last)) = self.windows.last() {
+            t.push("max_window_regret_per_slot", max);
+            t.push("final_window_regret_per_slot", last);
+        }
+        self.windows.clear();
+        t
+    }
+
+    fn wants_oracle(&self) -> bool {
+        true
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The Experiment trait and its engine.
 // ---------------------------------------------------------------------------
@@ -448,6 +843,23 @@ pub struct ExperimentOutput {
 /// One experiment: a declarative shape plus an execution against a
 /// context. Implementations are plain data (a config struct), so they are
 /// `Send + Sync` and can be constructed inside parallel campaign workers.
+///
+/// # Example
+///
+/// Running a paper workload through the engine with streaming observers:
+///
+/// ```
+/// use mhca_core::experiment::{run_experiment, PolicyRunExperiment};
+/// use mhca_core::{ObserverKind, ObserverSet, PolicyRunConfig};
+///
+/// let exp = PolicyRunExperiment(PolicyRunConfig::quick());
+/// let observers = ObserverSet::from_kinds(&[ObserverKind::CommTotals]);
+/// let out = run_experiment(&exp, 7, observers);
+/// // Headline metrics come from the experiment, prefixed rows from the
+/// // observers the engine folded in after the run.
+/// assert!(out.metrics.get("avg_expected_kbps").is_some());
+/// assert!(out.metrics.get("comm-totals:decisions").is_some());
+/// ```
 pub trait Experiment: Send + Sync {
     /// The static shape of this experiment.
     fn spec(&self) -> ScenarioShape;
@@ -896,7 +1308,7 @@ impl Experiment for PolicyRunExperiment {
     fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
         let cfg = PolicyRunConfig {
             seed: ctx.seed,
-            ..self.0
+            ..self.0.clone()
         };
         let run = Self::run_one(&cfg, ctx.seed, &mut ctx.observers);
         let mut metrics = MetricTable::new();
@@ -934,11 +1346,11 @@ impl Experiment for PolicyDuelExperiment {
     fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
         let cfg_a = PolicyRunConfig {
             seed: ctx.seed,
-            ..self.base
+            ..self.base.clone()
         };
         let cfg_b = PolicyRunConfig {
             policy: self.challenger,
-            ..cfg_a
+            ..cfg_a.clone()
         };
         // Same seed ⇒ same network and channel realizations: a paired
         // comparison, as in the paper's Fig. 7/8.
@@ -1008,6 +1420,240 @@ mod tests {
             assert_eq!(ObserverKind::parse(kind.label()), Some(kind));
         }
         assert_eq!(ObserverKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn full_observer_zoo_leaves_run_result_byte_identical() {
+        // Registering every built-in observer at once — including the
+        // windowed-regret sink, whose oracle runs extra counterfactual
+        // strategy decisions — must not perturb the run itself: the
+        // RunResult equals the observer-free `run_policy` output exactly.
+        use crate::runner::{run_policy, run_policy_observed, Algorithm2Config};
+        use mhca_bandit::policies::CsUcb;
+
+        let net = crate::Network::random(10, 3, 3.0, 0.1, 9);
+        let cfg = Algorithm2Config::default().with_horizon(80).with_seed(9);
+        let plain = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        let mut observers = ObserverSet::from_kinds(&ObserverKind::ALL);
+        assert!(observers.wants_oracle(), "windowed-regret needs the oracle");
+        let observed = run_policy_observed(&net, &cfg, &mut CsUcb::new(2.0), &mut observers);
+        assert_eq!(plain, observed, "observers must never perturb the run");
+
+        // And every observer contributed at least one metric under its
+        // own label prefix.
+        let mut table = MetricTable::new();
+        observers.finish_into(&mut table);
+        for kind in ObserverKind::ALL {
+            let prefix = format!("{}:", kind.label());
+            assert!(
+                table
+                    .rows()
+                    .iter()
+                    .any(|(name, _)| name.starts_with(&prefix)),
+                "no metrics from {prefix}"
+            );
+        }
+    }
+
+    #[test]
+    fn new_observer_metrics_are_deterministic() {
+        let exp = PolicyRunExperiment(PolicyRunConfig {
+            channel: mhca_channels::ChannelModelSpec::Drifting {
+                shift_frac: 0.5,
+                breakpoints: vec![40, 80],
+                ramp: 0,
+            },
+            horizon: 120,
+            ..PolicyRunConfig::quick()
+        });
+        let kinds = [
+            ObserverKind::SensingCost {
+                probe_cost: 1.0,
+                report_cost: 0.1,
+            },
+            ObserverKind::CaptureStats,
+            ObserverKind::WindowedRegret { window: 30 },
+        ];
+        let a = run_experiment(&exp, 5, ObserverSet::from_kinds(&kinds));
+        let b = run_experiment(&exp, 5, ObserverSet::from_kinds(&kinds));
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.metrics.get("windowed-regret:windows"), Some(4.0));
+    }
+
+    #[test]
+    fn windowed_regret_regrows_at_drift_breakpoints() {
+        // Piecewise-stationary drift with a strong shift at slot 300: the
+        // policy converges over the first three windows, then the means
+        // flip and the per-window regret against the exact
+        // instantaneous-means optimum re-grows in the window containing
+        // the breakpoint.
+        let exp = PolicyRunExperiment(PolicyRunConfig {
+            channel: mhca_channels::ChannelModelSpec::Drifting {
+                shift_frac: 0.5,
+                breakpoints: vec![300],
+                ramp: 0,
+            },
+            n: 12,
+            m: 2,
+            horizon: 600,
+            // r = 2, as in the registry drift scenarios.
+            r: 2,
+            ..PolicyRunConfig::quick()
+        });
+        let observers = ObserverSet::from_kinds(&[ObserverKind::WindowedRegret { window: 100 }]);
+        let out = run_experiment(&exp, 2, observers);
+        assert_eq!(out.metrics.get("windowed-regret:windows"), Some(6.0));
+        let w = |i: usize| {
+            out.metrics
+                .get(&format!("windowed-regret:w{i:02}_regret_per_slot"))
+                .unwrap()
+        };
+        // Window 3 ends at the breakpoint; window 4 covers the shift.
+        assert_eq!(out.metrics.get("windowed-regret:w03_end_slot"), Some(300.0));
+        // Pre-break: learning converges (regret decays toward the floor).
+        assert!(
+            w(3) < w(1),
+            "pre-break regret must decay: {} vs {}",
+            w(3),
+            w(1)
+        );
+        // Post-break: the stale strategy re-accumulates regret sharply.
+        assert!(
+            w(4) > 3.0 * w(3) && w(4) > w(3) + 100.0,
+            "regret must re-grow in the breakpoint window: w3={} w4={}",
+            w(3),
+            w(4)
+        );
+    }
+
+    #[test]
+    fn windowed_regret_never_straddles_run_boundaries() {
+        // Multi-run experiments (Fig. 7/8, duels) stream every
+        // contestant through the same observers; a window open at the
+        // end of run A must be flushed when run B's first record
+        // (decision == 1) arrives, never blended into B's slots.
+        let record = |slot: u64, decision: u64, observed: f64| RoundRecord {
+            slot,
+            period_len: 10,
+            decision,
+            winners: &[],
+            expected_kbps: 0.0,
+            observed_kbps: observed,
+            estimated_kbps: 0.0,
+            decide_ns: 0,
+            decide_transmissions: 0,
+            decide_delivered: 0,
+            decide_timeslots: 0,
+            decide_scanned: 0,
+            per_vertex_tx: &[],
+            n_channels: 1,
+            channel_attempts: &[0],
+            channel_captures: &[0],
+            oracle_kbps: 100.0,
+        };
+        let mut obs = WindowedRegretObserver::new(25);
+        // Run A: 4 periods of 10 slots. The window closes at the first
+        // period boundary past 25 slots (slot 30), leaving the fourth
+        // period open when run B starts.
+        for (i, d) in (1..=4u64).enumerate() {
+            obs.on_round(&record(10 * i as u64, d, 500.0));
+        }
+        // Run B: slots restart at 0 with decision 1.
+        for (i, d) in (1..=3u64).enumerate() {
+            obs.on_round(&record(10 * i as u64, d, 0.0));
+        }
+        let t = obs.finish();
+        // Windows: run A closes [0,30) then flushes [30,40) at the run
+        // boundary; run B closes [0,30) — three windows total, and run
+        // A's observations never leak into run B's window.
+        assert_eq!(t.get("windows"), Some(3.0));
+        assert_eq!(t.get("w01_end_slot"), Some(30.0));
+        assert_eq!(t.get("w02_end_slot"), Some(40.0), "run A's tail flushed");
+        assert_eq!(t.get("w03_end_slot"), Some(30.0), "run B starts fresh");
+        // Run A earns 500/period against a 1000 oracle: +50/slot regret.
+        assert_eq!(t.get("w01_regret_per_slot"), Some(50.0));
+        assert_eq!(t.get("w02_regret_per_slot"), Some(50.0));
+        // Run B earns nothing: exactly the full 100/slot oracle value —
+        // any blending with run A's 500-observations would lower it.
+        assert_eq!(t.get("w03_regret_per_slot"), Some(100.0));
+    }
+
+    #[test]
+    fn capture_stats_tally_outages_under_full_swing_adversary() {
+        // A full-swing square wave (low phase = 0 kbps): attempts split
+        // into captures and outages, and the tallies are channel-complete.
+        let exp = PolicyRunExperiment(PolicyRunConfig {
+            channel: mhca_channels::ChannelModelSpec::AdversarialSwitching {
+                swing_frac: 1.0,
+                dwell: 20,
+            },
+            horizon: 200,
+            ..PolicyRunConfig::quick()
+        });
+        let out = run_experiment(
+            &exp,
+            3,
+            ObserverSet::from_kinds(&[ObserverKind::CaptureStats]),
+        );
+        let get = |name: &str| out.metrics.get(&format!("capture-stats:{name}")).unwrap();
+        let attempts = get("attempts");
+        let captures = get("captures");
+        let outages = get("outages");
+        assert!(attempts > 0.0);
+        assert_eq!(attempts, captures + outages);
+        assert!(
+            outages > 0.0,
+            "a full-swing adversary must produce zero-rate observations"
+        );
+        let rate = get("capture_rate");
+        assert!((0.0..1.0).contains(&rate), "capture rate {rate}");
+        // Per-channel rows exist for every channel of the 2-channel net.
+        for c in 0..2 {
+            assert!(out
+                .metrics
+                .get(&format!("capture-stats:ch{c}_capture_rate"))
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn sensing_cost_charges_follow_the_cost_model() {
+        let exp = PolicyRunExperiment(PolicyRunConfig {
+            horizon: 100,
+            ..PolicyRunConfig::quick()
+        });
+        let run_with = |probe: f64, report: f64| {
+            run_experiment(
+                &exp,
+                3,
+                ObserverSet::from_kinds(&[ObserverKind::SensingCost {
+                    probe_cost: probe,
+                    report_cost: report,
+                }]),
+            )
+        };
+        let out = run_with(1.0, 0.1);
+        let get = |name: &str| out.metrics.get(&format!("sensing-cost:{name}")).unwrap();
+        let total = get("cost_total");
+        assert!((total - (get("probe_cost_total") + get("report_cost_total"))).abs() < 1e-9);
+        assert!(get("cost_per_vertex_max") >= get("cost_per_vertex_mean"));
+        assert!(get("kbps_per_unit_cost") > 0.0);
+
+        // The model is linear: doubling the probe price doubles the probe
+        // total and leaves the report total untouched.
+        let doubled = run_with(2.0, 0.1);
+        let get2 = |name: &str| {
+            doubled
+                .metrics
+                .get(&format!("sensing-cost:{name}"))
+                .unwrap()
+        };
+        assert!((get2("probe_cost_total") - 2.0 * get("probe_cost_total")).abs() < 1e-9);
+        assert_eq!(get2("report_cost_total"), get("report_cost_total"));
+
+        // A free cost model charges nothing.
+        let free = run_with(0.0, 0.0);
+        assert_eq!(free.metrics.get("sensing-cost:cost_total"), Some(0.0));
     }
 
     #[test]

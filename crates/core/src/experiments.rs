@@ -2,23 +2,20 @@
 //! paper's evaluation (Section V), plus the complexity claims of Section
 //! IV-C.
 //!
-//! The execution logic lives in [`crate::experiment`]: each config here
-//! has a corresponding [`Experiment`](crate::experiment::Experiment)
+//! This module is **data only**: the config structs (`Fig6Config`,
+//! `PolicyRunConfig`, …) and the typed output records the figures plot.
+//! The execution logic lives in [`crate::experiment`] — each config has
+//! a corresponding [`Experiment`](crate::experiment::Experiment)
 //! implementation (`Fig6Experiment`, `PolicyRunExperiment`, …) driven by
 //! the unified engine [`run_experiment`](crate::experiment::run_experiment).
-//! The free functions below (`fig6`, `run_fig5`, `run_policy_spec`, …)
-//! are **deprecated shims** over those implementations, kept so existing
-//! binaries, examples, and tests compile unchanged.
+//! (The pre-engine free functions `fig6`, `run_fig5`, `run_policy_spec`,
+//! … spent one release as deprecated shims and have been retired; the
+//! engine is the only entry point.)
 //!
 //! Default parameters mirror the paper; `*_quick` constructors provide
 //! scaled-down variants for tests and CI.
 
-use crate::{
-    experiment::{run_experiment, ExperimentData, ObserverSet},
-    network::Network,
-    runner::RunResult,
-    time::TimeModel,
-};
+use crate::{network::Network, runner::RunResult, time::TimeModel};
 use mhca_bandit::{
     policies::{CsUcb, DiscountedCsUcb, EpsilonGreedy, IndexPolicy, Llr, Oracle, Random},
     thompson::GaussianThompson,
@@ -171,19 +168,6 @@ pub struct Fig6Series {
     pub converged_at: usize,
 }
 
-/// Runs the Fig. 6 experiment: one strategy decision per network size with
-/// the *true means* as weights, recording the cumulative output weight per
-/// mini-round.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&Fig6Experiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
-pub fn fig6(cfg: &Fig6Config) -> Vec<Fig6Series> {
-    let exp = crate::experiment::Fig6Experiment(cfg.clone());
-    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
-        ExperimentData::Fig6 { series, .. } => series,
-        _ => unreachable!("Fig6Experiment yields Fig6 data"),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Fig. 7 — practical regret and β-regret vs LLR on a 15×3 network.
 // ---------------------------------------------------------------------------
@@ -252,18 +236,6 @@ pub struct Fig7Output {
     pub algorithm2: RunResult,
     /// Run of the LLR baseline (same oracle, same channels).
     pub llr: RunResult,
-}
-
-/// Runs the Fig. 7 experiment: exact optimum by branch-and-bound, then a
-/// paired comparison (identical channel realizations) of CS-UCB vs LLR.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&Fig7Experiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
-pub fn fig7(cfg: &Fig7Config) -> Fig7Output {
-    let exp = crate::experiment::Fig7Experiment(cfg.clone());
-    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
-        ExperimentData::Fig7(out) => out,
-        _ => unreachable!("Fig7Experiment yields Fig7 data"),
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -343,18 +315,6 @@ pub struct Fig8Run {
     pub llr: RunResult,
 }
 
-/// Runs the Fig. 8 experiment: for each `y`, a paired CS-UCB vs LLR run
-/// with `updates_per_run` strategy decisions.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&Fig8Experiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
-pub fn fig8(cfg: &Fig8Config) -> Vec<Fig8Run> {
-    let exp = crate::experiment::Fig8Experiment(cfg.clone());
-    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
-        ExperimentData::Fig8(runs) => runs,
-        _ => unreachable!("Fig8Experiment yields Fig8 data"),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Fig. 5 — linear-network worst case for the strategy decision.
 // ---------------------------------------------------------------------------
@@ -395,27 +355,6 @@ impl Fig5Config {
             ns: vec![10, 20, 40],
             r: 1,
         }
-    }
-}
-
-/// Reproduces the Fig. 5 observation: on a line with strictly decreasing
-/// weights and `M = 1`, only one new LocalLeader can emerge per
-/// mini-round region, so full resolution needs `Θ(N)` mini-rounds.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&Fig5Experiment(Fig5Config { ns, r }), 0, ObserverSet::new())")]
-pub fn fig5_worstcase(ns: &[usize], r: usize) -> Vec<WorstCasePoint> {
-    #[allow(deprecated)]
-    run_fig5(&Fig5Config { ns: ns.to_vec(), r })
-}
-
-/// Spec-driven entry point for Fig. 5.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&Fig5Experiment(cfg.clone()), 0, ObserverSet::new())")]
-pub fn run_fig5(cfg: &Fig5Config) -> Vec<WorstCasePoint> {
-    let exp = crate::experiment::Fig5Experiment(cfg.clone());
-    match run_experiment(&exp, 0, ObserverSet::new()).data {
-        ExperimentData::Fig5(points) => points,
-        _ => unreachable!("Fig5Experiment yields Fig5 data"),
     }
 }
 
@@ -495,42 +434,6 @@ impl ComplexityConfig {
     }
 }
 
-/// Measures the per-vertex communication of one strategy decision across
-/// network sizes and radii — the empirical check of the paper's
-/// `O(r² + D)` messages / `O(m)` space claims.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&ComplexityExperiment(cfg), cfg.seed, ObserverSet::new())")]
-pub fn complexity(
-    ns: &[usize],
-    m: usize,
-    rs: &[usize],
-    avg_degree: f64,
-    minirounds: usize,
-    seed: u64,
-) -> Vec<ComplexityPoint> {
-    #[allow(deprecated)]
-    run_complexity(&ComplexityConfig {
-        ns: ns.to_vec(),
-        m,
-        rs: rs.to_vec(),
-        topology: TopologySpec::UnitDisk { avg_degree },
-        channel: ChannelModelSpec::GaussianRateClasses { sigma_frac: 0.1 },
-        minirounds,
-        seed,
-    })
-}
-
-/// Spec-driven entry point for the complexity measurement.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&ComplexityExperiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
-pub fn run_complexity(cfg: &ComplexityConfig) -> Vec<ComplexityPoint> {
-    let exp = crate::experiment::ComplexityExperiment(cfg.clone());
-    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
-        ExperimentData::Complexity(points) => points,
-        _ => unreachable!("ComplexityExperiment yields Complexity data"),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Theorem 3 — distributed vs centralized approximation quality.
 // ---------------------------------------------------------------------------
@@ -594,41 +497,6 @@ impl Theorem3Config {
     }
 }
 
-/// Empirically validates Theorem 3 ("Algorithm 3 achieves the same
-/// approximation ratio ρ as the centralized robust PTAS"): on seeded
-/// random instances small enough for exact ground truth, compares the
-/// exact optimum, the centralized robust PTAS, and the distributed
-/// protocol (uncapped and capped).
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&Theorem3Experiment(cfg), cfg.seed, ObserverSet::new())")]
-pub fn theorem3(
-    n: usize,
-    m: usize,
-    avg_degree: f64,
-    seeds: std::ops::Range<u64>,
-) -> Vec<Theorem3Point> {
-    #[allow(deprecated)]
-    run_theorem3(&Theorem3Config {
-        n,
-        m,
-        topology: TopologySpec::UnitDisk { avg_degree },
-        channel: ChannelModelSpec::GaussianRateClasses { sigma_frac: 0.1 },
-        seed: seeds.start,
-        instances: seeds.end.saturating_sub(seeds.start),
-    })
-}
-
-/// Spec-driven entry point for the Theorem 3 comparison.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&Theorem3Experiment(cfg.clone()), cfg.seed, ObserverSet::new())")]
-pub fn run_theorem3(cfg: &Theorem3Config) -> Vec<Theorem3Point> {
-    let exp = crate::experiment::Theorem3Experiment(cfg.clone());
-    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
-        ExperimentData::Theorem3(points) => points,
-        _ => unreachable!("Theorem3Experiment yields Theorem3 data"),
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Table II — the time model as data.
 // ---------------------------------------------------------------------------
@@ -644,16 +512,6 @@ pub struct Table2 {
     pub minirounds_per_decision: usize,
     /// Derived airtime fraction θ.
     pub theta: f64,
-}
-
-/// Produces Table II plus derived values.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&Table2Experiment, 0, ObserverSet::new())")]
-pub fn table2() -> Table2 {
-    match run_experiment(&crate::experiment::Table2Experiment, 0, ObserverSet::new()).data {
-        ExperimentData::Table2(t) => t,
-        _ => unreachable!("Table2Experiment yields Table2 data"),
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -721,56 +579,33 @@ impl PolicyRunConfig {
     }
 }
 
-/// Runs one declarative Algorithm 2 configuration end to end.
-#[deprecated(note = "use the unified engine: \
-                     run_experiment(&PolicyRunExperiment(*cfg), cfg.seed, ObserverSet::new())")]
-pub fn run_policy_spec(cfg: &PolicyRunConfig) -> RunResult {
-    let exp = crate::experiment::PolicyRunExperiment(cfg.clone());
-    match run_experiment(&exp, cfg.seed, ObserverSet::new()).data {
-        ExperimentData::PolicyRun { run, .. } => run,
-        _ => unreachable!("PolicyRunExperiment yields PolicyRun data"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    // The shims under test are deprecated on purpose; these tests pin
-    // that they still behave (and match the engine — see
-    // `deprecated_shims_match_engine`).
-    #![allow(deprecated)]
-
     use super::*;
     use crate::experiment::{
-        run_experiment, Fig5Experiment, PolicyRunExperiment, Theorem3Experiment,
+        run_experiment, ComplexityExperiment, ExperimentData, Fig5Experiment, Fig6Experiment,
+        Fig7Experiment, Fig8Experiment, ObserverSet, PolicyRunExperiment, Table2Experiment,
+        Theorem3Experiment,
     };
 
-    #[test]
-    fn deprecated_shims_match_engine() {
-        let cfg = Fig5Config::quick();
-        let via_shim = run_fig5(&cfg);
-        let via_engine = run_experiment(&Fig5Experiment(cfg), 0, ObserverSet::new());
-        assert_eq!(ExperimentData::Fig5(via_shim), via_engine.data);
+    /// Engine shorthand: run an experiment observer-free at one seed and
+    /// return its typed payload.
+    fn run(exp: &dyn crate::experiment::Experiment, seed: u64) -> ExperimentData {
+        run_experiment(exp, seed, ObserverSet::new()).data
+    }
 
-        let cfg = PolicyRunConfig::quick();
-        let via_shim = run_policy_spec(&cfg);
-        let via_engine = run_experiment(
-            &PolicyRunExperiment(cfg.clone()),
-            cfg.seed,
-            ObserverSet::new(),
-        );
-        match via_engine.data {
-            ExperimentData::PolicyRun { run, .. } => assert_eq!(via_shim, run),
-            _ => panic!("wrong data variant"),
+    fn fig6(cfg: &Fig6Config) -> Vec<Fig6Series> {
+        match run(&Fig6Experiment(cfg.clone()), cfg.seed) {
+            ExperimentData::Fig6 { series, .. } => series,
+            other => panic!("wrong data variant {other:?}"),
         }
+    }
 
-        let cfg = Theorem3Config::quick();
-        let via_shim = run_theorem3(&cfg);
-        let via_engine = run_experiment(
-            &Theorem3Experiment(cfg.clone()),
-            cfg.seed,
-            ObserverSet::new(),
-        );
-        assert_eq!(ExperimentData::Theorem3(via_shim), via_engine.data);
+    fn policy_run(cfg: &PolicyRunConfig) -> RunResult {
+        match run(&PolicyRunExperiment(cfg.clone()), cfg.seed) {
+            ExperimentData::PolicyRun { run, .. } => run,
+            other => panic!("wrong data variant {other:?}"),
+        }
     }
 
     #[test]
@@ -790,7 +625,10 @@ mod tests {
 
     #[test]
     fn fig7_quick_shows_negative_beta_regret() {
-        let out = fig7(&Fig7Config::quick());
+        let cfg = Fig7Config::quick();
+        let ExperimentData::Fig7(out) = run(&Fig7Experiment(cfg.clone()), cfg.seed) else {
+            panic!("wrong data variant");
+        };
         assert!(out.optimal_kbps > 0.0);
         // β-regret converges negative (Fig. 7(b)): the achieved effective
         // throughput beats the 1/β target.
@@ -803,7 +641,10 @@ mod tests {
 
     #[test]
     fn fig8_quick_stale_updates_improve_throughput() {
-        let runs = fig8(&Fig8Config::quick());
+        let cfg = Fig8Config::quick();
+        let ExperimentData::Fig8(runs) = run(&Fig8Experiment(cfg.clone()), cfg.seed) else {
+            panic!("wrong data variant");
+        };
         assert_eq!(runs.len(), 2);
         let y1 = &runs[0];
         let y5 = &runs[1];
@@ -819,7 +660,13 @@ mod tests {
 
     #[test]
     fn fig5_worstcase_grows_linearly() {
-        let points = fig5_worstcase(&[10, 20, 40], 1);
+        let exp = Fig5Experiment(Fig5Config {
+            ns: vec![10, 20, 40],
+            r: 1,
+        });
+        let ExperimentData::Fig5(points) = run(&exp, 0) else {
+            panic!("wrong data variant");
+        };
         assert!(points[1].minirounds_used > points[0].minirounds_used);
         assert!(points[2].minirounds_used > points[1].minirounds_used);
         // Roughly linear: doubling N should not leave mini-rounds flat.
@@ -828,7 +675,11 @@ mod tests {
 
     #[test]
     fn complexity_is_size_independent_per_vertex() {
-        let pts = complexity(&[20, 60], 3, &[1], 4.0, 4, 5);
+        let cfg = ComplexityConfig::quick();
+        let ExperimentData::Complexity(pts) = run(&ComplexityExperiment(cfg.clone()), cfg.seed)
+        else {
+            panic!("wrong data variant");
+        };
         assert_eq!(pts.len(), 2);
         // The per-vertex message count must not scale with N (the paper's
         // O(r²+D) claim) — allow a generous factor for randomness.
@@ -842,8 +693,11 @@ mod tests {
 
     #[test]
     fn theorem3_ratios_are_sane() {
-        let pts = theorem3(12, 2, 3.0, 0..4);
-        assert_eq!(pts.len(), 4);
+        let cfg = Theorem3Config::quick();
+        let ExperimentData::Theorem3(pts) = run(&Theorem3Experiment(cfg.clone()), cfg.seed) else {
+            panic!("wrong data variant");
+        };
+        assert_eq!(pts.len(), cfg.instances as usize);
         for p in &pts {
             assert!(p.optimal >= p.centralized - 1e-9);
             assert!(p.optimal >= p.distributed - 1e-9);
@@ -858,17 +712,17 @@ mod tests {
     #[test]
     fn policy_run_spec_is_reproducible_and_learns() {
         let cfg = PolicyRunConfig::quick();
-        let a = run_policy_spec(&cfg);
-        let b = run_policy_spec(&cfg);
+        let a = policy_run(&cfg);
+        let b = policy_run(&cfg);
         assert_eq!(a, b);
         assert_eq!(a.policy, "cs-ucb");
         assert_eq!(a.slots, cfg.horizon);
-        let random = run_policy_spec(&PolicyRunConfig {
+        let random = policy_run(&PolicyRunConfig {
             policy: PolicySpec::Random,
             horizon: 300,
             ..PolicyRunConfig::quick()
         });
-        let learned = run_policy_spec(&PolicyRunConfig {
+        let learned = policy_run(&PolicyRunConfig {
             horizon: 300,
             ..PolicyRunConfig::quick()
         });
@@ -903,24 +757,10 @@ mod tests {
     }
 
     #[test]
-    fn spec_driven_quick_configs_agree_with_legacy_wrappers() {
-        assert_eq!(
-            complexity(&[20, 60], 3, &[1], 4.0, 4, 5),
-            run_complexity(&ComplexityConfig::quick())
-        );
-        assert_eq!(
-            theorem3(12, 2, 3.0, 0..4),
-            run_theorem3(&Theorem3Config::quick())
-        );
-        assert_eq!(
-            fig5_worstcase(&[10, 20, 40], 1),
-            run_fig5(&Fig5Config::quick())
-        );
-    }
-
-    #[test]
     fn table2_matches_paper() {
-        let t = table2();
+        let ExperimentData::Table2(t) = run(&Table2Experiment, 0) else {
+            panic!("wrong data variant");
+        };
         assert_eq!(t.theta, 0.5);
         assert_eq!(t.miniround_ms, 250.0);
         assert_eq!(t.minirounds_per_decision, 4);

@@ -15,9 +15,8 @@
 //! * [`time`] — the Table II time model and the airtime fraction
 //!   `θ = t_d/t_a`.
 //! * [`experiment`] — the **unified experiment surface**: one
-//!   [`Experiment`](experiment::Experiment) trait driven by one engine
-//!   ([`run_experiment`](experiment::run_experiment)), with a streaming
-//!   [`RoundObserver`](experiment::RoundObserver) pipeline that turns new
+//!   [`Experiment`] trait driven by one engine ([`run_experiment`]),
+//!   with a streaming [`RoundObserver`] pipeline that turns new
 //!   metrics into composable observers instead of new result fields.
 //! * [`experiments`] — the experiment configurations and output records
 //!   for every figure of the paper's evaluation (Fig. 5 worst case,
@@ -40,6 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub mod distributed;

@@ -247,6 +247,34 @@ pub fn run_policy_observed(
     let mut period_obs: Vec<f64> = Vec::with_capacity(y.min(cfg.horizon) as usize);
     let mut prev_winners: Vec<usize> = Vec::new();
 
+    // ---- Observer-only scratch (all empty/skipped with no observers, so
+    // the plain `run_policy` path is untouched): per-channel capture
+    // tallies for the CaptureStats sink, and the drift oracle — the
+    // exact offline optimum (branch-and-bound MWIS, the same benchmark
+    // the paper's Fig. 7 regret uses) on the channels' *instantaneous*
+    // means — for sinks that request it (WindowedRegret). The optimum is
+    // recomputed only when the instantaneous mean vector changes, so
+    // piecewise-stationary drift costs one solve per segment and
+    // stationary channels one per run; like `Network::optimal`, it is
+    // intended for Fig. 7-sized instances (≲ 20 users × a few channels).
+    let observing = !observers.is_empty();
+    let tally_channels = observers.wants_channel_stats();
+    let m_channels = net.n_channels();
+    let mut chan_attempts = vec![0u64; if tally_channels { m_channels } else { 0 }];
+    let mut chan_captures = vec![0u64; if tally_channels { m_channels } else { 0 }];
+    struct OracleState {
+        weights: Vec<f64>,
+        prev_weights: Vec<f64>,
+        allowed: Vec<usize>,
+        cached_kbps: f64,
+    }
+    let mut oracle = observers.wants_oracle().then(|| OracleState {
+        weights: Vec::with_capacity(k),
+        prev_weights: Vec::new(),
+        allowed: (0..k).collect(),
+        cached_kbps: 0.0,
+    });
+
     let mut t = 0u64;
     while t < cfg.horizon {
         // ---- WB phase: previous transmitters broadcast updated stats.
@@ -265,7 +293,7 @@ pub fn run_policy_observed(
 
         // ---- Strategy decision with the policy's current indices.
         policy.indices_into(t + 1, &stats, &mut rng, &mut indices);
-        let decide_start = (!observers.is_empty()).then(Instant::now);
+        let decide_start = observing.then(Instant::now);
         ptas.decide_into(&indices, &mut outcome);
         let decide_ns = decide_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
         comm.transmissions += outcome.counters.transmissions;
@@ -281,6 +309,10 @@ pub fn run_policy_observed(
         // ---- Data transmission for the whole period (y slots).
         let period_len = y.min(cfg.horizon - t);
         period_obs.clear();
+        if tally_channels {
+            chan_attempts.fill(0);
+            chan_captures.fill(0);
+        }
         let mut period_expected = 0.0;
         for s in t..t + period_len {
             net.channels().observe_into(s, winners, &mut obs);
@@ -293,6 +325,17 @@ pub fn run_policy_observed(
             for &(v, x) in &obs {
                 stats.update(v, x / scale);
                 policy.observe(v, x / scale);
+            }
+            if tally_channels {
+                // Per-channel capture bookkeeping, only when a sink
+                // (CaptureStats) asked for it: vertex v transmits on
+                // channel v % M; a positive observed rate is a capture,
+                // zero is an outage.
+                for &(v, x) in &obs {
+                    let c = v % m_channels;
+                    chan_attempts[c] += 1;
+                    chan_captures[c] += u64::from(x > 0.0);
+                }
             }
             if let Some(tr) = tracker.as_mut() {
                 tr.record(expected, raw);
@@ -318,7 +361,29 @@ pub fn run_policy_observed(
 
         // ---- Stream the period to registered observers (skipped — and
         // allocation-free — when none are registered).
-        if !observers.is_empty() {
+        if observing {
+            // The drift oracle: the exact offline optimum per slot under
+            // the channels' instantaneous true means at this period's
+            // first slot, recomputed only when those means change (a
+            // counterfactual — it never touches the run's communication
+            // totals). Computed only when an observer asked for it.
+            let oracle_kbps = match oracle.as_mut() {
+                Some(st) => {
+                    net.channels().means_at_into(t, &mut st.weights);
+                    if st.weights != st.prev_weights {
+                        st.cached_kbps = mhca_mwis::exact::solve_grouped(
+                            net.h().graph(),
+                            &st.weights,
+                            &st.allowed,
+                            net.node_groups(),
+                        )
+                        .weight;
+                        st.prev_weights.clone_from(&st.weights);
+                    }
+                    st.cached_kbps
+                }
+                None => 0.0,
+            };
             observers.emit(&RoundRecord {
                 slot: t,
                 period_len,
@@ -333,6 +398,10 @@ pub fn run_policy_observed(
                 decide_timeslots: outcome.counters.timeslots,
                 decide_scanned: ptas.scan_stats().candidates_scanned,
                 per_vertex_tx: &outcome.counters.per_vertex_tx,
+                n_channels: m_channels,
+                channel_attempts: &chan_attempts,
+                channel_captures: &chan_captures,
+                oracle_kbps,
             });
         }
 

@@ -70,7 +70,7 @@ impl Experiment for LossResilienceExperiment {
     fn run(&self, ctx: &mut ExperimentCtx) -> ExperimentOutput {
         let cfg = PolicyRunConfig {
             seed: ctx.seed,
-            ..self.base
+            ..self.base.clone()
         };
         let net = Network::from_spec(cfg.n, cfg.m, &cfg.topology, &cfg.channel, ctx.seed);
         let mut metrics = MetricTable::new();

@@ -36,6 +36,7 @@
 //! binaries that regenerate every figure of the paper.
 
 #![forbid(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
 #![warn(missing_docs)]
 
 pub use mhca_bandit as bandit;
