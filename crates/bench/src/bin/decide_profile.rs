@@ -11,15 +11,24 @@
 //! and the flood-phase communication totals (identical across paths by
 //! construction — the differential test battery pins this).
 //!
+//! The `--pr6` flag switches to the large-N grid instead: serial vs
+//! partition-parallel (tiled) decide up to `n = 50_000`, with per-phase
+//! nanosecond breakdowns ([`mhca_core::DecidePhaseNs`]), halo sizes, and
+//! the table→BFS fallback counter, emitted as `BENCH_PR6.json`. The
+//! partitioned outcome is asserted byte-identical to the serial one at
+//! every grid point (and to the full-rescan oracle where it is run).
+//!
 //! Usage:
 //!
 //! ```sh
 //! cargo run --release -p mhca-bench --bin decide_profile              # full grid -> BENCH_PR4.json
 //! cargo run --release -p mhca-bench --bin decide_profile -- --quick   # small grid, CI smoke
 //! cargo run --release -p mhca-bench --bin decide_profile -- --out target/decide.json
+//! cargo run --release -p mhca-bench --bin decide_profile -- --pr6     # large-N grid -> BENCH_PR6.json
+//! cargo run --release -p mhca-bench --bin decide_profile -- --pr6 --quick
 //! ```
 
-use mhca_core::{DecisionOutcome, DistributedPtas, DistributedPtasConfig, Network};
+use mhca_core::{DecidePhaseNs, DecisionOutcome, DistributedPtas, DistributedPtasConfig, Network};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -100,9 +109,218 @@ fn profile(n: usize, m: usize, r: usize, samples: usize, iters: usize) -> Profil
     }
 }
 
+// ---------------------------------------------------------------------------
+// PR 6: large-N serial vs partition-parallel grid.
+// ---------------------------------------------------------------------------
+
+/// Flood-table entry cap for the large-N grid: 2^25 packed `u32` entries
+/// (128 MiB). The point of the compact layout is that lossless floods stay
+/// table scans at `n = 5×10^4`; `fallback_floods` in the emitted JSON
+/// proves whether they did.
+const PR6_TABLE_ENTRY_CAP: usize = 1 << 25;
+
+/// One measured large-N grid point.
+struct Pr6Point {
+    n: usize,
+    m: usize,
+    r: usize,
+    partitions: usize,
+    h_vertices: usize,
+    minirounds: usize,
+    serial_ns: f64,
+    partitioned_ns: f64,
+    rescan_ns: Option<f64>,
+    serial_phases: DecidePhaseNs,
+    partitioned_phases: DecidePhaseNs,
+    halo_entries: usize,
+    fallback_floods: u64,
+    decide_transmissions: u64,
+}
+
+fn profile_pr6(
+    n: usize,
+    m: usize,
+    r: usize,
+    partitions: usize,
+    samples: usize,
+    iters: usize,
+    with_rescan: bool,
+) -> Pr6Point {
+    let net = Network::random(n, m, 5.0, 0.1, 300 + n as u64);
+    let weights = net.channels().means();
+    let base = DistributedPtasConfig::default()
+        .with_r(r)
+        .with_max_minirounds(Some(4));
+    let mut out = DecisionOutcome::default();
+
+    // Serial reference first; dropped before the partitioned engine is
+    // built so only one ball CSR is resident at a time at n = 5×10^4.
+    let mut serial = DistributedPtas::new(net.h(), base);
+    serial.set_table_entry_cap(PR6_TABLE_ENTRY_CAP);
+    serial.set_profile_phases(true);
+    serial.decide_into(&weights, &mut out); // warm pools + tables
+    let serial_ns = median_ns(samples, iters, || {
+        serial.decide_into(&weights, &mut out);
+    });
+    let serial_phases = serial.phase_ns();
+    let expect = out.clone();
+    drop(serial);
+
+    let mut tiled = DistributedPtas::new(net.h(), base.with_partitions(partitions));
+    tiled.set_table_entry_cap(PR6_TABLE_ENTRY_CAP);
+    tiled.set_profile_phases(true);
+    tiled.decide_into(&weights, &mut out);
+    assert_eq!(
+        out, expect,
+        "partitioned decide diverged from serial at n={n} r={r} p={partitions}"
+    );
+    let partitioned_ns = median_ns(samples, iters, || {
+        tiled.decide_into(&weights, &mut out);
+    });
+    let partitioned_phases = tiled.phase_ns();
+    let halo_entries = tiled.partition().map_or(0, |p| p.halo_entries());
+    drop(tiled);
+
+    let rescan_ns = with_rescan.then(|| {
+        let mut rescan = DistributedPtas::new(net.h(), base);
+        rescan.set_table_entry_cap(PR6_TABLE_ENTRY_CAP);
+        rescan.decide_into_rescan(&weights, &mut out);
+        assert_eq!(
+            out, expect,
+            "rescan oracle diverged from serial at n={n} r={r}"
+        );
+        median_ns(samples, iters, || {
+            rescan.decide_into_rescan(&weights, &mut out);
+        })
+    });
+
+    Pr6Point {
+        n,
+        m,
+        r,
+        partitions,
+        h_vertices: net.h().n_vertices(),
+        minirounds: expect.minirounds_used,
+        serial_ns,
+        partitioned_ns,
+        rescan_ns,
+        serial_phases,
+        partitioned_phases,
+        halo_entries,
+        fallback_floods: expect.fallback_floods,
+        decide_transmissions: expect.counters.transmissions,
+    }
+}
+
+fn phases_json(p: &DecidePhaseNs) -> String {
+    format!(
+        "{{\"election_ns\": {}, \"broadcast_ns\": {}, \"mwis_ns\": {}, \"sweep_ns\": {}}}",
+        p.election_ns, p.broadcast_ns, p.mwis_ns, p.sweep_ns
+    )
+}
+
+fn run_pr6(quick: bool, out_path: &str) {
+    // (n, r, samples, iters, rescan-oracle?): r = 2 (the paper's radius)
+    // through n = 10^4, r = 1 on the two largest sizes to keep the
+    // (2r+1)-ball tables affordable; the rescan oracle is O(survivors)
+    // per mini-round, so it is only timed on the small end.
+    let grid: &[(usize, usize, usize, usize, bool)] = if quick {
+        &[(2_000, 1, 3, 1, true), (10_000, 1, 3, 1, false)]
+    } else {
+        &[
+            (1_000, 2, 5, 3, true),
+            (5_000, 2, 5, 2, true),
+            (10_000, 2, 3, 2, false),
+            (20_000, 1, 3, 1, false),
+            (50_000, 1, 3, 1, false),
+        ]
+    };
+    let (m, partitions) = (2usize, 4usize);
+
+    let mut points = Vec::new();
+    for &(n, r, samples, iters, with_rescan) in grid {
+        eprintln!("profiling large-N n={n} m={m} r={r} partitions={partitions} ...");
+        let p = profile_pr6(n, m, r, partitions, samples, iters, with_rescan);
+        eprintln!(
+            "  serial {:>13.0} ns  partitioned {:>13.0} ns  ratio {:.2}x  \
+             halo {}  fallback_floods {}",
+            p.serial_ns,
+            p.partitioned_ns,
+            p.serial_ns / p.partitioned_ns,
+            p.halo_entries,
+            p.fallback_floods,
+        );
+        points.push(p);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"description\": \"PR 6 regression numbers: partition-parallel decide on the \
+         large-N grid. Each point runs the serial incremental decide and the tiled \
+         (core+halo stripe) decide on the same network and weights; *_ns are median \
+         wall-clock per decision, ratio = serial_ns / partitioned_ns. Outcomes are \
+         asserted byte-identical in-process at every point (and against the full-rescan \
+         oracle where rescan_ns is non-null). Per-phase breakdowns come from \
+         DecidePhaseNs (last profiled decision). fallback_floods counts decide floods \
+         that silently fell back from the compact ball table to live BFS — 0 means the \
+         2^25-entry cap held and lossless floods stayed table scans.\",\n",
+    );
+    json.push_str(
+        "  \"workload\": \"Network::random(n, 2, 5.0, 0.1, 300 + n): unit-disk, 2 channels, \
+         average conflict degree 5, max_minirounds 4; 4 tiles, one scoped worker thread \
+         per tile; release profile, single process. The serial/partitioned ratio is \
+         machine-conditional — on a single-core host the tiled path pays thread overhead \
+         for no parallel speedup; see BENCHMARKS.md 'Large-N' for the honest read.\",\n",
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        std::thread::available_parallelism().map_or(0, |p| p.get())
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 == points.len() { "" } else { "," };
+        let rescan = p
+            .rescan_ns
+            .map_or("null".to_string(), |ns| format!("{ns:.1}"));
+        let _ = writeln!(
+            json,
+            "    {{\"id\": \"large_n/r{}/{}\", \"n\": {}, \"m\": {}, \"r\": {}, \
+             \"partitions\": {}, \"h_vertices\": {}, \"minirounds\": {}, \
+             \"serial_ns\": {:.1}, \"partitioned_ns\": {:.1}, \"ratio\": {:.2}, \
+             \"rescan_ns\": {}, \"serial_phase_ns\": {}, \"partitioned_phase_ns\": {}, \
+             \"halo_entries\": {}, \"fallback_floods\": {}, \"decide_transmissions\": {}}}{}",
+            p.r,
+            p.n,
+            p.n,
+            p.m,
+            p.r,
+            p.partitions,
+            p.h_vertices,
+            p.minirounds,
+            p.serial_ns,
+            p.partitioned_ns,
+            p.serial_ns / p.partitioned_ns,
+            rescan,
+            phases_json(&p.serial_phases),
+            phases_json(&p.partitioned_phases),
+            p.halo_entries,
+            p.fallback_floods,
+            p.decide_transmissions,
+            comma,
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out_path, &json).expect("write profile JSON");
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let pr6 = args.iter().any(|a| a == "--pr6");
     let out_path = match args.iter().position(|a| a == "--out") {
         // A missing value must not silently fall back to clobbering the
         // committed regression artifact.
@@ -110,8 +328,14 @@ fn main() {
             .get(i + 1)
             .expect("--out requires a path argument")
             .clone(),
+        None if pr6 => "BENCH_PR6.json".to_string(),
         None => "BENCH_PR4.json".to_string(),
     };
+
+    if pr6 {
+        run_pr6(quick, &out_path);
+        return;
+    }
 
     let (ns, samples, iters): (&[usize], usize, usize) = if quick {
         (&[50, 100], 5, 3)

@@ -441,7 +441,7 @@ pub fn kind_from_json(v: &Json, path: &str) -> Result<ExperimentKind, SpecError>
     }
 }
 
-const POLICY_RUN_FIELDS: [&str; 11] = [
+const POLICY_RUN_FIELDS: [&str; 12] = [
     "kind",
     "n",
     "m",
@@ -453,6 +453,7 @@ const POLICY_RUN_FIELDS: [&str; 11] = [
     "update_period",
     "r",
     "minirounds",
+    "partitions",
 ];
 
 fn policy_run_from_json(v: &Json, path: &str) -> Result<PolicyRunConfig, SpecError> {
@@ -472,6 +473,7 @@ fn policy_run_from_json(v: &Json, path: &str) -> Result<PolicyRunConfig, SpecErr
         update_period,
         r: opt_usize(v, path, "r")?.unwrap_or(d.r),
         minirounds: opt_usize(v, path, "minirounds")?.unwrap_or(d.minirounds),
+        partitions: opt_usize(v, path, "partitions")?.unwrap_or(d.partitions),
         seed: d.seed,
     })
 }

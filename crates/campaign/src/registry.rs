@@ -233,6 +233,29 @@ pub fn registry() -> Vec<ScenarioSpec> {
         .with_observers(vec![ObserverKind::CaptureStats, ObserverKind::Throughput]),
     );
 
+    // ---- Large-N scaling: the partition-parallel decide on a network
+    // an order of magnitude past the rest of the catalog. r = 1 and a
+    // short horizon keep the (2r+1)-ball tables and the round count
+    // affordable; CommTotals surfaces the table→BFS fallback counter so
+    // a capped flood engine cannot degrade silently.
+    out.push(
+        ScenarioSpec::new(
+            "large-n",
+            "CS-UCB at N=2000 with the partition-parallel (4-tile) decide",
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                n: 2000,
+                m: 2,
+                r: 1,
+                horizon: 40,
+                update_period: 10,
+                partitions: 4,
+                ..PolicyRunConfig::default()
+            }),
+            SeedRange::new(0, 3),
+        )
+        .with_observers(vec![ObserverKind::CommTotals, ObserverKind::DecideTiming]),
+    );
+
     // ---- Sensing-cost sweep: the limited-sensing budget accounting on
     // the paper's stochastic workload.
     out.push(

@@ -261,6 +261,7 @@ fn push_policy_run_fields(pairs: &mut Vec<(&str, Json)>, cfg: &PolicyRunConfig) 
     pairs.push(("update_period", Json::Num(cfg.update_period as f64)));
     pairs.push(("r", Json::Num(cfg.r as f64)));
     pairs.push(("minirounds", Json::Num(cfg.minirounds as f64)));
+    pairs.push(("partitions", Json::Num(cfg.partitions as f64)));
 }
 
 /// Full policy serialization — name *and* parameters, so the spec hash

@@ -80,11 +80,32 @@
 //! `(2r+1)`-ball tables precomputed at construction (the same tables the
 //! views are built from), so it needs no flood-engine ball table and is
 //! unaffected by the engine's large-N table entry cap.
+//!
+//! # The partition-parallel decide phase
+//!
+//! At `n = 10⁴–5×10⁴` the incremental path is still one serial loop over
+//! memory-bound sweeps. Setting [`DistributedPtasConfig::partitions`]` > 1`
+//! splits the lossless decide into core+halo tiles
+//! ([`mhca_graph::Partition`]) and runs the per-vertex phases tile-local —
+//! the election probe, the per-leader MWIS, the blocked-count seeding and
+//! the dirty decrement expansion — merging per-tile results at phase
+//! boundaries. Tiling is an **execution strategy, not a semantics knob**:
+//! every phase is engineered so the merged result is *byte-identical* to
+//! the serial incremental path (and hence to the rescan oracle), pinned by
+//! `tests/partition_parity.rs`. The key devices are (a) reading a
+//! snapshot of the packed election state while writing only the tile's own
+//! stripe (legal because ranks are immutable intra-sweep and blocked
+//! counts can never reach the `DETERMINED` sentinel, so verdicts are
+//! insensitive to write timing), and (b) precomputing the ranks of changed
+//! vertices serially so the decrement sweep touches only its own stripe.
+//! Status application, flood accounting, and the Fig. 6 summation stay
+//! serial — they are `O(determinations)` per round, not `O(n · ball)`.
 
-use mhca_graph::ExtendedConflictGraph;
+use mhca_graph::{ExtendedConflictGraph, Partition};
 use mhca_mwis::{exact, greedy};
 use mhca_sim::{Counters, Flood, FloodEngine, LossSpec, Received};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Per-vertex protocol status.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -147,6 +168,18 @@ pub struct DistributedPtasConfig {
     /// lossless (diagnostics / differential testing; the incremental
     /// dirty-ball path is bit-identical, just faster).
     pub force_rescan: bool,
+    /// Number of core+halo tiles the lossless decide phase is split into
+    /// (`<= 1` = the serial incremental path; the lossy / forced-rescan
+    /// reference path ignores this knob). Tiling is an execution strategy,
+    /// not a semantic knob: the [`DecisionOutcome`] is byte-identical for
+    /// every value — pinned by `tests/partition_parity.rs`.
+    pub partitions: usize,
+    /// Worker threading of the tiled phases: `1` runs the tile loop inline
+    /// on the calling thread (deterministic single-thread execution — the
+    /// allocation-free configuration pinned by `tests/alloc_free.rs`); any
+    /// other value (`0` is the conventional spelling) spawns one scoped OS
+    /// thread per tile. Ignored when `partitions <= 1`.
+    pub threads: usize,
 }
 
 impl Default for DistributedPtasConfig {
@@ -158,6 +191,8 @@ impl Default for DistributedPtasConfig {
             loss_prob: 0.0,
             loss_seed: 0,
             force_rescan: false,
+            partitions: 1,
+            threads: 0,
         }
     }
 }
@@ -211,6 +246,20 @@ impl DistributedPtasConfig {
         self.force_rescan = force;
         self
     }
+
+    /// Builder-style tile-count override for the partition-parallel
+    /// decide (`<= 1` = serial).
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Builder-style threading override for the tiled phases (`1` =
+    /// inline serial tile loop, anything else = one worker per tile).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// Result of one distributed strategy decision (one round's `t_s` part).
@@ -236,6 +285,12 @@ pub struct DecisionOutcome {
     /// Number of adjacent Winner pairs in the output (0 unless message
     /// loss corrupted the run) — instrumentation, not protocol state.
     pub conflicts: usize,
+    /// Floods the engine served through the per-flood BFS fallback
+    /// because the ball-table entry cap refused the radius
+    /// ([`FloodEngine::fallback_floods`]). Nonzero on a lossless run
+    /// means the decision silently paid BFS costs where `O(1)` table
+    /// scans were expected — the large-N honesty signal.
+    pub fallback_floods: u64,
     /// Communication counters for the decision.
     pub counters: Counters,
 }
@@ -273,6 +328,34 @@ pub struct DecideScanStats {
     /// Blocked-count decrements applied while expanding status changes
     /// into their dirty balls (always 0 on the full-rescan path).
     pub dirty_decrements: u64,
+}
+
+/// Wall-clock nanoseconds per decide phase of the last decision, filled
+/// only when [`DistributedPtas::set_profile_phases`] is on (the stamps
+/// cost two `Instant` reads per phase per mini-round, which is noise at
+/// large `n` but measurable in small-`n` hot loops, so they are gated).
+/// The incremental and tiled paths fill it; the rescan reference leaves
+/// it zeroed. This is what `decide_profile --pr6` reports per grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DecidePhaseNs {
+    /// Leader election: the mini-round 0 ball probe plus the pending-list
+    /// drain of later mini-rounds.
+    pub election_ns: u64,
+    /// Flood accounting: declaration and determination `broadcast_only`
+    /// calls plus serial status application.
+    pub broadcast_ns: u64,
+    /// Per-leader local MWIS solves and determination-list fills.
+    pub mwis_ns: u64,
+    /// Dirty expansion: the blocked-count seeding sweep (mini-round 0)
+    /// and the per-change decrement sweeps, plus the Fig. 6 summation.
+    pub sweep_ns: u64,
+}
+
+impl DecidePhaseNs {
+    /// Total across the four phases.
+    pub fn total_ns(&self) -> u64 {
+        self.election_ns + self.broadcast_ns + self.mwis_ns + self.sweep_ns
+    }
 }
 
 /// Protocol messages carried by the control-channel floods.
@@ -335,6 +418,10 @@ pub struct DistributedPtas<'h> {
     /// advances across decisions — runs are reproducible per
     /// `(loss_seed, decision sequence)`, not per individual decision.
     engine: FloodEngine<'h>,
+    /// Per-vertex `(2r+1)`-ball views for the rescan reference path —
+    /// built lazily on first rescan use (the incremental and tiled paths
+    /// read the flat ball CSR instead, and at large `n` the `usize`
+    /// views would double the decider's footprint for nothing).
     views: Vec<LocalView>,
     balls_r: Vec<Vec<usize>>,
     /// Flat `u32` CSR copy of the `(2r+1)`-balls (`ball_offsets[v] ..
@@ -359,6 +446,75 @@ pub struct DistributedPtas<'h> {
     solver: SolverScratch,
     cache: LocalMaxCache,
     scan_stats: DecideScanStats,
+    // ---- partition-parallel state ----
+    /// Core+halo tiling of the vertex range, present iff
+    /// `config.partitions > 1`.
+    partition: Option<Partition>,
+    /// One scratch set per tile worker (leaders, pending, solver, …).
+    tile_scratch: Vec<TileScratch>,
+    /// Read-only copy of the packed election state for the seeding
+    /// sweep (workers read the snapshot, write their own stripe).
+    state_snap: Vec<u64>,
+    /// Priority ranks of the mini-round's changed vertices, precomputed
+    /// serially so decrement workers never read another stripe.
+    changed_ranks: Vec<u32>,
+    profile_phases: bool,
+    phase_ns: DecidePhaseNs,
+}
+
+/// Per-tile worker scratch of the partition-parallel decide: everything a
+/// tile-local phase writes besides its own stripe of the packed election
+/// state, merged serially at phase boundaries.
+#[derive(Debug, Default)]
+struct TileScratch {
+    /// Leaders found by this tile's mini-round 0 probe (core order, i.e.
+    /// ascending — tile-order concatenation reproduces the serial scan).
+    leaders: Vec<usize>,
+    /// Zero-blocked vertices this tile's sweeps produced.
+    pending: Vec<usize>,
+    cand: Vec<usize>,
+    selectable: Vec<usize>,
+    solver: SolverScratch,
+    scanned: u64,
+    decrements: u64,
+}
+
+/// Runs one unit of tile work per iterator item: inline on the calling
+/// thread when `parallel` is false, else one scoped OS thread per item
+/// (tiles are the unit of work, so the partition count is the
+/// parallelism knob).
+fn run_tiles<I, F>(parallel: bool, work: I, f: F)
+where
+    I: Iterator,
+    I::Item: Send,
+    F: Fn(I::Item) + Sync,
+{
+    if parallel {
+        std::thread::scope(|s| {
+            for item in work {
+                let f = &f;
+                s.spawn(move || f(item));
+            }
+        });
+    } else {
+        for item in work {
+            f(item);
+        }
+    }
+}
+
+/// Splits `data` into the stripes delimited by `cuts` (the
+/// [`Partition::cuts`] vector), yielding one disjoint `&mut` chunk per
+/// tile without allocating.
+fn split_by_cuts<'a, T>(
+    mut data: &'a mut [T],
+    cuts: &'a [usize],
+) -> impl Iterator<Item = &'a mut [T]> + 'a {
+    cuts.windows(2).map(move |w| {
+        let (chunk, rest) = std::mem::take(&mut data).split_at_mut(w[1] - w[0]);
+        data = rest;
+        chunk
+    })
 }
 
 /// Reusable state of the incremental dirty-ball leader election (see the
@@ -436,19 +592,12 @@ impl<'h> DistributedPtas<'h> {
         let n = h.n_vertices();
         assert!(u32::try_from(n).is_ok(), "graph too large for the decider");
         let g = h.graph();
-        let views: Vec<LocalView> = (0..n)
-            .map(|v| {
-                let ball = g.r_hop_neighborhood(v, 2 * config.r + 1);
-                let status = vec![Status::Candidate; ball.len()];
-                LocalView { ball, status }
-            })
-            .collect();
         let mut ball_offsets = Vec::with_capacity(n + 1);
         ball_offsets.push(0);
-        let total: usize = views.iter().map(|view| view.ball.len()).sum();
-        let mut ball_entries = Vec::with_capacity(total);
-        for view in &views {
-            ball_entries.extend(view.ball.iter().map(|&u| u as u32));
+        let mut ball_entries = Vec::new();
+        for v in 0..n {
+            let ball = g.r_hop_neighborhood(v, 2 * config.r + 1);
+            ball_entries.extend(ball.iter().map(|&u| u as u32));
             ball_offsets.push(ball_entries.len());
         }
         let balls_r = (0..n).map(|v| g.r_hop_neighborhood(v, config.r)).collect();
@@ -460,11 +609,13 @@ impl<'h> DistributedPtas<'h> {
         };
         engine.prewarm(2 * config.r + 1);
         engine.prewarm(3 * config.r + 1);
+        let partition = (config.partitions > 1)
+            .then(|| Partition::stripes(g, config.partitions, 2 * config.r + 1));
         DistributedPtas {
             h,
             config,
             engine,
-            views,
+            views: Vec::new(),
             balls_r,
             ball_offsets,
             ball_entries,
@@ -480,6 +631,12 @@ impl<'h> DistributedPtas<'h> {
             solver: SolverScratch::default(),
             cache: LocalMaxCache::default(),
             scan_stats: DecideScanStats::default(),
+            partition,
+            tile_scratch: Vec::new(),
+            state_snap: Vec::new(),
+            changed_ranks: Vec::new(),
+            profile_phases: false,
+            phase_ns: DecidePhaseNs::default(),
         }
     }
 
@@ -527,16 +684,46 @@ impl<'h> DistributedPtas<'h> {
         self.scan_stats
     }
 
+    /// The core+halo tiling the tiled decide runs over (`None` when
+    /// `config.partitions <= 1`) — exposed so callers can report the
+    /// boundary-handoff honesty metrics ([`Partition::halo_entries`]).
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref()
+    }
+
+    /// Overrides the flood engine's ball-table entry cap
+    /// ([`FloodEngine::set_table_entry_cap`]) — the large-N bench raises
+    /// it so lossless floods stay `O(1)` table scans instead of silently
+    /// falling back to BFS (watch [`DecisionOutcome::fallback_floods`]).
+    pub fn set_table_entry_cap(&mut self, cap: usize) {
+        self.engine.set_table_entry_cap(cap);
+    }
+
+    /// Enables per-phase wall-clock stamps on the incremental and tiled
+    /// decide paths, readable via [`DistributedPtas::phase_ns`]. Off by
+    /// default — the stamps are noise at large `n` but measurable in
+    /// small-`n` hot loops.
+    pub fn set_profile_phases(&mut self, on: bool) {
+        self.profile_phases = on;
+    }
+
+    /// Per-phase wall-clock split of the last decision (zeroed unless
+    /// profiling is on and the decision took an incremental path).
+    pub fn phase_ns(&self) -> DecidePhaseNs {
+        self.phase_ns
+    }
+
     /// As [`DistributedPtas::decide`], writing into a caller-owned outcome
     /// whose vectors are cleared and refilled in place — together with the
     /// internal scratch pools this makes steady-state decisions
     /// allocation-free.
     ///
     /// Dispatches to the incremental dirty-ball election (module docs) on
-    /// the lossless path; under message loss — where local views can
-    /// diverge from global state — or when
-    /// [`DistributedPtasConfig::force_rescan`] is set, it runs the
-    /// bit-exact full-rescan reference path
+    /// the lossless path — partition-parallel when
+    /// [`DistributedPtasConfig::partitions`]` > 1`, byte-identically;
+    /// under message loss — where local views can diverge from global
+    /// state — or when [`DistributedPtasConfig::force_rescan`] is set, it
+    /// runs the bit-exact full-rescan reference path
     /// ([`DistributedPtas::decide_into_rescan`]).
     ///
     /// # Panics
@@ -546,6 +733,8 @@ impl<'h> DistributedPtas<'h> {
         self.check_weights(weights);
         if self.config.loss_prob > 0.0 || self.config.force_rescan {
             self.rescan_impl(weights, out);
+        } else if self.partition.is_some() {
+            self.tiled_impl(weights, out);
         } else {
             self.incremental_impl(weights, out);
         }
@@ -580,6 +769,7 @@ impl<'h> DistributedPtas<'h> {
     /// counters-only delivery, so no inbox is ever materialized.
     fn incremental_impl(&mut self, weights: &[f64], out: &mut DecisionOutcome) {
         debug_assert_eq!(self.config.loss_prob, 0.0);
+        let profiling = self.profile_phases;
         let Self {
             h,
             config,
@@ -598,6 +788,7 @@ impl<'h> DistributedPtas<'h> {
             solver,
             cache,
             scan_stats,
+            phase_ns,
             ..
         } = self;
         let ball = |v: usize| &ball_entries[ball_offsets[v]..ball_offsets[v + 1]];
@@ -606,6 +797,15 @@ impl<'h> DistributedPtas<'h> {
         let r = config.r;
         engine.reset_counters();
         *scan_stats = DecideScanStats::default();
+        let mut phases = DecidePhaseNs::default();
+        let mut stamp = profiling.then(Instant::now);
+        let mut lap = |slot: &mut u64| {
+            if let Some(s) = stamp.as_mut() {
+                let now = Instant::now();
+                *slot += now.duration_since(*s).as_nanos() as u64;
+                *s = now;
+            }
+        };
 
         own.clear();
         own.resize(n, Status::Candidate);
@@ -656,6 +856,7 @@ impl<'h> DistributedPtas<'h> {
                 // order; match it so `leaders_flat` is bit-identical.
                 leaders.sort_unstable();
             }
+            lap(&mut phases.election_ns);
             if leaders.is_empty() {
                 out.all_marked = remaining == 0;
                 break;
@@ -672,6 +873,7 @@ impl<'h> DistributedPtas<'h> {
                 payload: Msg::LeaderDeclare,
             }));
             engine.broadcast_only(declare_floods);
+            lap(&mut phases.broadcast_ns);
 
             // ---- 3. Local MWIS per leader, reading global status (equal
             // to the leader's view under lossless delivery).
@@ -707,6 +909,7 @@ impl<'h> DistributedPtas<'h> {
                     payload: Msg::Determination(slot as u32),
                 });
             }
+            lap(&mut phases.mwis_ns);
 
             // ---- 4. Determination floods, accounting only: lossless
             // delivery is total within the TTL, so applying each leader's
@@ -729,6 +932,7 @@ impl<'h> DistributedPtas<'h> {
                     cache.changed.push(u);
                 }
             }
+            lap(&mut phases.broadcast_ns);
 
             // ---- 5. Bookkeeping (same summation order as the reference
             // path, so the Fig. 6 series is bit-identical).
@@ -739,6 +943,7 @@ impl<'h> DistributedPtas<'h> {
             out.per_miniround_weight.push(cum);
             if remaining == 0 {
                 out.all_marked = true;
+                lap(&mut phases.sweep_ns);
                 break;
             }
 
@@ -746,6 +951,7 @@ impl<'h> DistributedPtas<'h> {
             // election (skipped on the budget's last round — nothing
             // would read it).
             if tau + 1 == cap {
+                lap(&mut phases.sweep_ns);
                 continue;
             }
             if tau == 0 {
@@ -801,7 +1007,341 @@ impl<'h> DistributedPtas<'h> {
                 }
                 scan_stats.dirty_decrements += decrements;
             }
+            lap(&mut phases.sweep_ns);
         }
+        *phase_ns = phases;
+
+        Self::finish_outcome(graph, own, engine, out);
+    }
+
+    /// The partition-parallel decide phase: the incremental dirty-ball
+    /// algorithm with its per-vertex phases run tile-local over
+    /// [`Partition`] stripes (see the module docs for the byte-identity
+    /// argument). Serial glue — status application, flood accounting, the
+    /// Fig. 6 summation — is `O(determinations)` per mini-round.
+    fn tiled_impl(&mut self, weights: &[f64], out: &mut DecisionOutcome) {
+        debug_assert_eq!(self.config.loss_prob, 0.0);
+        let profiling = self.profile_phases;
+        let parallel = self.config.threads != 1;
+        let Self {
+            h,
+            config,
+            engine,
+            balls_r,
+            ball_offsets,
+            ball_entries,
+            node_groups,
+            own,
+            leaders,
+            declare_floods,
+            det_floods,
+            det_lists,
+            cache,
+            scan_stats,
+            partition,
+            tile_scratch,
+            state_snap,
+            changed_ranks,
+            phase_ns,
+            ..
+        } = self;
+        let part = partition
+            .as_ref()
+            .expect("tiled decide without a partition");
+        let cuts: &[usize] = part.cuts();
+        let tiles = part.tile_count();
+        if tile_scratch.len() < tiles {
+            tile_scratch.resize_with(tiles, TileScratch::default);
+        }
+        // Shared-read shadows of the pooled tables, so the Fn worker
+        // closures capture plain `&` references.
+        let balls_r: &[Vec<usize>] = balls_r;
+        let ball_offsets: &[usize] = ball_offsets;
+        let ball_entries: &[u32] = ball_entries;
+        let node_groups: &[usize] = node_groups;
+        let cfg: &DistributedPtasConfig = config;
+        let n = h.n_vertices();
+        let graph = h.graph();
+        let r = cfg.r;
+        engine.reset_counters();
+        *scan_stats = DecideScanStats::default();
+        let mut phases = DecidePhaseNs::default();
+        let mut stamp = profiling.then(Instant::now);
+        let mut lap = |slot: &mut u64| {
+            if let Some(s) = stamp.as_mut() {
+                let now = Instant::now();
+                *slot += now.duration_since(*s).as_nanos() as u64;
+                *s = now;
+            }
+        };
+
+        own.clear();
+        own.resize(n, Status::Candidate);
+        cache.begin(n, weights);
+        let mut remaining = n;
+        out.winners.clear();
+        out.per_miniround_weight.clear();
+        out.leaders_per_miniround.clear();
+        out.leaders_flat.clear();
+        out.all_marked = false;
+        let cap = cfg.max_minirounds.unwrap_or(n.max(1));
+
+        for tau in 0..cap {
+            // ---- 1. LocalLeader selection. Mini-round 0 probes each
+            // tile's core against the (read-only) rank table; per-tile
+            // leader lists concatenate in tile order, which *is* the
+            // serial ascending scan order. Later rounds drain the pending
+            // list serially (it holds a mini-round's leaders, not a
+            // vertex sweep) and sort — the serial path sorts too, which
+            // is what normalizes the tiles' differing push order.
+            leaders.clear();
+            if tau == 0 {
+                let state: &[u64] = &cache.state;
+                run_tiles(
+                    parallel,
+                    tile_scratch[..tiles].iter_mut().enumerate(),
+                    |(t, ts)| {
+                        ts.leaders.clear();
+                        ts.scanned = 0;
+                        for v in cuts[t]..cuts[t + 1] {
+                            ts.scanned += 1;
+                            let rv = state[v] as u32;
+                            let leads = ball_entries[ball_offsets[v]..ball_offsets[v + 1]]
+                                .iter()
+                                .all(|&u| (state[u as usize] as u32) >= rv);
+                            if leads {
+                                ts.leaders.push(v);
+                            }
+                        }
+                    },
+                );
+                for ts in tile_scratch[..tiles].iter_mut() {
+                    scan_stats.candidates_scanned += ts.scanned;
+                    leaders.extend_from_slice(&ts.leaders);
+                }
+            } else {
+                for idx in 0..cache.pending.len() {
+                    let v = cache.pending[idx];
+                    if own[v] == Status::Candidate {
+                        scan_stats.fast_skips += 1;
+                        leaders.push(v);
+                    }
+                }
+                cache.pending.clear();
+                leaders.sort_unstable();
+            }
+            lap(&mut phases.election_ns);
+            if leaders.is_empty() {
+                out.all_marked = remaining == 0;
+                break;
+            }
+            out.leaders_per_miniround.push(leaders.len());
+            out.leaders_flat.extend_from_slice(leaders);
+
+            // ---- 2. Leader declaration floods (accounting only).
+            declare_floods.clear();
+            declare_floods.extend(leaders.iter().map(|&v| Flood {
+                origin: v,
+                ttl: 2 * r + 1,
+                payload: Msg::LeaderDeclare,
+            }));
+            engine.broadcast_only(declare_floods);
+            lap(&mut phases.broadcast_ns);
+
+            // ---- 3. Local MWIS, leader slots chunked over the workers.
+            // Each slot's solve is a pure function of the (read-only)
+            // global statuses and weights, identical to the serial
+            // computation; `det_lists` is split so each worker owns its
+            // slots' lists outright.
+            if det_lists.len() < leaders.len() {
+                det_lists.resize_with(leaders.len(), Vec::new);
+            }
+            let nl = leaders.len();
+            let chunk = nl.div_ceil(tiles).max(1);
+            {
+                let own_ref: &[Status] = own;
+                let leaders_ref: &[usize] = leaders;
+                run_tiles(
+                    parallel,
+                    det_lists[..nl]
+                        .chunks_mut(chunk)
+                        .zip(tile_scratch.iter_mut())
+                        .enumerate(),
+                    |(ci, (lists, ts))| {
+                        let base = ci * chunk;
+                        for (off, list) in lists.iter_mut().enumerate() {
+                            let leader = leaders_ref[base + off];
+                            ts.cand.clear();
+                            ts.cand.extend(
+                                balls_r[leader]
+                                    .iter()
+                                    .copied()
+                                    .filter(|&u| own_ref[u] == Status::Candidate),
+                            );
+                            ts.selectable.clear();
+                            ts.selectable.extend(ts.cand.iter().copied().filter(|&u| {
+                                graph
+                                    .neighbors(u)
+                                    .iter()
+                                    .all(|&x| own_ref[x] != Status::Winner)
+                            }));
+                            Self::solve_local(
+                                graph,
+                                cfg,
+                                node_groups,
+                                &mut ts.solver,
+                                weights,
+                                &ts.selectable,
+                            );
+                            list.clear();
+                            list.extend(
+                                ts.cand
+                                    .iter()
+                                    .map(|&u| (u, ts.solver.local_mwis.binary_search(&u).is_ok())),
+                            );
+                        }
+                    },
+                );
+            }
+            det_floods.clear();
+            det_floods.extend(leaders.iter().enumerate().map(|(slot, &leader)| Flood {
+                origin: leader,
+                ttl: 3 * r + 1,
+                payload: Msg::Determination(slot as u32),
+            }));
+            lap(&mut phases.mwis_ns);
+
+            // ---- 4. Determination floods and serial status application
+            // (same-mini-round lists are disjoint; see the serial path).
+            engine.broadcast_only(det_floods);
+            cache.changed.clear();
+            for list in det_lists.iter().take(leaders.len()) {
+                for &(u, is_winner) in list {
+                    debug_assert_eq!(own[u], Status::Candidate);
+                    own[u] = if is_winner {
+                        Status::Winner
+                    } else {
+                        Status::Loser
+                    };
+                    cache.state[u] |= DETERMINED;
+                    remaining -= 1;
+                    cache.changed.push(u);
+                }
+            }
+            lap(&mut phases.broadcast_ns);
+
+            // ---- 5. Bookkeeping (serial, same order as the reference).
+            let cum: f64 = (0..n)
+                .filter(|&v| own[v] == Status::Winner)
+                .map(|v| weights[v])
+                .sum();
+            out.per_miniround_weight.push(cum);
+            if remaining == 0 {
+                out.all_marked = true;
+                lap(&mut phases.sweep_ns);
+                break;
+            }
+            if tau + 1 == cap {
+                lap(&mut phases.sweep_ns);
+                continue;
+            }
+
+            // ---- 6. Dirty expansion, tile-parallel over state stripes.
+            if tau == 0 {
+                // Seeding sweep: workers read a pre-sweep snapshot and
+                // write only their stripe. The snapshot is equivalent to
+                // the serial in-place sweep because the probe only reads
+                // immutable low-half ranks and the `< DETERMINED` test,
+                // which no in-sweep write can flip (blocked counts are
+                // `< n ≤ u32::MAX`). Per-tile pending lists concatenate
+                // in tile order = ascending = the serial push order.
+                state_snap.clone_from(&cache.state);
+                let snap: &[u64] = state_snap;
+                let own_ref: &[Status] = own;
+                run_tiles(
+                    parallel,
+                    split_by_cuts(&mut cache.state, cuts)
+                        .zip(tile_scratch.iter_mut())
+                        .enumerate(),
+                    |(t, (stripe, ts))| {
+                        ts.pending.clear();
+                        ts.scanned = 0;
+                        let base = cuts[t];
+                        for (i, slot) in stripe.iter_mut().enumerate() {
+                            let v = base + i;
+                            if own_ref[v] != Status::Candidate {
+                                continue;
+                            }
+                            ts.scanned += 1;
+                            let rv = snap[v] as u32;
+                            let mut blocked = 0u64;
+                            for &u in &ball_entries[ball_offsets[v]..ball_offsets[v + 1]] {
+                                let s = snap[u as usize];
+                                blocked += u64::from((s as u32) < rv) & u64::from(s < DETERMINED);
+                            }
+                            *slot |= blocked << 32;
+                            if blocked == 0 {
+                                ts.pending.push(v);
+                            }
+                        }
+                    },
+                );
+                for ts in tile_scratch[..tiles].iter_mut() {
+                    scan_stats.candidates_scanned += ts.scanned;
+                    cache.pending.extend_from_slice(&ts.pending);
+                }
+            } else {
+                // Decrement sweep, parallel by *target* stripe: every
+                // worker walks all changed vertices but touches only the
+                // sub-range of each ball that lands in its stripe (the
+                // balls are sorted, so the sub-range is two binary
+                // searches). Changed ranks are precomputed serially so no
+                // worker reads another stripe. The per-vertex decrement
+                // sequences — and hence the hit-zero moments — are
+                // exactly the serial ones; only the pending *order*
+                // differs across tiles, which the next election's sort
+                // normalizes.
+                changed_ranks.clear();
+                changed_ranks.extend(cache.changed.iter().map(|&u| cache.state[u] as u32));
+                let changed: &[usize] = &cache.changed;
+                let ranks: &[u32] = changed_ranks;
+                run_tiles(
+                    parallel,
+                    split_by_cuts(&mut cache.state, cuts)
+                        .zip(tile_scratch.iter_mut())
+                        .enumerate(),
+                    |(t, (stripe, ts))| {
+                        ts.pending.clear();
+                        ts.decrements = 0;
+                        let lo = cuts[t] as u32;
+                        let hi = cuts[t + 1] as u32;
+                        for (i, &u) in changed.iter().enumerate() {
+                            let ru = ranks[i];
+                            let ball = &ball_entries[ball_offsets[u]..ball_offsets[u + 1]];
+                            let a = ball.partition_point(|&x| x < lo);
+                            let b = ball.partition_point(|&x| x < hi);
+                            for &x in &ball[a..b] {
+                                let xi = (x - lo) as usize;
+                                let s = stripe[xi];
+                                let dec = u64::from((s as u32) > ru) & u64::from(s < DETERMINED);
+                                ts.decrements += dec;
+                                let s = s - (dec << 32);
+                                stripe[xi] = s;
+                                if dec != 0 && s >> 32 == 0 {
+                                    ts.pending.push(x as usize);
+                                }
+                            }
+                        }
+                    },
+                );
+                for ts in tile_scratch[..tiles].iter_mut() {
+                    scan_stats.dirty_decrements += ts.decrements;
+                    cache.pending.extend_from_slice(&ts.pending);
+                }
+            }
+            lap(&mut phases.sweep_ns);
+        }
+        *phase_ns = phases;
 
         Self::finish_outcome(graph, own, engine, out);
     }
@@ -815,18 +1355,22 @@ impl<'h> DistributedPtas<'h> {
     ) {
         out.winners
             .extend((0..own.len()).filter(|&v| own[v] == Status::Winner));
+        // Adjacent Winner pairs, each counted once via its lower endpoint.
+        // Adjacency-list sweep, not all-pairs `has_edge`: at n = 5×10^4
+        // the quadratic audit costs more than the decision it audits.
         out.conflicts = out
             .winners
             .iter()
-            .enumerate()
-            .map(|(i, &u)| {
-                out.winners[i + 1..]
+            .map(|&u| {
+                graph
+                    .neighbors(u)
                     .iter()
-                    .filter(|&&w| graph.has_edge(u, w))
+                    .filter(|&&w| w > u && own[w] == Status::Winner)
                     .count()
             })
             .sum();
         out.minirounds_used = out.leaders_per_miniround.len();
+        out.fallback_floods = engine.fallback_floods();
         out.counters.clone_from(engine.counters());
     }
 
@@ -836,7 +1380,24 @@ impl<'h> DistributedPtas<'h> {
         let r = self.config.r;
         self.engine.reset_counters();
         self.scan_stats = DecideScanStats::default();
+        self.phase_ns = DecidePhaseNs::default();
 
+        // The views are lazily materialized from the flat ball CSR on the
+        // reference path's first use (the incremental paths never touch
+        // them, and at large `n` they would double the footprint).
+        if self.views.len() != n {
+            self.views = (0..n)
+                .map(|v| {
+                    let ball: Vec<usize> = self.ball_entries
+                        [self.ball_offsets[v]..self.ball_offsets[v + 1]]
+                        .iter()
+                        .map(|&u| u as usize)
+                        .collect();
+                    let status = vec![Status::Candidate; ball.len()];
+                    LocalView { ball, status }
+                })
+                .collect();
+        }
         for view in &mut self.views {
             view.reset();
         }
@@ -1481,6 +2042,64 @@ mod tests {
             assert_eq!(seg.len(), out.leaders_per_miniround[tau]);
             assert!(seg.windows(2).all(|p| p[0] < p[1]), "segment not ascending");
         }
+    }
+
+    #[test]
+    fn tiled_decide_is_byte_identical_to_serial() {
+        // Smoke differential (the full grid lives in
+        // tests/partition_parity.rs): partitioned decides — serial tile
+        // loop and one-thread-per-tile alike — must equal the serial
+        // incremental outcome bit for bit, scan stats included.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(71);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(50, 4.5, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
+        let mut serial = DistributedPtas::new(&h, run_to_completion(2));
+        let expect = serial.decide(&w);
+        for threads in [0, 1] {
+            for tiles in [2, 3, 8] {
+                let cfg = run_to_completion(2)
+                    .with_partitions(tiles)
+                    .with_threads(threads);
+                let mut tiled = DistributedPtas::new(&h, cfg);
+                assert!(tiled.partition().is_some());
+                let got = tiled.decide(&w);
+                assert_eq!(got, expect, "tiles {tiles} threads {threads}");
+                assert_eq!(
+                    tiled.scan_stats(),
+                    serial.scan_stats(),
+                    "tiles {tiles} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_profiling_is_gated_and_sums_sanely() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(81);
+        let (g, _) = mhca_graph::unit_disk::random_with_average_degree(40, 4.0, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.1..1.0))
+            .collect();
+        let mut ptas = DistributedPtas::new(&h, run_to_completion(2));
+        ptas.decide(&w);
+        assert_eq!(ptas.phase_ns(), DecidePhaseNs::default(), "off by default");
+        ptas.set_profile_phases(true);
+        ptas.decide(&w);
+        let phases = ptas.phase_ns();
+        assert!(phases.total_ns() > 0, "profiling must record something");
+        // The tiled path records too, and profiling never perturbs the
+        // outcome.
+        let mut tiled =
+            DistributedPtas::new(&h, run_to_completion(2).with_partitions(4).with_threads(1));
+        tiled.set_profile_phases(true);
+        assert_eq!(tiled.decide(&w), ptas.decide(&w));
+        assert!(tiled.phase_ns().total_ns() > 0);
     }
 
     #[test]

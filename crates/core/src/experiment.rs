@@ -134,6 +134,11 @@ pub struct RoundRecord<'a> {
     /// performed ([`crate::DecideScanStats::candidates_scanned`]) — the
     /// work metric the incremental dirty-ball decide path shrinks.
     pub decide_scanned: u64,
+    /// Floods of this decision the flood engine silently served through
+    /// its BFS fallback because the ball-table entry cap refused the
+    /// radius ([`crate::DecisionOutcome::fallback_floods`]) — nonzero
+    /// means the run paid BFS costs where table scans were expected.
+    pub decide_fallback_floods: u64,
     /// Per-vertex relay broadcasts of this decision (indexed by vertex).
     pub per_vertex_tx: &'a [u64],
     /// Number of channels `M` — vertex `v` transmits on channel `v % M`.
@@ -424,6 +429,7 @@ pub struct CommTotalsObserver {
     delivered: u64,
     timeslots: u64,
     scanned: u64,
+    fallback_floods: u64,
     decisions: u64,
 }
 
@@ -433,6 +439,7 @@ impl RoundObserver for CommTotalsObserver {
         self.delivered += record.decide_delivered;
         self.timeslots += record.decide_timeslots;
         self.scanned += record.decide_scanned;
+        self.fallback_floods += record.decide_fallback_floods;
         self.decisions += 1;
     }
 
@@ -442,6 +449,7 @@ impl RoundObserver for CommTotalsObserver {
         t.push("decide_delivered", self.delivered as f64);
         t.push("decide_timeslots", self.timeslots as f64);
         t.push("decide_candidates_scanned", self.scanned as f64);
+        t.push("decide_fallback_floods", self.fallback_floods as f64);
         t.push("decisions", self.decisions as f64);
         t
     }
@@ -1285,7 +1293,8 @@ impl PolicyRunExperiment {
         let dcfg = DistributedPtasConfig::default()
             .with_r(cfg.r)
             .with_max_minirounds(Some(cfg.minirounds))
-            .with_loss_spec(cfg.loss);
+            .with_loss_spec(cfg.loss)
+            .with_partitions(cfg.partitions);
         let acfg = Algorithm2Config::default()
             .with_horizon(cfg.horizon)
             .with_update_period(cfg.update_period)
@@ -1545,6 +1554,7 @@ mod tests {
             decide_delivered: 0,
             decide_timeslots: 0,
             decide_scanned: 0,
+            decide_fallback_floods: 0,
             per_vertex_tx: &[],
             n_channels: 1,
             channel_attempts: &[0],

@@ -544,6 +544,10 @@ pub struct PolicyRunConfig {
     pub r: usize,
     /// Mini-round budget per decision.
     pub minirounds: usize,
+    /// Core+halo tiles of the lossless decide phase
+    /// ([`crate::DistributedPtasConfig::partitions`]; `<= 1` = serial,
+    /// byte-identical outcomes either way).
+    pub partitions: usize,
     /// Seed.
     pub seed: u64,
 }
@@ -561,6 +565,7 @@ impl Default for PolicyRunConfig {
             update_period: 1,
             r: 2,
             minirounds: 4,
+            partitions: 1,
             seed: 0,
         }
     }

@@ -52,7 +52,8 @@ pub mod sweep;
 pub mod time;
 
 pub use distributed::{
-    DecideScanStats, DecisionOutcome, DistributedPtas, DistributedPtasConfig, LocalSolver,
+    DecidePhaseNs, DecideScanStats, DecisionOutcome, DistributedPtas, DistributedPtasConfig,
+    LocalSolver,
 };
 pub use experiment::{
     run_experiment, Experiment, ExperimentCtx, ExperimentData, ExperimentOutput, MetricTable,

@@ -397,6 +397,7 @@ pub fn run_policy_observed(
                 decide_delivered: outcome.counters.delivered,
                 decide_timeslots: outcome.counters.timeslots,
                 decide_scanned: ptas.scan_stats().candidates_scanned,
+                decide_fallback_floods: outcome.fallback_floods,
                 per_vertex_tx: &outcome.counters.per_vertex_tx,
                 n_channels: m_channels,
                 channel_attempts: &chan_attempts,

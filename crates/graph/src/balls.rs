@@ -132,6 +132,148 @@ impl BallTable {
     }
 }
 
+/// Largest vertex id a [`CompactBallTable`] can encode (24 bits).
+pub const COMPACT_MAX_VERTEX: usize = (1 << 24) - 1;
+
+/// Largest hop distance a [`CompactBallTable`] can encode (8 bits).
+pub const COMPACT_MAX_DISTANCE: usize = u8::MAX as usize;
+
+/// A packed ball-member word: vertex in the high 24 bits, hop distance in
+/// the low 8. Decode with [`CompactBallTable::entry_vertex`] /
+/// [`CompactBallTable::entry_distance`].
+pub type CompactEntry = u32;
+
+/// [`BallTable`] in half the memory: each `(vertex, distance)` pair packs
+/// into one `u32` — vertex in the high 24 bits, distance in the low 8.
+///
+/// The flood engine's lossless fast path is a pure table scan, and at
+/// large N it is memory-bound: halving the entry width doubles how much
+/// of the graph fits under the engine's table-memory cap before floods
+/// degrade to per-flood BFS. Entries keep the same BFS
+/// (non-decreasing-distance) order as [`BallTable`], and because the
+/// distance lives in the low bits, the "members still holding TTL budget"
+/// prefix is still one `partition_point` over the raw words.
+///
+/// The packing limits tables to `2^24` vertices and hop distance 255;
+/// [`CompactBallTable::build_capped`] returns `None` beyond either limit,
+/// which callers treat exactly like a blown memory cap (BFS fallback).
+///
+/// # Example
+///
+/// ```
+/// use mhca_graph::{topology, CompactBallTable};
+///
+/// let g = topology::line(5); // 0 — 1 — 2 — 3 — 4
+/// let t = CompactBallTable::build_capped(&g, 2, usize::MAX).unwrap();
+/// let ball = t.ball_packed(0);
+/// assert_eq!(ball.len(), 2);
+/// assert_eq!(CompactBallTable::entry_vertex(ball[0]), 1);
+/// assert_eq!(CompactBallTable::entry_distance(ball[1]), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactBallTable {
+    radius: usize,
+    /// `offsets[v]..offsets[v + 1]` delimits `v`'s entries.
+    offsets: Vec<usize>,
+    /// Packed ball members in BFS (non-decreasing distance) order,
+    /// origins excluded.
+    entries: Vec<CompactEntry>,
+}
+
+impl CompactBallTable {
+    /// Vertex id of a packed entry.
+    #[inline]
+    pub fn entry_vertex(e: CompactEntry) -> usize {
+        (e >> 8) as usize
+    }
+
+    /// Hop distance of a packed entry.
+    #[inline]
+    pub fn entry_distance(e: CompactEntry) -> usize {
+        (e & 0xff) as usize
+    }
+
+    /// As [`BallTable::build_capped`], in the packed layout: `None` when
+    /// the build would exceed `max_entries` total entries, when the graph
+    /// has more than [`COMPACT_MAX_VERTEX`] + 1 vertices, or when the
+    /// effective radius exceeds [`COMPACT_MAX_DISTANCE`] — all three are
+    /// "this radius cannot be table-served" to the flood engine.
+    pub fn build_capped(graph: &Graph, radius: usize, max_entries: usize) -> Option<Self> {
+        let n = graph.n();
+        if n > COMPACT_MAX_VERTEX + 1 || radius.min(n) > COMPACT_MAX_DISTANCE {
+            return None;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut entries: Vec<CompactEntry> = Vec::new();
+        let mut stamp = vec![0u32; n];
+        let mut dist = vec![0u32; n];
+        let mut queue = std::collections::VecDeque::new();
+        for origin in 0..n {
+            let epoch = origin as u32 + 1;
+            stamp[origin] = epoch;
+            dist[origin] = 0;
+            queue.push_back(origin);
+            while let Some(u) = queue.pop_front() {
+                if dist[u] as usize == radius {
+                    continue;
+                }
+                for &w in graph.neighbors(u) {
+                    if stamp[w] != epoch {
+                        if entries.len() == max_entries {
+                            return None;
+                        }
+                        stamp[w] = epoch;
+                        dist[w] = dist[u] + 1;
+                        entries.push(((w as u32) << 8) | dist[w]);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            offsets.push(entries.len());
+        }
+        Some(CompactBallTable {
+            radius,
+            offsets,
+            entries,
+        })
+    }
+
+    /// The radius this table was built for.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Number of vertices covered.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `v`'s packed ball members (origin excluded) in BFS order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn ball_packed(&self, v: usize) -> &[CompactEntry] {
+        &self.entries[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Number of entries across all balls (each entry is 4 bytes — half a
+    /// [`BallTable`] entry).
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Length of the prefix of `v`'s ball whose members sit strictly
+    /// closer than `ttl` hops — the members that relay in a TTL-`ttl`
+    /// flood. One `partition_point` over the packed words (distances are
+    /// non-decreasing and live in the low bits).
+    pub fn relays_within(&self, v: usize, ttl: usize) -> usize {
+        self.ball_packed(v)
+            .partition_point(|&e| Self::entry_distance(e) < ttl)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +340,68 @@ mod tests {
         let t = BallTable::build(&g, 10);
         assert_eq!(t.ball(0), &[(1, 1)]);
         assert_eq!(t.ball(4), &[]);
+    }
+
+    #[test]
+    fn compact_table_decodes_to_the_wide_table() {
+        for (g, r) in [
+            (topology::grid(4, 5), 3),
+            (topology::line(9), 4),
+            (topology::complete(6), 2),
+        ] {
+            let wide = BallTable::build(&g, r);
+            let compact = CompactBallTable::build_capped(&g, r, usize::MAX).unwrap();
+            assert_eq!(compact.n(), wide.n());
+            assert_eq!(compact.radius(), wide.radius());
+            assert_eq!(compact.total_entries(), wide.total_entries());
+            for v in 0..g.n() {
+                let decoded: Vec<(u32, u32)> = compact
+                    .ball_packed(v)
+                    .iter()
+                    .map(|&e| {
+                        (
+                            CompactBallTable::entry_vertex(e) as u32,
+                            CompactBallTable::entry_distance(e) as u32,
+                        )
+                    })
+                    .collect();
+                assert_eq!(decoded.as_slice(), wide.ball(v), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_relays_within_matches_wide_partition_point() {
+        let g = topology::grid(3, 6);
+        let r = 4;
+        let wide = BallTable::build(&g, r);
+        let compact = CompactBallTable::build_capped(&g, r, usize::MAX).unwrap();
+        for v in 0..g.n() {
+            for ttl in 0..=r + 1 {
+                let expect = wide.ball(v).partition_point(|&(_, d)| (d as usize) < ttl);
+                assert_eq!(compact.relays_within(v, ttl), expect, "v={v} ttl={ttl}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_capped_build_bails_out_like_the_wide_one() {
+        let g = topology::grid(4, 5);
+        let full = CompactBallTable::build_capped(&g, 3, usize::MAX).unwrap();
+        let fits = CompactBallTable::build_capped(&g, 3, full.total_entries()).unwrap();
+        assert_eq!(fits, full);
+        assert!(CompactBallTable::build_capped(&g, 3, full.total_entries() - 1).is_none());
+        assert!(CompactBallTable::build_capped(&g, 3, 0).is_none());
+    }
+
+    #[test]
+    fn compact_build_refuses_oversized_radius() {
+        // Effective radius is min(radius, n): a huge nominal radius on a
+        // small graph still encodes, a genuinely deep graph would not.
+        let g = topology::line(5);
+        assert!(CompactBallTable::build_capped(&g, usize::MAX, usize::MAX).is_some());
+        let deep = topology::line(300);
+        assert!(CompactBallTable::build_capped(&deep, 299, usize::MAX).is_none());
+        assert!(CompactBallTable::build_capped(&deep, 200, usize::MAX).is_some());
     }
 }

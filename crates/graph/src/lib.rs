@@ -44,17 +44,19 @@ pub mod extended;
 pub mod geometry;
 pub mod graph;
 pub mod metrics;
+pub mod partition;
 pub mod strategy;
 pub mod topology;
 pub mod unit_disk;
 
 mod ids;
 
-pub use balls::BallTable;
+pub use balls::{BallTable, CompactBallTable};
 pub use extended::ExtendedConflictGraph;
 pub use geometry::Point;
 pub use graph::{Graph, GraphBuilder};
 pub use ids::{ChannelId, NodeId, VertexId};
+pub use partition::Partition;
 pub use strategy::Strategy;
 pub use topology::TopologySpec;
 pub use unit_disk::Layout;

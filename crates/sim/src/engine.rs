@@ -2,23 +2,23 @@
 //!
 //! The engine is **long-lived and allocation-free in steady state**: it is
 //! built once per graph, keeps epoch-stamped BFS scratch for the lossy
-//! path, and precomputes [`BallTable`] r-hop neighborhood tables for the
-//! lossless path (the conflict graph is static across a whole horizon, so
+//! path, and precomputes packed [`CompactBallTable`] r-hop neighborhood
+//! tables for the lossless path (the conflict graph is static across a whole horizon, so
 //! a TTL-bounded lossless flood is a table scan, not a BFS). Callers on
 //! the hot path use [`FloodEngine::deliver_into`] with reusable inboxes;
 //! [`FloodEngine::deliver`] remains as an allocating convenience.
 
 use crate::counters::Counters;
-use mhca_graph::{BallTable, Graph};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use crate::loss::SkipSampler;
+use mhca_graph::{CompactBallTable, Graph};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Declarative loss-model knob for spec-driven experiment construction:
 /// `prob = 0` is lossless delivery, `prob > 0` drops each relay broadcast
-/// independently with that probability, drawn from a stream seeded by
-/// `seed`.
+/// independently with that probability, drawn from a counter-based
+/// per-flood stream keyed by `seed` ([`SkipSampler`]).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct LossSpec {
     /// Per-relay drop probability in `[0, 1)`.
@@ -45,11 +45,14 @@ impl LossSpec {
 }
 
 /// Default cap on the **total** entries cached across an engine's ball
-/// tables (each entry is 8 bytes — the default bounds table memory at
-/// 32 MiB per engine). Small and mid-size networks never come close;
-/// dense large-N graphs hit the cap and transparently fall back to
-/// per-flood BFS on the epoch-stamped scratch.
-pub const DEFAULT_TABLE_ENTRY_CAP: usize = 1 << 22;
+/// tables. Tables use the packed [`CompactBallTable`] layout (4 bytes per
+/// entry), so the default bounds table memory at the same 32 MiB per
+/// engine as before the compact layout — at twice the entries, pushing
+/// the BFS-fallback wall out to networks twice as large. Small and
+/// mid-size networks never come close; dense large-N graphs hit the cap
+/// and transparently fall back to per-flood BFS on the epoch-stamped
+/// scratch (counted by [`FloodEngine::fallback_floods`]).
+pub const DEFAULT_TABLE_ENTRY_CAP: usize = 1 << 23;
 
 /// Cache slot for one radius' ball table.
 #[derive(Debug, Default, Clone)]
@@ -58,10 +61,11 @@ enum TableSlot {
     #[default]
     Unbuilt,
     /// Built and cached.
-    Built(Arc<BallTable>),
-    /// Attempted, but the entry cap was exceeded — floods at this radius
-    /// permanently use the BFS fallback (the graph is static, so retrying
-    /// would fail identically).
+    Built(Arc<CompactBallTable>),
+    /// Attempted, but the entry cap was exceeded (or the graph is beyond
+    /// the packed layout's 24-bit vertex / 8-bit distance limits) —
+    /// floods at this radius permanently use the BFS fallback (the graph
+    /// is static, so retrying would fail identically).
     Capped,
 }
 
@@ -91,8 +95,10 @@ pub struct Received<P> {
 /// Synchronous flood-delivery engine over a fixed graph.
 ///
 /// Delivery is deterministic unless a loss model is installed with
-/// [`FloodEngine::with_loss`]; loss draws come from a seeded RNG so even
-/// failure-injection runs are reproducible.
+/// [`FloodEngine::with_loss`]; loss draws come from a seeded counter-based
+/// per-flood stream ([`SkipSampler`]) so even failure-injection runs are
+/// reproducible — and each flood's realization is independent of every
+/// other flood's relay count.
 ///
 /// # Reuse
 ///
@@ -106,7 +112,15 @@ pub struct FloodEngine<'g> {
     graph: &'g Graph,
     counters: Counters,
     loss_prob: f64,
-    rng: StdRng,
+    /// Per-flood geometric skip-sampler for the lossy path: each flood's
+    /// drop realization is a pure function of `(seed, flood index)`, so
+    /// floods sample independently of one another and per-relay queries
+    /// match batch materialization byte for byte.
+    loss: SkipSampler,
+    /// Floods served by the BFS fallback because their radius' ball table
+    /// was over the entry cap (never incremented by deliberate lossy BFS)
+    /// — the diagnostic that makes large-N slowdowns attributable.
+    fallback_floods: u64,
     /// Lossless fast path: `tables[r]` holds the radius-`r` ball table.
     /// Indexed by *effective* TTL (clamped to `n`, where every ball has
     /// saturated), so the vector stays small for any caller TTL. Shared
@@ -166,7 +180,8 @@ impl<'g> FloodEngine<'g> {
             graph,
             counters: Counters::new(n),
             loss_prob,
-            rng: StdRng::seed_from_u64(seed),
+            loss: SkipSampler::new(loss_prob, seed),
+            fallback_floods: 0,
             tables: Vec::new(),
             table_entry_cap: DEFAULT_TABLE_ENTRY_CAP,
             stamp: vec![0; n],
@@ -185,7 +200,7 @@ impl<'g> FloodEngine<'g> {
     }
 
     /// Total entries currently cached across all ball tables (each entry
-    /// is 8 bytes) — the memory diagnostic the cap bounds.
+    /// is 4 packed bytes) — the memory diagnostic the cap bounds.
     pub fn cached_table_entries(&self) -> usize {
         self.tables
             .iter()
@@ -207,9 +222,20 @@ impl<'g> FloodEngine<'g> {
     }
 
     /// Resets the counters (e.g. between protocol phases) without
-    /// releasing their storage.
+    /// releasing their storage. Also zeroes the fallback-flood counter.
     pub fn reset_counters(&mut self) {
         self.counters.reset();
+        self.fallback_floods = 0;
+    }
+
+    /// Floods since the last [`FloodEngine::reset_counters`] that ran on
+    /// the per-flood BFS fallback because their radius' ball table was
+    /// over the entry cap (or beyond the packed layout's limits).
+    /// Deliberate lossy BFS floods do **not** count — this counter is
+    /// exactly the "silent slowdown" diagnostic: nonzero means lossless
+    /// floods stopped being table scans.
+    pub fn fallback_floods(&self) -> u64 {
+        self.fallback_floods
     }
 
     /// Eagerly builds the lossless neighborhood table for `ttl`, so the
@@ -340,26 +366,31 @@ impl<'g> FloodEngine<'g> {
         let eff = ttl.min(self.graph.n());
         let Some(table) = Self::table_for(&mut self.tables, self.table_entry_cap, self.graph, eff)
         else {
+            self.fallback_floods += 1;
             self.flood_bfs_counts(origin, ttl);
             return;
         };
-        let ball = table.ball(origin);
+        let ball = table.ball_packed(origin);
         self.counters.transmissions += 1;
         self.counters.per_vertex_tx[origin] += 1;
         self.counters.delivered += ball.len() as u64;
         // Entries are distance-sorted: members before the TTL boundary
         // relay exactly once each.
-        let relays = ball.partition_point(|&(_, d)| (d as usize) < ttl);
+        let relays = ball.partition_point(|&e| CompactBallTable::entry_distance(e) < ttl);
         self.counters.transmissions += relays as u64;
-        for &(v, _) in &ball[..relays] {
-            self.counters.per_vertex_tx[v as usize] += 1;
+        for &e in &ball[..relays] {
+            self.counters.per_vertex_tx[CompactBallTable::entry_vertex(e)] += 1;
         }
     }
 
     /// Counters-only lossy delivery: the BFS wave of `flood_bfs` minus
-    /// the reception pushes (loss draws consume the same RNG stream).
+    /// the reception pushes (the per-flood drop stream is a pure function
+    /// of the flood index, so the counting and delivering paths agree).
     fn flood_bfs_counts(&mut self, origin: usize, ttl: usize) {
         let graph = self.graph;
+        if self.loss_prob > 0.0 {
+            self.loss.begin_flood();
+        }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             self.stamp.fill(0);
@@ -376,7 +407,7 @@ impl<'g> FloodEngine<'g> {
             }
             self.counters.transmissions += 1;
             self.counters.per_vertex_tx[u] += 1;
-            if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
+            if self.loss_prob > 0.0 && self.loss.should_drop() {
                 continue;
             }
             for &w in graph.neighbors(u) {
@@ -400,7 +431,7 @@ impl<'g> FloodEngine<'g> {
         cap: usize,
         graph: &Graph,
         radius: usize,
-    ) -> Option<&'t BallTable> {
+    ) -> Option<&'t CompactBallTable> {
         if tables.len() <= radius {
             tables.resize_with(radius + 1, TableSlot::default);
         }
@@ -413,7 +444,7 @@ impl<'g> FloodEngine<'g> {
                 })
                 .sum();
             let budget = cap.saturating_sub(used);
-            tables[radius] = match BallTable::build_capped(graph, radius, budget) {
+            tables[radius] = match CompactBallTable::build_capped(graph, radius, budget) {
                 Some(t) => TableSlot::Built(Arc::new(t)),
                 None => TableSlot::Capped,
             };
@@ -476,16 +507,18 @@ impl<'g> FloodEngine<'g> {
         let Some(table) = Self::table_for(&mut self.tables, self.table_entry_cap, self.graph, eff)
         else {
             // Over-cap radius: the lossless BFS wave visits the same
-            // vertices in the same order and never consumes the loss RNG.
+            // vertices in the same order and never touches the loss
+            // sampler.
+            self.fallback_floods += 1;
             self.flood_bfs(flood, inboxes, dup);
             return;
         };
         // The origin always performs the first broadcast.
         self.counters.transmissions += 1;
         self.counters.per_vertex_tx[flood.origin] += 1;
-        for &(v, d) in table.ball(flood.origin) {
-            let v = v as usize;
-            let d = d as usize;
+        for &e in table.ball_packed(flood.origin) {
+            let v = CompactBallTable::entry_vertex(e);
+            let d = CompactBallTable::entry_distance(e);
             inboxes[v].push(Received {
                 origin: flood.origin,
                 distance: d,
@@ -510,6 +543,9 @@ impl<'g> FloodEngine<'g> {
         dup: &impl Fn(&P) -> P,
     ) {
         let graph = self.graph;
+        if self.loss_prob > 0.0 {
+            self.loss.begin_flood();
+        }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             self.stamp.fill(0);
@@ -527,7 +563,7 @@ impl<'g> FloodEngine<'g> {
             // One wireless broadcast by u (possibly lost as a whole).
             self.counters.transmissions += 1;
             self.counters.per_vertex_tx[u] += 1;
-            if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
+            if self.loss_prob > 0.0 && self.loss.should_drop() {
                 continue;
             }
             for &w in graph.neighbors(u) {
@@ -858,11 +894,67 @@ mod tests {
         assert_eq!(got, expect, "BFS fallback must reproduce the table path");
         assert_eq!(capped.counters(), tabled.counters());
         assert_eq!(capped.cached_table_entries(), 0);
+        // The silent fallback is surfaced: one increment per fallen-back
+        // flood on the capped engine, none on the tabled one.
+        assert_eq!(tabled.fallback_floods(), 0);
+        assert_eq!(capped.fallback_floods(), floods.len() as u64);
         // broadcast_only agrees too.
         let mut counting = FloodEngine::new(&g);
         counting.set_table_entry_cap(0);
         counting.broadcast_only(&floods);
         assert_eq!(counting.counters(), tabled.counters());
+        assert_eq!(counting.fallback_floods(), floods.len() as u64);
+        // reset_counters clears the fallback tally alongside the rest.
+        capped.reset_counters();
+        assert_eq!(capped.fallback_floods(), 0);
+    }
+
+    #[test]
+    fn deliberate_lossy_bfs_does_not_count_as_fallback() {
+        let g = topology::grid(3, 4);
+        let mut e = FloodEngine::with_loss(&g, 0.3, 9);
+        e.deliver(&[Flood {
+            origin: 0,
+            ttl: 3,
+            payload: (),
+        }]);
+        assert_eq!(e.fallback_floods(), 0);
+    }
+
+    #[test]
+    fn lossy_flood_realization_is_independent_of_batch_shape() {
+        // With counter-based per-flood streams, a flood's realization must
+        // not depend on how many relays *earlier* floods consumed — only
+        // on its position in the flood sequence. Deliver the same probe
+        // flood after equally-many but very differently-sized warm-up
+        // floods and require identical inboxes. (The legacy single-stream
+        // RNG fails this.)
+        let g = topology::grid(5, 6);
+        let probe = Flood {
+            origin: 14,
+            ttl: 4,
+            payload: 1u32,
+        };
+        let run_after = |warmup: &[Flood<u32>]| {
+            let mut e = FloodEngine::with_loss(&g, 0.35, 21);
+            let _ = e.deliver(warmup);
+            e.deliver(std::slice::from_ref(&probe))
+        };
+        let small = [Flood {
+            origin: 0,
+            ttl: 1,
+            payload: 0u32,
+        }];
+        let big = [Flood {
+            origin: 0,
+            ttl: 6,
+            payload: 0u32,
+        }];
+        assert_eq!(
+            run_after(&small),
+            run_after(&big),
+            "flood realizations must be independent of predecessor batch shape"
+        );
     }
 
     #[test]

@@ -41,6 +41,8 @@
 
 pub mod counters;
 pub mod engine;
+pub mod loss;
 
 pub use counters::Counters;
 pub use engine::{Flood, FloodEngine, LossSpec, Received, DEFAULT_TABLE_ENTRY_CAP};
+pub use loss::SkipSampler;

@@ -151,6 +151,48 @@ fn incremental_decide_into_is_allocation_free_with_varying_weights() {
 }
 
 #[test]
+fn tiled_decide_into_is_allocation_free_with_varying_weights() {
+    // The partition-parallel decide in its deterministic single-thread
+    // configuration (`threads: 1` — the inline tile loop; spawning scoped
+    // threads allocates by nature, so the threaded spelling is exempt).
+    // Per-tile scratch (leader/pending/candidate pools, solver
+    // workspaces), the seeding-sweep snapshot, and the changed-rank
+    // buffer must all reach steady state during warm-up and be reused
+    // verbatim after, across weight changes that reshape every tile's
+    // leader sets and pending lists.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let net = Network::random(50, 3, 4.5, 0.1, 13);
+    let mut rng = StdRng::seed_from_u64(29);
+    let cycle: Vec<Vec<f64>> = (0..6)
+        .map(|_| {
+            (0..net.n_vertices())
+                .map(|_| rng.gen_range(0.05..1.0))
+                .collect()
+        })
+        .collect();
+    let cfg = DistributedPtasConfig::default()
+        .with_max_minirounds(None)
+        .with_partitions(4)
+        .with_threads(1);
+    let mut ptas = DistributedPtas::new(net.h(), cfg);
+    assert!(ptas.partition().is_some(), "must exercise the tiled path");
+    let mut outcome = Default::default();
+    for w in cycle.iter().chain(cycle.iter()) {
+        ptas.decide_into(w, &mut outcome);
+    }
+
+    let allocs = min_allocs(3, || {
+        for w in &cycle {
+            ptas.decide_into(w, &mut outcome);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state tiled decide_into must not allocate (counted {allocs})"
+    );
+}
+
+#[test]
 fn policy_indices_into_is_allocation_free() {
     use mhca::bandit::ArmStats;
     use rand::{rngs::StdRng, SeedableRng};

@@ -1,0 +1,247 @@
+//! Differential oracle for the partition-parallel decide phase.
+//!
+//! Tiling is an execution strategy, not a semantic knob: for every tile
+//! count and threading mode, `DistributedPtas::decide_into` must produce
+//! **bit-identical** [`DecisionOutcome`]s — winners, per-mini-round weight
+//! series, flat leader lists, conflict audit, fallback-flood counter, and
+//! communication counters — to the serial incremental path, and both must
+//! match the full-rescan reference (`decide_into_rescan`), the ultimate
+//! oracle. The scan-stats instrumentation must agree too: the tiled probe
+//! visits exactly the vertices the serial probe visits, just from
+//! different threads.
+//!
+//! Sequences run on persistent engines so cross-decision cache reuse
+//! (stale blockers, epoch wraparound, pending-list reuse) is exercised
+//! under tiling, not just the first call.
+
+use mhca::core::{DecisionOutcome, DistributedPtas, DistributedPtasConfig};
+use mhca::graph::{topology, ExtendedConflictGraph, Graph};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Runs `decisions` fresh-weight decisions on one persistent
+/// serial/tiled/rescan engine triple, asserting outcome and scan-stat
+/// equality at every step.
+fn assert_tiled_parity_sequence(
+    h: &ExtendedConflictGraph,
+    base: DistributedPtasConfig,
+    partitions: usize,
+    threads: usize,
+    weight_seed: u64,
+    decisions: usize,
+    label: &str,
+) {
+    let mut serial = DistributedPtas::new(h, base);
+    let mut tiled = DistributedPtas::new(h, base.with_partitions(partitions).with_threads(threads));
+    let mut oracle = DistributedPtas::new(h, base);
+    let mut expect = DecisionOutcome::default();
+    let mut got = DecisionOutcome::default();
+    let mut truth = DecisionOutcome::default();
+    let mut rng = StdRng::seed_from_u64(weight_seed);
+    for step in 0..decisions {
+        let w: Vec<f64> = (0..h.n_vertices())
+            .map(|_| rng.gen_range(0.05..1.0))
+            .collect();
+        serial.decide_into(&w, &mut expect);
+        tiled.decide_into(&w, &mut got);
+        oracle.decide_into_rescan(&w, &mut truth);
+        assert_eq!(
+            got, expect,
+            "{label} p={partitions} t={threads}, step {step}: tiled != serial"
+        );
+        assert_eq!(
+            got, truth,
+            "{label} p={partitions} t={threads}, step {step}: tiled != rescan oracle"
+        );
+        assert_eq!(
+            tiled.scan_stats(),
+            serial.scan_stats(),
+            "{label} p={partitions} t={threads}, step {step}: scan stats diverged"
+        );
+        // Explicit spot checks on the fields most exposed to merge-order
+        // bugs, so a future PartialEq derive change cannot silently weaken
+        // this battery.
+        assert_eq!(got.leaders_flat, expect.leaders_flat, "{label} step {step}");
+        assert_eq!(got.counters, expect.counters, "{label} step {step}");
+        assert_eq!(
+            got.fallback_floods, expect.fallback_floods,
+            "{label} step {step}"
+        );
+    }
+}
+
+/// A topology family: name plus a builder parameterized by instance seed.
+type TopologyFamily = (&'static str, Box<dyn Fn(u64) -> Graph>);
+
+/// The topology grid — same families as `decide_parity.rs`, so a tiling
+/// bug shows up against the exact instances the incremental battery pins.
+fn topologies() -> Vec<TopologyFamily> {
+    vec![
+        (
+            "unit-disk",
+            Box::new(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                mhca::graph::unit_disk::random_with_average_degree(26, 4.5, &mut rng).0
+            }),
+        ),
+        (
+            "line",
+            Box::new(|seed| topology::line(15 + (seed % 9) as usize)),
+        ),
+        (
+            "ring",
+            Box::new(|seed| topology::ring(12 + (seed % 7) as usize)),
+        ),
+        (
+            "grid",
+            Box::new(|seed| topology::grid(3 + (seed % 3) as usize, 5)),
+        ),
+        (
+            "sparse-components",
+            Box::new(|seed| {
+                let n = 20;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut b = Graph::builder(n);
+                for _ in 0..n {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    if u != v {
+                        b.add_edge(u, v);
+                    }
+                }
+                b.build()
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn partition_parity_grid() {
+    // Tile counts straddle the interesting seams: 2 (one boundary),
+    // 3 (uneven stripes), 8 (more tiles than some instances have
+    // boundary-free vertices — tiny cores, giant halos).
+    let mut combinations = 0usize;
+    for (name, build) in topologies() {
+        for instance in 0..3u64 {
+            let g = build(400 + instance);
+            for &m in &[1usize, 3] {
+                let h = ExtendedConflictGraph::new(&g, m);
+                for &r in &[1usize, 2] {
+                    let base = DistributedPtasConfig::default()
+                        .with_r(r)
+                        .with_max_minirounds(None);
+                    for &partitions in &[2usize, 3, 8] {
+                        for &threads in &[0usize, 1] {
+                            let label = format!("{name} m={m} r={r} instance={instance}");
+                            assert_tiled_parity_sequence(
+                                &h,
+                                base,
+                                partitions,
+                                threads,
+                                2000 * instance + r as u64,
+                                2,
+                                &label,
+                            );
+                            combinations += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        combinations >= 300,
+        "grid shrank below the 300-combination floor: {combinations}"
+    );
+}
+
+#[test]
+fn partition_parity_capped_minirounds() {
+    // A capped run leaves Candidates undetermined, so the next decision's
+    // seeding sweep (snapshot device) starts from a partially-determined
+    // cache — the seam where a tile reading a neighbor's fresh write
+    // instead of the snapshot would diverge.
+    let mut rng = StdRng::seed_from_u64(31);
+    for instance in 0..4u64 {
+        let (g, _) = mhca::graph::unit_disk::random_with_average_degree(30, 4.5, &mut rng);
+        let h = ExtendedConflictGraph::new(&g, 3);
+        for &cap in &[Some(1), Some(2), Some(4)] {
+            let base = DistributedPtasConfig::default()
+                .with_r(2)
+                .with_max_minirounds(cap);
+            for &partitions in &[2usize, 5] {
+                let label = format!("caps instance={instance} cap={cap:?}");
+                assert_tiled_parity_sequence(&h, base, partitions, 0, 90 + instance, 3, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_parity_equal_weight_tie_storm() {
+    // All-equal weights force every verdict through the id tiebreak — the
+    // regime where any reordering of elections across tiles would change
+    // the leader sets.
+    for &(rows, cols) in &[(4usize, 6usize), (3, 9)] {
+        let g = topology::grid(rows, cols);
+        let h = ExtendedConflictGraph::new(&g, 2);
+        let w = vec![0.5; h.n_vertices()];
+        for r in [1usize, 2] {
+            let base = DistributedPtasConfig::default()
+                .with_r(r)
+                .with_max_minirounds(None);
+            let mut serial = DistributedPtas::new(&h, base);
+            let mut expect = DecisionOutcome::default();
+            serial.decide_into(&w, &mut expect);
+            for partitions in [2usize, 4, 7] {
+                let mut tiled =
+                    DistributedPtas::new(&h, base.with_partitions(partitions).with_threads(0));
+                let mut got = DecisionOutcome::default();
+                tiled.decide_into(&w, &mut got);
+                assert_eq!(got, expect, "ties {rows}x{cols} r={r} p={partitions}");
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_counts_beyond_n_degenerate_to_one_vertex_tiles() {
+    // More requested tiles than vertices: the partitioner clamps, cores
+    // shrink to singletons, every ball lives in the halo.
+    let g = topology::ring(6);
+    let h = ExtendedConflictGraph::new(&g, 1);
+    let base = DistributedPtasConfig::default()
+        .with_r(1)
+        .with_max_minirounds(None);
+    assert_tiled_parity_sequence(&h, base, 64, 0, 5, 2, "tiny-ring oversplit");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Random graphs, random weights, random tile/thread settings: the
+    /// tiled decide is indistinguishable from the serial one.
+    #[test]
+    fn tiled_decide_matches_serial_on_random_instances(
+        ((n, edge_seed), (weight_seed, partitions), (threads, r)) in
+            ((4usize..40, 0u64..10_000), (0u64..10_000, 2usize..10), (0usize..2, 1usize..3)),
+    ) {
+        let mut rng = StdRng::seed_from_u64(edge_seed);
+        let mut b = Graph::builder(n);
+        for _ in 0..(2 * n) {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let h = ExtendedConflictGraph::new(&g, 2);
+        let base = DistributedPtasConfig::default()
+            .with_r(r)
+            .with_max_minirounds(None);
+        assert_tiled_parity_sequence(
+            &h, base, partitions, threads, weight_seed, 2, "proptest instance",
+        );
+    }
+}
