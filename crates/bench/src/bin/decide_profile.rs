@@ -1,6 +1,7 @@
 //! Profiles the decide phase: incremental dirty-ball leader election vs
 //! the full-rescan reference, across network sizes and radii, emitting
-//! per-phase counters and wall-clock medians as JSON (`BENCH_PR4.json`).
+//! per-phase counters and wall-clock percentiles (p50/p99 from
+//! [`mhca_telemetry::LogHistogram`]) as JSON (`BENCH_PR4.json`).
 //!
 //! Both paths run in one process on identical networks and weights, so
 //! the speedup column is a true paired comparison (same machine, same
@@ -29,6 +30,7 @@
 //! ```
 
 use mhca_core::{DecidePhaseNs, DecisionOutcome, DistributedPtas, DistributedPtasConfig, Network};
+use mhca_telemetry::{LogHistogram, Provenance};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -38,8 +40,9 @@ struct ProfilePoint {
     m: usize,
     r: usize,
     minirounds: usize,
-    rescan_ns: f64,
-    incremental_ns: f64,
+    rescan_wall: LogHistogram,
+    incremental_wall: LogHistogram,
+    incremental_phases: PhaseHists,
     rescan_scanned: u64,
     incremental_scanned: u64,
     fast_skips: u64,
@@ -48,20 +51,77 @@ struct ProfilePoint {
     decide_timeslots: u64,
 }
 
-/// Median wall-clock nanoseconds per call of `f`, over `samples` samples
-/// of `iters` calls each.
-fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
-    let mut medians: Vec<f64> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                f();
-            }
-            start.elapsed().as_nanos() as f64 / iters as f64
-        })
-        .collect();
-    medians.sort_by(|a, b| a.total_cmp(b));
-    medians[medians.len() / 2]
+/// Per-phase latency histograms over the timed decide calls.
+struct PhaseHists {
+    election: LogHistogram,
+    broadcast: LogHistogram,
+    mwis: LogHistogram,
+    sweep: LogHistogram,
+}
+
+impl PhaseHists {
+    fn new() -> Self {
+        PhaseHists {
+            election: LogHistogram::new(),
+            broadcast: LogHistogram::new(),
+            mwis: LogHistogram::new(),
+            sweep: LogHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, p: &DecidePhaseNs) {
+        self.election.record(p.election_ns);
+        self.broadcast.record(p.broadcast_ns);
+        self.mwis.record(p.mwis_ns);
+        self.sweep.record(p.sweep_ns);
+    }
+
+    /// `{"election": {"p50_ns": …, "p99_ns": …}, …}` over the sampled calls.
+    fn json(&self) -> String {
+        let q = |h: &LogHistogram| format!("{{\"p50_ns\": {}, \"p99_ns\": {}}}", h.p50(), h.p99());
+        format!(
+            "{{\"election\": {}, \"broadcast\": {}, \"mwis\": {}, \"sweep\": {}}}",
+            q(&self.election),
+            q(&self.broadcast),
+            q(&self.mwis),
+            q(&self.sweep)
+        )
+    }
+}
+
+/// `{"host_threads": …, "rustc": "…", "git_commit": "…"}` — the same
+/// stamp `mhca-campaign` writes into `manifest.json`.
+fn provenance_json() -> String {
+    let p = Provenance::capture();
+    format!(
+        "{{\"host_threads\": {}, \"rustc\": \"{}\", \"git_commit\": \"{}\"}}",
+        p.host_threads, p.rustc, p.git_commit
+    )
+}
+
+/// Times `calls` individual decide calls on `engine`, recording wall
+/// nanoseconds per call and (when the engine profiles phases) the
+/// per-phase breakdown of each call.
+fn sample_engine(
+    engine: &mut DistributedPtas<'_>,
+    weights: &[f64],
+    out: &mut DecisionOutcome,
+    calls: usize,
+    rescan: bool,
+) -> (LogHistogram, PhaseHists) {
+    let mut wall = LogHistogram::new();
+    let mut phases = PhaseHists::new();
+    for _ in 0..calls {
+        let start = Instant::now();
+        if rescan {
+            engine.decide_into_rescan(weights, out);
+        } else {
+            engine.decide_into(weights, out);
+        }
+        wall.record(start.elapsed().as_nanos() as u64);
+        phases.record(&engine.phase_ns());
+    }
+    (wall, phases)
 }
 
 fn profile(n: usize, m: usize, r: usize, samples: usize, iters: usize) -> ProfilePoint {
@@ -71,12 +131,13 @@ fn profile(n: usize, m: usize, r: usize, samples: usize, iters: usize) -> Profil
         .with_r(r)
         .with_max_minirounds(Some(4));
     let mut out = DecisionOutcome::default();
+    let calls = samples * iters;
 
     let mut incremental = DistributedPtas::new(net.h(), cfg);
+    incremental.set_profile_phases(true);
     incremental.decide_into(&weights, &mut out); // warm pools + tables
-    let incremental_ns = median_ns(samples, iters, || {
-        incremental.decide_into(&weights, &mut out);
-    });
+    let (incremental_wall, incremental_phases) =
+        sample_engine(&mut incremental, &weights, &mut out, calls, false);
     let inc_stats = incremental.scan_stats();
     let minirounds = out.minirounds_used;
     let decide_transmissions = out.counters.transmissions;
@@ -84,9 +145,7 @@ fn profile(n: usize, m: usize, r: usize, samples: usize, iters: usize) -> Profil
 
     let mut rescan = DistributedPtas::new(net.h(), cfg);
     rescan.decide_into_rescan(&weights, &mut out);
-    let rescan_ns = median_ns(samples, iters, || {
-        rescan.decide_into_rescan(&weights, &mut out);
-    });
+    let (rescan_wall, _) = sample_engine(&mut rescan, &weights, &mut out, calls, true);
     let re_stats = rescan.scan_stats();
     assert_eq!(
         out.counters.transmissions, decide_transmissions,
@@ -98,8 +157,9 @@ fn profile(n: usize, m: usize, r: usize, samples: usize, iters: usize) -> Profil
         m,
         r,
         minirounds,
-        rescan_ns,
-        incremental_ns,
+        rescan_wall,
+        incremental_wall,
+        incremental_phases,
         rescan_scanned: re_stats.candidates_scanned,
         incremental_scanned: inc_stats.candidates_scanned,
         fast_skips: inc_stats.fast_skips,
@@ -127,11 +187,11 @@ struct Pr6Point {
     partitions: usize,
     h_vertices: usize,
     minirounds: usize,
-    serial_ns: f64,
-    partitioned_ns: f64,
-    rescan_ns: Option<f64>,
-    serial_phases: DecidePhaseNs,
-    partitioned_phases: DecidePhaseNs,
+    serial_wall: LogHistogram,
+    partitioned_wall: LogHistogram,
+    rescan_wall: Option<LogHistogram>,
+    serial_phases: PhaseHists,
+    partitioned_phases: PhaseHists,
     halo_entries: usize,
     fallback_floods: u64,
     decide_transmissions: u64,
@@ -153,16 +213,15 @@ fn profile_pr6(
         .with_max_minirounds(Some(4));
     let mut out = DecisionOutcome::default();
 
+    let calls = samples * iters;
+
     // Serial reference first; dropped before the partitioned engine is
     // built so only one ball CSR is resident at a time at n = 5×10^4.
     let mut serial = DistributedPtas::new(net.h(), base);
     serial.set_table_entry_cap(PR6_TABLE_ENTRY_CAP);
     serial.set_profile_phases(true);
     serial.decide_into(&weights, &mut out); // warm pools + tables
-    let serial_ns = median_ns(samples, iters, || {
-        serial.decide_into(&weights, &mut out);
-    });
-    let serial_phases = serial.phase_ns();
+    let (serial_wall, serial_phases) = sample_engine(&mut serial, &weights, &mut out, calls, false);
     let expect = out.clone();
     drop(serial);
 
@@ -174,14 +233,12 @@ fn profile_pr6(
         out, expect,
         "partitioned decide diverged from serial at n={n} r={r} p={partitions}"
     );
-    let partitioned_ns = median_ns(samples, iters, || {
-        tiled.decide_into(&weights, &mut out);
-    });
-    let partitioned_phases = tiled.phase_ns();
+    let (partitioned_wall, partitioned_phases) =
+        sample_engine(&mut tiled, &weights, &mut out, calls, false);
     let halo_entries = tiled.partition().map_or(0, |p| p.halo_entries());
     drop(tiled);
 
-    let rescan_ns = with_rescan.then(|| {
+    let rescan_wall = with_rescan.then(|| {
         let mut rescan = DistributedPtas::new(net.h(), base);
         rescan.set_table_entry_cap(PR6_TABLE_ENTRY_CAP);
         rescan.decide_into_rescan(&weights, &mut out);
@@ -189,9 +246,7 @@ fn profile_pr6(
             out, expect,
             "rescan oracle diverged from serial at n={n} r={r}"
         );
-        median_ns(samples, iters, || {
-            rescan.decide_into_rescan(&weights, &mut out);
-        })
+        sample_engine(&mut rescan, &weights, &mut out, calls, true).0
     });
 
     Pr6Point {
@@ -201,22 +256,15 @@ fn profile_pr6(
         partitions,
         h_vertices: net.h().n_vertices(),
         minirounds: expect.minirounds_used,
-        serial_ns,
-        partitioned_ns,
-        rescan_ns,
+        serial_wall,
+        partitioned_wall,
+        rescan_wall,
         serial_phases,
         partitioned_phases,
         halo_entries,
         fallback_floods: expect.fallback_floods,
         decide_transmissions: expect.counters.transmissions,
     }
-}
-
-fn phases_json(p: &DecidePhaseNs) -> String {
-    format!(
-        "{{\"election_ns\": {}, \"broadcast_ns\": {}, \"mwis_ns\": {}, \"sweep_ns\": {}}}",
-        p.election_ns, p.broadcast_ns, p.mwis_ns, p.sweep_ns
-    )
 }
 
 fn run_pr6(quick: bool, out_path: &str) {
@@ -242,11 +290,11 @@ fn run_pr6(quick: bool, out_path: &str) {
         eprintln!("profiling large-N n={n} m={m} r={r} partitions={partitions} ...");
         let p = profile_pr6(n, m, r, partitions, samples, iters, with_rescan);
         eprintln!(
-            "  serial {:>13.0} ns  partitioned {:>13.0} ns  ratio {:.2}x  \
+            "  serial p50 {:>13} ns  partitioned p50 {:>13} ns  ratio {:.2}x  \
              halo {}  fallback_floods {}",
-            p.serial_ns,
-            p.partitioned_ns,
-            p.serial_ns / p.partitioned_ns,
+            p.serial_wall.p50(),
+            p.partitioned_wall.p50(),
+            p.serial_wall.p50() as f64 / p.partitioned_wall.p50().max(1) as f64,
             p.halo_entries,
             p.fallback_floods,
         );
@@ -258,13 +306,15 @@ fn run_pr6(quick: bool, out_path: &str) {
     json.push_str(
         "  \"description\": \"PR 6 regression numbers: partition-parallel decide on the \
          large-N grid. Each point runs the serial incremental decide and the tiled \
-         (core+halo stripe) decide on the same network and weights; *_ns are median \
-         wall-clock per decision, ratio = serial_ns / partitioned_ns. Outcomes are \
-         asserted byte-identical in-process at every point (and against the full-rescan \
-         oracle where rescan_ns is non-null). Per-phase breakdowns come from \
-         DecidePhaseNs (last profiled decision). fallback_floods counts decide floods \
-         that silently fell back from the compact ball table to live BFS — 0 means the \
-         2^25-entry cap held and lossless floods stayed table scans.\",\n",
+         (core+halo stripe) decide on the same network and weights; *_ns are p50 \
+         wall-clock per decision from a log-bucketed latency histogram (<=6.25% relative \
+         error; *_p99_ns is the same histogram's p99), ratio = serial_ns / \
+         partitioned_ns. Outcomes are asserted byte-identical in-process at every point \
+         (and against the full-rescan oracle where rescan_ns is non-null). Per-phase \
+         breakdowns come from DecidePhaseNs recorded on every profiled decision \
+         (p50/p99 per phase). fallback_floods counts decide floods that silently fell \
+         back from the compact ball table to live BFS — 0 means the 2^25-entry cap held \
+         and lossless floods stayed table scans.\",\n",
     );
     json.push_str(
         "  \"workload\": \"Network::random(n, 2, 5.0, 0.1, 300 + n): unit-disk, 2 channels, \
@@ -274,23 +324,26 @@ fn run_pr6(quick: bool, out_path: &str) {
          for no parallel speedup; see BENCHMARKS.md 'Large-N' for the honest read.\",\n",
     );
     let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(
-        json,
-        "  \"host_threads\": {},",
-        std::thread::available_parallelism().map_or(0, |p| p.get())
-    );
+    let _ = writeln!(json, "  \"provenance\": {},", provenance_json());
     json.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 == points.len() { "" } else { "," };
         let rescan = p
-            .rescan_ns
-            .map_or("null".to_string(), |ns| format!("{ns:.1}"));
+            .rescan_wall
+            .as_ref()
+            .map_or("null".to_string(), |h| h.p50().to_string());
+        let rescan_p99 = p
+            .rescan_wall
+            .as_ref()
+            .map_or("null".to_string(), |h| h.p99().to_string());
         let _ = writeln!(
             json,
             "    {{\"id\": \"large_n/r{}/{}\", \"n\": {}, \"m\": {}, \"r\": {}, \
              \"partitions\": {}, \"h_vertices\": {}, \"minirounds\": {}, \
-             \"serial_ns\": {:.1}, \"partitioned_ns\": {:.1}, \"ratio\": {:.2}, \
-             \"rescan_ns\": {}, \"serial_phase_ns\": {}, \"partitioned_phase_ns\": {}, \
+             \"serial_ns\": {}, \"serial_p99_ns\": {}, \
+             \"partitioned_ns\": {}, \"partitioned_p99_ns\": {}, \"ratio\": {:.2}, \
+             \"rescan_ns\": {}, \"rescan_p99_ns\": {}, \
+             \"serial_phase_ns\": {}, \"partitioned_phase_ns\": {}, \
              \"halo_entries\": {}, \"fallback_floods\": {}, \"decide_transmissions\": {}}}{}",
             p.r,
             p.n,
@@ -300,12 +353,15 @@ fn run_pr6(quick: bool, out_path: &str) {
             p.partitions,
             p.h_vertices,
             p.minirounds,
-            p.serial_ns,
-            p.partitioned_ns,
-            p.serial_ns / p.partitioned_ns,
+            p.serial_wall.p50(),
+            p.serial_wall.p99(),
+            p.partitioned_wall.p50(),
+            p.partitioned_wall.p99(),
+            p.serial_wall.p50() as f64 / p.partitioned_wall.p50().max(1) as f64,
             rescan,
-            phases_json(&p.serial_phases),
-            phases_json(&p.partitioned_phases),
+            rescan_p99,
+            p.serial_phases.json(),
+            p.partitioned_phases.json(),
             p.halo_entries,
             p.fallback_floods,
             p.decide_transmissions,
@@ -350,11 +406,11 @@ fn main() {
             eprintln!("profiling n={n} m={m} r={r} ...");
             let p = profile(n, m, r, samples, iters);
             eprintln!(
-                "  rescan {:>12.0} ns  incremental {:>12.0} ns  speedup {:.2}x  \
+                "  rescan p50 {:>12} ns  incremental p50 {:>12} ns  speedup {:.2}x  \
                  scans {} -> {}",
-                p.rescan_ns,
-                p.incremental_ns,
-                p.rescan_ns / p.incremental_ns,
+                p.rescan_wall.p50(),
+                p.incremental_wall.p50(),
+                p.rescan_wall.p50() as f64 / p.incremental_wall.p50().max(1) as f64,
                 p.rescan_scanned,
                 p.incremental_scanned,
             );
@@ -370,7 +426,9 @@ fn main() {
          (incremental blocked-count election, counters-only floods) and \
          DistributedPtas::decide_into_rescan (the full-rescan reference, bit-identical \
          outcomes pinned by tests/decide_parity.rs) on the same network and weights; \
-         *_ns are median wall-clock per decision, speedup = rescan_ns / incremental_ns. \
+         *_ns are p50 wall-clock per decision from a log-bucketed latency histogram \
+         (<=6.25% relative error; *_p99_ns is the same histogram's p99), speedup = \
+         rescan_ns / incremental_ns; incremental_phase_ns carries per-phase p50/p99. \
          Scanned counters are (2r+1)-ball candidate evaluations per decision (at most \
          two per vertex on the incremental path, one per survivor per mini-round on the \
          reference); fast_skips and dirty_decrements are the incremental path's O(1) \
@@ -382,14 +440,17 @@ fn main() {
          family); release profile, single process, paired measurement.\",\n",
     );
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"provenance\": {},", provenance_json());
     json.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
         let comma = if i + 1 == points.len() { "" } else { "," };
         let _ = writeln!(
             json,
             "    {{\"id\": \"decision_distributed/r{}/{}\", \"n\": {}, \"m\": {}, \"r\": {}, \
-             \"minirounds\": {}, \"rescan_ns\": {:.1}, \"incremental_ns\": {:.1}, \
-             \"speedup\": {:.2}, \"rescan_scanned\": {}, \"incremental_scanned\": {}, \
+             \"minirounds\": {}, \"rescan_ns\": {}, \"rescan_p99_ns\": {}, \
+             \"incremental_ns\": {}, \"incremental_p99_ns\": {}, \"speedup\": {:.2}, \
+             \"incremental_phase_ns\": {}, \
+             \"rescan_scanned\": {}, \"incremental_scanned\": {}, \
              \"fast_skips\": {}, \"dirty_decrements\": {}, \"decide_transmissions\": {}, \
              \"decide_timeslots\": {}}}{}",
             p.r,
@@ -398,9 +459,12 @@ fn main() {
             p.m,
             p.r,
             p.minirounds,
-            p.rescan_ns,
-            p.incremental_ns,
-            p.rescan_ns / p.incremental_ns,
+            p.rescan_wall.p50(),
+            p.rescan_wall.p99(),
+            p.incremental_wall.p50(),
+            p.incremental_wall.p99(),
+            p.rescan_wall.p50() as f64 / p.incremental_wall.p50().max(1) as f64,
+            p.incremental_phases.json(),
             p.rescan_scanned,
             p.incremental_scanned,
             p.fast_skips,

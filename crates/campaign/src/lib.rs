@@ -24,6 +24,9 @@
 //!   recorded metrics reused.
 //! * [`json`] — a hand-rolled JSON emitter and parser (the vendored
 //!   `serde` is marker-only; see `vendor/README.md`).
+//! * [`tail`] — offline reader for the `--trace` event stream: re-merges
+//!   the per-job histogram dumps in `events.jsonl` and renders the
+//!   per-scenario / per-phase latency table behind `mhca-campaign tail`.
 //!
 //! One command replaces ten hand-invoked binaries:
 //!
@@ -43,6 +46,7 @@ pub mod manifest;
 pub mod registry;
 pub mod runner;
 pub mod spec;
+pub mod tail;
 
 pub use ingest::{scenarios_from_str, SpecError};
 pub use manifest::{JobRecord, JobStatus, Manifest};

@@ -5,6 +5,7 @@
 //! mhca-campaign show <scenario>          # canonical spec JSON
 //! mhca-campaign validate <file>          # check a user-authored spec file
 //! mhca-campaign run [options]            # run / resume a campaign
+//! mhca-campaign tail <out-dir>           # summarize a --trace event stream
 //!
 //! run options:
 //!   --quick                the CI smoke catalog (2 scenarios × 3 seeds)
@@ -18,15 +19,20 @@
 //!                          matrix (default: available cores)
 //!   --serial               force strictly in-order serial execution
 //!   --force                discard a manifest from a different spec
+//!   --trace                write structured telemetry to events.jsonl
+//!   --progress             live heartbeat lines + progress.json
 //! ```
 //!
 //! A campaign writes `manifest.json`, per-seed figure CSVs, per-scenario
 //! `summary.csv`, and campaign-wide `campaign.csv` / `campaign.json`
 //! into the output directory. Re-running with the same spec and output
 //! directory resumes: jobs recorded done in the manifest are skipped.
+//! With `--trace`, spans, counters, and per-phase latency histograms land
+//! in `events.jsonl`; `mhca-campaign tail <out-dir>` renders them into a
+//! per-scenario summary table (see `docs/OBSERVABILITY.md`).
 
 use mhca_campaign::ingest::{self, nearest};
-use mhca_campaign::{registry, runner, CampaignConfig, ScenarioSpec};
+use mhca_campaign::{registry, runner, tail as tail_mod, CampaignConfig, ScenarioSpec};
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
@@ -62,11 +68,13 @@ fn main() -> ExitCode {
             if e.show_usage {
                 eprintln!();
                 eprintln!(
-                    "usage: mhca-campaign <list | show <scenario> | validate <file> | run [options]>"
+                    "usage: mhca-campaign <list | show <scenario> | validate <file> | \
+                     run [options] | tail <out-dir>>"
                 );
                 eprintln!(
                     "run options: --quick --out DIR --name NAME --scenarios a,b,c \
-                     --scenario-file FILE --seeds K --jobs N --serial --force"
+                     --scenario-file FILE --seeds K --jobs N --serial --force \
+                     --trace --progress"
                 );
             }
             ExitCode::FAILURE
@@ -89,9 +97,16 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
             None => Err(CliError::usage("validate needs a spec file path")),
         },
         Some("run") => run(&args[1..]),
+        Some("tail") => match args.get(1) {
+            Some(dir) => tail(Path::new(dir)),
+            None => Err(CliError::usage("tail needs a campaign output directory")),
+        },
         Some(other) => {
             let mut message = format!("unknown command '{other}'");
-            if let Some(near) = nearest(other, ["list", "show", "validate", "run"].into_iter()) {
+            if let Some(near) = nearest(
+                other,
+                ["list", "show", "validate", "run", "tail"].into_iter(),
+            ) {
                 message.push_str(&format!(" (did you mean '{near}'?)"));
             }
             Err(CliError::usage(message))
@@ -185,10 +200,18 @@ fn validate(path: &Path) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `mhca-campaign tail <out-dir>`: summarize `<out-dir>/events.jsonl`.
+fn tail(out_dir: &Path) -> Result<(), CliError> {
+    let mut stdout = std::io::stdout().lock();
+    tail_mod::tail_dir(out_dir, &mut stdout).map_err(|e| CliError::new(e.to_string()))
+}
+
 fn run(args: &[String]) -> Result<(), CliError> {
     let mut quick = false;
     let mut serial = false;
     let mut force = false;
+    let mut trace = false;
+    let mut progress = false;
     let mut out: Option<String> = None;
     let mut name: Option<String> = None;
     let mut scenario_filter: Option<Vec<String>> = None;
@@ -202,6 +225,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
             "--quick" => quick = true,
             "--serial" => serial = true,
             "--force" => force = true,
+            "--trace" => trace = true,
+            "--progress" => progress = true,
             "--out" => match it.next() {
                 Some(dir) => out = Some(dir.clone()),
                 None => return Err(CliError::usage("--out needs a directory")),
@@ -236,6 +261,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
                     "--quick",
                     "--serial",
                     "--force",
+                    "--trace",
+                    "--progress",
                     "--out",
                     "--name",
                     "--scenarios",
@@ -321,6 +348,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         parallel: !serial,
         jobs,
         force,
+        trace,
+        progress,
         ..CampaignConfig::new(name, out_dir, scenarios)
     };
 

@@ -145,8 +145,24 @@ pub struct Manifest {
     pub spec_hash: String,
     /// The canonical spec itself, for human inspection.
     pub spec: Json,
+    /// Build + host provenance of the session that created the manifest
+    /// (`host_threads`, rustc version, git commit), so machine-conditional
+    /// numbers in the recorded metrics are self-describing. `Json::Null`
+    /// in manifests written before provenance stamping existed — resume
+    /// tolerates both.
+    pub provenance: Json,
     /// One record per job, in job-matrix order.
     pub jobs: Vec<JobRecord>,
+}
+
+/// The current build/host provenance as a JSON object.
+pub fn provenance_json() -> Json {
+    let p = mhca_telemetry::Provenance::capture();
+    Json::obj(vec![
+        ("host_threads", Json::Num(p.host_threads as f64)),
+        ("rustc", Json::str(p.rustc)),
+        ("git_commit", Json::str(p.git_commit)),
+    ])
 }
 
 impl Manifest {
@@ -159,6 +175,7 @@ impl Manifest {
             campaign: name.to_string(),
             spec_hash: spec_hash(name, scenarios),
             spec: campaign_json(name, scenarios),
+            provenance: provenance_json(),
             jobs: jobs.iter().map(JobRecord::pending).collect(),
         }
     }
@@ -174,6 +191,7 @@ impl Manifest {
             ("campaign", Json::str(&self.campaign)),
             ("spec_hash", Json::str(&self.spec_hash)),
             ("spec", self.spec.clone()),
+            ("provenance", self.provenance.clone()),
             (
                 "jobs",
                 Json::Arr(self.jobs.iter().map(JobRecord::to_json).collect()),
@@ -194,6 +212,7 @@ impl Manifest {
             .ok_or("manifest missing spec_hash")?
             .to_string();
         let spec = v.get("spec").cloned().unwrap_or(Json::Null);
+        let provenance = v.get("provenance").cloned().unwrap_or(Json::Null);
         let jobs = v
             .get("jobs")
             .and_then(Json::as_arr)
@@ -205,6 +224,7 @@ impl Manifest {
             campaign,
             spec_hash,
             spec,
+            provenance,
             jobs,
         })
     }
@@ -298,6 +318,31 @@ mod tests {
         let loaded = Manifest::load(&dir).unwrap().unwrap();
         assert_eq!(loaded, manifest);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_stamps_provenance_and_tolerates_its_absence() {
+        let scenarios = quick_registry();
+        let jobs = expand_jobs(&scenarios);
+        let manifest = Manifest::new("smoke", &scenarios, &jobs);
+        let p = &manifest.provenance;
+        assert!(p.get("host_threads").and_then(Json::as_u64).unwrap() >= 1);
+        assert!(!p.get("rustc").and_then(Json::as_str).unwrap().is_empty());
+        assert!(!p
+            .get("git_commit")
+            .and_then(Json::as_str)
+            .unwrap()
+            .is_empty());
+
+        // Manifests written before provenance stamping existed still
+        // load: the field degrades to Null instead of failing resume.
+        let Json::Obj(mut pairs) = manifest.to_json() else {
+            panic!("manifest JSON must be an object");
+        };
+        pairs.retain(|(k, _)| k != "provenance");
+        let old = Manifest::from_json(&Json::Obj(pairs)).unwrap();
+        assert_eq!(old.provenance, Json::Null);
+        assert_eq!(old.jobs, manifest.jobs);
     }
 
     #[test]

@@ -22,9 +22,13 @@ use crate::manifest::{JobStatus, Manifest};
 use crate::spec::{expand_jobs, spec_hash, ScenarioSpec};
 use mhca_bench::csv::CsvWriter;
 use mhca_core::sweep::{for_each_bounded, Aggregate};
+use mhca_telemetry::{
+    EventKind, FieldValue, JsonlSink, ProgressSnapshot, ProgressTracker, Telemetry,
+};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Campaign execution parameters.
 #[derive(Debug, Clone)]
@@ -49,6 +53,14 @@ pub struct CampaignConfig {
     pub force: bool,
     /// Suppress progress lines on stderr.
     pub quiet: bool,
+    /// Write structured telemetry (`events.jsonl` in the out-dir:
+    /// campaign/scenario/job spans, per-phase latency histograms,
+    /// incremental observer counters, failure events). Artifacts are
+    /// byte-identical with tracing on or off — the standing contract.
+    pub trace: bool,
+    /// Emit live progress heartbeats (jobs-done/total, rounds/sec, ETA)
+    /// on stderr, plus a `progress.json` snapshot in the out-dir.
+    pub progress: bool,
 }
 
 impl CampaignConfig {
@@ -67,6 +79,8 @@ impl CampaignConfig {
             jobs: None,
             force: false,
             quiet: false,
+            trace: false,
+            progress: false,
         }
     }
 
@@ -163,10 +177,36 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
     }
     manifest.save(&cfg.out_dir)?;
 
+    // ---- Telemetry. Opened only after the manifest accepted the spec,
+    // and in append mode: a resumed campaign's trace accumulates across
+    // sessions exactly like the manifest, so job spans from an
+    // interrupted run plus its resume sum to the whole campaign. The
+    // handle is disabled without `--trace`: every emission below is then
+    // a branch, and the job path is exactly the untraced one.
+    let telemetry = if cfg.trace {
+        Telemetry::from_sink(Box::new(JsonlSink::append(
+            &cfg.out_dir.join("events.jsonl"),
+        )?))
+    } else {
+        Telemetry::disabled()
+    };
+    let campaign_span = telemetry.span("campaign");
+    telemetry.event(
+        EventKind::Gauge,
+        "campaign.meta",
+        &[
+            ("name", FieldValue::Str(&cfg.name)),
+            ("spec_hash", FieldValue::Str(&hash)),
+            ("workers", FieldValue::U64(cfg.workers() as u64)),
+        ],
+    );
+
     // ---- Build the pending work list across the whole matrix, in
     // matrix order (scenario-major, seed-minor).
     let mut pending: Vec<(usize, u64)> = Vec::new();
     let mut remaining_per_scenario = vec![0usize; cfg.scenarios.len()];
+    let mut scenario_spans: Vec<Option<mhca_telemetry::Span>> =
+        (0..cfg.scenarios.len()).map(|_| None).collect();
     let mut skipped = 0;
     for (idx, scenario) in cfg.scenarios.iter().enumerate() {
         let todo: Vec<u64> = scenario
@@ -181,6 +221,7 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
         }
         fs::create_dir_all(cfg.out_dir.join(&scenario.name))?;
         remaining_per_scenario[idx] = todo.len();
+        scenario_spans[idx] = Some(telemetry.with_scope(&scenario.name).span("scenario"));
         pending.extend(todo.into_iter().map(|seed| (idx, seed)));
     }
 
@@ -208,15 +249,29 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
     let mut executed = 0;
     let mut commits_since_save = 0usize;
     let mut first_error: Option<io::Error> = None;
+    let mut tracker = ProgressTracker::new(
+        manifest.jobs.len(),
+        manifest.jobs.len() - pending.len(),
+        Duration::from_secs(2),
+    );
+    heartbeat(cfg, &telemetry, &mut tracker);
     for_each_bounded(
         pending,
         workers,
         |_, (idx, seed)| -> ((usize, u64), io::Result<JobResult>) {
             let scenario = &scenarios[idx];
             let mut buffer = Vec::new();
+            // Job scope "<scenario>/seed<k>": every event the run emits
+            // (phase histograms, incremental counters) carries its origin.
+            let job_telemetry = telemetry.with_scope(&format!("{}/seed{seed}", scenario.name));
+            let span = job_telemetry.span("job");
             let result = scenario
-                .run_job(seed, &mut buffer)
+                .run_job_traced(seed, &mut buffer, &job_telemetry)
                 .map(|metrics| (seed, buffer, metrics));
+            span.end_with(&[(
+                "status",
+                FieldValue::Str(if result.is_ok() { "ok" } else { "error" }),
+            )]);
             ((idx, seed), result)
         },
         |_, ((idx, seed), result)| {
@@ -224,6 +279,7 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
             let commit = result.and_then(|(seed, buffer, metrics)| {
                 let rel = format!("{}/seed{}.csv", scenario.name, seed);
                 fs::write(cfg.out_dir.join(&rel), &buffer)?;
+                tracker.job_done(rounds_of(&metrics));
                 let record = manifest
                     .record_mut(&scenario.name, seed)
                     .expect("record exists for every job");
@@ -235,16 +291,23 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
                 remaining_per_scenario[idx] -= 1;
                 if remaining_per_scenario[idx] == 0 {
                     progress(cfg, &format!("{}: all seeds done", scenario.name));
+                    if let Some(span) = scenario_spans[idx].take() {
+                        span.end_with(&[("jobs", FieldValue::U64(scenario.seeds.count))]);
+                    }
                 }
                 if remaining_per_scenario[idx] == 0 || commits_since_save >= CHECKPOINT_EVERY {
                     manifest.save(&cfg.out_dir)?;
                     commits_since_save = 0;
                 }
+                heartbeat(cfg, &telemetry, &mut tracker);
                 Ok(())
             });
             match commit {
                 Ok(()) => true,
                 Err(e) => {
+                    telemetry
+                        .with_scope(&scenario.name)
+                        .error("job", &format!("seed {seed} failed: {e}"));
                     first_error = Some(io::Error::new(
                         e.kind(),
                         format!("job {}/seed{seed}: {e}", scenario.name),
@@ -256,8 +319,12 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
     );
     if let Some(e) = first_error {
         // Checkpoint what completed before surfacing the failure, so a
-        // rerun resumes instead of recomputing.
+        // rerun resumes instead of recomputing. Flush telemetry so the
+        // failure event (and everything before it) is on disk.
         let _ = manifest.save(&cfg.out_dir);
+        drop(scenario_spans);
+        campaign_span.end_with(&[("status", FieldValue::Str("error"))]);
+        telemetry.flush();
         return Err(e);
     }
 
@@ -269,6 +336,14 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
     }
     write_campaign_json(&cfg.out_dir, &manifest, &summaries)?;
     manifest.save(&cfg.out_dir)?;
+    // Final heartbeat (always due at completion) + campaign span close.
+    heartbeat(cfg, &telemetry, &mut tracker);
+    campaign_span.end_with(&[
+        ("status", FieldValue::Str("ok")),
+        ("executed", FieldValue::U64(executed as u64)),
+        ("skipped", FieldValue::U64(skipped as u64)),
+    ]);
+    telemetry.flush();
     progress(
         cfg,
         &format!(
@@ -290,6 +365,54 @@ fn progress(cfg: &CampaignConfig, message: &str) {
     if !cfg.quiet {
         eprintln!("[mhca-campaign] {message}");
     }
+}
+
+/// Decision rounds a finished job executed, for the rounds/sec heartbeat
+/// rate: the first `decisions` metric row (headline or observer-prefixed,
+/// e.g. `comm-totals:decisions`), 0 when the scenario tracks none.
+fn rounds_of(metrics: &[(String, f64)]) -> u64 {
+    metrics
+        .iter()
+        .find(|(name, _)| name == "decisions" || name.ends_with(":decisions"))
+        .map(|&(_, v)| v.max(0.0) as u64)
+        .unwrap_or(0)
+}
+
+/// Rate-limited progress emission: a stderr line under `--progress`, a
+/// `progress.json` snapshot plus a `progress` telemetry event whenever
+/// either progress or tracing is on. The tracker guarantees the first and
+/// last heartbeats always fire, so even sub-second campaigns leave one.
+fn heartbeat(cfg: &CampaignConfig, telemetry: &Telemetry, tracker: &mut ProgressTracker) {
+    if !cfg.progress && !cfg.trace {
+        return;
+    }
+    if !tracker.should_emit() {
+        return;
+    }
+    let snapshot = tracker.snapshot();
+    if cfg.progress && !cfg.quiet {
+        eprintln!("[mhca-campaign] {}", snapshot.heartbeat_line());
+    }
+    write_progress_json(&cfg.out_dir, &snapshot);
+    telemetry.event(
+        EventKind::Progress,
+        "heartbeat",
+        &[
+            ("done", FieldValue::U64(snapshot.done as u64)),
+            ("total", FieldValue::U64(snapshot.total as u64)),
+            ("jobs_per_s", FieldValue::F64(snapshot.jobs_per_s)),
+            ("rounds_per_s", FieldValue::F64(snapshot.rounds_per_s)),
+            ("eta_s", FieldValue::F64(snapshot.eta_s.unwrap_or(f64::NAN))),
+        ],
+    );
+}
+
+/// Best-effort `progress.json` write (a failed snapshot must not fail the
+/// campaign).
+fn write_progress_json(out_dir: &Path, snapshot: &ProgressSnapshot) {
+    let mut body = snapshot.to_json();
+    body.push('\n');
+    let _ = fs::write(out_dir.join("progress.json"), body);
 }
 
 /// Cross-seed aggregation from the manifest's per-job metrics (done jobs

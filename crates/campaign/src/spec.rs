@@ -22,6 +22,7 @@ use mhca_core::experiments::{
 };
 use mhca_graph::TopologySpec;
 use mhca_sim::LossSpec;
+use mhca_telemetry::Telemetry;
 use std::io::{self, Write};
 
 /// A contiguous seed range `start..start + count`.
@@ -153,15 +154,19 @@ impl ExperimentKind {
         artifact: &mut dyn Write,
         observers: ObserverSet,
     ) -> io::Result<Vec<(String, f64)>> {
-        let had_observers = !observers.is_empty();
         let out = run_experiment(self.experiment().as_ref(), seed, observers);
         report::render_experiment(&out.data, artifact)?;
         let rows = out.metrics.into_rows();
-        if had_observers {
-            // Observer rows are the label-prefixed tail of the table
-            // (`label:metric` — experiment headline metrics never carry a
-            // colon). Rendering them into the per-seed artifact is what
-            // makes e.g. the windowed-regret series a standalone CSV.
+        // Observer rows are the label-prefixed tail of the table
+        // (`label:metric` — experiment headline metrics never carry a
+        // colon). Rendering them into the per-seed artifact is what
+        // makes e.g. the windowed-regret series a standalone CSV. The
+        // section is gated on the *rows*, not on whether observers were
+        // registered: metrics-silent observers (the TelemetryObserver the
+        // `--trace` path registers) must leave artifacts byte-identical
+        // to an untraced run. Every built-in ObserverKind always emits
+        // rows, so the gate is equivalent for spec-declared observers.
+        if rows.iter().any(|(k, _)| k.contains(':')) {
             report::render_observer_metrics(
                 rows.iter().filter(|(k, _)| k.contains(':')),
                 artifact,
@@ -408,8 +413,26 @@ impl ScenarioSpec {
     /// Runs one job of this scenario: the experiment at `seed` with this
     /// scenario's observers attached.
     pub fn run_job(&self, seed: u64, artifact: &mut dyn Write) -> io::Result<Vec<(String, f64)>> {
-        self.kind
-            .run_with_observers(seed, artifact, ObserverSet::from_kinds(&self.observers))
+        self.run_job_traced(seed, artifact, &Telemetry::disabled())
+    }
+
+    /// Runs one job with a telemetry handle threaded through the
+    /// observers (see `ObserverSet::attach_telemetry` in `mhca_core`): an
+    /// enabled handle streams phase histograms, sampled decide spans, and
+    /// incremental observer counters into the sink, scoped to whatever
+    /// scope `telemetry` already carries. A disabled handle makes this
+    /// identical to [`run_job`](Self::run_job) — and by the byte-identity
+    /// contract, so does an enabled one, as far as the artifact and the
+    /// returned metrics are concerned.
+    pub fn run_job_traced(
+        &self,
+        seed: u64,
+        artifact: &mut dyn Write,
+        telemetry: &Telemetry,
+    ) -> io::Result<Vec<(String, f64)>> {
+        let mut observers = ObserverSet::from_kinds(&self.observers);
+        observers.attach_telemetry(telemetry);
+        self.kind.run_with_observers(seed, artifact, observers)
     }
 
     /// Expands this scenario into its per-seed jobs, in seed order.

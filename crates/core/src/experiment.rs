@@ -29,7 +29,7 @@
 //! retired).
 
 use crate::{
-    distributed::{DistributedPtas, DistributedPtasConfig},
+    distributed::{DecidePhaseNs, DistributedPtas, DistributedPtasConfig},
     experiments::{
         ComplexityConfig, ComplexityPoint, Fig5Config, Fig6Config, Fig6Series, Fig7Config,
         Fig7Output, Fig8Config, Fig8Run, PolicyRunConfig, PolicySpec, Table2, Theorem3Config,
@@ -41,6 +41,7 @@ use crate::{
 };
 use mhca_bandit::policies::{CsUcb, Llr};
 use mhca_graph::{topology, ExtendedConflictGraph};
+use mhca_telemetry::{EventKind, FieldValue, LogHistogram, Telemetry};
 
 // ---------------------------------------------------------------------------
 // Metric tables.
@@ -124,6 +125,20 @@ pub struct RoundRecord<'a> {
     /// Wall-clock nanoseconds the strategy decision took (0 when no
     /// observers are registered — the engine skips the clock then).
     pub decide_ns: u64,
+    /// Wall-clock nanoseconds of this decision's weight-broadcast (WB)
+    /// flood phase. **Zero** unless some registered observer returns
+    /// `true` from [`RoundObserver::wants_phase_timing`] (the engine
+    /// skips the extra clock reads otherwise).
+    pub wb_ns: u64,
+    /// Wall-clock nanoseconds of this period's data-transmission /
+    /// statistics-update loop. Zero under the same gate as
+    /// [`RoundRecord::wb_ns`].
+    pub learn_ns: u64,
+    /// Per-phase breakdown of the decide (election / broadcast / MWIS /
+    /// sweep), from [`crate::DistributedPtas::phase_ns`]. Zeroed unless
+    /// some observer wants phase timing *and* the decide ran an
+    /// instrumented path (the rescan reference leaves it zeroed).
+    pub decide_phase_ns: DecidePhaseNs,
     /// Relay broadcasts of this decision's floods.
     pub decide_transmissions: u64,
     /// Message copies delivered by this decision's floods.
@@ -221,6 +236,25 @@ pub trait RoundObserver {
     fn wants_channel_stats(&self) -> bool {
         false
     }
+
+    /// `true` when this observer reads [`RoundRecord::wb_ns`],
+    /// [`RoundRecord::learn_ns`], or [`RoundRecord::decide_phase_ns`].
+    /// The runner adds the per-phase clock reads (and switches the PTAS
+    /// into phase-profiling mode) only when some registered observer asks
+    /// — phase stamps are noise at large `n` but measurable in small-`n`
+    /// hot loops.
+    fn wants_phase_timing(&self) -> bool {
+        false
+    }
+
+    /// Hands the observer a telemetry handle so it can stream events
+    /// *incrementally* while the run is still going (counters every few
+    /// decisions, window closes as they happen) instead of only reporting
+    /// at [`finish`](RoundObserver::finish). The default keeps the
+    /// observer metrics-only. Implementations must treat the handle as
+    /// write-only: telemetry must never change what an observer returns
+    /// from `finish` (the byte-identity contract).
+    fn set_telemetry(&mut self, _telemetry: &Telemetry) {}
 }
 
 /// The ordered set of observers registered for one experiment run.
@@ -265,6 +299,31 @@ impl ObserverSet {
     /// tallies ([`RoundObserver::wants_channel_stats`]).
     pub fn wants_channel_stats(&self) -> bool {
         self.observers.iter().any(|(_, o)| o.wants_channel_stats())
+    }
+
+    /// `true` when some registered observer needs per-phase wall clocks
+    /// ([`RoundObserver::wants_phase_timing`]).
+    pub fn wants_phase_timing(&self) -> bool {
+        self.observers.iter().any(|(_, o)| o.wants_phase_timing())
+    }
+
+    /// Threads a telemetry handle through the set: every registered
+    /// observer gets it via [`RoundObserver::set_telemetry`], and — when
+    /// the handle is enabled — a [`TelemetryObserver`] is appended to
+    /// record per-phase latency histograms and emit them as `hist`
+    /// events. On a disabled handle this is a no-op, so untraced runs
+    /// register nothing and the round loop's fast paths are untouched.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        if !telemetry.enabled() {
+            return;
+        }
+        for (_, observer) in &mut self.observers {
+            observer.set_telemetry(telemetry);
+        }
+        self.register(
+            "telemetry",
+            Box::new(TelemetryObserver::new(telemetry.clone())),
+        );
     }
 
     /// Streams one record to every observer, in registration order.
@@ -423,6 +482,12 @@ impl RoundObserver for DecideTimingObserver {
 /// the leader election's scanned-candidate work counter — the metric the
 /// incremental dirty-ball decide path shrinks while every communication
 /// total stays identical.
+///
+/// With a telemetry handle attached ([`RoundObserver::set_telemetry`])
+/// the cumulative totals also stream as `counter` events every
+/// [`COMM_STREAM_EVERY`] decisions — the first consumer of the
+/// incremental metrics path the resident-service roadmap item needs. The
+/// metric rows returned at `finish` are unaffected.
 #[derive(Debug, Default)]
 pub struct CommTotalsObserver {
     transmissions: u64,
@@ -431,6 +496,20 @@ pub struct CommTotalsObserver {
     scanned: u64,
     fallback_floods: u64,
     decisions: u64,
+    telemetry: Telemetry,
+}
+
+/// Cadence (in decisions) of [`CommTotalsObserver`]'s streamed counters.
+pub const COMM_STREAM_EVERY: u64 = 64;
+
+impl CommTotalsObserver {
+    fn stream_counters(&self) {
+        self.telemetry
+            .counter("comm.decide_transmissions", self.transmissions);
+        self.telemetry
+            .counter("comm.decide_delivered", self.delivered);
+        self.telemetry.counter("comm.decisions", self.decisions);
+    }
 }
 
 impl RoundObserver for CommTotalsObserver {
@@ -441,9 +520,19 @@ impl RoundObserver for CommTotalsObserver {
         self.scanned += record.decide_scanned;
         self.fallback_floods += record.decide_fallback_floods;
         self.decisions += 1;
+        if self.telemetry.enabled() && self.decisions.is_multiple_of(COMM_STREAM_EVERY) {
+            self.stream_counters();
+        }
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     fn finish(&mut self) -> MetricTable {
+        if self.telemetry.enabled() {
+            self.stream_counters();
+        }
         let mut t = MetricTable::new();
         t.push("decide_transmissions", self.transmissions as f64);
         t.push("decide_delivered", self.delivered as f64);
@@ -680,6 +769,11 @@ impl RoundObserver for CaptureStatsObserver {
 /// Emits one `wNN_end_slot` / `wNN_regret_per_slot` row pair per window
 /// plus whole-run summary rows. Per-round work is allocation-free; the
 /// per-window ledger grows amortized (one push per closed window).
+///
+/// With a telemetry handle attached, every window close also streams as a
+/// `gauge` event (`regret.window_per_slot` with `end_slot`), so a live
+/// consumer sees regret re-grow at a breakpoint without waiting for the
+/// run to finish. The metric rows are unaffected.
 #[derive(Debug)]
 pub struct WindowedRegretObserver {
     window: u64,
@@ -688,6 +782,7 @@ pub struct WindowedRegretObserver {
     observed_acc: f64,
     end_slot: u64,
     windows: Vec<(u64, f64)>,
+    telemetry: Telemetry,
 }
 
 impl WindowedRegretObserver {
@@ -705,6 +800,7 @@ impl WindowedRegretObserver {
             observed_acc: 0.0,
             end_slot: 0,
             windows: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -712,6 +808,14 @@ impl WindowedRegretObserver {
         let regret_per_slot =
             (self.oracle_acc - self.observed_acc) / self.slots_in_window.max(1) as f64;
         self.windows.push((self.end_slot, regret_per_slot));
+        self.telemetry.event(
+            EventKind::Gauge,
+            "regret.window_per_slot",
+            &[
+                ("end_slot", FieldValue::U64(self.end_slot)),
+                ("value", FieldValue::F64(regret_per_slot)),
+            ],
+        );
         self.slots_in_window = 0;
         self.oracle_acc = 0.0;
         self.observed_acc = 0.0;
@@ -765,6 +869,112 @@ impl RoundObserver for WindowedRegretObserver {
 
     fn wants_oracle(&self) -> bool {
         true
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
+    }
+}
+
+/// Streams the run's phase timing into telemetry: fixed-size
+/// [`LogHistogram`]s over every decision's WB / decide / learn wall time
+/// (plus the decide's election / broadcast / MWIS / sweep breakdown when
+/// an instrumented decide path ran), emitted as `hist` events at the end
+/// of the job, with one sampled `span_end` event per
+/// [`SPAN_SAMPLE_EVERY`] decisions carrying the full per-phase breakdown
+/// of that decision.
+///
+/// Registered automatically by [`ObserverSet::attach_telemetry`] — never
+/// by scenario specs. Its [`finish`](RoundObserver::finish) returns an
+/// **empty** [`MetricTable`] by design: artifact CSVs and aggregated
+/// metrics must be byte-identical whether tracing is on or off.
+#[derive(Debug)]
+pub struct TelemetryObserver {
+    telemetry: Telemetry,
+    wb: LogHistogram,
+    decide: LogHistogram,
+    learn: LogHistogram,
+    election: LogHistogram,
+    broadcast: LogHistogram,
+    mwis: LogHistogram,
+    sweep: LogHistogram,
+    rounds: u64,
+    slots: u64,
+}
+
+/// Cadence (in decisions) of [`TelemetryObserver`]'s sampled per-decision
+/// phase-breakdown events. Decision 1 is always sampled, so short runs
+/// still produce at least one.
+pub const SPAN_SAMPLE_EVERY: u64 = 256;
+
+impl TelemetryObserver {
+    /// Creates the observer streaming into `telemetry`.
+    pub fn new(telemetry: Telemetry) -> Self {
+        TelemetryObserver {
+            telemetry,
+            wb: LogHistogram::new(),
+            decide: LogHistogram::new(),
+            learn: LogHistogram::new(),
+            election: LogHistogram::new(),
+            broadcast: LogHistogram::new(),
+            mwis: LogHistogram::new(),
+            sweep: LogHistogram::new(),
+            rounds: 0,
+            slots: 0,
+        }
+    }
+}
+
+impl RoundObserver for TelemetryObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        self.rounds += 1;
+        self.slots += record.period_len;
+        self.decide.record(record.decide_ns);
+        self.wb.record(record.wb_ns);
+        self.learn.record(record.learn_ns);
+        let phases = record.decide_phase_ns;
+        if phases.total_ns() > 0 {
+            self.election.record(phases.election_ns);
+            self.broadcast.record(phases.broadcast_ns);
+            self.mwis.record(phases.mwis_ns);
+            self.sweep.record(phases.sweep_ns);
+        }
+        if record.decision == 1 || record.decision.is_multiple_of(SPAN_SAMPLE_EVERY) {
+            self.telemetry.event(
+                EventKind::SpanEnd,
+                "phase.decide",
+                &[
+                    ("dur_ns", FieldValue::U64(record.decide_ns)),
+                    ("slot", FieldValue::U64(record.slot)),
+                    ("decision", FieldValue::U64(record.decision)),
+                    ("wb_ns", FieldValue::U64(record.wb_ns)),
+                    ("learn_ns", FieldValue::U64(record.learn_ns)),
+                    ("election_ns", FieldValue::U64(phases.election_ns)),
+                    ("broadcast_ns", FieldValue::U64(phases.broadcast_ns)),
+                    ("mwis_ns", FieldValue::U64(phases.mwis_ns)),
+                    ("sweep_ns", FieldValue::U64(phases.sweep_ns)),
+                ],
+            );
+        }
+    }
+
+    fn wants_phase_timing(&self) -> bool {
+        true
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        self.telemetry.counter("rounds", self.rounds);
+        self.telemetry.counter("slots", self.slots);
+        self.telemetry.hist("phase.wb", &self.wb);
+        self.telemetry.hist("phase.decide", &self.decide);
+        self.telemetry.hist("phase.learn", &self.learn);
+        self.telemetry.hist("phase.election", &self.election);
+        self.telemetry.hist("phase.broadcast", &self.broadcast);
+        self.telemetry.hist("phase.mwis", &self.mwis);
+        self.telemetry.hist("phase.sweep", &self.sweep);
+        // Deliberately empty: telemetry must never add metric rows, or
+        // trace-on artifacts would diverge from trace-off ones.
+        MetricTable::new()
     }
 }
 
@@ -1465,6 +1675,76 @@ mod tests {
     }
 
     #[test]
+    fn enabled_telemetry_leaves_run_result_and_metrics_byte_identical() {
+        // The telemetry contract: attaching an *enabled* handle — which
+        // registers the TelemetryObserver, switches on phase timing, and
+        // streams incremental counters from CommTotals / WindowedRegret —
+        // must change neither the RunResult nor the metric rows, while
+        // actually producing events.
+        use crate::runner::{run_policy_observed, Algorithm2Config};
+        use mhca_bandit::policies::CsUcb;
+        use mhca_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        struct Fwd(Arc<MemorySink>);
+        impl mhca_telemetry::TraceSink for Fwd {
+            fn emit(&self, e: &mhca_telemetry::Event<'_>) {
+                self.0.emit(e);
+            }
+        }
+
+        let net = crate::Network::random(10, 3, 3.0, 0.1, 9);
+        let cfg = Algorithm2Config::default().with_horizon(80).with_seed(9);
+        let kinds = [
+            ObserverKind::CommTotals,
+            ObserverKind::WindowedRegret { window: 30 },
+        ];
+
+        let mut plain_set = ObserverSet::from_kinds(&kinds);
+        let plain = run_policy_observed(&net, &cfg, &mut CsUcb::new(2.0), &mut plain_set);
+        let mut plain_metrics = MetricTable::new();
+        plain_set.finish_into(&mut plain_metrics);
+
+        let sink = Arc::new(MemorySink::new());
+        let telemetry = Telemetry::from_sink(Box::new(Fwd(sink.clone()))).with_scope("test/seed9");
+        let mut traced_set = ObserverSet::from_kinds(&kinds);
+        traced_set.attach_telemetry(&telemetry);
+        assert!(traced_set.wants_phase_timing());
+        let traced = run_policy_observed(&net, &cfg, &mut CsUcb::new(2.0), &mut traced_set);
+        let mut traced_metrics = MetricTable::new();
+        traced_set.finish_into(&mut traced_metrics);
+
+        assert_eq!(plain, traced, "telemetry must never perturb the run");
+        assert_eq!(
+            plain_metrics, traced_metrics,
+            "telemetry must never add or change metric rows"
+        );
+
+        let lines = sink.lines();
+        assert!(
+            lines.iter().any(|l| l.contains("\"name\":\"phase.decide\"")
+                && l.contains("\"kind\":\"hist\"")),
+            "expected a decide-phase histogram event"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"name\":\"regret.window_per_slot\"")),
+            "expected incremental windowed-regret events"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"name\":\"comm.decisions\"")),
+            "expected incremental comm-totals counters"
+        );
+        assert!(
+            lines.iter().all(|l| l.contains("\"scope\":\"test/seed9\"")),
+            "every event must carry the job scope"
+        );
+    }
+
+    #[test]
     fn new_observer_metrics_are_deterministic() {
         let exp = PolicyRunExperiment(PolicyRunConfig {
             channel: mhca_channels::ChannelModelSpec::Drifting {
@@ -1550,6 +1830,9 @@ mod tests {
             observed_kbps: observed,
             estimated_kbps: 0.0,
             decide_ns: 0,
+            wb_ns: 0,
+            learn_ns: 0,
+            decide_phase_ns: DecidePhaseNs::default(),
             decide_transmissions: 0,
             decide_delivered: 0,
             decide_timeslots: 0,

@@ -57,7 +57,7 @@ pub use distributed::{
 };
 pub use experiment::{
     run_experiment, Experiment, ExperimentCtx, ExperimentData, ExperimentOutput, MetricTable,
-    ObserverKind, ObserverSet, RoundObserver, RoundRecord, ScenarioShape,
+    ObserverKind, ObserverSet, RoundObserver, RoundRecord, ScenarioShape, TelemetryObserver,
 };
 pub use experiments::{PolicyRunConfig, PolicySpec};
 pub use network::Network;

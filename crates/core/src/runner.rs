@@ -259,6 +259,14 @@ pub fn run_policy_observed(
     // intended for Fig. 7-sized instances (≲ 20 users × a few channels).
     let observing = !observers.is_empty();
     let tally_channels = observers.wants_channel_stats();
+    // Per-phase wall clocks (WB / learn, plus the PTAS's internal decide
+    // breakdown) are priced only when a sink asks: the extra Instant
+    // reads are noise at large n but measurable in small-n hot loops,
+    // and set_profile_phases adds stamps inside the decide itself.
+    let phase_timing = observers.wants_phase_timing();
+    if phase_timing {
+        ptas.set_profile_phases(true);
+    }
     let m_channels = net.n_channels();
     let mut chan_attempts = vec![0u64; if tally_channels { m_channels } else { 0 }];
     let mut chan_captures = vec![0u64; if tally_channels { m_channels } else { 0 }];
@@ -281,6 +289,7 @@ pub fn run_policy_observed(
         // The simulation models the learning state directly (the policy's
         // ArmStats are global), so only the broadcast's cost is needed —
         // counters advance without materializing inboxes.
+        let wb_start = phase_timing.then(Instant::now);
         if !prev_winners.is_empty() {
             wb_floods.clear();
             wb_floods.extend(prev_winners.iter().map(|&v| Flood {
@@ -290,6 +299,7 @@ pub fn run_policy_observed(
             }));
             wb_engine.broadcast_only(&wb_floods);
         }
+        let wb_ns = wb_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
 
         // ---- Strategy decision with the policy's current indices.
         policy.indices_into(t + 1, &stats, &mut rng, &mut indices);
@@ -314,6 +324,7 @@ pub fn run_policy_observed(
             chan_captures.fill(0);
         }
         let mut period_expected = 0.0;
+        let learn_start = phase_timing.then(Instant::now);
         for s in t..t + period_len {
             net.channels().observe_into(s, winners, &mut obs);
             let raw: f64 = obs.iter().map(|&(_, x)| x).sum();
@@ -345,6 +356,7 @@ pub fn run_policy_observed(
                 }
             }
         }
+        let learn_ns = learn_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
 
         // ---- Period bookkeeping (Section V-C identities).
         let rp = cfg.time.period_effective_throughput(&period_obs);
@@ -393,6 +405,9 @@ pub fn run_policy_observed(
                 observed_kbps: period_obs.iter().sum(),
                 estimated_kbps,
                 decide_ns,
+                wb_ns,
+                learn_ns,
+                decide_phase_ns: ptas.phase_ns(),
                 decide_transmissions: outcome.counters.transmissions,
                 decide_delivered: outcome.counters.delivered,
                 decide_timeslots: outcome.counters.timeslots,

@@ -1,0 +1,383 @@
+//! Fixed-size log-bucketed latency histogram.
+//!
+//! The layout is the classic HdrHistogram compromise: values below 16 get
+//! exact unit buckets; above that, each power-of-two octave is split into
+//! 16 sub-buckets, so the bucket width is always ≤ 1/16 of the value and
+//! the relative quantization error is ≤ 6.25 %. Everything lives in one
+//! inline array of 976 counters (≈ 8 KiB), so [`LogHistogram::record`]
+//! is an index computation and an increment — no branches on growth, no
+//! heap, which is what lets the instrumented round loop stay
+//! allocation-free (pinned by `tests/alloc_free.rs`).
+//!
+//! Histograms cross process boundaries as **sparse bucket dumps**
+//! (`[[index, count], …]` inside `hist` events) and merge exactly:
+//! bucket counts add, so percentiles computed by `mhca-campaign tail`
+//! over a merged histogram equal those of a histogram that had seen every
+//! sample directly — the only loss is the (bounded) bucket quantization
+//! both sides share.
+
+/// Sub-bucket precision: each octave splits into `2^PRECISION_BITS`
+/// buckets.
+const PRECISION_BITS: usize = 4;
+/// Sub-buckets per octave (16).
+const SUB: usize = 1 << PRECISION_BITS;
+/// Total bucket count covering the full `u64` range: the unit range plus
+/// `64 - PRECISION_BITS` octaves of `SUB` sub-buckets each (the top index,
+/// for `u64::MAX`, is `((64 - PRECISION_BITS) << PRECISION_BITS) + SUB - 1`).
+const BUCKETS: usize = ((64 - PRECISION_BITS) << PRECISION_BITS) + SUB;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (latencies in
+/// nanoseconds, counts, …). See the module docs for the layout.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .finish()
+    }
+}
+
+/// Bucket index of a value (monotone in `v`).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let shift = msb - PRECISION_BITS;
+        ((shift + 1) << PRECISION_BITS) + (((v >> shift) as usize) & (SUB - 1))
+    }
+}
+
+/// Smallest value mapping to bucket `idx`.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let block = idx >> PRECISION_BITS;
+        let sub = (idx & (SUB - 1)) as u64;
+        (SUB as u64 + sub) << (block - 1)
+    }
+}
+
+/// Width of bucket `idx` (1 for the exact range, doubling per octave).
+fn bucket_width(idx: usize) -> u64 {
+    if idx < 2 * SUB {
+        1
+    } else {
+        1u64 << ((idx >> PRECISION_BITS) - 1)
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram. All storage is inline; no heap is touched here
+    /// or by any later [`record`](Self::record).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Forgets all samples (storage retained).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Records one sample. Allocation-free and O(1).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating; exact for direct recording,
+    /// bucket-approximated after [`merge_bucket`](Self::merge_bucket)).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` (in percent, 0–100): the representative value
+    /// of the bucket holding the ⌈q·n/100⌉-th smallest sample. Accurate to
+    /// the bucket width, i.e. within 6.25 % of the true order statistic.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q / 100.0) * self.count as f64).ceil() as u64;
+        let target = target.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen >= target {
+                return Self::representative(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Representative (midpoint) value of bucket `idx`.
+    fn representative(idx: usize) -> u64 {
+        bucket_floor(idx) + bucket_width(idx) / 2
+    }
+
+    /// Folds another histogram in. Bucket counts add exactly, so merged
+    /// percentiles equal those of a histogram that saw every sample.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Adds `n` samples directly into bucket `idx` — the ingestion side of
+    /// a sparse dump (see [`write_sparse_json`](Self::write_sparse_json)).
+    /// Sum/min/max are approximated by the bucket representative; bucket
+    /// counts (and hence percentiles) stay exact. Out-of-range indices are
+    /// ignored.
+    pub fn merge_bucket(&mut self, idx: usize, n: u64) {
+        if idx >= BUCKETS || n == 0 {
+            return;
+        }
+        let rep = Self::representative(idx);
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(rep.saturating_mul(n));
+        self.min = self.min.min(rep);
+        self.max = self.max.max(rep);
+    }
+
+    /// Iterates the non-empty buckets as `(index, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Appends the sparse bucket dump as a JSON array `[[index, count],…]`
+    /// — the payload of `hist` events, consumed by `mhca-campaign tail`.
+    pub fn write_sparse_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push('[');
+        let mut first = true;
+        for (idx, c) in self.nonzero_buckets() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{idx},{c}]");
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        // Buckets 0..15 are unit-width, so percentiles are exact.
+        assert_eq!(h.percentile(100.0), 15);
+        assert_eq!(h.p50(), 7);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        let mut prev = 0usize;
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 30,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index must be monotone (v={v})");
+            assert!(idx < BUCKETS);
+            assert!(bucket_floor(idx) <= v, "floor exceeds value at v={v}");
+            assert!(
+                v - bucket_floor(idx) < bucket_width(idx),
+                "value outside its bucket at v={v}"
+            );
+            prev = idx;
+        }
+        // Every boundary between consecutive buckets is tight.
+        for idx in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_floor(idx) + bucket_width(idx),
+                bucket_floor(idx + 1),
+                "gap between buckets {idx} and {}",
+                idx + 1
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_within_relative_error() {
+        let mut h = LogHistogram::new();
+        // 1..=10_000: known order statistics.
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(50.0, 5_000u64), (99.0, 9_900), (99.9, 9_990)] {
+            let got = h.percentile(q) as f64;
+            let err = (got - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= 0.0625,
+                "p{q}: got {got}, exact {exact}, err {err:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_dump_round_trips_percentiles() {
+        let mut h = LogHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 2_000_000);
+        }
+        let mut rebuilt = LogHistogram::new();
+        for (idx, c) in h.nonzero_buckets() {
+            rebuilt.merge_bucket(idx, c);
+        }
+        assert_eq!(rebuilt.count(), h.count());
+        for q in [1.0, 25.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(rebuilt.percentile(q), h.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut u = LogHistogram::new();
+        for v in 0..3_000u64 {
+            let sample = v * v % 500_000;
+            if v % 2 == 0 {
+                a.record(sample);
+            } else {
+                b.record(sample);
+            }
+            u.record(sample);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), u.count());
+        assert_eq!(a.min(), u.min());
+        assert_eq!(a.max(), u.max());
+        for q in [10.0, 50.0, 99.0] {
+            assert_eq!(a.percentile(q), u.percentile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn sparse_json_shape() {
+        let mut h = LogHistogram::new();
+        h.record(3);
+        h.record(3);
+        h.record(40);
+        let mut s = String::new();
+        h.write_sparse_json(&mut s);
+        assert!(s.starts_with("[["), "got {s}");
+        assert!(s.contains("[3,2]"), "got {s}");
+    }
+}

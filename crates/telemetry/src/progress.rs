@@ -1,0 +1,225 @@
+//! Live campaign progress: heartbeat lines and the `progress.json`
+//! snapshot.
+//!
+//! The tracker distinguishes jobs finished *this session* from jobs
+//! already complete in a resumed manifest: rates and the ETA are computed
+//! from session throughput only, so resuming a 90 %-done campaign does
+//! not report a fantasy rate, while `done/total` still shows campaign-wide
+//! completion.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Tracks campaign completion and emits rate-limited heartbeats.
+#[derive(Debug)]
+pub struct ProgressTracker {
+    total: usize,
+    done: usize,
+    session_done: usize,
+    rounds: u64,
+    started: Instant,
+    last_emit: Option<Instant>,
+    min_interval: Duration,
+}
+
+/// A point-in-time view of campaign progress.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressSnapshot {
+    /// Jobs complete campaign-wide (including pre-resume).
+    pub done: usize,
+    /// Total jobs in the campaign.
+    pub total: usize,
+    /// Decision rounds executed this session.
+    pub rounds: u64,
+    /// Seconds since the tracker was created.
+    pub elapsed_s: f64,
+    /// Jobs finished per second, this session.
+    pub jobs_per_s: f64,
+    /// Decision rounds per second, this session.
+    pub rounds_per_s: f64,
+    /// Estimated seconds until completion (`None` until a rate exists).
+    pub eta_s: Option<f64>,
+}
+
+impl ProgressTracker {
+    /// A tracker for a campaign of `total` jobs, `already_done` of which
+    /// completed in previous sessions. Heartbeats are spaced at least
+    /// `min_interval` apart.
+    pub fn new(total: usize, already_done: usize, min_interval: Duration) -> Self {
+        ProgressTracker {
+            total,
+            done: already_done.min(total),
+            session_done: 0,
+            rounds: 0,
+            started: Instant::now(),
+            last_emit: None,
+            min_interval,
+        }
+    }
+
+    /// Records one finished job and the decision rounds it executed.
+    pub fn job_done(&mut self, rounds: u64) {
+        self.done = (self.done + 1).min(self.total);
+        self.session_done += 1;
+        self.rounds += rounds;
+    }
+
+    /// Jobs complete campaign-wide.
+    pub fn done(&self) -> usize {
+        self.done
+    }
+
+    /// Whether a heartbeat is due: always on the first call and at
+    /// completion, otherwise rate-limited to `min_interval`. Marks the
+    /// heartbeat as emitted when returning `true`.
+    pub fn should_emit(&mut self) -> bool {
+        let due = match self.last_emit {
+            None => true,
+            Some(at) => at.elapsed() >= self.min_interval || self.done == self.total,
+        };
+        if due {
+            self.last_emit = Some(Instant::now());
+        }
+        due
+    }
+
+    /// The current progress snapshot.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let elapsed_s = self.started.elapsed().as_secs_f64();
+        let (jobs_per_s, rounds_per_s) = if elapsed_s > 0.0 {
+            (
+                self.session_done as f64 / elapsed_s,
+                self.rounds as f64 / elapsed_s,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+        let remaining = (self.total - self.done) as f64;
+        let eta_s = (jobs_per_s > 0.0 && remaining > 0.0).then(|| remaining / jobs_per_s);
+        ProgressSnapshot {
+            done: self.done,
+            total: self.total,
+            rounds: self.rounds,
+            elapsed_s,
+            jobs_per_s,
+            rounds_per_s,
+            eta_s,
+        }
+    }
+}
+
+/// Renders seconds as a compact human duration (`45s`, `3m05s`, `2h11m`).
+fn human_secs(s: f64) -> String {
+    let s = s.round() as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
+impl ProgressSnapshot {
+    /// One-line heartbeat for the terminal, e.g.
+    /// `progress: 12/80 jobs (15.0%) · 4.1 jobs/s · 310k rounds/s · ETA 17s`.
+    pub fn heartbeat_line(&self) -> String {
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.done as f64 / self.total as f64
+        };
+        let mut line = format!(
+            "progress: {}/{} jobs ({pct:.1}%) · {:.1} jobs/s",
+            self.done, self.total, self.jobs_per_s
+        );
+        if self.rounds_per_s >= 1.0 {
+            if self.rounds_per_s >= 10_000.0 {
+                let _ = write!(line, " · {:.0}k rounds/s", self.rounds_per_s / 1000.0);
+            } else {
+                let _ = write!(line, " · {:.0} rounds/s", self.rounds_per_s);
+            }
+        }
+        match self.eta_s {
+            Some(eta) => {
+                let _ = write!(line, " · ETA {}", human_secs(eta));
+            }
+            None if self.done < self.total => line.push_str(" · ETA --"),
+            None => line.push_str(" · done"),
+        }
+        line
+    }
+
+    /// The snapshot as a standalone JSON object — the body of
+    /// `progress.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"done\":{},\"total\":{},\"rounds\":{},\"elapsed_s\":{:.3},\
+             \"jobs_per_s\":{:.3},\"rounds_per_s\":{:.1},\"eta_s\":",
+            self.done, self.total, self.rounds, self.elapsed_s, self.jobs_per_s, self.rounds_per_s
+        );
+        match self.eta_s {
+            Some(eta) => {
+                let _ = write!(out, "{:.1}", eta);
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_heartbeat_fires_immediately_then_rate_limits() {
+        let mut t = ProgressTracker::new(10, 0, Duration::from_secs(3600));
+        assert!(t.should_emit());
+        t.job_done(100);
+        assert!(!t.should_emit(), "inside min_interval");
+        for _ in 0..9 {
+            t.job_done(100);
+        }
+        assert!(t.should_emit(), "completion always emits");
+    }
+
+    #[test]
+    fn resume_counts_prior_jobs_in_done_but_not_rates() {
+        let mut t = ProgressTracker::new(100, 40, Duration::ZERO);
+        t.job_done(500);
+        let s = t.snapshot();
+        assert_eq!(s.done, 41);
+        assert_eq!(s.total, 100);
+        assert_eq!(s.rounds, 500);
+    }
+
+    #[test]
+    fn heartbeat_line_and_json_shape() {
+        let s = ProgressSnapshot {
+            done: 12,
+            total: 80,
+            rounds: 120_000,
+            elapsed_s: 3.0,
+            jobs_per_s: 4.0,
+            rounds_per_s: 40_000.0,
+            eta_s: Some(17.0),
+        };
+        let line = s.heartbeat_line();
+        assert!(line.starts_with("progress: 12/80 jobs (15.0%)"), "{line}");
+        assert!(line.contains("ETA 17s"), "{line}");
+        let json = s.to_json();
+        assert!(json.starts_with("{\"done\":12,\"total\":80,"), "{json}");
+        assert!(json.ends_with("\"eta_s\":17.0}"), "{json}");
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human_secs(45.0), "45s");
+        assert_eq!(human_secs(185.0), "3m05s");
+        assert_eq!(human_secs(7890.0), "2h11m");
+    }
+}

@@ -1,0 +1,409 @@
+//! Trace sinks and the [`Telemetry`] handle threaded through the stack.
+//!
+//! `Telemetry` is `Option<Arc<…>>` inside: a disabled handle
+//! ([`Telemetry::disabled`]) short-circuits every operation on a `None`
+//! check, so instrumentation in hot loops costs a branch when tracing is
+//! off — no allocation, no clock reads beyond span construction, no
+//! formatting. All formatting happens inside the enabled path, after the
+//! branch.
+//!
+//! Sinks must tolerate concurrent emission: campaign workers trace from
+//! the shared-queue worker pool. [`JsonlSink`] serializes whole lines
+//! under one mutex so `events.jsonl` lines never interleave. Sink write
+//! errors are swallowed by design — observability must never fail or
+//! perturb the experiment (the byte-identity contract).
+
+use crate::event::{Event, EventKind, FieldValue};
+use crate::hist::LogHistogram;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Receives telemetry events. Implementations must be thread-safe; they
+/// are shared across campaign workers.
+pub trait TraceSink: Send + Sync {
+    /// Handle one event. Must not panic; errors are the sink's to swallow.
+    fn emit(&self, event: &Event<'_>);
+    /// Flush any buffering (end of campaign).
+    fn flush(&self) {}
+}
+
+/// Discards everything. The default when tracing is off.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn emit(&self, _event: &Event<'_>) {}
+}
+
+/// Appends one compact JSON object per line to a buffered file — the
+/// `events.jsonl` writer. A single mutex guards the writer *and* a reused
+/// serialization buffer, so concurrent emitters produce whole,
+/// non-interleaved lines.
+pub struct JsonlSink {
+    inner: Mutex<(BufWriter<File>, String)>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the JSONL file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Self::from_file(File::create(path)?)
+    }
+
+    /// Opens the JSONL file at `path` for appending, creating it if
+    /// missing. This is what a resumed campaign wants: the trace
+    /// accumulates across sessions like the manifest does, so job spans
+    /// from an interrupted run and its resume sum to the full campaign.
+    /// (`ts_us` restarts at each session's epoch; readers must not
+    /// assume global monotonicity.)
+    pub fn append(path: &Path) -> std::io::Result<JsonlSink> {
+        Self::from_file(File::options().create(true).append(true).open(path)?)
+    }
+
+    fn from_file(file: File) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            inner: Mutex::new((BufWriter::new(file), String::with_capacity(256))),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut guard = self.inner.lock().unwrap();
+        let (writer, buf) = &mut *guard;
+        buf.clear();
+        event.write_json(buf);
+        buf.push('\n');
+        let _ = writer.write_all(buf.as_bytes());
+    }
+
+    fn flush(&self) {
+        let mut guard = self.inner.lock().unwrap();
+        let _ = guard.0.flush();
+    }
+}
+
+/// Captures serialized lines in memory — for tests.
+#[derive(Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all lines emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap().clone()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = String::new();
+        event.write_json(&mut line);
+        self.lines.lock().unwrap().push(line);
+    }
+}
+
+struct TelemetryInner {
+    sink: Box<dyn TraceSink>,
+    epoch: Instant,
+}
+
+/// A cheaply clonable, scoped handle for emitting telemetry.
+///
+/// Scopes are `/`-separated paths built with
+/// [`with_scope`](Telemetry::with_scope): the campaign runner hands each
+/// job a handle scoped `"<scenario>/seed<k>"`, so every event carries its
+/// origin without the emitter knowing the hierarchy.
+///
+/// A disabled handle makes every method a no-op after one branch;
+/// cloning either kind is at most two `Arc` bumps.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<TelemetryInner>>,
+    scope: Arc<str>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .field("scope", &self.scope)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A handle that records nothing. Every operation is a branch.
+    pub fn disabled() -> Self {
+        Telemetry {
+            inner: None,
+            scope: Arc::from(""),
+        }
+    }
+
+    /// A root handle feeding `sink`. Event timestamps count from this
+    /// moment.
+    pub fn from_sink(sink: Box<dyn TraceSink>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(TelemetryInner {
+                sink,
+                epoch: Instant::now(),
+            })),
+            scope: Arc::from(""),
+        }
+    }
+
+    /// Whether events actually go anywhere.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This handle's scope path (`""` at the root).
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// A child handle with `segment` appended to the scope path. On a
+    /// disabled handle this is a plain clone (no formatting).
+    pub fn with_scope(&self, segment: &str) -> Telemetry {
+        if self.inner.is_none() {
+            return self.clone();
+        }
+        let scope: Arc<str> = if self.scope.is_empty() {
+            Arc::from(segment)
+        } else {
+            Arc::from(format!("{}/{segment}", self.scope))
+        };
+        Telemetry {
+            inner: self.inner.clone(),
+            scope,
+        }
+    }
+
+    /// Emits an event of arbitrary kind with explicit fields.
+    pub fn event(&self, kind: EventKind, name: &str, fields: &[(&str, FieldValue<'_>)]) {
+        if let Some(inner) = &self.inner {
+            let event = Event {
+                ts_us: inner.epoch.elapsed().as_micros() as u64,
+                kind,
+                scope: &self.scope,
+                name,
+                fields,
+            };
+            inner.sink.emit(&event);
+        }
+    }
+
+    /// Emits a cumulative counter sample.
+    pub fn counter(&self, name: &str, value: u64) {
+        self.event(
+            EventKind::Counter,
+            name,
+            &[("value", FieldValue::U64(value))],
+        );
+    }
+
+    /// Emits an instantaneous measurement.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.event(EventKind::Gauge, name, &[("value", FieldValue::F64(value))]);
+    }
+
+    /// Emits an error event with human-readable context.
+    pub fn error(&self, name: &str, message: &str) {
+        self.event(
+            EventKind::Error,
+            name,
+            &[("message", FieldValue::Str(message))],
+        );
+    }
+
+    /// Emits a histogram summary (count/min/max/p50/p99/p999) plus the
+    /// exact sparse bucket dump, so downstream consumers can re-merge.
+    /// Empty histograms are skipped.
+    pub fn hist(&self, name: &str, h: &LogHistogram) {
+        if self.inner.is_none() || h.is_empty() {
+            return;
+        }
+        let mut buckets = String::with_capacity(64);
+        h.write_sparse_json(&mut buckets);
+        self.event(
+            EventKind::Hist,
+            name,
+            &[
+                ("count", FieldValue::U64(h.count())),
+                ("min", FieldValue::U64(h.min())),
+                ("max", FieldValue::U64(h.max())),
+                ("p50", FieldValue::U64(h.p50())),
+                ("p99", FieldValue::U64(h.p99())),
+                ("p999", FieldValue::U64(h.p999())),
+                ("buckets", FieldValue::Raw(&buckets)),
+            ],
+        );
+    }
+
+    /// Opens a span: emits `span_start` now and `span_end` (with
+    /// `dur_ns`) when the returned guard ends or drops. On a disabled
+    /// handle the guard is inert.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.event(EventKind::SpanStart, name, &[]);
+        Span {
+            telemetry: self.clone(),
+            name,
+            start: Instant::now(),
+            ended: false,
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+/// Guard returned by [`Telemetry::span`]. Emits `span_end` with the
+/// elapsed `dur_ns` exactly once — on [`end`](Span::end),
+/// [`end_with`](Span::end_with), or drop.
+pub struct Span {
+    telemetry: Telemetry,
+    name: &'static str,
+    start: Instant,
+    ended: bool,
+}
+
+impl Span {
+    fn emit_end(&mut self, extra: &[(&str, FieldValue<'_>)]) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        // dur_ns first, then caller fields.
+        let mut fields: Vec<(&str, FieldValue<'_>)> = Vec::with_capacity(1 + extra.len());
+        fields.push(("dur_ns", FieldValue::U64(dur_ns)));
+        fields.extend_from_slice(extra);
+        self.telemetry.event(EventKind::SpanEnd, self.name, &fields);
+    }
+
+    /// Closes the span now.
+    pub fn end(mut self) {
+        self.emit_end(&[]);
+    }
+
+    /// Closes the span with extra fields on the `span_end` event (e.g.
+    /// `status`, per-job totals).
+    pub fn end_with(mut self, extra: &[(&str, FieldValue<'_>)]) {
+        self.emit_end(extra);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.emit_end(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        t.counter("x", 1);
+        t.gauge("y", 2.0);
+        let span = t.span("s");
+        span.end();
+        let child = t.with_scope("a");
+        assert!(!child.enabled());
+        assert_eq!(child.scope(), "");
+    }
+
+    #[test]
+    fn scopes_nest_with_slashes() {
+        let t = Telemetry::from_sink(Box::new(MemorySink::new()));
+        let a = t.with_scope("fig6");
+        let b = a.with_scope("seed3");
+        assert_eq!(b.scope(), "fig6/seed3");
+    }
+
+    #[test]
+    fn memory_sink_captures_span_pairs_and_counters() {
+        let sink = Arc::new(MemorySink::new());
+        struct Fwd(Arc<MemorySink>);
+        impl TraceSink for Fwd {
+            fn emit(&self, e: &Event<'_>) {
+                self.0.emit(e);
+            }
+        }
+        let t = Telemetry::from_sink(Box::new(Fwd(sink.clone())));
+        let job = t.with_scope("scen/seed1");
+        let span = job.span("job");
+        job.counter("rounds", 7);
+        span.end_with(&[("status", FieldValue::Str("ok"))]);
+        let mut h = LogHistogram::new();
+        h.record(10);
+        job.hist("phase.decide", &h);
+        t.flush();
+
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"kind\":\"span_start\"") && lines[0].contains("\"job\""));
+        assert!(lines[1].contains("\"kind\":\"counter\"") && lines[1].contains("\"value\":7"));
+        assert!(lines[2].contains("\"kind\":\"span_end\"") && lines[2].contains("\"dur_ns\":"));
+        assert!(lines[2].contains("\"status\":\"ok\""));
+        assert!(lines[3].contains("\"kind\":\"hist\"") && lines[3].contains("\"buckets\":[["));
+        for line in &lines {
+            assert!(line.contains("\"scope\":\"scen/seed1\""));
+        }
+    }
+
+    #[test]
+    fn empty_histograms_are_not_emitted() {
+        let sink = Arc::new(MemorySink::new());
+        struct Fwd(Arc<MemorySink>);
+        impl TraceSink for Fwd {
+            fn emit(&self, e: &Event<'_>) {
+                self.0.emit(e);
+            }
+        }
+        let t = Telemetry::from_sink(Box::new(Fwd(sink.clone())));
+        t.hist("empty", &LogHistogram::new());
+        assert!(sink.lines().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("mhca_telemetry_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let t = Telemetry::from_sink(Box::new(JsonlSink::create(&path).unwrap()));
+        t.counter("a", 1);
+        t.counter("b", 2);
+        t.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

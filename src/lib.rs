@@ -17,6 +17,7 @@
 //! | [`sim`] | `mhca-sim` | hop-limited flooding engine with complexity counters |
 //! | [`bandit`] | `mhca-bandit` | CS-UCB, LLR, joint-UCB1, regret accounting, bound evaluators |
 //! | [`core`] | `mhca-core` | Algorithm 2/3, Table II time model, figure harnesses |
+//! | [`telemetry`] | `mhca-telemetry` | trace sinks, spans, log-bucketed latency histograms, progress |
 //!
 //! # Quickstart
 //!
@@ -45,3 +46,4 @@ pub use mhca_core as core;
 pub use mhca_graph as graph;
 pub use mhca_mwis as mwis;
 pub use mhca_sim as sim;
+pub use mhca_telemetry as telemetry;

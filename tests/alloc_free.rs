@@ -217,6 +217,84 @@ fn policy_indices_into_is_allocation_free() {
 }
 
 #[test]
+fn log_histogram_record_is_allocation_free() {
+    // The telemetry histogram is a fixed inline bucket array; recording
+    // must never touch the heap, or the traced round loop would allocate
+    // per decision.
+    let mut hist = mhca::telemetry::LogHistogram::new();
+    hist.record(1); // nothing to warm, but keep the shape uniform
+    let allocs = min_allocs(3, || {
+        for v in 0..10_000u64 {
+            hist.record(v * v);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "LogHistogram::record must not allocate (counted {allocs})"
+    );
+    assert!(hist.count() > 0);
+}
+
+#[test]
+fn disabled_telemetry_emission_is_allocation_free() {
+    // The disabled handle is the default in every runner; its counter /
+    // gauge / span path must cost nothing so untraced runs stay on the
+    // PR-1 allocation-free contract.
+    use mhca::telemetry::{FieldValue, Telemetry};
+    let telemetry = Telemetry::disabled();
+    let allocs = min_allocs(3, || {
+        for i in 0..1_000u64 {
+            telemetry.counter("loop.counter", i);
+            telemetry.gauge("loop.gauge", i as f64);
+            telemetry.event(
+                mhca::telemetry::EventKind::SpanEnd,
+                "loop.span",
+                &[("dur_ns", FieldValue::U64(i))],
+            );
+            let span = telemetry.span("loop");
+            span.end();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "disabled Telemetry must not allocate on emission (counted {allocs})"
+    );
+}
+
+#[test]
+fn traced_round_loop_allocation_grows_sublinearly_with_horizon() {
+    // Same end-to-end guard as below, but with a telemetry-attached
+    // observer set over a no-op sink: histogram recording and sampled
+    // span emission ride the round loop, so the per-slot path must stay
+    // allocation-free with tracing enabled too. (Span/hist emission at
+    // the run boundaries may allocate; the loop must not.)
+    use mhca::core::experiment::ObserverSet;
+    use mhca::telemetry::{NoopSink, Telemetry};
+    let net = Network::random(30, 3, 4.0, 0.1, 3);
+    let count_run = |horizon: u64| {
+        min_allocs(2, || {
+            let telemetry = Telemetry::from_sink(Box::new(NoopSink));
+            let mut observers = ObserverSet::new();
+            observers.attach_telemetry(&telemetry);
+            let cfg = mhca::core::runner::Algorithm2Config::default().with_horizon(horizon);
+            let _ = mhca::core::runner::run_policy_observed(
+                &net,
+                &cfg,
+                &mut CsUcb::new(2.0),
+                &mut observers,
+            );
+        })
+    };
+    let short = count_run(40);
+    let long = count_run(160);
+    // 4× the slots must cost well under 2× the allocations.
+    assert!(
+        long < short * 2,
+        "per-slot allocations leak under tracing: horizon 40 → {short} allocs, horizon 160 → {long}"
+    );
+}
+
+#[test]
 fn run_policy_allocation_grows_sublinearly_with_horizon() {
     // End-to-end guard: the whole-run allocation count must be dominated
     // by setup, not by the per-slot loop. With the loop allocation-free,
