@@ -33,9 +33,11 @@ pub mod bounds;
 pub mod joint;
 pub mod policies;
 pub mod regret;
+pub mod state;
 pub mod stats;
 pub mod thompson;
 
 pub use policies::IndexPolicy;
 pub use regret::RegretTracker;
+pub use state::{StateError, StateMap, StateValue};
 pub use stats::ArmStats;

@@ -1,5 +1,6 @@
 //! Index policies: per-arm weights consumed by a MWIS oracle.
 
+use crate::state::{StateError, StateMap};
 use crate::stats::ArmStats;
 use rand::RngCore;
 use std::fmt::Debug;
@@ -37,6 +38,22 @@ pub trait IndexPolicy: Debug {
     /// non-stationary policies (e.g. [`DiscountedCsUcb`]) maintain their
     /// own decayed statistics here.
     fn observe(&mut self, _arm: usize, _value: f64) {}
+
+    /// Writes the policy's *internal mutable state* into `out` so a
+    /// mid-run checkpoint can resume the policy bit-identically. Policies
+    /// whose only learning state is the shared [`ArmStats`] and the RNG
+    /// stream (CS-UCB, LLR, Thompson, ε-greedy, random, oracle) have
+    /// nothing of their own to record — the default writes nothing.
+    /// Configuration (ε, γ, σ, bonuses) is *not* state: the restoring
+    /// side rebuilds the policy from its spec first.
+    fn snapshot_state(&self, _out: &mut StateMap) {}
+
+    /// Restores state captured by [`IndexPolicy::snapshot_state`] into a
+    /// freshly built policy of the same spec. The default accepts an
+    /// empty map (stateless policies).
+    fn restore_state(&mut self, _state: &StateMap) -> Result<(), StateError> {
+        Ok(())
+    }
 }
 
 /// The paper's learning policy (Algorithm 1 / Eq. (3)):
@@ -348,6 +365,20 @@ impl IndexPolicy for DiscountedCsUcb {
         self.weighted_sum[arm] += value;
         self.weight[arm] += 1.0;
         self.total_weight += 1.0;
+    }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        out.put_f64_vec("weighted_sum", self.weighted_sum.clone());
+        out.put_f64_vec("weight", self.weight.clone());
+        out.put_f64("total_weight", self.total_weight);
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        let k = self.weight.len();
+        self.weighted_sum = state.get_f64_vec_exact("weighted_sum", k)?;
+        self.weight = state.get_f64_vec_exact("weight", k)?;
+        self.total_weight = state.get_f64("total_weight")?;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! Regret accounting: Eq. (1) regret, β-regret, and the practical
 //! (θ-scaled) regret of Section IV-E.
 
+use crate::state::{StateError, StateMap};
 use serde::{Deserialize, Serialize};
 
 /// Tracks the reward history of one policy run and derives the paper's
@@ -147,6 +148,36 @@ impl RegretTracker {
     /// The configured oracle factor β.
     pub fn beta(&self) -> f64 {
         self.beta
+    }
+
+    /// Writes the accumulated reward history into `out` (checkpoint).
+    /// The configuration (`optimal`, `beta`, `theta`) is *not* recorded —
+    /// the restoring side rebuilds the tracker from the run config via
+    /// [`RegretTracker::new`] and then calls
+    /// [`RegretTracker::restore_state`].
+    pub fn snapshot_state(&self, out: &mut StateMap) {
+        out.put_u64("rounds", self.rounds);
+        out.put_f64("expected_sum", self.expected_sum);
+        out.put_f64("observed_sum", self.observed_sum);
+        out.put_f64_vec("cumulative_regret", self.cumulative_regret.clone());
+        out.put_f64_vec(
+            "cumulative_beta_regret",
+            self.cumulative_beta_regret.clone(),
+        );
+    }
+
+    /// Restores history captured by [`RegretTracker::snapshot_state`]
+    /// into a tracker built with the same configuration.
+    pub fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        let rounds = state.get_u64("rounds")?;
+        let n = usize::try_from(rounds)
+            .map_err(|_| StateError::invalid("rounds", "round count overflows usize"))?;
+        self.rounds = rounds;
+        self.expected_sum = state.get_f64("expected_sum")?;
+        self.observed_sum = state.get_f64("observed_sum")?;
+        self.cumulative_regret = state.get_f64_vec_exact("cumulative_regret", n)?;
+        self.cumulative_beta_regret = state.get_f64_vec_exact("cumulative_beta_regret", n)?;
+        Ok(())
     }
 }
 

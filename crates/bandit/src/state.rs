@@ -1,0 +1,292 @@
+//! Snapshot currency for mid-run checkpointing.
+//!
+//! A [`StateMap`] is an *ordered* list of `(key, value)` pairs holding the
+//! resumable state of one component — a policy's decayed statistics, the
+//! regret tracker's sums, the runner's RNG position. Components write
+//! snapshots with the `put_*` methods and read them back with the `get_*`
+//! methods; the service layer serializes the map to the checkpoint file
+//! (encoding every `f64` by its exact bit pattern, so restore is
+//! bit-identical — see `mhca_service::checkpoint`).
+//!
+//! Keys are flat strings. Component composition uses dotted prefixes:
+//! [`StateMap::put_nested`] folds a child map in under `"<prefix>."`, and
+//! [`StateMap::extract_nested`] pulls it back out. Insertion order is
+//! preserved end to end, which keeps serialized checkpoints byte-stable
+//! across snapshot/restore cycles.
+
+use std::fmt;
+
+/// One value in a [`StateMap`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateValue {
+    /// Unsigned counter (round numbers, play counts, stream positions).
+    U64(u64),
+    /// Floating-point scalar, restored bit-exactly.
+    F64(f64),
+    /// Vector of counters.
+    U64Vec(Vec<u64>),
+    /// Vector of floats, restored bit-exactly element-wise.
+    F64Vec(Vec<f64>),
+}
+
+impl StateValue {
+    /// Human-readable type tag, used in error messages and serialization.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            StateValue::U64(_) => "u64",
+            StateValue::F64(_) => "f64",
+            StateValue::U64Vec(_) => "u64vec",
+            StateValue::F64Vec(_) => "f64vec",
+        }
+    }
+}
+
+/// A restore failed: a key was missing or held the wrong type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateError {
+    /// The offending key.
+    pub key: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl StateError {
+    fn missing(key: &str) -> Self {
+        StateError {
+            key: key.to_string(),
+            message: "missing key".to_string(),
+        }
+    }
+
+    fn wrong_type(key: &str, want: &str, got: &str) -> Self {
+        StateError {
+            key: key.to_string(),
+            message: format!("expected {want}, found {got}"),
+        }
+    }
+
+    /// A restore error not tied to key lookup (length mismatch, invalid
+    /// value).
+    pub fn invalid(key: &str, message: impl Into<String>) -> Self {
+        StateError {
+            key: key.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state key `{}`: {}", self.key, self.message)
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Ordered `(key, value)` snapshot of one resumable component.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateMap {
+    entries: Vec<(String, StateValue)>,
+}
+
+impl StateMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        StateMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StateValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Appends `(key, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is already present — duplicate keys would make the
+    /// checkpoint ambiguous.
+    pub fn put(&mut self, key: impl Into<String>, value: StateValue) {
+        let key = key.into();
+        assert!(
+            self.get(&key).is_none(),
+            "duplicate state key `{key}` in snapshot"
+        );
+        self.entries.push((key, value));
+    }
+
+    /// Appends a `u64` entry.
+    pub fn put_u64(&mut self, key: impl Into<String>, value: u64) {
+        self.put(key, StateValue::U64(value));
+    }
+
+    /// Appends an `f64` entry (restored bit-exactly).
+    pub fn put_f64(&mut self, key: impl Into<String>, value: f64) {
+        self.put(key, StateValue::F64(value));
+    }
+
+    /// Appends a `u64` vector entry.
+    pub fn put_u64_vec(&mut self, key: impl Into<String>, value: impl Into<Vec<u64>>) {
+        self.put(key, StateValue::U64Vec(value.into()));
+    }
+
+    /// Appends an `f64` vector entry (restored bit-exactly element-wise).
+    pub fn put_f64_vec(&mut self, key: impl Into<String>, value: impl Into<Vec<f64>>) {
+        self.put(key, StateValue::F64Vec(value.into()));
+    }
+
+    /// Looks up `key`, `None` when absent.
+    pub fn get(&self, key: &str) -> Option<&StateValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Reads a `u64` entry.
+    pub fn get_u64(&self, key: &str) -> Result<u64, StateError> {
+        match self.get(key) {
+            Some(StateValue::U64(v)) => Ok(*v),
+            Some(other) => Err(StateError::wrong_type(key, "u64", other.type_name())),
+            None => Err(StateError::missing(key)),
+        }
+    }
+
+    /// Reads an `f64` entry.
+    pub fn get_f64(&self, key: &str) -> Result<f64, StateError> {
+        match self.get(key) {
+            Some(StateValue::F64(v)) => Ok(*v),
+            Some(other) => Err(StateError::wrong_type(key, "f64", other.type_name())),
+            None => Err(StateError::missing(key)),
+        }
+    }
+
+    /// Reads a `u64` vector entry as a slice.
+    pub fn get_u64_slice(&self, key: &str) -> Result<&[u64], StateError> {
+        match self.get(key) {
+            Some(StateValue::U64Vec(v)) => Ok(v),
+            Some(other) => Err(StateError::wrong_type(key, "u64vec", other.type_name())),
+            None => Err(StateError::missing(key)),
+        }
+    }
+
+    /// Reads an `f64` vector entry as a slice.
+    pub fn get_f64_slice(&self, key: &str) -> Result<&[f64], StateError> {
+        match self.get(key) {
+            Some(StateValue::F64Vec(v)) => Ok(v),
+            Some(other) => Err(StateError::wrong_type(key, "f64vec", other.type_name())),
+            None => Err(StateError::missing(key)),
+        }
+    }
+
+    /// Reads a `u64` vector entry of exactly `len` elements.
+    pub fn get_u64_vec_exact(&self, key: &str, len: usize) -> Result<Vec<u64>, StateError> {
+        let v = self.get_u64_slice(key)?;
+        if v.len() != len {
+            return Err(StateError::invalid(
+                key,
+                format!("expected {len} elements, found {}", v.len()),
+            ));
+        }
+        Ok(v.to_vec())
+    }
+
+    /// Reads an `f64` vector entry of exactly `len` elements.
+    pub fn get_f64_vec_exact(&self, key: &str, len: usize) -> Result<Vec<f64>, StateError> {
+        let v = self.get_f64_slice(key)?;
+        if v.len() != len {
+            return Err(StateError::invalid(
+                key,
+                format!("expected {len} elements, found {}", v.len()),
+            ));
+        }
+        Ok(v.to_vec())
+    }
+
+    /// Folds `child` in under `"<prefix>."` — every child key `k` becomes
+    /// `"<prefix>.k"`, preserving order.
+    pub fn put_nested(&mut self, prefix: &str, child: StateMap) {
+        for (k, v) in child.entries {
+            self.put(format!("{prefix}.{k}"), v);
+        }
+    }
+
+    /// Extracts the child map stored under `"<prefix>."`, stripping the
+    /// prefix. Empty when no keys match.
+    pub fn extract_nested(&self, prefix: &str) -> StateMap {
+        let dotted = format!("{prefix}.");
+        let entries = self
+            .entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(&dotted))
+            .map(|(k, v)| (k[dotted.len()..].to_string(), v.clone()))
+            .collect();
+        StateMap { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_value_type() {
+        let mut m = StateMap::new();
+        m.put_u64("rounds", 42);
+        m.put_f64("sum", -0.0);
+        m.put_u64_vec("counts", vec![1, 2, 3]);
+        m.put_f64_vec("means", vec![0.5, f64::MIN_POSITIVE]);
+        assert_eq!(m.get_u64("rounds").unwrap(), 42);
+        assert_eq!(m.get_f64("sum").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(m.get_u64_slice("counts").unwrap(), &[1, 2, 3]);
+        assert_eq!(m.get_f64_slice("means").unwrap(), &[0.5, f64::MIN_POSITIVE]);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn missing_and_mistyped_keys_error() {
+        let mut m = StateMap::new();
+        m.put_u64("a", 1);
+        assert_eq!(m.get_u64("b").unwrap_err().message, "missing key");
+        assert!(m.get_f64("a").unwrap_err().message.contains("expected f64"));
+        assert!(m.get_u64_vec_exact("a", 2).is_err());
+    }
+
+    #[test]
+    fn exact_length_vec_reads_enforce_length() {
+        let mut m = StateMap::new();
+        m.put_f64_vec("v", vec![1.0, 2.0]);
+        assert_eq!(m.get_f64_vec_exact("v", 2).unwrap(), vec![1.0, 2.0]);
+        let err = m.get_f64_vec_exact("v", 3).unwrap_err();
+        assert!(err.message.contains("expected 3 elements"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate state key")]
+    fn duplicate_keys_rejected() {
+        let mut m = StateMap::new();
+        m.put_u64("k", 1);
+        m.put_u64("k", 2);
+    }
+
+    #[test]
+    fn nesting_round_trips_and_preserves_order() {
+        let mut child = StateMap::new();
+        child.put_u64("flood", 7);
+        child.put_f64_vec("w", vec![0.25]);
+        let mut parent = StateMap::new();
+        parent.put_u64("t", 100);
+        parent.put_nested("loss", child.clone());
+        assert_eq!(parent.get_u64("loss.flood").unwrap(), 7);
+        let back = parent.extract_nested("loss");
+        assert_eq!(back, child);
+        assert!(parent.extract_nested("absent").is_empty());
+    }
+}

@@ -27,6 +27,18 @@ impl ArmStats {
         }
     }
 
+    /// Rebuilds statistics from previously captured parts (checkpoint
+    /// restore). The vectors must be exactly as returned by
+    /// [`ArmStats::means`] / [`ArmStats::counts`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn from_parts(means: Vec<f64>, counts: Vec<u64>) -> Self {
+        assert_eq!(means.len(), counts.len(), "means/counts length mismatch");
+        ArmStats { means, counts }
+    }
+
     /// Number of arms `K`.
     pub fn k(&self) -> usize {
         self.means.len()

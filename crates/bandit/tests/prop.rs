@@ -141,3 +141,109 @@ proptest! {
         prop_assert_eq!(listed.len(), count);
     }
 }
+
+// ---- Policy-state round-trip battery (PR 8).
+//
+// Every IndexPolicy must checkpoint mid-stream and continue
+// bit-identically: snapshot the policy's internal state and the RNG
+// stream position after `warmup` rounds, rebuild a fresh policy from the
+// same spec, restore, and verify the next `cont` rounds produce the same
+// index bits as the uninterrupted policy. ArmStats is shared state and
+// travels alongside (the runner checkpoints it separately).
+
+mod roundtrip {
+    use super::*;
+    use mhca_bandit::policies::{DiscountedCsUcb, Random};
+    use mhca_bandit::thompson::GaussianThompson;
+    use mhca_bandit::StateMap;
+
+    /// One fresh instance per policy kind, as `PolicySpec::build` makes
+    /// them (configuration comes from the spec, never the checkpoint).
+    fn zoo(k: usize) -> Vec<Box<dyn IndexPolicy>> {
+        let means: Vec<f64> = (0..k).map(|a| (a as f64 + 0.5) / k as f64).collect();
+        vec![
+            Box::new(CsUcb::new(2.0)),
+            Box::new(Llr::new(k, 2.0)),
+            Box::new(GaussianThompson::new(0.5, 2.0)),
+            Box::new(DiscountedCsUcb::new(k, 0.97, 2.0)),
+            Box::new(EpsilonGreedy::new(0.1, 2.0)),
+            Box::new(Random),
+            Box::new(Oracle::new(means)),
+        ]
+    }
+
+    /// Deterministic pseudo-observation for round `t`, arm `a`.
+    fn obs(t: u64, a: usize) -> f64 {
+        ((t.wrapping_mul(31) + a as u64) % 7) as f64 / 7.0
+    }
+
+    /// Drives `rounds` rounds: indices, then an observation on every arm.
+    fn drive(
+        policy: &mut dyn IndexPolicy,
+        stats: &mut ArmStats,
+        rng: &mut StdRng,
+        t0: u64,
+        rounds: u64,
+        record: &mut Vec<Vec<f64>>,
+    ) {
+        let k = stats.k();
+        for t in t0..t0 + rounds {
+            record.push(policy.indices(t, stats, rng));
+            for a in 0..k {
+                let v = obs(t, a);
+                stats.update(a, v);
+                policy.observe(a, v);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn every_policy_roundtrips_bit_identically(
+            k in 2usize..9,
+            warmup in 1u64..60,
+            cont in 1u64..40,
+            seed in 0u64..1 << 48,
+        ) {
+            for (which, mut policy) in zoo(k).into_iter().enumerate() {
+                let mut stats = ArmStats::new(k);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut scratch = Vec::new();
+                drive(policy.as_mut(), &mut stats, &mut rng, 1, warmup, &mut scratch);
+
+                // Checkpoint: policy state + RNG stream position (+ the
+                // shared ArmStats, cloned as the runner would restore it).
+                let mut state = StateMap::new();
+                policy.snapshot_state(&mut state);
+                let rng_state = rng.state();
+                let stats_at_ck = stats.clone();
+
+                // Uninterrupted continuation.
+                let mut a = Vec::new();
+                drive(policy.as_mut(), &mut stats, &mut rng, 1 + warmup, cont, &mut a);
+
+                // Fresh policy of the same spec, restored, continued.
+                let mut fresh = zoo(k).remove(which);
+                fresh.restore_state(&state).unwrap();
+                let mut stats2 = stats_at_ck;
+                let mut rng2 = StdRng::from_state(rng_state);
+                let mut b = Vec::new();
+                drive(fresh.as_mut(), &mut stats2, &mut rng2, 1 + warmup, cont, &mut b);
+
+                prop_assert_eq!(a.len(), b.len());
+                for (ia, ib) in a.iter().zip(&b) {
+                    for (va, vb) in ia.iter().zip(ib) {
+                        prop_assert_eq!(
+                            va.to_bits(),
+                            vb.to_bits(),
+                            "policy {} diverged after restore",
+                            policy.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

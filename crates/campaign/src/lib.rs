@@ -27,6 +27,10 @@
 //! * [`tail`] — offline reader for the `--trace` event stream: re-merges
 //!   the per-job histogram dumps in `events.jsonl` and renders the
 //!   per-scenario / per-phase latency table behind `mhca-campaign tail`.
+//! * [`service_exec`] — the [`mhca_service::Executor`] implementation
+//!   behind `mhca-campaign serve`: long-lived sessions that step
+//!   policy-run seeds one decision period at a time with mid-seed
+//!   checkpoint/resume (see `docs/SERVICE.md`).
 //!
 //! One command replaces ten hand-invoked binaries:
 //!
@@ -45,10 +49,12 @@ pub mod json;
 pub mod manifest;
 pub mod registry;
 pub mod runner;
+pub mod service_exec;
 pub mod spec;
 pub mod tail;
 
 pub use ingest::{scenarios_from_str, SpecError};
 pub use manifest::{JobRecord, JobStatus, Manifest};
 pub use runner::{CampaignConfig, CampaignOutcome, ScenarioSummary};
+pub use service_exec::ServiceExecutor;
 pub use spec::{expand_jobs, spec_hash, ExperimentKind, Job, ScenarioSpec, SeedRange};

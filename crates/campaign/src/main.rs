@@ -1,11 +1,13 @@
 //! `mhca-campaign` — one CLI for multi-seed experiment campaigns.
 //!
 //! ```text
-//! mhca-campaign list                     # catalog of scenarios
+//! mhca-campaign list [--json]            # catalog of scenarios
 //! mhca-campaign show <scenario>          # canonical spec JSON
 //! mhca-campaign validate <file>          # check a user-authored spec file
 //! mhca-campaign run [options]            # run / resume a campaign
 //! mhca-campaign tail <out-dir>           # summarize a --trace event stream
+//! mhca-campaign serve [options]          # resident experiment service
+//! mhca-campaign client [options] <json>  # one-shot service request
 //!
 //! run options:
 //!   --quick                the CI smoke catalog (2 scenarios × 3 seeds)
@@ -30,12 +32,27 @@
 //! With `--trace`, spans, counters, and per-phase latency histograms land
 //! in `events.jsonl`; `mhca-campaign tail <out-dir>` renders them into a
 //! per-scenario summary table (see `docs/OBSERVABILITY.md`).
+//!
+//! `serve` turns the binary into a resident daemon speaking a
+//! line-delimited JSON protocol over a unix socket (`--socket PATH`,
+//! default `target/service/mhca.sock`) or TCP (`--tcp ADDR`), with
+//! durable session state under `--state-dir` (default
+//! `target/service/state`). `client` is the matching one-shot scripting
+//! tool: it sends a single request line and prints the response — for
+//! `watch`, the whole stream until the session closes. See
+//! `docs/SERVICE.md` for the protocol.
 
 use mhca_campaign::ingest::{self, nearest};
-use mhca_campaign::{registry, runner, tail as tail_mod, CampaignConfig, ScenarioSpec};
+use mhca_campaign::json::Json;
+use mhca_campaign::{
+    registry, runner, tail as tail_mod, CampaignConfig, ScenarioSpec, ServiceExecutor,
+};
+use mhca_service::{protocol, Endpoint, Request, Supervisor};
 use std::fs;
-use std::path::Path;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// A CLI failure: message, plus whether to print the usage block.
 struct CliError {
@@ -68,13 +85,17 @@ fn main() -> ExitCode {
             if e.show_usage {
                 eprintln!();
                 eprintln!(
-                    "usage: mhca-campaign <list | show <scenario> | validate <file> | \
-                     run [options] | tail <out-dir>>"
+                    "usage: mhca-campaign <list [--json] | show <scenario> | validate <file> | \
+                     run [options] | tail <out-dir> | serve [options] | client [options] <json>>"
                 );
                 eprintln!(
                     "run options: --quick --out DIR --name NAME --scenarios a,b,c \
                      --scenario-file FILE --seeds K --jobs N --serial --force \
                      --trace --progress"
+                );
+                eprintln!(
+                    "serve options: --socket PATH | --tcp ADDR, --state-dir DIR \
+                     (client: same endpoint flags, then one JSON request line)"
                 );
             }
             ExitCode::FAILURE
@@ -84,10 +105,17 @@ fn main() -> ExitCode {
 
 fn dispatch(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
-        Some("list") => {
-            list();
-            Ok(())
-        }
+        Some("list") => match args.get(1).map(String::as_str) {
+            None => {
+                list();
+                Ok(())
+            }
+            Some("--json") => {
+                list_json();
+                Ok(())
+            }
+            Some(other) => Err(CliError::usage(format!("unknown list option '{other}'"))),
+        },
         Some("show") => match args.get(1) {
             Some(name) => show(name),
             None => Err(CliError::usage("show needs a scenario name")),
@@ -101,11 +129,13 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
             Some(dir) => tail(Path::new(dir)),
             None => Err(CliError::usage("tail needs a campaign output directory")),
         },
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some(other) => {
             let mut message = format!("unknown command '{other}'");
             if let Some(near) = nearest(
                 other,
-                ["list", "show", "validate", "run", "tail"].into_iter(),
+                ["list", "show", "validate", "run", "tail", "serve", "client"].into_iter(),
             ) {
                 message.push_str(&format!(" (did you mean '{near}'?)"));
             }
@@ -125,6 +155,43 @@ fn list() {
     for s in registry::quick_registry() {
         println!("  {:<18} seeds {:>2}  {}", s.name, s.seeds.count, s.title);
     }
+}
+
+/// `mhca-campaign list --json`: the machine-readable catalog, one entry
+/// per scenario with name, kind tag, seed range, and observer labels —
+/// enough for a service client to compose `submit` requests without
+/// scraping the human listing.
+fn list_json() {
+    fn entries(scenarios: Vec<ScenarioSpec>) -> Json {
+        Json::Arr(
+            scenarios
+                .into_iter()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("name", Json::str(&s.name)),
+                        ("title", Json::str(&s.title)),
+                        ("kind", Json::str(s.kind.tag())),
+                        (
+                            "seeds",
+                            Json::obj(vec![
+                                ("start", Json::Num(s.seeds.start as f64)),
+                                ("count", Json::Num(s.seeds.count as f64)),
+                            ]),
+                        ),
+                        (
+                            "observers",
+                            Json::Arr(s.observers.iter().map(|o| Json::str(o.label())).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+    let doc = Json::obj(vec![
+        ("full", entries(registry::registry())),
+        ("quick", entries(registry::quick_registry())),
+    ]);
+    println!("{}", doc.to_string_pretty());
 }
 
 /// Unknown-scenario error with a nearest-name hint.
@@ -369,6 +436,162 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
     Ok(())
 }
+
+/// Parsed `--socket PATH` / `--tcp ADDR` endpoint selection, shared by
+/// `serve` and `client`. Exactly one transport; unix socket by default.
+fn parse_endpoint(socket: Option<String>, tcp: Option<String>) -> Result<Endpoint, CliError> {
+    match (socket, tcp) {
+        (Some(_), Some(_)) => Err(CliError::usage("--socket and --tcp are mutually exclusive")),
+        (None, Some(addr)) => Ok(Endpoint::Tcp(addr)),
+        (sock, None) => {
+            Ok(Endpoint::Unix(PathBuf::from(sock.unwrap_or_else(|| {
+                "target/service/mhca.sock".to_string()
+            }))))
+        }
+    }
+}
+
+/// `mhca-campaign serve`: the resident experiment service. Binds the
+/// endpoint, recovers any sessions persisted under the state directory
+/// (interrupted ones come back `paused`, resumable mid-seed from their
+/// checkpoint), and serves until a `shutdown` request or SIGINT/SIGTERM.
+fn serve(args: &[String]) -> Result<(), CliError> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => return Err(CliError::usage("--socket needs a path")),
+            },
+            "--tcp" => match it.next() {
+                Some(a) => tcp = Some(a.clone()),
+                None => return Err(CliError::usage("--tcp needs an address")),
+            },
+            "--state-dir" => match it.next() {
+                Some(d) => state_dir = Some(d.clone()),
+                None => return Err(CliError::usage("--state-dir needs a directory")),
+            },
+            other => return Err(CliError::usage(format!("unknown serve option '{other}'"))),
+        }
+    }
+    let endpoint = parse_endpoint(socket, tcp)?;
+    let state_dir = PathBuf::from(state_dir.unwrap_or_else(|| "target/service/state".to_string()));
+    let supervisor = Arc::new(
+        Supervisor::new(Arc::new(ServiceExecutor), state_dir.clone()).map_err(CliError::new)?,
+    );
+    let recovered = supervisor
+        .status(None)
+        .map_err(CliError::new)?
+        .iter()
+        .filter(|s| !s.status.is_terminal())
+        .count();
+    match &endpoint {
+        Endpoint::Unix(path) => println!(
+            "mhca-campaign serve: unix socket {} (state: {}, {} resumable session(s))",
+            path.display(),
+            state_dir.display(),
+            recovered
+        ),
+        Endpoint::Tcp(addr) => println!(
+            "mhca-campaign serve: tcp {addr} (state: {}, {} resumable session(s))",
+            state_dir.display(),
+            recovered
+        ),
+    }
+    mhca_service::serve(supervisor, endpoint).map_err(CliError::new)
+}
+
+/// `mhca-campaign client`: one-shot scripting client. Sends a single
+/// request line and prints the response; `watch` requests stream every
+/// event line until the session's bus closes. Exits non-zero when the
+/// server answers `"ok": false`.
+fn client(args: &[String]) -> Result<(), CliError> {
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut request: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => match it.next() {
+                Some(p) => socket = Some(p.clone()),
+                None => return Err(CliError::usage("--socket needs a path")),
+            },
+            "--tcp" => match it.next() {
+                Some(a) => tcp = Some(a.clone()),
+                None => return Err(CliError::usage("--tcp needs an address")),
+            },
+            other if request.is_none() && !other.starts_with("--") => {
+                request = Some(other.to_string());
+            }
+            other => return Err(CliError::usage(format!("unknown client option '{other}'"))),
+        }
+    }
+    let line = request.ok_or_else(|| CliError::usage("client needs a JSON request argument"))?;
+    // Validate locally so a typo fails with the protocol's diagnostic
+    // instead of a round-trip, and to learn whether this is a stream.
+    let parsed = protocol::parse_request(&line).map_err(CliError::new)?;
+    let streaming = matches!(parsed, Request::Watch { .. });
+
+    let stream: Box<dyn ReadWrite> = match parse_endpoint(socket, tcp)? {
+        Endpoint::Unix(path) => {
+            Box::new(std::os::unix::net::UnixStream::connect(&path).map_err(|e| {
+                CliError::new(format!("cannot connect to '{}': {e}", path.display()))
+            })?)
+        }
+        Endpoint::Tcp(addr) => Box::new(
+            std::net::TcpStream::connect(&addr)
+                .map_err(|e| CliError::new(format!("cannot connect to '{addr}': {e}")))?,
+        ),
+    };
+    let mut reader = BufReader::new(stream);
+    reader
+        .get_mut()
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| CliError::new(format!("send failed: {e}")))?;
+
+    let mut first = true;
+    let mut ok = true;
+    loop {
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| CliError::new(format!("read failed: {e}")))?;
+        if n == 0 {
+            break; // server closed the connection
+        }
+        print!("{response}");
+        let value = mhca_campaign::json::parse(response.trim_end()).ok();
+        if first {
+            first = false;
+            ok = value
+                .as_ref()
+                .and_then(|v| v.get("ok"))
+                .is_some_and(|v| matches!(v, Json::Bool(true)));
+            if !streaming || !ok {
+                break;
+            }
+            continue;
+        }
+        // Watch stream: the terminator is the ok-line carrying "closed".
+        if value.as_ref().and_then(|v| v.get("closed")).is_some() {
+            break;
+        }
+    }
+    if ok {
+        Ok(())
+    } else {
+        Err(CliError::new(
+            "server reported an error (see response above)",
+        ))
+    }
+}
+
+/// The two stream types `client` speaks; `Read + Write` is all it needs.
+trait ReadWrite: Read + Write {}
+impl<T: Read + Write> ReadWrite for T {}
 
 /// Fails early — with a clear message instead of a mid-campaign I/O error
 /// — when the output directory cannot be created or written.

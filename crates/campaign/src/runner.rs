@@ -134,6 +134,11 @@ pub struct CampaignOutcome {
 /// I/O errors from the output directory, plus `InvalidInput` when an
 /// existing manifest belongs to a different spec and `force` is off.
 pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
+    // Graceful interrupt: SIGINT/SIGTERM raise a flag the commit loop
+    // polls between jobs. The campaign then checkpoints the manifest and
+    // returns `Interrupted` instead of dying mid-write — a rerun resumes
+    // from exactly the committed jobs.
+    mhca_service::signals::install();
     fs::create_dir_all(&cfg.out_dir)?;
     let jobs = expand_jobs(&cfg.scenarios);
     let hash = spec_hash(&cfg.name, &cfg.scenarios);
@@ -249,6 +254,7 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
     let mut executed = 0;
     let mut commits_since_save = 0usize;
     let mut first_error: Option<io::Error> = None;
+    let mut interrupted = false;
     let mut tracker = ProgressTracker::new(
         manifest.jobs.len(),
         manifest.jobs.len() - pending.len(),
@@ -303,6 +309,13 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
                 Ok(())
             });
             match commit {
+                // A signal between commits cancels the remaining matrix;
+                // the just-committed job is already durable (or will be
+                // in the checkpoint below), so nothing recomputes.
+                Ok(()) if mhca_service::signals::shutdown_requested() => {
+                    interrupted = true;
+                    false
+                }
                 Ok(()) => true,
                 Err(e) => {
                     telemetry
@@ -326,6 +339,25 @@ pub fn run(cfg: &CampaignConfig) -> io::Result<CampaignOutcome> {
         campaign_span.end_with(&[("status", FieldValue::Str("error"))]);
         telemetry.flush();
         return Err(e);
+    }
+    if interrupted {
+        // Same checkpoint discipline for SIGINT/SIGTERM: flush the
+        // manifest and the trace, then exit with `Interrupted` so the
+        // shell sees a non-zero status. Rerunning the identical command
+        // resumes from the checkpoint.
+        manifest.save(&cfg.out_dir)?;
+        let (done, still_pending) = manifest.progress();
+        progress(
+            cfg,
+            &format!("interrupted: manifest checkpointed ({done} done, {still_pending} pending)"),
+        );
+        drop(scenario_spans);
+        campaign_span.end_with(&[("status", FieldValue::Str("interrupted"))]);
+        telemetry.flush();
+        return Err(io::Error::new(
+            io::ErrorKind::Interrupted,
+            "interrupted by signal; manifest checkpointed — rerun to resume",
+        ));
     }
 
     // ---- Aggregation and campaign-level artifacts.

@@ -1,0 +1,77 @@
+//! Graceful-interrupt contract of the batch runner: a SIGINT/SIGTERM
+//! mid-campaign checkpoints the manifest and exits `Interrupted`, and the
+//! identical rerun resumes from the checkpoint instead of recomputing.
+//!
+//! This lives in its own integration binary because the shutdown flag is
+//! process-global — sharing a test process with other campaign runs would
+//! cancel them too.
+
+use mhca_campaign::{runner, CampaignConfig, Manifest};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+use std::{fs, thread};
+
+const SPEC: &str = r#"{
+    "name": "sig",
+    "spec": {"kind": "policy-run", "n": 8, "m": 3, "horizon": 60},
+    "seeds": {"count": 4}
+}"#;
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mhca-signal-interrupt-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigint_checkpoints_manifest_and_rerun_resumes() {
+    let dir = scratch_dir();
+    let scenarios = mhca_campaign::scenarios_from_str(SPEC).unwrap();
+    let cfg = CampaignConfig {
+        parallel: false,
+        quiet: true,
+        ..CampaignConfig::new("sig", &dir, scenarios)
+    };
+
+    // Deliver a real SIGINT (via kill(1), exercising the installed
+    // handler, not just the flag) and wait for it to land.
+    let flag = mhca_service::signals::install();
+    let status = std::process::Command::new("kill")
+        .args(["-INT", &std::process::id().to_string()])
+        .status()
+        .expect("kill(1) available");
+    assert!(status.success());
+    for _ in 0..200 {
+        if flag.load(Ordering::Relaxed) {
+            break;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        mhca_service::signals::shutdown_requested(),
+        "SIGINT handler never fired"
+    );
+
+    // The run commits its first job, notices the flag, checkpoints, and
+    // surfaces `Interrupted`.
+    let err = runner::run(&cfg).expect_err("interrupted run must not succeed");
+    assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+    let manifest = Manifest::load(&dir)
+        .unwrap()
+        .expect("manifest checkpointed");
+    let (done, pending) = manifest.progress();
+    assert_eq!((done, pending), (1, 3));
+
+    // Clearing the flag and rerunning the identical command resumes from
+    // the checkpoint: the committed job is skipped, the rest execute.
+    mhca_service::signals::reset_for_tests();
+    let outcome = runner::run(&cfg).expect("resumed run completes");
+    assert_eq!(outcome.executed, 3);
+    assert_eq!(outcome.skipped, 1);
+    let (done, pending) = outcome.manifest.progress();
+    assert_eq!((done, pending), (4, 0));
+
+    let _ = fs::remove_dir_all(&dir);
+}

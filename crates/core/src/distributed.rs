@@ -676,6 +676,23 @@ impl<'h> DistributedPtas<'h> {
         &self.engine
     }
 
+    /// Stream position of the persistent engine's loss sampler — the
+    /// *only* semantic state this protocol carries across decisions
+    /// (every `decide` resets counters and scratch; under loss, flood
+    /// realizations are keyed by `(loss_seed, flood index)`). Always `0`
+    /// on lossless configurations.
+    pub fn loss_flood_index(&self) -> u64 {
+        self.engine.loss_flood_index()
+    }
+
+    /// Repositions the loss stream between decisions (checkpoint
+    /// restore): a fresh `DistributedPtas` with the same config and this
+    /// index restored reproduces the remaining decisions of the original
+    /// run bit-identically.
+    pub fn set_loss_flood_index(&mut self, flood: u64) {
+        self.engine.set_loss_flood_index(flood);
+    }
+
     /// Leader-election work counters of the most recent decision —
     /// streamed into the observer pipeline as `decide_scanned` and the
     /// headline evidence that the incremental dirty-ball path does less

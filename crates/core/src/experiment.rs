@@ -40,6 +40,7 @@ use crate::{
     time::TimeModel,
 };
 use mhca_bandit::policies::{CsUcb, Llr};
+use mhca_bandit::state::{StateError, StateMap};
 use mhca_graph::{topology, ExtendedConflictGraph};
 use mhca_telemetry::{EventKind, FieldValue, LogHistogram, Telemetry};
 
@@ -255,6 +256,23 @@ pub trait RoundObserver {
     /// write-only: telemetry must never change what an observer returns
     /// from `finish` (the byte-identity contract).
     fn set_telemetry(&mut self, _telemetry: &Telemetry) {}
+
+    /// Writes the observer's accumulated state into `out` — the
+    /// mid-run checkpoint hook. Stateful observers record every field
+    /// `finish` reads, so a restored observer finishes with the same
+    /// metric rows an uninterrupted one would. The default writes
+    /// nothing, which is correct for stateless or telemetry-only
+    /// observers (a [`TelemetryObserver`] restarts its histograms after
+    /// a resume; its metric table is empty either way).
+    fn snapshot_state(&self, _out: &mut StateMap) {}
+
+    /// Restores state captured by
+    /// [`snapshot_state`](RoundObserver::snapshot_state) into a freshly
+    /// built observer of the same kind and configuration. The default
+    /// accepts anything and restores nothing.
+    fn restore_state(&mut self, _state: &StateMap) -> Result<(), StateError> {
+        Ok(())
+    }
 }
 
 /// The ordered set of observers registered for one experiment run.
@@ -331,6 +349,34 @@ impl ObserverSet {
         for (_, observer) in &mut self.observers {
             observer.on_round(record);
         }
+    }
+
+    /// Snapshots every registered observer's state into one [`StateMap`],
+    /// each observer nested under `"<index>-<label>"` (the index keeps
+    /// prefixes unique even if two observers were registered under one
+    /// label). Pair with [`ObserverSet::restore_states`] on a set built
+    /// from the same kinds in the same order.
+    pub fn snapshot_states(&self) -> StateMap {
+        let mut out = StateMap::new();
+        for (i, (label, observer)) in self.observers.iter().enumerate() {
+            let mut child = StateMap::new();
+            observer.snapshot_state(&mut child);
+            out.put_nested(&format!("{i}-{label}"), child);
+        }
+        out
+    }
+
+    /// Restores observer state captured by
+    /// [`ObserverSet::snapshot_states`]. The set must hold the same
+    /// observers, registered in the same order, as the snapshotting set;
+    /// each observer receives its own nested sub-map (possibly empty, for
+    /// stateless observers).
+    pub fn restore_states(&mut self, state: &StateMap) -> Result<(), StateError> {
+        for (i, (label, observer)) in self.observers.iter_mut().enumerate() {
+            let child = state.extract_nested(&format!("{i}-{label}"));
+            observer.restore_state(&child)?;
+        }
+        Ok(())
     }
 
     /// Finishes every observer and appends its metrics (names prefixed
@@ -476,6 +522,17 @@ impl RoundObserver for DecideTimingObserver {
         );
         t
     }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        out.put_u64("total_ns", self.total_ns);
+        out.put_u64("decisions", self.decisions);
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        self.total_ns = state.get_u64("total_ns")?;
+        self.decisions = state.get_u64("decisions")?;
+        Ok(())
+    }
 }
 
 /// Accumulates decision-flood communication totals across the run, plus
@@ -542,6 +599,25 @@ impl RoundObserver for CommTotalsObserver {
         t.push("decisions", self.decisions as f64);
         t
     }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        out.put_u64("transmissions", self.transmissions);
+        out.put_u64("delivered", self.delivered);
+        out.put_u64("timeslots", self.timeslots);
+        out.put_u64("scanned", self.scanned);
+        out.put_u64("fallback_floods", self.fallback_floods);
+        out.put_u64("decisions", self.decisions);
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        self.transmissions = state.get_u64("transmissions")?;
+        self.delivered = state.get_u64("delivered")?;
+        self.timeslots = state.get_u64("timeslots")?;
+        self.scanned = state.get_u64("scanned")?;
+        self.fallback_floods = state.get_u64("fallback_floods")?;
+        self.decisions = state.get_u64("decisions")?;
+        Ok(())
+    }
 }
 
 /// Accumulates per-vertex decision-flood transmissions; reports the mean
@@ -573,6 +649,17 @@ impl RoundObserver for PerVertexTxObserver {
         );
         t
     }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        out.put_u64_vec("per_vertex", self.per_vertex.clone());
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        // The ledger is lazily sized on the first record, so any length
+        // (including empty, from a pre-first-round snapshot) is valid.
+        self.per_vertex = state.get_u64_slice("per_vertex")?.to_vec();
+        Ok(())
+    }
 }
 
 /// Accumulates observed throughput; reports the per-slot average. Useful
@@ -598,6 +685,17 @@ impl RoundObserver for ThroughputObserver {
         );
         t.push("slots", self.slots as f64);
         t
+    }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        out.put_f64("observed_total", self.observed_total);
+        out.put_u64("slots", self.slots);
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        self.observed_total = state.get_f64("observed_total")?;
+        self.slots = state.get_u64("slots")?;
+        Ok(())
     }
 }
 
@@ -688,6 +786,23 @@ impl RoundObserver for SensingCostObserver {
         );
         t
     }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        // `probe_cost` / `report_cost` are configuration, not state — a
+        // restored observer is rebuilt with the scenario's cost model.
+        out.put_f64_vec("per_vertex", self.per_vertex.clone());
+        out.put_f64("probe_total", self.probe_total);
+        out.put_f64("report_total", self.report_total);
+        out.put_f64("observed_total", self.observed_total);
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        self.per_vertex = state.get_f64_slice("per_vertex")?.to_vec();
+        self.probe_total = state.get_f64("probe_total")?;
+        self.report_total = state.get_f64("report_total")?;
+        self.observed_total = state.get_f64("observed_total")?;
+        Ok(())
+    }
 }
 
 /// Tallies per-channel transmission outcomes — captures (positive
@@ -749,6 +864,23 @@ impl RoundObserver for CaptureStatsObserver {
 
     fn wants_channel_stats(&self) -> bool {
         true
+    }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        out.put_u64_vec("attempts", self.attempts.clone());
+        out.put_u64_vec("captures", self.captures.clone());
+        out.put_u64_vec("idle_periods", self.idle_periods.clone());
+        out.put_u64("periods", self.periods);
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        let attempts = state.get_u64_slice("attempts")?.to_vec();
+        let m = attempts.len();
+        self.captures = state.get_u64_vec_exact("captures", m)?;
+        self.idle_periods = state.get_u64_vec_exact("idle_periods", m)?;
+        self.attempts = attempts;
+        self.periods = state.get_u64("periods")?;
+        Ok(())
     }
 }
 
@@ -873,6 +1005,31 @@ impl RoundObserver for WindowedRegretObserver {
 
     fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.telemetry = telemetry.clone();
+    }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        // `window` is configuration; the closed-window ledger is split
+        // into parallel end-slot / regret series (StateMap carries no
+        // pair type).
+        out.put_u64("slots_in_window", self.slots_in_window);
+        out.put_f64("oracle_acc", self.oracle_acc);
+        out.put_f64("observed_acc", self.observed_acc);
+        out.put_u64("end_slot", self.end_slot);
+        let ends: Vec<u64> = self.windows.iter().map(|&(end, _)| end).collect();
+        let regrets: Vec<f64> = self.windows.iter().map(|&(_, r)| r).collect();
+        out.put_u64_vec("window_end_slots", ends);
+        out.put_f64_vec("window_regrets", regrets);
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        let ends = state.get_u64_slice("window_end_slots")?.to_vec();
+        let regrets = state.get_f64_vec_exact("window_regrets", ends.len())?;
+        self.slots_in_window = state.get_u64("slots_in_window")?;
+        self.oracle_acc = state.get_f64("oracle_acc")?;
+        self.observed_acc = state.get_f64("observed_acc")?;
+        self.end_slot = state.get_u64("end_slot")?;
+        self.windows = ends.into_iter().zip(regrets).collect();
+        Ok(())
     }
 }
 
@@ -1672,6 +1829,73 @@ mod tests {
                 "no metrics from {prefix}"
             );
         }
+    }
+
+    #[test]
+    fn observer_states_round_trip_mid_run() {
+        // Snapshot the full observer zoo halfway through a stepped run,
+        // restore into a freshly built set, continue — the final metric
+        // table must be byte-identical to the uninterrupted run's.
+        use crate::runner::{Algorithm2Config, PolicyRunner};
+        use mhca_bandit::policies::CsUcb;
+
+        let net = crate::Network::random(10, 3, 3.0, 0.1, 9);
+        let cfg = Algorithm2Config::default().with_horizon(80).with_seed(9);
+
+        let mut baseline_set = ObserverSet::from_kinds(&ObserverKind::ALL);
+        let mut policy = CsUcb::new(2.0);
+        let mut runner = PolicyRunner::new(&net, &cfg, &baseline_set);
+        while !runner.done() {
+            runner.step_period(&mut policy, &mut baseline_set);
+        }
+        let baseline = runner.finish(&policy);
+        let mut baseline_metrics = MetricTable::new();
+        baseline_set.finish_into(&mut baseline_metrics);
+
+        // Interrupted run: step halfway, snapshot runner + policy +
+        // observers, then rebuild everything from scratch and restore.
+        let mut set_a = ObserverSet::from_kinds(&ObserverKind::ALL);
+        let mut policy_a = CsUcb::new(2.0);
+        let mut runner_a = PolicyRunner::new(&net, &cfg, &set_a);
+        for _ in 0..40 {
+            runner_a.step_period(&mut policy_a, &mut set_a);
+        }
+        let runner_state = runner_a.snapshot(&policy_a);
+        let observer_state = set_a.snapshot_states();
+        drop(runner_a);
+        drop(set_a);
+
+        let mut set_b = ObserverSet::from_kinds(&ObserverKind::ALL);
+        let mut policy_b = CsUcb::new(2.0);
+        let mut runner_b = PolicyRunner::new(&net, &cfg, &set_b);
+        runner_b
+            .restore(&mut policy_b, &runner_state)
+            .expect("runner state must restore");
+        set_b
+            .restore_states(&observer_state)
+            .expect("observer state must restore");
+        while !runner_b.done() {
+            runner_b.step_period(&mut policy_b, &mut set_b);
+        }
+        let resumed = runner_b.finish(&policy_b);
+        let mut resumed_metrics = MetricTable::new();
+        set_b.finish_into(&mut resumed_metrics);
+
+        assert_eq!(baseline, resumed, "resumed RunResult must be identical");
+        // Wall-clock observers (decide-timing, telemetry spans) are the
+        // only nondeterministic rows; compare everything else exactly.
+        let strip = |t: &MetricTable| -> Vec<(String, f64)> {
+            t.rows()
+                .iter()
+                .filter(|(n, _)| !n.starts_with("decide-timing:"))
+                .cloned()
+                .collect()
+        };
+        assert_eq!(
+            strip(&baseline_metrics),
+            strip(&resumed_metrics),
+            "resumed observer metrics must be identical"
+        );
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub use experiment::{
 };
 pub use experiments::{PolicyRunConfig, PolicySpec};
 pub use network::Network;
-pub use runner::{run_policy_observed, Algorithm2Config, RunResult};
+pub use runner::{run_policy_observed, Algorithm2Config, PolicyRunner, RunResult};
 pub use time::TimeModel;

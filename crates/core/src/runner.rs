@@ -11,6 +11,16 @@
 //! Section V-C: strategy decision only every `y` slots, with the
 //! first slot of a period paying the decision airtime (`t_d` of `t_a`) and
 //! the remaining `y−1` slots transmitting the full round.
+//!
+//! The loop lives in [`PolicyRunner`], a *resumable* runner that advances
+//! one decision period per [`PolicyRunner::step_period`] call and can
+//! serialize its complete mutable state between periods
+//! ([`PolicyRunner::snapshot`] / [`PolicyRunner::restore`]) — the
+//! round-granularity checkpointing behind `mhca-campaign serve`. The
+//! batch entry points [`run_policy`] / [`run_policy_observed`] are thin
+//! wrappers (construct, step to the horizon, finish), so batch behavior —
+//! including the allocation-free steady state pinned by
+//! `tests/alloc_free.rs` — is the stepwise loop's behavior.
 
 use crate::{
     distributed::{DecisionOutcome, DistributedPtas, DistributedPtasConfig},
@@ -18,9 +28,14 @@ use crate::{
     network::Network,
     time::TimeModel,
 };
-use mhca_bandit::{bounds, policies::IndexPolicy, ArmStats, RegretTracker};
+use mhca_bandit::{
+    bounds,
+    policies::IndexPolicy,
+    state::{StateError, StateMap},
+    ArmStats, RegretTracker,
+};
 use mhca_channels::rates;
-use mhca_sim::{Flood, FloodEngine};
+use mhca_sim::{Counters, Flood, FloodEngine};
 use rand::{rngs::StdRng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -187,207 +202,343 @@ pub fn run_policy_observed(
     policy: &mut dyn IndexPolicy,
     observers: &mut ObserverSet,
 ) -> RunResult {
-    assert!(cfg.horizon > 0, "horizon must be positive");
-    assert!(cfg.update_period > 0, "update period must be positive");
-    let k = net.n_vertices();
-    let scale = cfg.reward_scale.unwrap_or(rates::MAX_RATE);
-    assert!(scale > 0.0, "reward scale must be positive");
-    let theta = cfg.time.theta();
-    let alpha = cfg
-        .alpha
-        .unwrap_or_else(|| bounds::theorem2_rho(net.n_channels(), cfg.decision.r.max(1)));
-    let beta = (theta * alpha).max(1.0);
-
-    let mut stats = ArmStats::new(k);
-    let mut ptas = DistributedPtas::new(net.h(), cfg.decision);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let means = net.channels().means();
-    let mut tracker = cfg
-        .optimal_kbps
-        .map(|r1| RegretTracker::new(r1, beta, theta));
-    let mut comm = CommTotals::default();
-    let mut per_vertex_tx = vec![0u64; k];
-
-    let y = cfg.update_period as u64;
-    // Series lengths are known up front: one entry per period (and per
-    // slot for the regret series) — reserve once so the steady-state loop
-    // never reallocates them.
-    let n_periods_total = cfg.horizon.div_ceil(y) as usize;
-    let mut period_end_slots = Vec::with_capacity(n_periods_total);
-    let mut avg_actual = Vec::with_capacity(n_periods_total);
-    let mut avg_estimated = Vec::with_capacity(n_periods_total);
-    let regret_len = if tracker.is_some() && cfg.update_period == 1 {
-        cfg.horizon as usize
-    } else {
-        0
-    };
-    let mut practical_regret = Vec::with_capacity(regret_len);
-    let mut practical_beta_regret = Vec::with_capacity(regret_len);
-    let mut sum_rp = 0.0;
-    let mut sum_wp = 0.0;
-    let mut n_periods = 0u64;
-    let mut observed_total = 0.0;
-    let mut expected_total = 0.0;
-    let mut effective_total = 0.0;
-
-    // ---- Long-lived engine and per-round scratch, hoisted out of the
-    // loop: the steady-state round performs no heap allocation on the
-    // lossless path (see `tests/alloc_free.rs`).
-    let wb_ttl = 2 * cfg.decision.r + 1;
-    let mut wb_engine = FloodEngine::new(net.h().graph());
-    // The decision engine already prewarmed the (2r+1)-hop table on this
-    // graph; adopt it instead of building a second copy. The prewarm is a
-    // no-op then, and a real build only when the ptas runs lossy.
-    wb_engine.adopt_tables(ptas.flood_engine());
-    wb_engine.prewarm(wb_ttl);
-    let mut wb_floods: Vec<Flood<()>> = Vec::new();
-    let mut indices: Vec<f64> = Vec::with_capacity(k);
-    let mut outcome = DecisionOutcome::default();
-    let mut obs: Vec<(usize, f64)> = Vec::new();
-    let mut period_obs: Vec<f64> = Vec::with_capacity(y.min(cfg.horizon) as usize);
-    let mut prev_winners: Vec<usize> = Vec::new();
-
-    // ---- Observer-only scratch (all empty/skipped with no observers, so
-    // the plain `run_policy` path is untouched): per-channel capture
-    // tallies for the CaptureStats sink, and the drift oracle — the
-    // exact offline optimum (branch-and-bound MWIS, the same benchmark
-    // the paper's Fig. 7 regret uses) on the channels' *instantaneous*
-    // means — for sinks that request it (WindowedRegret). The optimum is
-    // recomputed only when the instantaneous mean vector changes, so
-    // piecewise-stationary drift costs one solve per segment and
-    // stationary channels one per run; like `Network::optimal`, it is
-    // intended for Fig. 7-sized instances (≲ 20 users × a few channels).
-    let observing = !observers.is_empty();
-    let tally_channels = observers.wants_channel_stats();
-    // Per-phase wall clocks (WB / learn, plus the PTAS's internal decide
-    // breakdown) are priced only when a sink asks: the extra Instant
-    // reads are noise at large n but measurable in small-n hot loops,
-    // and set_profile_phases adds stamps inside the decide itself.
-    let phase_timing = observers.wants_phase_timing();
-    if phase_timing {
-        ptas.set_profile_phases(true);
+    let mut runner = PolicyRunner::new(net, cfg, observers);
+    while !runner.done() {
+        runner.step_period(policy, observers);
     }
-    let m_channels = net.n_channels();
-    let mut chan_attempts = vec![0u64; if tally_channels { m_channels } else { 0 }];
-    let mut chan_captures = vec![0u64; if tally_channels { m_channels } else { 0 }];
-    struct OracleState {
-        weights: Vec<f64>,
-        prev_weights: Vec<f64>,
-        allowed: Vec<usize>,
-        cached_kbps: f64,
-    }
-    let mut oracle = observers.wants_oracle().then(|| OracleState {
-        weights: Vec::with_capacity(k),
-        prev_weights: Vec::new(),
-        allowed: (0..k).collect(),
-        cached_kbps: 0.0,
-    });
+    runner.finish(policy)
+}
 
-    let mut t = 0u64;
-    while t < cfg.horizon {
+/// Observer-only drift-oracle scratch: the exact offline optimum
+/// (branch-and-bound MWIS, the same benchmark the paper's Fig. 7 regret
+/// uses) on the channels' *instantaneous* means, recomputed only when the
+/// mean vector changes.
+struct OracleState {
+    weights: Vec<f64>,
+    prev_weights: Vec<f64>,
+    allowed: Vec<usize>,
+    cached_kbps: f64,
+}
+
+/// The Algorithm 2 round loop as a long-lived, resumable state machine.
+///
+/// One [`PolicyRunner::step_period`] call advances exactly one decision
+/// period (WB phase, index computation, strategy decision, `y` data
+/// slots, bookkeeping, observer emission). Between steps the runner is at
+/// a period boundary, where its complete mutable state — round counter,
+/// RNG stream position, shared arm statistics, regret history, result
+/// series, communication counters, and the loss stream position — can be
+/// captured with [`PolicyRunner::snapshot`] and later re-injected with
+/// [`PolicyRunner::restore`] into a freshly built runner over the same
+/// network/config. A restored run continues the original bit for bit:
+/// the final [`RunResult`] is byte-identical to an uninterrupted run
+/// (floats are checkpointed by bit pattern; see `mhca_bandit::state`).
+///
+/// The policy is *not* owned: callers pass it to each call so the same
+/// trait object can serve snapshotting ([`IndexPolicy::snapshot_state`])
+/// and session ownership in the service layer.
+pub struct PolicyRunner<'n> {
+    net: &'n Network,
+    cfg: Algorithm2Config,
+    scale: f64,
+    beta: f64,
+    y: u64,
+    wb_ttl: usize,
+    m_channels: usize,
+    stats: ArmStats,
+    ptas: DistributedPtas<'n>,
+    rng: StdRng,
+    means: Vec<f64>,
+    tracker: Option<RegretTracker>,
+    comm: CommTotals,
+    per_vertex_tx: Vec<u64>,
+    period_end_slots: Vec<u64>,
+    avg_actual: Vec<f64>,
+    avg_estimated: Vec<f64>,
+    practical_regret: Vec<f64>,
+    practical_beta_regret: Vec<f64>,
+    sum_rp: f64,
+    sum_wp: f64,
+    n_periods: u64,
+    observed_total: f64,
+    expected_total: f64,
+    effective_total: f64,
+    wb_engine: FloodEngine<'n>,
+    wb_floods: Vec<Flood<()>>,
+    indices: Vec<f64>,
+    outcome: DecisionOutcome,
+    obs: Vec<(usize, f64)>,
+    period_obs: Vec<f64>,
+    prev_winners: Vec<usize>,
+    observing: bool,
+    tally_channels: bool,
+    phase_timing: bool,
+    chan_attempts: Vec<u64>,
+    chan_captures: Vec<u64>,
+    oracle: Option<OracleState>,
+    t: u64,
+}
+
+impl<'n> PolicyRunner<'n> {
+    /// Builds a runner at slot 0. `observers` is inspected (not stored)
+    /// to decide which observer-only instrumentation the loop prices —
+    /// pass the same set to every [`PolicyRunner::step_period`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.horizon == 0`, `cfg.update_period == 0`, or the
+    /// reward scale is not positive.
+    pub fn new(net: &'n Network, cfg: &Algorithm2Config, observers: &ObserverSet) -> Self {
+        assert!(cfg.horizon > 0, "horizon must be positive");
+        assert!(cfg.update_period > 0, "update period must be positive");
+        let k = net.n_vertices();
+        let scale = cfg.reward_scale.unwrap_or(rates::MAX_RATE);
+        assert!(scale > 0.0, "reward scale must be positive");
+        let theta = cfg.time.theta();
+        let alpha = cfg
+            .alpha
+            .unwrap_or_else(|| bounds::theorem2_rho(net.n_channels(), cfg.decision.r.max(1)));
+        let beta = (theta * alpha).max(1.0);
+
+        let stats = ArmStats::new(k);
+        let mut ptas = DistributedPtas::new(net.h(), cfg.decision);
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let means = net.channels().means();
+        let tracker = cfg
+            .optimal_kbps
+            .map(|r1| RegretTracker::new(r1, beta, theta));
+
+        let y = cfg.update_period as u64;
+        // Series lengths are known up front: one entry per period (and per
+        // slot for the regret series) — reserve once so the steady-state
+        // loop never reallocates them.
+        let n_periods_total = cfg.horizon.div_ceil(y) as usize;
+        let regret_len = if tracker.is_some() && cfg.update_period == 1 {
+            cfg.horizon as usize
+        } else {
+            0
+        };
+
+        // ---- Long-lived engine and per-round scratch, hoisted out of the
+        // loop: the steady-state round performs no heap allocation on the
+        // lossless path (see `tests/alloc_free.rs`).
+        let wb_ttl = 2 * cfg.decision.r + 1;
+        let mut wb_engine = FloodEngine::new(net.h().graph());
+        // The decision engine already prewarmed the (2r+1)-hop table on
+        // this graph; adopt it instead of building a second copy. The
+        // prewarm is a no-op then, and a real build only when the ptas
+        // runs lossy.
+        wb_engine.adopt_tables(ptas.flood_engine());
+        wb_engine.prewarm(wb_ttl);
+
+        // ---- Observer-only scratch (all empty/skipped with no observers,
+        // so the plain `run_policy` path is untouched): per-channel
+        // capture tallies for the CaptureStats sink, and the drift oracle
+        // for sinks that request it (WindowedRegret). Like
+        // `Network::optimal`, the oracle is intended for Fig. 7-sized
+        // instances (≲ 20 users × a few channels).
+        let observing = !observers.is_empty();
+        let tally_channels = observers.wants_channel_stats();
+        // Per-phase wall clocks (WB / learn, plus the PTAS's internal
+        // decide breakdown) are priced only when a sink asks: the extra
+        // Instant reads are noise at large n but measurable in small-n
+        // hot loops, and set_profile_phases adds stamps inside the decide
+        // itself.
+        let phase_timing = observers.wants_phase_timing();
+        if phase_timing {
+            ptas.set_profile_phases(true);
+        }
+        let m_channels = net.n_channels();
+        let oracle = observers.wants_oracle().then(|| OracleState {
+            weights: Vec::with_capacity(k),
+            prev_weights: Vec::new(),
+            allowed: (0..k).collect(),
+            cached_kbps: 0.0,
+        });
+
+        PolicyRunner {
+            net,
+            cfg: cfg.clone(),
+            scale,
+            beta,
+            y,
+            wb_ttl,
+            m_channels,
+            stats,
+            ptas,
+            rng,
+            means,
+            tracker,
+            comm: CommTotals::default(),
+            per_vertex_tx: vec![0u64; k],
+            period_end_slots: Vec::with_capacity(n_periods_total),
+            avg_actual: Vec::with_capacity(n_periods_total),
+            avg_estimated: Vec::with_capacity(n_periods_total),
+            practical_regret: Vec::with_capacity(regret_len),
+            practical_beta_regret: Vec::with_capacity(regret_len),
+            sum_rp: 0.0,
+            sum_wp: 0.0,
+            n_periods: 0,
+            observed_total: 0.0,
+            expected_total: 0.0,
+            effective_total: 0.0,
+            wb_engine,
+            wb_floods: Vec::new(),
+            indices: Vec::with_capacity(k),
+            outcome: DecisionOutcome::default(),
+            obs: Vec::new(),
+            period_obs: Vec::with_capacity(y.min(cfg.horizon) as usize),
+            prev_winners: Vec::new(),
+            observing,
+            tally_channels,
+            phase_timing,
+            chan_attempts: vec![0u64; if tally_channels { m_channels } else { 0 }],
+            chan_captures: vec![0u64; if tally_channels { m_channels } else { 0 }],
+            oracle,
+            t: 0,
+        }
+    }
+
+    /// `true` once the horizon is reached — [`PolicyRunner::step_period`]
+    /// must not be called again and [`PolicyRunner::finish`] may be.
+    pub fn done(&self) -> bool {
+        self.t >= self.cfg.horizon
+    }
+
+    /// The next slot to simulate (equals the horizon when done). Between
+    /// steps this is always a period boundary.
+    pub fn slot(&self) -> u64 {
+        self.t
+    }
+
+    /// The configured horizon in slots.
+    pub fn horizon(&self) -> u64 {
+        self.cfg.horizon
+    }
+
+    /// Decision periods completed so far.
+    pub fn periods(&self) -> u64 {
+        self.n_periods
+    }
+
+    /// Advances one decision period: WB phase, index computation, strategy
+    /// decision, `y` data slots (fewer at the horizon tail), bookkeeping,
+    /// and — when observers are registered — one [`RoundRecord`] emission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run is already [`PolicyRunner::done`].
+    pub fn step_period(&mut self, policy: &mut dyn IndexPolicy, observers: &mut ObserverSet) {
+        assert!(self.t < self.cfg.horizon, "run already complete");
+        let t = self.t;
+
         // ---- WB phase: previous transmitters broadcast updated stats.
         // The simulation models the learning state directly (the policy's
         // ArmStats are global), so only the broadcast's cost is needed —
         // counters advance without materializing inboxes.
-        let wb_start = phase_timing.then(Instant::now);
-        if !prev_winners.is_empty() {
-            wb_floods.clear();
-            wb_floods.extend(prev_winners.iter().map(|&v| Flood {
-                origin: v,
-                ttl: wb_ttl,
-                payload: (),
-            }));
-            wb_engine.broadcast_only(&wb_floods);
+        let wb_start = self.phase_timing.then(Instant::now);
+        if !self.prev_winners.is_empty() {
+            self.wb_floods.clear();
+            let wb_ttl = self.wb_ttl;
+            self.wb_floods
+                .extend(self.prev_winners.iter().map(|&v| Flood {
+                    origin: v,
+                    ttl: wb_ttl,
+                    payload: (),
+                }));
+            self.wb_engine.broadcast_only(&self.wb_floods);
         }
         let wb_ns = wb_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
 
         // ---- Strategy decision with the policy's current indices.
-        policy.indices_into(t + 1, &stats, &mut rng, &mut indices);
-        let decide_start = observing.then(Instant::now);
-        ptas.decide_into(&indices, &mut outcome);
+        policy.indices_into(t + 1, &self.stats, &mut self.rng, &mut self.indices);
+        let decide_start = self.observing.then(Instant::now);
+        self.ptas.decide_into(&self.indices, &mut self.outcome);
         let decide_ns = decide_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
-        comm.transmissions += outcome.counters.transmissions;
-        comm.delivered += outcome.counters.delivered;
-        comm.timeslots += outcome.counters.timeslots;
-        comm.decisions += 1;
-        for (v, &c) in outcome.counters.per_vertex_tx.iter().enumerate() {
-            per_vertex_tx[v] += c;
+        self.comm.transmissions += self.outcome.counters.transmissions;
+        self.comm.delivered += self.outcome.counters.delivered;
+        self.comm.timeslots += self.outcome.counters.timeslots;
+        self.comm.decisions += 1;
+        for (v, &c) in self.outcome.counters.per_vertex_tx.iter().enumerate() {
+            self.per_vertex_tx[v] += c;
         }
-        let winners = &outcome.winners;
-        let estimated_kbps: f64 = winners.iter().map(|&v| indices[v]).sum::<f64>() * scale;
+        let winners = &self.outcome.winners;
+        let estimated_kbps: f64 =
+            winners.iter().map(|&v| self.indices[v]).sum::<f64>() * self.scale;
 
         // ---- Data transmission for the whole period (y slots).
-        let period_len = y.min(cfg.horizon - t);
-        period_obs.clear();
-        if tally_channels {
-            chan_attempts.fill(0);
-            chan_captures.fill(0);
+        let period_len = self.y.min(self.cfg.horizon - t);
+        self.period_obs.clear();
+        if self.tally_channels {
+            self.chan_attempts.fill(0);
+            self.chan_captures.fill(0);
         }
         let mut period_expected = 0.0;
-        let learn_start = phase_timing.then(Instant::now);
+        let learn_start = self.phase_timing.then(Instant::now);
         for s in t..t + period_len {
-            net.channels().observe_into(s, winners, &mut obs);
-            let raw: f64 = obs.iter().map(|&(_, x)| x).sum();
-            period_obs.push(raw);
-            observed_total += raw;
-            let expected: f64 = winners.iter().map(|&v| means[v]).sum();
-            expected_total += expected;
+            self.net.channels().observe_into(s, winners, &mut self.obs);
+            let raw: f64 = self.obs.iter().map(|&(_, x)| x).sum();
+            self.period_obs.push(raw);
+            self.observed_total += raw;
+            let expected: f64 = winners.iter().map(|&v| self.means[v]).sum();
+            self.expected_total += expected;
             period_expected = expected;
-            for &(v, x) in &obs {
-                stats.update(v, x / scale);
-                policy.observe(v, x / scale);
+            for &(v, x) in &self.obs {
+                self.stats.update(v, x / self.scale);
+                policy.observe(v, x / self.scale);
             }
-            if tally_channels {
+            if self.tally_channels {
                 // Per-channel capture bookkeeping, only when a sink
                 // (CaptureStats) asked for it: vertex v transmits on
                 // channel v % M; a positive observed rate is a capture,
                 // zero is an outage.
-                for &(v, x) in &obs {
-                    let c = v % m_channels;
-                    chan_attempts[c] += 1;
-                    chan_captures[c] += u64::from(x > 0.0);
+                for &(v, x) in &self.obs {
+                    let c = v % self.m_channels;
+                    self.chan_attempts[c] += 1;
+                    self.chan_captures[c] += u64::from(x > 0.0);
                 }
             }
-            if let Some(tr) = tracker.as_mut() {
+            if let Some(tr) = self.tracker.as_mut() {
                 tr.record(expected, raw);
-                if cfg.update_period == 1 {
-                    practical_regret.push(tr.practical_regret());
-                    practical_beta_regret.push(tr.practical_beta_regret());
+                if self.cfg.update_period == 1 {
+                    self.practical_regret.push(tr.practical_regret());
+                    self.practical_beta_regret.push(tr.practical_beta_regret());
                 }
             }
         }
         let learn_ns = learn_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
 
         // ---- Period bookkeeping (Section V-C identities).
-        let rp = cfg.time.period_effective_throughput(&period_obs);
-        let wp = cfg
+        let rp = self.cfg.time.period_effective_throughput(&self.period_obs);
+        let wp = self
+            .cfg
             .time
             .period_effective_estimate(estimated_kbps, period_len as usize);
-        effective_total += rp * period_len as f64;
-        n_periods += 1;
-        sum_rp += rp;
-        sum_wp += wp;
-        period_end_slots.push(t + period_len);
-        avg_actual.push(sum_rp / n_periods as f64);
-        avg_estimated.push(sum_wp / n_periods as f64);
+        self.effective_total += rp * period_len as f64;
+        self.n_periods += 1;
+        self.sum_rp += rp;
+        self.sum_wp += wp;
+        self.period_end_slots.push(t + period_len);
+        self.avg_actual.push(self.sum_rp / self.n_periods as f64);
+        self.avg_estimated.push(self.sum_wp / self.n_periods as f64);
 
         // ---- Stream the period to registered observers (skipped — and
         // allocation-free — when none are registered).
-        if observing {
+        if self.observing {
             // The drift oracle: the exact offline optimum per slot under
             // the channels' instantaneous true means at this period's
             // first slot, recomputed only when those means change (a
             // counterfactual — it never touches the run's communication
             // totals). Computed only when an observer asked for it.
-            let oracle_kbps = match oracle.as_mut() {
+            let oracle_kbps = match self.oracle.as_mut() {
                 Some(st) => {
-                    net.channels().means_at_into(t, &mut st.weights);
+                    self.net.channels().means_at_into(t, &mut st.weights);
                     if st.weights != st.prev_weights {
                         st.cached_kbps = mhca_mwis::exact::solve_grouped(
-                            net.h().graph(),
+                            self.net.h().graph(),
                             &st.weights,
                             &st.allowed,
-                            net.node_groups(),
+                            self.net.node_groups(),
                         )
                         .weight;
                         st.prev_weights.clone_from(&st.weights);
@@ -399,57 +550,220 @@ pub fn run_policy_observed(
             observers.emit(&RoundRecord {
                 slot: t,
                 period_len,
-                decision: comm.decisions,
+                decision: self.comm.decisions,
                 winners,
                 expected_kbps: period_expected,
-                observed_kbps: period_obs.iter().sum(),
+                observed_kbps: self.period_obs.iter().sum(),
                 estimated_kbps,
                 decide_ns,
                 wb_ns,
                 learn_ns,
-                decide_phase_ns: ptas.phase_ns(),
-                decide_transmissions: outcome.counters.transmissions,
-                decide_delivered: outcome.counters.delivered,
-                decide_timeslots: outcome.counters.timeslots,
-                decide_scanned: ptas.scan_stats().candidates_scanned,
-                decide_fallback_floods: outcome.fallback_floods,
-                per_vertex_tx: &outcome.counters.per_vertex_tx,
-                n_channels: m_channels,
-                channel_attempts: &chan_attempts,
-                channel_captures: &chan_captures,
+                decide_phase_ns: self.ptas.phase_ns(),
+                decide_transmissions: self.outcome.counters.transmissions,
+                decide_delivered: self.outcome.counters.delivered,
+                decide_timeslots: self.outcome.counters.timeslots,
+                decide_scanned: self.ptas.scan_stats().candidates_scanned,
+                decide_fallback_floods: self.outcome.fallback_floods,
+                per_vertex_tx: &self.outcome.counters.per_vertex_tx,
+                n_channels: self.m_channels,
+                channel_attempts: &self.chan_attempts,
+                channel_captures: &self.chan_captures,
                 oracle_kbps,
             });
         }
 
-        prev_winners.clone_from(winners);
-        t += period_len;
+        self.prev_winners.clone_from(&self.outcome.winners);
+        self.t += period_len;
     }
 
-    // Fold the WB engine's whole-run totals into the communication record.
-    let wb = wb_engine.counters();
-    comm.transmissions += wb.transmissions;
-    comm.delivered += wb.delivered;
-    comm.timeslots += wb.timeslots;
-    for (v, &c) in wb.per_vertex_tx.iter().enumerate() {
-        per_vertex_tx[v] += c;
+    /// Folds the WB engine's whole-run totals into the communication
+    /// record and assembles the [`RunResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the run is [`PolicyRunner::done`].
+    pub fn finish(mut self, policy: &dyn IndexPolicy) -> RunResult {
+        assert!(self.done(), "finish called before the horizon");
+        let wb = self.wb_engine.counters();
+        self.comm.transmissions += wb.transmissions;
+        self.comm.delivered += wb.delivered;
+        self.comm.timeslots += wb.timeslots;
+        for (v, &c) in wb.per_vertex_tx.iter().enumerate() {
+            self.per_vertex_tx[v] += c;
+        }
+
+        RunResult {
+            policy: policy.name().to_string(),
+            slots: self.cfg.horizon,
+            period_end_slots: self.period_end_slots,
+            avg_actual_throughput: self.avg_actual,
+            avg_estimated_throughput: self.avg_estimated,
+            practical_regret: self.practical_regret,
+            practical_beta_regret: self.practical_beta_regret,
+            final_strategy_vertices: self.prev_winners,
+            per_vertex_tx: self.per_vertex_tx,
+            average_observed_kbps: self.observed_total / self.cfg.horizon as f64,
+            average_effective_kbps: self.effective_total / self.cfg.horizon as f64,
+            average_expected_kbps: self.expected_total / self.cfg.horizon as f64,
+            beta: self.beta,
+            comm: self.comm,
+            seed: self.cfg.seed,
+        }
     }
 
-    RunResult {
-        policy: policy.name().to_string(),
-        slots: cfg.horizon,
-        period_end_slots,
-        avg_actual_throughput: avg_actual,
-        avg_estimated_throughput: avg_estimated,
-        practical_regret,
-        practical_beta_regret,
-        final_strategy_vertices: prev_winners,
-        per_vertex_tx,
-        average_observed_kbps: observed_total / cfg.horizon as f64,
-        average_effective_kbps: effective_total / cfg.horizon as f64,
-        average_expected_kbps: expected_total / cfg.horizon as f64,
-        beta,
-        comm,
-        seed: cfg.seed,
+    /// Captures the runner's complete mutable state at the current period
+    /// boundary, including the policy's own state
+    /// ([`IndexPolicy::snapshot_state`], nested under `policy.`). A fresh
+    /// runner over the same network/config/observer kinds that
+    /// [`PolicyRunner::restore`]s this map continues the run
+    /// bit-identically. Observer state is *not* included — the observer
+    /// pipeline snapshots separately (`ObserverSet::snapshot_states`).
+    pub fn snapshot(&self, policy: &dyn IndexPolicy) -> StateMap {
+        let mut out = StateMap::new();
+        out.put_u64("t", self.t);
+        out.put_u64_vec("rng", self.rng.state().to_vec());
+        out.put_f64_vec("stats.means", self.stats.means().to_vec());
+        out.put_u64_vec("stats.counts", self.stats.counts().to_vec());
+        let mut pol = StateMap::new();
+        policy.snapshot_state(&mut pol);
+        out.put_nested("policy", pol);
+        if let Some(tr) = &self.tracker {
+            let mut trs = StateMap::new();
+            tr.snapshot_state(&mut trs);
+            out.put_nested("tracker", trs);
+        }
+        out.put_u64_vec("period_end_slots", self.period_end_slots.clone());
+        out.put_f64_vec("avg_actual", self.avg_actual.clone());
+        out.put_f64_vec("avg_estimated", self.avg_estimated.clone());
+        out.put_f64_vec("practical_regret", self.practical_regret.clone());
+        out.put_f64_vec("practical_beta_regret", self.practical_beta_regret.clone());
+        out.put_f64("sum_rp", self.sum_rp);
+        out.put_f64("sum_wp", self.sum_wp);
+        out.put_u64("n_periods", self.n_periods);
+        out.put_f64("observed_total", self.observed_total);
+        out.put_f64("expected_total", self.expected_total);
+        out.put_f64("effective_total", self.effective_total);
+        out.put_u64("comm.transmissions", self.comm.transmissions);
+        out.put_u64("comm.delivered", self.comm.delivered);
+        out.put_u64("comm.timeslots", self.comm.timeslots);
+        out.put_u64("comm.decisions", self.comm.decisions);
+        out.put_u64_vec("per_vertex_tx", self.per_vertex_tx.clone());
+        out.put_u64_vec(
+            "prev_winners",
+            self.prev_winners
+                .iter()
+                .map(|&v| v as u64)
+                .collect::<Vec<_>>(),
+        );
+        let wb = self.wb_engine.counters();
+        out.put_u64("wb.transmissions", wb.transmissions);
+        out.put_u64("wb.delivered", wb.delivered);
+        out.put_u64("wb.timeslots", wb.timeslots);
+        out.put_u64_vec("wb.per_vertex_tx", wb.per_vertex_tx.clone());
+        out.put_u64("wb.fallback_floods", self.wb_engine.fallback_floods());
+        out.put_u64("ptas.loss_flood", self.ptas.loss_flood_index());
+        out
+    }
+
+    /// Re-injects a [`PolicyRunner::snapshot`] into a freshly constructed
+    /// runner (same network, config, and observer kinds) and its freshly
+    /// built policy. Validates lengths and ranges; on error the runner
+    /// must be discarded (it may be partially restored).
+    pub fn restore(
+        &mut self,
+        policy: &mut dyn IndexPolicy,
+        state: &StateMap,
+    ) -> Result<(), StateError> {
+        let k = self.net.n_vertices();
+        let t = state.get_u64("t")?;
+        if t > self.cfg.horizon {
+            return Err(StateError::invalid("t", "slot beyond the horizon"));
+        }
+        let rng = state.get_u64_vec_exact("rng", 4)?;
+        if rng.iter().all(|&w| w == 0) {
+            return Err(StateError::invalid("rng", "all-zero generator state"));
+        }
+        self.rng = StdRng::from_state([rng[0], rng[1], rng[2], rng[3]]);
+        self.t = t;
+        self.stats = ArmStats::from_parts(
+            state.get_f64_vec_exact("stats.means", k)?,
+            state.get_u64_vec_exact("stats.counts", k)?,
+        );
+        policy.restore_state(&state.extract_nested("policy"))?;
+        if let Some(tr) = self.tracker.as_mut() {
+            tr.restore_state(&state.extract_nested("tracker"))?;
+        }
+        self.n_periods = state.get_u64("n_periods")?;
+        let periods = usize::try_from(self.n_periods)
+            .map_err(|_| StateError::invalid("n_periods", "period count overflows usize"))?;
+        // Refill the preallocated series in place so the reserved
+        // capacities from construction survive the restore.
+        self.period_end_slots.clear();
+        self.period_end_slots
+            .extend_from_slice(state.get_u64_slice("period_end_slots")?);
+        self.avg_actual.clear();
+        self.avg_actual
+            .extend_from_slice(state.get_f64_slice("avg_actual")?);
+        self.avg_estimated.clear();
+        self.avg_estimated
+            .extend_from_slice(state.get_f64_slice("avg_estimated")?);
+        if self.period_end_slots.len() != periods
+            || self.avg_actual.len() != periods
+            || self.avg_estimated.len() != periods
+        {
+            return Err(StateError::invalid(
+                "period_end_slots",
+                "series length disagrees with n_periods",
+            ));
+        }
+        let regret_len = if self.tracker.is_some() && self.cfg.update_period == 1 {
+            t as usize
+        } else {
+            0
+        };
+        self.practical_regret.clear();
+        self.practical_regret.extend_from_slice(
+            state
+                .get_f64_vec_exact("practical_regret", regret_len)?
+                .as_slice(),
+        );
+        self.practical_beta_regret.clear();
+        self.practical_beta_regret.extend_from_slice(
+            state
+                .get_f64_vec_exact("practical_beta_regret", regret_len)?
+                .as_slice(),
+        );
+        self.sum_rp = state.get_f64("sum_rp")?;
+        self.sum_wp = state.get_f64("sum_wp")?;
+        self.observed_total = state.get_f64("observed_total")?;
+        self.expected_total = state.get_f64("expected_total")?;
+        self.effective_total = state.get_f64("effective_total")?;
+        self.comm = CommTotals {
+            transmissions: state.get_u64("comm.transmissions")?,
+            delivered: state.get_u64("comm.delivered")?,
+            timeslots: state.get_u64("comm.timeslots")?,
+            decisions: state.get_u64("comm.decisions")?,
+        };
+        self.per_vertex_tx = state.get_u64_vec_exact("per_vertex_tx", k)?;
+        self.prev_winners.clear();
+        for &v in state.get_u64_slice("prev_winners")? {
+            let v = usize::try_from(v)
+                .ok()
+                .filter(|&v| v < k)
+                .ok_or_else(|| StateError::invalid("prev_winners", "vertex out of range"))?;
+            self.prev_winners.push(v);
+        }
+        let mut wb = Counters::new(k);
+        wb.transmissions = state.get_u64("wb.transmissions")?;
+        wb.delivered = state.get_u64("wb.delivered")?;
+        wb.timeslots = state.get_u64("wb.timeslots")?;
+        wb.per_vertex_tx = state.get_u64_vec_exact("wb.per_vertex_tx", k)?;
+        self.wb_engine.restore_counters(&wb);
+        self.wb_engine
+            .set_fallback_floods(state.get_u64("wb.fallback_floods")?);
+        self.ptas
+            .set_loss_flood_index(state.get_u64("ptas.loss_flood")?);
+        Ok(())
     }
 }
 
@@ -579,5 +893,82 @@ mod tests {
         let net = small_net();
         let cfg = Algorithm2Config::default().with_horizon(0);
         let _ = run_policy(&net, &cfg, &mut Random);
+    }
+
+    #[test]
+    fn stepwise_runner_matches_batch_entry_point() {
+        let net = small_net();
+        let cfg = Algorithm2Config::default().with_horizon(60).with_seed(5);
+        let batch = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        let mut observers = ObserverSet::new();
+        let mut policy = CsUcb::new(2.0);
+        let mut runner = PolicyRunner::new(&net, &cfg, &observers);
+        let mut steps = 0;
+        while !runner.done() {
+            runner.step_period(&mut policy, &mut observers);
+            steps += 1;
+        }
+        assert_eq!(steps, 60);
+        assert_eq!(runner.finish(&policy), batch);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let net = small_net();
+        let opt = net.optimal().weight;
+        let cfg = Algorithm2Config::default()
+            .with_horizon(50)
+            .with_seed(9)
+            .with_optimal_kbps(opt);
+        let uninterrupted = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+
+        // Run 20 periods, snapshot, throw the runner away, restore into a
+        // fresh one, and finish.
+        let observers = ObserverSet::new();
+        let mut policy = CsUcb::new(2.0);
+        let mut first = PolicyRunner::new(&net, &cfg, &observers);
+        let mut obs = ObserverSet::new();
+        for _ in 0..20 {
+            first.step_period(&mut policy, &mut obs);
+        }
+        let snap = first.snapshot(&policy);
+        drop(first);
+
+        let mut policy2 = CsUcb::new(2.0);
+        let mut second = PolicyRunner::new(&net, &cfg, &observers);
+        second.restore(&mut policy2, &snap).unwrap();
+        assert_eq!(second.slot(), 20);
+        let mut obs = ObserverSet::new();
+        while !second.done() {
+            second.step_period(&mut policy2, &mut obs);
+        }
+        assert_eq!(second.finish(&policy2), uninterrupted);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let net = small_net();
+        let cfg = Algorithm2Config::default().with_horizon(10);
+        let observers = ObserverSet::new();
+        let mut policy = CsUcb::new(2.0);
+        let mut runner = PolicyRunner::new(&net, &cfg, &observers);
+        let mut obs = ObserverSet::new();
+        runner.step_period(&mut policy, &mut obs);
+        let good = runner.snapshot(&policy);
+
+        let mut fresh = PolicyRunner::new(&net, &cfg, &observers);
+        assert!(fresh.restore(&mut policy, &StateMap::new()).is_err());
+
+        // Tamper: t beyond the horizon.
+        let mut bad = StateMap::new();
+        for (k, v) in good.iter() {
+            if k == "t" {
+                bad.put_u64("t", 99);
+            } else {
+                bad.put(k.to_string(), v.clone());
+            }
+        }
+        let mut fresh = PolicyRunner::new(&net, &cfg, &observers);
+        assert!(fresh.restore(&mut policy, &bad).is_err());
     }
 }

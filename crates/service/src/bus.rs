@@ -1,0 +1,184 @@
+//! Per-session event bus: the in-memory stream `watch` reads from.
+//!
+//! Every session owns one [`EventBus`]. The supervisor publishes
+//! lifecycle events (submitted, seed done, checkpointed, …) and
+//! [`BusSink`] forwards the session's telemetry events (incremental
+//! observer counters, window-close gauges, phase histograms), so a
+//! `watch` client sees live metrics per decision period without the
+//! run writing anything to disk.
+//!
+//! The bus is a bounded ring: old events are dropped once the buffer
+//! exceeds [`EventBus::capacity`], and readers that fell behind observe
+//! a gap in sequence numbers (reported, not hidden). Readers block on a
+//! condvar with a timeout, so a `watch` connection can also notice
+//! session termination promptly.
+
+use mhca_telemetry::{Event, TraceSink};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct BusInner {
+    next_seq: u64,
+    events: VecDeque<(u64, String)>,
+    closed: bool,
+}
+
+/// Bounded, sequence-numbered broadcast buffer of serialized event lines.
+pub struct EventBus {
+    capacity: usize,
+    inner: Mutex<BusInner>,
+    cond: Condvar,
+}
+
+impl EventBus {
+    /// A bus retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventBus {
+            capacity: capacity.max(1),
+            inner: Mutex::new(BusInner {
+                next_seq: 0,
+                events: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends one event line and wakes all readers. No-op on a closed
+    /// bus.
+    pub fn publish(&self, line: String) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back((seq, line));
+        while inner.events.len() > self.capacity {
+            inner.events.pop_front();
+        }
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Closes the bus (session reached a terminal state); readers drain
+    /// what remains and then observe the closure.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Sequence number the next published event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// Reads events with sequence `>= from`, blocking up to `timeout`
+    /// when none are available yet. Returns the events and whether the
+    /// bus is closed (a closed bus with an empty result means the
+    /// stream is finished).
+    pub fn read_from(&self, from: u64, timeout: Duration) -> (Vec<(u64, String)>, bool) {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            let batch: Vec<(u64, String)> = inner
+                .events
+                .iter()
+                .filter(|(seq, _)| *seq >= from)
+                .cloned()
+                .collect();
+            if !batch.is_empty() || inner.closed {
+                return (batch, inner.closed);
+            }
+            let (guard, wait) = self.cond.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+            if wait.timed_out() {
+                return (Vec::new(), inner.closed);
+            }
+        }
+    }
+}
+
+/// A [`TraceSink`] forwarding serialized telemetry events into a bus —
+/// how a session's observer stream becomes `watch` output. Pair it with
+/// [`FanoutSink`](mhca_telemetry::FanoutSink) to also keep an on-disk
+/// `events.jsonl`.
+pub struct BusSink {
+    bus: std::sync::Arc<EventBus>,
+}
+
+impl BusSink {
+    /// A sink publishing into `bus`.
+    pub fn new(bus: std::sync::Arc<EventBus>) -> Self {
+        BusSink { bus }
+    }
+}
+
+impl TraceSink for BusSink {
+    fn emit(&self, event: &Event<'_>) {
+        let mut line = String::with_capacity(128);
+        event.write_json(&mut line);
+        self.bus.publish(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn events_are_sequenced_and_readable_from_any_offset() {
+        let bus = EventBus::new(16);
+        bus.publish("a".into());
+        bus.publish("b".into());
+        let (batch, closed) = bus.read_from(0, Duration::from_millis(1));
+        assert_eq!(batch, vec![(0, "a".to_string()), (1, "b".to_string())]);
+        assert!(!closed);
+        let (tail, _) = bus.read_from(1, Duration::from_millis(1));
+        assert_eq!(tail, vec![(1, "b".to_string())]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_keeps_sequence_numbers() {
+        let bus = EventBus::new(2);
+        for i in 0..5 {
+            bus.publish(format!("e{i}"));
+        }
+        let (batch, _) = bus.read_from(0, Duration::from_millis(1));
+        assert_eq!(batch, vec![(3, "e3".to_string()), (4, "e4".to_string())]);
+    }
+
+    #[test]
+    fn close_wakes_empty_readers() {
+        let bus = Arc::new(EventBus::new(4));
+        let reader = {
+            let bus = bus.clone();
+            std::thread::spawn(move || bus.read_from(0, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        bus.close();
+        let (batch, closed) = reader.join().unwrap();
+        assert!(batch.is_empty());
+        assert!(closed);
+    }
+
+    #[test]
+    fn bus_sink_serializes_telemetry_events() {
+        use mhca_telemetry::Telemetry;
+        let bus = Arc::new(EventBus::new(8));
+        let telemetry = Telemetry::from_sink(Box::new(BusSink::new(bus.clone())));
+        telemetry
+            .with_scope("s1/seed3")
+            .counter("comm.decisions", 64);
+        let (batch, _) = bus.read_from(0, Duration::from_millis(1));
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].1.contains("\"kind\":\"counter\""));
+        assert!(batch[0].1.contains("\"scope\":\"s1/seed3\""));
+    }
+}

@@ -1,0 +1,186 @@
+//! Exact [`StateMap`] ↔ JSON codec — the checkpoint serialization layer.
+//!
+//! Checkpoints must restore **bit-identically**: the resumed run's
+//! `RunResult` and artifacts are pinned byte-equal to an uninterrupted
+//! run's, so the codec cannot round floats through decimal or squeeze
+//! 64-bit counters into JSON's 2^53-exact number range. Encoding:
+//!
+//! * `u64` → decimal **string** (`"18446744073709551615"` — RNG state
+//!   words use the full range);
+//! * `f64` → hex bit-pattern string (`"0x3fe0000000000000"`), covering
+//!   every value including `-0.0`, subnormals, and infinities;
+//! * vectors → arrays of the same;
+//! * each [`StateValue`] is wrapped in a one-key object naming its type
+//!   (`{"u64": "42"}`), and the map itself is a JSON object in insertion
+//!   order, so serialized checkpoints are deterministic byte-for-byte.
+
+use crate::json::Json;
+use mhca_bandit::{StateMap, StateValue};
+
+/// Exact `f64` → JSON encoding (hex bit pattern string).
+pub fn f64_to_json(x: f64) -> Json {
+    Json::Str(format!("0x{:016x}", x.to_bits()))
+}
+
+/// Inverse of [`f64_to_json`].
+pub fn f64_from_json(v: &Json) -> Result<f64, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| "expected an f64 bit-pattern string".to_string())?;
+    let hex = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("f64 bit pattern must start with 0x, got {s:?}"))?;
+    u64::from_str_radix(hex, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("invalid f64 bit pattern {s:?}"))
+}
+
+/// Exact `u64` → JSON encoding (decimal string; JSON numbers are only
+/// exact to 2^53).
+pub fn u64_to_json(x: u64) -> Json {
+    Json::Str(x.to_string())
+}
+
+/// Inverse of [`u64_to_json`].
+pub fn u64_from_json(v: &Json) -> Result<u64, String> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| "expected a u64 decimal string".to_string())?;
+    s.parse::<u64>().map_err(|_| format!("invalid u64 {s:?}"))
+}
+
+fn value_to_json(value: &StateValue) -> Json {
+    match value {
+        StateValue::U64(x) => Json::obj(vec![("u64", u64_to_json(*x))]),
+        StateValue::F64(x) => Json::obj(vec![("f64", f64_to_json(*x))]),
+        StateValue::U64Vec(xs) => Json::obj(vec![(
+            "u64vec",
+            Json::Arr(xs.iter().map(|&x| u64_to_json(x)).collect()),
+        )]),
+        StateValue::F64Vec(xs) => Json::obj(vec![(
+            "f64vec",
+            Json::Arr(xs.iter().map(|&x| f64_to_json(x)).collect()),
+        )]),
+    }
+}
+
+fn value_from_json(key: &str, v: &Json) -> Result<StateValue, String> {
+    let fail = |what: &str, e: String| format!("state key `{key}`: {what}: {e}");
+    if let Some(x) = v.get("u64") {
+        return u64_from_json(x)
+            .map(StateValue::U64)
+            .map_err(|e| fail("u64", e));
+    }
+    if let Some(x) = v.get("f64") {
+        return f64_from_json(x)
+            .map(StateValue::F64)
+            .map_err(|e| fail("f64", e));
+    }
+    if let Some(xs) = v.get("u64vec").and_then(Json::as_arr) {
+        return xs
+            .iter()
+            .map(u64_from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map(StateValue::U64Vec)
+            .map_err(|e| fail("u64vec", e));
+    }
+    if let Some(xs) = v.get("f64vec").and_then(Json::as_arr) {
+        return xs
+            .iter()
+            .map(f64_from_json)
+            .collect::<Result<Vec<_>, _>>()
+            .map(StateValue::F64Vec)
+            .map_err(|e| fail("f64vec", e));
+    }
+    Err(format!(
+        "state key `{key}`: unrecognized value encoding {}",
+        v.to_string_compact()
+    ))
+}
+
+/// Serializes a [`StateMap`] to a JSON object, preserving entry order.
+pub fn state_map_to_json(map: &StateMap) -> Json {
+    Json::Obj(
+        map.iter()
+            .map(|(k, v)| (k.to_string(), value_to_json(v)))
+            .collect(),
+    )
+}
+
+/// Inverse of [`state_map_to_json`].
+pub fn state_map_from_json(v: &Json) -> Result<StateMap, String> {
+    let Json::Obj(pairs) = v else {
+        return Err("checkpoint state must be a JSON object".to_string());
+    };
+    let mut map = StateMap::new();
+    for (key, value) in pairs {
+        if map.get(key).is_some() {
+            return Err(format!("duplicate state key `{key}` in checkpoint"));
+        }
+        map.put(key.clone(), value_from_json(key, value)?);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_maps_round_trip_bit_exactly() {
+        let mut m = StateMap::new();
+        m.put_u64("rng", u64::MAX);
+        m.put_f64("neg_zero", -0.0);
+        m.put_f64("subnormal", f64::MIN_POSITIVE / 8.0);
+        m.put_f64("pi_ish", 0.1 + 0.2);
+        m.put_u64_vec("counts", vec![0, 1, u64::MAX - 1]);
+        m.put_f64_vec("means", vec![1.0 / 3.0, f64::INFINITY, -1e-300]);
+        let text = state_map_to_json(&m).to_string_compact();
+        let back = state_map_from_json(&crate::json::parse(&text).unwrap()).unwrap();
+        // PartialEq on f64 would treat -0.0 == 0.0; compare bit patterns.
+        for ((ka, va), (kb, vb)) in m.iter().zip(back.iter()) {
+            assert_eq!(ka, kb);
+            match (va, vb) {
+                (StateValue::F64(a), StateValue::F64(b)) => {
+                    assert_eq!(a.to_bits(), b.to_bits(), "key {ka}");
+                }
+                (StateValue::F64Vec(a), StateValue::F64Vec(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "key {ka}");
+                    }
+                }
+                (a, b) => assert_eq!(a, b, "key {ka}"),
+            }
+        }
+        assert_eq!(m.len(), back.len());
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let mut m = StateMap::new();
+        m.put_u64("b", 2);
+        m.put_u64("a", 1);
+        let t1 = state_map_to_json(&m).to_string_compact();
+        let t2 = state_map_to_json(&m).to_string_compact();
+        assert_eq!(t1, t2);
+        // Insertion order survives (not alphabetized).
+        assert!(t1.find("\"b\"").unwrap() < t1.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_rejected() {
+        for bad in [
+            "[]",
+            "{\"k\": 5}",
+            "{\"k\": {\"u64\": \"nope\"}}",
+            "{\"k\": {\"f64\": \"3fe0\"}}",
+            "{\"k\": {\"f64\": \"0xzz\"}}",
+            "{\"k\": {\"wat\": \"1\"}}",
+            "{\"k\": {\"u64\": \"1\"}, \"k\": {\"u64\": \"2\"}}",
+        ] {
+            let v = crate::json::parse(bad).unwrap();
+            assert!(state_map_from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+}

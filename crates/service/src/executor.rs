@@ -1,0 +1,106 @@
+//! The inversion-of-control seam between the service and the experiment
+//! stack.
+//!
+//! The service supervises sessions but knows nothing about networks,
+//! policies, or figure CSVs; the campaign crate knows all of that but
+//! must not depend on the service's threading. The [`Executor`] trait
+//! inverts the dependency: `mhca-campaign` implements it (this crate
+//! sits *below* campaign in the workspace graph), and the supervisor
+//! drives it one seed at a time. Control flows back through [`JobCtrl`]:
+//! the executor calls [`JobCtrl::poll`] at every checkpoint-safe
+//! boundary — for Algorithm 2 runs, every decision period — and obeys
+//! the returned [`Directive`], handing over serialized state when a
+//! checkpoint was requested. Running the seed on the worker thread's
+//! own stack (instead of returning a stateful job object) lets the
+//! executor keep the runner borrowing its network without any
+//! self-referential ownership.
+
+use crate::json::Json;
+use mhca_telemetry::Telemetry;
+
+/// What a scenario expands to, as reported by [`Executor::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobPlan {
+    /// Scenario name (artifact directory name).
+    pub name: String,
+    /// Experiment kind tag (`"policy-run"`, `"fig6"`, …).
+    pub kind: String,
+    /// The seeds the session will run, in order.
+    pub seeds: Vec<u64>,
+    /// Whether the kind supports mid-seed checkpoints (Algorithm 2
+    /// round loops). Other kinds checkpoint between seeds only: a
+    /// mid-seed snapshot records no state and resume restarts the seed.
+    pub steppable: bool,
+}
+
+/// One completed seed's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Rendered per-seed artifact (figure CSV bytes).
+    pub artifact: Vec<u8>,
+    /// Flat headline + observer metrics, in emission order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// Progress of the in-flight seed, in slots (the experiment's own unit
+/// when it has no slot notion: `done == total == 0` until completion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobProgress {
+    /// Slots simulated so far.
+    pub slots_done: u64,
+    /// Total slots in the run.
+    pub slots_total: u64,
+}
+
+/// What the job should do next, as answered by [`JobCtrl::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Directive {
+    /// Keep running.
+    Continue,
+    /// Serialize state into [`JobCtrl::save_checkpoint`], then keep
+    /// running.
+    Checkpoint,
+    /// Serialize state, then return early (graceful shutdown).
+    CheckpointAndStop,
+    /// Return early without checkpointing (cancel).
+    Stop,
+}
+
+/// The supervisor's side of the control channel, polled by the executor
+/// at every checkpoint-safe boundary.
+pub trait JobCtrl {
+    /// Reports progress and picks up any pending control request. May
+    /// block (a paused session parks here until resumed).
+    fn poll(&mut self, progress: JobProgress) -> Directive;
+
+    /// Hands over the serialized mid-seed state after a
+    /// [`Directive::Checkpoint`] / [`Directive::CheckpointAndStop`].
+    /// Kinds without mid-seed state pass [`Json::Null`].
+    fn save_checkpoint(&mut self, state: Json);
+}
+
+/// Executes scenario seeds on behalf of the service. Implemented by
+/// `mhca-campaign` over its scenario ingestion and the stepwise
+/// `PolicyRunner`.
+pub trait Executor: Send + Sync + 'static {
+    /// Validates a scenario document and reports its job plan without
+    /// running anything.
+    fn validate(&self, scenario: &Json) -> Result<JobPlan, String>;
+
+    /// Runs one seed to completion (or to an early stop), polling
+    /// `ctrl` at every checkpoint-safe boundary and streaming telemetry
+    /// into `telemetry`.
+    ///
+    /// `resume_from` carries the state handed to
+    /// [`JobCtrl::save_checkpoint`] by a previous run of the same
+    /// scenario/seed ([`Json::Null`] restarts from scratch). Returns
+    /// `Ok(None)` when a directive stopped the run early.
+    fn run_seed(
+        &self,
+        scenario: &Json,
+        seed: u64,
+        resume_from: Option<&Json>,
+        telemetry: &Telemetry,
+        ctrl: &mut dyn JobCtrl,
+    ) -> Result<Option<JobOutput>, String>;
+}

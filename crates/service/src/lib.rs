@@ -1,0 +1,64 @@
+//! `mhca-service` — the resident experiment service.
+//!
+//! The campaign layer runs batch jobs to completion; this crate is the
+//! long-lived counterpart behind `mhca-campaign serve`: a daemon that
+//! owns experiment **sessions**, streams their metrics live, and can
+//! checkpoint a job *mid-run* — serializing the bandit policy's learner
+//! state, the round counter, and the RNG stream position — so a killed
+//! daemon restarts and resumes inside the job with a byte-identical
+//! final result.
+//!
+//! The pieces, bottom up:
+//!
+//! * [`json`] — the hand-rolled JSON value model, emitter, and parser
+//!   (moved here from `mhca-campaign`, which now re-exports it). The
+//!   wire protocol, the checkpoint codec, and the campaign manifests
+//!   all share it.
+//! * [`checkpoint`] — the exact [`StateMap`](mhca_bandit::StateMap) ↔
+//!   JSON codec: `u64` as decimal strings (full 64-bit range — RNG
+//!   state words do not fit JSON's 2^53-exact numbers), `f64` as hex
+//!   bit patterns (`"0x3fe0000000000000"`), so restore is bit-exact.
+//! * [`protocol`] — the line-delimited JSON request/response grammar
+//!   (see `docs/SERVICE.md` for the full specification).
+//! * [`bus`] — the per-session in-memory event bus `watch` streams
+//!   from, plus [`BusSink`], the
+//!   [`TraceSink`](mhca_telemetry::TraceSink) that feeds telemetry
+//!   events into it.
+//! * [`executor`] — the inversion-of-control seam to the experiment
+//!   stack: the service calls [`Executor::run_seed`](executor::Executor)
+//!   and the *executor* (implemented by `mhca-campaign`) polls back a
+//!   [`JobCtrl`] at every decision-period boundary,
+//!   where a checkpoint is legal. Layering the trait here (below the
+//!   campaign crate) is what keeps the service free of experiment
+//!   dependencies.
+//! * [`session`] / [`supervisor`] — session records, their durable
+//!   on-disk form, and the thread-per-session supervisor that owns
+//!   them.
+//! * [`server`] — the unix-socket / TCP listener: a small accept poll
+//!   loop, one thread per connection, no async runtime (the workspace
+//!   vendoring rule: no tokio).
+//! * [`signals`] — SIGINT/SIGTERM → an [`AtomicBool`] flag, the only
+//!   `unsafe` in the crate (one `extern "C"` handler registration).
+//!
+//! [`AtomicBool`]: std::sync::atomic::AtomicBool
+
+#![deny(unsafe_code)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod checkpoint;
+pub mod executor;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod session;
+pub mod signals;
+pub mod supervisor;
+
+pub use bus::{BusSink, EventBus};
+pub use executor::{Directive, Executor, JobCtrl, JobOutput, JobPlan, JobProgress};
+pub use protocol::Request;
+pub use server::{serve, Endpoint};
+pub use session::{SessionInfo, SessionStatus};
+pub use supervisor::Supervisor;

@@ -1,0 +1,241 @@
+//! The wire protocol: one JSON object per line, both directions.
+//!
+//! Requests are `{"cmd": "<verb>", ...}` objects; responses are
+//! `{"ok": true, ...}` or `{"ok": false, "error": "..."}` lines. `watch`
+//! is the one streaming command: after the initial `ok` line the server
+//! keeps writing `{"event": ..., "seq": n}` lines until the session
+//! terminates or the client disconnects. The full grammar, with
+//! examples, is specified in `docs/SERVICE.md`.
+//!
+//! Everything is line-delimited so `nc -U` plus a pipe is a complete
+//! client; no framing, no binary, no async.
+
+use crate::json::{parse, Json};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Start a session running `scenario`, writing artifacts under
+    /// `out_dir`. `name` overrides the auto-assigned session id.
+    Submit {
+        /// Scenario document (same shape `mhca-campaign run` ingests).
+        scenario: Json,
+        /// Artifact directory for the session.
+        out_dir: String,
+        /// Optional explicit session id.
+        name: Option<String>,
+    },
+    /// Report one session (`Some`) or all sessions (`None`).
+    Status {
+        /// Session id, or `None` for the roster.
+        session: Option<String>,
+    },
+    /// Stream a session's events starting at sequence `from`.
+    Watch {
+        /// Session id.
+        session: String,
+        /// First sequence number to deliver (0 = from the beginning of
+        /// the retained window).
+        from: u64,
+    },
+    /// Park the session at its next decision-period boundary.
+    Pause {
+        /// Session id.
+        session: String,
+    },
+    /// Wake a paused session, or respawn one recovered from disk.
+    Resume {
+        /// Session id.
+        session: String,
+    },
+    /// Checkpoint the session's in-flight seed to disk, without
+    /// stopping it.
+    Checkpoint {
+        /// Session id.
+        session: String,
+    },
+    /// Stop the session without checkpointing.
+    Cancel {
+        /// Session id.
+        session: String,
+    },
+    /// Checkpoint every running session, persist, and exit the daemon.
+    Shutdown,
+}
+
+fn req_str(v: &Json, key: &str, cmd: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("`{cmd}` requires a string `{key}` field"))
+}
+
+fn session_field(v: &Json, cmd: &str) -> Result<String, String> {
+    req_str(v, "session", cmd)
+}
+
+/// Parses one request line. Errors are human-readable and become the
+/// `error` field of an `{"ok": false}` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line).map_err(|e| format!("bad JSON at byte {}: {}", e.offset, e.message))?;
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "request must be an object with a string `cmd` field".to_string())?;
+    match cmd {
+        "submit" => {
+            let scenario = v
+                .get("scenario")
+                .cloned()
+                .ok_or_else(|| "`submit` requires a `scenario` object".to_string())?;
+            let out_dir = req_str(&v, "out_dir", "submit")?;
+            let name = v.get("name").and_then(Json::as_str).map(str::to_string);
+            Ok(Request::Submit {
+                scenario,
+                out_dir,
+                name,
+            })
+        }
+        "status" => Ok(Request::Status {
+            session: v.get("session").and_then(Json::as_str).map(str::to_string),
+        }),
+        "watch" => Ok(Request::Watch {
+            session: session_field(&v, "watch")?,
+            from: v.get("from").and_then(Json::as_u64).unwrap_or(0),
+        }),
+        "pause" => Ok(Request::Pause {
+            session: session_field(&v, "pause")?,
+        }),
+        "resume" => Ok(Request::Resume {
+            session: session_field(&v, "resume")?,
+        }),
+        "checkpoint" => Ok(Request::Checkpoint {
+            session: session_field(&v, "checkpoint")?,
+        }),
+        "cancel" => Ok(Request::Cancel {
+            session: session_field(&v, "cancel")?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown command {other:?} (expected submit | status | watch | pause | resume | \
+             checkpoint | cancel | shutdown)"
+        )),
+    }
+}
+
+/// An `{"ok": true, ...}` response line (no trailing newline).
+pub fn ok_line(fields: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(pairs).to_string_compact()
+}
+
+/// An `{"ok": false, "error": ...}` response line (no trailing newline).
+pub fn err_line(message: &str) -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.to_string())),
+    ])
+    .to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips() {
+        let req = parse_request(
+            r#"{"cmd":"submit","scenario":{"name":"s"},"out_dir":"/tmp/x","name":"sess1"}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Submit {
+                scenario,
+                out_dir,
+                name,
+            } => {
+                assert_eq!(scenario.get("name").and_then(Json::as_str), Some("s"));
+                assert_eq!(out_dir, "/tmp/x");
+                assert_eq!(name.as_deref(), Some("sess1"));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_defaults_from_to_zero() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"watch","session":"s1"}"#).unwrap(),
+            Request::Watch {
+                session: "s1".to_string(),
+                from: 0
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"watch","session":"s1","from":17}"#).unwrap(),
+            Request::Watch {
+                session: "s1".to_string(),
+                from: 17
+            }
+        );
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        for (line, want) in [
+            (
+                r#"{"cmd":"pause","session":"a"}"#,
+                Request::Pause {
+                    session: "a".into(),
+                },
+            ),
+            (
+                r#"{"cmd":"resume","session":"a"}"#,
+                Request::Resume {
+                    session: "a".into(),
+                },
+            ),
+            (
+                r#"{"cmd":"checkpoint","session":"a"}"#,
+                Request::Checkpoint {
+                    session: "a".into(),
+                },
+            ),
+            (
+                r#"{"cmd":"cancel","session":"a"}"#,
+                Request::Cancel {
+                    session: "a".into(),
+                },
+            ),
+            (r#"{"cmd":"shutdown"}"#, Request::Shutdown),
+            (r#"{"cmd":"status"}"#, Request::Status { session: None }),
+        ] {
+            assert_eq!(parse_request(line).unwrap(), want, "{line}");
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_context() {
+        assert!(parse_request("not json").unwrap_err().contains("bad JSON"));
+        assert!(parse_request("[1]").unwrap_err().contains("cmd"));
+        assert!(parse_request(r#"{"cmd":"frobnicate"}"#)
+            .unwrap_err()
+            .contains("frobnicate"));
+        assert!(parse_request(r#"{"cmd":"pause"}"#)
+            .unwrap_err()
+            .contains("session"));
+        assert!(parse_request(r#"{"cmd":"submit","out_dir":"/x"}"#)
+            .unwrap_err()
+            .contains("scenario"));
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let ok = ok_line(vec![("session", Json::Str("s1".into()))]);
+        assert_eq!(ok, r#"{"ok":true,"session":"s1"}"#);
+        let err = err_line("no such session");
+        assert_eq!(err, r#"{"ok":false,"error":"no such session"}"#);
+        assert!(!ok.contains('\n') && !err.contains('\n'));
+    }
+}

@@ -1,0 +1,426 @@
+//! The listener: unix socket or TCP, line-delimited JSON, no async.
+//!
+//! A deliberately small design. The accept loop runs nonblocking with a
+//! 50 ms sleep so it can notice shutdown (the `shutdown` command, or
+//! SIGINT/SIGTERM via [`signals`]); each accepted
+//! connection gets its own thread running a read-line / write-line loop.
+//! `watch` turns that loop into a stream: after the initial `ok` the
+//! thread tails the session's [`EventBus`](crate::bus::EventBus) and
+//! writes `{"seq":n,"event":{...}}` lines until the session terminates,
+//! the daemon stops, or the client disconnects.
+//!
+//! On exit the server checkpoints and joins every session via
+//! [`Supervisor::shutdown`] and removes the unix socket file, so
+//! `serve → kill → serve` on the same path just works.
+
+use crate::json::Json;
+use crate::protocol::{err_line, ok_line, parse_request, Request};
+use crate::session::SessionInfo;
+use crate::signals;
+use crate::supervisor::Supervisor;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the accept loop wakes to check for shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+
+/// How long a `watch` tail blocks per bus read before re-checking for
+/// daemon shutdown.
+const WATCH_POLL: Duration = Duration::from_millis(500);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A unix domain socket at this path (removed on exit).
+    Unix(PathBuf),
+    /// A TCP bind address, e.g. `127.0.0.1:7770`.
+    Tcp(String),
+}
+
+/// Runs the daemon until a `shutdown` command or SIGINT/SIGTERM, then
+/// checkpoints every session and returns. Blocks the calling thread.
+pub fn serve(supervisor: Arc<Supervisor>, endpoint: Endpoint) -> Result<(), String> {
+    signals::install();
+    let stop = Arc::new(AtomicBool::new(false));
+    match &endpoint {
+        Endpoint::Unix(path) => {
+            // A previous daemon that died without cleanup leaves a stale
+            // socket file; binding requires removing it first.
+            if path.exists() {
+                std::fs::remove_file(path)
+                    .map_err(|e| format!("cannot remove stale socket {}: {e}", path.display()))?;
+            }
+            let listener = UnixListener::bind(path)
+                .map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("set_nonblocking: {e}"))?;
+            accept_loop(&supervisor, &stop, || listener.accept().map(|(s, _)| s));
+            std::fs::remove_file(path).ok();
+        }
+        Endpoint::Tcp(addr) => {
+            let listener =
+                TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("set_nonblocking: {e}"))?;
+            accept_loop(&supervisor, &stop, || listener.accept().map(|(s, _)| s));
+        }
+    }
+    supervisor.shutdown();
+    Ok(())
+}
+
+/// A connection the handler thread can read and write independently.
+/// The read timeout keeps idle handler threads joinable: without it, a
+/// client that never sends another line would pin its thread past
+/// daemon shutdown.
+trait Conn: Read + Write + Send {
+    fn split(&self) -> std::io::Result<Box<dyn Read + Send>>;
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for UnixStream {
+    fn split(&self) -> std::io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+}
+
+impl Conn for TcpStream {
+    fn split(&self) -> std::io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+fn accept_loop<S: Conn + 'static>(
+    supervisor: &Arc<Supervisor>,
+    stop: &Arc<AtomicBool>,
+    mut accept: impl FnMut() -> std::io::Result<S>,
+) {
+    let mut handlers = Vec::new();
+    while !stop.load(Ordering::Relaxed)
+        && !signals::shutdown_requested()
+        && !supervisor.shutting_down()
+    {
+        match accept() {
+            Ok(stream) => {
+                let supervisor = supervisor.clone();
+                let stop = stop.clone();
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(stream, &supervisor, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection<S: Conn>(mut stream: S, supervisor: &Supervisor, stop: &Arc<AtomicBool>) {
+    if stream.set_read_timeout(Some(WATCH_POLL)).is_err() {
+        return;
+    }
+    let mut reader = match stream.split() {
+        Ok(r) => BufReader::new(r),
+        Err(_) => return,
+    };
+    // Manual read loop (not `lines()`): a read timeout mid-line must
+    // keep the partial line buffered, and the idle path must notice
+    // daemon shutdown.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) if !line.ends_with('\n') => {
+                // Timeout split the line; keep accumulating.
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let request_line = std::mem::take(&mut line);
+        let request_line = request_line.trim();
+        if request_line.is_empty() {
+            continue;
+        }
+        let response = match parse_request(request_line) {
+            Err(message) => err_line(&message),
+            Ok(Request::Watch { session, from }) => {
+                // Streaming path: the initial ok, then the tail.
+                match supervisor.bus(&session) {
+                    Err(message) => err_line(&message),
+                    Ok(bus) => {
+                        let header = ok_line(vec![
+                            ("session", Json::Str(session)),
+                            ("from", Json::Num(from as f64)),
+                        ]);
+                        if write_line(&mut stream, &header).is_err() {
+                            return;
+                        }
+                        let mut cursor = from;
+                        loop {
+                            let (batch, closed) = bus.read_from(cursor, WATCH_POLL);
+                            for (seq, event) in &batch {
+                                cursor = seq + 1;
+                                // `event` is already one JSON object.
+                                let framed = format!("{{\"seq\":{seq},\"event\":{event}}}");
+                                if write_line(&mut stream, &framed).is_err() {
+                                    return;
+                                }
+                            }
+                            if closed && batch.is_empty() {
+                                break;
+                            }
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                        ok_line(vec![("closed", Json::Bool(true))])
+                    }
+                }
+            }
+            Ok(request) => respond(request, supervisor, stop),
+        };
+        if write_line(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn respond(request: Request, supervisor: &Supervisor, stop: &Arc<AtomicBool>) -> String {
+    let unit = |result: Result<(), String>| match result {
+        Ok(()) => ok_line(vec![]),
+        Err(message) => err_line(&message),
+    };
+    match request {
+        Request::Submit {
+            scenario,
+            out_dir,
+            name,
+        } => match supervisor.submit(scenario, out_dir, name) {
+            Ok(id) => ok_line(vec![("session", Json::Str(id))]),
+            Err(message) => err_line(&message),
+        },
+        Request::Status { session } => match supervisor.status(session.as_deref()) {
+            Ok(infos) => ok_line(vec![(
+                "sessions",
+                Json::Arr(infos.iter().map(SessionInfo::to_json).collect()),
+            )]),
+            Err(message) => err_line(&message),
+        },
+        Request::Pause { session } => unit(supervisor.pause(&session)),
+        Request::Resume { session } => unit(supervisor.resume(&session)),
+        Request::Checkpoint { session } => match supervisor.checkpoint(&session) {
+            Ok(path) => ok_line(vec![("checkpoint", Json::Str(path))]),
+            Err(message) => err_line(&message),
+        },
+        Request::Cancel { session } => unit(supervisor.cancel(&session)),
+        Request::Shutdown => {
+            stop.store(true, Ordering::Relaxed);
+            ok_line(vec![("shutdown", Json::Bool(true))])
+        }
+        Request::Watch { .. } => unreachable!("watch handled by the streaming path"),
+    }
+}
+
+fn write_line(w: &mut impl Write, line: &str) -> std::io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Directive, Executor, JobCtrl, JobOutput, JobPlan, JobProgress};
+    use mhca_telemetry::Telemetry;
+
+    /// Instant-finish executor: one poll, fixed artifact.
+    struct TinyExec;
+
+    impl Executor for TinyExec {
+        fn validate(&self, scenario: &Json) -> Result<JobPlan, String> {
+            let name = scenario
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("scenario needs a name")?
+                .to_string();
+            Ok(JobPlan {
+                name,
+                kind: "tiny".to_string(),
+                seeds: vec![1],
+                steppable: false,
+            })
+        }
+
+        fn run_seed(
+            &self,
+            _scenario: &Json,
+            seed: u64,
+            _resume_from: Option<&Json>,
+            telemetry: &Telemetry,
+            ctrl: &mut dyn JobCtrl,
+        ) -> Result<Option<JobOutput>, String> {
+            match ctrl.poll(JobProgress::default()) {
+                Directive::Stop => return Ok(None),
+                Directive::CheckpointAndStop => {
+                    ctrl.save_checkpoint(Json::Null);
+                    return Ok(None);
+                }
+                Directive::Checkpoint => ctrl.save_checkpoint(Json::Null),
+                Directive::Continue => {}
+            }
+            telemetry.counter("tiny.done", 1);
+            Ok(Some(JobOutput {
+                artifact: format!("seed,{seed}\n").into_bytes(),
+                metrics: vec![("done".to_string(), 1.0)],
+            }))
+        }
+    }
+
+    fn read_line(reader: &mut impl BufRead) -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn unix_socket_end_to_end() {
+        let base = std::env::temp_dir().join("mhca_server_unix_test");
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::create_dir_all(&base).unwrap();
+        let socket = base.join("daemon.sock");
+        let supervisor = Arc::new(
+            crate::supervisor::Supervisor::new(Arc::new(TinyExec), base.join("state")).unwrap(),
+        );
+        let server = {
+            let supervisor = supervisor.clone();
+            let socket = socket.clone();
+            std::thread::spawn(move || serve(supervisor, Endpoint::Unix(socket)))
+        };
+        // Wait for the socket to come up.
+        let mut conn = None;
+        for _ in 0..100 {
+            if let Ok(c) = UnixStream::connect(&socket) {
+                conn = Some(c);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut conn = conn.expect("daemon did not come up");
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+        let out_dir = base.join("out");
+        let submit = format!(
+            "{{\"cmd\":\"submit\",\"scenario\":{{\"name\":\"t\"}},\"out_dir\":{}}}",
+            Json::Str(out_dir.display().to_string()).to_string_compact()
+        );
+        write_line(&mut conn, &submit).unwrap();
+        let resp = read_line(&mut reader);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"session\":\"s1\""), "{resp}");
+
+        // Watch until the session closes; expect at least one event.
+        write_line(&mut conn, r#"{"cmd":"watch","session":"s1"}"#).unwrap();
+        let header = read_line(&mut reader);
+        assert!(header.contains("\"ok\":true"), "{header}");
+        let mut events = Vec::new();
+        loop {
+            let line = read_line(&mut reader);
+            if line.contains("\"closed\":true") {
+                break;
+            }
+            events.push(line);
+        }
+        assert!(
+            events.iter().any(|l| l.contains("\"seed_done\"")),
+            "{events:?}"
+        );
+        assert!(events.iter().any(|l| l.contains("tiny.done")), "{events:?}");
+
+        write_line(&mut conn, r#"{"cmd":"status","session":"s1"}"#).unwrap();
+        let status = read_line(&mut reader);
+        assert!(status.contains("\"status\":\"done\""), "{status}");
+        assert!(out_dir.join("seed1.csv").exists());
+
+        write_line(&mut conn, "not json").unwrap();
+        assert!(read_line(&mut reader).contains("\"ok\":false"));
+
+        write_line(&mut conn, r#"{"cmd":"shutdown"}"#).unwrap();
+        assert!(read_line(&mut reader).contains("\"shutdown\":true"));
+        server.join().unwrap().unwrap();
+        assert!(!socket.exists(), "socket file removed on shutdown");
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn tcp_endpoint_answers_status() {
+        let base = std::env::temp_dir().join("mhca_server_tcp_test");
+        std::fs::remove_dir_all(&base).ok();
+        let supervisor = Arc::new(
+            crate::supervisor::Supervisor::new(Arc::new(TinyExec), base.join("state")).unwrap(),
+        );
+        // Port 0: the OS picks; rediscover via a bound probe first.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let server = {
+            let supervisor = supervisor.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || serve(supervisor, Endpoint::Tcp(addr)))
+        };
+        let mut conn = None;
+        for _ in 0..100 {
+            if let Ok(c) = TcpStream::connect(&addr) {
+                conn = Some(c);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut conn = conn.expect("daemon did not come up");
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        write_line(&mut conn, r#"{"cmd":"status"}"#).unwrap();
+        let resp = read_line(&mut reader);
+        assert!(
+            resp.contains("\"ok\":true") && resp.contains("\"sessions\":[]"),
+            "{resp}"
+        );
+        write_line(&mut conn, r#"{"cmd":"shutdown"}"#).unwrap();
+        assert!(read_line(&mut reader).contains("\"shutdown\":true"));
+        server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

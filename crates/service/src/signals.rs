@@ -1,0 +1,72 @@
+//! SIGINT/SIGTERM → an atomic flag, with no `libc` dependency.
+//!
+//! The workspace vendors everything (no `cargo add`), so instead of the
+//! `libc` or `signal-hook` crates this module declares the one POSIX
+//! symbol it needs — `signal(2)` — directly. The handler only stores a
+//! relaxed atomic, which is async-signal-safe; everything else (flushing
+//! manifests, checkpointing sessions) happens on normal threads that
+//! observe the flag at their next poll point.
+//!
+//! This is the only `unsafe` in the crate (the crate is otherwise
+//! `#![deny(unsafe_code)]`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler when SIGINT or SIGTERM arrives.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[allow(unsafe_code)]
+mod ffi {
+    use super::{Ordering, SHUTDOWN};
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install(signum: i32) {
+        unsafe {
+            signal(signum, on_signal as *const () as usize);
+        }
+    }
+}
+
+/// Registers the SIGINT/SIGTERM handler (idempotent) and returns the
+/// flag it sets. Poll the flag with [`shutdown_requested`] — or directly
+/// — at checkpoint-safe boundaries.
+pub fn install() -> &'static AtomicBool {
+    ffi::install(SIGINT);
+    ffi::install(SIGTERM);
+    &SHUTDOWN
+}
+
+/// Whether a shutdown signal has arrived since [`install`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Test-only reset: the flag is process-global, and signal tests must
+/// not leak a `true` into unrelated tests in the same binary.
+pub fn reset_for_tests() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_clear_and_install_is_idempotent() {
+        reset_for_tests();
+        let flag = install();
+        let again = install();
+        assert!(std::ptr::eq(flag, again));
+        assert!(!shutdown_requested());
+    }
+}

@@ -1,0 +1,886 @@
+//! The supervisor: owns sessions, their worker threads, and their
+//! durable records.
+//!
+//! One worker thread per session (no pool — sessions are few and
+//! long-lived; seeds within a session run sequentially so mid-seed
+//! checkpoints have a single cursor). The worker drives
+//! [`Executor::run_seed`] and control flows back through
+//! `WorkerCtrl`'s [`JobCtrl`] implementation, which the executor polls
+//! at every decision-period boundary:
+//!
+//! * **pause** marks the session paused and returns a
+//!   [`Directive::Checkpoint`] so the pause point is durable, then parks
+//!   the worker inside `poll` until resume/cancel/shutdown;
+//! * **checkpoint** hands a reply channel to the worker, which answers
+//!   after `session.json` hits disk;
+//! * **shutdown** (command, SIGINT/SIGTERM, or a dropped control
+//!   channel) returns [`Directive::CheckpointAndStop`]: the executor
+//!   serializes its state and unwinds, leaving the session `paused` and
+//!   resumable — even across a daemon restart.
+//!
+//! Every commit point rewrites the session record atomically, so a
+//! `kill -9` between commits only loses work since the last checkpoint;
+//! determinism of the experiment stack makes the re-run of that tail
+//! byte-identical.
+
+use crate::bus::{BusSink, EventBus};
+use crate::executor::{Directive, Executor, JobCtrl, JobProgress};
+use crate::json::Json;
+use crate::session::{Checkpoint, SeedRecord, SessionInfo, SessionRecord, SessionStatus};
+use mhca_telemetry::{FanoutSink, JsonlSink, Telemetry, TraceSink};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Events retained per session for `watch` backfill.
+const BUS_CAPACITY: usize = 4096;
+
+/// How long a `checkpoint` command waits for the worker to reach a
+/// checkpoint-safe boundary. Non-steppable kinds only poll between
+/// seeds, so a long seed can exhaust this; the error says so.
+const CHECKPOINT_REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+enum Ctrl {
+    Pause,
+    Resume,
+    Checkpoint(SyncSender<Result<String, String>>),
+    Cancel,
+    Shutdown,
+}
+
+enum StopReason {
+    Cancelled,
+    Shutdown,
+}
+
+struct SessionEntry {
+    id: String,
+    /// `state_dir/<id>.json`.
+    path: PathBuf,
+    bus: Arc<EventBus>,
+    record: Mutex<SessionRecord>,
+    progress: Mutex<JobProgress>,
+    ctrl: Mutex<Option<Sender<Ctrl>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl SessionEntry {
+    fn persist(&self) {
+        let rec = self.record.lock().unwrap();
+        // A failed write surfaces at the next load; the in-memory record
+        // stays authoritative for this daemon's lifetime.
+        let _ = rec.save(&self.path);
+    }
+
+    fn publish_event(&self, kind: &str, extra: Vec<(&str, Json)>) {
+        let mut fields = vec![("event", Json::Str(kind.to_string()))];
+        fields.extend(extra);
+        self.bus.publish(Json::obj(fields).to_string_compact());
+    }
+
+    fn set_status(&self, status: SessionStatus) {
+        self.record.lock().unwrap().status = status;
+    }
+
+    fn info(&self) -> SessionInfo {
+        let rec = self.record.lock().unwrap();
+        let progress = *self.progress.lock().unwrap();
+        SessionInfo {
+            id: rec.id.clone(),
+            status: rec.status,
+            kind: rec.kind.clone(),
+            seeds_total: rec.seeds.len(),
+            seeds_done: rec.completed.len(),
+            slots_done: progress.slots_done,
+            slots_total: progress.slots_total,
+            error: rec.error.clone(),
+        }
+    }
+}
+
+/// The [`JobCtrl`] handed to the executor; lives on the worker thread's
+/// stack for the duration of one seed.
+struct WorkerCtrl<'a> {
+    entry: &'a SessionEntry,
+    rx: &'a Receiver<Ctrl>,
+    shutdown: &'a AtomicBool,
+    seed: u64,
+    paused: bool,
+    stop: Option<StopReason>,
+    pending_reply: Option<SyncSender<Result<String, String>>>,
+}
+
+impl WorkerCtrl<'_> {
+    /// Handles one control message; `Some(directive)` overrides the
+    /// default `Continue`.
+    fn handle(&mut self, msg: Ctrl) -> Option<Directive> {
+        match msg {
+            Ctrl::Pause => {
+                if self.paused {
+                    return None;
+                }
+                self.paused = true;
+                self.entry.set_status(SessionStatus::Paused);
+                self.entry.persist();
+                self.entry.publish_event("paused", vec![]);
+                // Make the pause point durable before parking.
+                Some(Directive::Checkpoint)
+            }
+            Ctrl::Resume => {
+                if !self.paused {
+                    return None;
+                }
+                self.paused = false;
+                self.entry.set_status(SessionStatus::Running);
+                self.entry.persist();
+                self.entry.publish_event("resumed", vec![]);
+                Some(Directive::Continue)
+            }
+            Ctrl::Checkpoint(reply) => {
+                if self.paused {
+                    // The pause already persisted a checkpoint and the
+                    // worker is parked; nothing new to serialize.
+                    let _ = reply.send(Ok("paused; pause checkpoint retained".to_string()));
+                    return None;
+                }
+                self.pending_reply = Some(reply);
+                Some(Directive::Checkpoint)
+            }
+            Ctrl::Cancel => {
+                self.stop = Some(StopReason::Cancelled);
+                Some(Directive::Stop)
+            }
+            Ctrl::Shutdown => {
+                self.stop = Some(StopReason::Shutdown);
+                Some(Directive::CheckpointAndStop)
+            }
+        }
+    }
+}
+
+impl JobCtrl for WorkerCtrl<'_> {
+    fn poll(&mut self, progress: JobProgress) -> Directive {
+        *self.entry.progress.lock().unwrap() = progress;
+        if self.shutdown.load(Ordering::Relaxed) {
+            self.stop = Some(StopReason::Shutdown);
+            return Directive::CheckpointAndStop;
+        }
+        let mut directive = Directive::Continue;
+        loop {
+            match self.rx.try_recv() {
+                Ok(msg) => {
+                    if let Some(d) = self.handle(msg) {
+                        match d {
+                            Directive::Stop | Directive::CheckpointAndStop => return d,
+                            d => directive = d,
+                        }
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.stop = Some(StopReason::Shutdown);
+                    return Directive::CheckpointAndStop;
+                }
+            }
+        }
+        // Park while paused. (The pause itself returned `Checkpoint`
+        // above; the park begins at the *next* poll, so the persisted
+        // checkpoint trails the parked position by at most one period —
+        // harmless, since resuming from it deterministically replays
+        // that period.)
+        while self.paused && directive == Directive::Continue {
+            match self.rx.recv() {
+                Ok(msg) => {
+                    if let Some(d) = self.handle(msg) {
+                        match d {
+                            Directive::Stop | Directive::CheckpointAndStop => return d,
+                            d => directive = d,
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.stop = Some(StopReason::Shutdown);
+                    return Directive::CheckpointAndStop;
+                }
+            }
+        }
+        directive
+    }
+
+    fn save_checkpoint(&mut self, state: Json) {
+        {
+            let mut rec = self.entry.record.lock().unwrap();
+            rec.checkpoint = Some(Checkpoint {
+                seed: self.seed,
+                state,
+            });
+        }
+        self.entry.persist();
+        self.entry
+            .publish_event("checkpointed", vec![("seed", Json::Num(self.seed as f64))]);
+        if let Some(reply) = self.pending_reply.take() {
+            let _ = reply.send(Ok(self.entry.path.display().to_string()));
+        }
+    }
+}
+
+/// Owns every session: submit spawns a worker, control commands route to
+/// it, and the whole roster persists under one state directory.
+pub struct Supervisor {
+    executor: Arc<dyn Executor>,
+    state_dir: PathBuf,
+    sessions: Mutex<Vec<Arc<SessionEntry>>>,
+    shutdown_flag: Arc<AtomicBool>,
+}
+
+impl Supervisor {
+    /// Opens (or creates) a state directory and recovers every session
+    /// record in it. Sessions that were `running` when the previous
+    /// daemon died come back as `paused` — `resume` restarts them from
+    /// their last checkpoint.
+    pub fn new(executor: Arc<dyn Executor>, state_dir: PathBuf) -> Result<Supervisor, String> {
+        std::fs::create_dir_all(&state_dir)
+            .map_err(|e| format!("cannot create state dir {}: {e}", state_dir.display()))?;
+        let mut sessions = Vec::new();
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&state_dir)
+            .map_err(|e| format!("cannot read state dir {}: {e}", state_dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        names.sort();
+        for path in names {
+            let mut record = SessionRecord::load(&path)?;
+            if matches!(
+                record.status,
+                SessionStatus::Running | SessionStatus::Queued
+            ) {
+                record.status = SessionStatus::Paused;
+            }
+            let entry = Arc::new(SessionEntry {
+                id: record.id.clone(),
+                path,
+                bus: Arc::new(EventBus::new(BUS_CAPACITY)),
+                record: Mutex::new(record),
+                progress: Mutex::new(JobProgress::default()),
+                ctrl: Mutex::new(None),
+                worker: Mutex::new(None),
+            });
+            entry.persist();
+            sessions.push(entry);
+        }
+        Ok(Supervisor {
+            executor,
+            state_dir,
+            sessions: Mutex::new(sessions),
+            shutdown_flag: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    fn find(&self, id: &str) -> Result<Arc<SessionEntry>, String> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|s| s.id == id)
+            .cloned()
+            .ok_or_else(|| format!("no such session {id:?}"))
+    }
+
+    /// Validates and starts a session; returns its id.
+    pub fn submit(
+        &self,
+        scenario: Json,
+        out_dir: String,
+        name: Option<String>,
+    ) -> Result<String, String> {
+        let plan = self.executor.validate(&scenario)?;
+        let mut sessions = self.sessions.lock().unwrap();
+        let id = match name {
+            Some(name) => {
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '-' || c == '_')
+                {
+                    return Err(format!(
+                        "session name {name:?} must be non-empty [alphanumeric-_]"
+                    ));
+                }
+                if sessions.iter().any(|s| s.id == name) {
+                    return Err(format!("session {name:?} already exists"));
+                }
+                name
+            }
+            None => {
+                let mut n = sessions.len() + 1;
+                while sessions.iter().any(|s| s.id == format!("s{n}")) {
+                    n += 1;
+                }
+                format!("s{n}")
+            }
+        };
+        std::fs::create_dir_all(&out_dir)
+            .map_err(|e| format!("cannot create out dir {out_dir}: {e}"))?;
+        let record = SessionRecord {
+            id: id.clone(),
+            scenario,
+            out_dir,
+            kind: plan.kind,
+            seeds: plan.seeds,
+            completed: Vec::new(),
+            checkpoint: None,
+            status: SessionStatus::Queued,
+            error: None,
+        };
+        let entry = Arc::new(SessionEntry {
+            id: id.clone(),
+            path: self.state_dir.join(format!("{id}.json")),
+            bus: Arc::new(EventBus::new(BUS_CAPACITY)),
+            record: Mutex::new(record),
+            progress: Mutex::new(JobProgress::default()),
+            ctrl: Mutex::new(None),
+            worker: Mutex::new(None),
+        });
+        entry.persist();
+        entry.publish_event("submitted", vec![("session", Json::Str(id.clone()))]);
+        self.spawn_worker(entry.clone());
+        sessions.push(entry);
+        Ok(id)
+    }
+
+    fn spawn_worker(&self, entry: Arc<SessionEntry>) {
+        let (tx, rx) = mpsc::channel();
+        // Join any finished previous worker before replacing it.
+        if let Some(old) = entry.worker.lock().unwrap().take() {
+            let _ = old.join();
+        }
+        *entry.ctrl.lock().unwrap() = Some(tx);
+        let executor = self.executor.clone();
+        let shutdown = self.shutdown_flag.clone();
+        let entry2 = entry.clone();
+        let handle = std::thread::spawn(move || worker_loop(executor, entry2, rx, shutdown));
+        *entry.worker.lock().unwrap() = Some(handle);
+    }
+
+    /// Status snapshot of one session or the whole roster.
+    pub fn status(&self, id: Option<&str>) -> Result<Vec<SessionInfo>, String> {
+        match id {
+            Some(id) => Ok(vec![self.find(id)?.info()]),
+            None => Ok(self
+                .sessions
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|s| s.info())
+                .collect()),
+        }
+    }
+
+    /// The session's event bus, for `watch` streaming.
+    pub fn bus(&self, id: &str) -> Result<Arc<EventBus>, String> {
+        Ok(self.find(id)?.bus.clone())
+    }
+
+    fn send_ctrl(&self, id: &str, msg: Ctrl) -> Result<(), String> {
+        let entry = self.find(id)?;
+        let guard = entry.ctrl.lock().unwrap();
+        let tx = guard
+            .as_ref()
+            .ok_or_else(|| format!("session {id:?} has no running worker"))?;
+        tx.send(msg)
+            .map_err(|_| format!("session {id:?} is not running"))
+    }
+
+    /// Parks the session at its next decision-period boundary (persisting
+    /// a checkpoint of the pause point).
+    pub fn pause(&self, id: &str) -> Result<(), String> {
+        self.send_ctrl(id, Ctrl::Pause)
+    }
+
+    /// Wakes a paused session — either one parked in its worker, or one
+    /// recovered from disk (a new worker is spawned, resuming the
+    /// in-flight seed from its checkpoint).
+    pub fn resume(&self, id: &str) -> Result<(), String> {
+        let entry = self.find(id)?;
+        if self.send_ctrl(id, Ctrl::Resume).is_ok() {
+            return Ok(());
+        }
+        let status = entry.record.lock().unwrap().status;
+        if status.is_terminal() {
+            return Err(format!("session {id:?} is {}", status.as_str()));
+        }
+        self.spawn_worker(entry);
+        Ok(())
+    }
+
+    /// Checkpoints the in-flight seed; resolves once `session.json` is
+    /// on disk, returning its path.
+    pub fn checkpoint(&self, id: &str) -> Result<String, String> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.send_ctrl(id, Ctrl::Checkpoint(tx))?;
+        match rx.recv_timeout(CHECKPOINT_REPLY_TIMEOUT) {
+            Ok(result) => result,
+            Err(_) => Err(format!(
+                "checkpoint of session {id:?} timed out (job not at a checkpoint-safe boundary \
+                 within {}s)",
+                CHECKPOINT_REPLY_TIMEOUT.as_secs()
+            )),
+        }
+    }
+
+    /// Stops the session without checkpointing. Completed seeds keep
+    /// their artifacts.
+    pub fn cancel(&self, id: &str) -> Result<(), String> {
+        let entry = self.find(id)?;
+        if self.send_ctrl(id, Ctrl::Cancel).is_ok() {
+            return Ok(());
+        }
+        // No worker (recovered session): mark terminal directly.
+        let status = entry.record.lock().unwrap().status;
+        if status.is_terminal() {
+            return Err(format!("session {id:?} is already {}", status.as_str()));
+        }
+        entry.set_status(SessionStatus::Cancelled);
+        entry.persist();
+        entry.publish_event("cancelled", vec![]);
+        entry.bus.close();
+        Ok(())
+    }
+
+    /// Checkpoint-and-stop every running session and join all workers.
+    /// After this returns, every non-terminal session is `paused` on
+    /// disk and resumable by the next daemon.
+    pub fn shutdown(&self) {
+        self.shutdown_flag.store(true, Ordering::Relaxed);
+        let sessions: Vec<Arc<SessionEntry>> = self.sessions.lock().unwrap().clone();
+        for entry in &sessions {
+            // Wake parked workers; send failures mean the worker already
+            // exited.
+            if let Some(tx) = entry.ctrl.lock().unwrap().as_ref() {
+                let _ = tx.send(Ctrl::Shutdown);
+            }
+        }
+        for entry in &sessions {
+            if let Some(handle) = entry.worker.lock().unwrap().take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Whether [`shutdown`](Supervisor::shutdown) has begun (set eagerly
+    /// by the signal path so pollers observe it before workers join).
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown_flag.load(Ordering::Relaxed)
+    }
+}
+
+fn worker_loop(
+    executor: Arc<dyn Executor>,
+    entry: Arc<SessionEntry>,
+    rx: Receiver<Ctrl>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let (scenario, out_dir, remaining) = {
+        let rec = entry.record.lock().unwrap();
+        (
+            rec.scenario.clone(),
+            rec.out_dir.clone(),
+            rec.remaining_seeds(),
+        )
+    };
+    entry.set_status(SessionStatus::Running);
+    entry.persist();
+    entry.publish_event("running", vec![]);
+    let out_dir = PathBuf::from(out_dir);
+
+    for seed in remaining {
+        let resume_from = {
+            let rec = entry.record.lock().unwrap();
+            rec.checkpoint
+                .clone()
+                .filter(|cp| cp.seed == seed)
+                .map(|cp| cp.state)
+        };
+        let mut sinks: Vec<Box<dyn TraceSink>> = vec![Box::new(BusSink::new(entry.bus.clone()))];
+        if let Ok(jsonl) = JsonlSink::append(&out_dir.join("events.jsonl")) {
+            sinks.push(Box::new(jsonl));
+        }
+        let telemetry = Telemetry::from_sink(Box::new(FanoutSink::new(sinks)))
+            .with_scope(&format!("{}/seed{seed}", entry.id));
+        entry.publish_event(
+            "seed_start",
+            vec![
+                ("seed", Json::Num(seed as f64)),
+                ("resumed", Json::Bool(resume_from.is_some())),
+            ],
+        );
+        let mut ctrl = WorkerCtrl {
+            entry: &entry,
+            rx: &rx,
+            shutdown: &shutdown,
+            seed,
+            paused: false,
+            stop: None,
+            pending_reply: None,
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            executor.run_seed(&scenario, seed, resume_from.as_ref(), &telemetry, &mut ctrl)
+        }))
+        .unwrap_or_else(|_| Err(format!("executor panicked on seed {seed}")));
+        telemetry.flush();
+
+        match outcome {
+            Ok(Some(output)) => {
+                let artifact_path = out_dir.join(format!("seed{seed}.csv"));
+                if let Err(e) = std::fs::write(&artifact_path, &output.artifact) {
+                    fail(
+                        &entry,
+                        format!("cannot write {}: {e}", artifact_path.display()),
+                    );
+                    return;
+                }
+                {
+                    let mut rec = entry.record.lock().unwrap();
+                    rec.completed.push(SeedRecord {
+                        seed,
+                        metrics: output.metrics,
+                    });
+                    rec.checkpoint = None;
+                }
+                *entry.progress.lock().unwrap() = JobProgress::default();
+                entry.persist();
+                entry.publish_event("seed_done", vec![("seed", Json::Num(seed as f64))]);
+            }
+            Ok(None) => {
+                match ctrl.stop {
+                    Some(StopReason::Cancelled) => {
+                        entry.set_status(SessionStatus::Cancelled);
+                        entry.persist();
+                        entry.publish_event("cancelled", vec![]);
+                    }
+                    // Shutdown (or a vanished control channel): the
+                    // checkpoint is already persisted; stay resumable.
+                    _ => {
+                        entry.set_status(SessionStatus::Paused);
+                        entry.persist();
+                        entry.publish_event("stopped", vec![]);
+                    }
+                }
+                entry.bus.close();
+                return;
+            }
+            Err(message) => {
+                fail(&entry, message);
+                return;
+            }
+        }
+    }
+
+    entry.set_status(SessionStatus::Done);
+    entry.persist();
+    entry.publish_event("done", vec![]);
+    entry.bus.close();
+}
+
+fn fail(entry: &SessionEntry, message: String) {
+    {
+        let mut rec = entry.record.lock().unwrap();
+        rec.status = SessionStatus::Failed;
+        rec.error = Some(message.clone());
+    }
+    entry.persist();
+    entry.publish_event("failed", vec![("error", Json::Str(message))]);
+    entry.bus.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{u64_from_json, u64_to_json};
+    use crate::executor::JobOutput;
+    use std::time::Instant;
+
+    /// Deterministic steppable executor: a keyed LCG stepped `steps`
+    /// times, checkpointable at every step.
+    struct MockExec {
+        steps: u64,
+        step_sleep: Duration,
+    }
+
+    impl MockExec {
+        fn state(i: u64, acc: u64) -> Json {
+            Json::obj(vec![("i", u64_to_json(i)), ("acc", u64_to_json(acc))])
+        }
+    }
+
+    impl Executor for MockExec {
+        fn validate(&self, scenario: &Json) -> Result<crate::executor::JobPlan, String> {
+            let name = scenario
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("scenario needs a name")?
+                .to_string();
+            let seeds = scenario
+                .get("seeds")
+                .and_then(Json::as_arr)
+                .map(|a| a.iter().filter_map(Json::as_u64).collect())
+                .unwrap_or_else(|| vec![1]);
+            Ok(crate::executor::JobPlan {
+                name,
+                kind: "mock".to_string(),
+                seeds,
+                steppable: true,
+            })
+        }
+
+        fn run_seed(
+            &self,
+            _scenario: &Json,
+            seed: u64,
+            resume_from: Option<&Json>,
+            telemetry: &Telemetry,
+            ctrl: &mut dyn JobCtrl,
+        ) -> Result<Option<JobOutput>, String> {
+            let (mut i, mut acc) = match resume_from {
+                Some(v) if !matches!(v, Json::Null) => (
+                    u64_from_json(v.get("i").ok_or("checkpoint missing i")?)?,
+                    u64_from_json(v.get("acc").ok_or("checkpoint missing acc")?)?,
+                ),
+                _ => (0, seed),
+            };
+            loop {
+                match ctrl.poll(JobProgress {
+                    slots_done: i,
+                    slots_total: self.steps,
+                }) {
+                    Directive::Continue => {}
+                    Directive::Checkpoint => ctrl.save_checkpoint(Self::state(i, acc)),
+                    Directive::CheckpointAndStop => {
+                        ctrl.save_checkpoint(Self::state(i, acc));
+                        return Ok(None);
+                    }
+                    Directive::Stop => return Ok(None),
+                }
+                if i == self.steps {
+                    break;
+                }
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(seed ^ i);
+                i += 1;
+                if i % 16 == 0 {
+                    telemetry.counter("mock.step", i);
+                }
+                if !self.step_sleep.is_zero() {
+                    std::thread::sleep(self.step_sleep);
+                }
+            }
+            Ok(Some(JobOutput {
+                artifact: format!("seed,{seed}\nacc,{acc}\n").into_bytes(),
+                metrics: vec![("acc".to_string(), acc as f64)],
+            }))
+        }
+    }
+
+    fn temp_dirs(tag: &str) -> (PathBuf, PathBuf) {
+        let base = std::env::temp_dir().join(format!("mhca_supervisor_{tag}"));
+        std::fs::remove_dir_all(&base).ok();
+        (base.join("state"), base.join("out"))
+    }
+
+    fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    fn scenario(seeds: &[u64]) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str("mock".to_string())),
+            (
+                "seeds",
+                Json::Arr(seeds.iter().map(|&s| Json::Num(s as f64)).collect()),
+            ),
+        ])
+    }
+
+    fn wait_done(sup: &Supervisor, id: &str) {
+        assert!(
+            wait_until(Duration::from_secs(30), || {
+                sup.status(Some(id)).unwrap()[0].status == SessionStatus::Done
+            }),
+            "session {id} did not finish: {:?}",
+            sup.status(Some(id)).unwrap()
+        );
+    }
+
+    #[test]
+    fn session_runs_to_done_and_streams_events() {
+        let (state, out) = temp_dirs("done");
+        let sup = Supervisor::new(
+            Arc::new(MockExec {
+                steps: 64,
+                step_sleep: Duration::ZERO,
+            }),
+            state,
+        )
+        .unwrap();
+        let id = sup
+            .submit(scenario(&[7, 8]), out.display().to_string(), None)
+            .unwrap();
+        wait_done(&sup, &id);
+        let info = &sup.status(Some(&id)).unwrap()[0];
+        assert_eq!(info.seeds_done, 2);
+        assert!(out.join("seed7.csv").exists() && out.join("seed8.csv").exists());
+        let (events, closed) = sup.bus(&id).unwrap().read_from(0, Duration::ZERO);
+        assert!(closed);
+        let text: Vec<&str> = events.iter().map(|(_, l)| l.as_str()).collect();
+        assert!(text.iter().any(|l| l.contains("\"seed_done\"")));
+        assert!(text.iter().any(|l| l.contains("mock.step")));
+        assert!(text.last().unwrap().contains("\"done\""));
+        sup.shutdown();
+    }
+
+    #[test]
+    fn shutdown_restart_resume_is_byte_identical() {
+        let (state, out) = temp_dirs("resume");
+        let make_exec = || {
+            Arc::new(MockExec {
+                steps: 5000,
+                step_sleep: Duration::from_micros(100),
+            })
+        };
+        // Uninterrupted baseline in its own universe.
+        let (state_b, out_b) = temp_dirs("resume_baseline");
+        let baseline = Supervisor::new(
+            Arc::new(MockExec {
+                steps: 5000,
+                step_sleep: Duration::ZERO,
+            }),
+            state_b,
+        )
+        .unwrap();
+        let bid = baseline
+            .submit(scenario(&[42]), out_b.display().to_string(), None)
+            .unwrap();
+        wait_done(&baseline, &bid);
+        baseline.shutdown();
+        let expected = std::fs::read(out_b.join("seed42.csv")).unwrap();
+
+        // Interrupted run: shutdown mid-seed, new supervisor, resume.
+        let sup = Supervisor::new(make_exec(), state.clone()).unwrap();
+        let id = sup
+            .submit(scenario(&[42]), out.display().to_string(), None)
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(10), || {
+            sup.status(Some(&id)).unwrap()[0].slots_done > 50
+        }));
+        sup.shutdown();
+        let mid = sup.status(Some(&id)).unwrap()[0].clone();
+        assert_eq!(mid.status, SessionStatus::Paused, "stopped mid-seed");
+        assert!(
+            mid.slots_done < 5000,
+            "job finished before shutdown; raise steps"
+        );
+
+        let sup2 = Supervisor::new(make_exec(), state).unwrap();
+        let recovered = &sup2.status(Some(&id)).unwrap()[0];
+        assert_eq!(recovered.status, SessionStatus::Paused);
+        sup2.resume(&id).unwrap();
+        wait_done(&sup2, &id);
+        sup2.shutdown();
+
+        assert_eq!(std::fs::read(out.join("seed42.csv")).unwrap(), expected);
+    }
+
+    #[test]
+    fn pause_parks_and_resume_continues() {
+        let (state, out) = temp_dirs("pause");
+        let sup = Supervisor::new(
+            Arc::new(MockExec {
+                steps: 3000,
+                step_sleep: Duration::from_micros(100),
+            }),
+            state,
+        )
+        .unwrap();
+        let id = sup
+            .submit(scenario(&[5]), out.display().to_string(), None)
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(10), || {
+            sup.status(Some(&id)).unwrap()[0].slots_done > 10
+        }));
+        sup.pause(&id).unwrap();
+        assert!(wait_until(Duration::from_secs(5), || {
+            sup.status(Some(&id)).unwrap()[0].status == SessionStatus::Paused
+        }));
+        // Parked: progress freezes (allow the one-period drift).
+        let frozen = sup.status(Some(&id)).unwrap()[0].slots_done;
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(sup.status(Some(&id)).unwrap()[0].slots_done <= frozen + 1);
+        // Checkpoint while paused answers without advancing.
+        assert!(sup.checkpoint(&id).unwrap().contains("pause checkpoint"));
+        sup.resume(&id).unwrap();
+        wait_done(&sup, &id);
+        sup.shutdown();
+    }
+
+    #[test]
+    fn cancel_is_terminal() {
+        let (state, out) = temp_dirs("cancel");
+        let sup = Supervisor::new(
+            Arc::new(MockExec {
+                steps: 100_000,
+                step_sleep: Duration::from_micros(100),
+            }),
+            state,
+        )
+        .unwrap();
+        let id = sup
+            .submit(
+                scenario(&[1]),
+                out.display().to_string(),
+                Some("job-a".into()),
+            )
+            .unwrap();
+        assert_eq!(id, "job-a");
+        sup.cancel(&id).unwrap();
+        assert!(wait_until(Duration::from_secs(5), || {
+            sup.status(Some(&id)).unwrap()[0].status == SessionStatus::Cancelled
+        }));
+        assert!(sup.resume(&id).is_err());
+        sup.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_command_persists_mid_seed_state() {
+        let (state, out) = temp_dirs("ckpt");
+        let sup = Supervisor::new(
+            Arc::new(MockExec {
+                steps: 100_000,
+                step_sleep: Duration::from_micros(100),
+            }),
+            state.clone(),
+        )
+        .unwrap();
+        let id = sup
+            .submit(scenario(&[9]), out.display().to_string(), None)
+            .unwrap();
+        assert!(wait_until(Duration::from_secs(10), || {
+            sup.status(Some(&id)).unwrap()[0].slots_done > 10
+        }));
+        let path = sup.checkpoint(&id).unwrap();
+        let record = SessionRecord::load(std::path::Path::new(&path)).unwrap();
+        let cp = record.checkpoint.expect("checkpoint persisted");
+        assert_eq!(cp.seed, 9);
+        assert!(u64_from_json(cp.state.get("i").unwrap()).unwrap() > 0);
+        sup.cancel(&id).unwrap();
+        sup.shutdown();
+    }
+}

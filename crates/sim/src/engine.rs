@@ -228,6 +228,42 @@ impl<'g> FloodEngine<'g> {
         self.fallback_floods = 0;
     }
 
+    /// Overwrites the accumulated counters with a previously captured
+    /// snapshot (checkpoint restore; the inverse of cloning
+    /// [`FloodEngine::counters`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `saved` was captured on a different-sized graph.
+    pub fn restore_counters(&mut self, saved: &Counters) {
+        assert_eq!(
+            saved.per_vertex_tx.len(),
+            self.graph.n(),
+            "counters snapshot is for a different graph size"
+        );
+        self.counters.clone_from(saved);
+    }
+
+    /// Sets the fallback-flood tally (checkpoint restore, paired with
+    /// [`FloodEngine::fallback_floods`]).
+    pub fn set_fallback_floods(&mut self, n: u64) {
+        self.fallback_floods = n;
+    }
+
+    /// The loss stream's flood index (`0` for lossless engines or before
+    /// the first lossy flood) — with [`FloodEngine::set_loss_flood_index`]
+    /// this checkpoints the only cross-flood state the loss model keeps.
+    pub fn loss_flood_index(&self) -> u64 {
+        self.loss.flood_index()
+    }
+
+    /// Repositions the loss stream between floods (checkpoint restore;
+    /// see [`SkipSampler::set_flood_index`]). No-op in effect for
+    /// lossless engines, which never consult the sampler.
+    pub fn set_loss_flood_index(&mut self, flood: u64) {
+        self.loss.set_flood_index(flood);
+    }
+
     /// Floods since the last [`FloodEngine::reset_counters`] that ran on
     /// the per-flood BFS fallback because their radius' ball table was
     /// over the entry cap (or beyond the packed layout's limits).

@@ -118,6 +118,25 @@ impl SkipSampler {
         self.prob
     }
 
+    /// Index of the current flood — the sampler's stream position.
+    /// `0` until the first [`SkipSampler::begin_flood`].
+    pub fn flood_index(&self) -> u64 {
+        self.flood
+    }
+
+    /// Repositions the stream so the next [`SkipSampler::begin_flood`]
+    /// starts flood `flood + 1` — checkpoint restore. Because each
+    /// flood's drop realization is a pure function of `(seed, flood)`,
+    /// restoring the flood index between floods reproduces the remaining
+    /// stream exactly; per-flood progress is reset, so this must not be
+    /// called while a flood's relays are still being queried.
+    pub fn set_flood_index(&mut self, flood: u64) {
+        self.flood = flood;
+        self.relay = 0;
+        self.draws = 0;
+        self.next_drop = u64::MAX;
+    }
+
     /// Geometric gap (failures before the next success) for draw `k` of
     /// the current flood: `floor(ln(u) / ln(1 - p))`.
     #[inline]

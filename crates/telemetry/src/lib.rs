@@ -41,7 +41,7 @@ mod sink;
 pub use event::{Event, EventKind, FieldValue};
 pub use hist::LogHistogram;
 pub use progress::{ProgressSnapshot, ProgressTracker};
-pub use sink::{JsonlSink, MemorySink, NoopSink, Span, Telemetry, TraceSink};
+pub use sink::{FanoutSink, JsonlSink, MemorySink, NoopSink, Span, Telemetry, TraceSink};
 
 /// Build + host provenance, stamped into `manifest.json` and the
 /// `decide_profile` JSON reports so machine-conditional numbers (single

@@ -85,6 +85,34 @@ impl TraceSink for JsonlSink {
     }
 }
 
+/// Broadcasts every event to several sinks, in order — e.g. the resident
+/// service duplicating a session's stream into its on-disk `events.jsonl`
+/// *and* the in-memory watch bus. An empty fanout is a [`NoopSink`].
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// A fanout over the given sinks.
+    pub fn new(sinks: Vec<Box<dyn TraceSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn emit(&self, event: &Event<'_>) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
 /// Captures serialized lines in memory — for tests.
 #[derive(Default)]
 pub struct MemorySink {

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Service resilience smoke (CI): serve on a unix socket, submit a
+# steppable scenario, checkpoint it mid-seed, kill -9 the daemon,
+# restart on the same state directory, resume, and verify the final
+# artifacts are byte-identical to an uninterrupted batch run.
+#
+# Usage: scripts/service_smoke.sh  (expects target/release/mhca-campaign;
+# override with BIN=... DIR=...)
+set -euo pipefail
+
+BIN=${BIN:-target/release/mhca-campaign}
+DIR=${DIR:-target/service-smoke}
+SOCK="$DIR/daemon.sock"
+STATE="$DIR/state"
+OUT="$DIR/out"
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+# Long enough that the checkpoint request lands mid-seed, short enough
+# for CI: 2 seeds x 200k slots with a strategy decision every 20 slots.
+SCENARIO='{"name":"svc-smoke","spec":{"kind":"policy-run","n":10,"m":3,"horizon":200000,"update_period":20},"seeds":{"start":7,"count":2},"observers":["comm-totals","throughput"]}'
+
+wait_for_socket() {
+  for _ in $(seq 100); do
+    [ -S "$SOCK" ] && return 0
+    sleep 0.1
+  done
+  echo "socket $SOCK never appeared" >&2
+  return 1
+}
+
+"$BIN" serve --socket "$SOCK" --state-dir "$STATE" > "$DIR/serve1.log" 2>&1 &
+SERVE=$!
+wait_for_socket
+
+"$BIN" client --socket "$SOCK" \
+  "{\"cmd\":\"submit\",\"name\":\"svc-smoke\",\"out_dir\":\"$OUT\",\"scenario\":$SCENARIO}" \
+  | grep -q '"ok":true'
+
+# Mid-job policy-state checkpoint: the reply carries the durable path.
+"$BIN" client --socket "$SOCK" '{"cmd":"checkpoint","session":"svc-smoke"}' \
+  | tee "$DIR/checkpoint-reply.json" | grep -q '"ok":true'
+python3 - "$STATE/svc-smoke.json" <<'EOF'
+import json, sys
+record = json.load(open(sys.argv[1]))
+assert record["checkpoint"] is not None, "no mid-seed checkpoint persisted"
+state = record["checkpoint"]["state"]
+assert state["format"] == "mhca-checkpoint-v1", state.get("format")
+assert "runner" in state and "observers" in state, sorted(state)
+EOF
+
+# Kill the daemon without ceremony; the checkpoint is all that survives.
+# kill -9 leaves the stale socket file behind — remove it so the socket's
+# reappearance below really means the restarted daemon is listening
+# (serve also unlinks a stale socket itself before binding).
+kill -9 "$SERVE"
+wait "$SERVE" 2>/dev/null || true
+rm -f "$SOCK"
+
+# Restart on the same state: the session must come back resumable.
+"$BIN" serve --socket "$SOCK" --state-dir "$STATE" > "$DIR/serve2.log" 2>&1 &
+SERVE=$!
+wait_for_socket
+grep -q "1 resumable session(s)" "$DIR/serve2.log"
+"$BIN" client --socket "$SOCK" '{"cmd":"status","session":"svc-smoke"}' \
+  | grep -q '"status":"paused"'
+"$BIN" client --socket "$SOCK" '{"cmd":"resume","session":"svc-smoke"}' \
+  | grep -q '"ok":true'
+
+for _ in $(seq 600); do
+  "$BIN" client --socket "$SOCK" '{"cmd":"status","session":"svc-smoke"}' \
+    > "$DIR/status.json" || true
+  grep -q '"status":"done"' "$DIR/status.json" && break
+  if grep -Eq '"status":"(failed|cancelled)"' "$DIR/status.json"; then
+    cat "$DIR/status.json" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+grep -q '"status":"done"' "$DIR/status.json"
+
+# The watch stream replays the post-restart events: it must carry the
+# mid-seed resume marker and at least one streamed metric event.
+"$BIN" client --socket "$SOCK" '{"cmd":"watch","session":"svc-smoke"}' \
+  > "$DIR/watch.jsonl"
+grep -q '"resumed":true' "$DIR/watch.jsonl"
+grep -Eq '"kind":"(counter|hist|span_end)"' "$DIR/watch.jsonl"
+
+"$BIN" client --socket "$SOCK" '{"cmd":"shutdown"}' | grep -q '"shutdown":true'
+wait "$SERVE" 2>/dev/null || true
+[ ! -S "$SOCK" ]
+
+# Resume parity: the killed-and-resumed service artifacts must be
+# byte-identical to an uninterrupted batch run of the same scenario.
+echo "$SCENARIO" > "$DIR/scenario.json"
+"$BIN" run --scenario-file "$DIR/scenario.json" --out "$DIR/batch" > /dev/null
+cmp "$OUT/seed7.csv" "$DIR/batch/svc-smoke/seed7.csv"
+cmp "$OUT/seed8.csv" "$DIR/batch/svc-smoke/seed8.csv"
+
+echo "service smoke: OK"

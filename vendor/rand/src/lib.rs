@@ -207,6 +207,31 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words — the generator's exact stream
+        /// position. Together with [`StdRng::from_state`] this lets a
+        /// checkpoint record "where in the stream" a run is and resume
+        /// bit-identically (mid-job policy-state checkpointing).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at a previously captured stream position.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which is not a valid xoshiro
+        /// state (the generator would emit zeros forever) and cannot be
+        /// produced by [`StdRng::state`] on a seeded generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "the all-zero state is not a valid xoshiro256** state"
+            );
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
