@@ -307,7 +307,45 @@ pub fn render_policy_run(
     w.comment(&format!(
         "averages: observed {:.1} kbps, effective {:.1} kbps, expected {:.1} kbps",
         run.average_observed_kbps, run.average_effective_kbps, run.average_expected_kbps
-    ))
+    ))?;
+    // Traffic-configured runs get a flow-level section: the queueing layer
+    // turns captured-rate claims into per-flow delay claims, so the CSV
+    // carries both. (Delay-tail percentiles stream via the flow-delay
+    // observer section; this table is the exact counter view.)
+    if let Some(traffic) = &run.traffic {
+        w.blank()?;
+        w.comment("traffic flows (delay in decision slots)")?;
+        w.row(&[
+            "flow",
+            "arrivals",
+            "delivered",
+            "ontime",
+            "mean_delay_slots",
+            "max_delay_slots",
+        ])?;
+        for (f, totals) in traffic.flows.iter().enumerate() {
+            w.row(&[
+                format!("{f}"),
+                format!("{}", totals.arrivals),
+                format!("{}", totals.delivered),
+                format!("{}", totals.ontime),
+                format!("{:.2}", totals.mean_delay()),
+                format!("{}", totals.max_delay),
+            ])?;
+        }
+        w.blank()?;
+        w.comment(&format!(
+            "totals: {} arrivals, {} delivered, {} ontime, backlog {}, \
+             mean delay {:.2} slots, delay utility {:.4}",
+            traffic.arrivals,
+            traffic.delivered,
+            traffic.ontime,
+            traffic.backlog,
+            traffic.mean_delay(),
+            traffic.delay_utility(),
+        ))?;
+    }
+    Ok(())
 }
 
 /// Streamed observer metrics as their own CSV section: a blank line, a
@@ -347,6 +385,47 @@ mod tests {
         assert!(text.starts_with("n,minirounds_to_completion,minirounds_over_n\n"));
         assert!(text.contains("\n10,"));
         assert!(text.trim_end().ends_with("(linear growth)"));
+    }
+
+    #[test]
+    fn traffic_runs_render_flow_tables() {
+        use mhca_core::experiment::PolicyRunExperiment;
+        use mhca_core::{FlowSpec, TrafficSpec};
+        use mhca_graph::TopologySpec;
+
+        let mut cfg = PolicyRunConfig::quick();
+        cfg.topology = TopologySpec::Line;
+        cfg.n = 8;
+        cfg.horizon = 120;
+        cfg.traffic = Some(TrafficSpec::poisson(
+            0.4,
+            vec![FlowSpec {
+                src: 0,
+                dst: 3,
+                deadline: Some(30),
+            }],
+        ));
+        let out = run_experiment(&PolicyRunExperiment(cfg), 7, ObserverSet::new());
+        let mut buf = Vec::new();
+        render_experiment(&out.data, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("flow,arrivals,delivered,ontime,mean_delay_slots,max_delay_slots"),
+            "{text}"
+        );
+        assert!(text.contains("delay utility"), "{text}");
+
+        // Traffic-free runs keep the exact pre-traffic rendering (no
+        // empty flow table).
+        let out = run_experiment(
+            &PolicyRunExperiment(PolicyRunConfig::quick()),
+            7,
+            ObserverSet::new(),
+        );
+        let mut buf = Vec::new();
+        render_experiment(&out.data, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.contains("traffic flows"), "{text}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ use mhca_core::experiments::{
     ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig, PolicySpec,
     Theorem3Config,
 };
+use mhca_core::{ArrivalProcess, FlowSpec, TrafficSpec};
 use mhca_graph::TopologySpec;
 use mhca_sim::LossSpec;
 
@@ -250,6 +251,14 @@ fn observer_from_json(item: &Json, path: &str) -> Result<ObserverKind, SpecError
                 window: positive_u64(item, path, "window")?.unwrap_or(default_window),
             })
         }
+        ObserverKind::QueueTail {
+            bound: default_bound,
+        } => {
+            check_fields(item, path, &["kind", "bound"])?;
+            Ok(ObserverKind::QueueTail {
+                bound: positive_u64(item, path, "bound")?.unwrap_or(default_bound),
+            })
+        }
         parameterless => {
             check_fields(item, path, &["kind"])?;
             Ok(parameterless)
@@ -441,7 +450,7 @@ pub fn kind_from_json(v: &Json, path: &str) -> Result<ExperimentKind, SpecError>
     }
 }
 
-const POLICY_RUN_FIELDS: [&str; 12] = [
+const POLICY_RUN_FIELDS: [&str; 13] = [
     "kind",
     "n",
     "m",
@@ -454,13 +463,15 @@ const POLICY_RUN_FIELDS: [&str; 12] = [
     "r",
     "minirounds",
     "partitions",
+    "traffic",
 ];
 
 fn policy_run_from_json(v: &Json, path: &str) -> Result<PolicyRunConfig, SpecError> {
     let d = PolicyRunConfig::default();
     let update_period = positive_usize(v, path, "update_period")?.unwrap_or(d.update_period);
+    let n = positive_usize(v, path, "n")?.unwrap_or(d.n);
     Ok(PolicyRunConfig {
-        n: positive_usize(v, path, "n")?.unwrap_or(d.n),
+        n,
         m: positive_usize(v, path, "m")?.unwrap_or(d.m),
         topology: opt_topology(v, path)?.unwrap_or(d.topology),
         channel: opt_channel(v, path)?.unwrap_or(d.channel),
@@ -474,8 +485,142 @@ fn policy_run_from_json(v: &Json, path: &str) -> Result<PolicyRunConfig, SpecErr
         r: opt_usize(v, path, "r")?.unwrap_or(d.r),
         minirounds: opt_usize(v, path, "minirounds")?.unwrap_or(d.minirounds),
         partitions: opt_usize(v, path, "partitions")?.unwrap_or(d.partitions),
+        traffic: opt_traffic(v, path, n)?,
         seed: d.seed,
     })
+}
+
+fn opt_traffic(v: &Json, path: &str, n: usize) -> Result<Option<TrafficSpec>, SpecError> {
+    match v.get("traffic") {
+        None => Ok(None),
+        Some(t) => traffic_from_json(t, &format!("{path}.traffic"), n).map(Some),
+    }
+}
+
+/// Parses the traffic workload object the spec renderer emits:
+/// `{"arrivals": {...}, "flows": [...], "packet_kbps", "seed"}`. Flow
+/// endpoints are validated against the network size `n` here because the
+/// queue-engine constructor panics on out-of-range vertices.
+fn traffic_from_json(v: &Json, path: &str, n: usize) -> Result<TrafficSpec, SpecError> {
+    if !matches!(v, Json::Obj(_)) {
+        return fail(path, "expected a traffic object {arrivals, flows, ...}");
+    }
+    check_fields(v, path, &["arrivals", "flows", "packet_kbps", "seed"])?;
+    let arrivals = match v.get("arrivals") {
+        Some(a) => arrivals_from_json(a, &format!("{path}.arrivals"))?,
+        None => return fail(path, "missing required field 'arrivals'"),
+    };
+    let flows = flows_from_json(v, path, n)?;
+    let packet_kbps = opt_f64(v, path, "packet_kbps")?.unwrap_or(100.0);
+    if !(packet_kbps > 0.0 && packet_kbps.is_finite()) {
+        return fail(
+            &format!("{path}.packet_kbps"),
+            "must be positive and finite",
+        );
+    }
+    let seed = opt_u64(v, path, "seed")?.unwrap_or(0);
+    Ok(TrafficSpec {
+        arrivals,
+        flows,
+        packet_kbps,
+        seed,
+    })
+}
+
+fn arrivals_from_json(v: &Json, path: &str) -> Result<ArrivalProcess, SpecError> {
+    if !matches!(v, Json::Obj(_)) {
+        return fail(path, "expected an arrival-process object {process, ...}");
+    }
+    const PROCESSES: [&str; 3] = ["poisson", "deterministic", "bursty"];
+    let process = req_str(v, path, "process")?;
+    let rate = |v: &Json| -> Result<f64, SpecError> {
+        let x = opt_f64(v, path, "rate")?.unwrap_or(0.5);
+        if !(x > 0.0 && x.is_finite()) {
+            return fail(&format!("{path}.rate"), "must be positive and finite");
+        }
+        Ok(x)
+    };
+    match process.as_str() {
+        "poisson" => {
+            check_fields(v, path, &["process", "rate"])?;
+            Ok(ArrivalProcess::Poisson { rate: rate(v)? })
+        }
+        "deterministic" => {
+            check_fields(v, path, &["process", "period"])?;
+            Ok(ArrivalProcess::Deterministic {
+                period: positive_u64(v, path, "period")?.unwrap_or(4),
+            })
+        }
+        "bursty" => {
+            check_fields(v, path, &["process", "rate", "burst"])?;
+            Ok(ArrivalProcess::Bursty {
+                rate: rate(v)?,
+                burst: positive_u64(v, path, "burst")?.unwrap_or(8),
+            })
+        }
+        other => {
+            let mut message = format!(
+                "unknown arrival process '{other}' (expected one of {})",
+                join_labels(PROCESSES.iter().copied())
+            );
+            if let Some(near) = nearest(other, PROCESSES.iter().copied()) {
+                message.push_str(&format!("; did you mean '{near}'?"));
+            }
+            fail(&format!("{path}.process"), message)
+        }
+    }
+}
+
+fn flows_from_json(v: &Json, path: &str, n: usize) -> Result<Vec<FlowSpec>, SpecError> {
+    let flows_path = format!("{path}.flows");
+    let Some(items) = v.get("flows").and_then(Json::as_arr) else {
+        return fail(
+            &flows_path,
+            "traffic needs a flows array of {src, dst} objects",
+        );
+    };
+    if items.is_empty() {
+        return fail(&flows_path, "needs at least one flow");
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let path = format!("{flows_path}[{i}]");
+            if !matches!(f, Json::Obj(_)) {
+                return fail(&path, "expected a flow object {src, dst[, deadline]}");
+            }
+            check_fields(f, &path, &["src", "dst", "deadline"])?;
+            let endpoint = |key: &str| -> Result<usize, SpecError> {
+                let Some(value) = f.get(key) else {
+                    return fail(&path, format!("missing required field '{key}'"));
+                };
+                let Some(x) = value.as_u64() else {
+                    return fail(
+                        &format!("{path}.{key}"),
+                        "must be a non-negative integer vertex index",
+                    );
+                };
+                if x as usize >= n {
+                    return fail(
+                        &format!("{path}.{key}"),
+                        format!("vertex {x} out of range for n = {n}"),
+                    );
+                }
+                Ok(x as usize)
+            };
+            let src = endpoint("src")?;
+            let dst = endpoint("dst")?;
+            if src == dst {
+                return fail(&path, "src and dst must differ");
+            }
+            Ok(FlowSpec {
+                src,
+                dst,
+                deadline: positive_u64(f, &path, "deadline")?,
+            })
+        })
+        .collect()
 }
 
 fn policy_from_json(v: &Json, path: &str) -> Result<PolicySpec, SpecError> {
@@ -1080,6 +1225,38 @@ mod tests {
                 r#"{"name":"x","spec":{"kind":"fig8","update_periods":[1,0]}}"#,
                 "update_periods[1]",
             ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","traffic":{"arrivals":{"process":"poisson","rate":0},"flows":[{"src":0,"dst":1}]}}}"#,
+                "traffic.arrivals.rate",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","traffic":{"arrivals":{"process":"poisson"},"flows":[]}}}"#,
+                "traffic.flows",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","traffic":{"arrivals":{"process":"poisson"},"flows":[{"src":2,"dst":2}]}}}"#,
+                "traffic.flows[0]",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","n":8,"traffic":{"arrivals":{"process":"poisson"},"flows":[{"src":0,"dst":8}]}}}"#,
+                "traffic.flows[0].dst",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","traffic":{"arrivals":{"process":"poisson"},"flows":[{"src":0,"dst":1,"deadline":0}]}}}"#,
+                "traffic.flows[0].deadline",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","traffic":{"arrivals":{"process":"poisson"},"flows":[{"src":0,"dst":1}],"packet_kbps":0}}}"#,
+                "traffic.packet_kbps",
+            ),
+            (
+                r#"{"name":"x","spec":{"kind":"policy-run","traffic":{"arrivals":{"process":"bursty","burst":0},"flows":[{"src":0,"dst":1}]}}}"#,
+                "traffic.arrivals.burst",
+            ),
+            (
+                r#"{"name":"x","observers":[{"kind":"queue-tail","bound":0}],"spec":{"kind":"table2"}}"#,
+                "bound",
+            ),
         ] {
             let err = scenarios_from_str(snippet).unwrap_err();
             assert!(
@@ -1253,6 +1430,90 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn traffic_specs_round_trip_and_diagnose() {
+        // Every arrival-process family, a deadline-carrying flow, and an
+        // unbounded one: the canonical re-emission must be byte-identical
+        // (the deadline key is omitted, not null, so a round trip cannot
+        // invent it).
+        let text = r#"{
+            "name": "flows",
+            "spec": {
+                "kind": "policy-run",
+                "n": 12,
+                "topology": {"family": "ring"},
+                "horizon": 400,
+                "traffic": {
+                    "arrivals": {"process": "bursty", "rate": 0.3, "burst": 6},
+                    "flows": [
+                        {"src": 0, "dst": 5, "deadline": 24},
+                        {"src": 7, "dst": 2}
+                    ],
+                    "packet_kbps": 80,
+                    "seed": 9
+                }
+            },
+            "observers": ["flow-delay", {"kind": "queue-tail", "bound": 16}]
+        }"#;
+        let parsed = scenarios_from_str(text).unwrap();
+        let ExperimentKind::PolicyRun(cfg) = &parsed[0].kind else {
+            panic!("wrong kind");
+        };
+        let traffic = cfg.traffic.as_ref().expect("traffic parsed");
+        assert_eq!(
+            traffic.arrivals,
+            ArrivalProcess::Bursty {
+                rate: 0.3,
+                burst: 6
+            }
+        );
+        assert_eq!(
+            traffic.flows,
+            vec![
+                FlowSpec {
+                    src: 0,
+                    dst: 5,
+                    deadline: Some(24)
+                },
+                FlowSpec {
+                    src: 7,
+                    dst: 2,
+                    deadline: None
+                },
+            ]
+        );
+        assert_eq!(traffic.packet_kbps, 80.0);
+        assert_eq!(traffic.seed, 9);
+        assert_eq!(
+            parsed[0].observers,
+            vec![
+                ObserverKind::FlowDelay,
+                ObserverKind::QueueTail { bound: 16 }
+            ]
+        );
+        let emitted = parsed[0].to_json().to_string_pretty();
+        assert_eq!(scenarios_from_str(&emitted).unwrap(), parsed);
+        assert_eq!(
+            scenarios_from_str(&emitted).unwrap()[0]
+                .to_json()
+                .to_string_pretty(),
+            emitted,
+            "traffic re-emission not byte-identical"
+        );
+
+        // Typo in the process name gets the usual nearest-label hint.
+        let typo = r#"{
+            "name": "x",
+            "spec": {
+                "kind": "policy-run",
+                "traffic": {"arrivals": {"process": "posson"}, "flows": [{"src": 0, "dst": 1}]}
+            }
+        }"#;
+        let err = scenarios_from_str(typo).unwrap_err();
+        assert_eq!(err.path, "scenario.spec.traffic.arrivals.process");
+        assert!(err.message.contains("did you mean 'poisson'"), "{err}");
     }
 
     #[test]

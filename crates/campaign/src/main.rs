@@ -94,7 +94,8 @@ fn main() -> ExitCode {
                      --trace --progress"
                 );
                 eprintln!(
-                    "serve options: --socket PATH | --tcp ADDR, --state-dir DIR \
+                    "serve options: --socket PATH | --tcp ADDR, --state-dir DIR, \
+                     --bus-capacity N \
                      (client: same endpoint flags, then one JSON request line)"
                 );
             }
@@ -459,6 +460,7 @@ fn serve(args: &[String]) -> Result<(), CliError> {
     let mut socket: Option<String> = None;
     let mut tcp: Option<String> = None;
     let mut state_dir: Option<String> = None;
+    let mut bus_capacity: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -474,13 +476,23 @@ fn serve(args: &[String]) -> Result<(), CliError> {
                 Some(d) => state_dir = Some(d.clone()),
                 None => return Err(CliError::usage("--state-dir needs a directory")),
             },
+            "--bus-capacity" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => bus_capacity = Some(n),
+                Some(_) => return Err(CliError::usage("--bus-capacity needs a positive integer")),
+                None => return Err(CliError::usage("--bus-capacity needs a positive integer")),
+            },
             other => return Err(CliError::usage(format!("unknown serve option '{other}'"))),
         }
     }
     let endpoint = parse_endpoint(socket, tcp)?;
     let state_dir = PathBuf::from(state_dir.unwrap_or_else(|| "target/service/state".to_string()));
     let supervisor = Arc::new(
-        Supervisor::new(Arc::new(ServiceExecutor), state_dir.clone()).map_err(CliError::new)?,
+        Supervisor::with_bus_capacity(
+            Arc::new(ServiceExecutor),
+            state_dir.clone(),
+            bus_capacity.unwrap_or(mhca_service::supervisor::DEFAULT_BUS_CAPACITY),
+        )
+        .map_err(CliError::new)?,
     );
     let recovered = supervisor
         .status(None)

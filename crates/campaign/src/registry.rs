@@ -14,6 +14,7 @@ use mhca_core::experiments::{
     ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig, PolicySpec,
     Theorem3Config,
 };
+use mhca_core::{ArrivalProcess, FlowSpec, TrafficSpec};
 use mhca_graph::TopologySpec;
 use mhca_sim::LossSpec;
 
@@ -277,6 +278,152 @@ pub fn registry() -> Vec<ScenarioSpec> {
         ]),
     );
 
+    // ---- Traffic/queueing scenarios: flows with per-vertex FIFO queues
+    // served by the channel-access outcome, so throughput claims become
+    // flow-level delay claims. Fixed topologies (line/grid) keep every
+    // flow routable at every seed; FlowDelay + QueueTail surface the
+    // delay tail and backlog distribution per seed.
+    out.push(
+        ScenarioSpec::new(
+            "traffic-poisson-light",
+            "Poisson flows at light load on a line: delay tails near service time",
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                n: 20,
+                m: 3,
+                topology: TopologySpec::Line,
+                horizon: 600,
+                traffic: Some(TrafficSpec::poisson(
+                    0.15,
+                    vec![
+                        FlowSpec {
+                            src: 0,
+                            dst: 6,
+                            deadline: Some(40),
+                        },
+                        FlowSpec {
+                            src: 12,
+                            dst: 3,
+                            deadline: None,
+                        },
+                    ],
+                )),
+                ..PolicyRunConfig::default()
+            }),
+            SeedRange::new(0, 5),
+        )
+        .with_observers(vec![
+            ObserverKind::FlowDelay,
+            ObserverKind::QueueTail { bound: 32 },
+        ]),
+    );
+    out.push(
+        ScenarioSpec::new(
+            "traffic-poisson-heavy",
+            "Poisson flows past saturation: backlog growth and overflow tallies",
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                n: 20,
+                m: 3,
+                topology: TopologySpec::Line,
+                horizon: 600,
+                traffic: Some(TrafficSpec::poisson(
+                    0.9,
+                    vec![
+                        FlowSpec {
+                            src: 0,
+                            dst: 6,
+                            deadline: Some(40),
+                        },
+                        FlowSpec {
+                            src: 12,
+                            dst: 3,
+                            deadline: None,
+                        },
+                    ],
+                )),
+                ..PolicyRunConfig::default()
+            }),
+            SeedRange::new(0, 5),
+        )
+        .with_observers(vec![
+            ObserverKind::FlowDelay,
+            ObserverKind::QueueTail { bound: 64 },
+        ]),
+    );
+    out.push(
+        ScenarioSpec::new(
+            "traffic-deadline-duel",
+            "CS-UCB vs LLR ranked by deadline-constrained delay utility",
+            ExperimentKind::PolicyDuel {
+                base: PolicyRunConfig {
+                    n: 16,
+                    m: 3,
+                    topology: TopologySpec::Line,
+                    horizon: 600,
+                    traffic: Some(TrafficSpec::poisson(
+                        0.4,
+                        vec![
+                            FlowSpec {
+                                src: 0,
+                                dst: 5,
+                                deadline: Some(30),
+                            },
+                            FlowSpec {
+                                src: 10,
+                                dst: 2,
+                                deadline: Some(30),
+                            },
+                        ],
+                    )),
+                    ..PolicyRunConfig::default()
+                },
+                challenger: PolicySpec::Llr { l: 2.0 },
+            },
+            SeedRange::new(0, 5),
+        )
+        .with_observers(vec![
+            ObserverKind::FlowDelay,
+            ObserverKind::QueueTail { bound: 32 },
+        ]),
+    );
+    out.push(
+        ScenarioSpec::new(
+            "traffic-bursty",
+            "Bursty arrivals on a grid: tail blowup at equal mean load",
+            ExperimentKind::PolicyRun(PolicyRunConfig {
+                n: 49,
+                m: 4,
+                topology: TopologySpec::Grid,
+                horizon: 600,
+                traffic: Some(TrafficSpec {
+                    arrivals: ArrivalProcess::Bursty {
+                        rate: 0.3,
+                        burst: 8,
+                    },
+                    flows: vec![
+                        FlowSpec {
+                            src: 0,
+                            dst: 48,
+                            deadline: Some(80),
+                        },
+                        FlowSpec {
+                            src: 42,
+                            dst: 6,
+                            deadline: None,
+                        },
+                    ],
+                    packet_kbps: 100.0,
+                    seed: 0,
+                }),
+                ..PolicyRunConfig::default()
+            }),
+            SeedRange::new(0, 5),
+        )
+        .with_observers(vec![
+            ObserverKind::FlowDelay,
+            ObserverKind::QueueTail { bound: 64 },
+        ]),
+    );
+
     out
 }
 
@@ -357,6 +504,34 @@ mod tests {
         assert!(find("fig8").is_some());
         assert!(find("fig6-quick").is_some());
         assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn traffic_scenarios_carry_flows_and_tail_observers() {
+        for name in [
+            "traffic-poisson-light",
+            "traffic-poisson-heavy",
+            "traffic-deadline-duel",
+            "traffic-bursty",
+        ] {
+            let s = find(name).unwrap_or_else(|| panic!("missing {name}"));
+            let cfg = match &s.kind {
+                ExperimentKind::PolicyRun(cfg) => cfg,
+                ExperimentKind::PolicyDuel { base, .. } => base,
+                other => panic!("{name} has wrong kind {other:?}"),
+            };
+            let traffic = cfg
+                .traffic
+                .as_ref()
+                .unwrap_or_else(|| panic!("{name} carries no traffic"));
+            assert!(!traffic.flows.is_empty(), "{name} has no flows");
+            for f in &traffic.flows {
+                assert!(f.src < cfg.n && f.dst < cfg.n, "{name} endpoint range");
+            }
+            let labels: Vec<&str> = s.observers.iter().map(|o| o.label()).collect();
+            assert!(labels.contains(&"flow-delay"), "{name}: {labels:?}");
+            assert!(labels.contains(&"queue-tail"), "{name}: {labels:?}");
+        }
     }
 
     #[test]

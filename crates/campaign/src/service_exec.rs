@@ -160,11 +160,14 @@ fn run_steppable_seed(
         .with_max_minirounds(Some(cfg.minirounds))
         .with_loss_spec(cfg.loss)
         .with_partitions(cfg.partitions);
-    let acfg = Algorithm2Config::default()
+    let mut acfg = Algorithm2Config::default()
         .with_horizon(cfg.horizon)
         .with_update_period(cfg.update_period)
         .with_decision(dcfg)
         .with_seed(seed);
+    if let Some(traffic) = &cfg.traffic {
+        acfg = acfg.with_traffic(traffic.clone());
+    }
     let mut policy = cfg.policy.build(&net);
     let mut observers = ObserverSet::from_kinds(&spec.observers);
     observers.attach_telemetry(telemetry);
@@ -205,6 +208,16 @@ fn run_steppable_seed(
     metrics.push("avg_observed_kbps", run.average_observed_kbps);
     metrics.push("transmissions", run.comm.transmissions as f64);
     metrics.push("decisions", run.comm.decisions as f64);
+    // Traffic headline rows, exactly as `PolicyRunExperiment::run` emits
+    // them — present only when the scenario carries a TrafficSpec.
+    if let Some(t) = &run.traffic {
+        metrics.push("arrivals", t.arrivals as f64);
+        metrics.push("delivered", t.delivered as f64);
+        metrics.push("ontime", t.ontime as f64);
+        metrics.push("backlog", t.backlog as f64);
+        metrics.push("mean_delay_slots", t.mean_delay());
+        metrics.push("delay_utility", t.delay_utility());
+    }
     observers.finish_into(&mut metrics);
     let rows = metrics.into_rows();
 
@@ -404,6 +417,97 @@ mod tests {
         assert_eq!(service.metrics, batch_metrics);
         // Polled once per decision period plus the final boundary.
         assert!(ctrl.polls > 100);
+    }
+
+    fn traffic_scenario() -> Json {
+        crate::json::parse(
+            r#"{
+                "name": "svc-traffic",
+                "spec": {
+                    "kind": "policy-run", "n": 10, "m": 3, "horizon": 160,
+                    "traffic": {
+                        "arrivals": {"process": "poisson", "rate": 0.5},
+                        "flows": [
+                            {"src": 0, "dst": 4, "deadline": 24},
+                            {"src": 7, "dst": 2}
+                        ]
+                    }
+                },
+                "seeds": {"start": 3, "count": 1},
+                "observers": [
+                    "flow-delay",
+                    {"kind": "queue-tail", "bound": 8}
+                ]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn traffic_seed_resumes_with_queue_state_byte_identically() {
+        // Satellite pin: a mid-seed checkpoint must carry the queueing
+        // layer — packets in flight, per-flow delay histograms, arrival
+        // stream position — so a daemon killed mid-run resumes to the
+        // exact artifact an uninterrupted run produces.
+        let scenario = traffic_scenario();
+        let telemetry = Telemetry::disabled();
+
+        let mut plain = InertCtrl::new();
+        let baseline = ServiceExecutor
+            .run_seed(&scenario, 3, None, &telemetry, &mut plain)
+            .unwrap()
+            .unwrap();
+        let text = String::from_utf8(baseline.artifact.clone()).unwrap();
+        assert!(
+            text.contains("traffic flows"),
+            "service path must run the queueing layer:\n{text}"
+        );
+        assert!(baseline
+            .metrics
+            .iter()
+            .any(|(k, _)| k == "flow-delay:delay_utility"));
+
+        // Kill mid-run at a boundary where queues are demonstrably
+        // non-empty, then resume in a fresh universe.
+        let mut interrupter = InertCtrl::new();
+        interrupter.checkpoint_at = Some(23);
+        interrupter.stop_after_checkpoint = true;
+        assert!(ServiceExecutor
+            .run_seed(&scenario, 3, None, &telemetry, &mut interrupter)
+            .unwrap()
+            .is_none());
+        let checkpoint = interrupter.checkpoints.pop().unwrap();
+        assert!(
+            checkpoint.to_string_compact().contains("traffic."),
+            "checkpoint must serialize queue state"
+        );
+
+        let mut resumed_ctrl = InertCtrl::new();
+        let resumed = ServiceExecutor
+            .run_seed(
+                &scenario,
+                3,
+                Some(&checkpoint),
+                &telemetry,
+                &mut resumed_ctrl,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(resumed.artifact, baseline.artifact);
+        assert_eq!(resumed.metrics.len(), baseline.metrics.len());
+        for ((ka, va), (kb, vb)) in resumed.metrics.iter().zip(&baseline.metrics) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "metric {ka}");
+        }
+
+        // And the service path stays byte-identical to the batch path.
+        let spec = ingest::scenario_from_json(&traffic_scenario(), "test").unwrap();
+        let mut batch_artifact = Vec::new();
+        let batch_metrics = spec
+            .run_job_traced(3, &mut batch_artifact, &Telemetry::disabled())
+            .unwrap();
+        assert_eq!(baseline.artifact, batch_artifact);
+        assert_eq!(baseline.metrics, batch_metrics);
     }
 
     #[test]

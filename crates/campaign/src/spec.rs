@@ -20,6 +20,7 @@ use mhca_core::experiments::{
     ComplexityConfig, Fig5Config, Fig6Config, Fig7Config, Fig8Config, PolicyRunConfig, PolicySpec,
     Theorem3Config,
 };
+use mhca_core::{ArrivalProcess, TrafficSpec};
 use mhca_graph::TopologySpec;
 use mhca_sim::LossSpec;
 use mhca_telemetry::Telemetry;
@@ -267,6 +268,50 @@ fn push_policy_run_fields(pairs: &mut Vec<(&str, Json)>, cfg: &PolicyRunConfig) 
     pairs.push(("r", Json::Num(cfg.r as f64)));
     pairs.push(("minirounds", Json::Num(cfg.minirounds as f64)));
     pairs.push(("partitions", Json::Num(cfg.partitions as f64)));
+    // Emitted only when configured, so traffic-free specs (and their
+    // hashes, which guard manifest resume) are byte-identical to pre-
+    // traffic-layer renderings.
+    if let Some(traffic) = &cfg.traffic {
+        pairs.push(("traffic", traffic_json(traffic)));
+    }
+}
+
+///// Canonical JSON of a traffic workload: the arrival process as a tagged
+/// object, flows as `{src, dst[, deadline]}` objects (the deadline key is
+/// omitted, not null, for unbounded flows), plus packet size and the
+/// dedicated arrival-stream seed.
+fn traffic_json(t: &TrafficSpec) -> Json {
+    let mut arrivals = vec![("process", Json::str(t.arrivals.label()))];
+    match t.arrivals {
+        ArrivalProcess::Poisson { rate } => arrivals.push(("rate", Json::Num(rate))),
+        ArrivalProcess::Deterministic { period } => {
+            arrivals.push(("period", Json::Num(period as f64)));
+        }
+        ArrivalProcess::Bursty { rate, burst } => {
+            arrivals.push(("rate", Json::Num(rate)));
+            arrivals.push(("burst", Json::Num(burst as f64)));
+        }
+    }
+    let flows = t
+        .flows
+        .iter()
+        .map(|f| {
+            let mut pairs = vec![
+                ("src", Json::Num(f.src as f64)),
+                ("dst", Json::Num(f.dst as f64)),
+            ];
+            if let Some(d) = f.deadline {
+                pairs.push(("deadline", Json::Num(d as f64)));
+            }
+            Json::obj(pairs)
+        })
+        .collect();
+    Json::obj(vec![
+        ("arrivals", Json::obj(arrivals)),
+        ("flows", Json::Arr(flows)),
+        ("packet_kbps", Json::Num(t.packet_kbps)),
+        ("seed", Json::Num(t.seed as f64)),
+    ])
 }
 
 /// Full policy serialization — name *and* parameters, so the spec hash
@@ -350,6 +395,10 @@ fn observer_json(o: &ObserverKind) -> Json {
             ("kind", Json::str(o.label())),
             ("window", Json::Num(window as f64)),
         ]),
+        ObserverKind::QueueTail { bound } => Json::obj(vec![
+            ("kind", Json::str(o.label())),
+            ("bound", Json::Num(bound as f64)),
+        ]),
         // Parameterless kinds, enumerated (no wildcard): a future
         // parameterized variant must fail to compile here rather than
         // silently emit a bare label and lose its knobs on re-ingestion.
@@ -357,7 +406,8 @@ fn observer_json(o: &ObserverKind) -> Json {
         | ObserverKind::CommTotals
         | ObserverKind::PerVertexTx
         | ObserverKind::Throughput
-        | ObserverKind::CaptureStats => Json::str(o.label()),
+        | ObserverKind::CaptureStats
+        | ObserverKind::FlowDelay => Json::str(o.label()),
     }
 }
 

@@ -263,6 +263,116 @@ fn bounded_jobs_campaign_matches_serial_byte_for_byte() {
 }
 
 #[test]
+fn traffic_campaigns_are_byte_identical_across_worker_shapes() {
+    // A scaled-down traffic scenario (flows + FlowDelay/QueueTail): the
+    // arrival stream is counter-based and the queue engine deterministic,
+    // so serial, bounded (--jobs 2), and fully parallel campaigns must
+    // produce byte-identical artifacts — and each per-seed CSV must carry
+    // the per-flow delay-tail percentile rows.
+    use mhca_core::experiment::ObserverKind;
+    use mhca_core::experiments::PolicyRunConfig;
+    use mhca_core::{FlowSpec, TrafficSpec};
+    use mhca_graph::TopologySpec;
+
+    let mut cfg = PolicyRunConfig::quick();
+    cfg.topology = TopologySpec::Line;
+    cfg.n = 10;
+    cfg.horizon = 120;
+    cfg.traffic = Some(TrafficSpec::poisson(
+        0.5,
+        vec![
+            FlowSpec {
+                src: 0,
+                dst: 4,
+                deadline: Some(24),
+            },
+            FlowSpec {
+                src: 7,
+                dst: 2,
+                deadline: None,
+            },
+        ],
+    ));
+    let scenarios = vec![ScenarioSpec::new(
+        "traffic-quick",
+        "traffic smoke",
+        ExperimentKind::PolicyRun(cfg),
+        SeedRange::new(0, 3),
+    )
+    .with_observers(vec![
+        ObserverKind::FlowDelay,
+        ObserverKind::QueueTail { bound: 8 },
+    ])];
+
+    let dir_ser = tmp_dir("traffic-ser");
+    let dir_bnd = tmp_dir("traffic-bnd");
+    let dir_par = tmp_dir("traffic-par");
+    let ser = runner::run(&quiet(CampaignConfig {
+        parallel: false,
+        ..CampaignConfig::new("traffic", &dir_ser, scenarios.clone())
+    }))
+    .unwrap();
+    let bnd = runner::run(&quiet(CampaignConfig {
+        jobs: Some(2),
+        ..CampaignConfig::new("traffic", &dir_bnd, scenarios.clone())
+    }))
+    .unwrap();
+    let par = runner::run(&quiet(CampaignConfig::new("traffic", &dir_par, scenarios))).unwrap();
+
+    assert_eq!(ser.summaries, bnd.summaries);
+    assert_eq!(ser.summaries, par.summaries);
+    for dir in [&dir_bnd, &dir_par] {
+        assert_eq!(
+            fs::read_to_string(dir_ser.join("campaign.csv")).unwrap(),
+            fs::read_to_string(dir.join("campaign.csv")).unwrap()
+        );
+        for seed in 0..3 {
+            assert_eq!(
+                fs::read_to_string(dir_ser.join(format!("traffic-quick/seed{seed}.csv"))).unwrap(),
+                fs::read_to_string(dir.join(format!("traffic-quick/seed{seed}.csv"))).unwrap()
+            );
+        }
+    }
+
+    // The per-seed artifact carries both the exact flow table and the
+    // streamed delay-tail percentiles (acceptance: p50/p99/p999 rows).
+    let seed_csv = fs::read_to_string(dir_ser.join("traffic-quick/seed0.csv")).unwrap();
+    assert!(
+        seed_csv.contains("flow,arrivals,delivered,ontime"),
+        "{seed_csv}"
+    );
+    for row in [
+        "flow-delay:f0_p50_slots",
+        "flow-delay:f0_p99_slots",
+        "flow-delay:f0_p999_slots",
+        "flow-delay:f1_p50_slots",
+        "flow-delay:delay_utility",
+        "queue-tail:backlog_p99",
+        "queue-tail:overflows",
+    ] {
+        assert!(seed_csv.contains(row), "missing {row} in:\n{seed_csv}");
+    }
+    // Headline traffic metrics aggregate across seeds.
+    let s = ser
+        .summaries
+        .iter()
+        .find(|s| s.name == "traffic-quick")
+        .unwrap();
+    for metric in ["arrivals", "delivered", "delay_utility"] {
+        let (_, agg) = s
+            .aggregates
+            .iter()
+            .find(|(m, _)| m == metric)
+            .unwrap_or_else(|| panic!("missing aggregate {metric}"));
+        assert_eq!(agg.runs, 3, "{metric}");
+    }
+
+    fs::remove_dir_all(&dir_ser).unwrap();
+    fs::remove_dir_all(&dir_bnd).unwrap();
+    fs::remove_dir_all(&dir_par).unwrap();
+}
+
+#[test]
 fn scenario_observers_feed_campaign_aggregates() {
     // fig7-quick carries the comm-totals observer: its streamed metrics
     // must land in the manifest, campaign.csv, and the summary — produced

@@ -21,7 +21,7 @@
 //!   not new [`RunResult`] fields; the campaign attaches exactly the
 //!   sinks a scenario needs via [`ObserverKind`].
 //!
-//! Seven observers ship built in (see [`ObserverKind::ALL`]); the
+//! Nine observers ship built in (see [`ObserverKind::ALL`]); the
 //! "observer cookbook" section of the repository README tabulates what
 //! each one measures and costs. The experiment *configs* live in
 //! [`crate::experiments`]; the engine here is the only execution entry
@@ -38,6 +38,7 @@ use crate::{
     network::Network,
     runner::{run_policy_observed, Algorithm2Config, RunResult},
     time::TimeModel,
+    traffic::TrafficRound,
 };
 use mhca_bandit::policies::{CsUcb, Llr};
 use mhca_bandit::state::{StateError, StateMap};
@@ -179,6 +180,11 @@ pub struct RoundRecord<'a> {
     /// from [`RoundObserver::wants_oracle`] (the engine skips the solve
     /// entirely otherwise).
     pub oracle_kbps: f64,
+    /// This period's traffic view — arrivals, per-packet deliveries, and
+    /// per-node queue backlogs — when the run carries a
+    /// [`crate::TrafficSpec`]. `None` on traffic-free runs, so observers
+    /// that ignore traffic see no change at all.
+    pub traffic: Option<TrafficRound<'a>>,
 }
 
 /// A streaming metrics sink over Algorithm 2 rounds.
@@ -439,12 +445,25 @@ pub enum ObserverKind {
         /// Window length in slots.
         window: u64,
     },
+    /// Per-flow end-to-end delay distributions (p50/p99/p999 via the
+    /// telemetry log-bucketed histograms) and the delay-constrained
+    /// utility ([`FlowDelayObserver`]) — only meaningful on runs that
+    /// carry a [`crate::TrafficSpec`].
+    FlowDelay,
+    /// Per-node queue-backlog distribution plus an overflow counter
+    /// against a configurable bound ([`QueueTailObserver`]) — the
+    /// tail-event view of König & Kwofie's large-deviations regime.
+    QueueTail {
+        /// Backlog (packets) above which a node-period counts as
+        /// overflowed.
+        bound: u64,
+    },
 }
 
 impl ObserverKind {
     /// Every kind, in canonical order (parameterized kinds at their
     /// defaults).
-    pub const ALL: [ObserverKind; 7] = [
+    pub const ALL: [ObserverKind; 9] = [
         ObserverKind::DecideTiming,
         ObserverKind::CommTotals,
         ObserverKind::PerVertexTx,
@@ -455,6 +474,8 @@ impl ObserverKind {
         },
         ObserverKind::CaptureStats,
         ObserverKind::WindowedRegret { window: 250 },
+        ObserverKind::FlowDelay,
+        ObserverKind::QueueTail { bound: 64 },
     ];
 
     /// Kebab-case label used in scenario JSON. Parameterized kinds share
@@ -470,6 +491,8 @@ impl ObserverKind {
             ObserverKind::SensingCost { .. } => "sensing-cost",
             ObserverKind::CaptureStats => "capture-stats",
             ObserverKind::WindowedRegret { .. } => "windowed-regret",
+            ObserverKind::FlowDelay => "flow-delay",
+            ObserverKind::QueueTail { .. } => "queue-tail",
         }
     }
 
@@ -494,6 +517,8 @@ impl ObserverKind {
             ObserverKind::WindowedRegret { window } => {
                 Box::new(WindowedRegretObserver::new(window))
             }
+            ObserverKind::FlowDelay => Box::new(FlowDelayObserver::default()),
+            ObserverKind::QueueTail { bound } => Box::new(QueueTailObserver::new(bound)),
         }
     }
 }
@@ -1029,6 +1054,204 @@ impl RoundObserver for WindowedRegretObserver {
         self.observed_acc = state.get_f64("observed_acc")?;
         self.end_slot = state.get_u64("end_slot")?;
         self.windows = ends.into_iter().zip(regrets).collect();
+        Ok(())
+    }
+}
+
+/// Per-flow end-to-end delay distributions over the run, recorded into
+/// the telemetry [`LogHistogram`]s (log-bucketed, so p50/p99/p999 carry a
+/// bounded ≤ 6.25 % relative quantization error and survive
+/// snapshot/restore bit-exactly via sparse bucket dumps). Also
+/// accumulates per-flow delivered / on-time counts and reports the
+/// delay-constrained utility `Σ_f ln(1 + ontime_f)` — the Khodaian &
+/// Khalaj proportional-fair objective over on-time deliveries.
+///
+/// On a run without a [`crate::TrafficSpec`] every record's traffic view
+/// is `None`; the observer still reports its (all-zero) headline rows, so
+/// registering it never changes whether metrics exist. Per-flow ledgers
+/// are grown lazily to the highest flow index seen in a delivery.
+///
+/// All `finish` rows are derived from bucket counts and exact integer
+/// counters only — never [`LogHistogram::mean`]/[`LogHistogram::max`],
+/// which a restore approximates by bucket representatives — so a resumed
+/// observer finishes byte-identical to an uninterrupted one.
+#[derive(Debug, Default)]
+pub struct FlowDelayObserver {
+    hists: Vec<LogHistogram>,
+    delivered: Vec<u64>,
+    ontime: Vec<u64>,
+}
+
+impl FlowDelayObserver {
+    fn grow_to(&mut self, flow: usize) {
+        if self.hists.len() <= flow {
+            self.hists.resize_with(flow + 1, LogHistogram::new);
+            self.delivered.resize(flow + 1, 0);
+            self.ontime.resize(flow + 1, 0);
+        }
+    }
+}
+
+impl RoundObserver for FlowDelayObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        let Some(traffic) = &record.traffic else {
+            return;
+        };
+        for d in traffic.deliveries {
+            let f = d.flow as usize;
+            self.grow_to(f);
+            self.hists[f].record(d.delay);
+            self.delivered[f] += 1;
+            self.ontime[f] += u64::from(d.ontime);
+        }
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        t.push("flows", self.hists.len() as f64);
+        let mut delivered_total = 0u64;
+        let mut ontime_total = 0u64;
+        let mut utility = 0.0;
+        for f in 0..self.hists.len() {
+            let h = &self.hists[f];
+            t.push(format!("f{f}_delivered"), self.delivered[f] as f64);
+            t.push(
+                format!("f{f}_ontime_frac"),
+                self.ontime[f] as f64 / self.delivered[f].max(1) as f64,
+            );
+            t.push(format!("f{f}_p50_slots"), h.p50() as f64);
+            t.push(format!("f{f}_p99_slots"), h.p99() as f64);
+            t.push(format!("f{f}_p999_slots"), h.p999() as f64);
+            delivered_total += self.delivered[f];
+            ontime_total += self.ontime[f];
+            utility += (1.0 + self.ontime[f] as f64).ln();
+        }
+        t.push("delivered", delivered_total as f64);
+        t.push("ontime", ontime_total as f64);
+        t.push("delay_utility", utility);
+        t
+    }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        out.put_u64("flows", self.hists.len() as u64);
+        out.put_u64_vec("delivered", self.delivered.clone());
+        out.put_u64_vec("ontime", self.ontime.clone());
+        for (f, h) in self.hists.iter().enumerate() {
+            let (idx, n): (Vec<u64>, Vec<u64>) =
+                h.nonzero_buckets().map(|(i, c)| (i as u64, c)).unzip();
+            out.put_u64_vec(format!("f{f}_bucket_idx"), idx);
+            out.put_u64_vec(format!("f{f}_bucket_n"), n);
+        }
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        let flows = state.get_u64("flows")? as usize;
+        let delivered = state.get_u64_vec_exact("delivered", flows)?;
+        let ontime = state.get_u64_vec_exact("ontime", flows)?;
+        let mut hists = Vec::with_capacity(flows);
+        for f in 0..flows {
+            let idx = state.get_u64_slice(&format!("f{f}_bucket_idx"))?.to_vec();
+            let counts = state.get_u64_vec_exact(&format!("f{f}_bucket_n"), idx.len())?;
+            let mut h = LogHistogram::new();
+            for (&i, &c) in idx.iter().zip(&counts) {
+                h.merge_bucket(i as usize, c);
+            }
+            hists.push(h);
+        }
+        self.hists = hists;
+        self.delivered = delivered;
+        self.ontime = ontime;
+        Ok(())
+    }
+}
+
+/// Per-node queue-backlog distribution over the run: every period, every
+/// node's end-of-period backlog is one sample in a [`LogHistogram`], and
+/// any sample above the configured bound increments an overflow counter —
+/// the queue-overflow-probability view König & Kwofie's large-deviations
+/// analysis motivates (tails, not means). The engine's queues are
+/// unbounded; the bound here is purely an accounting threshold.
+///
+/// Reports bucket-exact percentiles plus `overflows` / `overflow_frac`
+/// and an exactly-tracked `backlog_max` (a separate counter, because a
+/// restored histogram only approximates its max by the bucket
+/// representative). Rows exist (all zero) even on traffic-free runs.
+#[derive(Debug)]
+pub struct QueueTailObserver {
+    bound: u64,
+    hist: LogHistogram,
+    overflows: u64,
+    max_backlog: u64,
+}
+
+impl QueueTailObserver {
+    /// Creates the observer with the given backlog bound in packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn new(bound: u64) -> Self {
+        assert!(bound > 0, "backlog bound must be positive");
+        QueueTailObserver {
+            bound,
+            hist: LogHistogram::new(),
+            overflows: 0,
+            max_backlog: 0,
+        }
+    }
+}
+
+impl RoundObserver for QueueTailObserver {
+    fn on_round(&mut self, record: &RoundRecord<'_>) {
+        let Some(traffic) = &record.traffic else {
+            return;
+        };
+        for &b in traffic.backlogs {
+            self.hist.record(b);
+            self.overflows += u64::from(b > self.bound);
+            self.max_backlog = self.max_backlog.max(b);
+        }
+    }
+
+    fn finish(&mut self) -> MetricTable {
+        let mut t = MetricTable::new();
+        t.push("bound", self.bound as f64);
+        t.push("samples", self.hist.count() as f64);
+        t.push("backlog_p50", self.hist.p50() as f64);
+        t.push("backlog_p99", self.hist.p99() as f64);
+        t.push("backlog_p999", self.hist.p999() as f64);
+        t.push("backlog_max", self.max_backlog as f64);
+        t.push("overflows", self.overflows as f64);
+        t.push(
+            "overflow_frac",
+            self.overflows as f64 / self.hist.count().max(1) as f64,
+        );
+        t
+    }
+
+    fn snapshot_state(&self, out: &mut StateMap) {
+        // `bound` is configuration, not state.
+        let (idx, n): (Vec<u64>, Vec<u64>) = self
+            .hist
+            .nonzero_buckets()
+            .map(|(i, c)| (i as u64, c))
+            .unzip();
+        out.put_u64_vec("bucket_idx", idx);
+        out.put_u64_vec("bucket_n", n);
+        out.put_u64("overflows", self.overflows);
+        out.put_u64("max_backlog", self.max_backlog);
+    }
+
+    fn restore_state(&mut self, state: &StateMap) -> Result<(), StateError> {
+        let idx = state.get_u64_slice("bucket_idx")?.to_vec();
+        let counts = state.get_u64_vec_exact("bucket_n", idx.len())?;
+        let mut h = LogHistogram::new();
+        for (&i, &c) in idx.iter().zip(&counts) {
+            h.merge_bucket(i as usize, c);
+        }
+        self.hist = h;
+        self.overflows = state.get_u64("overflows")?;
+        self.max_backlog = state.get_u64("max_backlog")?;
         Ok(())
     }
 }
@@ -1662,11 +1885,14 @@ impl PolicyRunExperiment {
             .with_max_minirounds(Some(cfg.minirounds))
             .with_loss_spec(cfg.loss)
             .with_partitions(cfg.partitions);
-        let acfg = Algorithm2Config::default()
+        let mut acfg = Algorithm2Config::default()
             .with_horizon(cfg.horizon)
             .with_update_period(cfg.update_period)
             .with_decision(dcfg)
             .with_seed(seed);
+        if let Some(traffic) = &cfg.traffic {
+            acfg = acfg.with_traffic(traffic.clone());
+        }
         let mut policy = cfg.policy.build(&net);
         run_policy_observed(&net, &acfg, policy.as_mut(), observers)
     }
@@ -1693,6 +1919,16 @@ impl Experiment for PolicyRunExperiment {
         metrics.push("avg_observed_kbps", run.average_observed_kbps);
         metrics.push("transmissions", run.comm.transmissions as f64);
         metrics.push("decisions", run.comm.decisions as f64);
+        // Traffic headline rows exist only when the scenario carries a
+        // TrafficSpec, so traffic-free artifacts stay byte-identical.
+        if let Some(t) = &run.traffic {
+            metrics.push("arrivals", t.arrivals as f64);
+            metrics.push("delivered", t.delivered as f64);
+            metrics.push("ontime", t.ontime as f64);
+            metrics.push("backlog", t.backlog as f64);
+            metrics.push("mean_delay_slots", t.mean_delay());
+            metrics.push("delay_utility", t.delay_utility());
+        }
         ExperimentOutput {
             data: ExperimentData::PolicyRun { cfg, run },
             metrics,
@@ -1755,12 +1991,20 @@ impl Experiment for PolicyDuelExperiment {
             "advantage_kbps",
             run_a.average_expected_kbps - run_b.average_expected_kbps,
         );
-        metrics.push(
-            "a_wins",
-            f64::from(u8::from(
-                run_a.average_expected_kbps > run_b.average_expected_kbps,
-            )),
-        );
+        // Under a TrafficSpec the duel is ranked by the delay-constrained
+        // utility (Khodaian & Khalaj) instead of raw kbps — a policy that
+        // lands packets on time beats one that merely saturates links.
+        let a_wins = match (&run_a.traffic, &run_b.traffic) {
+            (Some(ta), Some(tb)) => {
+                let (ua, ub) = (ta.delay_utility(), tb.delay_utility());
+                metrics.push(format!("{a}_delay_utility"), ua);
+                metrics.push(format!("{b}_delay_utility"), ub);
+                metrics.push("delay_utility_advantage", ua - ub);
+                ua > ub
+            }
+            _ => run_a.average_expected_kbps > run_b.average_expected_kbps,
+        };
+        metrics.push("a_wins", f64::from(u8::from(a_wins)));
         ExperimentOutput {
             data: ExperimentData::PolicyDuel {
                 a: (cfg_a, run_a),
@@ -2067,6 +2311,7 @@ mod tests {
             channel_attempts: &[0],
             channel_captures: &[0],
             oracle_kbps: 100.0,
+            traffic: None,
         };
         let mut obs = WindowedRegretObserver::new(25);
         // Run A: 4 periods of 10 slots. The window closes at the first
@@ -2256,6 +2501,152 @@ mod tests {
         deduped.sort_unstable();
         deduped.dedup();
         assert_eq!(deduped.len(), names.len(), "colliding metric names");
+    }
+
+    /// A quick policy-run config carrying traffic: two flows on a line
+    /// network, one deadline-bounded.
+    fn traffic_cfg() -> PolicyRunConfig {
+        PolicyRunConfig {
+            topology: mhca_graph::TopologySpec::Line,
+            traffic: Some(crate::TrafficSpec::poisson(
+                0.4,
+                vec![
+                    crate::FlowSpec {
+                        src: 0,
+                        dst: 3,
+                        deadline: Some(30),
+                    },
+                    crate::FlowSpec {
+                        src: 5,
+                        dst: 2,
+                        deadline: None,
+                    },
+                ],
+            )),
+            horizon: 200,
+            ..PolicyRunConfig::quick()
+        }
+    }
+
+    #[test]
+    fn flow_delay_and_queue_tail_report_per_flow_tails() {
+        let exp = PolicyRunExperiment(traffic_cfg());
+        let kinds = [
+            ObserverKind::FlowDelay,
+            ObserverKind::QueueTail { bound: 4 },
+        ];
+        let out = run_experiment(&exp, 7, ObserverSet::from_kinds(&kinds));
+        let get = |n: &str| {
+            out.metrics
+                .get(n)
+                .unwrap_or_else(|| panic!("missing metric {n}"))
+        };
+        // Headline rows from the run summary.
+        assert!(get("arrivals") > 0.0);
+        assert!(get("delivered") > 0.0);
+        assert!(get("delay_utility") > 0.0);
+        // Per-flow delay tails from the observer.
+        let flows = get("flow-delay:flows") as usize;
+        assert!(flows >= 1);
+        for f in 0..flows {
+            let p50 = get(&format!("flow-delay:f{f}_p50_slots"));
+            let p99 = get(&format!("flow-delay:f{f}_p99_slots"));
+            let p999 = get(&format!("flow-delay:f{f}_p999_slots"));
+            assert!(p50 >= 1.0, "delays are >= 1 slot");
+            assert!(p99 >= p50 && p999 >= p99, "percentiles must be ordered");
+        }
+        // The observer's utility is computed from the same on-time counts
+        // as the run summary's (undelivered flows contribute ln(1) = 0).
+        assert!((get("flow-delay:delay_utility") - get("delay_utility")).abs() < 1e-9);
+        // Backlog tails: one sample per node per period.
+        assert!(get("queue-tail:samples") > 0.0);
+        assert!(get("queue-tail:backlog_max") >= get("queue-tail:backlog_p50"));
+        assert_eq!(get("queue-tail:bound"), 4.0);
+    }
+
+    #[test]
+    fn traffic_duels_rank_by_delay_utility() {
+        let exp = PolicyDuelExperiment {
+            base: traffic_cfg(),
+            challenger: PolicySpec::Random,
+        };
+        let out = run_experiment(&exp, 3, ObserverSet::new());
+        let ua = out.metrics.get("cs-ucb_delay_utility").unwrap();
+        let ub = out.metrics.get("random_delay_utility").unwrap();
+        let adv = out.metrics.get("delay_utility_advantage").unwrap();
+        assert!((adv - (ua - ub)).abs() < 1e-9);
+        // The winner bit follows utility, not kbps.
+        assert_eq!(
+            out.metrics.get("a_wins"),
+            Some(f64::from(u8::from(ua > ub)))
+        );
+    }
+
+    #[test]
+    fn traffic_observer_states_round_trip_mid_run() {
+        // FlowDelay/QueueTail accumulate log-bucketed histograms; their
+        // snapshot is a sparse bucket dump, and every `finish` row is
+        // derived from bucket counts or exact counters — so a restored
+        // observer must finish byte-identical, traffic included.
+        use crate::runner::{Algorithm2Config, PolicyRunner};
+        use mhca_bandit::policies::CsUcb;
+
+        let cfg_pr = traffic_cfg();
+        let net =
+            crate::Network::from_spec(cfg_pr.n, cfg_pr.m, &cfg_pr.topology, &cfg_pr.channel, 11);
+        let cfg = Algorithm2Config::default()
+            .with_horizon(200)
+            .with_seed(11)
+            .with_traffic(cfg_pr.traffic.clone().unwrap());
+        let kinds = [
+            ObserverKind::FlowDelay,
+            ObserverKind::QueueTail { bound: 4 },
+        ];
+
+        let mut baseline_set = ObserverSet::from_kinds(&kinds);
+        let mut policy = CsUcb::new(2.0);
+        let mut runner = PolicyRunner::new(&net, &cfg, &baseline_set);
+        while !runner.done() {
+            runner.step_period(&mut policy, &mut baseline_set);
+        }
+        let baseline = runner.finish(&policy);
+        let mut baseline_metrics = MetricTable::new();
+        baseline_set.finish_into(&mut baseline_metrics);
+        assert!(
+            baseline.traffic.as_ref().unwrap().delivered > 0,
+            "need deliveries for the round-trip to be meaningful"
+        );
+
+        let mut set_a = ObserverSet::from_kinds(&kinds);
+        let mut policy_a = CsUcb::new(2.0);
+        let mut runner_a = PolicyRunner::new(&net, &cfg, &set_a);
+        for _ in 0..100 {
+            runner_a.step_period(&mut policy_a, &mut set_a);
+        }
+        let runner_state = runner_a.snapshot(&policy_a);
+        let observer_state = set_a.snapshot_states();
+
+        let mut set_b = ObserverSet::from_kinds(&kinds);
+        let mut policy_b = CsUcb::new(2.0);
+        let mut runner_b = PolicyRunner::new(&net, &cfg, &set_b);
+        runner_b
+            .restore(&mut policy_b, &runner_state)
+            .expect("runner state must restore");
+        set_b
+            .restore_states(&observer_state)
+            .expect("observer state must restore");
+        while !runner_b.done() {
+            runner_b.step_period(&mut policy_b, &mut set_b);
+        }
+        let resumed = runner_b.finish(&policy_b);
+        let mut resumed_metrics = MetricTable::new();
+        set_b.finish_into(&mut resumed_metrics);
+
+        assert_eq!(baseline, resumed, "resumed RunResult must be identical");
+        assert_eq!(
+            baseline_metrics, resumed_metrics,
+            "resumed traffic observer metrics must be identical"
+        );
     }
 
     #[test]

@@ -548,6 +548,11 @@ pub struct PolicyRunConfig {
     /// ([`crate::DistributedPtasConfig::partitions`]; `<= 1` = serial,
     /// byte-identical outcomes either way).
     pub partitions: usize,
+    /// Optional traffic workload: arrival process × flows × deadlines,
+    /// served from the channel-access outcome by the per-vertex queue
+    /// engine ([`crate::QueueEngine`]). `None` (the default) leaves the
+    /// run byte-identical to a pre-traffic-layer run.
+    pub traffic: Option<crate::TrafficSpec>,
     /// Seed.
     pub seed: u64,
 }
@@ -566,6 +571,7 @@ impl Default for PolicyRunConfig {
             r: 2,
             minirounds: 4,
             partitions: 1,
+            traffic: None,
             seed: 0,
         }
     }

@@ -50,6 +50,7 @@ pub mod runner;
 pub mod stats;
 pub mod sweep;
 pub mod time;
+pub mod traffic;
 
 pub use distributed::{
     DecidePhaseNs, DecideScanStats, DecisionOutcome, DistributedPtas, DistributedPtasConfig,
@@ -63,3 +64,4 @@ pub use experiments::{PolicyRunConfig, PolicySpec};
 pub use network::Network;
 pub use runner::{run_policy_observed, Algorithm2Config, PolicyRunner, RunResult};
 pub use time::TimeModel;
+pub use traffic::{ArrivalProcess, FlowSpec, QueueEngine, TrafficSpec, TrafficSummary};

@@ -27,6 +27,7 @@ use crate::{
     experiment::{ObserverSet, RoundRecord},
     network::Network,
     time::TimeModel,
+    traffic::{QueueEngine, TrafficSpec, TrafficSummary},
 };
 use mhca_bandit::{
     bounds,
@@ -76,6 +77,12 @@ pub struct Algorithm2Config {
     /// Approximation factor `α` for the β-regret target `R_1/(θ·α)`;
     /// `None` = the Theorem 2 value `(M·(2r+1)²)^{1/r}`.
     pub alpha: Option<f64>,
+    /// Optional traffic workload: arrival processes feeding per-vertex
+    /// FIFO queues served from the capture outcome (see
+    /// [`crate::traffic`]). `None` (the default) runs the saturation
+    /// workload with zero queueing overhead — the observer-free path is
+    /// pinned byte-identical and allocation-free either way.
+    pub traffic: Option<TrafficSpec>,
 }
 
 impl Default for Algorithm2Config {
@@ -89,6 +96,7 @@ impl Default for Algorithm2Config {
             reward_scale: None,
             optimal_kbps: None,
             alpha: None,
+            traffic: None,
         }
     }
 }
@@ -122,6 +130,12 @@ impl Algorithm2Config {
     /// Builder-style optimum (enables regret series).
     pub fn with_optimal_kbps(mut self, r1: f64) -> Self {
         self.optimal_kbps = Some(r1);
+        self
+    }
+
+    /// Builder-style traffic workload (enables the queueing layer).
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = Some(traffic);
         self
     }
 }
@@ -168,6 +182,11 @@ pub struct RunResult {
     pub comm: CommTotals,
     /// The seed the run used (for reproducibility records).
     pub seed: u64,
+    /// Traffic totals (per-flow deliveries, deadlines met, standing
+    /// backlog); `Some` iff the config carried a [`TrafficSpec`]. Every
+    /// other field is unaffected by traffic — pinned by
+    /// `traffic_leaves_the_untraced_run_byte_identical`.
+    pub traffic: Option<TrafficSummary>,
 }
 
 /// Runs Algorithm 2 with the given learning policy on a network.
@@ -276,6 +295,10 @@ pub struct PolicyRunner<'n> {
     chan_attempts: Vec<u64>,
     chan_captures: Vec<u64>,
     oracle: Option<OracleState>,
+    /// Present iff the config carries a traffic spec — the queueing layer
+    /// is gated exactly like the observer scratch, so the no-traffic
+    /// path is untouched (byte-identical and allocation-free).
+    queue: Option<QueueEngine>,
     t: u64,
 }
 
@@ -355,6 +378,10 @@ impl<'n> PolicyRunner<'n> {
             allowed: (0..k).collect(),
             cached_kbps: 0.0,
         });
+        let queue = cfg
+            .traffic
+            .as_ref()
+            .map(|spec| QueueEngine::new(spec, net.g(), m_channels));
 
         PolicyRunner {
             net,
@@ -395,6 +422,7 @@ impl<'n> PolicyRunner<'n> {
             chan_attempts: vec![0u64; if tally_channels { m_channels } else { 0 }],
             chan_captures: vec![0u64; if tally_channels { m_channels } else { 0 }],
             oracle,
+            queue,
             t: 0,
         }
     }
@@ -469,6 +497,9 @@ impl<'n> PolicyRunner<'n> {
         // ---- Data transmission for the whole period (y slots).
         let period_len = self.y.min(self.cfg.horizon - t);
         self.period_obs.clear();
+        if let Some(q) = self.queue.as_mut() {
+            q.begin_period();
+        }
         if self.tally_channels {
             self.chan_attempts.fill(0);
             self.chan_captures.fill(0);
@@ -504,6 +535,12 @@ impl<'n> PolicyRunner<'n> {
                     self.practical_regret.push(tr.practical_regret());
                     self.practical_beta_regret.push(tr.practical_beta_regret());
                 }
+            }
+            // Queueing layer: the slot's capture outcome is this slot's
+            // service opportunity. Draws come from the dedicated arrival
+            // stream, so the run RNG (and everything above) is untouched.
+            if let Some(q) = self.queue.as_mut() {
+                q.step_slot(s, &self.obs);
             }
         }
         let learn_ns = learn_start.map_or(0, |s| s.elapsed().as_nanos() as u64);
@@ -569,6 +606,7 @@ impl<'n> PolicyRunner<'n> {
                 channel_attempts: &self.chan_attempts,
                 channel_captures: &self.chan_captures,
                 oracle_kbps,
+                traffic: self.queue.as_ref().map(|q| q.round()),
             });
         }
 
@@ -608,6 +646,7 @@ impl<'n> PolicyRunner<'n> {
             beta: self.beta,
             comm: self.comm,
             seed: self.cfg.seed,
+            traffic: self.queue.as_ref().map(|q| q.summary()),
         }
     }
 
@@ -662,6 +701,9 @@ impl<'n> PolicyRunner<'n> {
         out.put_u64_vec("wb.per_vertex_tx", wb.per_vertex_tx.clone());
         out.put_u64("wb.fallback_floods", self.wb_engine.fallback_floods());
         out.put_u64("ptas.loss_flood", self.ptas.loss_flood_index());
+        if let Some(q) = &self.queue {
+            q.snapshot_into(&mut out, "traffic");
+        }
         out
     }
 
@@ -763,6 +805,9 @@ impl<'n> PolicyRunner<'n> {
             .set_fallback_floods(state.get_u64("wb.fallback_floods")?);
         self.ptas
             .set_loss_flood_index(state.get_u64("ptas.loss_flood")?);
+        if let Some(q) = self.queue.as_mut() {
+            q.restore_from(state, "traffic")?;
+        }
         Ok(())
     }
 }
@@ -943,6 +988,97 @@ mod tests {
             second.step_period(&mut policy2, &mut obs);
         }
         assert_eq!(second.finish(&policy2), uninterrupted);
+    }
+
+    fn line_net(n: usize) -> Network {
+        Network::from_spec(
+            n,
+            2,
+            &mhca_graph::TopologySpec::Line,
+            &mhca_channels::ChannelModelSpec::default(),
+            4,
+        )
+    }
+
+    fn line_traffic() -> TrafficSpec {
+        crate::traffic::TrafficSpec::poisson(
+            0.4,
+            vec![crate::traffic::FlowSpec {
+                src: 0,
+                dst: 3,
+                deadline: Some(30),
+            }],
+        )
+    }
+
+    #[test]
+    fn traffic_leaves_the_untraced_run_byte_identical() {
+        // Satellite pin: the arrival stream is dedicated and the queue
+        // step reads (never writes) the capture outcome, so enabling
+        // traffic must leave every pre-existing RunResult field — series,
+        // regret, comm counters, RNG-driven decisions — byte-identical.
+        let net = line_net(6);
+        let cfg = Algorithm2Config::default().with_horizon(120).with_seed(7);
+        let plain = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        assert!(plain.traffic.is_none());
+
+        let cfg_t = cfg.clone().with_traffic(line_traffic());
+        let with = run_policy(&net, &cfg_t, &mut CsUcb::new(2.0));
+        let summary = with.traffic.clone().expect("traffic config must summarize");
+        assert!(summary.arrivals > 0, "a 120-slot Poisson run must arrive");
+        assert!(summary.delivered > 0, "line flow must deliver");
+        assert_eq!(
+            summary.arrivals - summary.delivered,
+            summary.backlog,
+            "Lindley conservation at the horizon"
+        );
+
+        let mut stripped = with.clone();
+        stripped.traffic = None;
+        assert_eq!(stripped, plain, "traffic perturbed the base run");
+    }
+
+    #[test]
+    fn snapshot_restore_with_traffic_continues_bit_identically() {
+        // Checkpoint/resume must round-trip the queue state: packets in
+        // flight, fractional credits, and per-flow totals.
+        let net = line_net(6);
+        let cfg = Algorithm2Config::default()
+            .with_horizon(80)
+            .with_seed(3)
+            .with_traffic(line_traffic());
+        let uninterrupted = run_policy(&net, &cfg, &mut CsUcb::new(2.0));
+        assert!(uninterrupted.traffic.as_ref().unwrap().delivered > 0);
+
+        let observers = ObserverSet::new();
+        let mut policy = CsUcb::new(2.0);
+        let mut first = PolicyRunner::new(&net, &cfg, &observers);
+        let mut obs = ObserverSet::new();
+        for _ in 0..37 {
+            first.step_period(&mut policy, &mut obs);
+        }
+        let snap = first.snapshot(&policy);
+        drop(first);
+
+        let mut policy2 = CsUcb::new(2.0);
+        let mut second = PolicyRunner::new(&net, &cfg, &observers);
+        second.restore(&mut policy2, &snap).unwrap();
+        let mut obs = ObserverSet::new();
+        while !second.done() {
+            second.step_period(&mut policy2, &mut obs);
+        }
+        assert_eq!(second.finish(&policy2), uninterrupted);
+
+        // A snapshot without traffic keys must not restore into a
+        // traffic-configured runner.
+        let plain_cfg = Algorithm2Config::default().with_horizon(80).with_seed(3);
+        let mut plain_policy = CsUcb::new(2.0);
+        let mut plain = PolicyRunner::new(&net, &plain_cfg, &observers);
+        let mut obs = ObserverSet::new();
+        plain.step_period(&mut plain_policy, &mut obs);
+        let plain_snap = plain.snapshot(&plain_policy);
+        let mut fresh = PolicyRunner::new(&net, &cfg, &observers);
+        assert!(fresh.restore(&mut policy2, &plain_snap).is_err());
     }
 
     #[test]

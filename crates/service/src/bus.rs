@@ -9,18 +9,21 @@
 //!
 //! The bus is a bounded ring: old events are dropped once the buffer
 //! exceeds [`EventBus::capacity`], and readers that fell behind observe
-//! a gap in sequence numbers (reported, not hidden). Readers block on a
-//! condvar with a timeout, so a `watch` connection can also notice
-//! session termination promptly.
+//! a gap in sequence numbers (reported, not hidden) plus a
+//! [`dropped_events`](EventBus::dropped_events) counter the `watch`
+//! stream surfaces. Readers block on a condvar with a timeout, so a
+//! `watch` connection can also notice session termination promptly.
 
+use crate::relock;
 use mhca_telemetry::{Event, TraceSink};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 struct BusInner {
     next_seq: u64,
     events: VecDeque<(u64, String)>,
+    dropped: u64,
     closed: bool,
 }
 
@@ -39,6 +42,7 @@ impl EventBus {
             inner: Mutex::new(BusInner {
                 next_seq: 0,
                 events: VecDeque::new(),
+                dropped: 0,
                 closed: false,
             }),
             cond: Condvar::new(),
@@ -53,7 +57,7 @@ impl EventBus {
     /// Appends one event line and wakes all readers. No-op on a closed
     /// bus.
     pub fn publish(&self, line: String) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = relock(&self.inner);
         if inner.closed {
             return;
         }
@@ -62,6 +66,7 @@ impl EventBus {
         inner.events.push_back((seq, line));
         while inner.events.len() > self.capacity {
             inner.events.pop_front();
+            inner.dropped += 1;
         }
         drop(inner);
         self.cond.notify_all();
@@ -70,13 +75,20 @@ impl EventBus {
     /// Closes the bus (session reached a terminal state); readers drain
     /// what remains and then observe the closure.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        relock(&self.inner).closed = true;
         self.cond.notify_all();
     }
 
     /// Sequence number the next published event will get.
     pub fn next_seq(&self) -> u64 {
-        self.inner.lock().unwrap().next_seq
+        relock(&self.inner).next_seq
+    }
+
+    /// Events evicted from the ring so far — how far behind the slowest
+    /// possible reader is. Surfaced to `watch` clients so a gap in
+    /// sequence numbers is attributable to backpressure, not a bug.
+    pub fn dropped_events(&self) -> u64 {
+        relock(&self.inner).dropped
     }
 
     /// Reads events with sequence `>= from`, blocking up to `timeout`
@@ -84,7 +96,7 @@ impl EventBus {
     /// bus is closed (a closed bus with an empty result means the
     /// stream is finished).
     pub fn read_from(&self, from: u64, timeout: Duration) -> (Vec<(u64, String)>, bool) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = relock(&self.inner);
         loop {
             let batch: Vec<(u64, String)> = inner
                 .events
@@ -95,7 +107,10 @@ impl EventBus {
             if !batch.is_empty() || inner.closed {
                 return (batch, inner.closed);
             }
-            let (guard, wait) = self.cond.wait_timeout(inner, timeout).unwrap();
+            let (guard, wait) = self
+                .cond
+                .wait_timeout(inner, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
             inner = guard;
             if wait.timed_out() {
                 return (Vec::new(), inner.closed);
@@ -147,11 +162,40 @@ mod tests {
     #[test]
     fn ring_drops_oldest_but_keeps_sequence_numbers() {
         let bus = EventBus::new(2);
+        assert_eq!(bus.dropped_events(), 0);
         for i in 0..5 {
             bus.publish(format!("e{i}"));
         }
         let (batch, _) = bus.read_from(0, Duration::from_millis(1));
         assert_eq!(batch, vec![(3, "e3".to_string()), (4, "e4".to_string())]);
+        assert_eq!(bus.dropped_events(), 3, "evictions are counted");
+    }
+
+    #[test]
+    fn poisoned_bus_keeps_serving() {
+        // A thread panicking while holding the bus lock poisons it; the
+        // bus must recover the guard (state is consistent at every
+        // publish boundary) instead of cascading the panic into every
+        // later reader and writer.
+        let bus = Arc::new(EventBus::new(4));
+        bus.publish("before".into());
+        let poisoner = {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                let _guard = bus.inner.lock().unwrap();
+                panic!("poison the bus lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        bus.publish("after".into());
+        let (batch, _) = bus.read_from(0, Duration::from_millis(1));
+        assert_eq!(
+            batch,
+            vec![(0, "before".to_string()), (1, "after".to_string())]
+        );
+        bus.close();
+        let (_, closed) = bus.read_from(2, Duration::from_millis(1));
+        assert!(closed);
     }
 
     #[test]

@@ -57,6 +57,17 @@ pub mod signals;
 pub mod supervisor;
 
 pub use bus::{BusSink, EventBus};
+
+/// Locks a mutex, recovering the guard when a panicking thread poisoned
+/// it. Every critical section in this crate leaves its state consistent
+/// before any operation that can panic, so the data behind a poisoned
+/// lock is still valid — and one worker's panic (already downgraded to a
+/// session failure by the supervisor's `catch_unwind`) must never
+/// cascade into killing the whole daemon through an `unwrap` on the
+/// next lock.
+pub(crate) fn relock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 pub use executor::{Directive, Executor, JobCtrl, JobOutput, JobPlan, JobProgress};
 pub use protocol::Request;
 pub use server::{serve, Endpoint};

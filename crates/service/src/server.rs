@@ -183,9 +183,14 @@ fn handle_connection<S: Conn>(mut stream: S, supervisor: &Supervisor, stop: &Arc
                 match supervisor.bus(&session) {
                     Err(message) => err_line(&message),
                     Ok(bus) => {
+                        // `dropped_events` counts ring evictions: a
+                        // nonzero value (or a growth between header and
+                        // closed line) tells the client that sequence
+                        // gaps are backpressure, not corruption.
                         let header = ok_line(vec![
                             ("session", Json::Str(session)),
                             ("from", Json::Num(from as f64)),
+                            ("dropped_events", Json::Num(bus.dropped_events() as f64)),
                         ]);
                         if write_line(&mut stream, &header).is_err() {
                             return;
@@ -208,7 +213,10 @@ fn handle_connection<S: Conn>(mut stream: S, supervisor: &Supervisor, stop: &Arc
                                 break;
                             }
                         }
-                        ok_line(vec![("closed", Json::Bool(true))])
+                        ok_line(vec![
+                            ("closed", Json::Bool(true)),
+                            ("dropped_events", Json::Num(bus.dropped_events() as f64)),
+                        ])
                     }
                 }
             }

@@ -26,6 +26,7 @@
 use crate::bus::{BusSink, EventBus};
 use crate::executor::{Directive, Executor, JobCtrl, JobProgress};
 use crate::json::Json;
+use crate::relock;
 use crate::session::{Checkpoint, SeedRecord, SessionInfo, SessionRecord, SessionStatus};
 use mhca_telemetry::{FanoutSink, JsonlSink, Telemetry, TraceSink};
 use std::path::PathBuf;
@@ -35,8 +36,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Events retained per session for `watch` backfill.
-const BUS_CAPACITY: usize = 4096;
+/// Default events retained per session for `watch` backfill; override
+/// with [`Supervisor::with_bus_capacity`] (the `serve --bus-capacity`
+/// flag).
+pub const DEFAULT_BUS_CAPACITY: usize = 4096;
 
 /// How long a `checkpoint` command waits for the worker to reach a
 /// checkpoint-safe boundary. Non-steppable kinds only poll between
@@ -69,7 +72,7 @@ struct SessionEntry {
 
 impl SessionEntry {
     fn persist(&self) {
-        let rec = self.record.lock().unwrap();
+        let rec = relock(&self.record);
         // A failed write surfaces at the next load; the in-memory record
         // stays authoritative for this daemon's lifetime.
         let _ = rec.save(&self.path);
@@ -82,12 +85,12 @@ impl SessionEntry {
     }
 
     fn set_status(&self, status: SessionStatus) {
-        self.record.lock().unwrap().status = status;
+        relock(&self.record).status = status;
     }
 
     fn info(&self) -> SessionInfo {
-        let rec = self.record.lock().unwrap();
-        let progress = *self.progress.lock().unwrap();
+        let rec = relock(&self.record);
+        let progress = *relock(&self.progress);
         SessionInfo {
             id: rec.id.clone(),
             status: rec.status,
@@ -163,7 +166,7 @@ impl WorkerCtrl<'_> {
 
 impl JobCtrl for WorkerCtrl<'_> {
     fn poll(&mut self, progress: JobProgress) -> Directive {
-        *self.entry.progress.lock().unwrap() = progress;
+        *relock(&self.entry.progress) = progress;
         if self.shutdown.load(Ordering::Relaxed) {
             self.stop = Some(StopReason::Shutdown);
             return Directive::CheckpointAndStop;
@@ -212,7 +215,7 @@ impl JobCtrl for WorkerCtrl<'_> {
 
     fn save_checkpoint(&mut self, state: Json) {
         {
-            let mut rec = self.entry.record.lock().unwrap();
+            let mut rec = relock(&self.entry.record);
             rec.checkpoint = Some(Checkpoint {
                 seed: self.seed,
                 state,
@@ -232,6 +235,7 @@ impl JobCtrl for WorkerCtrl<'_> {
 pub struct Supervisor {
     executor: Arc<dyn Executor>,
     state_dir: PathBuf,
+    bus_capacity: usize,
     sessions: Mutex<Vec<Arc<SessionEntry>>>,
     shutdown_flag: Arc<AtomicBool>,
 }
@@ -242,6 +246,18 @@ impl Supervisor {
     /// daemon died come back as `paused` — `resume` restarts them from
     /// their last checkpoint.
     pub fn new(executor: Arc<dyn Executor>, state_dir: PathBuf) -> Result<Supervisor, String> {
+        Supervisor::with_bus_capacity(executor, state_dir, DEFAULT_BUS_CAPACITY)
+    }
+
+    /// As [`new`](Supervisor::new), with each session's event-bus ring
+    /// retaining at most `bus_capacity` events (a slow `watch` client
+    /// then observes a sequence gap plus the `dropped_events` counter
+    /// instead of the daemon buffering without bound).
+    pub fn with_bus_capacity(
+        executor: Arc<dyn Executor>,
+        state_dir: PathBuf,
+        bus_capacity: usize,
+    ) -> Result<Supervisor, String> {
         std::fs::create_dir_all(&state_dir)
             .map_err(|e| format!("cannot create state dir {}: {e}", state_dir.display()))?;
         let mut sessions = Vec::new();
@@ -262,7 +278,7 @@ impl Supervisor {
             let entry = Arc::new(SessionEntry {
                 id: record.id.clone(),
                 path,
-                bus: Arc::new(EventBus::new(BUS_CAPACITY)),
+                bus: Arc::new(EventBus::new(bus_capacity)),
                 record: Mutex::new(record),
                 progress: Mutex::new(JobProgress::default()),
                 ctrl: Mutex::new(None),
@@ -274,15 +290,14 @@ impl Supervisor {
         Ok(Supervisor {
             executor,
             state_dir,
+            bus_capacity,
             sessions: Mutex::new(sessions),
             shutdown_flag: Arc::new(AtomicBool::new(false)),
         })
     }
 
     fn find(&self, id: &str) -> Result<Arc<SessionEntry>, String> {
-        self.sessions
-            .lock()
-            .unwrap()
+        relock(&self.sessions)
             .iter()
             .find(|s| s.id == id)
             .cloned()
@@ -297,7 +312,7 @@ impl Supervisor {
         name: Option<String>,
     ) -> Result<String, String> {
         let plan = self.executor.validate(&scenario)?;
-        let mut sessions = self.sessions.lock().unwrap();
+        let mut sessions = relock(&self.sessions);
         let id = match name {
             Some(name) => {
                 if name.is_empty()
@@ -338,7 +353,7 @@ impl Supervisor {
         let entry = Arc::new(SessionEntry {
             id: id.clone(),
             path: self.state_dir.join(format!("{id}.json")),
-            bus: Arc::new(EventBus::new(BUS_CAPACITY)),
+            bus: Arc::new(EventBus::new(self.bus_capacity)),
             record: Mutex::new(record),
             progress: Mutex::new(JobProgress::default()),
             ctrl: Mutex::new(None),
@@ -354,28 +369,22 @@ impl Supervisor {
     fn spawn_worker(&self, entry: Arc<SessionEntry>) {
         let (tx, rx) = mpsc::channel();
         // Join any finished previous worker before replacing it.
-        if let Some(old) = entry.worker.lock().unwrap().take() {
+        if let Some(old) = relock(&entry.worker).take() {
             let _ = old.join();
         }
-        *entry.ctrl.lock().unwrap() = Some(tx);
+        *relock(&entry.ctrl) = Some(tx);
         let executor = self.executor.clone();
         let shutdown = self.shutdown_flag.clone();
         let entry2 = entry.clone();
         let handle = std::thread::spawn(move || worker_loop(executor, entry2, rx, shutdown));
-        *entry.worker.lock().unwrap() = Some(handle);
+        *relock(&entry.worker) = Some(handle);
     }
 
     /// Status snapshot of one session or the whole roster.
     pub fn status(&self, id: Option<&str>) -> Result<Vec<SessionInfo>, String> {
         match id {
             Some(id) => Ok(vec![self.find(id)?.info()]),
-            None => Ok(self
-                .sessions
-                .lock()
-                .unwrap()
-                .iter()
-                .map(|s| s.info())
-                .collect()),
+            None => Ok(relock(&self.sessions).iter().map(|s| s.info()).collect()),
         }
     }
 
@@ -386,7 +395,7 @@ impl Supervisor {
 
     fn send_ctrl(&self, id: &str, msg: Ctrl) -> Result<(), String> {
         let entry = self.find(id)?;
-        let guard = entry.ctrl.lock().unwrap();
+        let guard = relock(&entry.ctrl);
         let tx = guard
             .as_ref()
             .ok_or_else(|| format!("session {id:?} has no running worker"))?;
@@ -408,7 +417,7 @@ impl Supervisor {
         if self.send_ctrl(id, Ctrl::Resume).is_ok() {
             return Ok(());
         }
-        let status = entry.record.lock().unwrap().status;
+        let status = relock(&entry.record).status;
         if status.is_terminal() {
             return Err(format!("session {id:?} is {}", status.as_str()));
         }
@@ -439,7 +448,7 @@ impl Supervisor {
             return Ok(());
         }
         // No worker (recovered session): mark terminal directly.
-        let status = entry.record.lock().unwrap().status;
+        let status = relock(&entry.record).status;
         if status.is_terminal() {
             return Err(format!("session {id:?} is already {}", status.as_str()));
         }
@@ -455,16 +464,16 @@ impl Supervisor {
     /// disk and resumable by the next daemon.
     pub fn shutdown(&self) {
         self.shutdown_flag.store(true, Ordering::Relaxed);
-        let sessions: Vec<Arc<SessionEntry>> = self.sessions.lock().unwrap().clone();
+        let sessions: Vec<Arc<SessionEntry>> = relock(&self.sessions).clone();
         for entry in &sessions {
             // Wake parked workers; send failures mean the worker already
             // exited.
-            if let Some(tx) = entry.ctrl.lock().unwrap().as_ref() {
+            if let Some(tx) = relock(&entry.ctrl).as_ref() {
                 let _ = tx.send(Ctrl::Shutdown);
             }
         }
         for entry in &sessions {
-            if let Some(handle) = entry.worker.lock().unwrap().take() {
+            if let Some(handle) = relock(&entry.worker).take() {
                 let _ = handle.join();
             }
         }
@@ -484,7 +493,7 @@ fn worker_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     let (scenario, out_dir, remaining) = {
-        let rec = entry.record.lock().unwrap();
+        let rec = relock(&entry.record);
         (
             rec.scenario.clone(),
             rec.out_dir.clone(),
@@ -498,7 +507,7 @@ fn worker_loop(
 
     for seed in remaining {
         let resume_from = {
-            let rec = entry.record.lock().unwrap();
+            let rec = relock(&entry.record);
             rec.checkpoint
                 .clone()
                 .filter(|cp| cp.seed == seed)
@@ -543,14 +552,14 @@ fn worker_loop(
                     return;
                 }
                 {
-                    let mut rec = entry.record.lock().unwrap();
+                    let mut rec = relock(&entry.record);
                     rec.completed.push(SeedRecord {
                         seed,
                         metrics: output.metrics,
                     });
                     rec.checkpoint = None;
                 }
-                *entry.progress.lock().unwrap() = JobProgress::default();
+                *relock(&entry.progress) = JobProgress::default();
                 entry.persist();
                 entry.publish_event("seed_done", vec![("seed", Json::Num(seed as f64))]);
             }
@@ -587,7 +596,7 @@ fn worker_loop(
 
 fn fail(entry: &SessionEntry, message: String) {
     {
-        let mut rec = entry.record.lock().unwrap();
+        let mut rec = relock(&entry.record);
         rec.status = SessionStatus::Failed;
         rec.error = Some(message.clone());
     }

@@ -1,0 +1,261 @@
+//! Malformed-input torture test for the daemon.
+//!
+//! The wire contract under attack: a client feeding the server garbage
+//! — invalid JSON, non-UTF-8 bytes, half a frame, or vanishing mid-read
+//! or mid-watch — may lose *its own* connection (with a wire-visible
+//! error where a line can still be parsed), but must never take down
+//! the supervisor or any other client's session.
+
+use mhca_service::json::Json;
+use mhca_service::{
+    serve, Directive, Endpoint, Executor, JobCtrl, JobOutput, JobPlan, JobProgress, Supervisor,
+};
+use mhca_telemetry::Telemetry;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Executor with two behaviours keyed on the scenario name: `slow`
+/// emits a telemetry event per step for ~40 steps (so a `watch` client
+/// has a live stream to abandon), `panic` panics mid-seed (so the
+/// supervisor's unwind/poison recovery is exercised under load).
+struct TortureExec;
+
+impl Executor for TortureExec {
+    fn validate(&self, scenario: &Json) -> Result<JobPlan, String> {
+        let name = scenario
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("scenario needs a name")?
+            .to_string();
+        Ok(JobPlan {
+            kind: "torture".to_string(),
+            seeds: vec![1],
+            steppable: false,
+            name,
+        })
+    }
+
+    fn run_seed(
+        &self,
+        scenario: &Json,
+        seed: u64,
+        _resume_from: Option<&Json>,
+        telemetry: &Telemetry,
+        ctrl: &mut dyn JobCtrl,
+    ) -> Result<Option<JobOutput>, String> {
+        let name = scenario.get("name").and_then(Json::as_str).unwrap_or("");
+        if name == "panic" {
+            panic!("torture executor panics on purpose");
+        }
+        for step in 0..40u64 {
+            match ctrl.poll(JobProgress::default()) {
+                Directive::Stop | Directive::CheckpointAndStop => return Ok(None),
+                Directive::Checkpoint | Directive::Continue => {}
+            }
+            telemetry.counter("torture.step", step);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(Some(JobOutput {
+            artifact: format!("seed,{seed}\n").into_bytes(),
+            metrics: vec![("steps".to_string(), 40.0)],
+        }))
+    }
+}
+
+fn connect(socket: &Path) -> UnixStream {
+    for _ in 0..200 {
+        if let Ok(c) = UnixStream::connect(socket) {
+            return c;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("daemon did not come up on {}", socket.display());
+}
+
+fn send(conn: &mut UnixStream, line: &str) {
+    conn.write_all(line.as_bytes()).unwrap();
+    conn.write_all(b"\n").unwrap();
+    conn.flush().unwrap();
+}
+
+fn recv(reader: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line.trim_end().to_string()
+}
+
+/// One fresh connection, one request, one response line.
+fn roundtrip(socket: &Path, line: &str) -> String {
+    let mut conn = connect(socket);
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    send(&mut conn, line);
+    recv(&mut reader)
+}
+
+#[test]
+fn daemon_survives_malformed_and_hostile_clients() {
+    let base = std::env::temp_dir().join("mhca_service_torture_test");
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::create_dir_all(&base).unwrap();
+    let socket = base.join("daemon.sock");
+    let supervisor = Arc::new(
+        Supervisor::with_bus_capacity(Arc::new(TortureExec), base.join("state"), 64).unwrap(),
+    );
+    let server = {
+        let supervisor = supervisor.clone();
+        let socket = socket.clone();
+        std::thread::spawn(move || serve(supervisor, Endpoint::Unix(socket)))
+    };
+    // Wait for the listener before the abuse starts.
+    drop(connect(&socket));
+
+    // A long-lived well-behaved control connection; every round of abuse
+    // below must leave it answering.
+    let mut control = connect(&socket);
+    let mut control_reader = BufReader::new(control.try_clone().unwrap());
+
+    // 1. Malformed frames on one connection get wire-visible errors and
+    //    do not wedge that connection for later valid requests.
+    let mut abuser = connect(&socket);
+    let mut abuser_reader = BufReader::new(abuser.try_clone().unwrap());
+    for garbage in [
+        "not json at all",
+        "{\"cmd\":",
+        "{\"cmd\":\"no-such-command\"}",
+        "{\"cmd\":\"watch\"}",
+        "{\"cmd\":\"submit\"}",
+        "[1,2,3]",
+        "\"just a string\"",
+        "{\"cmd\":\"pause\",\"session\":\"nope\"}",
+    ] {
+        send(&mut abuser, garbage);
+        let resp = recv(&mut abuser_reader);
+        assert!(
+            resp.contains("\"ok\":false") && resp.contains("\"error\""),
+            "garbage {garbage:?} must get a wire-visible error, got {resp:?}"
+        );
+    }
+    send(&mut abuser, "{\"cmd\":\"status\"}");
+    assert!(
+        recv(&mut abuser_reader).contains("\"ok\":true"),
+        "connection still usable after malformed frames"
+    );
+
+    // 2. Raw binary (invalid UTF-8) may cost the abuser its connection,
+    //    but nothing else.
+    let mut binary = connect(&socket);
+    binary
+        .write_all(&[0xff, 0xfe, 0x00, 0x80, 0xff, b'\n'])
+        .unwrap();
+    binary.flush().unwrap();
+    drop(binary);
+
+    // 3. Half a frame, then vanish: no newline ever arrives.
+    let mut partial = connect(&socket);
+    partial.write_all(b"{\"cmd\":\"stat").unwrap();
+    partial.flush().unwrap();
+    drop(partial);
+
+    send(&mut control, "{\"cmd\":\"status\"}");
+    assert!(
+        recv(&mut control_reader).contains("\"ok\":true"),
+        "control connection survives binary + partial-frame abuse"
+    );
+
+    // 4. A client that disconnects mid-watch while the session is live:
+    //    the server's next write fails and only that handler exits.
+    let out_slow = base.join("out-slow");
+    let submit = format!(
+        "{{\"cmd\":\"submit\",\"scenario\":{{\"name\":\"slow\"}},\"out_dir\":{}}}",
+        Json::Str(out_slow.display().to_string()).to_string_compact()
+    );
+    send(&mut control, &submit);
+    let resp = recv(&mut control_reader);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let session = resp
+        .split("\"session\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("submit response carries a session id")
+        .to_string();
+
+    let mut watcher = connect(&socket);
+    let mut watcher_reader = BufReader::new(watcher.try_clone().unwrap());
+    send(
+        &mut watcher,
+        &format!("{{\"cmd\":\"watch\",\"session\":\"{session}\"}}"),
+    );
+    let header = recv(&mut watcher_reader);
+    assert!(
+        header.contains("\"ok\":true") && header.contains("\"dropped_events\""),
+        "{header}"
+    );
+    // Read one event so the stream is demonstrably live, then vanish.
+    let _ = recv(&mut watcher_reader);
+    drop(watcher);
+    drop(watcher_reader);
+
+    // 5. An executor panic fails its own session; the daemon, the slow
+    //    session, and the control connection all keep going.
+    let out_panic = base.join("out-panic");
+    let submit = format!(
+        "{{\"cmd\":\"submit\",\"scenario\":{{\"name\":\"panic\"}},\"out_dir\":{}}}",
+        Json::Str(out_panic.display().to_string()).to_string_compact()
+    );
+    send(&mut control, &submit);
+    let resp = recv(&mut control_reader);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let panic_session = resp
+        .split("\"session\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap()
+        .to_string();
+
+    // Both sessions reach their terminal states under a daemon that is
+    // still answering on fresh connections.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let status = roundtrip(&socket, "{\"cmd\":\"status\"}");
+        assert!(status.contains("\"ok\":true"), "{status}");
+        let slow_done = status.contains(&format!("\"id\":\"{session}\""))
+            && status.contains("\"status\":\"done\"");
+        let panic_failed = status.contains(&format!("\"id\":\"{panic_session}\""))
+            && status.contains("\"status\":\"failed\"");
+        if slow_done && panic_failed {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sessions did not settle: {status}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(out_slow.join("seed1.csv").exists(), "slow artifact written");
+
+    // The failed session's watch stream closes with the error visible.
+    let mut post = connect(&socket);
+    let mut post_reader = BufReader::new(post.try_clone().unwrap());
+    send(
+        &mut post,
+        &format!("{{\"cmd\":\"watch\",\"session\":\"{panic_session}\"}}"),
+    );
+    assert!(recv(&mut post_reader).contains("\"ok\":true"));
+    let mut saw_failed = false;
+    loop {
+        let line = recv(&mut post_reader);
+        if line.contains("\"closed\":true") {
+            break;
+        }
+        saw_failed |= line.contains("failed") && line.contains("panicked");
+    }
+    assert!(saw_failed, "panic surfaced as a failed event on the bus");
+
+    send(&mut control, "{\"cmd\":\"shutdown\"}");
+    assert!(recv(&mut control_reader).contains("\"shutdown\":true"));
+    server.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&base).ok();
+}
