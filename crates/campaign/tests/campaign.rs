@@ -1,59 +1,19 @@
 //! End-to-end tests of the campaign orchestration layer: spec expansion,
 //! artifact/manifest layout, resume-after-interrupt semantics, and
 //! parallel-vs-serial aggregate equality.
+//!
+//! The campaign scaffolding (`tmp_dir`, `quiet`, `paper_campaign`,
+//! `observer_zoo_campaign`) lives in `mhca_specgen::support`, shared with
+//! the generated `campaign_worker_parity` contract.
 
 use mhca_campaign::json::{self, Json};
 use mhca_campaign::manifest::{JobStatus, Manifest};
 use mhca_campaign::registry;
 use mhca_campaign::runner::{self, CampaignConfig};
 use mhca_campaign::spec::{expand_jobs, ExperimentKind, ScenarioSpec, SeedRange};
-use mhca_core::experiments::{Fig6Config, Fig7Config, Fig8Config};
+use mhca_specgen::support::{observer_zoo_campaign, paper_campaign, quiet, tmp_dir};
 use std::fs;
 use std::path::PathBuf;
-
-/// Fresh temp directory per test (process-unique + tag-unique).
-fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("mhca-campaign-it-{tag}-{}", std::process::id()));
-    let _ = fs::remove_dir_all(&dir);
-    fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-/// A small but real campaign: the paper's Fig. 6 / Fig. 7 / Fig. 8 and
-/// Table 2 from scaled-down registry-style specs, multi-seed where the
-/// experiment is randomized.
-fn paper_campaign() -> Vec<ScenarioSpec> {
-    vec![
-        ScenarioSpec::new(
-            "fig6",
-            "Fig. 6 (scaled)",
-            ExperimentKind::Fig6(Fig6Config::quick()),
-            SeedRange::new(61, 2),
-        ),
-        ScenarioSpec::new(
-            "fig7",
-            "Fig. 7 (scaled)",
-            ExperimentKind::Fig7(Fig7Config::quick()),
-            SeedRange::new(71, 2),
-        ),
-        ScenarioSpec::new(
-            "fig8",
-            "Fig. 8 (scaled)",
-            ExperimentKind::Fig8(Fig8Config::quick()),
-            SeedRange::new(81, 2),
-        ),
-        ScenarioSpec::new(
-            "table2",
-            "Table II",
-            ExperimentKind::Table2,
-            SeedRange::new(0, 1),
-        ),
-    ]
-}
-
-fn quiet(cfg: CampaignConfig) -> CampaignConfig {
-    CampaignConfig { quiet: true, ..cfg }
-}
 
 #[test]
 fn campaign_reproduces_paper_figures_with_aggregates_and_artifacts() {
@@ -478,53 +438,6 @@ fn incremental_decide_scans_less_and_leaves_throughput_byte_identical() {
         let ms = m.get("decide-timing:decide_ms_total").unwrap();
         assert!(ms.is_finite() && ms >= 0.0);
     }
-}
-
-/// A scaled-down drift scenario shaped like the registry's `drift-regret`
-/// plus a capture/sensing scenario — the observer-zoo workload.
-fn observer_zoo_campaign() -> Vec<ScenarioSpec> {
-    use mhca_channels::ChannelModelSpec;
-    use mhca_core::{ObserverKind, PolicyRunConfig};
-    vec![
-        ScenarioSpec::new(
-            "drift-mini",
-            "windowed regret under drift (scaled)",
-            ExperimentKind::PolicyRun(PolicyRunConfig {
-                channel: ChannelModelSpec::Drifting {
-                    shift_frac: 0.5,
-                    breakpoints: vec![100, 200],
-                    ramp: 0,
-                },
-                horizon: 300,
-                ..PolicyRunConfig::quick()
-            }),
-            SeedRange::new(0, 2),
-        )
-        .with_observers(vec![
-            ObserverKind::WindowedRegret { window: 50 },
-            ObserverKind::CommTotals,
-        ]),
-        ScenarioSpec::new(
-            "capture-mini",
-            "capture/sensing tallies (scaled)",
-            ExperimentKind::PolicyRun(PolicyRunConfig {
-                channel: ChannelModelSpec::AdversarialSwitching {
-                    swing_frac: 1.0,
-                    dwell: 20,
-                },
-                horizon: 120,
-                ..PolicyRunConfig::quick()
-            }),
-            SeedRange::new(0, 2),
-        )
-        .with_observers(vec![
-            ObserverKind::CaptureStats,
-            ObserverKind::SensingCost {
-                probe_cost: 1.0,
-                report_cost: 0.1,
-            },
-        ]),
-    ]
 }
 
 #[test]

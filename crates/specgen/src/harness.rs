@@ -1,0 +1,292 @@
+//! Contract driver: generate → check → shrink → report.
+//!
+//! [`run_contract`] runs one [`Contract`] over `cases` generated
+//! scenarios. Every case derives its RNG deterministically from the
+//! contract name and case index, so a failure is reproducible from
+//! `(contract, case)` alone. On failure the recorded choice sequence is
+//! minimized with [`proptest::shrink::minimize`], the minimal sequence is
+//! replayed to recover the smallest failing [`ScenarioSpec`], and the
+//! whole report — spec JSON, message, choice vector — comes back as a
+//! [`HarnessFailure`].
+//!
+//! [`run_named`] is the `#[test]`-facing wrapper (the [`crate::harness!`]
+//! macro expands to it): it additionally writes the report to
+//! `target/specgen/<contract>.counterexample.txt` so CI can upload it as
+//! an artifact, then panics with replay instructions.
+
+use crate::contracts::{self, Contract};
+use mhca_campaign::ScenarioSpec;
+use proptest::strategy::{BoxedStrategy, Strategy};
+use proptest::{shrink, TestRng};
+use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// A contract violation, fully shrunk and replayable.
+#[derive(Debug, Clone)]
+pub struct HarnessFailure {
+    /// Contract that failed.
+    pub contract: &'static str,
+    /// Case index whose RNG first produced a failing spec.
+    pub case: u32,
+    /// Check error (or panic payload) on the minimal spec.
+    pub message: String,
+    /// Pretty JSON of the shrunk minimal failing scenario.
+    pub spec: String,
+    /// Choice sequence that regenerates the minimal spec via
+    /// [`TestRng::from_choices`].
+    pub choices: Vec<u64>,
+}
+
+impl HarnessFailure {
+    /// The human-facing report (also the counterexample artifact body).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "contract `{}` violated (case {})",
+            self.contract, self.case
+        );
+        let _ = writeln!(out, "\nminimal failing scenario:\n{}", self.spec);
+        let _ = writeln!(out, "\nfailure:\n{}", self.message);
+        let _ = writeln!(
+            out,
+            "\nreplay deterministically:\n  mhca_specgen::replay_choices(\"{}\", &{:?})",
+            self.contract, self.choices
+        );
+        let _ = writeln!(
+            out,
+            "or re-run just the originating case:\n  mhca_specgen::replay_case(\"{}\", {})",
+            self.contract, self.case
+        );
+        out
+    }
+}
+
+/// Case budget for a contract: the `MHCA_SPECGEN_CASES` environment
+/// variable when set (global override, used by CI), else the contract's
+/// own default.
+pub fn cases_for(contract: &Contract) -> u32 {
+    std::env::var("MHCA_SPECGEN_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(contract.default_cases)
+}
+
+/// Generates one spec from `rng` and applies the check, catching panics.
+/// Returns the pretty spec JSON and the failure message on violation.
+fn eval_once(
+    contract: &Contract,
+    strat: &BoxedStrategy<ScenarioSpec>,
+    rng: &mut TestRng,
+) -> Result<(), (String, String)> {
+    let spec = match panic::catch_unwind(AssertUnwindSafe(|| strat.generate(rng))) {
+        Ok(spec) => spec,
+        // A generator panic (e.g. a degenerate choice replay hitting a
+        // constructor precondition) is not a contract violation; treat
+        // the sequence as passing so the shrinker avoids it.
+        Err(_) => return Ok(()),
+    };
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| (contract.check)(&spec)));
+    let message = match outcome {
+        Ok(Ok(())) => return Ok(()),
+        Ok(Err(msg)) => msg,
+        Err(payload) => payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "check panicked with a non-string payload".to_string()),
+    };
+    Err((spec.to_json().to_string_pretty(), message))
+}
+
+/// Runs `cases` generated specs through the contract. The first failure
+/// is shrunk to a minimal choice sequence and returned; `Ok` means every
+/// case passed.
+pub fn run_contract(contract: &Contract, cases: u32) -> Result<(), HarnessFailure> {
+    let strat = (contract.strategy)(&contract.knobs);
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(contract.name, case);
+        if eval_once(contract, &strat, &mut rng).is_ok() {
+            continue;
+        }
+        let original = rng.choices().to_vec();
+
+        // Shrink quietly: each probe replays the (possibly panicking)
+        // check, and the default panic hook would spam one backtrace per
+        // probe.
+        let saved_hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let minimal = shrink::minimize(
+            original,
+            &mut |choices| {
+                let mut replay = TestRng::from_choices(choices.to_vec());
+                eval_once(contract, &strat, &mut replay).is_err()
+            },
+            2048,
+        );
+        panic::set_hook(saved_hook);
+
+        let mut replay = TestRng::from_choices(minimal.clone());
+        let (spec, message) = eval_once(contract, &strat, &mut replay)
+            .expect_err("minimize returned a passing choice sequence");
+        return Err(HarnessFailure {
+            contract: contract.name,
+            case,
+            message,
+            spec,
+            choices: minimal,
+        });
+    }
+    Ok(())
+}
+
+/// Looks a contract up by name in the inventory (`#[test]` entry point —
+/// the [`crate::harness!`] macro expands to this). On violation, writes
+/// the report to `target/specgen/<name>.counterexample.txt` and panics
+/// with the full report.
+pub fn run_named(name: &str) {
+    let contract = contracts::all()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("no contract named `{name}` in the inventory"));
+    let cases = cases_for(&contract);
+    if let Err(failure) = run_contract(&contract, cases) {
+        let report = failure.report();
+        if let Some(path) = counterexample_path(name) {
+            let _ = std::fs::write(&path, &report);
+            eprintln!("counterexample written to {}", path.display());
+        }
+        panic!("{report}");
+    }
+}
+
+/// Re-runs one `(contract, case)` pair — the replay handle printed in
+/// failure reports. Panics (with the report) iff the case still fails.
+pub fn replay_case(name: &str, case: u32) {
+    let contract = find(name);
+    let strat = (contract.strategy)(&contract.knobs);
+    let mut rng = TestRng::for_case(contract.name, case);
+    if let Err((spec, message)) = eval_once(&contract, &strat, &mut rng) {
+        panic!("contract `{name}` case {case} still fails:\n{spec}\n{message}");
+    }
+}
+
+/// Replays an explicit choice sequence — the other replay handle printed
+/// in failure reports. Panics (with the report) iff the sequence still
+/// fails.
+pub fn replay_choices(name: &str, choices: &[u64]) {
+    let contract = find(name);
+    let strat = (contract.strategy)(&contract.knobs);
+    let mut rng = TestRng::from_choices(choices.to_vec());
+    if let Err((spec, message)) = eval_once(&contract, &strat, &mut rng) {
+        panic!("contract `{name}` still fails on {choices:?}:\n{spec}\n{message}");
+    }
+}
+
+fn find(name: &str) -> Contract {
+    let tampered = contracts::tampered_decide_parity();
+    if tampered.name == name {
+        return tampered;
+    }
+    contracts::all()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("no contract named `{name}`"))
+}
+
+/// `target/specgen/<name>.counterexample.txt` under the workspace root
+/// (found by walking up from the current directory to `Cargo.lock`).
+fn counterexample_path(name: &str) -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            let out = dir.join("target").join("specgen");
+            std::fs::create_dir_all(&out).ok()?;
+            return Some(out.join(format!("{name}.counterexample.txt")));
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Derives one `#[test]` per named contract, each calling
+/// [`harness::run_named`](run_named):
+///
+/// ```ignore
+/// mhca_specgen::harness![spec_json_roundtrip, decide_parity];
+/// ```
+#[macro_export]
+macro_rules! harness {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                $crate::harness::run_named(stringify!($name));
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance-criteria meta-test: a seeded contract violation
+    /// (decide parity with a perturbed reference) must come back as a
+    /// shrunk minimal scenario plus a deterministically replayable
+    /// choice sequence.
+    #[test]
+    fn tampered_contract_yields_shrunk_replayable_counterexample() {
+        let contract = contracts::tampered_decide_parity();
+        let failure = run_contract(&contract, 4).expect_err("tampered contract must fail");
+        assert_eq!(failure.contract, "decide_parity_tampered");
+        assert_eq!(failure.case, 0, "the very first case must already fail");
+        assert!(
+            failure.message.contains("perturbed"),
+            "unexpected failure message: {}",
+            failure.message
+        );
+        assert!(
+            failure.spec.contains("policy-run"),
+            "shrunk spec must still be a policy-run scenario:\n{}",
+            failure.spec
+        );
+
+        // Deterministic replay: an independent second run produces the
+        // identical minimal spec and choice sequence…
+        let again = run_contract(&contract, 4).expect_err("second run must fail too");
+        assert_eq!(failure.choices, again.choices);
+        assert_eq!(failure.spec, again.spec);
+
+        // …and the published choices regenerate exactly that spec.
+        let strat = (contract.strategy)(&contract.knobs);
+        let mut replay = proptest::TestRng::from_choices(failure.choices.clone());
+        let (spec, _msg) = eval_once(&contract, &strat, &mut replay).expect_err("replay must fail");
+        assert_eq!(spec, failure.spec);
+
+        // The shrunk spec is *minimal*: since the tampered check fails on
+        // every spec, the minimizer must reach the all-trivial fixpoint —
+        // the zero-choice scenario.
+        let mut zero = proptest::TestRng::from_choices(vec![]);
+        let (zero_spec, _) =
+            eval_once(&contract, &strat, &mut zero).expect_err("zero spec must fail");
+        assert_eq!(
+            failure.spec, zero_spec,
+            "shrinker should reach the minimal zero-choice scenario"
+        );
+    }
+
+    #[test]
+    fn real_contracts_resolve_and_replay_helpers_accept_passing_cases() {
+        // Inventory lookup path.
+        for contract in contracts::all() {
+            assert!(cases_for(&contract) > 0);
+        }
+        // A passing case replays without panicking.
+        replay_case("spec_json_roundtrip", 0);
+        replay_choices("spec_json_roundtrip", &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Spec-space generators and auto-derived property harnesses.
+//!
+//! The workspace's strongest guarantees — decide incremental == rescan
+//! parity, ingest show → parse round-trips, serial == bounded == parallel
+//! campaign artifacts, checkpoint/resume bit-exactness, traffic Lindley
+//! conservation — were historically hand-enumerated batteries over a
+//! couple dozen registry points, while the spec surface
+//! (`TopologySpec × ChannelModelSpec × PolicySpec × LossSpec ×
+//! TrafficSpec × observers`) is combinatorially larger. This crate closes
+//! the gap the way autoharness tools do: derive the harnesses from the
+//! spec types instead of enumerating them.
+//!
+//! Three layers:
+//!
+//! - [`gen`] — an [`ArbSpec`] implementation per spec type, composing
+//!   into a full-[`ScenarioSpec`](mhca_campaign::ScenarioSpec) generator
+//!   whose output always lies inside the ingest validity envelope *and*
+//!   the engines' safe runtime envelope ([`SpecKnobs`] bounds sizes and
+//!   budgets).
+//! - [`contracts`] — one [`Contract`] per spec-taking
+//!   entry point: `scenario_from_json`/`to_json` round-trip,
+//!   `Network::from_spec`, `run_experiment` determinism, `decide_into` vs
+//!   `decide_into_rescan`, serial vs bounded vs parallel campaign
+//!   artifacts, `PolicyRunner` snapshot/restore, service checkpoint/resume
+//!   byte-parity under traffic, and queue Lindley conservation.
+//! - [`mod@harness`] — the driver: runs a contract over generated specs and,
+//!   on failure, shrinks the spec via the vendored proptest
+//!   choice-sequence minimizer, reports the minimal failing
+//!   `ScenarioSpec` plus a replayable choice vector, and writes both to
+//!   `target/specgen/<contract>.counterexample.txt` for CI artifact
+//!   upload. The [`harness!`] macro auto-derives one `#[test]` per
+//!   contract.
+//!
+//! The [`support`] module is the shared home for the spec-building test
+//! helpers that were previously duplicated across the parity batteries.
+//!
+//! Case budgets default to each contract's own
+//! [`default_cases`](contracts::Contract::default_cases) and can be
+//! overridden globally with the `MHCA_SPECGEN_CASES` environment
+//! variable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contracts;
+pub mod gen;
+pub mod harness;
+pub mod support;
+
+pub use contracts::Contract;
+pub use gen::{arb_deterministic_observers, arb_traffic_spec, ArbSpec, SpecKnobs};
+pub use harness::{run_contract, run_named, HarnessFailure};

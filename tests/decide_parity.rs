@@ -14,106 +14,24 @@
 //! Under message loss `decide_into` falls back to the reference path by
 //! design; those combinations pin the fallback to consume the loss RNG
 //! stream exactly as before, so lossy campaigns reproduce bit-for-bit.
+//!
+//! The topology zoo and the parity-sequence assertion live in
+//! `mhca_specgen::support`, shared with `tests/partition_parity.rs` and
+//! the generated `decide_parity` contract
+//! (`tests/specgen_contracts.rs`), which extends this pinned grid with
+//! generated spec-space coverage.
 
 use mhca::core::{DecisionOutcome, DistributedPtas, DistributedPtasConfig, LocalSolver};
-use mhca::graph::{topology, ExtendedConflictGraph, Graph};
-use rand::{rngs::StdRng, Rng, SeedableRng};
-
-/// One decision sequence on a fresh incremental/reference engine pair;
-/// returns `(decisions compared, incremental scans, reference scans)`.
-fn assert_parity_sequence(
-    h: &ExtendedConflictGraph,
-    cfg: DistributedPtasConfig,
-    weight_seed: u64,
-    decisions: usize,
-    label: &str,
-) -> (usize, u64, u64) {
-    let mut incremental = DistributedPtas::new(h, cfg);
-    let mut reference = DistributedPtas::new(h, cfg);
-    let mut got = DecisionOutcome::default();
-    let mut expect = DecisionOutcome::default();
-    let mut rng = StdRng::seed_from_u64(weight_seed);
-    let (mut inc_total, mut ref_total) = (0u64, 0u64);
-    for step in 0..decisions {
-        let w: Vec<f64> = (0..h.n_vertices())
-            .map(|_| rng.gen_range(0.05..1.0))
-            .collect();
-        incremental.decide_into(&w, &mut got);
-        reference.decide_into_rescan(&w, &mut expect);
-        assert_eq!(got, expect, "{label}, step {step}");
-        // The incremental path must never do more ball scans than the
-        // reference (a per-round tie is possible — every surviving
-        // candidate's blocker may fall — so the strictly-fewer claim is
-        // asserted on the grid aggregate by the callers).
-        let (inc, re) = (
-            incremental.scan_stats().candidates_scanned,
-            reference.scan_stats().candidates_scanned,
-        );
-        assert!(inc <= re, "{label}, step {step}: scanned {inc} > {re}");
-        inc_total += inc;
-        ref_total += re;
-    }
-    (decisions, inc_total, ref_total)
-}
-
-/// A topology family: name plus a builder parameterized by instance seed.
-type TopologyFamily = (&'static str, Box<dyn Fn(u64) -> Graph>);
-
-/// The topology grid.
-fn topologies() -> Vec<TopologyFamily> {
-    vec![
-        (
-            "unit-disk-sparse",
-            Box::new(|seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                mhca::graph::unit_disk::random_with_average_degree(28, 3.0, &mut rng).0
-            }),
-        ),
-        (
-            "unit-disk-dense",
-            Box::new(|seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                mhca::graph::unit_disk::random_with_average_degree(24, 6.0, &mut rng).0
-            }),
-        ),
-        (
-            "line",
-            Box::new(|seed| topology::line(16 + (seed % 9) as usize)),
-        ),
-        (
-            "ring",
-            Box::new(|seed| topology::ring(12 + (seed % 7) as usize)),
-        ),
-        (
-            "grid",
-            Box::new(|seed| topology::grid(3 + (seed % 3) as usize, 5)),
-        ),
-        (
-            "sparse-components",
-            Box::new(|seed| {
-                // Disconnected components with a few cross edges.
-                let n = 20;
-                let mut rng = StdRng::seed_from_u64(seed);
-                let mut b = Graph::builder(n);
-                for _ in 0..n {
-                    let u = rng.gen_range(0..n);
-                    let v = rng.gen_range(0..n);
-                    if u != v {
-                        b.add_edge(u, v);
-                    }
-                }
-                b.build()
-            }),
-        ),
-    ]
-}
+use mhca::graph::{topology, ExtendedConflictGraph};
+use mhca_specgen::support::{assert_parity_sequence, topology_zoo};
+use rand::{rngs::StdRng, SeedableRng};
 
 #[test]
 fn decide_parity_grid_lossless_and_lossy() {
     let mut combinations = 0usize;
     let mut compared = 0usize;
     let (mut inc_scans, mut ref_scans) = (0u64, 0u64);
-    for (name, build) in topologies() {
+    for (name, build) in topology_zoo() {
         for instance in 0..5u64 {
             let g = build(900 + instance);
             for &m in &[1usize, 3] {

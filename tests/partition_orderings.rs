@@ -1,0 +1,213 @@
+//! Adversarial vertex orderings fed to [`Partition`].
+//!
+//! `Partition::stripes` cuts the *index* range into contiguous cores, so
+//! its behaviour under relabeling splits in two:
+//!
+//! - **Correctness is ordering-independent.** Cores cover the range
+//!   disjointly, every core vertex's `radius`-ball stays inside
+//!   core ∪ halo, and the tiled decide stays bit-identical to the serial
+//!   engine — for *any* permutation of the vertex ids. The generated
+//!   relabelings below pin all three.
+//! - **Halo width is not.** The documented honesty caveat (see the
+//!   `partition` module docs): index-local orderings get thin halos,
+//!   adversarial orderings inflate `halo_entries` toward Θ(n · tiles)
+//!   while the shared-memory sweeps stay balanced. The last two tests
+//!   make the caveat quantitative — a pinned thin bound for the
+//!   identity-labeled line, and a demonstration that a single generated
+//!   shuffle blows through that bound.
+
+use mhca::core::DistributedPtasConfig;
+use mhca::graph::{topology, ExtendedConflictGraph, Graph, Partition};
+use mhca_specgen::support::assert_tiled_parity_sequence;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Seeded Fisher–Yates permutation of `0..n`.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        p.swap(i, rng.gen_range(0..=i));
+    }
+    p
+}
+
+/// The graph with every vertex `v` renamed to `relabel[v]`.
+fn apply_relabeling(g: &Graph, relabel: &[usize]) -> Graph {
+    let mut b = Graph::builder(g.n());
+    for u in 0..g.n() {
+        for &w in g.neighbors(u) {
+            if u < w {
+                b.add_edge(relabel[u], relabel[w]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The base topologies the relabelings act on: the index-local families
+/// whose halos are thin under identity labels.
+fn base_graph(which: usize, seed: u64) -> Graph {
+    match which % 3 {
+        0 => topology::line(24 + (seed % 10) as usize),
+        1 => topology::grid(4, 5 + (seed % 3) as usize),
+        _ => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            mhca::graph::unit_disk::random_with_average_degree(24, 3.5, &mut rng).0
+        }
+    }
+}
+
+/// The hop-distance oracle for one tile: the halo must be exactly the
+/// out-of-core vertices within `radius` hops of the core.
+fn check_halos_exact(g: &Graph, p: &Partition) {
+    for t in 0..p.tile_count() {
+        let core = p.core(t);
+        let mut expect: Vec<u32> = Vec::new();
+        for v in 0..g.n() {
+            if core.contains(&v) {
+                continue;
+            }
+            let near = core
+                .clone()
+                .any(|c| g.hop_distance(c, v).is_some_and(|d| d <= p.radius()));
+            if near {
+                expect.push(v as u32);
+            }
+        }
+        assert_eq!(p.halo(t), expect.as_slice(), "tile {t}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural invariants hold for any generated relabeling: cores
+    /// disjointly cover the range, halos match the hop-distance oracle,
+    /// and every core ball stays inside core ∪ halo.
+    #[test]
+    fn partition_invariants_survive_generated_relabelings(
+        ((which, graph_seed), (shuffle_seed, tiles), radius) in
+            ((0usize..3, 0u64..10_000), (0u64..10_000, 2usize..8), 1usize..4),
+    ) {
+        let g = apply_relabeling(
+            &base_graph(which, graph_seed),
+            &permutation(base_graph(which, graph_seed).n(), shuffle_seed),
+        );
+        let p = Partition::stripes(&g, tiles, radius);
+
+        // Disjoint contiguous cover.
+        let mut covered = 0usize;
+        for t in 0..p.tile_count() {
+            let core = p.core(t);
+            prop_assert!(!core.is_empty());
+            prop_assert_eq!(core.start, covered);
+            covered = core.end;
+        }
+        prop_assert_eq!(covered, g.n());
+
+        check_halos_exact(&g, &p);
+
+        // Ball coverage — the property the tiled decide relies on.
+        for t in 0..p.tile_count() {
+            let core = p.core(t);
+            let halo = p.halo(t);
+            for v in core.clone() {
+                for u in g.r_hop_neighborhood(v, radius) {
+                    prop_assert!(
+                        core.contains(&u) || halo.binary_search(&(u as u32)).is_ok(),
+                        "tile {}: ball({}) member {} escapes core ∪ halo", t, v, u
+                    );
+                }
+            }
+        }
+    }
+
+    /// Decide-phase parity is ordering-independent: the tiled engine on a
+    /// relabeled graph still matches the serial and rescan engines
+    /// bit-for-bit, however wide the relabeling made the halos.
+    #[test]
+    fn tiled_decide_parity_survives_generated_relabelings(
+        ((which, graph_seed), (shuffle_seed, partitions), r) in
+            ((0usize..3, 0u64..10_000), (0u64..10_000, 2usize..7), 1usize..3),
+    ) {
+        let base = base_graph(which, graph_seed);
+        let g = apply_relabeling(&base, &permutation(base.n(), shuffle_seed));
+        let h = ExtendedConflictGraph::new(&g, 2);
+        let cfg = DistributedPtasConfig::default()
+            .with_r(r)
+            .with_max_minirounds(None);
+        assert_tiled_parity_sequence(
+            &h, cfg, partitions, 0, shuffle_seed, 2, "relabeled instance",
+        );
+    }
+}
+
+#[test]
+fn identity_labeled_line_halos_stay_within_the_thin_bound() {
+    // The bound the stripe tiling is designed around: on an identity-
+    // labeled line every tile boundary contributes at most `radius`
+    // vertices to each side, so halo_entries ≤ 2 · radius · (tiles − 1).
+    for n in [40usize, 60, 90] {
+        let g = topology::line(n);
+        for tiles in [2usize, 4, 6] {
+            for radius in [1usize, 2, 3] {
+                let p = Partition::stripes(&g, tiles, radius);
+                let bound = 2 * radius * (tiles - 1);
+                assert!(
+                    p.halo_entries() <= bound,
+                    "line n={n} tiles={tiles} radius={radius}: \
+                     halo_entries {} > thin bound {bound}",
+                    p.halo_entries()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn a_generated_relabeling_inflates_line_halos_past_the_thin_bound() {
+    // The degradation half of the caveat, pinned: one seeded shuffle of a
+    // 60-vertex line pushes halo_entries to several times the identity
+    // bound. If stripe construction ever starts re-sorting indices for
+    // locality, this assertion flips and the caveat can be retired.
+    let n = 60;
+    let (tiles, radius) = (4usize, 2usize);
+    let identity_bound = 2 * radius * (tiles - 1);
+    let g = apply_relabeling(&topology::line(n), &permutation(n, 9));
+    let p = Partition::stripes(&g, tiles, radius);
+    assert!(
+        p.halo_entries() > 2 * identity_bound,
+        "expected an adversarial shuffle to inflate halos well past the \
+         identity bound {identity_bound}, got {}",
+        p.halo_entries()
+    );
+    // Degradation is confined to halo width: the cores stay balanced.
+    for t in 0..p.tile_count() {
+        let core = p.core(t);
+        assert!(core.len() >= n / (2 * tiles), "tile {t} core starved");
+    }
+}
+
+/// The aspirational bound the caveat leaves open: a locality-restoring
+/// index order (e.g. BFS renumbering before striping) would keep relabeled
+/// lines within a constant factor of the identity bound. `Partition`
+/// deliberately does not re-sort today — stripes must match the caller's
+/// state-array layout — so this documents the target rather than gating
+/// CI. Run with `cargo test -- --ignored` to measure how far off it is.
+#[test]
+#[ignore = "documents the halo bound a locality-restoring renumbering would achieve; \
+            stripe tiling intentionally preserves caller index order (see partition \
+            module docs)"]
+fn relabeled_line_halos_would_be_thin_under_locality_restoring_renumbering() {
+    let n = 60;
+    let (tiles, radius) = (4usize, 2usize);
+    let g = apply_relabeling(&topology::line(n), &permutation(n, 9));
+    let p = Partition::stripes(&g, tiles, radius);
+    let bound = 4 * radius * (tiles - 1);
+    assert!(
+        p.halo_entries() <= bound,
+        "halo_entries {} exceeds the locality-restored target {bound}",
+        p.halo_entries()
+    );
+}

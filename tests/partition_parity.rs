@@ -13,107 +13,18 @@
 //! Sequences run on persistent engines so cross-decision cache reuse
 //! (stale blockers, epoch wraparound, pending-list reuse) is exercised
 //! under tiling, not just the first call.
+//!
+//! The topology zoo and the tiled-parity assertion live in
+//! `mhca_specgen::support`, shared with `tests/decide_parity.rs` and the
+//! generated `partition_parity` contract (`tests/specgen_contracts.rs`).
+//! Adversarial vertex *relabelings* of these same families are pinned
+//! separately in `tests/partition_orderings.rs`.
 
 use mhca::core::{DecisionOutcome, DistributedPtas, DistributedPtasConfig};
 use mhca::graph::{topology, ExtendedConflictGraph, Graph};
+use mhca_specgen::support::{assert_tiled_parity_sequence, topology_zoo};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-
-/// Runs `decisions` fresh-weight decisions on one persistent
-/// serial/tiled/rescan engine triple, asserting outcome and scan-stat
-/// equality at every step.
-fn assert_tiled_parity_sequence(
-    h: &ExtendedConflictGraph,
-    base: DistributedPtasConfig,
-    partitions: usize,
-    threads: usize,
-    weight_seed: u64,
-    decisions: usize,
-    label: &str,
-) {
-    let mut serial = DistributedPtas::new(h, base);
-    let mut tiled = DistributedPtas::new(h, base.with_partitions(partitions).with_threads(threads));
-    let mut oracle = DistributedPtas::new(h, base);
-    let mut expect = DecisionOutcome::default();
-    let mut got = DecisionOutcome::default();
-    let mut truth = DecisionOutcome::default();
-    let mut rng = StdRng::seed_from_u64(weight_seed);
-    for step in 0..decisions {
-        let w: Vec<f64> = (0..h.n_vertices())
-            .map(|_| rng.gen_range(0.05..1.0))
-            .collect();
-        serial.decide_into(&w, &mut expect);
-        tiled.decide_into(&w, &mut got);
-        oracle.decide_into_rescan(&w, &mut truth);
-        assert_eq!(
-            got, expect,
-            "{label} p={partitions} t={threads}, step {step}: tiled != serial"
-        );
-        assert_eq!(
-            got, truth,
-            "{label} p={partitions} t={threads}, step {step}: tiled != rescan oracle"
-        );
-        assert_eq!(
-            tiled.scan_stats(),
-            serial.scan_stats(),
-            "{label} p={partitions} t={threads}, step {step}: scan stats diverged"
-        );
-        // Explicit spot checks on the fields most exposed to merge-order
-        // bugs, so a future PartialEq derive change cannot silently weaken
-        // this battery.
-        assert_eq!(got.leaders_flat, expect.leaders_flat, "{label} step {step}");
-        assert_eq!(got.counters, expect.counters, "{label} step {step}");
-        assert_eq!(
-            got.fallback_floods, expect.fallback_floods,
-            "{label} step {step}"
-        );
-    }
-}
-
-/// A topology family: name plus a builder parameterized by instance seed.
-type TopologyFamily = (&'static str, Box<dyn Fn(u64) -> Graph>);
-
-/// The topology grid — same families as `decide_parity.rs`, so a tiling
-/// bug shows up against the exact instances the incremental battery pins.
-fn topologies() -> Vec<TopologyFamily> {
-    vec![
-        (
-            "unit-disk",
-            Box::new(|seed| {
-                let mut rng = StdRng::seed_from_u64(seed);
-                mhca::graph::unit_disk::random_with_average_degree(26, 4.5, &mut rng).0
-            }),
-        ),
-        (
-            "line",
-            Box::new(|seed| topology::line(15 + (seed % 9) as usize)),
-        ),
-        (
-            "ring",
-            Box::new(|seed| topology::ring(12 + (seed % 7) as usize)),
-        ),
-        (
-            "grid",
-            Box::new(|seed| topology::grid(3 + (seed % 3) as usize, 5)),
-        ),
-        (
-            "sparse-components",
-            Box::new(|seed| {
-                let n = 20;
-                let mut rng = StdRng::seed_from_u64(seed);
-                let mut b = Graph::builder(n);
-                for _ in 0..n {
-                    let u = rng.gen_range(0..n);
-                    let v = rng.gen_range(0..n);
-                    if u != v {
-                        b.add_edge(u, v);
-                    }
-                }
-                b.build()
-            }),
-        ),
-    ]
-}
 
 #[test]
 fn partition_parity_grid() {
@@ -121,7 +32,7 @@ fn partition_parity_grid() {
     // 3 (uneven stripes), 8 (more tiles than some instances have
     // boundary-free vertices — tiny cores, giant halos).
     let mut combinations = 0usize;
-    for (name, build) in topologies() {
+    for (name, build) in topology_zoo() {
         for instance in 0..3u64 {
             let g = build(400 + instance);
             for &m in &[1usize, 3] {

@@ -1,0 +1,48 @@
+//! The generated property-harness battery: one auto-derived `#[test]`
+//! per spec-taking entry point, over `mhca_specgen`'s contract inventory.
+//!
+//! Each test generates scenarios from the full spec space, checks the
+//! contract, and — on violation — shrinks to a minimal failing
+//! `ScenarioSpec`, prints a replayable choice vector, and writes the
+//! report to `target/specgen/<contract>.counterexample.txt`.
+//!
+//! Case budgets are per-contract defaults; override globally with
+//! `MHCA_SPECGEN_CASES=<n>` (CI pins this for reproducible runtimes).
+//! See `docs/TESTING.md` for the contract inventory and replay workflow.
+
+mhca_specgen::harness![
+    spec_json_roundtrip,
+    network_from_spec,
+    run_experiment_deterministic,
+    decide_parity,
+    partition_parity,
+    campaign_worker_parity,
+    policy_runner_snapshot,
+    traffic_lindley,
+    traffic_service_resume,
+];
+
+/// The battery covers the entire inventory: a contract added to
+/// `contracts::all()` without a line in the `harness!` list above fails
+/// here instead of silently going untested.
+#[test]
+fn battery_covers_every_contract_in_the_inventory() {
+    let listed = [
+        "spec_json_roundtrip",
+        "network_from_spec",
+        "run_experiment_deterministic",
+        "decide_parity",
+        "partition_parity",
+        "campaign_worker_parity",
+        "policy_runner_snapshot",
+        "traffic_lindley",
+        "traffic_service_resume",
+    ];
+    for contract in mhca_specgen::contracts::all() {
+        assert!(
+            listed.contains(&contract.name),
+            "contract `{}` is missing from the harness! list in tests/specgen_contracts.rs",
+            contract.name
+        );
+    }
+}

@@ -10,9 +10,13 @@
 //!   `pattern in strategy` arguments) plus `prop_assert!`/`prop_assert_eq!`.
 //!
 //! Differences from upstream: cases are generated from a deterministic
-//! per-test seed (derived from the test name), failures are reported by
-//! panicking with the generated inputs' `Debug` rendering, and there is
-//! **no shrinking** — a failing case prints exactly the inputs that broke.
+//! per-test seed (derived from the test name), and failures are reported
+//! by panicking with the generated inputs' `Debug` rendering. Shrinking is
+//! **choice-sequence based** (the Hypothesis design rather than upstream's
+//! value-tree design): every `u64` the RNG hands a strategy is recorded,
+//! a failing case's recording is minimized by [`shrink::minimize`] under
+//! "the property still fails", and the minimized sequence replays through
+//! [`TestRng::from_choices`] to regenerate the shrunk inputs exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,9 +24,23 @@
 use rand::{rngs::StdRng, RngCore, SeedableRng};
 
 /// Deterministic per-test random source driving strategy generation.
+///
+/// Every `u64` drawn through this source is recorded (see
+/// [`TestRng::choices`]); a recording replayed via
+/// [`TestRng::from_choices`] regenerates the identical values, and a
+/// replay that runs past the end of its choice list yields zeros — which
+/// every built-in strategy maps to its minimal value (range start,
+/// shortest collection, first `Union` option). Choice-sequence shrinking
+/// rests on both properties.
 #[derive(Debug, Clone)]
 pub struct TestRng {
     inner: StdRng,
+    /// Replay source, when this RNG replays a recorded sequence.
+    replay: Option<Vec<u64>>,
+    /// Position in the replay sequence.
+    pos: usize,
+    /// Every `u64` handed out, in draw order.
+    recording: Vec<u64>,
 }
 
 impl TestRng {
@@ -38,11 +56,41 @@ impl TestRng {
         }
         TestRng {
             inner: StdRng::seed_from_u64(h ^ ((case as u64) << 1)),
+            replay: None,
+            pos: 0,
+            recording: Vec::new(),
         }
     }
 
+    /// RNG that replays `choices` in order, then yields zeros forever.
+    ///
+    /// Replaying the recording of a previous generation pass reproduces
+    /// its values exactly; replaying a *mutated* recording produces a
+    /// structurally nearby value — the shrinking mechanism.
+    pub fn from_choices(choices: Vec<u64>) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(0),
+            replay: Some(choices),
+            pos: 0,
+            recording: Vec::new(),
+        }
+    }
+
+    /// The `u64`s handed out so far, in draw order. On a replay RNG this
+    /// is the *consumed* sequence (zero-padded past the end of the input
+    /// choices), i.e. the canonical form of the replayed prefix.
+    pub fn choices(&self) -> &[u64] {
+        &self.recording
+    }
+
     fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let x = match &self.replay {
+            Some(choices) => choices.get(self.pos).copied().unwrap_or(0),
+            None => self.inner.next_u64(),
+        };
+        self.pos += 1;
+        self.recording.push(x);
+        x
     }
 
     fn unit_f64(&mut self) -> f64 {
@@ -78,6 +126,55 @@ pub mod strategy {
             Self: Sized,
         {
             FlatMap { base: self, f }
+        }
+
+        /// Type-erases this strategy (upstream `Strategy::boxed`) so
+        /// heterogeneous strategies for one value type can share a name —
+        /// the building block of [`Union`] and of trait methods returning
+        /// strategies.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy (upstream's `BoxedStrategy`).
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies for one value type
+    /// (upstream's `Union` / `prop_oneof!`). The zero choice selects the
+    /// first option, so shrinking drives enum values toward the variant
+    /// listed first — put the simplest one there.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// A strategy choosing uniformly among `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "Union needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
         }
     }
 
@@ -299,6 +396,123 @@ pub mod collection {
     }
 }
 
+/// Choice-sequence minimization (the shrinking half of the crate).
+///
+/// A failing generation pass leaves a recorded `Vec<u64>` of RNG draws
+/// ([`TestRng::choices`]); [`minimize`](shrink::minimize) mutates that sequence toward the
+/// all-zero/empty sequence — which every strategy maps to its minimal
+/// value — keeping each mutation only if the caller's predicate reports
+/// the property *still fails* when the mutated sequence is replayed.
+pub mod shrink {
+    /// Minimizes `initial` under `fails` (which must hold for `initial`
+    /// itself), spending at most `max_attempts` predicate calls.
+    ///
+    /// Deterministic passes, repeated to a fixed point: drop trailing
+    /// zeros (replay pads with zeros, so they are dead weight), delete
+    /// blocks of draws (shrinks collection sizes and drops whole
+    /// sub-values), zero blocks (resets sub-values to their minimum), and
+    /// halve/decrement single draws (shrinks scalars). The result replays
+    /// to a failing input that is minimal up to these moves — typically
+    /// the smallest collection sizes and range minimums that still
+    /// reproduce the failure.
+    pub fn minimize(
+        initial: Vec<u64>,
+        fails: &mut dyn FnMut(&[u64]) -> bool,
+        max_attempts: usize,
+    ) -> Vec<u64> {
+        let mut best = initial;
+        let mut attempts = 0usize;
+        trim_zeros(&mut best);
+        loop {
+            let mut improved = false;
+
+            // Delete blocks, widest first; on success retry the same
+            // index (the next block shifted into place).
+            for &block in &[16usize, 8, 4, 2, 1] {
+                let mut i = 0;
+                while i + block <= best.len() {
+                    if attempts >= max_attempts {
+                        return best;
+                    }
+                    let mut cand = best.clone();
+                    cand.drain(i..i + block);
+                    attempts += 1;
+                    if fails(&cand) {
+                        best = cand;
+                        improved = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+
+            // Zero blocks, widest first.
+            for &block in &[8usize, 4, 2, 1] {
+                let mut i = 0;
+                while i + block <= best.len() {
+                    if attempts >= max_attempts {
+                        return best;
+                    }
+                    if best[i..i + block].iter().any(|&x| x != 0) {
+                        let mut cand = best.clone();
+                        cand[i..i + block].fill(0);
+                        attempts += 1;
+                        if fails(&cand) {
+                            best = cand;
+                            improved = true;
+                        }
+                    }
+                    i += block;
+                }
+            }
+
+            // Shrink single draws: halve while it keeps failing, then
+            // step down by one.
+            for i in 0..best.len() {
+                while best[i] != 0 {
+                    if attempts >= max_attempts {
+                        return best;
+                    }
+                    let halved = best[i] / 2;
+                    let mut cand = best.clone();
+                    cand[i] = halved;
+                    attempts += 1;
+                    if fails(&cand) {
+                        best = cand;
+                        improved = true;
+                        continue;
+                    }
+                    if attempts >= max_attempts {
+                        return best;
+                    }
+                    let mut cand = best.clone();
+                    cand[i] = best[i] - 1;
+                    attempts += 1;
+                    if fails(&cand) {
+                        best = cand;
+                        improved = true;
+                        continue;
+                    }
+                    break;
+                }
+            }
+
+            trim_zeros(&mut best);
+            if !improved {
+                return best;
+            }
+        }
+    }
+
+    /// Trailing zeros are equivalent to absent draws under zero-padded
+    /// replay.
+    fn trim_zeros(choices: &mut Vec<u64>) {
+        while choices.last() == Some(&0) {
+            choices.pop();
+        }
+    }
+}
+
 /// Runner configuration.
 pub mod test_runner {
     /// Configuration for a [`crate::proptest!`] block.
@@ -332,7 +546,7 @@ pub fn any<T: strategy::Arbitrary>() -> T::Strategy {
 
 /// Everything a property-test file needs.
 pub mod prelude {
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
@@ -361,20 +575,50 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __cfg: $crate::test_runner::Config = $cfg;
+                // Generates from `rng`, runs the body, and returns the
+                // inputs' Debug repr on failure. Strategies are
+                // re-evaluated per call so the same expressions serve
+                // generation and shrink-replay alike.
+                let __run_case = |__rng: &mut $crate::TestRng|
+                    -> ::std::result::Result<(), (String, Box<dyn ::std::any::Any + Send>)> {
+                    let __vals = ( $( $crate::strategy::Strategy::generate(&($strat), __rng), )* );
+                    let __repr = format!("{:?}", __vals);
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
+                        let ( $($pat,)* ) = __vals;
+                        $body
+                    }))
+                    .map_err(|panic| (__repr, panic))
+                };
                 for __case in 0..__cfg.cases {
                     let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
-                    let __vals = ( $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )* );
-                    let __repr = format!("{:?}", __vals);
-                    let __outcome = ::std::panic::catch_unwind(
-                        ::std::panic::AssertUnwindSafe(move || {
-                            let ( $($pat,)* ) = __vals;
-                            $body
-                        }),
-                    );
-                    if let Err(__panic) = __outcome {
+                    if let Err((__repr, __panic)) = __run_case(&mut __rng) {
+                        let __choices = __rng.choices().to_vec();
+                        // Silence the default panic hook while the
+                        // shrinker replays failing candidates.
+                        let __hook = ::std::panic::take_hook();
+                        ::std::panic::set_hook(Box::new(|_| {}));
+                        let __minimal = $crate::shrink::minimize(
+                            __choices,
+                            &mut |choices| {
+                                let mut replay =
+                                    $crate::TestRng::from_choices(choices.to_vec());
+                                __run_case(&mut replay).is_err()
+                            },
+                            4096,
+                        );
+                        ::std::panic::set_hook(__hook);
+                        let mut __replay = $crate::TestRng::from_choices(__minimal.clone());
+                        let __shrunk = match __run_case(&mut __replay) {
+                            Err((repr, _)) => repr,
+                            Ok(()) => "<shrink replay unexpectedly passed>".to_string(),
+                        };
                         eprintln!(
                             "proptest: {} failed at case {}/{} with inputs {}",
                             stringify!($name), __case, __cfg.cases, __repr,
+                        );
+                        eprintln!(
+                            "proptest: {} minimal failing inputs {}\nproptest: replay with TestRng::from_choices(vec!{:?})",
+                            stringify!($name), __shrunk, __minimal,
                         );
                         ::std::panic::resume_unwind(__panic);
                     }
@@ -449,5 +693,62 @@ mod tests {
             let _ = c;
             prop_assert_eq!(a + b, b + a);
         }
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_generation() {
+        let strat = crate::collection::vec(0usize..100, 1..6);
+        let mut rng = crate::TestRng::for_case("replay", 3);
+        let fresh = strat.generate(&mut rng);
+        let mut replay = crate::TestRng::from_choices(rng.choices().to_vec());
+        assert_eq!(strat.generate(&mut replay), fresh);
+    }
+
+    #[test]
+    fn exhausted_replay_pads_with_zeros() {
+        let mut replay = crate::TestRng::from_choices(vec![7]);
+        let strat = (3usize..9, 10u64..20);
+        // First draw consumes the 7 (3 + 7 % 6 = 4); second pads to the
+        // range minimum.
+        assert_eq!(strat.generate(&mut replay), (4, 10));
+    }
+
+    #[test]
+    fn minimize_finds_small_failing_sequence() {
+        let strat = crate::collection::vec(0usize..100, 1..8);
+        let fails = |choices: &[u64]| {
+            let mut rng = crate::TestRng::from_choices(choices.to_vec());
+            strat.generate(&mut rng).iter().any(|&x| x >= 5)
+        };
+        // Find a failing case, then shrink its choice sequence.
+        let mut initial = None;
+        for case in 0..64 {
+            let mut rng = crate::TestRng::for_case("minimize", case);
+            let v = strat.generate(&mut rng);
+            if v.iter().any(|&x| x >= 5) {
+                initial = Some(rng.choices().to_vec());
+                break;
+            }
+        }
+        let minimal =
+            crate::shrink::minimize(initial.expect("no failing case"), &mut { fails }, 4096);
+        let mut rng = crate::TestRng::from_choices(minimal.clone());
+        let v = strat.generate(&mut rng);
+        // Minimal failing input: a single element exactly at the
+        // threshold.
+        assert_eq!(v, vec![5]);
+        assert!(minimal.len() <= 2, "minimal choices too long: {minimal:?}");
+    }
+
+    #[test]
+    fn union_picks_among_options_and_defaults_to_first() {
+        let strat = Union::new(vec![Just(1u32).boxed(), (10u32..20).boxed()]);
+        let mut rng = crate::TestRng::for_case("union", 0);
+        for _ in 0..50 {
+            let x = strat.generate(&mut rng);
+            assert!(x == 1 || (10..20).contains(&x));
+        }
+        let mut zeros = crate::TestRng::from_choices(vec![]);
+        assert_eq!(strat.generate(&mut zeros), 1);
     }
 }
